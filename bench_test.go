@@ -1,0 +1,362 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus
+// ablations for the design choices DESIGN.md calls out. Each figure bench
+// runs a representative point of the figure's sweep per iteration (scaled
+// windows); regenerating the full curves is cmd/turnsweep's job.
+package turnmodel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"turnmodel"
+)
+
+// benchPoint runs one scaled simulation point.
+func benchPoint(b *testing.B, topoKind, algName, patternName string, rate float64) {
+	b.Helper()
+	var topo turnmodel.Topology
+	switch topoKind {
+	case "mesh":
+		topo = turnmodel.NewMesh2D(16, 16)
+	case "cube":
+		topo = turnmodel.NewHypercube(8)
+	default:
+		b.Fatalf("unknown topology kind %q", topoKind)
+	}
+	alg, err := turnmodel.NewRouting(algName, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pattern turnmodel.TrafficPattern
+	switch patternName {
+	case "uniform":
+		pattern = turnmodel.UniformTraffic(topo)
+	case "transpose":
+		if m, ok := topo.(*turnmodel.Mesh); ok {
+			pattern = turnmodel.TransposeTraffic(m)
+		} else {
+			pattern = turnmodel.HypercubeTransposeTraffic(topo.(*turnmodel.Hypercube))
+		}
+	case "reverse-flip":
+		pattern = turnmodel.ReverseFlipTraffic(topo.(*turnmodel.Hypercube))
+	default:
+		b.Fatalf("unknown pattern %q", patternName)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := turnmodel.Simulate(turnmodel.SimConfig{
+			Routing:       alg,
+			Pattern:       pattern,
+			InjectionRate: rate,
+			WarmupCycles:  1500,
+			MeasureCycles: 3000,
+			Seed:          int64(i),
+		})
+		if res.Packets == 0 {
+			b.Fatal("no packets measured")
+		}
+	}
+}
+
+// BenchmarkFigure13 benchmarks the uniform-traffic 16x16-mesh experiment
+// (one sweep point per algorithm per iteration).
+func BenchmarkFigure13(b *testing.B) {
+	for _, alg := range []string{"xy", "west-first", "north-last", "negative-first"} {
+		b.Run(alg, func(b *testing.B) { benchPoint(b, "mesh", alg, "uniform", 0.06) })
+	}
+}
+
+// BenchmarkFigure14 benchmarks the matrix-transpose 16x16-mesh experiment.
+func BenchmarkFigure14(b *testing.B) {
+	for _, alg := range []string{"xy", "west-first", "north-last", "negative-first"} {
+		b.Run(alg, func(b *testing.B) { benchPoint(b, "mesh", alg, "transpose", 0.06) })
+	}
+}
+
+// BenchmarkFigure15 benchmarks the matrix-transpose 8-cube experiment.
+func BenchmarkFigure15(b *testing.B) {
+	for _, alg := range []string{"e-cube", "p-cube", "abonf", "abopl"} {
+		b.Run(alg, func(b *testing.B) { benchPoint(b, "cube", alg, "transpose", 0.12) })
+	}
+}
+
+// BenchmarkFigure16 benchmarks the reverse-flip 8-cube experiment.
+func BenchmarkFigure16(b *testing.B) {
+	for _, alg := range []string{"e-cube", "p-cube", "abonf", "abopl"} {
+		b.Run(alg, func(b *testing.B) { benchPoint(b, "cube", alg, "reverse-flip", 0.12) })
+	}
+}
+
+// BenchmarkUniformCube benchmarks the uniform 8-cube comparison the text
+// discusses alongside Figure 13.
+func BenchmarkUniformCube(b *testing.B) {
+	for _, alg := range []string{"e-cube", "p-cube"} {
+		b.Run(alg, func(b *testing.B) { benchPoint(b, "cube", alg, "uniform", 0.2) })
+	}
+}
+
+// BenchmarkSection3Census benchmarks the 16-combination deadlock census of
+// Section 3 (the data behind Figures 3-5, 9 and 10).
+func BenchmarkSection3Census(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		combos := turnmodel.Census2D(4, 4)
+		free := 0
+		for _, c := range combos {
+			if c.DeadlockFree {
+				free++
+			}
+		}
+		if free != 12 {
+			b.Fatalf("census found %d, want 12", free)
+		}
+	}
+}
+
+// BenchmarkDependencyGraph benchmarks the exact channel-dependency-graph
+// verification used by every deadlock-freedom theorem.
+func BenchmarkDependencyGraph(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(8, 8)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if cyc := turnmodel.VerifyDeadlockFree(alg); cyc != nil {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+// BenchmarkSection34Adaptiveness benchmarks the Section 3.4 degree-of-
+// adaptiveness table (average S_p/S_f across all pairs).
+func BenchmarkSection34Adaptiveness(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(8, 8)
+	for _, name := range []string{"west-first", "north-last", "negative-first"} {
+		alg, err := turnmodel.NewRouting(name, mesh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := turnmodel.AverageAdaptivenessRatio(alg); r <= 0.5 {
+					b.Fatalf("ratio %v <= 1/2", r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSection5Table benchmarks the Section 5 p-cube choice analysis
+// across every pair of a 10-cube.
+func BenchmarkSection5Table(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for s := uint(0); s < 1024; s += 17 {
+			for d := uint(0); d < 1024; d += 13 {
+				minimal, extra := turnmodel.PCubeChoices(s, d, 10)
+				total += minimal + extra
+			}
+		}
+		if total == 0 {
+			b.Fatal("no choices")
+		}
+	}
+}
+
+// BenchmarkAblationOutputPolicy compares the paper's lowest-dimension
+// output selection against random and straight-first selection — the
+// ablation Section 7 defers to reference [19].
+func BenchmarkAblationOutputPolicy(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	policies := map[string]turnmodel.OutputPolicy{
+		"lowest-dimension": turnmodel.LowestDimensionOutput(),
+		"random":           turnmodel.RandomOutput(),
+		"straight-first":   turnmodel.StraightFirstOutput(),
+	}
+	for name, pol := range policies {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := turnmodel.Simulate(turnmodel.SimConfig{
+					Routing:       alg,
+					Pattern:       turnmodel.TransposeTraffic(mesh),
+					InjectionRate: 0.06,
+					WarmupCycles:  1500,
+					MeasureCycles: 3000,
+					Seed:          int64(i),
+					Output:        pol,
+				})
+				b.ReportMetric(res.AvgLatencyUs, "latency-us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInputPolicy compares local FCFS input selection with
+// oldest-first arbitration.
+func BenchmarkAblationInputPolicy(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("negative-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	policies := map[string]turnmodel.InputPolicy{
+		"local-fcfs":   turnmodel.LocalFCFSInput(),
+		"oldest-first": turnmodel.OldestFirstInput(),
+	}
+	for name, pol := range policies {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := turnmodel.Simulate(turnmodel.SimConfig{
+					Routing:       alg,
+					Pattern:       turnmodel.UniformTraffic(mesh),
+					InjectionRate: 0.06,
+					WarmupCycles:  1500,
+					MeasureCycles: 3000,
+					Seed:          int64(i),
+					Input:         pol,
+				})
+				b.ReportMetric(res.AvgLatencyUs, "latency-us")
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkStep measures the raw simulator engine: cycles per
+// second on a loaded 16x16 mesh.
+func BenchmarkNetworkStep(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{Routing: alg, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	// Preload a moderate working set.
+	for i := 0; i < 400; i++ {
+		src := turnmodel.NodeID(rng.Intn(256))
+		dst := turnmodel.NodeID(rng.Intn(256))
+		if src != dst {
+			net.Enqueue(src, dst, 10+rng.Intn(190))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50 == 0 {
+			src := turnmodel.NodeID(rng.Intn(256))
+			dst := turnmodel.NodeID(rng.Intn(256))
+			if src != dst {
+				net.Enqueue(src, dst, 10)
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionHex benchmarks the Section 7 hexagonal-mesh extension
+// experiment (one sweep point per algorithm per iteration).
+func BenchmarkExtensionHex(b *testing.B) {
+	hex := turnmodel.NewHex(16, 16)
+	for _, name := range []string{"dimension-order", "negative-first"} {
+		alg, err := turnmodel.NewRouting(name, hex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := turnmodel.Simulate(turnmodel.SimConfig{
+					Routing:       alg,
+					Pattern:       turnmodel.UniformTraffic(hex),
+					InjectionRate: 0.06,
+					WarmupCycles:  1500,
+					MeasureCycles: 3000,
+					Seed:          int64(i),
+				})
+				if res.Packets == 0 {
+					b.Fatal("no packets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionVC benchmarks the virtual-channel double-y experiment
+// on the per-flit VC simulator.
+func BenchmarkExtensionVC(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	for _, name := range []string{"double-y", "west-first"} {
+		alg, err := turnmodel.NewVCRouting(name, mesh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := turnmodel.SimulateVC(turnmodel.VCSimConfig{
+					Routing:       alg,
+					Pattern:       turnmodel.TransposeTraffic(mesh),
+					InjectionRate: 0.06,
+					WarmupCycles:  1500,
+					MeasureCycles: 3000,
+					Seed:          int64(i),
+				})
+				if res.Packets == 0 {
+					b.Fatal("no packets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVCDependencyGraph benchmarks virtual-channel deadlock
+// verification (dateline DOR on an 8x8 torus).
+func BenchmarkVCDependencyGraph(b *testing.B) {
+	torus := turnmodel.NewKaryNCube(8, 2)
+	alg, err := turnmodel.NewVCRouting("dateline-dor", torus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if cyc := turnmodel.VerifyVCDeadlockFree(alg); cyc != nil {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+// BenchmarkAblationRoutingDelay quantifies Section 7's worry that adaptive
+// route selection "may increase node delay": west-first pays 0-4 cycles
+// per routing decision against xy's ideal single-cycle router, under
+// matrix-transpose traffic.
+func BenchmarkAblationRoutingDelay(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, delay := range []int64{0, 2, 4} {
+		b.Run(fmt.Sprintf("delay-%d", delay), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := turnmodel.Simulate(turnmodel.SimConfig{
+					Routing:       alg,
+					Pattern:       turnmodel.TransposeTraffic(mesh),
+					InjectionRate: 0.06,
+					WarmupCycles:  1500,
+					MeasureCycles: 3000,
+					Seed:          int64(i),
+					RoutingDelay:  delay,
+				})
+				b.ReportMetric(res.AvgLatencyUs, "latency-us")
+			}
+		})
+	}
+}

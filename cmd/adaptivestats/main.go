@@ -1,0 +1,92 @@
+// Adaptivestats prints the paper's adaptiveness analyses: the Section 3.4
+// degree-of-adaptiveness table for 2D meshes and the Section 5 worked
+// p-cube example for the binary 10-cube.
+//
+// Usage:
+//
+//	adaptivestats -mesh            # Section 3.4 on a 16x16 mesh
+//	adaptivestats -pcube           # Section 5 worked example
+//	adaptivestats -mesh -size 8    # smaller mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+
+	"turnmodel/internal/adaptiveness"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+func main() {
+	var (
+		meshTab = flag.Bool("mesh", false, "print the Section 3.4 adaptiveness table")
+		pcube   = flag.Bool("pcube", false, "print the Section 5 p-cube worked example")
+		size    = flag.Int("size", 16, "mesh side length for -mesh")
+	)
+	flag.Parse()
+	if !*meshTab && !*pcube {
+		fmt.Fprintln(os.Stderr, "adaptivestats: pass -mesh and/or -pcube")
+		os.Exit(1)
+	}
+	if *meshTab {
+		meshTable(*size)
+	}
+	if *pcube {
+		pcubeTable()
+	}
+}
+
+func meshTable(k int) {
+	m := topology.NewMesh2D(k, k)
+	fmt.Printf("Degree of adaptiveness on a %dx%d mesh (Section 3.4)\n", k, k)
+	fmt.Printf("%-16s %-22s %-22s\n", "algorithm", "avg S_p/S_f", "pairs with S_p = 1")
+	for _, name := range []string{"xy", "west-first", "north-last", "negative-first", "fully-adaptive"} {
+		alg, err := routing.New(name, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptivestats:", err)
+			os.Exit(1)
+		}
+		ratio := adaptiveness.AverageRatio(alg)
+		single := adaptiveness.FractionSingle(alg)
+		fmt.Printf("%-16s %-22.4f %-22.1f%%\n", name, ratio, 100*single)
+	}
+	fmt.Println("\npaper: the three partially adaptive algorithms average S_p/S_f > 1/2,")
+	fmt.Println("with S_p = 1 for at least half of the source-destination pairs.")
+	fmt.Println()
+}
+
+func pcubeTable() {
+	const n = 10
+	src, dst := uint(0b1011010100), uint(0b0010111001)
+	h := bits.OnesCount(uint(src ^ dst))
+	h1 := bits.OnesCount(uint(src &^ dst))
+	h0 := bits.OnesCount(uint(^src & dst & (1<<n - 1)))
+	fmt.Printf("Section 5 worked example: p-cube routing %0*b -> %0*b in a binary %d-cube\n", n, src, n, dst, n)
+	fmt.Printf("h = %d, h1 = %d, h0 = %d; S_p-cube = h1! h0! = %d of S_f = h! = %d shortest paths\n\n",
+		h, h1, h0, adaptiveness.PCube(src, dst), adaptiveness.Factorial(h))
+	fmt.Printf("%-12s %-10s %-16s %s\n", "address", "choices", "dimension taken", "comment")
+	// The paper's route takes these dimensions in order.
+	dims := []int{2, 9, 6, 5, 0, 3}
+	cur := src
+	for i, d := range dims {
+		minimal, extra := adaptiveness.PCubeChoices(cur, dst, n)
+		comment := "phase 1"
+		if extra == 0 {
+			comment = "phase 2"
+		}
+		if i == 0 {
+			comment = "source"
+		}
+		extras := ""
+		if extra > 0 {
+			extras = fmt.Sprintf("(+%d)", extra)
+		}
+		fmt.Printf("%0*b %d%-8s %-16d %s\n", n, cur, minimal, extras, d, comment)
+		cur ^= 1 << uint(d)
+	}
+	fmt.Printf("%0*b %-10s %-16s %s\n", n, cur, "", "", "destination")
+	fmt.Println("\n(+k) counts the extra choices nonminimal p-cube routing adds in phase 1.")
+}

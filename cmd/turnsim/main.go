@@ -1,0 +1,103 @@
+// Turnsim runs one wormhole-routing simulation in the style of Section 6
+// of Glass & Ni and prints the measured latency and throughput.
+//
+// Usage:
+//
+//	turnsim -topology mesh16x16 -routing west-first -pattern transpose -rate 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"turnmodel/internal/cli"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/vc"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topology", "mesh16x16", "topology: meshAxB[xC...], hypercubeN, torusAxB, karyKxN")
+		algName  = flag.String("routing", "xy", fmt.Sprintf("routing algorithm: one of %v", routing.Names()))
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform, transpose, reverse-flip, bit-complement, bit-reversal, hotspotF")
+		rate     = flag.Float64("rate", 0.05, "offered load per node in flits/cycle (x20 = flits/us)")
+		warmup   = flag.Int64("warmup", 20000, "warmup cycles")
+		measure  = flag.Int64("measure", 40000, "measurement cycles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outPol   = flag.String("output-policy", "xy", "output selection: xy, random, straight")
+		inPol    = flag.String("input-policy", "fcfs", "input selection: fcfs, oldest")
+		useVC    = flag.Bool("vc", false, "run on the virtual-channel simulator (accepts VC algorithms such as double-y, dateline-dor, ccc-ascending)")
+		verbose  = flag.Bool("v", false, "print the full result breakdown")
+	)
+	flag.Parse()
+
+	topo, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	pat, err := cli.ParsePattern(*pattern, topo)
+	if err != nil {
+		fatal(err)
+	}
+	if *useVC {
+		valg, err := vc.New(*algName, topo)
+		if err != nil {
+			fatal(err)
+		}
+		res := sim.RunVC(sim.VCConfig{
+			Routing:       valg,
+			Pattern:       pat,
+			InjectionRate: *rate,
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Seed:          *seed,
+		})
+		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
+		return
+	}
+	alg, err := routing.New(*algName, topo)
+	if err != nil {
+		fatal(err)
+	}
+	output, err := cli.ParseOutputPolicy(*outPol)
+	if err != nil {
+		fatal(err)
+	}
+	input, err := cli.ParseInputPolicy(*inPol)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := sim.Run(sim.Config{
+		Routing:       alg,
+		Pattern:       pat,
+		InjectionRate: *rate,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		Seed:          *seed,
+		Output:        output,
+		Input:         input,
+	})
+	report(topo.Name(), alg.Name(), pat.Name(), res, *verbose)
+}
+
+func report(topo, alg, pattern string, res sim.Result, verbose bool) {
+	fmt.Printf("topology   %s\nrouting    %s\npattern    %s\n", topo, alg, pattern)
+	fmt.Printf("offered    %.1f flits/us network-wide (%.4f flits/node/cycle)\n", res.OfferedFlitsPerUs, res.InjectionRate)
+	fmt.Printf("throughput %.1f flits/us\nlatency    %.2f us average (p95 %.2f us)\n", res.ThroughputFlitsPerUs, res.AvgLatencyUs, res.P95LatencyUs)
+	fmt.Printf("sustainable %v\n", res.Sustainable)
+	if res.Deadlocked {
+		fmt.Println("DEADLOCK detected by the watchdog")
+	}
+	if verbose {
+		fmt.Printf("\npackets measured %d\navg hops %.2f\nmax source queue %d\nbacklog growth %d packets\n",
+			res.Packets, res.AvgHops, res.MaxQueue, res.QueueGrowth)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "turnsim:", err)
+	os.Exit(1)
+}

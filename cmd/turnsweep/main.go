@@ -1,0 +1,99 @@
+// Turnsweep regenerates the paper's evaluation artifacts: the latency-
+// versus-throughput curves of Figures 13-16 (plus the uniform-hypercube
+// comparison discussed in the text) and the average-path-length table.
+//
+// Usage:
+//
+//	turnsweep -figure 14            # one figure
+//	turnsweep -all                  # every figure (takes a few minutes)
+//	turnsweep -hops                 # the path-length claims
+//	turnsweep -quick -all           # scaled-down windows for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"turnmodel/internal/sim"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "", "figure to regenerate: 13, 14, 15, 16 or uniform-cube")
+		all     = flag.Bool("all", false, "regenerate every paper figure")
+		ext     = flag.Bool("extensions", false, "run the extension experiments (hex, octagonal, hotspot)")
+		hops    = flag.Bool("hops", false, "print the average path length table")
+		quick   = flag.Bool("quick", false, "use short warmup/measurement windows")
+		warmup  = flag.Int64("warmup", 20000, "warmup cycles")
+		measure = flag.Int64("measure", 40000, "measurement cycles")
+		seed    = flag.Int64("seed", 1, "random seed")
+		plot    = flag.Bool("plot", false, "also render an ASCII latency-vs-throughput chart")
+		vcrun   = flag.Bool("vc", false, "run the virtual-channel extension experiment (double-y vs west-first vs xy)")
+	)
+	flag.Parse()
+
+	if *quick {
+		*warmup, *measure = 3000, 8000
+	}
+
+	ran := false
+	if *hops {
+		printHops()
+		ran = true
+	}
+	if *vcrun {
+		fmt.Println(sim.VCComparison(*warmup, *measure, *seed))
+		ran = true
+	}
+	var specs []sim.FigureSpec
+	if *all {
+		specs = sim.Figures()
+	}
+	if *ext {
+		specs = append(specs, sim.ExtensionFigures()...)
+	}
+	if len(specs) == 0 && *figure != "" {
+		id := *figure
+		if len(id) == 2 {
+			id = "figure" + id
+		}
+		spec, ok := sim.FigureByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "turnsweep: unknown figure %q\n", *figure)
+			os.Exit(1)
+		}
+		specs = []sim.FigureSpec{spec}
+	}
+	for _, spec := range specs {
+		fr := sim.RunFigure(spec, *warmup, *measure, *seed)
+		fmt.Println(fr.Table())
+		if *plot {
+			fmt.Println(fr.Plot(64, 20))
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "turnsweep: nothing to do (pass -figure N, -all or -hops)")
+		os.Exit(1)
+	}
+}
+
+func printHops() {
+	mesh := topology.NewMesh2D(16, 16)
+	cube := topology.NewHypercube(8)
+	fmt.Println("average shortest-path lengths (fixed points excluded):")
+	fmt.Printf("  %-28s %6.2f hops (paper: 10.61)\n", "16x16 mesh, uniform",
+		traffic.AveragePathLength(traffic.Uniform{Topo: mesh}, mesh))
+	fmt.Printf("  %-28s %6.2f hops (paper: 11.34)\n", "16x16 mesh, matrix-transpose",
+		traffic.AveragePathLength(traffic.NewMeshTranspose(mesh), mesh))
+	fmt.Printf("  %-28s %6.2f hops (paper: 4.01)\n", "8-cube, uniform",
+		traffic.AveragePathLength(traffic.Uniform{Topo: cube}, cube))
+	fmt.Printf("  %-28s %6.2f hops (paper: 4.27)\n", "8-cube, matrix-transpose",
+		traffic.AveragePathLength(traffic.NewHypercubeTranspose(cube), cube))
+	fmt.Printf("  %-28s %6.2f hops (paper: 4.27)\n", "8-cube, reverse-flip",
+		traffic.AveragePathLength(traffic.ReverseFlip{Cube: cube}, cube))
+	fmt.Println()
+}

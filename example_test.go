@@ -1,0 +1,138 @@
+package turnmodel_test
+
+import (
+	"fmt"
+
+	"turnmodel"
+)
+
+// ExampleVerifyDeadlockFree mechanically checks the paper's central
+// guarantee on a concrete network.
+func ExampleVerifyDeadlockFree() {
+	mesh := turnmodel.NewMesh2D(8, 8)
+	for _, name := range []string{"xy", "west-first", "negative-first", "fully-adaptive"} {
+		alg, err := turnmodel.NewRouting(name, mesh)
+		if err != nil {
+			panic(err)
+		}
+		verdict := "deadlock free"
+		if turnmodel.VerifyDeadlockFree(alg) != nil {
+			verdict = "deadlock possible"
+		}
+		fmt.Printf("%s: %s\n", name, verdict)
+	}
+	// Output:
+	// xy: deadlock free
+	// west-first: deadlock free
+	// negative-first: deadlock free
+	// fully-adaptive: deadlock possible
+}
+
+// ExampleCensus2D reproduces the Section 3 census: of the 16 ways to
+// prohibit one turn from each abstract cycle, 12 prevent deadlock and 3
+// are unique up to symmetry.
+func ExampleCensus2D() {
+	combos := turnmodel.Census2D(4, 4)
+	free := 0
+	for _, c := range combos {
+		if c.DeadlockFree {
+			free++
+		}
+	}
+	classes := turnmodel.SymmetryClasses(combos)
+	fmt.Printf("%d of %d prevent deadlock, %d unique classes\n", free, len(combos), len(classes))
+	// Output:
+	// 12 of 16 prevent deadlock, 3 unique classes
+}
+
+// ExamplePCubeShortestPaths evaluates the Section 5 worked example: the
+// 10-cube route from 1011010100 to 0010111001 admits 36 shortest paths
+// under p-cube routing, out of 720 under fully adaptive routing.
+func ExamplePCubeShortestPaths() {
+	src, dst := uint(0b1011010100), uint(0b0010111001)
+	fmt.Printf("S_p-cube = %d\n", turnmodel.PCubeShortestPaths(src, dst))
+	minimal, extra := turnmodel.PCubeChoices(src, dst, 10)
+	fmt.Printf("choices at the source: %d(+%d)\n", minimal, extra)
+	// Output:
+	// S_p-cube = 36
+	// choices at the source: 3(+2)
+}
+
+// ExampleCountShortestPaths cross-checks a Section 3.4 closed form: with
+// the destination not to the west, west-first is fully adaptive.
+func ExampleCountShortestPaths() {
+	mesh := turnmodel.NewMesh2D(8, 8)
+	wf, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		panic(err)
+	}
+	src := mesh.ID(turnmodel.Coord{1, 1})
+	east := mesh.ID(turnmodel.Coord{4, 4}) // dx=3, dy=3: (3+3)!/(3!3!) = 20
+	west := mesh.ID(turnmodel.Coord{0, 4}) // destination to the west: 1 path
+	fmt.Println(turnmodel.CountShortestPaths(wf, src, east))
+	fmt.Println(turnmodel.CountShortestPaths(wf, src, west))
+	// Output:
+	// 20
+	// 1
+}
+
+// ExampleMinimumProhibitedTurns states Theorem 1 for a few dimensions.
+func ExampleMinimumProhibitedTurns() {
+	for n := 2; n <= 4; n++ {
+		fmt.Printf("n=%d: prohibit %d of %d turns\n",
+			n, turnmodel.MinimumProhibitedTurns(n), len(turnmodel.AllTurns90(n)))
+	}
+	// Output:
+	// n=2: prohibit 2 of 8 turns
+	// n=3: prohibit 6 of 24 turns
+	// n=4: prohibit 12 of 48 turns
+}
+
+// ExampleAveragePathLength reproduces the paper's path-length table.
+func ExampleAveragePathLength() {
+	cube := turnmodel.NewHypercube(8)
+	fmt.Printf("reverse-flip: %.2f hops\n",
+		turnmodel.AveragePathLength(turnmodel.ReverseFlipTraffic(cube), cube))
+	// Output:
+	// reverse-flip: 4.27 hops
+}
+
+// ExampleNewNetwork drives the wormhole simulator by hand: a 10-flit
+// packet crossing a 16x16 mesh corner to corner arrives after
+// distance + length - 1 cycles.
+func ExampleNewNetwork() {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		panic(err)
+	}
+	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{Routing: alg})
+	p := net.Enqueue(0, turnmodel.NodeID(mesh.Nodes()-1), 10)
+	for net.InFlight() > 0 {
+		if err := net.Step(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("latency %d cycles (%.2f us)\n", p.Latency(), float64(p.Latency())/turnmodel.FlitsPerMicrosecond)
+	// Output:
+	// latency 39 cycles (1.95 us)
+}
+
+// ExampleNewVCRouting shows what one extra virtual channel buys on a
+// torus: minimal dimension-order routing becomes deadlock free.
+func ExampleNewVCRouting() {
+	torus := turnmodel.NewKaryNCube(8, 2)
+	naive, err := turnmodel.NewVCRouting("naive-torus-dor", torus)
+	if err != nil {
+		panic(err)
+	}
+	dateline, err := turnmodel.NewVCRouting("dateline-dor", torus)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("naive:", turnmodel.VerifyVCDeadlockFree(naive) == nil)
+	fmt.Println("dateline:", turnmodel.VerifyVCDeadlockFree(dateline) == nil)
+	// Output:
+	// naive: false
+	// dateline: true
+}

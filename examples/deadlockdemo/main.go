@@ -1,0 +1,80 @@
+// Deadlockdemo shows why the turn model exists. Minimal fully adaptive
+// routing without extra channels lets packets turn every way, the turns
+// close cycles, and wormhole packets deadlock (Figure 1 of the paper). The
+// demo first exhibits a dependency cycle statically, then reproduces an
+// actual deadlock in the simulator, and finally shows that west-first —
+// which prohibits just two turns — survives the identical workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"turnmodel"
+)
+
+func main() {
+	mesh := turnmodel.NewMesh2D(4, 4)
+
+	// Static analysis: the channel dependency graph of fully adaptive
+	// routing contains a cycle ...
+	unsafe, err := turnmodel.NewRouting("fully-adaptive", mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cyc := turnmodel.VerifyDeadlockFree(unsafe)
+	if cyc == nil {
+		log.Fatal("expected a dependency cycle for fully adaptive routing")
+	}
+	fmt.Println("fully-adaptive: channel dependency cycle found:")
+	for i, ch := range cyc {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Print(ch)
+	}
+	fmt.Println()
+
+	// ... while west-first's graph is acyclic.
+	safe, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if turnmodel.VerifyDeadlockFree(safe) != nil {
+		log.Fatal("west-first should be deadlock free")
+	}
+	fmt.Println("west-first: dependency graph acyclic (prohibiting 2 of 8 turns suffices)")
+
+	// Dynamic demonstration: flood both networks with the same random
+	// traffic; the watchdog catches the fully adaptive one.
+	fmt.Println("\nflooding both networks with identical random traffic...")
+	fmt.Printf("  fully-adaptive: %s\n", flood(unsafe))
+	fmt.Printf("  west-first:     %s\n", flood(safe))
+}
+
+// flood drives a network hard for up to 100000 cycles and reports how the
+// run ended.
+func flood(alg turnmodel.Routing) string {
+	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
+		Routing:        alg,
+		Seed:           1,
+		WatchdogCycles: 2000,
+	})
+	topo := alg.Topology()
+	rng := rand.New(rand.NewSource(99))
+	for c := 0; c < 100000; c++ {
+		if c%3 == 0 {
+			src := turnmodel.NodeID(rng.Intn(topo.Nodes()))
+			dst := turnmodel.NodeID(rng.Intn(topo.Nodes()))
+			if src != dst {
+				net.Enqueue(src, dst, 50)
+			}
+		}
+		if err := net.Step(); err != nil {
+			return fmt.Sprintf("DEADLOCK after %d cycles (%v)", net.Cycle(), err)
+		}
+	}
+	return fmt.Sprintf("healthy after %d cycles: %d packets delivered, %d in flight",
+		net.Cycle(), net.PacketsDelivered(), net.InFlight())
+}

@@ -1,0 +1,52 @@
+// Meshtranspose reproduces the Figure 14 scenario at example scale: under
+// matrix-transpose traffic in a 2D mesh, the turn model's partially
+// adaptive algorithms deliver lower latency and sustain more load than
+// nonadaptive xy routing, because they can steer around the congested
+// diagonal instead of blindly maintaining the pattern's unevenness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turnmodel"
+)
+
+func main() {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	pattern := turnmodel.TransposeTraffic(mesh)
+
+	fmt.Println("matrix-transpose traffic in a 16x16 mesh (cf. Figure 14)")
+	fmt.Printf("%-8s", "rate")
+	algs := []string{"xy", "west-first", "north-last", "negative-first"}
+	for _, a := range algs {
+		fmt.Printf(" | %-22s", a)
+	}
+	fmt.Printf("\n%-8s", "")
+	for range algs {
+		fmt.Printf(" | %9s %12s", "lat (us)", "thr flits/us")
+	}
+	fmt.Println()
+
+	for _, rate := range []float64{0.02, 0.05, 0.08, 0.10} {
+		fmt.Printf("%-8.2f", rate)
+		for _, name := range algs {
+			alg, err := turnmodel.NewRouting(name, mesh)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := turnmodel.Simulate(turnmodel.SimConfig{
+				Routing:       alg,
+				Pattern:       pattern,
+				InjectionRate: rate,
+				WarmupCycles:  8000,
+				MeasureCycles: 15000,
+				Seed:          7,
+			})
+			fmt.Printf(" | %9.2f %12.1f", res.AvgLatencyUs, res.ThroughputFlitsPerUs)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAt high load the adaptive algorithms show lower latency: they route")
+	fmt.Println("around the transpose pattern's congested diagonal rather than through it.")
+}

@@ -1,0 +1,86 @@
+// Virtualchannels demonstrates the Section 4.2 / reference [18] extension:
+// what one extra virtual channel buys. On a torus, minimal dimension-order
+// routing deadlocks on the ring cycles — unless each physical channel is
+// split in two and packets switch lanes at the dateline. On a 2D mesh,
+// doubling only the y channels yields minimal FULLY adaptive deadlock-free
+// routing (double-y), which beats every no-extra-channel algorithm on
+// nonuniform traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"turnmodel"
+)
+
+func main() {
+	// Part 1: the torus story, statically and dynamically.
+	ring := turnmodel.NewKaryNCube(6, 2)
+	naive, err := turnmodel.NewVCRouting("naive-torus-dor", ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dateline, err := turnmodel.NewVCRouting("dateline-dor", ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cyc := turnmodel.VerifyVCDeadlockFree(naive); cyc != nil {
+		fmt.Printf("naive torus DOR (1 VC): dependency cycle of %d channels — deadlock possible\n", len(cyc))
+	}
+	if turnmodel.VerifyVCDeadlockFree(dateline) == nil {
+		fmt.Println("dateline DOR (2 VCs):  dependency graph acyclic — minimal torus routing, deadlock free")
+	}
+
+	fmt.Println("\nflooding both with the same ring-circling traffic:")
+	fmt.Printf("  naive:    %s\n", flood(naive))
+	fmt.Printf("  dateline: %s\n", flood(dateline))
+
+	// Part 2: the mesh story — full adaptiveness from one extra y VC.
+	mesh := turnmodel.NewMesh2D(16, 16)
+	doubley, err := turnmodel.NewVCRouting("double-y", mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if turnmodel.VerifyVCDeadlockFree(doubley) == nil {
+		fmt.Println("\ndouble-y (2 VCs on y): minimal FULLY adaptive on the mesh, deadlock free")
+	}
+	fmt.Println("\nmatrix-transpose at a load where the no-VC algorithms have saturated:")
+	for _, name := range []string{"double-y", "west-first", "xy"} {
+		alg, err := turnmodel.NewVCRouting(name, mesh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := turnmodel.SimulateVC(turnmodel.VCSimConfig{
+			Routing:       alg,
+			Pattern:       turnmodel.TransposeTraffic(mesh),
+			InjectionRate: 0.12,
+			WarmupCycles:  8000,
+			MeasureCycles: 15000,
+			Seed:          5,
+		})
+		fmt.Printf("  %-12s throughput %6.1f flits/us, latency %6.2f us, sustainable=%v\n",
+			name, res.ThroughputFlitsPerUs, res.AvgLatencyUs, res.Sustainable)
+	}
+}
+
+func flood(alg turnmodel.VCRouting) string {
+	net := turnmodel.NewVCNetwork(turnmodel.VCNetworkConfig{Routing: alg, WatchdogCycles: 2000})
+	topo := alg.Topology()
+	rng := rand.New(rand.NewSource(17))
+	for c := 0; c < 60000; c++ {
+		if c%2 == 0 {
+			src := turnmodel.NodeID(rng.Intn(topo.Nodes()))
+			// Routes long enough to circle half the rings.
+			dc := topo.Coord(src)
+			dc[0] = (dc[0] + 3) % 6
+			dc[1] = (dc[1] + 2) % 6
+			net.Enqueue(src, topo.ID(dc), 40)
+		}
+		if err := net.Step(); err != nil {
+			return fmt.Sprintf("DEADLOCK after %d cycles", net.Cycle())
+		}
+	}
+	return fmt.Sprintf("healthy after %d cycles, %d packets delivered", net.Cycle(), net.PacketsDelivered())
+}

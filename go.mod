@@ -1,0 +1,3 @@
+module turnmodel
+
+go 1.22

@@ -1,0 +1,213 @@
+// Package adaptiveness quantifies how adaptive the routing algorithms are,
+// implementing the closed forms of Sections 3.4, 4.1 and 5 — the number of
+// shortest paths S_algorithm each algorithm permits between a source and a
+// destination — together with an exhaustive path counter used to
+// cross-check them and to compute the average S_p/S_f ratios the paper
+// reports.
+package adaptiveness
+
+import (
+	"math/bits"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// Factorial returns n!. It panics for n < 0 or n > 20 (beyond 20 the
+// result overflows int64; the paper's networks stay far below that).
+func Factorial(n int) int64 {
+	if n < 0 || n > 20 {
+		panic("adaptiveness: factorial argument out of range")
+	}
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}
+
+// Binomial returns C(n, k).
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		r = r * int64(n-k+i) / int64(i)
+	}
+	return r
+}
+
+// Multinomial returns (sum deltas)! / prod(delta_i!), the number of
+// shortest paths a fully adaptive algorithm allows in a mesh whose
+// per-dimension offsets are deltas (all non-negative).
+func Multinomial(deltas ...int) int64 {
+	total := 0
+	for _, d := range deltas {
+		if d < 0 {
+			panic("adaptiveness: negative delta")
+		}
+		total += d
+	}
+	r := Factorial(total)
+	for _, d := range deltas {
+		r /= Factorial(d)
+	}
+	return r
+}
+
+// FullyAdaptive2D is S_f for a 2D mesh: (dx+dy)! / (dx! dy!) where dx and
+// dy are the absolute coordinate offsets.
+func FullyAdaptive2D(dx, dy int) int64 { return Multinomial(dx, dy) }
+
+// WestFirst2D is S_west-first (Section 3.4): fully adaptive when the
+// destination is not to the west, otherwise a single path.
+func WestFirst2D(sx, sy, dx, dy int) int64 {
+	if dx >= sx {
+		return FullyAdaptive2D(abs(dx-sx), abs(dy-sy))
+	}
+	return 1
+}
+
+// NorthLast2D is S_north-last (Section 3.4): fully adaptive when the
+// destination is not to the north, otherwise a single path.
+func NorthLast2D(sx, sy, dx, dy int) int64 {
+	if dy <= sy {
+		return FullyAdaptive2D(abs(dx-sx), abs(dy-sy))
+	}
+	return 1
+}
+
+// NegativeFirst2D is S_negative-first (Section 3.4): fully adaptive when
+// both offsets have the same sign (both phases degenerate to one), a
+// single minimal path otherwise. (The paper's table prints "0 otherwise";
+// the unique minimal path — all negative hops, then all positive hops —
+// always exists, and the exhaustive counter confirms the value 1.)
+func NegativeFirst2D(sx, sy, dx, dy int) int64 {
+	if (dx <= sx && dy <= sy) || (dx >= sx && dy >= sy) {
+		return FullyAdaptive2D(abs(dx-sx), abs(dy-sy))
+	}
+	return 1
+}
+
+// FullyAdaptiveHypercube is S_f for a hypercube: h! where h is the Hamming
+// distance between source and destination (Section 5).
+func FullyAdaptiveHypercube(src, dst uint) int64 {
+	return Factorial(bits.OnesCount(uint(src ^ dst)))
+}
+
+// PCube is S_p-cube = h1! * h0! where h1 = |S AND NOT D| counts the phase
+// one dimensions and h0 = |NOT S AND D| the phase two dimensions
+// (Section 5).
+func PCube(src, dst uint) int64 {
+	h1 := bits.OnesCount(uint(src &^ dst))
+	h0 := bits.OnesCount(uint(^src & dst))
+	return Factorial(h1) * Factorial(h0)
+}
+
+// PCubeRatio is S_p-cube / S_f = 1 / C(h, h1) (Section 5).
+func PCubeRatio(src, dst uint) float64 {
+	h := bits.OnesCount(uint(src ^ dst))
+	h1 := bits.OnesCount(uint(src &^ dst))
+	return 1 / float64(Binomial(h, h1))
+}
+
+// PCubeChoices reports, for a packet currently at address c destined for
+// d in an n-cube, the number of minimal p-cube output choices and the
+// extra choices nonminimal p-cube (Figure 12) adds: during phase one a
+// packet may also route along any dimension where both c and d have a 1.
+func PCubeChoices(c, d uint, n int) (minimal, extra int) {
+	mask := uint(1)<<uint(n) - 1
+	r := c &^ d
+	if r != 0 {
+		return bits.OnesCount(uint(r)), bits.OnesCount(uint(c & d & mask))
+	}
+	return bits.OnesCount(uint(^c & d & mask)), 0
+}
+
+// CountPaths counts the shortest src->dst paths the algorithm permits, by
+// dynamic programming over the minimal-routing DAG. It is exponential-free:
+// each node on a shortest path is visited once.
+func CountPaths(a routing.Algorithm, src, dst topology.NodeID) int64 {
+	topo := a.Topology()
+	memo := make(map[topology.NodeID]int64)
+	var count func(cur topology.NodeID) int64
+	count = func(cur topology.NodeID) int64 {
+		if cur == dst {
+			return 1
+		}
+		if v, ok := memo[cur]; ok {
+			return v
+		}
+		var total int64
+		for _, d := range a.Candidates(cur, dst, topology.Invalid, false) {
+			next, ok := topo.Neighbor(cur, d)
+			if !ok {
+				continue
+			}
+			// Only count hops that stay on shortest paths; the
+			// algorithms here are minimal, so this always holds.
+			if topo.Distance(next, dst) != topo.Distance(cur, dst)-1 {
+				continue
+			}
+			total += count(next)
+		}
+		memo[cur] = total
+		return total
+	}
+	return count(src)
+}
+
+// AverageRatio computes the mean of S_algorithm / S_f across every ordered
+// source-destination pair with src != dst. Section 3.4 reports this
+// exceeds 1/2 for the three partially adaptive 2D algorithms; Section 4.1
+// reports it exceeds 1/2^(n-1) in n dimensions.
+func AverageRatio(a routing.Algorithm) float64 {
+	topo := a.Topology()
+	full := routing.FullyAdaptive(topo)
+	sum := 0.0
+	pairs := 0
+	for src := topology.NodeID(0); int(src) < topo.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < topo.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			sp := CountPaths(a, src, dst)
+			sf := CountPaths(full, src, dst)
+			sum += float64(sp) / float64(sf)
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// FractionSingle reports the fraction of ordered pairs for which the
+// algorithm permits exactly one shortest path (Section 3.4 notes S_p = 1
+// for at least half of the pairs in 2D).
+func FractionSingle(a routing.Algorithm) float64 {
+	topo := a.Topology()
+	single := 0
+	pairs := 0
+	for src := topology.NodeID(0); int(src) < topo.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < topo.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			if CountPaths(a, src, dst) == 1 {
+				single++
+			}
+			pairs++
+		}
+	}
+	return float64(single) / float64(pairs)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,267 @@
+package adaptiveness
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Errorf("Factorial(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if Factorial(20) != 2432902008176640000 {
+		t.Error("Factorial(20) wrong")
+	}
+	for _, bad := range []int{-1, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Factorial(%d) did not panic", bad)
+				}
+			}()
+			Factorial(bad)
+		}()
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {6, 3, 20},
+		{10, 5, 252}, {5, 6, 0}, {5, -1, 0}, {30, 15, 155117520},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestMultinomial(t *testing.T) {
+	if got := Multinomial(2, 2); got != 6 {
+		t.Errorf("Multinomial(2,2) = %d, want 6", got)
+	}
+	if got := Multinomial(1, 1, 1); got != 6 {
+		t.Errorf("Multinomial(1,1,1) = %d, want 6", got)
+	}
+	if got := Multinomial(0, 0); got != 1 {
+		t.Errorf("Multinomial(0,0) = %d, want 1", got)
+	}
+	if got, want := Multinomial(3, 4), Binomial(7, 3); got != want {
+		t.Errorf("Multinomial(3,4) = %d, want %d", got, want)
+	}
+}
+
+// TestClosedFormsMatchExhaustiveCounts verifies the Section 3.4 table
+// against dynamic-programming path counts on an 8x8 mesh, for every
+// ordered source-destination pair.
+func TestClosedFormsMatchExhaustiveCounts(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	algs := map[string]struct {
+		alg  routing.Algorithm
+		form func(sx, sy, dx, dy int) int64
+	}{
+		"fully-adaptive": {routing.FullyAdaptive(m), func(sx, sy, dx, dy int) int64 {
+			return FullyAdaptive2D(absInt(dx-sx), absInt(dy-sy))
+		}},
+		"west-first":     {routing.WestFirst(m), WestFirst2D},
+		"north-last":     {routing.NorthLast(m), NorthLast2D},
+		"negative-first": {routing.NegativeFirst(m), NegativeFirst2D},
+	}
+	for name, tc := range algs {
+		for sx := 0; sx < 8; sx++ {
+			for sy := 0; sy < 8; sy++ {
+				for dx := 0; dx < 8; dx++ {
+					for dy := 0; dy < 8; dy++ {
+						src := m.ID(topology.Coord{sx, sy})
+						dst := m.ID(topology.Coord{dx, dy})
+						want := tc.form(sx, sy, dx, dy)
+						got := CountPaths(tc.alg, src, dst)
+						if got != want {
+							t.Fatalf("%s (%d,%d)->(%d,%d): DP=%d formula=%d", name, sx, sy, dx, dy, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestXYHasExactlyOnePath(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	xy := routing.XY(m)
+	for src := topology.NodeID(0); int(src) < m.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < m.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			if got := CountPaths(xy, src, dst); got != 1 {
+				t.Fatalf("xy %d->%d: %d paths, want 1", src, dst, got)
+			}
+		}
+	}
+}
+
+func TestPCubeMatchesExhaustiveCount(t *testing.T) {
+	h := topology.NewHypercube(6)
+	pc := routing.PCube(h)
+	full := routing.FullyAdaptive(h)
+	for s := uint(0); s < 64; s++ {
+		for d := uint(0); d < 64; d++ {
+			src, dst := h.NodeFromBits(s), h.NodeFromBits(d)
+			if got, want := CountPaths(pc, src, dst), PCube(s, d); got != want {
+				t.Fatalf("p-cube %06b->%06b: DP=%d formula=%d", s, d, got, want)
+			}
+			if got, want := CountPaths(full, src, dst), FullyAdaptiveHypercube(s, d); got != want {
+				t.Fatalf("full %06b->%06b: DP=%d formula=%d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestPCubeRatioFormula(t *testing.T) {
+	err := quick.Check(func(a, b uint) bool {
+		s, d := a%1024, b%1024
+		h := bits.OnesCount(uint(s ^ d))
+		h1 := bits.OnesCount(uint(s &^ d))
+		want := 1 / float64(Binomial(h, h1))
+		return PCubeRatio(s, d) == want
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSection5Table reproduces the worked example of Section 5: a binary
+// 10-cube route from 1011010100 to 0010111001 (bit 9 leftmost), with the
+// per-hop choice counts including the nonminimal extras in parentheses.
+func TestSection5Table(t *testing.T) {
+	const n = 10
+	src, dst := uint(0b1011010100), uint(0b0010111001)
+	if h := bits.OnesCount(uint(src ^ dst)); h != 6 {
+		t.Fatalf("h = %d, want 6", h)
+	}
+	if h1 := bits.OnesCount(uint(src &^ dst)); h1 != 3 {
+		t.Fatalf("h1 = %d, want 3", h1)
+	}
+	if h0 := bits.OnesCount(uint(^src & dst & 1023)); h0 != 3 {
+		t.Fatalf("h0 = %d, want 3", h0)
+	}
+	if got := PCube(src, dst); got != 36 {
+		t.Fatalf("S_p-cube = %d, want 36", got)
+	}
+	steps := []struct {
+		addr     uint
+		choices  int
+		extra    int
+		dimTaken int
+	}{
+		{0b1011010100, 3, 2, 2},
+		{0b1011010000, 2, 2, 9},
+		{0b0011010000, 1, 2, 6},
+		{0b0010010000, 3, 0, 5},
+		{0b0010110000, 2, 0, 0},
+		{0b0010110001, 1, 0, 3},
+	}
+	cur := src
+	for i, st := range steps {
+		if cur != st.addr {
+			t.Fatalf("step %d: at %010b, want %010b", i, cur, st.addr)
+		}
+		minimal, extra := PCubeChoices(cur, dst, n)
+		if minimal != st.choices || extra != st.extra {
+			t.Errorf("step %d: choices %d(+%d), want %d(+%d)", i, minimal, extra, st.choices, st.extra)
+		}
+		// The dimension the table takes must be among the minimal choices.
+		r := cur &^ dst
+		if r == 0 {
+			r = ^cur & dst & 1023
+		}
+		if r&(1<<uint(st.dimTaken)) == 0 {
+			t.Errorf("step %d: dimension %d not a legal choice", i, st.dimTaken)
+		}
+		cur ^= 1 << uint(st.dimTaken)
+	}
+	if cur != dst {
+		t.Fatalf("route ended at %010b, want %010b", cur, dst)
+	}
+}
+
+// TestAverageRatioExceedsHalf2D verifies the Section 3.4 claim that,
+// averaged across all source-destination pairs, S_p/S_f > 1/2 for the
+// three partially adaptive algorithms, and that S_p = 1 for at least half
+// of the pairs.
+func TestAverageRatioExceedsHalf2D(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	for _, a := range []routing.Algorithm{routing.WestFirst(m), routing.NorthLast(m), routing.NegativeFirst(m)} {
+		if r := AverageRatio(a); r <= 0.5 {
+			t.Errorf("%s: average S_p/S_f = %.4f, want > 1/2", a.Name(), r)
+		}
+		if f := FractionSingle(a); f < 0.5 {
+			t.Errorf("%s: single-path fraction = %.4f, want >= 1/2", a.Name(), f)
+		}
+	}
+}
+
+// TestAverageRatioBound3D verifies the Section 4.1 claim that the average
+// ratio exceeds 1/2^(n-1) in n dimensions.
+func TestAverageRatioBound3D(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	bound := 1.0 / 4.0 // 1/2^(n-1) with n=3
+	for _, a := range []routing.Algorithm{routing.NegativeFirst(m), routing.ABONF(m), routing.ABOPL(m)} {
+		if r := AverageRatio(a); r <= bound {
+			t.Errorf("%s: average S_p/S_f = %.4f, want > %.4f", a.Name(), r, bound)
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestSinglePathFractionDropsWithDimension verifies the Section 4.1
+// observation: "As the number of dimensions increases, the minimal
+// partially adaptive algorithms are more likely to be able to route
+// messages adaptively. S_p = 1 less often."
+func TestSinglePathFractionDropsWithDimension(t *testing.T) {
+	m2 := topology.NewMesh2D(4, 4)
+	m3 := topology.NewMesh(4, 4, 4)
+	f2 := FractionSingle(routing.NegativeFirst(m2))
+	f3 := FractionSingle(routing.NegativeFirst(m3))
+	if f3 >= f2 {
+		t.Errorf("single-path fraction did not drop with dimension: 2D %.3f, 3D %.3f", f2, f3)
+	}
+}
+
+// TestHexAdaptiveness exercises the path-counting machinery on the
+// Section 7 hexagonal extension: negative-first on the hex mesh retains a
+// healthy share of the fully adaptive shortest paths.
+func TestHexAdaptiveness(t *testing.T) {
+	h := topology.NewHex(5, 5)
+	nf, err := routing.New("negative-first", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := routing.FullyAdaptive(h)
+	// Same-sign offsets are fully adaptive; spot-check one pair.
+	src := h.ID(topology.Coord{0, 0, 0})
+	dst := h.ID(topology.Coord{2, 2, -4})
+	if got, want := CountPaths(nf, src, dst), CountPaths(full, src, dst); got != want {
+		t.Errorf("same-sign pair: NF %d paths, fully adaptive %d", got, want)
+	}
+	if r := AverageRatio(nf); r <= 0.4 {
+		t.Errorf("hex negative-first average ratio %.3f suspiciously low", r)
+	}
+}

@@ -1,0 +1,141 @@
+// Package cli holds the flag-parsing helpers shared by the command-line
+// tools: textual specifications for topologies, traffic patterns and
+// arbitration policies.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"turnmodel/internal/network"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// ParseTopology understands "mesh16x16", "mesh4x4x4", "hypercube8",
+// "torus8x8" and "kary4x2" (k-ary n-cube as k x n).
+func ParseTopology(spec string) (topology.Topology, error) {
+	switch {
+	case strings.HasPrefix(spec, "mesh"):
+		sizes, err := parseSizes(strings.TrimPrefix(spec, "mesh"))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad mesh spec %q: %v", spec, err)
+		}
+		return topology.NewMesh(sizes...), nil
+	case strings.HasPrefix(spec, "hypercube"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "hypercube"))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad hypercube spec %q: %v", spec, err)
+		}
+		return topology.NewHypercube(n), nil
+	case strings.HasPrefix(spec, "torus"):
+		sizes, err := parseSizes(strings.TrimPrefix(spec, "torus"))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad torus spec %q: %v", spec, err)
+		}
+		return topology.NewTorus(sizes...), nil
+	case strings.HasPrefix(spec, "hex"):
+		sizes, err := parseSizes(strings.TrimPrefix(spec, "hex"))
+		if err != nil || len(sizes) != 2 {
+			return nil, fmt.Errorf("cli: bad hex spec %q (want hexAxB)", spec)
+		}
+		return topology.NewHex(sizes[0], sizes[1]), nil
+	case strings.HasPrefix(spec, "oct"):
+		sizes, err := parseSizes(strings.TrimPrefix(spec, "oct"))
+		if err != nil || len(sizes) != 2 {
+			return nil, fmt.Errorf("cli: bad octagonal spec %q (want octAxB)", spec)
+		}
+		return topology.NewOctagonal(sizes[0], sizes[1]), nil
+	case strings.HasPrefix(spec, "ccc"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "ccc"))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad ccc spec %q (want cccN)", spec)
+		}
+		return topology.NewCCC(n), nil
+	case strings.HasPrefix(spec, "kary"):
+		sizes, err := parseSizes(strings.TrimPrefix(spec, "kary"))
+		if err != nil || len(sizes) != 2 {
+			return nil, fmt.Errorf("cli: bad k-ary spec %q (want karyKxN)", spec)
+		}
+		return topology.NewKaryNCube(sizes[0], sizes[1]), nil
+	}
+	return nil, fmt.Errorf("cli: unknown topology %q (try mesh16x16, hypercube8, torus8x8, kary4x2)", spec)
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+// ParsePattern understands "uniform", "transpose", "reverse-flip",
+// "bit-complement", "bit-reversal" and "hotspotF" (e.g. "hotspot0.1",
+// hot node 0).
+func ParsePattern(spec string, topo topology.Topology) (traffic.Pattern, error) {
+	mesh, isMesh := topo.(*topology.Mesh)
+	hyper, isHyper := topo.(*topology.Hypercube)
+	switch {
+	case spec == "uniform":
+		return traffic.Uniform{Topo: topo}, nil
+	case spec == "transpose":
+		if isHyper {
+			return traffic.NewHypercubeTranspose(hyper), nil
+		}
+		if isMesh {
+			return traffic.NewMeshTranspose(mesh), nil
+		}
+		return nil, fmt.Errorf("cli: transpose needs a mesh or hypercube, have %s", topo.Name())
+	case spec == "reverse-flip":
+		if !isHyper {
+			return nil, fmt.Errorf("cli: reverse-flip needs a hypercube, have %s", topo.Name())
+		}
+		return traffic.ReverseFlip{Cube: hyper}, nil
+	case spec == "bit-complement":
+		return traffic.BitComplement{Topo: topo}, nil
+	case spec == "bit-reversal":
+		if !isHyper {
+			return nil, fmt.Errorf("cli: bit-reversal needs a hypercube, have %s", topo.Name())
+		}
+		return traffic.BitReversal{Cube: hyper}, nil
+	case strings.HasPrefix(spec, "hotspot"):
+		f, err := strconv.ParseFloat(strings.TrimPrefix(spec, "hotspot"), 64)
+		if err != nil || f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("cli: bad hotspot spec %q (want hotspot0.1)", spec)
+		}
+		return traffic.Hotspot{Topo: topo, Hot: 0, Fraction: f}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown pattern %q", spec)
+}
+
+// ParseOutputPolicy understands "xy" (lowest dimension), "random" and
+// "straight".
+func ParseOutputPolicy(spec string) (network.OutputPolicy, error) {
+	switch spec {
+	case "", "xy", "lowest-dimension":
+		return network.LowestDimension{}, nil
+	case "random":
+		return network.RandomOutput{}, nil
+	case "straight", "straight-first":
+		return network.StraightFirst{}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown output policy %q", spec)
+}
+
+// ParseInputPolicy understands "fcfs" and "oldest".
+func ParseInputPolicy(spec string) (network.InputPolicy, error) {
+	switch spec {
+	case "", "fcfs", "local-fcfs":
+		return network.LocalFCFS{}, nil
+	case "oldest", "oldest-first":
+		return network.OldestFirst{}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown input policy %q", spec)
+}

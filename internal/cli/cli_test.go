@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec  string
+		name  string
+		nodes int
+	}{
+		{"mesh16x16", "mesh(16x16)", 256},
+		{"mesh2x3x4", "mesh(2x3x4)", 24},
+		{"hypercube8", "hypercube(8)", 256},
+		{"torus4x4", "torus(4x4)", 16},
+		{"kary4x2", "torus(4x4)", 16},
+		{"hex5x4", "hex(5x4)", 20},
+		{"oct4x5", "octagonal(4x5)", 20},
+	}
+	for _, c := range cases {
+		topo, err := ParseTopology(c.spec)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", c.spec, err)
+			continue
+		}
+		if topo.Name() != c.name || topo.Nodes() != c.nodes {
+			t.Errorf("ParseTopology(%q) = %s (%d nodes), want %s (%d)", c.spec, topo.Name(), topo.Nodes(), c.name, c.nodes)
+		}
+	}
+	for _, bad := range []string{"", "ring8", "mesh", "meshAxB", "hypercubeX", "kary4", "hex4", "octx"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	mesh, _ := ParseTopology("mesh16x16")
+	cube, _ := ParseTopology("hypercube8")
+	torus, _ := ParseTopology("torus4x4")
+	good := []struct {
+		spec string
+		topo topology.Topology
+		name string
+	}{
+		{"uniform", mesh, "uniform"},
+		{"transpose", mesh, "matrix-transpose"},
+		{"transpose", cube, "matrix-transpose"},
+		{"reverse-flip", cube, "reverse-flip"},
+		{"bit-complement", mesh, "bit-complement"},
+		{"bit-reversal", cube, "bit-reversal"},
+		{"hotspot0.2", mesh, "hotspot(20%)"},
+	}
+	for _, c := range good {
+		p, err := ParsePattern(c.spec, c.topo)
+		if err != nil {
+			t.Errorf("ParsePattern(%q, %s): %v", c.spec, c.topo.Name(), err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("ParsePattern(%q).Name() = %q, want %q", c.spec, p.Name(), c.name)
+		}
+	}
+	bad := []struct {
+		spec string
+		topo topology.Topology
+	}{
+		{"transpose", torus},
+		{"reverse-flip", mesh},
+		{"bit-reversal", mesh},
+		{"hotspot2", mesh},
+		{"hotspotx", mesh},
+		{"nope", mesh},
+	}
+	for _, c := range bad {
+		if _, err := ParsePattern(c.spec, c.topo); err == nil {
+			t.Errorf("ParsePattern(%q, %s) accepted", c.spec, c.topo.Name())
+		}
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	for _, spec := range []string{"", "xy", "lowest-dimension", "random", "straight", "straight-first"} {
+		if _, err := ParseOutputPolicy(spec); err != nil {
+			t.Errorf("ParseOutputPolicy(%q): %v", spec, err)
+		}
+	}
+	if _, err := ParseOutputPolicy("nope"); err == nil {
+		t.Error("bad output policy accepted")
+	}
+	for _, spec := range []string{"", "fcfs", "local-fcfs", "oldest", "oldest-first"} {
+		if _, err := ParseInputPolicy(spec); err != nil {
+			t.Errorf("ParseInputPolicy(%q): %v", spec, err)
+		}
+	}
+	if _, err := ParseInputPolicy("nope"); err == nil {
+		t.Error("bad input policy accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package network
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// stress floods the network with random traffic and reports whether the
+// watchdog detected a deadlock within the cycle budget.
+func stress(t *testing.T, alg routing.Algorithm, seed int64, cycles int, length int) (bool, *DeadlockError) {
+	t.Helper()
+	net := New(Config{Routing: alg, Seed: seed, WatchdogCycles: 2000})
+	topo := alg.Topology()
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < cycles; c++ {
+		if c%3 == 0 {
+			s := topology.NodeID(rng.Intn(topo.Nodes()))
+			d := topology.NodeID(rng.Intn(topo.Nodes()))
+			if s != d {
+				net.Enqueue(s, d, length)
+			}
+		}
+		if err := net.Step(); err != nil {
+			var dl *DeadlockError
+			if !errors.As(err, &dl) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return true, dl
+		}
+	}
+	return false, nil
+}
+
+// TestFullyAdaptiveDeadlocks demonstrates the premise of the paper: minimal
+// fully adaptive routing without extra channels deadlocks under load
+// (Figure 1). The watchdog must fire across several seeds.
+func TestFullyAdaptiveDeadlocks(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	for seed := int64(0); seed < 3; seed++ {
+		dead, dl := stress(t, routing.FullyAdaptive(mesh), seed, 100000, 50)
+		if !dead {
+			t.Errorf("seed %d: fully adaptive routing survived the stress (expected deadlock)", seed)
+			continue
+		}
+		if dl.InFlight == 0 || len(dl.Stuck) == 0 {
+			t.Errorf("seed %d: deadlock report incomplete: %+v", seed, dl)
+		}
+		if dl.Error() == "" {
+			t.Error("empty deadlock message")
+		}
+	}
+}
+
+// TestTurnModelAlgorithmsSurviveStress is the complementary guarantee: the
+// turn-model algorithms never trip the watchdog under the same load.
+func TestTurnModelAlgorithmsSurviveStress(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	cube := topology.NewHypercube(4)
+	torus := topology.NewKaryNCube(4, 2)
+	algs := []routing.Algorithm{
+		routing.XY(mesh), routing.WestFirst(mesh), routing.NorthLast(mesh), routing.NegativeFirst(mesh),
+		routing.OddEven(mesh),
+		routing.ECube(cube), routing.PCube(cube),
+		routing.NegativeFirstTorus(torus), routing.WestFirstWrap(torus),
+	}
+	for _, alg := range algs {
+		if dead, dl := stress(t, alg, 1, 30000, 50); dead {
+			t.Errorf("%s deadlocked: %v", alg.Name(), dl)
+		}
+	}
+}
+
+// TestFullyAdaptiveOnHypercubeDeadlocks extends the demonstration to the
+// hypercube, where unrestricted minimal routing is equally unsafe.
+func TestFullyAdaptiveOnHypercubeDeadlocks(t *testing.T) {
+	cube := topology.NewHypercube(4)
+	dead := false
+	for seed := int64(0); seed < 5 && !dead; seed++ {
+		dead, _ = stress(t, routing.FullyAdaptive(cube), seed, 150000, 80)
+	}
+	if !dead {
+		t.Error("fully adaptive routing on the hypercube survived all seeds")
+	}
+}
+
+// TestWatchdogDisabled verifies that a negative WatchdogCycles setting
+// turns detection off: the run proceeds (deadlocked, but silently) without
+// an error for the whole budget.
+func TestWatchdogDisabled(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	net := New(Config{Routing: routing.FullyAdaptive(mesh), Seed: 0, WatchdogCycles: -1})
+	rng := rand.New(rand.NewSource(0))
+	for c := 0; c < 30000; c++ {
+		if c%3 == 0 {
+			s := topology.NodeID(rng.Intn(16))
+			d := topology.NodeID(rng.Intn(16))
+			if s != d {
+				net.Enqueue(s, d, 50)
+			}
+		}
+		if err := net.Step(); err != nil {
+			t.Fatalf("watchdog fired although disabled: %v", err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// checkInvariants verifies the simulator's structural invariants:
+//
+//  1. The in-network flits of every worm occupy exactly the contiguous
+//     suffix of its path, every such buffer is marked occupied, and no two
+//     worms share a buffer.
+//  2. Every output channel owned in outOwner is owned by an active worm,
+//     and the set of channels a worm owns is exactly the channels between
+//     its tail and head plus its pending head allocation.
+//  3. Flit conservation: sent - delivered flits are in the network.
+func checkInvariants(t *testing.T, n *Network) {
+	t.Helper()
+	coveredBy := make(map[int32]*worm)
+	ownedWant := make(map[int32]*worm) // key: router*2n+dir
+	dims2 := 2 * n.dims
+	for _, w := range n.active {
+		inNet := w.inNetwork()
+		if inNet < 1 {
+			t.Fatalf("%v: %d flits in network", w.pkt, inNet)
+		}
+		if w.sent < w.delivered || w.sent > w.pkt.Length {
+			t.Fatalf("%v: sent=%d delivered=%d", w.pkt, w.sent, w.delivered)
+		}
+		tailIdx := len(w.path) - inNet
+		if tailIdx < 0 {
+			t.Fatalf("%v: window longer than path (%d flits, %d buffers)", w.pkt, inNet, len(w.path))
+		}
+		if w.sent < w.pkt.Length && tailIdx != 0 {
+			t.Fatalf("%v: still injecting but tail at path[%d]", w.pkt, tailIdx)
+		}
+		for i := tailIdx; i < len(w.path); i++ {
+			buf := w.path[i]
+			if !n.occupied[buf] {
+				t.Fatalf("%v: window buffer %d not marked occupied", w.pkt, buf)
+			}
+			if other, ok := coveredBy[buf]; ok {
+				t.Fatalf("buffer %d covered by both %v and %v", buf, other.pkt, w.pkt)
+			}
+			coveredBy[buf] = w
+		}
+		// Channels still held: those feeding path[j] for j > tailIdx,
+		// plus the pending allocation at the head.
+		for j := tailIdx + 1; j < len(w.path); j++ {
+			from := n.bufRouter(w.path[j-1])
+			dir := n.bufPort(w.path[j])
+			key := int32(int(from)*dims2 + dir)
+			ownedWant[key] = w
+		}
+		if !w.arrived && w.outDir != noDirection {
+			head := n.bufRouter(w.headBuf())
+			key := int32(int(head)*dims2 + int(w.outDir))
+			ownedWant[key] = w
+		}
+	}
+	// Every occupied buffer must belong to some worm.
+	for buf, occ := range n.occupied {
+		if occ && coveredBy[int32(buf)] == nil {
+			t.Fatalf("buffer %d occupied but covered by no worm", buf)
+		}
+	}
+	// outOwner must match the expected ownership exactly.
+	for key, owner := range n.outOwner {
+		want := ownedWant[int32(key)]
+		if owner != want {
+			wantPkt, gotPkt := "nil", "nil"
+			if want != nil {
+				wantPkt = want.pkt.String()
+			}
+			if owner != nil {
+				gotPkt = owner.pkt.String()
+			}
+			t.Fatalf("channel %d: owned by %s, want %s", key, gotPkt, wantPkt)
+		}
+	}
+}
+
+func TestSimulatorInvariantsUnderRandomTraffic(t *testing.T) {
+	algs := []func() routing.Algorithm{
+		func() routing.Algorithm { return routing.XY(topology.NewMesh2D(4, 4)) },
+		func() routing.Algorithm { return routing.WestFirst(topology.NewMesh2D(4, 4)) },
+		func() routing.Algorithm { return routing.NegativeFirst(topology.NewMesh2D(4, 4)) },
+		func() routing.Algorithm { return routing.PCube(topology.NewHypercube(4)) },
+		func() routing.Algorithm { return routing.NonminimalPCube(topology.NewHypercube(4)) },
+		func() routing.Algorithm { return routing.NegativeFirstTorus(topology.NewKaryNCube(4, 2)) },
+		func() routing.Algorithm { return routing.WestFirstWrap(topology.NewKaryNCube(4, 2)) },
+	}
+	for _, mk := range algs {
+		alg := mk()
+		net := New(Config{Routing: alg, Seed: 5})
+		topo := alg.Topology()
+		rng := rand.New(rand.NewSource(6))
+		for c := 0; c < 3000; c++ {
+			if c%2 == 0 {
+				src := topology.NodeID(rng.Intn(topo.Nodes()))
+				dst := topology.NodeID(rng.Intn(topo.Nodes()))
+				if src != dst {
+					net.Enqueue(src, dst, 1+rng.Intn(30))
+				}
+			}
+			if err := net.Step(); err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			checkInvariants(t, net)
+		}
+		// Drain and re-check emptiness.
+		for i := 0; i < 100000 && net.InFlight() > 0; i++ {
+			if err := net.Step(); err != nil {
+				t.Fatalf("%s drain: %v", alg.Name(), err)
+			}
+			checkInvariants(t, net)
+		}
+		if net.InFlight() != 0 {
+			t.Fatalf("%s: network did not drain", alg.Name())
+		}
+		for buf, occ := range net.occupied {
+			if occ {
+				t.Fatalf("%s: buffer %d still occupied after drain", alg.Name(), buf)
+			}
+		}
+		for key, owner := range net.outOwner {
+			if owner != nil {
+				t.Fatalf("%s: channel %d still owned after drain", alg.Name(), key)
+			}
+		}
+	}
+}
+
+func TestSingleFlitPackets(t *testing.T) {
+	// One-flit packets (header == tail) exercise every release edge case.
+	mesh := topology.NewMesh2D(4, 4)
+	net := New(Config{Routing: routing.WestFirst(mesh), Seed: 8})
+	want := int64(0)
+	for s := topology.NodeID(0); s < 16; s++ {
+		for d := topology.NodeID(0); d < 16; d++ {
+			if s != d {
+				net.Enqueue(s, d, 1)
+				want++
+			}
+		}
+	}
+	for i := 0; i < 50000 && net.InFlight() > 0; i++ {
+		if err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, net)
+	}
+	if net.PacketsDelivered() != want {
+		t.Errorf("delivered %d, want %d", net.PacketsDelivered(), want)
+	}
+}

@@ -1,0 +1,443 @@
+// Package network is a cycle-accurate flit-level simulator of wormhole
+// routing in direct networks, modeled on the simulator of Section 6 of the
+// paper: each router has a single-flit buffer per input channel, a pair of
+// unidirectional channels connects each pair of neighboring routers and
+// each router to its local processor, messages blocked from entering the
+// network queue at the source, and arriving messages are consumed
+// immediately.
+//
+// Time advances in cycles; one cycle is the time a channel needs to
+// transmit one flit. With the paper's channel bandwidth of 20 flits/us,
+// one cycle is 0.05 us (see FlitsPerMicrosecond).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// FlitsPerMicrosecond is the channel bandwidth of the paper's simulations:
+// every channel moves 20 flits per microsecond, so one simulator cycle
+// corresponds to 0.05 us.
+const FlitsPerMicrosecond = 20
+
+// Config configures a Network.
+type Config struct {
+	// Routing is the routing algorithm; it determines the topology.
+	Routing routing.Algorithm
+	// Output arbitrates among available permitted output channels.
+	// Defaults to LowestDimension, the paper's "xy" policy.
+	Output OutputPolicy
+	// Input orders competing headers within a router. Defaults to
+	// LocalFCFS, the paper's policy.
+	Input InputPolicy
+	// Seed seeds the arbitration RNG (only used by randomized policies).
+	Seed int64
+	// WatchdogCycles is how long the network may go without any flit
+	// movement while packets are in flight before Step reports a
+	// deadlock. 0 selects the default (10000); negative disables.
+	WatchdogCycles int64
+	// Faults lists broken unidirectional channels. A faulted channel is
+	// never allocated; packets route around it when their algorithm
+	// offers an alternative (the fault-tolerance benefit the paper
+	// claims for adaptive and especially nonminimal routing) and stall
+	// until the watchdog fires when it does not.
+	Faults []topology.Channel
+	// RoutingDelay models the cost Section 7 warns adaptive routing may
+	// add ("more complex control logic for route selection ... may
+	// increase node delay"): each routing decision takes RoutingDelay
+	// cycles, so a header spends max(1, RoutingDelay) cycles per hop.
+	// 0 (and 1) give the paper's idealized single-cycle router.
+	RoutingDelay int64
+}
+
+// DeadlockError is returned by Step when the watchdog detects that no flit
+// has moved for the configured number of cycles although packets are in
+// flight — the signature of a routing deadlock.
+type DeadlockError struct {
+	Cycle    int64
+	InFlight int
+	Stuck    []*Packet
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("network: deadlock at cycle %d: %d packets in flight, none progressing (e.g. %v)",
+		e.Cycle, e.InFlight, e.Stuck[0])
+}
+
+// Network is the simulator state. It is not safe for concurrent use; run
+// independent simulations in independent Networks.
+type Network struct {
+	topo   topology.Topology
+	alg    routing.Algorithm
+	output OutputPolicy
+	input  InputPolicy
+	rng    *rand.Rand
+
+	dims  int
+	ports int // per router: 2n input-buffer ports plus the injection port
+
+	cycle    int64
+	occupied []bool  // buffer id -> flit present
+	outOwner []*worm // router*2n+dir -> holder of the output channel
+	faulted  []bool  // router*2n+dir -> channel is broken
+
+	queues [][]*Packet // per-node source queues (FIFO)
+	qhead  []int
+
+	active    []*worm
+	requests  []*worm // scratch: headers awaiting an output this cycle
+	delivered []*Packet
+
+	nextID         int64
+	flitsConsumed  int64
+	packetsDone    int64
+	lastProgress   int64
+	watchdogCycles int64
+	routingDelay   int64
+	// channelFlits counts the flits each output channel has carried,
+	// for load analysis (router*2n+dir).
+	channelFlits []int64
+}
+
+// New builds a network simulator for the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Routing == nil {
+		panic("network: Config.Routing is required")
+	}
+	topo := cfg.Routing.Topology()
+	n := &Network{
+		topo:   topo,
+		alg:    cfg.Routing,
+		output: cfg.Output,
+		input:  cfg.Input,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		dims:   topo.Dims(),
+	}
+	if n.output == nil {
+		n.output = LowestDimension{}
+	}
+	if n.input == nil {
+		n.input = LocalFCFS{}
+	}
+	n.ports = 2*n.dims + 1
+	n.occupied = make([]bool, topo.Nodes()*n.ports)
+	n.outOwner = make([]*worm, topo.Nodes()*2*n.dims)
+	n.faulted = make([]bool, topo.Nodes()*2*n.dims)
+	for _, ch := range cfg.Faults {
+		if _, ok := topo.Neighbor(ch.From, ch.Dir); !ok {
+			panic(fmt.Sprintf("network: fault on nonexistent channel %v", ch))
+		}
+		n.faulted[int(ch.From)*2*n.dims+int(ch.Dir)] = true
+	}
+	n.queues = make([][]*Packet, topo.Nodes())
+	n.qhead = make([]int, topo.Nodes())
+	n.watchdogCycles = cfg.WatchdogCycles
+	if n.watchdogCycles == 0 {
+		n.watchdogCycles = 10000
+	}
+	n.routingDelay = cfg.RoutingDelay
+	n.channelFlits = make([]int64, topo.Nodes()*2*n.dims)
+	return n
+}
+
+// ChannelLoad reports how many flits the channel leaving node in direction
+// d has carried since the start of the simulation.
+func (n *Network) ChannelLoad(node topology.NodeID, d topology.Direction) int64 {
+	return n.channelFlits[int(node)*2*n.dims+int(d)]
+}
+
+// Topology returns the simulated network's topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Routing returns the routing algorithm in use.
+func (n *Network) Routing() routing.Algorithm { return n.alg }
+
+// Cycle is the current simulation time in cycles.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Microseconds converts a cycle count to microseconds at the paper's
+// channel bandwidth.
+func Microseconds(cycles int64) float64 { return float64(cycles) / FlitsPerMicrosecond }
+
+// Enqueue generates a message of length flits from src to dst at the
+// current cycle. The message waits in the source queue until the injection
+// channel is free. Self-addressed messages are not meaningful in the
+// paper's workloads and are rejected.
+func (n *Network) Enqueue(src, dst topology.NodeID, length int) *Packet {
+	if length < 1 {
+		panic("network: packet length must be at least 1 flit")
+	}
+	if src == dst {
+		panic("network: self-addressed packet")
+	}
+	p := &Packet{
+		ID: n.nextID, Src: src, Dst: dst, Length: length,
+		Created: n.cycle, Injected: -1, Arrived: -1,
+	}
+	n.nextID++
+	n.queues[src] = append(n.queues[src], p)
+	return p
+}
+
+// QueueLen reports how many generated messages wait at the node's source
+// queue (not yet injecting).
+func (n *Network) QueueLen(node topology.NodeID) int {
+	return len(n.queues[node]) - n.qhead[node]
+}
+
+// MaxQueueLen reports the longest current source queue; the paper deems a
+// throughput sustainable while source queues stay small and bounded.
+func (n *Network) MaxQueueLen() int {
+	max := 0
+	for i := range n.queues {
+		if l := len(n.queues[i]) - n.qhead[i]; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// InFlight counts packets that are queued or have flits in the network.
+func (n *Network) InFlight() int {
+	total := len(n.active)
+	for i := range n.queues {
+		total += len(n.queues[i]) - n.qhead[i]
+	}
+	return total
+}
+
+// FlitsConsumed is the total number of flits delivered to destination
+// processors since the start of the simulation.
+func (n *Network) FlitsConsumed() int64 { return n.flitsConsumed }
+
+// PacketsDelivered is the total number of completed packets.
+func (n *Network) PacketsDelivered() int64 { return n.packetsDone }
+
+// TakeDelivered returns the packets completed since the previous call and
+// resets the internal list.
+func (n *Network) TakeDelivered() []*Packet {
+	out := n.delivered
+	n.delivered = nil
+	return out
+}
+
+func (n *Network) bufID(node topology.NodeID, port int) int32 {
+	return int32(int(node)*n.ports + port)
+}
+
+func (n *Network) bufRouter(buf int32) topology.NodeID {
+	return topology.NodeID(int(buf) / n.ports)
+}
+
+func (n *Network) bufPort(buf int32) int { return int(buf) % n.ports }
+
+// inDirOf reports the direction the worm's header was travelling when it
+// entered its current buffer, and whether it came over a wraparound.
+func (n *Network) inDirOf(w *worm) (topology.Direction, bool) {
+	port := n.bufPort(w.headBuf())
+	if port == 2*n.dims {
+		return topology.Invalid, false
+	}
+	d := topology.Direction(port)
+	if len(w.path) < 2 {
+		return d, false
+	}
+	prev := n.bufRouter(w.path[len(w.path)-2])
+	return d, n.topo.Wraparound(prev, d)
+}
+
+// Step advances the simulation by one cycle: it injects waiting headers,
+// routes and allocates output channels for waiting headers (input and
+// output selection policies arbitrate), and then advances every worm that
+// can move by one hop. It returns a *DeadlockError if the watchdog fires.
+func (n *Network) Step() error {
+	progress := false
+
+	// Phase 1: injection. A queued message's header enters the router's
+	// injection buffer as soon as that buffer is free.
+	for node := range n.queues {
+		if n.qhead[node] >= len(n.queues[node]) {
+			continue
+		}
+		inj := n.bufID(topology.NodeID(node), 2*n.dims)
+		if n.occupied[inj] {
+			continue
+		}
+		p := n.queues[node][n.qhead[node]]
+		n.queues[node][n.qhead[node]] = nil
+		n.qhead[node]++
+		if n.qhead[node] == len(n.queues[node]) {
+			n.queues[node] = n.queues[node][:0]
+			n.qhead[node] = 0
+		}
+		p.Injected = n.cycle
+		w := &worm{
+			pkt:           p,
+			path:          []int32{inj},
+			sent:          1,
+			outDir:        noDirection,
+			headerArrival: n.cycle,
+		}
+		n.occupied[inj] = true
+		n.active = append(n.active, w)
+		progress = true
+	}
+
+	// Phase 2: routing and output allocation for waiting headers,
+	// arbitrated per router by the input selection policy.
+	n.requests = n.requests[:0]
+	for _, w := range n.active {
+		w.advanced = false
+		if w.arrived || w.outDir != noDirection {
+			continue
+		}
+		if n.routingDelay > 0 && n.cycle-w.headerArrival < n.routingDelay {
+			// The routing decision is still in the router pipeline
+			// (Section 7's node-delay cost of adaptive route selection).
+			continue
+		}
+		if n.bufRouter(w.headBuf()) == w.pkt.Dst {
+			// Ejection channels are always available; the message
+			// starts draining into the local processor.
+			w.arrived = true
+			continue
+		}
+		n.requests = append(n.requests, w)
+	}
+	if len(n.requests) > 0 {
+		input := n.input
+		reqs := n.requests
+		sort.Slice(reqs, func(i, j int) bool {
+			ri := n.bufRouter(reqs[i].headBuf())
+			rj := n.bufRouter(reqs[j].headBuf())
+			if ri != rj {
+				return ri < rj
+			}
+			return input.Less(reqs[i], reqs[j])
+		})
+		for _, w := range reqs {
+			r := n.bufRouter(w.headBuf())
+			in, inWrap := n.inDirOf(w)
+			cands := n.alg.Candidates(r, w.pkt.Dst, in, inWrap)
+			base := int(r) * 2 * n.dims
+			free := func(d topology.Direction) bool {
+				return n.outOwner[base+int(d)] == nil && !n.faulted[base+int(d)]
+			}
+			if d, ok := n.output.Choose(cands, free, in, n.rng); ok {
+				n.outOwner[base+int(d)] = w
+				w.outDir = d
+			}
+		}
+	}
+
+	// Phase 3: movement. Worms advance at most one hop each; a worm
+	// freed by another worm's tail may move in the same cycle, so
+	// iterate to a fixpoint.
+	for {
+		moved := false
+		for _, w := range n.active {
+			if !w.advanced && n.tryAdvance(w) {
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+		progress = true
+	}
+
+	// Phase 4: retire completed worms, preserving order.
+	out := n.active[:0]
+	for _, w := range n.active {
+		if w.delivered == w.pkt.Length {
+			w.pkt.Arrived = n.cycle
+			n.delivered = append(n.delivered, w.pkt)
+			n.packetsDone++
+		} else {
+			out = append(out, w)
+		}
+	}
+	for i := len(out); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = out
+
+	n.cycle++
+	if progress {
+		n.lastProgress = n.cycle
+	} else if n.watchdogCycles > 0 && n.InFlight() > 0 && n.cycle-n.lastProgress >= n.watchdogCycles {
+		stuck := make([]*Packet, 0, 4)
+		for _, w := range n.active {
+			stuck = append(stuck, w.pkt)
+			if len(stuck) == 4 {
+				break
+			}
+		}
+		return &DeadlockError{Cycle: n.cycle, InFlight: n.InFlight(), Stuck: stuck}
+	}
+	return nil
+}
+
+// tryAdvance moves the worm forward one hop if it can: the header moves
+// into the next free buffer (or a flit is consumed at the destination) and
+// every trailing flit follows, with the tail releasing its buffer and, once
+// fully injected, the channel behind it.
+func (n *Network) tryAdvance(w *worm) bool {
+	last := len(w.path) - 1
+	inNet := w.inNetwork()
+	if inNet == 0 {
+		return false
+	}
+	if !w.arrived {
+		if w.outDir == noDirection {
+			return false
+		}
+		r := n.bufRouter(w.headBuf())
+		next, ok := n.topo.Neighbor(r, w.outDir)
+		if !ok {
+			panic(fmt.Sprintf("network: allocated output %v at node %d has no channel", w.outDir, r))
+		}
+		nb := n.bufID(next, int(w.outDir))
+		if n.occupied[nb] {
+			return false
+		}
+		n.occupied[nb] = true
+		w.path = append(w.path, nb)
+		w.pkt.Hops++
+		w.headerArrival = n.cycle
+		w.outDir = noDirection
+	} else {
+		// The front flit is consumed by the destination processor.
+		w.delivered++
+		n.flitsConsumed++
+	}
+
+	// Shift the tail: either a fresh flit enters the injection buffer or
+	// the tail flit vacates its buffer and releases the channel it
+	// finished crossing.
+	tailIdx := last - (inNet - 1)
+	if w.sent < w.pkt.Length {
+		// The next flit follows into the injection buffer (tailIdx is
+		// necessarily 0 here).
+		w.sent++
+	} else {
+		n.occupied[w.path[tailIdx]] = false
+		if tailIdx+1 < len(w.path) {
+			from := n.bufRouter(w.path[tailIdx])
+			dir := n.bufPort(w.path[tailIdx+1])
+			key := int(from)*2*n.dims + dir
+			n.outOwner[key] = nil
+			// The tail has crossed: all of the packet's flits have now
+			// traversed this channel. Tallied at release so the counts
+			// reflect completed traversals only.
+			n.channelFlits[key] += int64(w.pkt.Length)
+		}
+	}
+	w.advanced = true
+	return true
+}

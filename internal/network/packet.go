@@ -1,0 +1,76 @@
+package network
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// Packet is one wormhole packet. The paper's simulations use one packet
+// per message, of 10 or 200 flits with equal probability; the first flit
+// is the header and the last the tail.
+type Packet struct {
+	// ID is assigned by the network in enqueue order.
+	ID int64
+	// Src and Dst are the endpoints.
+	Src, Dst topology.NodeID
+	// Length is the packet size in flits (header and tail included).
+	Length int
+	// Created is the cycle the message was generated at the source
+	// processor (it may then wait in the source queue).
+	Created int64
+	// Injected is the cycle the header flit entered the network; -1
+	// until then.
+	Injected int64
+	// Arrived is the cycle the tail flit was consumed at the
+	// destination; -1 until then.
+	Arrived int64
+	// Hops counts the channels the header traversed.
+	Hops int
+}
+
+// Latency is the end-to-end message latency in cycles, including source
+// queueing, or -1 if the packet has not arrived.
+func (p *Packet) Latency() int64 {
+	if p.Arrived < 0 {
+		return -1
+	}
+	return p.Arrived - p.Created
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("packet %d %d->%d len=%d", p.ID, p.Src, p.Dst, p.Length)
+}
+
+// noDirection marks a worm whose header has no allocated output port.
+const noDirection topology.Direction = -2
+
+// worm is the in-network state of a packet: the chain of single-flit input
+// buffers its flits occupy. path records every buffer the worm has entered,
+// starting with the source injection buffer; the in-network flits always
+// occupy the contiguous suffix path[len(path)-inNetwork:].
+type worm struct {
+	pkt *Packet
+	// path[i] is the i-th buffer the header entered (buffer ids).
+	path []int32
+	// sent counts flits that have left the source processor, delivered
+	// counts flits consumed at the destination.
+	sent, delivered int
+	// outDir is the output port allocated for the header at its current
+	// router, or noDirection while the header waits.
+	outDir topology.Direction
+	// arrived is set once the header has reached the destination
+	// router's input buffer; from then on the worm drains one flit per
+	// cycle into the local processor.
+	arrived bool
+	// headerArrival is the cycle the header entered its current buffer,
+	// used by the local first-come-first-served input selection policy.
+	headerArrival int64
+	// advanced marks that the worm already moved this cycle.
+	advanced bool
+}
+
+func (w *worm) inNetwork() int { return w.sent - w.delivered }
+
+// headBuf is the buffer of the most advanced in-network flit.
+func (w *worm) headBuf() int32 { return w.path[len(w.path)-1] }

@@ -1,0 +1,133 @@
+package network
+
+import (
+	"math/rand"
+
+	"turnmodel/internal/topology"
+)
+
+// OutputPolicy arbitrates when a header flit has several permitted output
+// channels available (Section 6). The paper's simulations use the "xy"
+// policy, which favors the channel along the lowest dimension.
+type OutputPolicy interface {
+	Name() string
+	// Choose picks one of the candidate directions for which free
+	// reports true. in is the direction the header arrived travelling
+	// (topology.Invalid at the injection port). The boolean result is
+	// false when no candidate is free.
+	Choose(cands []topology.Direction, free func(topology.Direction) bool, in topology.Direction, rng *rand.Rand) (topology.Direction, bool)
+}
+
+// LowestDimension is the paper's "xy" output selection policy: among the
+// available output channels, take the one along the lowest dimension.
+// Routing algorithms order their candidates by increasing dimension, so
+// this is the first free candidate.
+type LowestDimension struct{}
+
+// Name implements OutputPolicy.
+func (LowestDimension) Name() string { return "xy" }
+
+// Choose implements OutputPolicy.
+func (LowestDimension) Choose(cands []topology.Direction, free func(topology.Direction) bool, _ topology.Direction, _ *rand.Rand) (topology.Direction, bool) {
+	for _, d := range cands {
+		if free(d) {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// RandomOutput picks uniformly among the available candidates. It is one
+// of the alternative output selection policies whose effect the paper
+// defers to [19]; it serves as an ablation against LowestDimension.
+type RandomOutput struct{}
+
+// Name implements OutputPolicy.
+func (RandomOutput) Name() string { return "random" }
+
+// Choose implements OutputPolicy.
+func (RandomOutput) Choose(cands []topology.Direction, free func(topology.Direction) bool, _ topology.Direction, rng *rand.Rand) (topology.Direction, bool) {
+	var avail [8]topology.Direction
+	n := 0
+	for _, d := range cands {
+		if free(d) {
+			if n < len(avail) {
+				avail[n] = d
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	if n > len(avail) {
+		n = len(avail)
+	}
+	return avail[rng.Intn(n)], true
+}
+
+// StraightFirst prefers to keep travelling in the arrival direction,
+// falling back to the lowest available dimension. Straight-through
+// traversal avoids occupying the crossbar turn paths and tends to reduce
+// the coupling between dimensions.
+type StraightFirst struct{}
+
+// Name implements OutputPolicy.
+func (StraightFirst) Name() string { return "straight-first" }
+
+// Choose implements OutputPolicy.
+func (StraightFirst) Choose(cands []topology.Direction, free func(topology.Direction) bool, in topology.Direction, _ *rand.Rand) (topology.Direction, bool) {
+	if in != topology.Invalid {
+		for _, d := range cands {
+			if d == in && free(d) {
+				return d, true
+			}
+		}
+	}
+	for _, d := range cands {
+		if free(d) {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// InputPolicy arbitrates when header flits in several input buffers of one
+// router compete for output channels in the same cycle: it decides the
+// order in which they claim channels.
+type InputPolicy interface {
+	Name() string
+	// Less reports whether worm a should be served before worm b.
+	Less(a, b *worm) bool
+}
+
+// LocalFCFS is the paper's input selection policy: it decides in favor of
+// the header flits that arrived in the router first. Ties (same arrival
+// cycle) fall back to packet ID, which preserves determinism and fairness.
+type LocalFCFS struct{}
+
+// Name implements InputPolicy.
+func (LocalFCFS) Name() string { return "local-fcfs" }
+
+// Less implements InputPolicy.
+func (LocalFCFS) Less(a, b *worm) bool {
+	if a.headerArrival != b.headerArrival {
+		return a.headerArrival < b.headerArrival
+	}
+	return a.pkt.ID < b.pkt.ID
+}
+
+// OldestFirst serves the header of the oldest packet first (global age
+// arbitration), an alternative fairness policy.
+type OldestFirst struct{}
+
+// Name implements InputPolicy.
+func (OldestFirst) Name() string { return "oldest-first" }
+
+// Less implements InputPolicy.
+func (OldestFirst) Less(a, b *worm) bool {
+	if a.pkt.Created != b.pkt.Created {
+		return a.pkt.Created < b.pkt.Created
+	}
+	return a.pkt.ID < b.pkt.ID
+}

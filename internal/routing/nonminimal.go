@@ -1,0 +1,57 @@
+package routing
+
+import (
+	"math/bits"
+
+	"turnmodel/internal/topology"
+)
+
+// NonminimalPCube is the Figure 12 variant of p-cube routing: in phase one
+// a packet may route not only along the dimensions with c_i=1 and d_i=0
+// but also along any dimension with c_i=1 and d_i=1 — a misroute that
+// buys extra adaptiveness and fault tolerance at the cost of path length.
+// Phase two remains minimal.
+//
+// The algorithm is livelock free without any extra mechanism: every phase
+// one hop clears a 1 bit of the current address and phase one never sets
+// bits, so phase one takes at most |C| hops; phase two then takes exactly
+// the remaining Hamming distance. It is deadlock free for the same reason
+// negative-first is: phase one uses only negative channels, phase two only
+// positive ones, and positive-to-negative turns never occur.
+func NonminimalPCube(h *topology.Hypercube) Algorithm {
+	return nonminPCube{h}
+}
+
+type nonminPCube struct{ h *topology.Hypercube }
+
+func (a nonminPCube) Name() string                { return "p-cube-nonminimal" }
+func (a nonminPCube) Topology() topology.Topology { return a.h }
+
+func (a nonminPCube) Candidates(current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
+	c := a.h.Bits(current)
+	d := a.h.Bits(dest)
+	n := a.h.Dims()
+	if c == d {
+		return nil
+	}
+	r := c &^ d
+	if r != 0 {
+		// Phase one: any set bit of C may be cleared (negative moves),
+		// productive or not.
+		out := make([]topology.Direction, 0, bits.OnesCount(uint(c)))
+		for dim := 0; dim < n; dim++ {
+			if c&(1<<uint(dim)) != 0 {
+				out = append(out, topology.Dir(dim, false))
+			}
+		}
+		return out
+	}
+	// Phase two: minimal, set the bits where D has a 1 and C a 0.
+	var out []topology.Direction
+	for dim := 0; dim < n; dim++ {
+		if ^c&d&(1<<uint(dim)) != 0 {
+			out = append(out, topology.Dir(dim, true))
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestNonminimalPCubeTerminates(t *testing.T) {
+	h := topology.NewHypercube(6)
+	a := NonminimalPCube(h)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(rng.Intn(64))
+		dst := topology.NodeID(rng.Intn(64))
+		if src == dst {
+			continue
+		}
+		// Worst case: clear every 1 bit of C, then set every 1 bit of D.
+		limit := bits.OnesCount(uint(src)) + bits.OnesCount(uint(dst))
+		hops := walk(t, a, src, dst, randomChooser(rng), limit)
+		if hops < h.Distance(src, dst) {
+			t.Fatalf("route shorter than the Hamming distance: %d < %d", hops, h.Distance(src, dst))
+		}
+	}
+}
+
+func TestNonminimalPCubePhaseOneChoices(t *testing.T) {
+	// Figure 12 / Section 5 table: in phase one the candidates are every
+	// set bit of C — the minimal ones (c_i=1, d_i=0) plus the extras
+	// (c_i=1, d_i=1).
+	h := topology.NewHypercube(8)
+	a := NonminimalPCube(h)
+	for c := uint(0); c < 256; c += 3 {
+		for d := uint(0); d < 256; d += 7 {
+			if c == d {
+				continue
+			}
+			cands := a.Candidates(h.NodeFromBits(c), h.NodeFromBits(d), topology.Invalid, false)
+			r := c &^ d
+			if r != 0 {
+				if len(cands) != bits.OnesCount(uint(c)) {
+					t.Fatalf("C=%08b D=%08b: %d phase-1 candidates, want %d", c, d, len(cands), bits.OnesCount(uint(c)))
+				}
+				for _, dir := range cands {
+					if dir.Positive() {
+						t.Fatalf("phase-1 candidate %v is positive", dir)
+					}
+				}
+			} else {
+				if len(cands) != bits.OnesCount(uint(^c&d)) {
+					t.Fatalf("C=%08b D=%08b: %d phase-2 candidates, want %d", c, d, len(cands), bits.OnesCount(uint(^c&d)))
+				}
+				for _, dir := range cands {
+					if !dir.Positive() {
+						t.Fatalf("phase-2 candidate %v is negative", dir)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNonminimalPCubeMoreAdaptiveThanMinimal(t *testing.T) {
+	// The nonminimal variant must offer at least as many choices as the
+	// minimal one at every state.
+	h := topology.NewHypercube(6)
+	nm := NonminimalPCube(h)
+	pm := PCube(h)
+	for c := topology.NodeID(0); c < 64; c++ {
+		for d := topology.NodeID(0); d < 64; d++ {
+			if c == d {
+				continue
+			}
+			nmc := nm.Candidates(c, d, topology.Invalid, false)
+			pmc := pm.Candidates(c, d, topology.Invalid, false)
+			if len(nmc) < len(pmc) {
+				t.Fatalf("C=%d D=%d: nonminimal offers fewer choices (%d < %d)", c, d, len(nmc), len(pmc))
+			}
+		}
+	}
+}
+
+func TestNonminimalPCubeRegistry(t *testing.T) {
+	h := topology.NewHypercube(4)
+	a, err := New("p-cube-nonminimal", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "p-cube-nonminimal" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if _, err := New("p-cube-nonminimal", topology.NewMesh2D(4, 4)); err == nil {
+		t.Error("nonminimal p-cube on a mesh accepted")
+	}
+}

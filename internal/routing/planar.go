@@ -1,0 +1,49 @@
+package routing
+
+import (
+	"turnmodel/internal/topology"
+)
+
+// The constructors below apply the turn model to the "other topologies"
+// Section 7 proposes as future work: hexagonal and octagonal networks,
+// where the turns are not 90 degrees and the abstract cycles are not
+// four-turn squares. The same phase discipline carries over: group the
+// directions so that no phase's direction vectors can close a cycle and
+// prohibit turns from later phases back to earlier ones.
+
+// NegativeFirstHex routes first adaptively along the three negative hex
+// directions (west, southwest, northwest) and then along the three
+// positive ones (east, northeast, southeast). No subset of either triple
+// sums to zero, so each phase is cycle free on its own, and the prohibited
+// positive-to-negative turns break every mixed cycle.
+func NegativeFirstHex(h *topology.Hex) Algorithm {
+	return newPhased(h, "negative-first-hex", negatives(3), positives(3))
+}
+
+// DimensionOrderHex is nonadaptive axis-order routing on a hexagonal mesh:
+// correct axis 0, then axis 1, then the diagonal axis 2.
+func DimensionOrderHex(h *topology.Hex) Algorithm {
+	phases := make([][]topology.Direction, 3)
+	for i := range phases {
+		phases[i] = []topology.Direction{topology.Dir(i, false), topology.Dir(i, true)}
+	}
+	return newPhased(h, "dimension-order-hex", phases...)
+}
+
+// NegativeFirstOctagonal routes first adaptively along the four
+// "negative" octagonal directions (west, south, southwest, southeast —
+// the closed lower half-plane plus west) and then along the four positive
+// ones. As in the hex case neither quadruple can close a cycle by itself.
+func NegativeFirstOctagonal(o *topology.Octagonal) Algorithm {
+	return newPhased(o, "negative-first-octagonal", negatives(4), positives(4))
+}
+
+// DimensionOrderOctagonal is nonadaptive axis-order routing on an
+// octagonal mesh: straight axes first, then the diagonals.
+func DimensionOrderOctagonal(o *topology.Octagonal) Algorithm {
+	phases := make([][]topology.Direction, 4)
+	for i := range phases {
+		phases[i] = []topology.Direction{topology.Dir(i, false), topology.Dir(i, true)}
+	}
+	return newPhased(o, "dimension-order-octagonal", phases...)
+}

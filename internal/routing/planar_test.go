@@ -1,0 +1,95 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestHexAlgorithmsAreMinimal(t *testing.T) {
+	h := topology.NewHex(6, 6)
+	rng := rand.New(rand.NewSource(21))
+	for _, a := range []Algorithm{NegativeFirstHex(h), DimensionOrderHex(h), FullyAdaptive(h)} {
+		for trial := 0; trial < 300; trial++ {
+			src := topology.NodeID(rng.Intn(h.Nodes()))
+			dst := topology.NodeID(rng.Intn(h.Nodes()))
+			if src == dst {
+				continue
+			}
+			want := h.Distance(src, dst)
+			if got := walk(t, a, src, dst, randomChooser(rng), want+1); got != want {
+				t.Fatalf("%s: %d->%d took %d hops, want %d", a.Name(), src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestOctagonalAlgorithmsAreMinimal(t *testing.T) {
+	o := topology.NewOctagonal(6, 6)
+	rng := rand.New(rand.NewSource(22))
+	for _, a := range []Algorithm{NegativeFirstOctagonal(o), DimensionOrderOctagonal(o), FullyAdaptive(o)} {
+		for trial := 0; trial < 300; trial++ {
+			src := topology.NodeID(rng.Intn(o.Nodes()))
+			dst := topology.NodeID(rng.Intn(o.Nodes()))
+			if src == dst {
+				continue
+			}
+			want := o.Distance(src, dst)
+			if got := walk(t, a, src, dst, randomChooser(rng), want+1); got != want {
+				t.Fatalf("%s: %d->%d took %d hops, want %d", a.Name(), src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestNegativeFirstHexPhases(t *testing.T) {
+	h := topology.NewHex(6, 6)
+	a := NegativeFirstHex(h)
+	// Same-sign negative offsets: adaptive between west and southwest.
+	src := h.ID(topology.Coord{3, 3, -6})
+	cands := a.Candidates(src, h.ID(topology.Coord{1, 1, -2}), topology.Invalid, false)
+	if len(cands) != 2 || cands[0] != topology.Dir(0, false) || cands[1] != topology.Dir(1, false) {
+		t.Errorf("negative-phase candidates = %v, want [west southwest]", cands)
+	}
+	// Mixed offsets with a negative component: the negative direction
+	// must come first.
+	cands = a.Candidates(src, h.ID(topology.Coord{4, 1, -5}), topology.Invalid, false)
+	for _, d := range cands {
+		if d.Positive() {
+			t.Errorf("positive candidate %v offered while negative hops remain", d)
+		}
+	}
+}
+
+func TestPlanarRegistry(t *testing.T) {
+	h := topology.NewHex(4, 4)
+	o := topology.NewOctagonal(4, 4)
+	for _, c := range []struct {
+		name string
+		topo topology.Topology
+		want string
+	}{
+		{"negative-first", h, "negative-first-hex"},
+		{"negative-first", o, "negative-first-octagonal"},
+		{"dimension-order", h, "dimension-order"},
+		{"dimension-order", o, "dimension-order"},
+		{"fully-adaptive", h, "fully-adaptive"},
+	} {
+		a, err := New(c.name, c.topo)
+		if err != nil {
+			t.Errorf("New(%q, %s): %v", c.name, c.topo.Name(), err)
+			continue
+		}
+		if a.Name() != c.want {
+			t.Errorf("New(%q, %s).Name() = %q, want %q", c.name, c.topo.Name(), a.Name(), c.want)
+		}
+	}
+	// Mesh-only algorithms must reject planar topologies.
+	if _, err := New("west-first", h); err == nil {
+		t.Error("west-first on hex accepted")
+	}
+	if _, err := New("p-cube", o); err == nil {
+		t.Error("p-cube on octagonal accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+// walk follows the algorithm from src to dst, picking candidates with the
+// given chooser, and returns the hop count. It fails the test if the route
+// does not terminate within limit hops.
+func walk(t *testing.T, a Algorithm, src, dst topology.NodeID, choose func([]topology.Direction) topology.Direction, limit int) int {
+	t.Helper()
+	topo := a.Topology()
+	cur := src
+	in := topology.Invalid
+	inWrap := false
+	hops := 0
+	for cur != dst {
+		cands := a.Candidates(cur, dst, in, inWrap)
+		if len(cands) == 0 {
+			t.Fatalf("%s: stuck at %d en route %d->%d after %d hops", a.Name(), cur, src, dst, hops)
+		}
+		d := choose(cands)
+		next, ok := topo.Neighbor(cur, d)
+		if !ok {
+			t.Fatalf("%s: candidate %v at node %d has no channel", a.Name(), d, cur)
+		}
+		inWrap = topo.Wraparound(cur, d)
+		cur, in = next, d
+		hops++
+		if hops > limit {
+			t.Fatalf("%s: route %d->%d exceeded %d hops", a.Name(), src, dst, limit)
+		}
+	}
+	return hops
+}
+
+func randomChooser(rng *rand.Rand) func([]topology.Direction) topology.Direction {
+	return func(c []topology.Direction) topology.Direction { return c[rng.Intn(len(c))] }
+}
+
+func TestMinimalAlgorithmsTakeShortestPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := topology.NewMesh2D(6, 6)
+	h := topology.NewHypercube(5)
+	m3 := topology.NewMesh(3, 4, 3)
+	algs := []Algorithm{
+		XY(m), WestFirst(m), NorthLast(m), NegativeFirst(m), FullyAdaptive(m),
+		ECube(h), PCube(h),
+		DimensionOrder(m3), NegativeFirst(m3), ABONF(m3), ABOPL(m3),
+	}
+	for _, a := range algs {
+		topo := a.Topology()
+		for trial := 0; trial < 200; trial++ {
+			src := topology.NodeID(rng.Intn(topo.Nodes()))
+			dst := topology.NodeID(rng.Intn(topo.Nodes()))
+			if src == dst {
+				continue
+			}
+			want := topo.Distance(src, dst)
+			if got := walk(t, a, src, dst, randomChooser(rng), want+1); got != want {
+				t.Fatalf("%s: route %d->%d took %d hops, want %d", a.Name(), src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestCandidatesAreProductive(t *testing.T) {
+	// Every candidate of a minimal algorithm must be a productive
+	// direction (lie on some shortest path).
+	m := topology.NewMesh2D(5, 5)
+	for _, a := range []Algorithm{XY(m), WestFirst(m), NorthLast(m), NegativeFirst(m)} {
+		for src := topology.NodeID(0); int(src) < m.Nodes(); src++ {
+			for dst := topology.NodeID(0); int(dst) < m.Nodes(); dst++ {
+				cands := a.Candidates(src, dst, topology.Invalid, false)
+				if src == dst {
+					if len(cands) != 0 {
+						t.Fatalf("%s: candidates at destination: %v", a.Name(), cands)
+					}
+					continue
+				}
+				if len(cands) == 0 {
+					t.Fatalf("%s: no candidates %d->%d", a.Name(), src, dst)
+				}
+				productive := m.MinimalDirections(src, dst)
+				for _, c := range cands {
+					found := false
+					for _, p := range productive {
+						if c == p {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s: candidate %v at %d->%d not productive", a.Name(), c, src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestXYIsDeterministicDimensionOrder(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	a := XY(m)
+	if a.Name() != "xy" {
+		t.Errorf("Name() = %q", a.Name())
+	}
+	src := m.ID(topology.Coord{2, 2})
+	// Needs east and north: xy must offer only east until x is corrected.
+	dst := m.ID(topology.Coord{5, 6})
+	cands := a.Candidates(src, dst, topology.Invalid, false)
+	if len(cands) != 1 || cands[0] != topology.East {
+		t.Errorf("xy candidates = %v, want [east]", cands)
+	}
+	// With x corrected, only north remains.
+	mid := m.ID(topology.Coord{5, 2})
+	cands = a.Candidates(mid, dst, topology.East, false)
+	if len(cands) != 1 || cands[0] != topology.North {
+		t.Errorf("xy candidates = %v, want [north]", cands)
+	}
+}
+
+func TestWestFirstPhaseDiscipline(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	a := WestFirst(m)
+	src := m.ID(topology.Coord{4, 4})
+	// Needs west and north: west must come first, alone.
+	cands := a.Candidates(src, m.ID(topology.Coord{1, 6}), topology.Invalid, false)
+	if len(cands) != 1 || cands[0] != topology.West {
+		t.Errorf("west-first candidates = %v, want [west]", cands)
+	}
+	// Needs east and north: fully adaptive between them.
+	cands = a.Candidates(src, m.ID(topology.Coord{6, 6}), topology.Invalid, false)
+	if len(cands) != 2 || cands[0] != topology.East || cands[1] != topology.North {
+		t.Errorf("west-first candidates = %v, want [east north]", cands)
+	}
+}
+
+func TestNorthLastPhaseDiscipline(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	a := NorthLast(m)
+	src := m.ID(topology.Coord{4, 4})
+	// Needs east and north: east first (north is last).
+	cands := a.Candidates(src, m.ID(topology.Coord{6, 6}), topology.Invalid, false)
+	if len(cands) != 1 || cands[0] != topology.East {
+		t.Errorf("north-last candidates = %v, want [east]", cands)
+	}
+	// Needs west and south: adaptive between them.
+	cands = a.Candidates(src, m.ID(topology.Coord{2, 2}), topology.Invalid, false)
+	if len(cands) != 2 || cands[0] != topology.West || cands[1] != topology.South {
+		t.Errorf("north-last candidates = %v, want [west south]", cands)
+	}
+}
+
+func TestNegativeFirstPhaseDiscipline(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	a := NegativeFirst(m)
+	src := m.ID(topology.Coord{4, 4})
+	// Needs west (negative) and north (positive): west strictly first.
+	cands := a.Candidates(src, m.ID(topology.Coord{1, 6}), topology.Invalid, false)
+	if len(cands) != 1 || cands[0] != topology.West {
+		t.Errorf("negative-first candidates = %v, want [west]", cands)
+	}
+	// Needs west and south: adaptive (both negative).
+	cands = a.Candidates(src, m.ID(topology.Coord{2, 2}), topology.Invalid, false)
+	if len(cands) != 2 || cands[0] != topology.West || cands[1] != topology.South {
+		t.Errorf("negative-first candidates = %v, want [west south]", cands)
+	}
+	// Needs east and north: adaptive (both positive).
+	cands = a.Candidates(src, m.ID(topology.Coord{6, 6}), topology.Invalid, false)
+	if len(cands) != 2 || cands[0] != topology.East || cands[1] != topology.North {
+		t.Errorf("negative-first candidates = %v, want [east north]", cands)
+	}
+}
+
+func TestPCubeMatchesBitwiseDefinition(t *testing.T) {
+	// Figure 11: phase one routes along dimensions with c_i=1, d_i=0
+	// (R = C AND NOT D); when R is zero, phase two routes along
+	// dimensions with c_i=0, d_i=1 (R = NOT C AND D).
+	h := topology.NewHypercube(6)
+	a := PCube(h)
+	for c := uint(0); c < 64; c++ {
+		for d := uint(0); d < 64; d++ {
+			r := c &^ d
+			phase2 := false
+			if r == 0 {
+				r = ^c & d & 63
+				phase2 = true
+			}
+			var want []topology.Direction
+			for i := 0; i < 6; i++ {
+				if r&(1<<uint(i)) != 0 {
+					want = append(want, topology.Dir(i, phase2))
+				}
+			}
+			got := a.Candidates(h.NodeFromBits(c), h.NodeFromBits(d), topology.Invalid, false)
+			if len(got) != len(want) {
+				t.Fatalf("p-cube C=%06b D=%06b: got %v, want %v", c, d, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("p-cube C=%06b D=%06b: got %v, want %v", c, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestECubeAscendingDimensions(t *testing.T) {
+	h := topology.NewHypercube(4)
+	a := ECube(h)
+	if a.Name() != "e-cube" {
+		t.Errorf("Name() = %q", a.Name())
+	}
+	// From 0b1111 to 0b0000 e-cube must fix dimension 0 first.
+	cands := a.Candidates(h.NodeFromBits(0b1111), h.NodeFromBits(0), topology.Invalid, false)
+	if len(cands) != 1 || cands[0] != topology.Dir(0, false) {
+		t.Errorf("e-cube candidates = %v, want [-0]", cands)
+	}
+}
+
+func TestABONFAndABOPLSpecializeTo2D(t *testing.T) {
+	// In two dimensions ABONF must behave exactly like west-first and
+	// ABOPL like north-last (they are the n-dimensional analogs).
+	m := topology.NewMesh2D(6, 6)
+	abonf, wf := ABONF(m), WestFirst(m)
+	abopl, nl := ABOPL(m), NorthLast(m)
+	for src := topology.NodeID(0); int(src) < m.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < m.Nodes(); dst++ {
+			if !sameDirs(abonf.Candidates(src, dst, topology.Invalid, false), wf.Candidates(src, dst, topology.Invalid, false)) {
+				t.Fatalf("ABONF != west-first at %d->%d", src, dst)
+			}
+			if !sameDirs(abopl.Candidates(src, dst, topology.Invalid, false), nl.Candidates(src, dst, topology.Invalid, false)) {
+				t.Fatalf("ABOPL != north-last at %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func sameDirs(a, b []topology.Direction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPhasedPanics(t *testing.T) {
+	m := topology.NewMesh(3, 3, 3)
+	for name, f := range map[string]func(){
+		"west-first 3D": func() { WestFirst(m) },
+		"north-last 3D": func() { NorthLast(m) },
+		"missing phase": func() { newPhased(m, "bad", negatives(3)) },
+		"dup direction": func() { newPhased(m, "bad", negatives(3), negatives(3), positives(3)) },
+		"bad direction": func() { newPhased(m, "bad", []topology.Direction{topology.Direction(99)}, negatives(3), positives(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

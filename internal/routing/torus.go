@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"turnmodel/internal/topology"
+)
+
+// NegativeFirstTorus extends negative-first to k-ary n-cubes the second way
+// Section 4.2 describes: classify each wraparound channel according to the
+// direction in which it routes packets — the wrap entering coordinate 0
+// moves a packet to a lower coordinate and so is a negative channel even
+// though it leaves the node in the physical positive direction — and then
+// apply the negative-first discipline to the classified directions.
+//
+// The algorithm is strictly nonminimal in general, as the paper notes, but
+// every hop strictly reduces the remaining coordinate offset, so routes
+// terminate. In the positive phase overshooting is forbidden (it would
+// require a prohibited positive-to-negative turn to recover).
+func NegativeFirstTorus(t *topology.Torus) Algorithm {
+	return nfTorus{t}
+}
+
+type nfTorus struct{ t *topology.Torus }
+
+func (a nfTorus) Name() string                { return "negative-first-torus" }
+func (a nfTorus) Topology() topology.Topology { return a.t }
+
+func (a nfTorus) Candidates(current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
+	cc := a.t.Coord(current)
+	dc := a.t.Coord(dest)
+	negPhase := false
+	for i := range cc {
+		if dc[i] < cc[i] {
+			negPhase = true
+			break
+		}
+	}
+	var out []topology.Direction
+	for dim := range cc {
+		k := a.t.Size(dim)
+		cur, want := cc[dim], dc[dim]
+		if cur == want {
+			continue
+		}
+		for _, d := range []topology.Direction{topology.Dir(dim, false), topology.Dir(dim, true)} {
+			// Coordinate after the hop, accounting for wraparound.
+			next := cur + d.Delta()
+			switch {
+			case next < 0:
+				next = k - 1
+			case next >= k:
+				next = 0
+			}
+			classifiedPositive := next > cur
+			if negPhase == classifiedPositive {
+				continue
+			}
+			if abs(want-next) >= abs(want-cur) {
+				continue // not strictly closer
+			}
+			if !negPhase && next > want {
+				continue // overshoot would need a prohibited recovery turn
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FirstHopWrap extends a mesh-discipline algorithm to a k-ary n-cube the
+// first way Section 4.2 describes: a packet may use a wraparound channel
+// only on its first hop. Wraparound channels are numbered above every mesh
+// channel, so any turn off a wrap is safe, and after the first hop the
+// packet follows the base mesh discipline on the mesh channels alone.
+//
+// The base discipline is named by the same phase structure used for the
+// mesh algorithms; use WestFirstWrap, NorthLastWrap, NegativeFirstWrap or
+// DimensionOrderWrap to construct the concrete variants.
+type firstHopWrap struct {
+	t    *topology.Torus
+	name string
+	*phased
+}
+
+func newFirstHopWrap(t *topology.Torus, name string, phases ...[]topology.Direction) Algorithm {
+	return firstHopWrap{t: t, name: name, phased: newPhased(t, name, phases...)}
+}
+
+func (a firstHopWrap) Name() string                { return a.name }
+func (a firstHopWrap) Topology() topology.Topology { return a.t }
+
+func (a firstHopWrap) Candidates(current, dest topology.NodeID, in topology.Direction, _ bool) []topology.Direction {
+	cc := a.t.Coord(current)
+	dc := a.t.Coord(dest)
+	// Mesh-productive directions under the phase discipline: the torus
+	// MinimalDirections is modular, so recompute by plain comparison.
+	var productive []topology.Direction
+	for dim := range cc {
+		switch {
+		case dc[dim] < cc[dim]:
+			productive = append(productive, topology.Dir(dim, false))
+		case dc[dim] > cc[dim]:
+			productive = append(productive, topology.Dir(dim, true))
+		}
+	}
+	best := -1
+	for _, d := range productive {
+		if ph := a.phaseOf[d]; best == -1 || ph < best {
+			best = ph
+		}
+	}
+	var out []topology.Direction
+	for _, d := range productive {
+		if a.phaseOf[d] == best {
+			out = append(out, d)
+		}
+	}
+	if in != topology.Invalid {
+		return out
+	}
+	// First hop: offer every wraparound channel that lands strictly
+	// closer to the destination in its dimension.
+	for dim := range cc {
+		k := a.t.Size(dim)
+		switch cc[dim] {
+		case 0:
+			if abs(dc[dim]-(k-1)) < abs(dc[dim]) {
+				out = append(out, topology.Dir(dim, false))
+			}
+		case k - 1:
+			if abs(dc[dim]) < abs(dc[dim]-(k-1)) {
+				out = append(out, topology.Dir(dim, true))
+			}
+		}
+	}
+	return out
+}
+
+// WestFirstWrap is west-first on a 2D torus with first-hop wraparounds.
+func WestFirstWrap(t *topology.Torus) Algorithm {
+	if t.Dims() != 2 {
+		panic("routing: west-first+wrap requires a 2D torus")
+	}
+	return newFirstHopWrap(t, "west-first+wrap",
+		[]topology.Direction{topology.West},
+		[]topology.Direction{topology.East, topology.South, topology.North},
+	)
+}
+
+// NorthLastWrap is north-last on a 2D torus with first-hop wraparounds.
+func NorthLastWrap(t *topology.Torus) Algorithm {
+	if t.Dims() != 2 {
+		panic("routing: north-last+wrap requires a 2D torus")
+	}
+	return newFirstHopWrap(t, "north-last+wrap",
+		[]topology.Direction{topology.West, topology.South, topology.East},
+		[]topology.Direction{topology.North},
+	)
+}
+
+// NegativeFirstWrap is n-dimensional negative-first on a torus with
+// first-hop wraparounds.
+func NegativeFirstWrap(t *topology.Torus) Algorithm {
+	return newFirstHopWrap(t, "negative-first+wrap", negatives(t.Dims()), positives(t.Dims()))
+}
+
+// DimensionOrderWrap is dimension-order routing on a torus with first-hop
+// wraparounds.
+func DimensionOrderWrap(t *topology.Torus) Algorithm {
+	phases := make([][]topology.Direction, t.Dims())
+	for i := range phases {
+		phases[i] = []topology.Direction{topology.Dir(i, false), topology.Dir(i, true)}
+	}
+	return newFirstHopWrap(t, "dimension-order+wrap", phases...)
+}

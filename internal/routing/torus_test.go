@@ -1,0 +1,353 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestNegativeFirstTorusTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tr := range []*topology.Torus{
+		topology.NewKaryNCube(4, 2),
+		topology.NewKaryNCube(8, 2),
+		topology.NewKaryNCube(5, 3),
+	} {
+		a := NegativeFirstTorus(tr)
+		// The Section 4.2 algorithms are strictly nonminimal; bound
+		// routes by the worst mesh path plus one wrap per dimension.
+		limit := 0
+		for d := 0; d < tr.Dims(); d++ {
+			limit += 2 * tr.Size(d)
+		}
+		for trial := 0; trial < 300; trial++ {
+			src := topology.NodeID(rng.Intn(tr.Nodes()))
+			dst := topology.NodeID(rng.Intn(tr.Nodes()))
+			if src == dst {
+				continue
+			}
+			walk(t, a, src, dst, randomChooser(rng), limit)
+		}
+	}
+}
+
+func TestNegativeFirstTorusUsesWraparounds(t *testing.T) {
+	// From coordinate 0 to coordinate k-1 the positive-classified
+	// wraparound (physical west) reaches the destination in one hop.
+	tr := topology.NewKaryNCube(8, 1)
+	a := NegativeFirstTorus(tr)
+	cands := a.Candidates(0, 7, topology.Invalid, false)
+	found := false
+	for _, d := range cands {
+		if d == topology.West {
+			found = true
+		}
+		if d == topology.East && 7 > 0 {
+			// Mesh +1 is also acceptable (no overshoot, improves).
+			continue
+		}
+	}
+	if !found {
+		t.Errorf("candidates 0->7 = %v, want to include the west wraparound", cands)
+	}
+	// From k-1 to 0 the negative-classified wraparound (physical east)
+	// reaches in one hop.
+	cands = a.Candidates(7, 0, topology.Invalid, false)
+	found = false
+	for _, d := range cands {
+		if d == topology.East {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("candidates 7->0 = %v, want to include the east wraparound", cands)
+	}
+}
+
+func TestNegativeFirstTorusNoOvershootInPositivePhase(t *testing.T) {
+	tr := topology.NewKaryNCube(8, 1)
+	a := NegativeFirstTorus(tr)
+	// 0 -> 1: the west wraparound would land at 7, overshooting; only the
+	// mesh +1 channel is permitted.
+	cands := a.Candidates(0, 1, topology.Invalid, false)
+	if len(cands) != 1 || cands[0] != topology.East {
+		t.Errorf("candidates 0->1 = %v, want [east]", cands)
+	}
+}
+
+func TestNegativeFirstTorusEveryHopImproves(t *testing.T) {
+	tr := topology.NewKaryNCube(6, 2)
+	a := NegativeFirstTorus(tr)
+	for src := topology.NodeID(0); int(src) < tr.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < tr.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			cands := a.Candidates(src, dst, topology.Invalid, false)
+			if len(cands) == 0 {
+				t.Fatalf("no candidates %d->%d", src, dst)
+			}
+			cc, dc := tr.Coord(src), tr.Coord(dst)
+			offset := 0
+			for i := range cc {
+				offset += abs(dc[i] - cc[i])
+			}
+			for _, d := range cands {
+				nb, _ := tr.Neighbor(src, d)
+				nc := tr.Coord(nb)
+				no := 0
+				for i := range nc {
+					no += abs(dc[i] - nc[i])
+				}
+				if no >= offset {
+					t.Fatalf("hop %v at %d->%d does not improve offset (%d -> %d)", d, src, dst, offset, no)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstHopWrapOnlyAtInjection(t *testing.T) {
+	tr := topology.NewKaryNCube(8, 2)
+	a := WestFirstWrap(tr)
+	src := tr.ID(topology.Coord{7, 3})
+	dst := tr.ID(topology.Coord{0, 3})
+	// At injection the east wraparound (7 -> 0) is one hop and offered.
+	cands := a.Candidates(src, dst, topology.Invalid, false)
+	hasWrap := false
+	for _, d := range cands {
+		if d == topology.East {
+			hasWrap = true
+		}
+	}
+	if !hasWrap {
+		t.Errorf("injection candidates %v missing east wraparound", cands)
+	}
+	// After a hop the wrap is no longer offered: only the mesh west path.
+	cands = a.Candidates(src, dst, topology.North, false)
+	for _, d := range cands {
+		if d == topology.East {
+			t.Errorf("non-injection candidates %v include a wraparound", cands)
+		}
+	}
+}
+
+func TestFirstHopWrapRoutesTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := topology.NewKaryNCube(6, 2)
+	for _, a := range []Algorithm{WestFirstWrap(tr), NorthLastWrap(tr), NegativeFirstWrap(tr), DimensionOrderWrap(tr)} {
+		for trial := 0; trial < 300; trial++ {
+			src := topology.NodeID(rng.Intn(tr.Nodes()))
+			dst := topology.NodeID(rng.Intn(tr.Nodes()))
+			if src == dst {
+				continue
+			}
+			// One wrap hop then a mesh-minimal route: bounded by the
+			// mesh diameter plus one.
+			walk(t, a, src, dst, randomChooser(rng), 6+6+1)
+		}
+	}
+}
+
+func TestFirstHopWrapShortensEdgeRoutes(t *testing.T) {
+	// Corner to corner in an 8x8 torus: the mesh route is 14 hops, but
+	// two wraps are not available (only one first hop), so the best
+	// wrap-assisted route is 1 wrap + 7 mesh hops = 8.
+	tr := topology.NewKaryNCube(8, 2)
+	a := DimensionOrderWrap(tr)
+	src := tr.ID(topology.Coord{0, 0})
+	dst := tr.ID(topology.Coord{7, 7})
+	best := 1 << 30
+	// Breadth-limited search over all candidate choices.
+	var explore func(cur topology.NodeID, in topology.Direction, inWrap bool, hops int)
+	explore = func(cur topology.NodeID, in topology.Direction, inWrap bool, hops int) {
+		if hops >= best {
+			return
+		}
+		if cur == dst {
+			best = hops
+			return
+		}
+		for _, d := range a.Candidates(cur, dst, in, inWrap) {
+			nb, _ := tr.Neighbor(cur, d)
+			explore(nb, d, tr.Wraparound(cur, d), hops+1)
+		}
+	}
+	explore(src, topology.Invalid, false, 0)
+	if best != 8 {
+		t.Errorf("best wrap-assisted route = %d hops, want 8", best)
+	}
+}
+
+func TestRegistryConstructsEverything(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	h := topology.NewHypercube(3)
+	tr := topology.NewKaryNCube(4, 2)
+	cases := []struct {
+		name string
+		topo topology.Topology
+		want string
+	}{
+		{"xy", m, "xy"},
+		{"dor", m, "xy"},
+		{"west-first", m, "west-first"},
+		{"wf", m, "west-first"},
+		{"north-last", m, "north-last"},
+		{"negative-first", m, "negative-first"},
+		{"abonf", m, "abonf"},
+		{"abopl", m, "abopl"},
+		{"fully-adaptive", m, "fully-adaptive"},
+		{"e-cube", h, "e-cube"},
+		{"p-cube", h, "p-cube"},
+		{"negative-first", tr, "negative-first-torus"},
+		{"west-first+wrap", tr, "west-first+wrap"},
+		{"north-last+wrap", tr, "north-last+wrap"},
+		{"negative-first+wrap", tr, "negative-first+wrap"},
+		{"dimension-order+wrap", tr, "dimension-order+wrap"},
+	}
+	for _, c := range cases {
+		a, err := New(c.name, c.topo)
+		if err != nil {
+			t.Errorf("New(%q, %s): %v", c.name, c.topo.Name(), err)
+			continue
+		}
+		if a.Name() != c.want {
+			t.Errorf("New(%q).Name() = %q, want %q", c.name, a.Name(), c.want)
+		}
+		if a.Topology() != c.topo {
+			t.Errorf("New(%q) bound to wrong topology", c.name)
+		}
+	}
+}
+
+func TestRegistryRejectsMismatches(t *testing.T) {
+	m3 := topology.NewMesh(3, 3, 3)
+	h := topology.NewHypercube(3)
+	bad := []struct {
+		name string
+		topo topology.Topology
+	}{
+		{"west-first", m3},
+		{"north-last", m3},
+		{"p-cube", m3},
+		{"abonf", h}, // hypercube is a mesh, so this one must succeed instead
+	}
+	if _, err := New(bad[0].name, bad[0].topo); err == nil {
+		t.Error("west-first on 3D mesh accepted")
+	}
+	if _, err := New(bad[1].name, bad[1].topo); err == nil {
+		t.Error("north-last on 3D mesh accepted")
+	}
+	if _, err := New(bad[2].name, bad[2].topo); err == nil {
+		t.Error("p-cube on 3D mesh accepted")
+	}
+	if _, err := New("abonf", h); err != nil {
+		t.Errorf("abonf on hypercube rejected: %v", err)
+	}
+	if _, err := New("no-such-algorithm", m3); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := New("west-first+wrap", m3); err == nil {
+		t.Error("west-first+wrap on mesh accepted")
+	}
+}
+
+func TestNamesSortedAndNonEmpty(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("too few names: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	m := topology.NewMesh2D(4, 4)
+	tr := topology.NewKaryNCube(4, 2)
+	h := topology.NewHypercube(3)
+	for _, name := range names {
+		ok := false
+		for _, topo := range []topology.Topology{m, tr, h} {
+			if _, err := New(name, topo); err == nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("name %q constructible on no topology", name)
+		}
+	}
+}
+
+func TestWrapConstructorsPanicOnWrongDims(t *testing.T) {
+	tr3 := topology.NewKaryNCube(3, 3)
+	for name, f := range map[string]func(){
+		"west-first+wrap 3D": func() { WestFirstWrap(tr3) },
+		"north-last+wrap 3D": func() { NorthLastWrap(tr3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRelationRecoversWrapFlag(t *testing.T) {
+	// Relation adapts Candidates(in, inWrap) to the CandidateFunc used by
+	// the verifier; the wrap flag must be derived from the arrival
+	// channel. For a first-hop-wrap algorithm the distinction matters:
+	// candidates at injection include wraps, candidates in transit do not.
+	tr := topology.NewKaryNCube(8, 2)
+	a := WestFirstWrap(tr)
+	rel := Relation(a)
+	src := tr.ID(topology.Coord{7, 3})
+	dst := tr.ID(topology.Coord{0, 3})
+	atInjection := rel(src, dst, topology.Invalid)
+	hasWrap := false
+	for _, d := range atInjection {
+		if d == topology.East {
+			hasWrap = true
+		}
+	}
+	if !hasWrap {
+		t.Error("Relation lost the injection wrap candidates")
+	}
+	// In transit (arrived travelling north over a normal channel) the
+	// wrap is no longer offered.
+	inTransit := rel(src, dst, topology.North)
+	for _, d := range inTransit {
+		if d == topology.East {
+			t.Error("Relation offered a wrap in transit")
+		}
+	}
+}
+
+func TestPhasedExportedAndTurnCharacterized(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	a := Phased(m, "east-first",
+		[]topology.Direction{topology.East},
+		[]topology.Direction{topology.West, topology.South, topology.North},
+	)
+	if a.Name() != "east-first" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	tc, ok := a.(TurnCharacterized)
+	if !ok {
+		t.Fatal("phased algorithm not TurnCharacterized")
+	}
+	prohibited := tc.ProhibitedTurns()
+	// The two 90-degree turns into east are prohibited.
+	if prohibited.Len() != 2 {
+		t.Errorf("prohibits %d turns, want 2: %v", prohibited.Len(), prohibited.Turns())
+	}
+	for _, tr := range prohibited.Turns() {
+		if tr.To != topology.East {
+			t.Errorf("unexpected prohibited turn %v", tr)
+		}
+	}
+}

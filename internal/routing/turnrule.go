@@ -1,0 +1,166 @@
+package routing
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+	"turnmodel/internal/turnmodel"
+)
+
+// TurnRule is a location-dependent turn permission: it reports whether a
+// packet arriving at node `at` travelling `turn.From` may leave travelling
+// `turn.To`. Successors of the turn model — most prominently the odd-even
+// model — prohibit different turns at different nodes, which uniform
+// prohibited-turn sets cannot express.
+type TurnRule func(at topology.NodeID, turn turnmodel.Turn) bool
+
+// FromTurnRules builds a minimal adaptive routing algorithm from a
+// location-dependent turn rule. At every hop the algorithm offers the
+// productive directions that (a) the rule permits as a turn from the
+// arrival direction and (b) keep the destination reachable under the rule
+// — so a header is never routed into a state from which every further
+// minimal move would need a prohibited turn.
+//
+// Reachability is closed over the (node, arrival-direction) state graph,
+// precomputed per destination at construction. The resulting relation is
+// exactly what the channel-dependency-graph verifier consumes, so
+// deadlock freedom of a rule is checked mechanically rather than assumed.
+func FromTurnRules(topo topology.Topology, name string, rule TurnRule) Algorithm {
+	a := &turnRuled{topo: topo, name: name, rule: rule, dims2: 2 * topo.Dims()}
+	a.build()
+	return a
+}
+
+type turnRuled struct {
+	topo  topology.Topology
+	name  string
+	rule  TurnRule
+	dims2 int
+	// reach[dst][node*dims2+inDir] reports whether a packet at node that
+	// arrived travelling inDir can still reach dst along productive,
+	// rule-permitted moves. Arrival state "injection" is handled by
+	// checking any first move directly.
+	reach [][]bool
+}
+
+func (a *turnRuled) Name() string                { return a.name }
+func (a *turnRuled) Topology() topology.Topology { return a.topo }
+
+func (a *turnRuled) stateKey(node topology.NodeID, in topology.Direction) int {
+	return int(node)*a.dims2 + int(in)
+}
+
+// build computes the per-destination reachability closure by backward
+// search from the destination over the minimal-move state graph.
+func (a *turnRuled) build() {
+	n := a.topo.Nodes()
+	a.reach = make([][]bool, n)
+	for dst := topology.NodeID(0); int(dst) < n; dst++ {
+		table := make([]bool, n*a.dims2)
+		// Relax to fixpoint: state (node, in) can reach dst if some
+		// productive, rule-permitted direction leads to dst or to a
+		// state already marked reachable. The state count (nodes x 2n)
+		// is small and minimal moves strictly reduce distance, so the
+		// scan converges in at most diameter passes.
+		for changed := true; changed; {
+			changed = false
+			for node := topology.NodeID(0); int(node) < n; node++ {
+				if node == dst {
+					continue
+				}
+				for _, in := range topology.Directions(a.topo.Dims()) {
+					key := a.stateKey(node, in)
+					if table[key] {
+						continue
+					}
+					if a.stateCanProgress(table, node, dst, in) {
+						table[key] = true
+						changed = true
+					}
+				}
+			}
+		}
+		a.reach[dst] = table
+	}
+}
+
+// stateCanProgress reports whether a packet at node (arrived travelling
+// in) has at least one rule-permitted productive move that reaches dst or
+// a state marked reachable.
+func (a *turnRuled) stateCanProgress(table []bool, node, dst topology.NodeID, in topology.Direction) bool {
+	for _, d := range a.topo.MinimalDirections(node, dst) {
+		if in != topology.Invalid && in != d && !a.rule(node, turnmodel.Turn{From: in, To: d}) {
+			continue
+		}
+		next, ok := a.topo.Neighbor(node, d)
+		if !ok {
+			continue
+		}
+		if next == dst || table[a.stateKey(next, d)] {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidates implements Algorithm.
+func (a *turnRuled) Candidates(current, dest topology.NodeID, in topology.Direction, _ bool) []topology.Direction {
+	if current == dest {
+		return nil
+	}
+	table := a.reach[dest]
+	var out []topology.Direction
+	for _, d := range a.topo.MinimalDirections(current, dest) {
+		if in != topology.Invalid && in != d && !a.rule(current, turnmodel.Turn{From: in, To: d}) {
+			continue
+		}
+		next, ok := a.topo.Neighbor(current, d)
+		if !ok {
+			continue
+		}
+		if next != dest && !table[a.stateKey(next, d)] {
+			continue
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		panic(fmt.Sprintf("routing: %s has no safe move at node %d (in %v) toward %d — the rule does not connect this pair",
+			a.name, current, in, dest))
+	}
+	return out
+}
+
+// OddEven is the odd-even turn model (Chiu, 2000), the best-known
+// successor of Glass & Ni's model: instead of prohibiting the same turns
+// everywhere, prohibitions alternate with column parity, which spreads the
+// permitted turns evenly across the mesh —
+//
+//   - east-to-north and east-to-south turns are prohibited in even
+//     columns,
+//   - north-to-west and south-to-west turns are prohibited in odd
+//     columns.
+//
+// Like the paper's algorithms it needs no virtual channels; unlike them,
+// its degree of adaptiveness is distributed evenly rather than
+// concentrated in one half of the direction space. Deadlock freedom is
+// verified mechanically via the channel dependency graph rather than
+// assumed.
+func OddEven(m *topology.Mesh) Algorithm {
+	if m.Dims() != 2 {
+		panic("routing: odd-even requires a 2D mesh")
+	}
+	rule := func(at topology.NodeID, t turnmodel.Turn) bool {
+		even := m.Coord(at)[0]%2 == 0
+		w, e, s, n := topology.West, topology.East, topology.South, topology.North
+		switch {
+		case even && t.From == e && (t.To == n || t.To == s):
+			return false
+		case !even && (t.From == n || t.From == s) && t.To == w:
+			return false
+		}
+		// 180-degree turns never occur under minimal routing; reject
+		// them anyway for nonminimal callers.
+		return t.Kind() != turnmodel.Turn180
+	}
+	return FromTurnRules(m, "odd-even", rule)
+}

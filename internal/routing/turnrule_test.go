@@ -1,0 +1,227 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/topology"
+	"turnmodel/internal/turnmodel"
+)
+
+func TestOddEvenRoutesAreMinimalAndSafe(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	a := OddEven(m)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(rng.Intn(64))
+		dst := topology.NodeID(rng.Intn(64))
+		if src == dst {
+			continue
+		}
+		want := m.Distance(src, dst)
+		if got := walk(t, a, src, dst, randomChooser(rng), want+1); got != want {
+			t.Fatalf("odd-even %d->%d took %d hops, want %d", src, dst, got, want)
+		}
+	}
+}
+
+func TestOddEvenNeverDeadEnds(t *testing.T) {
+	// The reachability closure guarantees every offered move keeps the
+	// destination reachable: exhaustively explore all choice sequences
+	// for all pairs on a small mesh.
+	m := topology.NewMesh2D(5, 5)
+	a := OddEven(m)
+	for src := topology.NodeID(0); int(src) < m.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < m.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			var explore func(cur topology.NodeID, in topology.Direction)
+			explore = func(cur topology.NodeID, in topology.Direction) {
+				if cur == dst {
+					return
+				}
+				cands := a.Candidates(cur, dst, in, false)
+				if len(cands) == 0 {
+					t.Fatalf("dead end at %d (in %v) for %d->%d", cur, in, src, dst)
+				}
+				for _, d := range cands {
+					nb, _ := m.Neighbor(cur, d)
+					explore(nb, d)
+				}
+			}
+			explore(src, topology.Invalid)
+		}
+	}
+}
+
+func TestOddEvenRespectsParityRules(t *testing.T) {
+	// Explore every state the router can actually reach, for every pair,
+	// and verify no offered turn violates the parity rules.
+	m := topology.NewMesh2D(6, 6)
+	a := OddEven(m)
+	w, e, s, n := topology.West, topology.East, topology.South, topology.North
+	type state struct {
+		node topology.NodeID
+		in   topology.Direction
+	}
+	for src := topology.NodeID(0); int(src) < m.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < m.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			seen := map[state]bool{}
+			stack := []state{{src, topology.Invalid}}
+			for len(stack) > 0 {
+				st := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if st.node == dst || seen[st] {
+					continue
+				}
+				seen[st] = true
+				even := m.Coord(st.node)[0]%2 == 0
+				for _, d := range a.Candidates(st.node, dst, st.in, false) {
+					if st.in != topology.Invalid && st.in != d {
+						if even && st.in == e && (d == n || d == s) {
+							t.Fatalf("EN/ES turn at even column: node %d in %v out %v", st.node, st.in, d)
+						}
+						if !even && (st.in == n || st.in == s) && d == w {
+							t.Fatalf("NW/SW turn at odd column: node %d in %v out %v", st.node, st.in, d)
+						}
+					}
+					nb, _ := m.Neighbor(st.node, d)
+					stack = append(stack, state{nb, d})
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenDeadlockFree(t *testing.T) {
+	// The whole point of the exercise: Chiu's parity rules leave the
+	// channel dependency graph acyclic, exactly like the paper's uniform
+	// prohibitions — verified on the exact routing relation.
+	for _, size := range [][2]int{{4, 4}, {8, 8}, {5, 7}} {
+		m := topology.NewMesh2D(size[0], size[1])
+		g := turnmodel.FromRouting(m, Relation(OddEven(m)))
+		if cyc := g.FindCycle(); cyc != nil {
+			t.Errorf("odd-even on %s: dependency cycle %v", m.Name(), cyc)
+		}
+	}
+}
+
+func TestOddEvenWorstCaseTurnGraph(t *testing.T) {
+	// Stronger: even a nonminimal router using every turn the parity
+	// rules allow (no 180s) has an acyclic location-dependent turn graph.
+	m := topology.NewMesh2D(6, 6)
+	w, e, s, n := topology.West, topology.East, topology.South, topology.North
+	g := turnmodel.FromTurnsAt(m, func(at topology.NodeID, t turnmodel.Turn) bool {
+		if t.Kind() != turnmodel.Turn90 {
+			return false
+		}
+		even := m.Coord(at)[0]%2 == 0
+		if even && t.From == e && (t.To == n || t.To == s) {
+			return false
+		}
+		if !even && (t.From == n || t.From == s) && t.To == w {
+			return false
+		}
+		return true
+	})
+	if cyc := g.FindCycle(); cyc != nil {
+		t.Errorf("odd-even worst-case turn graph has cycle %v", cyc)
+	}
+}
+
+func TestOddEvenMoreEvenlyAdaptiveThanWestFirst(t *testing.T) {
+	// The odd-even model's selling point: its adaptiveness is spread
+	// evenly instead of being full for half the pairs and zero for the
+	// rest. Its single-path fraction is therefore much lower than
+	// west-first's (which is pinned at >= 1/2).
+	m := topology.NewMesh2D(8, 8)
+	oe := OddEven(m)
+	wf := WestFirst(m)
+	oeSingle := fractionSinglePaths(t, oe)
+	wfSingle := fractionSinglePaths(t, wf)
+	if oeSingle >= wfSingle {
+		t.Errorf("odd-even single-path fraction %.3f not below west-first's %.3f", oeSingle, wfSingle)
+	}
+}
+
+// fractionSinglePaths counts pairs with exactly one permitted shortest
+// path, via DP over the candidates relation.
+func fractionSinglePaths(t *testing.T, a Algorithm) float64 {
+	t.Helper()
+	topo := a.Topology()
+	single, pairs := 0, 0
+	for src := topology.NodeID(0); int(src) < topo.Nodes(); src++ {
+		for dst := topology.NodeID(0); int(dst) < topo.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			if countPathsWithState(a, src, dst) == 1 {
+				single++
+			}
+			pairs++
+		}
+	}
+	return float64(single) / float64(pairs)
+}
+
+// countPathsWithState counts permitted shortest paths for algorithms whose
+// candidates depend on the arrival direction (odd-even does).
+func countPathsWithState(a Algorithm, src, dst topology.NodeID) int64 {
+	topo := a.Topology()
+	type state struct {
+		node topology.NodeID
+		in   topology.Direction
+	}
+	memo := make(map[state]int64)
+	var count func(s state) int64
+	count = func(s state) int64 {
+		if s.node == dst {
+			return 1
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		var total int64
+		for _, d := range a.Candidates(s.node, dst, s.in, false) {
+			next, ok := topo.Neighbor(s.node, d)
+			if !ok {
+				continue
+			}
+			total += count(state{next, d})
+		}
+		memo[s] = total
+		return total
+	}
+	return count(state{src, topology.Invalid})
+}
+
+func TestFromTurnRulesPanicsOnDisconnectedRule(t *testing.T) {
+	// A rule that forbids every turn disconnects multi-bend pairs; the
+	// reachability closure leaves Candidates empty for them and the
+	// algorithm reports the misconfiguration loudly.
+	m := topology.NewMesh2D(4, 4)
+	a := FromTurnRules(m, "no-turns", func(topology.NodeID, turnmodel.Turn) bool { return false })
+	// Straight-line pairs still work.
+	if got := a.Candidates(0, 3, topology.Invalid, false); len(got) != 1 {
+		t.Errorf("straight-line pair broken: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for an unroutable pair")
+		}
+	}()
+	a.Candidates(m.ID(topology.Coord{0, 0}), m.ID(topology.Coord{3, 3}), topology.Invalid, false)
+}
+
+func TestOddEvenPanicsOn3D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	OddEven(topology.NewMesh(3, 3, 3))
+}

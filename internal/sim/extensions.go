@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// ExtensionFigures returns experiments beyond the paper's own evaluation:
+// the turn model applied to the Section 7 future-work topologies. They run
+// through the same harness and formatting as the paper's figures.
+func ExtensionFigures() []FigureSpec {
+	uniform := func(t topology.Topology) traffic.Pattern { return traffic.Uniform{Topo: t} }
+	hotspot := func(t topology.Topology) traffic.Pattern {
+		return traffic.Hotspot{Topo: t, Hot: topology.NodeID(t.Nodes() / 2), Fraction: 0.1}
+	}
+	return []FigureSpec{
+		{
+			ID:          "extension-hex",
+			Title:       "Uniform traffic in a 16x16 hexagonal mesh (Section 7 future work)",
+			Claim:       "the turn model extends beyond 90-degree turns: negative-first on the hex mesh is deadlock free and competitive with axis-order routing",
+			NewTopology: func() topology.Topology { return topology.NewHex(16, 16) },
+			Algorithms:  []string{"dimension-order", "negative-first"},
+			NewPattern:  uniform,
+			Rates:       []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12},
+		},
+		{
+			ID:          "extension-hex-hotspot",
+			Title:       "Hotspot traffic (10% to the center) in a 16x16 hexagonal mesh",
+			Claim:       "adaptiveness helps around hot spots, the motivation Section 1 gives for adaptive routing",
+			NewTopology: func() topology.Topology { return topology.NewHex(16, 16) },
+			Algorithms:  []string{"dimension-order", "negative-first"},
+			NewPattern:  hotspot,
+			Rates:       []float64{0.01, 0.02, 0.03, 0.04, 0.05},
+		},
+		{
+			ID:          "extension-octagonal",
+			Title:       "Uniform traffic in a 16x16 octagonal mesh (Section 7 future work)",
+			Claim:       "diagonal channels shorten paths (Chebyshev distance) and the negative-first phase split keeps routing deadlock free",
+			NewTopology: func() topology.Topology { return topology.NewOctagonal(16, 16) },
+			Algorithms:  []string{"dimension-order", "negative-first"},
+			NewPattern:  uniform,
+			Rates:       []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12},
+		},
+		{
+			ID:          "extension-odd-even",
+			Title:       "Matrix-transpose traffic in a 16x16 mesh with the odd-even turn model",
+			Claim:       "the odd-even successor model (Chiu 2000) spreads its turn prohibitions by column parity; its evenly distributed adaptiveness competes with the best of the paper's algorithms on nonuniform traffic",
+			NewTopology: func() topology.Topology { return topology.NewMesh2D(16, 16) },
+			Algorithms:  []string{"xy", "west-first", "odd-even"},
+			NewPattern: func(t topology.Topology) traffic.Pattern {
+				return traffic.NewMeshTranspose(t.(*topology.Mesh))
+			},
+			Rates: []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12},
+		},
+		{
+			ID:          "extension-mesh-hotspot",
+			Title:       "Hotspot traffic (10% to the center) in a 16x16 mesh",
+			Claim:       "partially adaptive algorithms route around the hot region; xy maintains the unevenness",
+			NewTopology: func() topology.Topology { return topology.NewMesh2D(16, 16) },
+			Algorithms:  []string{"xy", "west-first", "north-last", "negative-first"},
+			NewPattern:  hotspot,
+			Rates:       []float64{0.01, 0.02, 0.03, 0.04, 0.05},
+		},
+	}
+}
+
+// AllFigures returns the paper figures followed by the extensions.
+func AllFigures() []FigureSpec {
+	return append(Figures(), ExtensionFigures()...)
+}

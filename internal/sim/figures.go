@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// FigureSpec declares one of the paper's evaluation figures as a runnable
+// experiment: a topology, a workload, the algorithms compared, and the
+// injection-rate sweep that traces the latency-versus-throughput curve.
+type FigureSpec struct {
+	// ID is the experiment identifier, e.g. "figure13".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Claim is the paper's qualitative finding the figure supports.
+	Claim string
+	// NewTopology constructs the network.
+	NewTopology func() topology.Topology
+	// Algorithms are registry names resolved against the topology.
+	Algorithms []string
+	// NewPattern builds the workload for the topology.
+	NewPattern func(topology.Topology) traffic.Pattern
+	// Rates is the injection-rate sweep in flits/node/cycle.
+	Rates []float64
+}
+
+// Figures returns the four figures of Section 6 plus the uniform-hypercube
+// comparison the text discusses without plotting.
+func Figures() []FigureSpec {
+	mesh16 := func() topology.Topology { return topology.NewMesh2D(16, 16) }
+	cube8 := func() topology.Topology { return topology.NewHypercube(8) }
+	meshAlgs := []string{"xy", "west-first", "north-last", "negative-first"}
+	cubeAlgs := []string{"e-cube", "p-cube", "abonf", "abopl"}
+	meshRates := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.12}
+	cubeRates := []float64{0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50}
+	uniform := func(t topology.Topology) traffic.Pattern { return traffic.Uniform{Topo: t} }
+	return []FigureSpec{
+		{
+			ID:          "figure13",
+			Title:       "Uniform traffic in a 16x16 mesh",
+			Claim:       "nonadaptive xy has lower latencies at high throughputs than the partially adaptive algorithms; all perform alike at low throughputs",
+			NewTopology: mesh16, Algorithms: meshAlgs, NewPattern: uniform, Rates: meshRates,
+		},
+		{
+			ID:          "figure14",
+			Title:       "Matrix-transpose traffic in a 16x16 mesh",
+			Claim:       "the partially adaptive algorithms have lower latencies, especially at high throughputs, and sustain higher throughput than xy",
+			NewTopology: mesh16, Algorithms: meshAlgs,
+			NewPattern: func(t topology.Topology) traffic.Pattern {
+				return traffic.NewMeshTranspose(t.(*topology.Mesh))
+			},
+			Rates: meshRates,
+		},
+		{
+			ID:          "figure15",
+			Title:       "Matrix-transpose traffic in a binary 8-cube",
+			Claim:       "the partially adaptive algorithms sustain roughly twice the throughput of e-cube",
+			NewTopology: cube8, Algorithms: cubeAlgs,
+			NewPattern: func(t topology.Topology) traffic.Pattern {
+				return traffic.NewHypercubeTranspose(t.(*topology.Hypercube))
+			},
+			Rates: cubeRates,
+		},
+		{
+			ID:          "figure16",
+			Title:       "Reverse-flip traffic in a binary 8-cube",
+			Claim:       "the partially adaptive algorithms sustain roughly four times the throughput of e-cube; their sustained throughput is the hypercube's best, about 50% above e-cube with uniform traffic",
+			NewTopology: cube8, Algorithms: cubeAlgs,
+			NewPattern: func(t topology.Topology) traffic.Pattern {
+				return traffic.ReverseFlip{Cube: t.(*topology.Hypercube)}
+			},
+			Rates: cubeRates,
+		},
+		{
+			ID:          "uniform-cube",
+			Title:       "Uniform traffic in a binary 8-cube (discussed in the text)",
+			Claim:       "nonadaptive e-cube outperforms the partially adaptive algorithms at high load under uniform traffic",
+			NewTopology: cube8, Algorithms: cubeAlgs, NewPattern: uniform, Rates: cubeRates,
+		},
+	}
+}
+
+// FigureByID finds a figure spec by its ID, searching the paper figures
+// and the extension experiments.
+func FigureByID(id string) (FigureSpec, bool) {
+	for _, f := range AllFigures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// FigureResult holds the sweep results of one figure, one series per
+// algorithm.
+type FigureResult struct {
+	Spec   FigureSpec
+	Series map[string][]Result
+}
+
+// RunFigure executes the figure's sweep for every algorithm. The
+// warmup/measure windows default as in Run when zero; scale them down for
+// quick smoke runs.
+func RunFigure(spec FigureSpec, warmup, measure, seed int64) FigureResult {
+	out := FigureResult{Spec: spec, Series: make(map[string][]Result, len(spec.Algorithms))}
+	for _, name := range spec.Algorithms {
+		topo := spec.NewTopology()
+		alg, err := routing.New(name, topo)
+		if err != nil {
+			panic(fmt.Sprintf("sim: figure %s: %v", spec.ID, err))
+		}
+		cfg := Config{
+			Routing:       alg,
+			Pattern:       spec.NewPattern(topo),
+			WarmupCycles:  warmup,
+			MeasureCycles: measure,
+			Seed:          seed,
+		}
+		out.Series[name] = Sweep(cfg, spec.Rates)
+	}
+	return out
+}
+
+// MaxSustainable reports the highest sustained throughput (flits/us) of a
+// series and the injection rate it occurred at.
+func MaxSustainable(series []Result) (rate, throughput float64) {
+	for _, r := range series {
+		if r.Sustainable && r.ThroughputFlitsPerUs > throughput {
+			throughput = r.ThroughputFlitsPerUs
+			rate = r.InjectionRate
+		}
+	}
+	return rate, throughput
+}
+
+// Table renders the figure's series as the latency-versus-throughput rows
+// the paper plots, followed by a sustainable-throughput summary.
+func (fr FigureResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", fr.Spec.ID, fr.Spec.Title)
+	fmt.Fprintf(&b, "paper: %s\n\n", fr.Spec.Claim)
+	algs := append([]string(nil), fr.Spec.Algorithms...)
+	fmt.Fprintf(&b, "%-8s", "rate")
+	for _, a := range algs {
+		fmt.Fprintf(&b, " | %27s", a)
+	}
+	fmt.Fprintf(&b, "\n%-8s", "")
+	for range algs {
+		fmt.Fprintf(&b, " | %12s %8s %5s", "thr flits/us", "lat us", "sust")
+	}
+	b.WriteString("\n")
+	for i := range fr.Spec.Rates {
+		fmt.Fprintf(&b, "%-8.3f", fr.Spec.Rates[i])
+		for _, a := range algs {
+			r := fr.Series[a][i]
+			sust := " "
+			if r.Sustainable {
+				sust = "yes"
+			}
+			fmt.Fprintf(&b, " | %12.1f %8.2f %5s", r.ThroughputFlitsPerUs, r.AvgLatencyUs, sust)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nmax sustainable throughput:\n")
+	type knee struct {
+		alg  string
+		rate float64
+		thr  float64
+	}
+	knees := make([]knee, 0, len(algs))
+	for _, a := range algs {
+		r, thr := MaxSustainable(fr.Series[a])
+		knees = append(knees, knee{a, r, thr})
+	}
+	sort.Slice(knees, func(i, j int) bool { return knees[i].thr > knees[j].thr })
+	for _, k := range knees {
+		fmt.Fprintf(&b, "  %-16s %8.1f flits/us (at rate %.3f)\n", k.alg, k.thr, k.rate)
+	}
+	return b.String()
+}

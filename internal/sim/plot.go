@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure's latency-versus-throughput curves as an ASCII
+// chart in the orientation the paper uses: throughput (flits/us) on the x
+// axis, average latency (us) on the y axis. Unsustainable points are still
+// plotted — they trace the characteristic upward bend at saturation.
+func (fr FigureResult) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	symbols := []byte{'x', 'o', '+', '*', '#', '@'}
+	maxThr, maxLat := 0.0, 0.0
+	for _, series := range fr.Series {
+		for _, r := range series {
+			maxThr = math.Max(maxThr, r.ThroughputFlitsPerUs)
+			maxLat = math.Max(maxLat, r.AvgLatencyUs)
+		}
+	}
+	if maxThr == 0 || maxLat == 0 {
+		return "(no data)\n"
+	}
+	// Cap the latency axis: deep saturation dwarfs the interesting knee.
+	latCap := maxLat
+	if latCap > 400 {
+		latCap = 400
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ai, alg := range fr.Spec.Algorithms {
+		sym := symbols[ai%len(symbols)]
+		for _, r := range fr.Series[alg] {
+			x := int(r.ThroughputFlitsPerUs / maxThr * float64(width-1))
+			lat := math.Min(r.AvgLatencyUs, latCap)
+			y := height - 1 - int(lat/latCap*float64(height-1))
+			if x < 0 || x >= width || y < 0 || y >= height {
+				continue
+			}
+			grid[y][x] = sym
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — latency (us, up to %.0f) vs throughput (flits/us, up to %.0f)\n", fr.Spec.ID, latCap, maxThr)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", row)
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "   legend:")
+	for ai, alg := range fr.Spec.Algorithms {
+		fmt.Fprintf(&b, " %c=%s", symbols[ai%len(symbols)], alg)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

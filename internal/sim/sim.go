@@ -1,0 +1,300 @@
+// Package sim is the experiment harness that reproduces the paper's
+// Section 6 simulations: it drives the wormhole network simulator with
+// Poisson message generation per processor, bimodal packet lengths (10 or
+// 200 flits with equal probability), a warmup period and a measurement
+// window, and reports the two figures of merit of the paper — average
+// communication latency in microseconds and average sustained network
+// throughput in flits delivered per microsecond.
+package sim
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"turnmodel/internal/network"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/stats"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+// DefaultLengths are the paper's two packet sizes in flits; each message
+// is one packet of either length with equal probability.
+var DefaultLengths = []int{10, 200}
+
+// Config describes one simulation run.
+type Config struct {
+	// Routing selects the algorithm (and with it the topology).
+	Routing routing.Algorithm
+	// Pattern selects the workload.
+	Pattern traffic.Pattern
+	// InjectionRate is the offered load per processor in flits per
+	// cycle. At the paper's 20 flits/us channel bandwidth, a rate of
+	// 0.05 means each processor offers one flit per microsecond.
+	InjectionRate float64
+	// Lengths are the candidate packet lengths, chosen uniformly.
+	// Defaults to DefaultLengths.
+	Lengths []int
+	// WarmupCycles and MeasureCycles bound the run. Defaults: 20000
+	// warmup, 40000 measurement.
+	WarmupCycles, MeasureCycles int64
+	// Seed makes runs reproducible.
+	Seed int64
+	// Output and Input select arbitration policies; nil selects the
+	// paper's defaults (lowest-dimension output, local FCFS input).
+	Output network.OutputPolicy
+	Input  network.InputPolicy
+	// WatchdogCycles is forwarded to the network (see network.Config).
+	WatchdogCycles int64
+	// RoutingDelay is forwarded to the network: extra cycles per routing
+	// decision (see network.Config).
+	RoutingDelay int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if len(out.Lengths) == 0 {
+		out.Lengths = DefaultLengths
+	}
+	if out.WarmupCycles == 0 {
+		out.WarmupCycles = 20000
+	}
+	if out.MeasureCycles == 0 {
+		out.MeasureCycles = 40000
+	}
+	return out
+}
+
+// meanLength is the expected packet length under the configured mix.
+func meanLength(lengths []int) float64 {
+	total := 0
+	for _, l := range lengths {
+		total += l
+	}
+	return float64(total) / float64(len(lengths))
+}
+
+// Result summarizes one run.
+type Result struct {
+	Algorithm string
+	Pattern   string
+	// InjectionRate is the offered load in flits per node per cycle.
+	InjectionRate float64
+	// OfferedFlitsPerUs is the total offered load in flits/us
+	// network-wide (InjectionRate x nodes x 20).
+	OfferedFlitsPerUs float64
+	// ThroughputFlitsPerUs is the measured delivery rate network-wide
+	// in flits per microsecond — the paper's throughput axis.
+	ThroughputFlitsPerUs float64
+	// AvgLatencyUs is the mean message latency (generation to tail
+	// consumption) in microseconds — the paper's latency axis.
+	AvgLatencyUs float64
+	// P95LatencyUs is the 95th-percentile latency in microseconds.
+	P95LatencyUs float64
+	// AvgHops is the mean header path length of measured packets.
+	AvgHops float64
+	// Packets is the number of packets the latency average covers.
+	Packets int64
+	// MaxQueue is the longest source queue seen at the end of the run;
+	// sustainability requires it to stay small and bounded.
+	MaxQueue int
+	// QueueGrowth is the increase of total in-flight packets across the
+	// measurement window; a saturated network grows without bound.
+	QueueGrowth int
+	// Sustainable is the harness's judgement that the offered load was
+	// accepted: delivery kept pace with generation and queues stayed
+	// bounded.
+	Sustainable bool
+	// Deadlocked reports that the network watchdog fired (only possible
+	// for routing algorithms outside the turn model).
+	Deadlocked bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s rate=%.4f thr=%.1f flits/us lat=%.2f us (p95 %.2f) hops=%.2f sustainable=%v",
+		r.Algorithm, r.Pattern, r.InjectionRate, r.ThroughputFlitsPerUs, r.AvgLatencyUs, r.P95LatencyUs, r.AvgHops, r.Sustainable)
+}
+
+// Run executes one simulation and reports the measurement-window results.
+// A deadlock (possible only for non-turn-model routing) is reported in the
+// Result rather than as an error.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	net := network.New(network.Config{
+		Routing:        cfg.Routing,
+		Output:         cfg.Output,
+		Input:          cfg.Input,
+		Seed:           cfg.Seed,
+		WatchdogCycles: cfg.WatchdogCycles,
+		RoutingDelay:   cfg.RoutingDelay,
+	})
+	return measure(cfg, cfg.Routing.Name(), cfg.Routing.Topology(), net)
+}
+
+// measure drives an engine through warmup and measurement with Poisson
+// per-processor generation and collects the Result. cfg must already have
+// defaults applied.
+func measure(cfg Config, algName string, topo topology.Topology, net engine) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	// Fixed points of permutation patterns consume their own messages
+	// locally and never load the network, so the effective offered load
+	// counts only the injecting sources.
+	injecting := traffic.InjectingFraction(cfg.Pattern, topo)
+	res := Result{
+		Algorithm:         algName,
+		Pattern:           cfg.Pattern.Name(),
+		InjectionRate:     cfg.InjectionRate,
+		OfferedFlitsPerUs: cfg.InjectionRate * float64(topo.Nodes()) * injecting * network.FlitsPerMicrosecond,
+	}
+
+	// Per-node Poisson arrival processes: the mean interarrival time in
+	// cycles delivers InjectionRate flits per cycle on average.
+	meanGap := meanLength(cfg.Lengths) / cfg.InjectionRate
+	next := make([]float64, topo.Nodes())
+	for i := range next {
+		next[i] = rng.ExpFloat64() * meanGap
+	}
+	generate := func(cycle int64) {
+		for node := range next {
+			for next[node] <= float64(cycle) {
+				next[node] += rng.ExpFloat64() * meanGap
+				dst := cfg.Pattern.Dest(topology.NodeID(node), rng)
+				if dst == topology.NodeID(node) {
+					continue // fixed point: consumed locally
+				}
+				length := cfg.Lengths[rng.Intn(len(cfg.Lengths))]
+				net.Enqueue(topology.NodeID(node), dst, length)
+			}
+		}
+	}
+
+	var lat stats.Sample
+	var hops stats.Accumulator
+	deadlocked := false
+
+	for cycle := int64(0); cycle < cfg.WarmupCycles && !deadlocked; cycle++ {
+		generate(cycle)
+		if err := net.Step(); err != nil {
+			deadlocked = true
+		}
+	}
+	net.TakeDelivered()
+	flitsBefore := net.FlitsConsumed()
+	inFlightBefore := net.InFlight()
+	measureStart := net.Cycle()
+
+	for cycle := int64(0); cycle < cfg.MeasureCycles && !deadlocked; cycle++ {
+		generate(measureStart + cycle)
+		if err := net.Step(); err != nil {
+			deadlocked = true
+		}
+		for _, p := range net.TakeDelivered() {
+			if p.Created >= measureStart-cfg.WarmupCycles/2 {
+				lat.Add(network.Microseconds(p.Latency()))
+				hops.Add(float64(p.Hops))
+			}
+		}
+	}
+
+	elapsed := net.Cycle() - measureStart
+	if elapsed > 0 {
+		res.ThroughputFlitsPerUs = float64(net.FlitsConsumed()-flitsBefore) / network.Microseconds(elapsed)
+	}
+	res.AvgLatencyUs = lat.Mean()
+	res.P95LatencyUs = lat.Percentile(95)
+	res.AvgHops = hops.Mean()
+	res.Packets = lat.Count()
+	res.MaxQueue = net.MaxQueueLen()
+	res.QueueGrowth = net.InFlight() - inFlightBefore
+	res.Deadlocked = deadlocked
+
+	// Sustainability per Section 6: the number of packets queued at the
+	// sources stays small and bounded. By conservation, offered load the
+	// network does not accept accumulates as backlog, so bounded backlog
+	// growth across the measurement window is the whole criterion: we
+	// allow a small absolute slack plus 2% of the packets generated in
+	// the window.
+	expected := expectedPackets(cfg, topo.Nodes()) * injecting
+	bounded := float64(res.QueueGrowth) <= 50+0.02*expected
+	res.Sustainable = !deadlocked && bounded
+	return res
+}
+
+// expectedPackets estimates how many packets the whole network generates
+// during the measurement window.
+func expectedPackets(cfg Config, nodes int) float64 {
+	return cfg.InjectionRate * float64(cfg.MeasureCycles) * float64(nodes) / meanLength(cfg.Lengths)
+}
+
+// Sweep runs the configuration at each injection rate and returns one
+// Result per rate, in order. It is the engine behind the latency-versus-
+// throughput curves of Figures 13-16.
+func Sweep(base Config, rates []float64) []Result {
+	out := make([]Result, 0, len(rates))
+	for i, r := range rates {
+		cfg := base
+		cfg.InjectionRate = r
+		cfg.Seed = base.Seed + int64(i)*7919
+		out = append(out, Run(cfg))
+	}
+	return out
+}
+
+// SaturationBisect refines the maximum sustainable injection rate by
+// bisection: lo must be sustainable and hi unsustainable (verified with
+// one run each; it panics otherwise, since bisection would be meaningless)
+// and each iteration halves the bracket. It returns the highest rate
+// found sustainable and the throughput measured there. Use it after a
+// coarse Sweep has located the knee's neighborhood.
+func SaturationBisect(base Config, lo, hi float64, iters int) (rate, throughput float64) {
+	run := func(r float64, seedSalt int64) Result {
+		cfg := base
+		cfg.InjectionRate = r
+		cfg.Seed = base.Seed + seedSalt
+		return Run(cfg)
+	}
+	low := run(lo, 1)
+	if !low.Sustainable {
+		panic(fmt.Sprintf("sim: SaturationBisect lower bound %v is not sustainable", lo))
+	}
+	if high := run(hi, 2); high.Sustainable {
+		panic(fmt.Sprintf("sim: SaturationBisect upper bound %v is sustainable", hi))
+	}
+	rate, throughput = lo, low.ThroughputFlitsPerUs
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		res := run(mid, 3+int64(i))
+		if res.Sustainable {
+			lo = mid
+			rate, throughput = mid, res.ThroughputFlitsPerUs
+		} else {
+			hi = mid
+		}
+	}
+	return rate, throughput
+}
+
+// SaturationThroughput estimates the maximum sustainable throughput (in
+// flits per microsecond) by sweeping injection rates upward from lo to hi
+// in the given number of steps and reporting the highest sustained
+// delivery rate observed.
+func SaturationThroughput(base Config, lo, hi float64, steps int) (rate float64, throughput float64) {
+	if steps < 2 {
+		panic("sim: need at least two steps")
+	}
+	best, bestRate := 0.0, lo
+	for i := 0; i < steps; i++ {
+		r := lo + (hi-lo)*float64(i)/float64(steps-1)
+		cfg := base
+		cfg.InjectionRate = r
+		cfg.Seed = base.Seed + int64(i)*104729
+		res := Run(cfg)
+		if res.Sustainable && res.ThroughputFlitsPerUs > best {
+			best = res.ThroughputFlitsPerUs
+			bestRate = r
+		}
+	}
+	return bestRate, best
+}

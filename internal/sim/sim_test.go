@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+)
+
+func meshCfg(t *testing.T, alg string, rate float64) Config {
+	t.Helper()
+	mesh := topology.NewMesh2D(8, 8)
+	a, err := routing.New(alg, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Routing:       a,
+		Pattern:       traffic.Uniform{Topo: mesh},
+		InjectionRate: rate,
+		WarmupCycles:  2000,
+		MeasureCycles: 5000,
+		Seed:          11,
+	}
+}
+
+func TestRunLowLoadIsSustainable(t *testing.T) {
+	r := Run(meshCfg(t, "xy", 0.01))
+	if !r.Sustainable {
+		t.Errorf("low load not sustainable: %+v", r)
+	}
+	if r.Deadlocked {
+		t.Error("xy deadlocked")
+	}
+	if r.Packets == 0 {
+		t.Fatal("no packets measured")
+	}
+	// Accepted throughput must be close to offered.
+	if r.ThroughputFlitsPerUs < 0.9*r.OfferedFlitsPerUs {
+		t.Errorf("throughput %v far below offered %v", r.ThroughputFlitsPerUs, r.OfferedFlitsPerUs)
+	}
+	// Zero-load latency is near the analytic value: avg distance ~5.33
+	// hops plus mean packet length 105 minus 1, in cycles / 20.
+	want := (5.33 + 105 - 1) / 20
+	if r.AvgLatencyUs < 0.8*want || r.AvgLatencyUs > 2.5*want {
+		t.Errorf("low-load latency %.2f us; want near %.2f us", r.AvgLatencyUs, want)
+	}
+	if r.AvgHops < 4.5 || r.AvgHops > 6.5 {
+		t.Errorf("AvgHops = %.2f, want ~5.3", r.AvgHops)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunOverloadIsUnsustainable(t *testing.T) {
+	r := Run(meshCfg(t, "xy", 0.5))
+	if r.Sustainable {
+		t.Errorf("gross overload marked sustainable: %+v", r)
+	}
+	if r.QueueGrowth <= 0 {
+		t.Errorf("overload did not grow queues: %d", r.QueueGrowth)
+	}
+	// Throughput saturates well below offered.
+	if r.ThroughputFlitsPerUs > 0.8*r.OfferedFlitsPerUs {
+		t.Errorf("overloaded throughput %v suspiciously close to offered %v", r.ThroughputFlitsPerUs, r.OfferedFlitsPerUs)
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	low := Run(meshCfg(t, "west-first", 0.01))
+	high := Run(meshCfg(t, "west-first", 0.08))
+	if high.AvgLatencyUs <= low.AvgLatencyUs {
+		t.Errorf("latency did not increase with load: %.2f -> %.2f", low.AvgLatencyUs, high.AvgLatencyUs)
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a := Run(meshCfg(t, "negative-first", 0.05))
+	b := Run(meshCfg(t, "negative-first", 0.05))
+	if a != b {
+		t.Errorf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := meshCfg(t, "xy", 0.05)
+	a := Run(cfg)
+	cfg.Seed++
+	b := Run(cfg)
+	if a.AvgLatencyUs == b.AvgLatencyUs && a.Packets == b.Packets {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestDeadlockReportedInResult(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	cfg := Config{
+		Routing:        routing.FullyAdaptive(mesh),
+		Pattern:        traffic.Uniform{Topo: mesh},
+		InjectionRate:  1.0,
+		WarmupCycles:   30000,
+		MeasureCycles:  30000,
+		Seed:           1,
+		WatchdogCycles: 1500,
+	}
+	r := Run(cfg)
+	if !r.Deadlocked {
+		t.Error("fully adaptive overload did not deadlock")
+	}
+	if r.Sustainable {
+		t.Error("deadlocked run marked sustainable")
+	}
+}
+
+func TestFixedPointsReduceOfferedLoad(t *testing.T) {
+	mesh := topology.NewMesh2D(8, 8)
+	a, err := routing.New("xy", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Routing: a, Pattern: traffic.NewMeshTranspose(mesh),
+		InjectionRate: 0.04, WarmupCycles: 5000, MeasureCycles: 30000, Seed: 3,
+	}
+	r := Run(cfg)
+	// 8 of 64 nodes are fixed points: effective offered load is 56/64
+	// of the nominal rate.
+	want := 0.04 * 64 * (56.0 / 64.0) * 20
+	if math.Abs(r.OfferedFlitsPerUs-want) > 1e-9 {
+		t.Errorf("OfferedFlitsPerUs = %v, want %v", r.OfferedFlitsPerUs, want)
+	}
+	if !r.Sustainable {
+		t.Errorf("light transpose load unsustainable: %+v", r)
+	}
+}
+
+func TestSweepOrdersAndLabels(t *testing.T) {
+	cfg := meshCfg(t, "xy", 0)
+	rates := []float64{0.01, 0.03}
+	rs := Sweep(cfg, rates)
+	if len(rs) != 2 {
+		t.Fatalf("Sweep returned %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.InjectionRate != rates[i] {
+			t.Errorf("result %d has rate %v", i, r.InjectionRate)
+		}
+		if r.Algorithm != "xy" || r.Pattern != "uniform" {
+			t.Errorf("labels wrong: %+v", r)
+		}
+	}
+	if rs[0].ThroughputFlitsPerUs >= rs[1].ThroughputFlitsPerUs {
+		t.Error("throughput did not increase in the sustainable region")
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	cfg := meshCfg(t, "xy", 0)
+	rate, thr := SaturationThroughput(cfg, 0.01, 0.1, 4)
+	if thr <= 0 {
+		t.Fatalf("no sustainable point found (rate %v)", rate)
+	}
+	if rate < 0.01 || rate > 0.1 {
+		t.Errorf("rate %v outside sweep bounds", rate)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for steps < 2")
+			}
+		}()
+		SaturationThroughput(cfg, 0.01, 0.1, 1)
+	}()
+}
+
+func TestFiguresCatalog(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 5 {
+		t.Fatalf("got %d figures, want 5", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || f.Claim == "" {
+			t.Errorf("figure %q incomplete", f.ID)
+		}
+		if ids[f.ID] {
+			t.Errorf("duplicate figure id %q", f.ID)
+		}
+		ids[f.ID] = true
+		if len(f.Rates) < 5 {
+			t.Errorf("%s: too few sweep rates", f.ID)
+		}
+		topo := f.NewTopology()
+		if topo.Nodes() != 256 {
+			t.Errorf("%s: topology has %d nodes, want 256", f.ID, topo.Nodes())
+		}
+		for _, a := range f.Algorithms {
+			if _, err := routing.New(a, f.NewTopology()); err != nil {
+				t.Errorf("%s: algorithm %s: %v", f.ID, a, err)
+			}
+		}
+		if f.NewPattern(topo) == nil {
+			t.Errorf("%s: nil pattern", f.ID)
+		}
+	}
+	for _, want := range []string{"figure13", "figure14", "figure15", "figure16", "uniform-cube"} {
+		if !ids[want] {
+			t.Errorf("missing figure %q", want)
+		}
+	}
+	if _, ok := FigureByID("figure13"); !ok {
+		t.Error("FigureByID failed")
+	}
+	if _, ok := FigureByID("nope"); ok {
+		t.Error("FigureByID found a ghost")
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	// A scaled-down figure run: tiny windows, but the full pipeline.
+	spec, _ := FigureByID("figure13")
+	spec.Rates = []float64{0.01, 0.05}
+	fr := RunFigure(spec, 500, 1000, 2)
+	if len(fr.Series) != 4 {
+		t.Fatalf("series for %d algorithms, want 4", len(fr.Series))
+	}
+	for alg, series := range fr.Series {
+		if len(series) != 2 {
+			t.Errorf("%s: %d points", alg, len(series))
+		}
+	}
+	tab := fr.Table()
+	for _, want := range []string{"figure13", "xy", "west-first", "max sustainable"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	if _, thr := MaxSustainable(fr.Series["xy"]); thr <= 0 {
+		t.Error("no sustainable point in smoke run")
+	}
+}
+
+func TestExtensionFiguresCatalog(t *testing.T) {
+	exts := ExtensionFigures()
+	if len(exts) < 4 {
+		t.Fatalf("got %d extension figures", len(exts))
+	}
+	for _, f := range exts {
+		if f.ID == "" || f.Title == "" || f.Claim == "" {
+			t.Errorf("extension %q incomplete", f.ID)
+		}
+		topo := f.NewTopology()
+		for _, a := range f.Algorithms {
+			if _, err := routing.New(a, f.NewTopology()); err != nil {
+				t.Errorf("%s: algorithm %s: %v", f.ID, a, err)
+			}
+		}
+		if f.NewPattern(topo) == nil {
+			t.Errorf("%s: nil pattern", f.ID)
+		}
+	}
+	if len(AllFigures()) != len(Figures())+len(exts) {
+		t.Error("AllFigures does not combine both catalogs")
+	}
+	if _, ok := FigureByID("extension-hex"); !ok {
+		t.Error("FigureByID cannot find extensions")
+	}
+}
+
+func TestExtensionFigureSmoke(t *testing.T) {
+	spec, ok := FigureByID("extension-octagonal")
+	if !ok {
+		t.Fatal("extension-octagonal missing")
+	}
+	spec.Rates = []float64{0.02}
+	fr := RunFigure(spec, 300, 800, 4)
+	if len(fr.Series) != 2 {
+		t.Fatalf("series = %d", len(fr.Series))
+	}
+	for alg, series := range fr.Series {
+		if series[0].Packets == 0 {
+			t.Errorf("%s: no packets", alg)
+		}
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	spec, _ := FigureByID("figure13")
+	spec.Rates = []float64{0.02, 0.05}
+	fr := RunFigure(spec, 300, 800, 3)
+	plot := fr.Plot(60, 16)
+	for _, want := range []string{"figure13", "legend:", "x=xy", "o=west-first"} {
+		if !strings.Contains(plot, want) {
+			t.Errorf("plot missing %q:\n%s", want, plot)
+		}
+	}
+	lines := strings.Split(plot, "\n")
+	if len(lines) < 16 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+	// Data symbols must actually appear in the grid.
+	if !strings.Contains(plot, "x") || !strings.Contains(plot, "o") {
+		t.Error("no data points plotted")
+	}
+	// Degenerate sizes are clamped, empty data reported.
+	small := fr.Plot(1, 1)
+	if small == "" {
+		t.Error("clamped plot empty")
+	}
+	empty := FigureResult{Spec: spec, Series: map[string][]Result{}}
+	if got := empty.Plot(40, 10); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestRunFigurePanicsOnBadAlgorithm(t *testing.T) {
+	spec, _ := FigureByID("figure13")
+	spec.Algorithms = []string{"no-such"}
+	spec.Rates = []float64{0.01}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RunFigure(spec, 100, 200, 1)
+}
+
+func TestSaturationBisect(t *testing.T) {
+	cfg := meshCfg(t, "xy", 0)
+	cfg.WarmupCycles, cfg.MeasureCycles = 4000, 12000
+	rate, thr := SaturationBisect(cfg, 0.01, 0.5, 4)
+	if rate <= 0.01 || rate >= 0.5 {
+		t.Errorf("bisected rate %v outside the bracket", rate)
+	}
+	if thr <= 0 {
+		t.Error("no throughput at the bisected rate")
+	}
+	// Misuse panics: a saturated lower bound.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for unsustainable lower bound")
+			}
+		}()
+		SaturationBisect(cfg, 0.5, 0.6, 2)
+	}()
+}

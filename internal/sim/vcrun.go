@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"turnmodel/internal/network"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+	"turnmodel/internal/vc"
+	"turnmodel/internal/vcnet"
+)
+
+// engine abstracts the two simulators (physical-channel and
+// virtual-channel) behind the measurement protocol of Run.
+type engine interface {
+	Step() error
+	Enqueue(src, dst topology.NodeID, length int) *network.Packet
+	Cycle() int64
+	FlitsConsumed() int64
+	InFlight() int
+	MaxQueueLen() int
+	TakeDelivered() []*network.Packet
+}
+
+// VCConfig describes one run on the virtual-channel simulator.
+type VCConfig struct {
+	// Routing is the virtual-channel routing algorithm.
+	Routing vc.Algorithm
+	// Pattern, InjectionRate, Lengths, windows and Seed as in Config.
+	Pattern                     traffic.Pattern
+	InjectionRate               float64
+	Lengths                     []int
+	WarmupCycles, MeasureCycles int64
+	Seed                        int64
+	WatchdogCycles              int64
+}
+
+// RunVC executes one virtual-channel simulation with the same generation
+// and measurement protocol as Run.
+func RunVC(cfg VCConfig) Result {
+	proto := Config{
+		Pattern:       cfg.Pattern,
+		InjectionRate: cfg.InjectionRate,
+		Lengths:       cfg.Lengths,
+		WarmupCycles:  cfg.WarmupCycles,
+		MeasureCycles: cfg.MeasureCycles,
+		Seed:          cfg.Seed,
+	}
+	base := proto.withDefaults()
+	net := vcnet.New(vcnet.Config{Routing: cfg.Routing, WatchdogCycles: cfg.WatchdogCycles})
+	return measure(base, cfg.Routing.Name(), cfg.Routing.Topology(), net)
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+	"turnmodel/internal/vc"
+)
+
+func TestRunVCLowLoad(t *testing.T) {
+	mesh := topology.NewMesh2D(8, 8)
+	alg, err := vc.New("double-y", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunVC(VCConfig{
+		Routing:       alg,
+		Pattern:       traffic.Uniform{Topo: mesh},
+		InjectionRate: 0.04,
+		WarmupCycles:  3000,
+		MeasureCycles: 15000,
+		Seed:          2,
+	})
+	if !r.Sustainable || r.Deadlocked {
+		t.Errorf("low-load VC run failed: %+v", r)
+	}
+	if r.Algorithm != "double-y" {
+		t.Errorf("Algorithm = %q", r.Algorithm)
+	}
+	if r.Packets == 0 || r.AvgHops < 4 || r.AvgHops > 7 {
+		t.Errorf("suspicious stats: %+v", r)
+	}
+}
+
+func TestRunVCMatchesRunForLiftedAlgorithm(t *testing.T) {
+	// The two engines share the measurement protocol; for a single-VC
+	// lifted algorithm at light load the results must agree closely
+	// (they are not bit-identical: arbitration details differ).
+	mesh := topology.NewMesh2D(8, 8)
+	balg, err := vc.New("xy", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres := RunVC(VCConfig{
+		Routing: balg, Pattern: traffic.Uniform{Topo: mesh},
+		InjectionRate: 0.03, WarmupCycles: 3000, MeasureCycles: 15000, Seed: 2,
+	})
+	cfg := Config{InjectionRate: 0.03, WarmupCycles: 3000, MeasureCycles: 15000, Seed: 2,
+		Pattern: traffic.Uniform{Topo: mesh}}
+	var err2 error
+	cfg.Routing, err2 = routing.New("xy", mesh)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	pres := Run(cfg)
+	if diff := vres.AvgLatencyUs - pres.AvgLatencyUs; diff > 1 || diff < -1 {
+		t.Errorf("engines disagree at light load: vc=%.2f phys=%.2f us", vres.AvgLatencyUs, pres.AvgLatencyUs)
+	}
+	if !vres.Sustainable || !pres.Sustainable {
+		t.Error("light load unsustainable")
+	}
+}
+
+func TestVCComparisonSmoke(t *testing.T) {
+	out := VCComparison(500, 1500, 1)
+	for _, want := range []string{"double-y", "west-first", "xy", "matrix-transpose", "uniform"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q", want)
+		}
+	}
+}

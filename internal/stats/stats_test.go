@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Error("zero accumulator not zeroed")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.Count() != 8 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 32/7.
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if math.Abs(a.StdDev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", a.StdDev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAccumulatorSingleSample(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 || a.Min() != 3 || a.Max() != 3 {
+		t.Errorf("single sample stats wrong: %v", a.String())
+	}
+}
+
+func TestAccumulatorMatchesNaiveMean(t *testing.T) {
+	err := quick.Check(func(vals []float64) bool {
+		var a Accumulator
+		sum := 0.0
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			a.Add(v)
+			sum += v
+			n++
+		}
+		if n == 0 {
+			return a.Count() == 0
+		}
+		naive := sum / float64(n)
+		scale := math.Max(1, math.Abs(naive))
+		return math.Abs(a.Mean()-naive)/scale < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 {
+		t.Error("empty sample percentile not 0")
+	}
+	for i := 100; i >= 1; i-- { // reverse order: Percentile must sort
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100}, {150, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Adding after a percentile query must keep working.
+	s.Add(1000)
+	if got := s.Percentile(100); got != 1000 {
+		t.Errorf("Percentile(100) after Add = %v", got)
+	}
+}

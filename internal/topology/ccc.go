@@ -1,0 +1,175 @@
+package topology
+
+import "fmt"
+
+// CCC is a cube-connected cycles network — the last of the topologies
+// Section 7 names for future application of the turn model. CCC(n)
+// replaces every corner of a binary n-cube with a ring of n nodes; node
+// (c, p) is position p of the ring at corner c. Each node has degree
+// three: ring successor, ring predecessor, and the cube edge to corner
+// c XOR 2^p.
+//
+// The directions map onto two axes:
+//
+//	axis 0: the cube ("lateral") edge — positive sets bit p of the
+//	        corner, negative clears it, so exactly one of the two
+//	        exists at every node;
+//	axis 1: the ring — positive advances p (mod n), negative retreats.
+//
+// Coordinates are {corner, position}. Shortest-path distances are exact:
+// they are precomputed by breadth-first search at construction, which
+// bounds practical sizes to n <= 7 (896 nodes).
+type CCC struct {
+	n     int
+	nodes int
+	dist  []int16
+}
+
+// NewCCC builds a cube-connected cycles network of order n.
+func NewCCC(n int) *CCC {
+	if n < 3 {
+		panic("topology: CCC needs n >= 3 (smaller rings degenerate)")
+	}
+	if n > 7 {
+		panic("topology: CCC larger than n=7 (896 nodes) not supported")
+	}
+	c := &CCC{n: n, nodes: (1 << uint(n)) * n}
+	c.dist = make([]int16, c.nodes*c.nodes)
+	for i := range c.dist {
+		c.dist[i] = -1
+	}
+	queue := make([]NodeID, 0, c.nodes)
+	for src := NodeID(0); int(src) < c.nodes; src++ {
+		base := int(src) * c.nodes
+		c.dist[base+int(src)] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, d := range Directions(2) {
+				nb, ok := c.Neighbor(cur, d)
+				if !ok {
+					continue
+				}
+				if c.dist[base+int(nb)] < 0 {
+					c.dist[base+int(nb)] = c.dist[base+int(cur)] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Name implements Topology.
+func (c *CCC) Name() string { return fmt.Sprintf("ccc(%d)", c.n) }
+
+// Order reports n, the underlying cube dimension and ring length.
+func (c *CCC) Order() int { return c.n }
+
+// Dims implements Topology: the cube axis and the ring axis.
+func (c *CCC) Dims() int { return 2 }
+
+// Size implements Topology: 2^n corners on axis 0, n positions on axis 1.
+func (c *CCC) Size(dim int) int {
+	switch dim {
+	case 0:
+		return 1 << uint(c.n)
+	case 1:
+		return c.n
+	}
+	panic(fmt.Sprintf("topology: ccc has no dimension %d", dim))
+}
+
+// Nodes implements Topology.
+func (c *CCC) Nodes() int { return c.nodes }
+
+// Coord implements Topology: {corner, position}.
+func (c *CCC) Coord(id NodeID) Coord {
+	if id < 0 || int(id) >= c.nodes {
+		panic(fmt.Sprintf("topology: node %d out of range", id))
+	}
+	return Coord{int(id) / c.n, int(id) % c.n}
+}
+
+// ID implements Topology.
+func (c *CCC) ID(co Coord) NodeID {
+	if len(co) != 2 || co[0] < 0 || co[0] >= 1<<uint(c.n) || co[1] < 0 || co[1] >= c.n {
+		panic(fmt.Sprintf("topology: %v is not a ccc(%d) coordinate", co, c.n))
+	}
+	return NodeID(co[0]*c.n + co[1])
+}
+
+// Corner and Position decode a node without allocating.
+func (c *CCC) Corner(id NodeID) int   { return int(id) / c.n }
+func (c *CCC) Position(id NodeID) int { return int(id) % c.n }
+
+// Neighbor implements Topology.
+func (c *CCC) Neighbor(id NodeID, d Direction) (NodeID, bool) {
+	corner, pos := c.Corner(id), c.Position(id)
+	switch d {
+	case Dir(0, true): // set bit pos
+		if corner&(1<<uint(pos)) != 0 {
+			return 0, false
+		}
+		return c.ID(Coord{corner | 1<<uint(pos), pos}), true
+	case Dir(0, false): // clear bit pos
+		if corner&(1<<uint(pos)) == 0 {
+			return 0, false
+		}
+		return c.ID(Coord{corner &^ (1 << uint(pos)), pos}), true
+	case Dir(1, true):
+		return c.ID(Coord{corner, (pos + 1) % c.n}), true
+	case Dir(1, false):
+		return c.ID(Coord{corner, (pos - 1 + c.n) % c.n}), true
+	}
+	return 0, false
+}
+
+// Wraparound implements Topology: the ring edges that close each cycle.
+func (c *CCC) Wraparound(id NodeID, d Direction) bool {
+	pos := c.Position(id)
+	switch d {
+	case Dir(1, true):
+		return pos == c.n-1
+	case Dir(1, false):
+		return pos == 0
+	}
+	return false
+}
+
+// Distance implements Topology (exact, from the precomputed BFS).
+func (c *CCC) Distance(from, to NodeID) int {
+	return int(c.dist[int(from)*c.nodes+int(to)])
+}
+
+// MinimalDirections implements Topology: the directions whose neighbor is
+// strictly closer to the destination.
+func (c *CCC) MinimalDirections(from, to NodeID) []Direction {
+	if from == to {
+		return nil
+	}
+	var ds []Direction
+	for _, d := range Directions(2) {
+		if nb, ok := c.Neighbor(from, d); ok && c.Distance(nb, to) == c.Distance(from, to)-1 {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// Channels implements Topology.
+func (c *CCC) Channels() []Channel {
+	var chs []Channel
+	for id := NodeID(0); int(id) < c.nodes; id++ {
+		for _, d := range Directions(2) {
+			if to, ok := c.Neighbor(id, d); ok {
+				chs = append(chs, Channel{From: id, To: to, Dir: d, Wrap: c.Wraparound(id, d)})
+			}
+		}
+	}
+	return chs
+}
+
+var _ Topology = (*CCC)(nil)

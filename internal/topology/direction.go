@@ -1,0 +1,85 @@
+package topology
+
+import "fmt"
+
+// Direction identifies one of the 2n virtual directions in an n-dimensional
+// network. Direction 2*i is the negative direction of dimension i and
+// 2*i+1 is the positive direction. In the 2D-mesh terminology of the paper,
+// dimension 0 is x and dimension 1 is y, so West=0, East=1, South=2, North=3.
+type Direction int
+
+// The four 2D-mesh directions used throughout the paper.
+const (
+	West  Direction = 0 // -x
+	East  Direction = 1 // +x
+	South Direction = 2 // -y
+	North Direction = 3 // +y
+)
+
+// Invalid is the zero-information direction, used where "no direction"
+// is meaningful (for example the injection pseudo-port).
+const Invalid Direction = -1
+
+// Dir constructs the Direction for the given dimension and sign.
+func Dir(dim int, positive bool) Direction {
+	d := Direction(2 * dim)
+	if positive {
+		d++
+	}
+	return d
+}
+
+// Dim reports the dimension the direction travels along.
+func (d Direction) Dim() int { return int(d) / 2 }
+
+// Positive reports whether the direction increases its coordinate.
+func (d Direction) Positive() bool { return int(d)%2 == 1 }
+
+// Opposite returns the 180-degree reversal of d.
+func (d Direction) Opposite() Direction { return d ^ 1 }
+
+// Delta is the per-hop coordinate change along the direction's dimension:
+// +1 for positive directions and -1 for negative directions.
+func (d Direction) Delta() int {
+	if d.Positive() {
+		return 1
+	}
+	return -1
+}
+
+// Valid reports whether d names a real direction in an n-dimensional network.
+func (d Direction) Valid(n int) bool { return d >= 0 && int(d) < 2*n }
+
+// String renders the direction using the paper's compass names for the
+// first two dimensions and a generic +i/-i form beyond them.
+func (d Direction) String() string {
+	switch d {
+	case West:
+		return "west(-x)"
+	case East:
+		return "east(+x)"
+	case South:
+		return "south(-y)"
+	case North:
+		return "north(+y)"
+	case Invalid:
+		return "invalid"
+	}
+	if d < 0 {
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+	if d.Positive() {
+		return fmt.Sprintf("+%d", d.Dim())
+	}
+	return fmt.Sprintf("-%d", d.Dim())
+}
+
+// Directions lists all 2n directions of an n-dimensional network in
+// increasing order, i.e. -0, +0, -1, +1, ...
+func Directions(n int) []Direction {
+	ds := make([]Direction, 2*n)
+	for i := range ds {
+		ds[i] = Direction(i)
+	}
+	return ds
+}

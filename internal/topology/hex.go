@@ -1,0 +1,186 @@
+package topology
+
+import "fmt"
+
+// Hex is a hexagonal mesh — one of the topologies Section 7 names for
+// future application of the turn model. Nodes sit on a triangular lattice
+// in a parallelogram-shaped region of axial coordinates (a, b) with
+// 0 <= a < A and 0 <= b < B; interior nodes have six neighbors.
+//
+// The six directions are modeled as three axes, so the generic direction
+// machinery applies with Dims() == 3:
+//
+//	axis 0: +(1, 0)  "east"        / -(1, 0)  "west"
+//	axis 1: +(0, 1)  "northeast"   / -(0, 1)  "southwest"
+//	axis 2: +(1,-1)  "southeast"   / -(1,-1)  "northwest"
+//
+// Coordinates are reported as cube coordinates {a, b, -(a+b)} so that the
+// vector length matches Dims; Size(2) reports the span of the third cube
+// coordinate.
+type Hex struct {
+	a, b int
+}
+
+// NewHex builds an A x B hexagonal mesh.
+func NewHex(a, b int) *Hex {
+	if a < 2 || b < 2 {
+		panic("topology: hex mesh needs A, B >= 2")
+	}
+	return &Hex{a: a, b: b}
+}
+
+// Name implements Topology.
+func (h *Hex) Name() string { return fmt.Sprintf("hex(%dx%d)", h.a, h.b) }
+
+// Dims implements Topology: three direction axes.
+func (h *Hex) Dims() int { return 3 }
+
+// Size implements Topology.
+func (h *Hex) Size(dim int) int {
+	switch dim {
+	case 0:
+		return h.a
+	case 1:
+		return h.b
+	case 2:
+		return h.a + h.b - 1 // span of -(a+b)
+	}
+	panic(fmt.Sprintf("topology: hex has no dimension %d", dim))
+}
+
+// Nodes implements Topology.
+func (h *Hex) Nodes() int { return h.a * h.b }
+
+// Coord implements Topology, returning cube coordinates {a, b, -(a+b)}.
+func (h *Hex) Coord(id NodeID) Coord {
+	if id < 0 || int(id) >= h.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range", id))
+	}
+	a := int(id) % h.a
+	b := int(id) / h.a
+	return Coord{a, b, -(a + b)}
+}
+
+// ID implements Topology. It accepts cube coordinates ({a, b, -(a+b)}).
+func (h *Hex) ID(c Coord) NodeID {
+	if len(c) != 3 || c[2] != -(c[0]+c[1]) {
+		panic(fmt.Sprintf("topology: %v is not a hex cube coordinate", c))
+	}
+	if c[0] < 0 || c[0] >= h.a || c[1] < 0 || c[1] >= h.b {
+		panic(fmt.Sprintf("topology: %v outside the %s region", c, h.Name()))
+	}
+	return NodeID(c[0] + h.a*c[1])
+}
+
+// axialDelta is the (da, db) move of each direction.
+func hexDelta(d Direction) (int, int) {
+	switch d {
+	case Dir(0, true):
+		return 1, 0
+	case Dir(0, false):
+		return -1, 0
+	case Dir(1, true):
+		return 0, 1
+	case Dir(1, false):
+		return 0, -1
+	case Dir(2, true):
+		return 1, -1
+	case Dir(2, false):
+		return -1, 1
+	}
+	return 0, 0
+}
+
+// Neighbor implements Topology.
+func (h *Hex) Neighbor(id NodeID, d Direction) (NodeID, bool) {
+	if !d.Valid(3) {
+		return 0, false
+	}
+	da, db := hexDelta(d)
+	a := int(id)%h.a + da
+	b := int(id)/h.a + db
+	if a < 0 || a >= h.a || b < 0 || b >= h.b {
+		return 0, false
+	}
+	return NodeID(a + h.a*b), true
+}
+
+// Wraparound implements Topology; hex meshes have no wraparounds.
+func (h *Hex) Wraparound(NodeID, Direction) bool { return false }
+
+// Distance implements Topology: the hexagonal (axial) distance
+// (|da| + |db| + |da+db|) / 2.
+func (h *Hex) Distance(from, to NodeID) int {
+	da := int(to)%h.a - int(from)%h.a
+	db := int(to)/h.a - int(from)/h.a
+	return (abs(da) + abs(db) + abs(da+db)) / 2
+}
+
+// MinimalDirections implements Topology. A minimal hex route decomposes
+// the offset into moves along at most two axes: the two same-sign axes
+// when da and db agree in sign, or the diagonal axis 2 plus the remainder
+// axis when they disagree.
+func (h *Hex) MinimalDirections(from, to NodeID) []Direction {
+	da := int(to)%h.a - int(from)%h.a
+	db := int(to)/h.a - int(from)/h.a
+	var ds []Direction
+	switch {
+	case da == 0 && db == 0:
+		return nil
+	case da >= 0 && db >= 0:
+		if da > 0 {
+			ds = append(ds, Dir(0, true))
+		}
+		if db > 0 {
+			ds = append(ds, Dir(1, true))
+		}
+	case da <= 0 && db <= 0:
+		if da < 0 {
+			ds = append(ds, Dir(0, false))
+		}
+		if db < 0 {
+			ds = append(ds, Dir(1, false))
+		}
+	case da > 0 && db < 0:
+		// Axis 2 positive moves (1,-1) cover the overlap; any excess
+		// travels on the longer axis.
+		if da > -db {
+			ds = append(ds, Dir(0, true))
+		}
+		if -db > da {
+			ds = append(ds, Dir(1, false))
+		}
+		ds = append(ds, Dir(2, true))
+	default: // da < 0 && db > 0
+		if -da > db {
+			ds = append(ds, Dir(0, false))
+		}
+		if db > -da {
+			ds = append(ds, Dir(1, true))
+		}
+		ds = append(ds, Dir(2, false))
+	}
+	return ds
+}
+
+// Channels implements Topology.
+func (h *Hex) Channels() []Channel {
+	var chs []Channel
+	for id := NodeID(0); int(id) < h.Nodes(); id++ {
+		for _, d := range Directions(3) {
+			if to, ok := h.Neighbor(id, d); ok {
+				chs = append(chs, Channel{From: id, To: to, Dir: d})
+			}
+		}
+	}
+	return chs
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var _ Topology = (*Hex)(nil)

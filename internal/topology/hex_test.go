@@ -1,0 +1,381 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bfsDistance is the ground-truth shortest path length for any Topology.
+func bfsDistance(t Topology, from, to NodeID) int {
+	if from == to {
+		return 0
+	}
+	dist := make(map[NodeID]int)
+	dist[from] = 0
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range Directions(t.Dims()) {
+			if nb, ok := t.Neighbor(cur, d); ok {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = dist[cur] + 1
+					if nb == to {
+						return dist[nb]
+					}
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return -1
+}
+
+func TestHexBasics(t *testing.T) {
+	h := NewHex(5, 4)
+	if h.Name() != "hex(5x4)" || h.Nodes() != 20 || h.Dims() != 3 {
+		t.Fatalf("basics wrong: %s %d %d", h.Name(), h.Nodes(), h.Dims())
+	}
+	if h.Size(0) != 5 || h.Size(1) != 4 || h.Size(2) != 8 {
+		t.Error("sizes wrong")
+	}
+	for id := NodeID(0); int(id) < h.Nodes(); id++ {
+		c := h.Coord(id)
+		if len(c) != 3 || c[0]+c[1]+c[2] != 0 {
+			t.Fatalf("Coord(%d) = %v is not a cube coordinate", id, c)
+		}
+		if h.ID(c) != id {
+			t.Fatalf("ID(Coord(%d)) = %d", id, h.ID(c))
+		}
+	}
+}
+
+func TestHexInteriorDegree(t *testing.T) {
+	h := NewHex(4, 4)
+	center := h.ID(Coord{1, 1, -2})
+	deg := 0
+	for _, d := range Directions(3) {
+		if _, ok := h.Neighbor(center, d); ok {
+			deg++
+		}
+	}
+	// (1,1) in a 4x4 parallelogram: all six neighbors are in range
+	// except those crossing the border... (1,1)+every delta stays in
+	// [0,4): (2,1),(0,1),(1,2),(1,0),(2,0),(0,2) — all inside.
+	if deg != 6 {
+		t.Errorf("interior degree = %d, want 6", deg)
+	}
+}
+
+func TestHexDistanceMatchesBFS(t *testing.T) {
+	h := NewHex(5, 5)
+	for from := NodeID(0); int(from) < h.Nodes(); from++ {
+		for to := NodeID(0); int(to) < h.Nodes(); to++ {
+			if got, want := h.Distance(from, to), bfsDistance(h, from, to); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS says %d", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestHexMinimalDirectionsReduceDistance(t *testing.T) {
+	h := NewHex(6, 5)
+	err := quick.Check(func(a, b uint) bool {
+		from := NodeID(a % 30)
+		to := NodeID(b % 30)
+		ds := h.MinimalDirections(from, to)
+		if from == to {
+			return len(ds) == 0
+		}
+		if len(ds) == 0 {
+			return false
+		}
+		prev := Direction(-1)
+		for _, d := range ds {
+			if d <= prev {
+				return false // must be ordered by dimension
+			}
+			prev = d
+			nb, ok := h.Neighbor(from, d)
+			// A productive direction may leave the parallelogram region
+			// only if another productive direction remains... minimal
+			// decompositions here always stay inside: check when ok.
+			if !ok {
+				continue
+			}
+			if h.Distance(nb, to) != h.Distance(from, to)-1 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexMinimalDirectionsStayInRegion(t *testing.T) {
+	// For the parallelogram region, every minimal decomposition's moves
+	// remain in range: a route between two in-region nodes never needs
+	// to leave. Verify that at least one candidate always exists and is
+	// in range.
+	h := NewHex(4, 6)
+	for from := NodeID(0); int(from) < h.Nodes(); from++ {
+		for to := NodeID(0); int(to) < h.Nodes(); to++ {
+			if from == to {
+				continue
+			}
+			ok := false
+			for _, d := range h.MinimalDirections(from, to) {
+				if _, in := h.Neighbor(from, d); in {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("no in-region productive direction %d->%d", from, to)
+			}
+		}
+	}
+}
+
+func TestHexChannelsConsistent(t *testing.T) {
+	h := NewHex(4, 4)
+	seen := make(map[Channel]bool)
+	for _, ch := range h.Channels() {
+		if seen[ch] {
+			t.Fatalf("duplicate channel %v", ch)
+		}
+		seen[ch] = true
+		nb, ok := h.Neighbor(ch.From, ch.Dir)
+		if !ok || nb != ch.To {
+			t.Fatalf("channel %v disagrees with Neighbor", ch)
+		}
+		if ch.Wrap || h.Wraparound(ch.From, ch.Dir) {
+			t.Fatalf("hex channel %v marked wraparound", ch)
+		}
+		rev := Channel{From: ch.To, To: ch.From, Dir: ch.Dir.Opposite()}
+		if _, done := seen[rev]; done && !seen[rev] {
+			t.Fatal("impossible")
+		}
+	}
+	for ch := range seen {
+		rev := Channel{From: ch.To, To: ch.From, Dir: ch.Dir.Opposite()}
+		if !seen[rev] {
+			t.Fatalf("missing reverse of %v", ch)
+		}
+	}
+}
+
+func TestHexPanics(t *testing.T) {
+	assertPanics(t, "small", func() { NewHex(1, 4) })
+	h := NewHex(4, 4)
+	assertPanics(t, "bad id", func() { h.Coord(16) })
+	assertPanics(t, "bad coord", func() { h.ID(Coord{1, 1, 0}) })
+	assertPanics(t, "out of region", func() { h.ID(Coord{9, 0, -9}) })
+	assertPanics(t, "bad dim", func() { h.Size(3) })
+}
+
+func TestOctagonalBasics(t *testing.T) {
+	o := NewOctagonal(5, 4)
+	if o.Name() != "octagonal(5x4)" || o.Nodes() != 20 || o.Dims() != 4 {
+		t.Fatalf("basics wrong: %s", o.Name())
+	}
+	for id := NodeID(0); int(id) < o.Nodes(); id++ {
+		c := o.Coord(id)
+		if len(c) != 4 || c[2] != c[0]+c[1] || c[3] != c[1]-c[0] {
+			t.Fatalf("Coord(%d) = %v malformed", id, c)
+		}
+		if o.ID(c) != id {
+			t.Fatalf("round trip failed at %d", id)
+		}
+	}
+	// Interior node has eight neighbors.
+	center := o.ID(Coord{2, 2, 4, 0})
+	deg := 0
+	for _, d := range Directions(4) {
+		if _, ok := o.Neighbor(center, d); ok {
+			deg++
+		}
+	}
+	if deg != 8 {
+		t.Errorf("interior degree = %d, want 8", deg)
+	}
+}
+
+func TestOctagonalDistanceMatchesBFS(t *testing.T) {
+	o := NewOctagonal(5, 5)
+	for from := NodeID(0); int(from) < o.Nodes(); from++ {
+		for to := NodeID(0); int(to) < o.Nodes(); to++ {
+			if got, want := o.Distance(from, to), bfsDistance(o, from, to); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS says %d", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestOctagonalMinimalDirectionsReduceDistance(t *testing.T) {
+	o := NewOctagonal(6, 6)
+	for from := NodeID(0); int(from) < o.Nodes(); from++ {
+		for to := NodeID(0); int(to) < o.Nodes(); to++ {
+			if from == to {
+				if len(o.MinimalDirections(from, to)) != 0 {
+					t.Fatal("self has productive directions")
+				}
+				continue
+			}
+			ds := o.MinimalDirections(from, to)
+			if len(ds) == 0 {
+				t.Fatalf("no productive directions %d->%d", from, to)
+			}
+			for _, d := range ds {
+				nb, ok := o.Neighbor(from, d)
+				if !ok {
+					t.Fatalf("%d->%d: productive %v leaves the region", from, to, d)
+				}
+				if o.Distance(nb, to) != o.Distance(from, to)-1 {
+					t.Fatalf("%d->%d: %v does not reduce distance", from, to, d)
+				}
+			}
+		}
+	}
+}
+
+func TestOctagonalPanics(t *testing.T) {
+	assertPanics(t, "small", func() { NewOctagonal(4, 1) })
+	o := NewOctagonal(4, 4)
+	assertPanics(t, "bad coord", func() { o.ID(Coord{1, 1, 3, 0}) })
+	assertPanics(t, "bad dim", func() { o.Size(4) })
+	assertPanics(t, "bad id", func() { o.Coord(99) })
+}
+
+func TestCCCBasics(t *testing.T) {
+	c := NewCCC(3)
+	if c.Name() != "ccc(3)" || c.Nodes() != 24 || c.Dims() != 2 {
+		t.Fatalf("basics wrong: %s %d", c.Name(), c.Nodes())
+	}
+	if c.Size(0) != 8 || c.Size(1) != 3 {
+		t.Error("sizes wrong")
+	}
+	// Every node has degree exactly 3: one cube edge, two ring edges.
+	for id := NodeID(0); int(id) < c.Nodes(); id++ {
+		deg := 0
+		for _, d := range Directions(2) {
+			if _, ok := c.Neighbor(id, d); ok {
+				deg++
+			}
+		}
+		if deg != 3 {
+			t.Fatalf("node %d degree %d, want 3", id, deg)
+		}
+		co := c.Coord(id)
+		if c.ID(co) != id {
+			t.Fatalf("round trip failed at %d", id)
+		}
+	}
+}
+
+func TestCCCEdges(t *testing.T) {
+	c := NewCCC(3)
+	// Node (corner=0b000, pos=1): cube edge sets bit 1 -> corner 0b010.
+	from := c.ID(Coord{0, 1})
+	nb, ok := c.Neighbor(from, Dir(0, true))
+	if !ok || c.Corner(nb) != 0b010 || c.Position(nb) != 1 {
+		t.Errorf("cube edge wrong: %v %v", c.Coord(nb), ok)
+	}
+	if _, ok := c.Neighbor(from, Dir(0, false)); ok {
+		t.Error("clear-bit edge exists although bit is 0")
+	}
+	// Ring edges wrap.
+	last := c.ID(Coord{5, 2})
+	nb, _ = c.Neighbor(last, Dir(1, true))
+	if c.Position(nb) != 0 || c.Corner(nb) != 5 {
+		t.Error("ring wrap wrong")
+	}
+	if !c.Wraparound(last, Dir(1, true)) || c.Wraparound(last, Dir(1, false)) {
+		t.Error("wraparound flags wrong")
+	}
+}
+
+func TestCCCDistanceMatchesBFS(t *testing.T) {
+	c := NewCCC(3)
+	for from := NodeID(0); int(from) < c.Nodes(); from++ {
+		for to := NodeID(0); int(to) < c.Nodes(); to++ {
+			if got, want := c.Distance(from, to), bfsDistance(c, from, to); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS says %d", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestCCCMinimalDirectionsReduceDistance(t *testing.T) {
+	c := NewCCC(4)
+	for from := NodeID(0); int(from) < c.Nodes(); from += 3 {
+		for to := NodeID(0); int(to) < c.Nodes(); to += 5 {
+			for _, d := range c.MinimalDirections(from, to) {
+				nb, ok := c.Neighbor(from, d)
+				if !ok || c.Distance(nb, to) != c.Distance(from, to)-1 {
+					t.Fatalf("%d->%d: %v not productive", from, to, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCCCChannelCount(t *testing.T) {
+	// CCC(n) has 2^n * n nodes, each with 2 ring channels out and 1 cube
+	// channel out: 3 * 2^n * n unidirectional channels.
+	c := NewCCC(4)
+	if got, want := len(c.Channels()), 3*16*4; got != want {
+		t.Errorf("channels = %d, want %d", got, want)
+	}
+}
+
+func TestCCCPanics(t *testing.T) {
+	assertPanics(t, "too small", func() { NewCCC(2) })
+	assertPanics(t, "too large", func() { NewCCC(8) })
+	c := NewCCC(3)
+	assertPanics(t, "bad id", func() { c.Coord(NodeID(24)) })
+	assertPanics(t, "bad coord", func() { c.ID(Coord{8, 0}) })
+	assertPanics(t, "bad dim", func() { c.Size(2) })
+}
+
+func TestSmallAccessors(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	if m.Size(0) != 4 || m.Size(1) != 4 {
+		t.Error("mesh Size wrong")
+	}
+	if m.Wraparound(0, East) {
+		t.Error("mesh claims wraparound")
+	}
+	h := NewHypercube(3)
+	if h.Bits(5) != 5 || h.NodeFromBits(5) != 5 {
+		t.Error("hypercube Bits round trip wrong")
+	}
+	c := NewCCC(3)
+	if c.Order() != 3 {
+		t.Error("CCC Order wrong")
+	}
+	o := NewOctagonal(5, 4)
+	if o.Size(0) != 5 || o.Size(1) != 4 || o.Size(2) != 8 || o.Size(3) != 8 {
+		t.Error("octagonal sizes wrong")
+	}
+	if o.Wraparound(0, East) {
+		t.Error("octagonal claims wraparound")
+	}
+	if len(o.Channels()) == 0 {
+		t.Error("octagonal has no channels")
+	}
+	// Channels agree with Neighbor for the octagonal mesh.
+	for _, ch := range o.Channels() {
+		nb, ok := o.Neighbor(ch.From, ch.Dir)
+		if !ok || nb != ch.To {
+			t.Fatalf("octagonal channel %v disagrees with Neighbor", ch)
+		}
+	}
+	// Invalid directions have no neighbors anywhere.
+	for _, topo := range []Topology{m, h, c, o, NewHex(4, 4)} {
+		if _, ok := topo.Neighbor(0, Direction(99)); ok {
+			t.Errorf("%s: invalid direction produced a neighbor", topo.Name())
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionBasics(t *testing.T) {
+	cases := []struct {
+		d        Direction
+		dim      int
+		positive bool
+		opposite Direction
+	}{
+		{West, 0, false, East},
+		{East, 0, true, West},
+		{South, 1, false, North},
+		{North, 1, true, South},
+		{Dir(2, false), 2, false, Dir(2, true)},
+		{Dir(3, true), 3, true, Dir(3, false)},
+	}
+	for _, c := range cases {
+		if c.d.Dim() != c.dim {
+			t.Errorf("%v.Dim() = %d, want %d", c.d, c.d.Dim(), c.dim)
+		}
+		if c.d.Positive() != c.positive {
+			t.Errorf("%v.Positive() = %v, want %v", c.d, c.d.Positive(), c.positive)
+		}
+		if c.d.Opposite() != c.opposite {
+			t.Errorf("%v.Opposite() = %v, want %v", c.d, c.d.Opposite(), c.opposite)
+		}
+		if got := Dir(c.dim, c.positive); got != c.d {
+			t.Errorf("Dir(%d, %v) = %v, want %v", c.dim, c.positive, got, c.d)
+		}
+	}
+}
+
+func TestDirectionDelta(t *testing.T) {
+	if West.Delta() != -1 || East.Delta() != 1 {
+		t.Fatalf("West/East deltas wrong: %d, %d", West.Delta(), East.Delta())
+	}
+}
+
+func TestDirectionsList(t *testing.T) {
+	ds := Directions(3)
+	if len(ds) != 6 {
+		t.Fatalf("Directions(3) has %d entries, want 6", len(ds))
+	}
+	for i, d := range ds {
+		if int(d) != i {
+			t.Errorf("Directions(3)[%d] = %v", i, d)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if West.String() != "west(-x)" || North.String() != "north(+y)" {
+		t.Errorf("compass names wrong: %q %q", West, North)
+	}
+	if Dir(2, true).String() != "+2" || Dir(4, false).String() != "-4" {
+		t.Errorf("generic names wrong: %q %q", Dir(2, true), Dir(4, false))
+	}
+	if Invalid.String() != "invalid" {
+		t.Errorf("Invalid.String() = %q", Invalid)
+	}
+}
+
+func TestMeshCoordRoundTrip(t *testing.T) {
+	m := NewMesh(4, 3, 5)
+	if m.Nodes() != 60 {
+		t.Fatalf("Nodes() = %d, want 60", m.Nodes())
+	}
+	for id := NodeID(0); int(id) < m.Nodes(); id++ {
+		c := m.Coord(id)
+		if got := m.ID(c); got != id {
+			t.Fatalf("ID(Coord(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestMeshCoordValues(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	// Dimension 0 (x) is the fastest-varying index.
+	if got := m.Coord(0); !got.Equal(Coord{0, 0}) {
+		t.Errorf("Coord(0) = %v", got)
+	}
+	if got := m.Coord(1); !got.Equal(Coord{1, 0}) {
+		t.Errorf("Coord(1) = %v", got)
+	}
+	if got := m.Coord(4); !got.Equal(Coord{0, 1}) {
+		t.Errorf("Coord(4) = %v", got)
+	}
+	if got := m.ID(Coord{3, 3}); got != 15 {
+		t.Errorf("ID({3,3}) = %d", got)
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	center := m.ID(Coord{1, 1})
+	for _, c := range []struct {
+		d    Direction
+		want Coord
+	}{
+		{West, Coord{0, 1}},
+		{East, Coord{2, 1}},
+		{South, Coord{1, 0}},
+		{North, Coord{1, 2}},
+	} {
+		got, ok := m.Neighbor(center, c.d)
+		if !ok {
+			t.Fatalf("Neighbor(center, %v) missing", c.d)
+		}
+		if !m.Coord(got).Equal(c.want) {
+			t.Errorf("Neighbor(center, %v) = %v, want %v", c.d, m.Coord(got), c.want)
+		}
+	}
+}
+
+func TestMeshBoundary(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	corner := m.ID(Coord{0, 0})
+	if _, ok := m.Neighbor(corner, West); ok {
+		t.Error("corner has west neighbor")
+	}
+	if _, ok := m.Neighbor(corner, South); ok {
+		t.Error("corner has south neighbor")
+	}
+	if _, ok := m.Neighbor(corner, East); !ok {
+		t.Error("corner lacks east neighbor")
+	}
+	if _, ok := m.Neighbor(corner, North); !ok {
+		t.Error("corner lacks north neighbor")
+	}
+	if _, ok := m.Neighbor(corner, Direction(99)); ok {
+		t.Error("invalid direction produced a neighbor")
+	}
+}
+
+func TestMeshDegreeRange(t *testing.T) {
+	// Nodes in an n-dim mesh have between n and 2n neighbors.
+	m := NewMesh(3, 3, 3)
+	n := m.Dims()
+	for id := NodeID(0); int(id) < m.Nodes(); id++ {
+		deg := 0
+		for _, d := range Directions(n) {
+			if _, ok := m.Neighbor(id, d); ok {
+				deg++
+			}
+		}
+		if deg < n || deg > 2*n {
+			t.Fatalf("node %d degree %d outside [%d,%d]", id, deg, n, 2*n)
+		}
+	}
+}
+
+func TestMeshChannelCount(t *testing.T) {
+	// An m x n mesh has 2*((m-1)*n + (n-1)*m) unidirectional channels.
+	m := NewMesh2D(4, 5)
+	want := 2 * ((4-1)*5 + (5-1)*4)
+	if got := len(m.Channels()); got != want {
+		t.Errorf("channel count = %d, want %d", got, want)
+	}
+	for _, ch := range m.Channels() {
+		if ch.Wrap {
+			t.Errorf("mesh channel %v marked wraparound", ch)
+		}
+	}
+}
+
+func TestMeshMinimalDirections(t *testing.T) {
+	m := NewMesh2D(8, 8)
+	from := m.ID(Coord{4, 4})
+	cases := []struct {
+		to   Coord
+		want []Direction
+	}{
+		{Coord{6, 6}, []Direction{East, North}},
+		{Coord{2, 2}, []Direction{West, South}},
+		{Coord{6, 2}, []Direction{East, South}},
+		{Coord{4, 4}, nil},
+		{Coord{4, 7}, []Direction{North}},
+	}
+	for _, c := range cases {
+		got := m.MinimalDirections(from, m.ID(c.to))
+		if len(got) != len(c.want) {
+			t.Errorf("MinimalDirections(->%v) = %v, want %v", c.to, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("MinimalDirections(->%v) = %v, want %v", c.to, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMeshDistance(t *testing.T) {
+	m := NewMesh2D(8, 8)
+	if d := m.Distance(m.ID(Coord{0, 0}), m.ID(Coord{7, 7})); d != 14 {
+		t.Errorf("corner-to-corner distance = %d, want 14", d)
+	}
+	if d := m.Distance(3, 3); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestMeshPanicsOnBadSizes(t *testing.T) {
+	assertPanics(t, "k<2", func() { NewMesh(1, 4) })
+	assertPanics(t, "no dims", func() { NewMesh() })
+	m := NewMesh2D(4, 4)
+	assertPanics(t, "bad id", func() { m.Coord(NodeID(16)) })
+	assertPanics(t, "bad coord len", func() { m.ID(Coord{1}) })
+	assertPanics(t, "coord out of range", func() { m.ID(Coord{4, 0}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestHypercubeBasics(t *testing.T) {
+	h := NewHypercube(4)
+	if h.Nodes() != 16 {
+		t.Fatalf("Nodes() = %d", h.Nodes())
+	}
+	if h.Name() != "hypercube(4)" {
+		t.Errorf("Name() = %q", h.Name())
+	}
+	// Every node has exactly n neighbors.
+	for id := NodeID(0); int(id) < h.Nodes(); id++ {
+		deg := 0
+		for _, d := range Directions(4) {
+			if nb, ok := h.Neighbor(id, d); ok {
+				deg++
+				// Hypercube neighbors differ in exactly one bit.
+				if x := uint(id) ^ uint(nb); x&(x-1) != 0 {
+					t.Fatalf("neighbor %d of %d differs in more than one bit", nb, id)
+				}
+			}
+		}
+		if deg != 4 {
+			t.Fatalf("node %d degree %d, want 4", id, deg)
+		}
+	}
+}
+
+func TestHypercubeDistanceIsHamming(t *testing.T) {
+	h := NewHypercube(6)
+	if d := h.Distance(h.NodeFromBits(0b101010), h.NodeFromBits(0b010101)); d != 6 {
+		t.Errorf("Distance = %d, want 6", d)
+	}
+	if d := h.Distance(5, 5); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestHypercubeMinimalDirections(t *testing.T) {
+	h := NewHypercube(4)
+	from := h.NodeFromBits(0b0011)
+	to := h.NodeFromBits(0b0101)
+	// Bits 1 and 2 differ: bit 1 must go 1->0 (negative), bit 2 must go 0->1 (positive).
+	got := h.MinimalDirections(from, to)
+	want := []Direction{Dir(1, false), Dir(2, true)}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("MinimalDirections = %v, want %v", got, want)
+	}
+}
+
+func TestHypercubeMatchesMeshDistance(t *testing.T) {
+	// Hypercube overrides Distance/MinimalDirections for speed; the results
+	// must agree with the generic mesh implementation it embeds.
+	h := NewHypercube(5)
+	err := quick.Check(func(a, b uint) bool {
+		from := NodeID(a % 32)
+		to := NodeID(b % 32)
+		if h.Distance(from, to) != h.Mesh.Distance(from, to) {
+			return false
+		}
+		hd := h.MinimalDirections(from, to)
+		md := h.Mesh.MinimalDirections(from, to)
+		if len(hd) != len(md) {
+			return false
+		}
+		for i := range hd {
+			if hd[i] != md[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypercubePanics(t *testing.T) {
+	assertPanics(t, "n<1", func() { NewHypercube(0) })
+	assertPanics(t, "n too big", func() { NewHypercube(31) })
+}
+
+func TestCoordHelpers(t *testing.T) {
+	c := Coord{1, 2, 3}
+	d := c.Clone()
+	d[0] = 9
+	if c[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+	if !c.Equal(Coord{1, 2, 3}) || c.Equal(Coord{1, 2}) || c.Equal(Coord{1, 2, 4}) {
+		t.Error("Equal misbehaves")
+	}
+	if c.String() != "[1 2 3]" {
+		t.Errorf("String() = %q", c)
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	ch := Channel{From: 1, To: 2, Dir: East}
+	if ch.String() != "1-east(+x)->2" {
+		t.Errorf("String() = %q", ch)
+	}
+	ch.Wrap = true
+	if ch.String() != "1-east(+x)->2 wrap" {
+		t.Errorf("String() = %q", ch)
+	}
+}
+
+func TestMeshChannelsAreInternallyConsistent(t *testing.T) {
+	// Property: for every listed channel, Neighbor agrees, and the reverse
+	// channel exists (channels come in unidirectional pairs).
+	for _, tp := range []Topology{NewMesh2D(5, 3), NewMesh(3, 3, 3), NewHypercube(4)} {
+		seen := make(map[Channel]bool)
+		for _, ch := range tp.Channels() {
+			if seen[ch] {
+				t.Fatalf("%s: duplicate channel %v", tp.Name(), ch)
+			}
+			seen[ch] = true
+			nb, ok := tp.Neighbor(ch.From, ch.Dir)
+			if !ok || nb != ch.To {
+				t.Fatalf("%s: channel %v disagrees with Neighbor", tp.Name(), ch)
+			}
+		}
+		for ch := range seen {
+			rev := Channel{From: ch.To, To: ch.From, Dir: ch.Dir.Opposite(), Wrap: ch.Wrap}
+			if !seen[rev] {
+				t.Fatalf("%s: missing reverse of %v", tp.Name(), ch)
+			}
+		}
+	}
+}

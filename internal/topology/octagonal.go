@@ -1,0 +1,161 @@
+package topology
+
+import "fmt"
+
+// Octagonal is a 2D mesh augmented with diagonal channels — the
+// "octagonal" topology Section 7 names for future application of the turn
+// model. Interior nodes have eight neighbors. The eight directions are
+// modeled as four axes so the generic direction machinery applies with
+// Dims() == 4:
+//
+//	axis 0: +(1, 0)  east      / -(1, 0)  west
+//	axis 1: +(0, 1)  north     / -(0, 1)  south
+//	axis 2: +(1, 1)  northeast / -(1, 1)  southwest
+//	axis 3: +(-1,1)  northwest / -(-1,1)  southeast
+//
+// Coordinates are reported as {x, y, x+y, y-x}: the first two are the grid
+// position and the last two the (redundant) diagonal axis positions, so
+// the vector length matches Dims.
+type Octagonal struct {
+	w, h int
+}
+
+// NewOctagonal builds a W x H octagonal mesh.
+func NewOctagonal(w, h int) *Octagonal {
+	if w < 2 || h < 2 {
+		panic("topology: octagonal mesh needs W, H >= 2")
+	}
+	return &Octagonal{w: w, h: h}
+}
+
+// Name implements Topology.
+func (o *Octagonal) Name() string { return fmt.Sprintf("octagonal(%dx%d)", o.w, o.h) }
+
+// Dims implements Topology: four direction axes.
+func (o *Octagonal) Dims() int { return 4 }
+
+// Size implements Topology.
+func (o *Octagonal) Size(dim int) int {
+	switch dim {
+	case 0:
+		return o.w
+	case 1:
+		return o.h
+	case 2, 3:
+		return o.w + o.h - 1 // span of the diagonal coordinates
+	}
+	panic(fmt.Sprintf("topology: octagonal has no dimension %d", dim))
+}
+
+// Nodes implements Topology.
+func (o *Octagonal) Nodes() int { return o.w * o.h }
+
+// Coord implements Topology: {x, y, x+y, y-x}.
+func (o *Octagonal) Coord(id NodeID) Coord {
+	if id < 0 || int(id) >= o.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range", id))
+	}
+	x := int(id) % o.w
+	y := int(id) / o.w
+	return Coord{x, y, x + y, y - x}
+}
+
+// ID implements Topology; it accepts the redundant 4-vector produced by
+// Coord.
+func (o *Octagonal) ID(c Coord) NodeID {
+	if len(c) != 4 || c[2] != c[0]+c[1] || c[3] != c[1]-c[0] {
+		panic(fmt.Sprintf("topology: %v is not an octagonal coordinate", c))
+	}
+	if c[0] < 0 || c[0] >= o.w || c[1] < 0 || c[1] >= o.h {
+		panic(fmt.Sprintf("topology: %v outside the %s region", c, o.Name()))
+	}
+	return NodeID(c[0] + o.w*c[1])
+}
+
+func octDelta(d Direction) (int, int) {
+	switch d {
+	case Dir(0, true):
+		return 1, 0
+	case Dir(0, false):
+		return -1, 0
+	case Dir(1, true):
+		return 0, 1
+	case Dir(1, false):
+		return 0, -1
+	case Dir(2, true):
+		return 1, 1
+	case Dir(2, false):
+		return -1, -1
+	case Dir(3, true):
+		return -1, 1
+	case Dir(3, false):
+		return 1, -1
+	}
+	return 0, 0
+}
+
+// Neighbor implements Topology.
+func (o *Octagonal) Neighbor(id NodeID, d Direction) (NodeID, bool) {
+	if !d.Valid(4) {
+		return 0, false
+	}
+	dx, dy := octDelta(d)
+	x := int(id)%o.w + dx
+	y := int(id)/o.w + dy
+	if x < 0 || x >= o.w || y < 0 || y >= o.h {
+		return 0, false
+	}
+	return NodeID(x + o.w*y), true
+}
+
+// Wraparound implements Topology.
+func (o *Octagonal) Wraparound(NodeID, Direction) bool { return false }
+
+// Distance implements Topology: with unit diagonal channels the shortest
+// path length is the Chebyshev distance max(|dx|, |dy|).
+func (o *Octagonal) Distance(from, to NodeID) int {
+	dx := abs(int(to)%o.w - int(from)%o.w)
+	dy := abs(int(to)/o.w - int(from)/o.w)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// MinimalDirections implements Topology: the diagonal toward the
+// destination (when both offsets are nonzero) plus the straight direction
+// of the dominant axis (when the offsets differ in magnitude).
+func (o *Octagonal) MinimalDirections(from, to NodeID) []Direction {
+	dx := int(to)%o.w - int(from)%o.w
+	dy := int(to)/o.w - int(from)/o.w
+	var ds []Direction
+	if dx != 0 && abs(dx) > abs(dy) {
+		ds = append(ds, Dir(0, dx > 0))
+	}
+	if dy != 0 && abs(dy) > abs(dx) {
+		ds = append(ds, Dir(1, dy > 0))
+	}
+	if dx != 0 && dy != 0 {
+		if dx > 0 == (dy > 0) {
+			ds = append(ds, Dir(2, dx > 0))
+		} else {
+			ds = append(ds, Dir(3, dy > 0))
+		}
+	}
+	return ds
+}
+
+// Channels implements Topology.
+func (o *Octagonal) Channels() []Channel {
+	var chs []Channel
+	for id := NodeID(0); int(id) < o.Nodes(); id++ {
+		for _, d := range Directions(4) {
+			if to, ok := o.Neighbor(id, d); ok {
+				chs = append(chs, Channel{From: id, To: to, Dir: d})
+			}
+		}
+	}
+	return chs
+}
+
+var _ Topology = (*Octagonal)(nil)

@@ -1,0 +1,119 @@
+package topology
+
+// Torus is a k-ary n-cube: like a mesh, but neighbor arithmetic is modular,
+// which adds a wraparound channel at both ends of every row of every
+// dimension. The paper treats these wraparound channels as a separate
+// channel class incorporated in Step 5 of the turn model.
+//
+// This implementation allows the per-dimension radices to differ (a mixed-
+// radix torus); NewKaryNCube builds the uniform k-ary n-cube of the paper.
+type Torus struct {
+	grid
+	name string
+}
+
+// NewTorus builds a torus with the given per-dimension sizes.
+func NewTorus(sizes ...int) *Torus {
+	return &Torus{grid: newGrid(sizes), name: "torus(" + sizesString(sizes) + ")"}
+}
+
+// NewKaryNCube builds the uniform k-ary n-cube of Section 4.2.
+func NewKaryNCube(k, n int) *Torus {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = k
+	}
+	return NewTorus(sizes...)
+}
+
+// Name implements Topology.
+func (t *Torus) Name() string { return t.name }
+
+// Neighbor implements Topology. Every direction has a channel; coordinates
+// wrap modulo k_i. Note that for k_i == 2 the positive and negative
+// channels connect the same pair of nodes, matching the definition that a
+// 2-ary n-cube node has n neighbors.
+func (t *Torus) Neighbor(id NodeID, d Direction) (NodeID, bool) {
+	if !d.Valid(t.Dims()) {
+		return 0, false
+	}
+	dim := d.Dim()
+	k := t.sizes[dim]
+	x := t.coordAt(id, dim)
+	nx := x + d.Delta()
+	switch {
+	case nx < 0:
+		nx = k - 1
+	case nx >= k:
+		nx = 0
+	}
+	return id + NodeID((nx-x)*t.strides[dim]), true
+}
+
+// Wraparound implements Topology.
+func (t *Torus) Wraparound(id NodeID, d Direction) bool {
+	if !d.Valid(t.Dims()) {
+		return false
+	}
+	dim := d.Dim()
+	x := t.coordAt(id, dim)
+	if d.Positive() {
+		return x == t.sizes[dim]-1
+	}
+	return x == 0
+}
+
+// MinimalDirections implements Topology. In each dimension the direction
+// with the shorter modular distance is productive; when the two ways around
+// the ring are equally long, both directions are productive.
+func (t *Torus) MinimalDirections(from, to NodeID) []Direction {
+	var ds []Direction
+	for dim := 0; dim < t.Dims(); dim++ {
+		f, tt := t.coordAt(from, dim), t.coordAt(to, dim)
+		if f == tt {
+			continue
+		}
+		k := t.sizes[dim]
+		up := ((tt-f)%k + k) % k // hops travelling positive
+		down := k - up           // hops travelling negative
+		switch {
+		case up < down:
+			ds = append(ds, Dir(dim, true))
+		case down < up:
+			ds = append(ds, Dir(dim, false))
+		default:
+			ds = append(ds, Dir(dim, false), Dir(dim, true))
+		}
+	}
+	return ds
+}
+
+// Distance implements Topology (sum of per-dimension ring distances).
+func (t *Torus) Distance(from, to NodeID) int {
+	d := 0
+	for dim := 0; dim < t.Dims(); dim++ {
+		f, tt := t.coordAt(from, dim), t.coordAt(to, dim)
+		k := t.sizes[dim]
+		up := ((tt-f)%k + k) % k
+		if down := k - up; down < up {
+			d += down
+		} else {
+			d += up
+		}
+	}
+	return d
+}
+
+// Channels implements Topology.
+func (t *Torus) Channels() []Channel {
+	var chs []Channel
+	for id := NodeID(0); int(id) < t.nodes; id++ {
+		for _, d := range Directions(t.Dims()) {
+			to, _ := t.Neighbor(id, d)
+			chs = append(chs, Channel{From: id, To: to, Dir: d, Wrap: t.Wraparound(id, d)})
+		}
+	}
+	return chs
+}
+
+var _ Topology = (*Torus)(nil)

@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusNeighborsWrap(t *testing.T) {
+	tr := NewKaryNCube(4, 2)
+	if tr.Name() != "torus(4x4)" {
+		t.Errorf("Name() = %q", tr.Name())
+	}
+	edge := tr.ID(Coord{3, 1})
+	nb, ok := tr.Neighbor(edge, East)
+	if !ok {
+		t.Fatal("torus node missing east neighbor")
+	}
+	if !tr.Coord(nb).Equal(Coord{0, 1}) {
+		t.Errorf("wrap east from {3,1} = %v, want {0,1}", tr.Coord(nb))
+	}
+	if !tr.Wraparound(edge, East) {
+		t.Error("east channel from {3,1} not marked wraparound")
+	}
+	if tr.Wraparound(edge, West) {
+		t.Error("west channel from {3,1} wrongly marked wraparound")
+	}
+	west0, _ := tr.Neighbor(tr.ID(Coord{0, 0}), West)
+	if !tr.Coord(west0).Equal(Coord{3, 0}) {
+		t.Errorf("wrap west from {0,0} = %v", tr.Coord(west0))
+	}
+}
+
+func TestTorusEveryNodeHasAllChannels(t *testing.T) {
+	tr := NewKaryNCube(3, 3)
+	for id := NodeID(0); int(id) < tr.Nodes(); id++ {
+		for _, d := range Directions(3) {
+			if _, ok := tr.Neighbor(id, d); !ok {
+				t.Fatalf("node %d lacks channel %v", id, d)
+			}
+		}
+	}
+	if got, want := len(tr.Channels()), tr.Nodes()*6; got != want {
+		t.Errorf("channel count = %d, want %d", got, want)
+	}
+}
+
+func TestTorusDistanceModular(t *testing.T) {
+	tr := NewKaryNCube(8, 1)
+	cases := []struct{ from, to, want int }{
+		{0, 1, 1}, {0, 7, 1}, {0, 4, 4}, {0, 3, 3}, {0, 5, 3}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if d := tr.Distance(NodeID(c.from), NodeID(c.to)); d != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.from, c.to, d, c.want)
+		}
+	}
+}
+
+func TestTorusMinimalDirections(t *testing.T) {
+	tr := NewKaryNCube(8, 1)
+	// 0 -> 2: positive is shorter.
+	if ds := tr.MinimalDirections(0, 2); len(ds) != 1 || ds[0] != East {
+		t.Errorf("0->2 minimal dirs = %v", ds)
+	}
+	// 0 -> 6: negative is shorter (2 hops west vs 6 east).
+	if ds := tr.MinimalDirections(0, 6); len(ds) != 1 || ds[0] != West {
+		t.Errorf("0->6 minimal dirs = %v", ds)
+	}
+	// 0 -> 4: tie, both productive.
+	if ds := tr.MinimalDirections(0, 4); len(ds) != 2 || ds[0] != West || ds[1] != East {
+		t.Errorf("0->4 minimal dirs = %v", ds)
+	}
+	if ds := tr.MinimalDirections(3, 3); len(ds) != 0 {
+		t.Errorf("self minimal dirs = %v", ds)
+	}
+}
+
+func TestTorusWraparoundChannelCensus(t *testing.T) {
+	// A k-ary n-cube has 2*n*k^(n-1) wraparound channels (2 per ring, k^(n-1) rings per dim).
+	tr := NewKaryNCube(4, 2)
+	wraps := 0
+	for _, ch := range tr.Channels() {
+		if ch.Wrap {
+			wraps++
+		}
+	}
+	if want := 2 * 2 * 4; wraps != want {
+		t.Errorf("wraparound channels = %d, want %d", wraps, want)
+	}
+}
+
+func TestTorusDistanceSymmetric(t *testing.T) {
+	tr := NewKaryNCube(5, 2)
+	err := quick.Check(func(a, b uint) bool {
+		from := NodeID(a % 25)
+		to := NodeID(b % 25)
+		return tr.Distance(from, to) == tr.Distance(to, from)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusMinimalDirectionsShortenDistance(t *testing.T) {
+	tr := NewKaryNCube(5, 3)
+	err := quick.Check(func(a, b uint) bool {
+		from := NodeID(a % 125)
+		to := NodeID(b % 125)
+		if from == to {
+			return len(tr.MinimalDirections(from, to)) == 0
+		}
+		for _, d := range tr.MinimalDirections(from, to) {
+			nb, ok := tr.Neighbor(from, d)
+			if !ok || tr.Distance(nb, to) != tr.Distance(from, to)-1 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshMinimalDirectionsShortenDistance(t *testing.T) {
+	m := NewMesh(4, 5, 3)
+	err := quick.Check(func(a, b uint) bool {
+		from := NodeID(a % 60)
+		to := NodeID(b % 60)
+		for _, d := range m.MinimalDirections(from, to) {
+			nb, ok := m.Neighbor(from, d)
+			if !ok || m.Distance(nb, to) != m.Distance(from, to)-1 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryTorusDegree(t *testing.T) {
+	// In a 2-ary n-cube both directions reach the same single neighbor,
+	// matching "every node has n neighbors if k = 2".
+	tr := NewKaryNCube(2, 3)
+	for id := NodeID(0); int(id) < tr.Nodes(); id++ {
+		neighbors := make(map[NodeID]bool)
+		for _, d := range Directions(3) {
+			nb, ok := tr.Neighbor(id, d)
+			if !ok {
+				t.Fatalf("missing neighbor for %v", d)
+			}
+			neighbors[nb] = true
+		}
+		if len(neighbors) != 3 {
+			t.Fatalf("node %d has %d distinct neighbors, want 3", id, len(neighbors))
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package turnmodel
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// CandidateFunc is the routing relation used to build channel dependency
+// graphs: it lists the output directions a header at node current,
+// destined for dest, may take after arriving in direction in
+// (topology.Invalid denotes the injection port).
+type CandidateFunc func(current, dest topology.NodeID, in topology.Direction) []topology.Direction
+
+// CDG is a channel dependency graph. Vertices are the unidirectional
+// network channels; there is an edge from channel c1 to channel c2 when a
+// packet holding c1 may wait for c2. Dally and Seitz showed a wormhole
+// routing algorithm is deadlock free iff its channel dependency graph is
+// acyclic; the turn model's proofs exhibit a channel numbering witnessing
+// exactly that.
+type CDG struct {
+	topo  topology.Topology
+	chans []topology.Channel
+	// index maps the dense key from*2n+dir to a vertex, -1 if the
+	// channel does not exist.
+	index []int32
+	adj   [][]int32
+}
+
+func newCDG(topo topology.Topology) *CDG {
+	g := &CDG{topo: topo}
+	n2 := 2 * topo.Dims()
+	g.index = make([]int32, topo.Nodes()*n2)
+	for i := range g.index {
+		g.index[i] = -1
+	}
+	for _, ch := range topo.Channels() {
+		g.index[int(ch.From)*n2+int(ch.Dir)] = int32(len(g.chans))
+		g.chans = append(g.chans, ch)
+	}
+	g.adj = make([][]int32, len(g.chans))
+	return g
+}
+
+// Channel returns the channel of a vertex.
+func (g *CDG) Channel(v int) topology.Channel { return g.chans[v] }
+
+// Vertices reports the number of channels.
+func (g *CDG) Vertices() int { return len(g.chans) }
+
+// Edges reports the number of dependencies.
+func (g *CDG) Edges() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n
+}
+
+func (g *CDG) vertex(node topology.NodeID, d topology.Direction) int32 {
+	return g.index[int(node)*2*g.topo.Dims()+int(d)]
+}
+
+// FromTurns builds the dependency graph induced by a turn predicate:
+// channel (A->B, d1) depends on channel (B->C, d2) when d1 == d2
+// (continuing straight is not a turn and is always permitted) or when the
+// predicate allows the turn d1->d2. This models a nonminimal routing
+// algorithm that may use every allowed turn anywhere, which is exactly the
+// worst case Step 4 of the model must secure.
+func FromTurns(topo topology.Topology, allowed func(Turn) bool) *CDG {
+	return FromTurnsAt(topo, func(_ topology.NodeID, t Turn) bool { return allowed(t) })
+}
+
+// FromTurnsAt is FromTurns for location-dependent turn rules: the
+// predicate also receives the node at which the turn is taken. Successors
+// of the turn model — notably the odd-even model, whose prohibitions
+// depend on column parity — need this generality.
+func FromTurnsAt(topo topology.Topology, allowed func(at topology.NodeID, t Turn) bool) *CDG {
+	g := newCDG(topo)
+	seen := make(map[int64]bool)
+	for v, ch := range g.chans {
+		for _, d2 := range topology.Directions(topo.Dims()) {
+			w := g.vertex(ch.To, d2)
+			if w < 0 {
+				continue
+			}
+			if ch.Dir != d2 && !allowed(ch.To, Turn{ch.Dir, d2}) {
+				continue
+			}
+			g.addEdge(seen, int32(v), w)
+		}
+	}
+	return g
+}
+
+// FromRouting builds the exact dependency graph of a routing relation: for
+// every destination it traverses the channels a packet can actually occupy
+// and records which channels the packet may wait for next. This is the
+// graph whose acyclicity Theorems 2-5 establish for the specific
+// algorithms.
+func FromRouting(topo topology.Topology, candidates CandidateFunc) *CDG {
+	g := newCDG(topo)
+	seen := make(map[int64]bool)
+	visited := make([]bool, len(g.chans))
+	queue := make([]int32, 0, len(g.chans))
+	for dst := topology.NodeID(0); int(dst) < topo.Nodes(); dst++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = queue[:0]
+		// Seed with every channel a freshly injected packet may take.
+		for src := topology.NodeID(0); int(src) < topo.Nodes(); src++ {
+			if src == dst {
+				continue
+			}
+			for _, d := range candidates(src, dst, topology.Invalid) {
+				v := g.vertex(src, d)
+				if v < 0 {
+					panic(fmt.Sprintf("turnmodel: routing proposed missing channel %v from node %d", d, src))
+				}
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			ch := g.chans[v]
+			if ch.To == dst {
+				continue
+			}
+			for _, d2 := range candidates(ch.To, dst, ch.Dir) {
+				w := g.vertex(ch.To, d2)
+				if w < 0 {
+					panic(fmt.Sprintf("turnmodel: routing proposed missing channel %v from node %d", d2, ch.To))
+				}
+				g.addEdge(seen, v, w)
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *CDG) addEdge(seen map[int64]bool, v, w int32) {
+	key := int64(v)*int64(len(g.chans)) + int64(w)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	g.adj[v] = append(g.adj[v], w)
+}
+
+// FindCycle returns the channels of one dependency cycle, or nil if the
+// graph is acyclic (i.e. the routing is deadlock free).
+func (g *CDG) FindCycle() []topology.Channel {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.chans))
+	parent := make([]int32, len(g.chans))
+	for i := range parent {
+		parent[i] = -1
+	}
+	// Iterative DFS with an explicit stack of (vertex, next-edge) frames.
+	type frame struct {
+		v    int32
+		next int
+	}
+	for start := range g.chans {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{int32(start), 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.next]
+				f.next++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					parent[w] = f.v
+					stack = append(stack, frame{w, 0})
+				case gray:
+					// Found a cycle: w .. f.v -> w.
+					var cyc []topology.Channel
+					for v := f.v; ; v = parent[v] {
+						cyc = append(cyc, g.chans[v])
+						if v == w {
+							break
+						}
+					}
+					// Reverse into traversal order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// DeadlockFree reports whether the dependency graph is acyclic.
+func (g *CDG) DeadlockFree() bool { return g.FindCycle() == nil }

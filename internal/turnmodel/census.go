@@ -1,0 +1,119 @@
+package turnmodel
+
+import "turnmodel/internal/topology"
+
+// Combination is one way of prohibiting a single turn from each of the two
+// abstract cycles of a 2D mesh (Section 3: "Of the 16 different ways to
+// prohibit these two turns, 12 prevent deadlock and three are unique if
+// symmetry is taken into account").
+type Combination struct {
+	// FromClockwise is the prohibited turn of the clockwise (right-turn)
+	// cycle; FromCounter the one from the counterclockwise cycle.
+	FromClockwise, FromCounter Turn
+	// DeadlockFree records whether prohibiting exactly these two turns
+	// leaves an acyclic channel dependency graph.
+	DeadlockFree bool
+}
+
+// Census2D evaluates all 16 two-turn prohibitions on a concrete 2D mesh
+// (the verdicts are mesh-size independent for meshes of at least 3x3; the
+// extended cycles of Figure 4c need three rows and columns to form).
+func Census2D(m, n int) []Combination {
+	topo := topology.NewMesh2D(m, n)
+	pc := PlaneCycles(0, 1)
+	cw, ccw := pc[0], pc[1]
+	var out []Combination
+	for _, t1 := range cw.Turns {
+		for _, t2 := range ccw.Turns {
+			prohibited := NewSet(t1, t2)
+			g := FromTurns(topo, func(t Turn) bool {
+				return t.Kind() == Turn90 && !prohibited.Contains(t)
+			})
+			out = append(out, Combination{
+				FromClockwise: t1,
+				FromCounter:   t2,
+				DeadlockFree:  g.DeadlockFree(),
+			})
+		}
+	}
+	return out
+}
+
+// dihedral4 enumerates the eight symmetries of the square as permutations
+// of the four 2D directions. Each entry maps old direction -> new.
+func dihedral4() [][4]topology.Direction {
+	w, e, s, n := topology.West, topology.East, topology.South, topology.North
+	identity := [4]topology.Direction{w, e, s, n}
+	// rot90 counterclockwise: east->north, north->west, west->south, south->east.
+	rot := func(p [4]topology.Direction) [4]topology.Direction {
+		m := map[topology.Direction]topology.Direction{e: n, n: w, w: s, s: e}
+		return [4]topology.Direction{m[p[0]], m[p[1]], m[p[2]], m[p[3]]}
+	}
+	// Mirror across the x axis: north<->south.
+	mirror := func(p [4]topology.Direction) [4]topology.Direction {
+		m := map[topology.Direction]topology.Direction{e: e, w: w, n: s, s: n}
+		return [4]topology.Direction{m[p[0]], m[p[1]], m[p[2]], m[p[3]]}
+	}
+	var out [][4]topology.Direction
+	p := identity
+	for i := 0; i < 4; i++ {
+		out = append(out, p, mirror(p))
+		p = rot(p)
+	}
+	return out
+}
+
+func applySym(sym [4]topology.Direction, t Turn) Turn {
+	return Turn{sym[int(t.From)], sym[int(t.To)]}
+}
+
+// SymmetryClasses groups the deadlock-free combinations of Census2D into
+// equivalence classes under the eight symmetries of the square. The paper
+// reports three classes; their canonical representatives are west-first,
+// north-last and negative-first.
+func SymmetryClasses(combos []Combination) [][]Combination {
+	syms := dihedral4()
+	type key struct{ a, b Turn }
+	canon := func(c Combination) key {
+		// Under a mirror symmetry the clockwise cycle maps onto the
+		// counterclockwise one, so the pair must be treated as
+		// unordered; normalize by sorting the two turns.
+		best := key{}
+		first := true
+		for _, s := range syms {
+			x, y := applySym(s, c.FromClockwise), applySym(s, c.FromCounter)
+			if less(y, x) {
+				x, y = y, x
+			}
+			k := key{x, y}
+			if first || keyLess(k, best) {
+				best, first = k, false
+			}
+		}
+		return best
+	}
+	groups := make(map[key][]Combination)
+	var order []key
+	for _, c := range combos {
+		if !c.DeadlockFree {
+			continue
+		}
+		k := canon(c)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	out := make([][]Combination, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+func keyLess(a, b struct{ a, b Turn }) bool {
+	if a.a != b.a {
+		return less(a.a, b.a)
+	}
+	return less(a.b, b.b)
+}

@@ -1,0 +1,181 @@
+package turnmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/topology"
+)
+
+func TestTwelveOfSixteen(t *testing.T) {
+	// Section 3: "Of the 16 different ways to prohibit these two turns,
+	// 12 prevent deadlock".
+	combos := Census2D(4, 4)
+	if len(combos) != 16 {
+		t.Fatalf("census has %d combinations, want 16", len(combos))
+	}
+	free := 0
+	for _, c := range combos {
+		if c.DeadlockFree {
+			free++
+		}
+	}
+	if free != 12 {
+		t.Errorf("%d of 16 combinations deadlock free, want 12", free)
+	}
+}
+
+func TestFigure4Combination(t *testing.T) {
+	// Figure 4 prohibits a right turn and the left turn that reverses it;
+	// the remaining six turns still complete both abstract cycles. The
+	// four failing combinations are exactly those inverse pairs.
+	combos := Census2D(4, 4)
+	for _, c := range combos {
+		inverse := c.FromCounter == (Turn{c.FromClockwise.To, c.FromClockwise.From})
+		if inverse == c.DeadlockFree {
+			t.Errorf("prohibiting {%v, %v}: deadlockFree=%v, inverse-pair=%v",
+				c.FromClockwise, c.FromCounter, c.DeadlockFree, inverse)
+		}
+	}
+}
+
+func TestCensusSizeIndependent(t *testing.T) {
+	// The verdicts must agree between a 3x3 and a 5x4 mesh.
+	a := Census2D(3, 3)
+	b := Census2D(5, 4)
+	for i := range a {
+		if a[i].DeadlockFree != b[i].DeadlockFree {
+			t.Errorf("combination %d verdict differs between mesh sizes", i)
+		}
+	}
+}
+
+func TestThreeSymmetryClasses(t *testing.T) {
+	// Section 3: "three are unique if symmetry is taken into account".
+	classes := SymmetryClasses(Census2D(4, 4))
+	if len(classes) != 3 {
+		t.Fatalf("got %d symmetry classes, want 3", len(classes))
+	}
+	total := 0
+	for _, cl := range classes {
+		total += len(cl)
+	}
+	if total != 12 {
+		t.Errorf("classes cover %d combinations, want 12", total)
+	}
+	// The three canonical algorithms must each appear in some class.
+	find := func(cw, ccw Turn) bool {
+		for _, cl := range classes {
+			for _, c := range cl {
+				if c.FromClockwise == cw && c.FromCounter == ccw {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	w, e, s, n := topology.West, topology.East, topology.South, topology.North
+	// West-first: prohibit the two turns to the west: S->W (clockwise
+	// cycle) and N->W (counterclockwise cycle).
+	if !find(Turn{s, w}, Turn{n, w}) {
+		t.Error("west-first combination not found among deadlock-free classes")
+	}
+	// North-last: prohibit the two turns out of north: N->E (clockwise)
+	// and N->W (counterclockwise).
+	if !find(Turn{n, e}, Turn{n, w}) {
+		t.Error("north-last combination not found among deadlock-free classes")
+	}
+	// Negative-first: prohibit the two 90-degree positive-to-negative
+	// turns: E->S (clockwise cycle) and N->W (counterclockwise cycle).
+	if !find(Turn{e, s}, Turn{n, w}) {
+		t.Error("negative-first combination not found among deadlock-free classes")
+	}
+	// The three must lie in three distinct classes.
+	classOf := func(cw, ccw Turn) int {
+		for i, cl := range classes {
+			for _, c := range cl {
+				if c.FromClockwise == cw && c.FromCounter == ccw {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	wf := classOf(Turn{s, w}, Turn{n, w})
+	nl := classOf(Turn{n, e}, Turn{n, w})
+	nf := classOf(Turn{e, s}, Turn{n, w})
+	if wf == nl || wf == nf || nl == nf {
+		t.Errorf("canonical algorithms share a symmetry class: wf=%d nl=%d nf=%d", wf, nl, nf)
+	}
+}
+
+func TestXYTurnsAreDeadlockFree(t *testing.T) {
+	// Figure 3: the four turns the xy algorithm allows (turns out of x
+	// travel into y travel) cannot form a cycle.
+	topo := topology.NewMesh2D(4, 4)
+	w, e, s, n := topology.West, topology.East, topology.South, topology.North
+	allowed := NewSet(Turn{w, s}, Turn{w, n}, Turn{e, s}, Turn{e, n})
+	g := FromTurns(topo, func(tr Turn) bool { return allowed.Contains(tr) })
+	if cyc := g.FindCycle(); cyc != nil {
+		t.Errorf("xy turn set has dependency cycle %v", cyc)
+	}
+}
+
+func TestAllTurnsDeadlock(t *testing.T) {
+	// With every turn allowed the dependency graph must be cyclic
+	// (Figure 1's deadlock).
+	topo := topology.NewMesh2D(3, 3)
+	g := FromTurns(topo, func(tr Turn) bool { return tr.Kind() == Turn90 })
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("unrestricted turns produced an acyclic dependency graph")
+	}
+	// The cycle must chain: each channel ends where the next begins.
+	for i, ch := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		if ch.To != next.From {
+			t.Errorf("cycle does not chain: %v then %v", ch, next)
+		}
+	}
+}
+
+func TestProhibitionNecessityProperty(t *testing.T) {
+	// Property (testing/quick): for any random subset of prohibited
+	// turns in a 2D mesh, an acyclic dependency graph implies the subset
+	// breaks both abstract cycles — breaking every abstract cycle is
+	// necessary for deadlock freedom (Theorem 1's direction).
+	topo := topology.NewMesh2D(4, 4)
+	all := AllTurns90(2)
+	err := quick.Check(func(mask uint8) bool {
+		prohibited := NewSet()
+		for i, turn := range all {
+			if mask&(1<<uint(i)) != 0 {
+				prohibited.Add(turn)
+			}
+		}
+		g := FromTurns(topo, func(tr Turn) bool {
+			return tr.Kind() == Turn90 && !prohibited.Contains(tr)
+		})
+		if g.DeadlockFree() && !BreaksAllAbstractCycles(2, prohibited) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 256})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDGStats(t *testing.T) {
+	topo := topology.NewMesh2D(3, 3)
+	g := FromTurns(topo, func(tr Turn) bool { return tr.Kind() == Turn90 })
+	if g.Vertices() != len(topo.Channels()) {
+		t.Errorf("Vertices() = %d, want %d", g.Vertices(), len(topo.Channels()))
+	}
+	if g.Edges() == 0 {
+		t.Error("no edges in unrestricted CDG")
+	}
+	if got := g.Channel(0); got != topo.Channels()[0] {
+		t.Errorf("Channel(0) = %v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package turnmodel
+
+import "turnmodel/internal/topology"
+
+// AbstractCycle is one of the two four-turn cycles in a plane of the
+// network (Figure 2). Turns are listed in traversal order.
+type AbstractCycle struct {
+	// DimA and DimB identify the plane, DimA < DimB.
+	DimA, DimB int
+	// Clockwise distinguishes the two cycles of the plane. With DimA
+	// drawn horizontally (east = +DimA) and DimB vertically
+	// (north = +DimB), the clockwise cycle is the one of right turns.
+	Clockwise bool
+	// Turns are the four 90-degree turns forming the cycle.
+	Turns [4]Turn
+}
+
+// PlaneCycles returns the two abstract cycles of the (dimA, dimB) plane.
+func PlaneCycles(dimA, dimB int) [2]AbstractCycle {
+	if dimA >= dimB {
+		panic("turnmodel: PlaneCycles requires dimA < dimB")
+	}
+	east := topology.Dir(dimA, true)
+	west := topology.Dir(dimA, false)
+	north := topology.Dir(dimB, true)
+	south := topology.Dir(dimB, false)
+	cw := AbstractCycle{
+		DimA: dimA, DimB: dimB, Clockwise: true,
+		Turns: [4]Turn{{east, south}, {south, west}, {west, north}, {north, east}},
+	}
+	ccw := AbstractCycle{
+		DimA: dimA, DimB: dimB, Clockwise: false,
+		Turns: [4]Turn{{east, north}, {north, west}, {west, south}, {south, east}},
+	}
+	return [2]AbstractCycle{cw, ccw}
+}
+
+// AbstractCycles enumerates the n(n-1) abstract cycles of an n-dimensional
+// mesh: two per plane across the n(n-1)/2 planes (Section 2).
+func AbstractCycles(n int) []AbstractCycle {
+	var out []AbstractCycle
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pc := PlaneCycles(a, b)
+			out = append(out, pc[0], pc[1])
+		}
+	}
+	return out
+}
+
+// BreaksAllAbstractCycles reports whether the prohibited set contains at
+// least one turn from every abstract cycle. By Theorem 1 this is necessary
+// (but not sufficient — see Figure 4) for deadlock freedom.
+func BreaksAllAbstractCycles(n int, prohibited *Set) bool {
+	for _, c := range AbstractCycles(n) {
+		broken := false
+		for _, t := range c.Turns {
+			if prohibited.Contains(t) {
+				broken = true
+				break
+			}
+		}
+		if !broken {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimumProhibited is the Theorem 1 lower bound: n(n-1) turns, a quarter
+// of the 4n(n-1) possible 90-degree turns, must be prohibited to prevent
+// deadlock in an n-dimensional mesh.
+func MinimumProhibited(n int) int { return n * (n - 1) }

@@ -1,0 +1,127 @@
+// Package turnmodel implements the paper's primary contribution: the turn
+// model for designing deadlock-free, livelock-free, maximally adaptive
+// wormhole routing algorithms without extra channels.
+//
+// The package provides the abstract machinery of Section 2 — directions,
+// turns, abstract cycles, turn prohibition — together with the machinery
+// used by the deadlock-freedom proofs: channel numbering schemes
+// (Theorems 2, 3, 5) and channel dependency graph construction with cycle
+// detection (the Dally–Seitz criterion the proofs reduce to).
+package turnmodel
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// Turn is a transition from travelling in direction From to travelling in
+// direction To at some intermediate router.
+type Turn struct {
+	From, To topology.Direction
+}
+
+func (t Turn) String() string { return fmt.Sprintf("%v->%v", t.From, t.To) }
+
+// Kind classifies turns the way Step 2 of the model does.
+type Kind int
+
+const (
+	// Turn90 is a turn between two different dimensions.
+	Turn90 Kind = iota
+	// Turn180 is a reversal within one dimension.
+	Turn180
+	// Turn0 is a transition between two virtual directions that share a
+	// physical direction; it only exists with multiple channels per
+	// physical direction, which the base model does not use.
+	Turn0
+)
+
+// Kind reports the turn's class.
+func (t Turn) Kind() Kind {
+	switch {
+	case t.From == t.To:
+		return Turn0
+	case t.From == t.To.Opposite():
+		return Turn180
+	default:
+		return Turn90
+	}
+}
+
+// Set is a set of turns, typically the turns a routing algorithm prohibits.
+// The zero value is the empty set.
+type Set struct {
+	turns map[Turn]bool
+}
+
+// NewSet builds a set containing the given turns.
+func NewSet(turns ...Turn) *Set {
+	s := &Set{turns: make(map[Turn]bool, len(turns))}
+	for _, t := range turns {
+		s.turns[t] = true
+	}
+	return s
+}
+
+// Add inserts a turn.
+func (s *Set) Add(t Turn) {
+	if s.turns == nil {
+		s.turns = make(map[Turn]bool)
+	}
+	s.turns[t] = true
+}
+
+// Contains reports membership.
+func (s *Set) Contains(t Turn) bool { return s != nil && s.turns[t] }
+
+// Len reports the number of turns in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.turns)
+}
+
+// Turns lists the members in deterministic order (sorted by From, then To).
+func (s *Set) Turns() []Turn {
+	if s == nil {
+		return nil
+	}
+	out := make([]Turn, 0, len(s.turns))
+	for t := range s.turns {
+		out = append(out, t)
+	}
+	sortTurns(out)
+	return out
+}
+
+func sortTurns(ts []Turn) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && less(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func less(a, b Turn) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+// AllTurns90 enumerates the 4n(n-1) 90-degree turns of an n-dimensional
+// network: for each of the 2n directions there are 2n-2 turns to a
+// different dimension.
+func AllTurns90(n int) []Turn {
+	var out []Turn
+	for _, from := range topology.Directions(n) {
+		for _, to := range topology.Directions(n) {
+			if from.Dim() != to.Dim() {
+				out = append(out, Turn{from, to})
+			}
+		}
+	}
+	return out
+}

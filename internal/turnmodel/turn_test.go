@@ -1,0 +1,156 @@
+package turnmodel
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestTurnKind(t *testing.T) {
+	cases := []struct {
+		turn Turn
+		want Kind
+	}{
+		{Turn{topology.East, topology.North}, Turn90},
+		{Turn{topology.North, topology.West}, Turn90},
+		{Turn{topology.East, topology.West}, Turn180},
+		{Turn{topology.South, topology.North}, Turn180},
+		{Turn{topology.East, topology.East}, Turn0},
+	}
+	for _, c := range cases {
+		if got := c.turn.Kind(); got != c.want {
+			t.Errorf("%v.Kind() = %v, want %v", c.turn, got, c.want)
+		}
+	}
+}
+
+func TestTurnString(t *testing.T) {
+	tr := Turn{topology.North, topology.East}
+	if tr.String() != "north(+y)->east(+x)" {
+		t.Errorf("String() = %q", tr)
+	}
+}
+
+func TestAllTurns90Count(t *testing.T) {
+	// Section 2: 4n(n-1) ninety-degree turns in an n-dimensional mesh.
+	for n := 2; n <= 6; n++ {
+		turns := AllTurns90(n)
+		if want := 4 * n * (n - 1); len(turns) != want {
+			t.Errorf("n=%d: %d turns, want %d", n, len(turns), want)
+		}
+		for _, tr := range turns {
+			if tr.Kind() != Turn90 {
+				t.Errorf("n=%d: %v is not a 90-degree turn", n, tr)
+			}
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	var empty *Set
+	if empty.Contains(Turn{topology.East, topology.North}) {
+		t.Error("nil set contains a turn")
+	}
+	if empty.Len() != 0 || empty.Turns() != nil {
+		t.Error("nil set not empty")
+	}
+	s := NewSet(Turn{topology.North, topology.West})
+	s.Add(Turn{topology.South, topology.West})
+	s.Add(Turn{topology.South, topology.West}) // duplicate
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", s.Len())
+	}
+	if !s.Contains(Turn{topology.North, topology.West}) {
+		t.Error("missing added turn")
+	}
+	ts := s.Turns()
+	if len(ts) != 2 || ts[0] != (Turn{topology.South, topology.West}) || ts[1] != (Turn{topology.North, topology.West}) {
+		t.Errorf("Turns() = %v, want sorted [south->west north->west]", ts)
+	}
+	var zero Set
+	zero.Add(Turn{topology.East, topology.North})
+	if zero.Len() != 1 {
+		t.Error("zero-value Set unusable")
+	}
+}
+
+func TestAbstractCycles2D(t *testing.T) {
+	// Figure 2: eight turns form two abstract cycles in a 2D mesh.
+	cycles := AbstractCycles(2)
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2", len(cycles))
+	}
+	seen := NewSet()
+	for _, c := range cycles {
+		if c.DimA != 0 || c.DimB != 1 {
+			t.Errorf("cycle in wrong plane: %+v", c)
+		}
+		for _, tr := range c.Turns {
+			if seen.Contains(tr) {
+				t.Errorf("turn %v appears in both cycles", tr)
+			}
+			seen.Add(tr)
+			if tr.Kind() != Turn90 {
+				t.Errorf("cycle turn %v is not 90 degrees", tr)
+			}
+		}
+		// Each cycle must chain: turn i's To equals turn i+1's From.
+		for i := range c.Turns {
+			next := c.Turns[(i+1)%4]
+			if c.Turns[i].To != next.From {
+				t.Errorf("cycle does not chain at %v -> %v", c.Turns[i], next)
+			}
+		}
+	}
+	if seen.Len() != 8 {
+		t.Errorf("cycles cover %d turns, want all 8", seen.Len())
+	}
+}
+
+func TestAbstractCyclesCount(t *testing.T) {
+	// Section 2: n(n-1) abstract cycles of four turns each.
+	for n := 2; n <= 6; n++ {
+		if got, want := len(AbstractCycles(n)), n*(n-1); got != want {
+			t.Errorf("n=%d: %d cycles, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPlaneCyclesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for dimA >= dimB")
+		}
+	}()
+	PlaneCycles(1, 1)
+}
+
+func TestTheorem1MinimumProhibited(t *testing.T) {
+	// Theorem 1: the minimum number of prohibited turns is n(n-1), a
+	// quarter of the total. Structurally: the turns partition into
+	// n(n-1) disjoint cycles, so at least one per cycle is required.
+	for n := 2; n <= 5; n++ {
+		if got, want := MinimumProhibited(n), len(AllTurns90(n))/4; got != want {
+			t.Errorf("n=%d: MinimumProhibited=%d, want %d", n, got, want)
+		}
+		// Any set smaller than the minimum must leave some cycle intact.
+		cycles := AbstractCycles(n)
+		s := NewSet()
+		for _, c := range cycles[:len(cycles)-1] {
+			s.Add(c.Turns[0])
+		}
+		if BreaksAllAbstractCycles(n, s) {
+			t.Errorf("n=%d: %d turns claimed to break %d cycles", n, s.Len(), len(cycles))
+		}
+		s.Add(cycles[len(cycles)-1].Turns[0])
+		if !BreaksAllAbstractCycles(n, s) {
+			t.Errorf("n=%d: one turn per cycle does not break all cycles", n)
+		}
+	}
+}
+
+func TestBreaksAllAbstractCyclesRejectsEmpty(t *testing.T) {
+	if BreaksAllAbstractCycles(2, NewSet()) {
+		t.Error("empty prohibition set claimed to break cycles")
+	}
+}

@@ -1,0 +1,390 @@
+package turnmodel_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/turnmodel"
+)
+
+// The tests in this file verify the paper's deadlock-freedom theorems on
+// concrete networks by building the exact channel dependency graph of each
+// routing algorithm and checking acyclicity, and by validating the channel
+// numbering schemes used in the proofs.
+
+func meshAlgorithms(m *topology.Mesh) []routing.Algorithm {
+	algs := []routing.Algorithm{
+		routing.DimensionOrder(m),
+		routing.NegativeFirst(m),
+		routing.ABONF(m),
+		routing.ABOPL(m),
+	}
+	if m.Dims() == 2 {
+		algs = append(algs, routing.WestFirst(m), routing.NorthLast(m))
+	}
+	return algs
+}
+
+func TestMeshAlgorithmsDeadlockFree(t *testing.T) {
+	for _, m := range []*topology.Mesh{
+		topology.NewMesh2D(4, 4),
+		topology.NewMesh2D(8, 5),
+		topology.NewMesh(3, 3, 3),
+		topology.NewMesh(2, 3, 4, 2),
+	} {
+		for _, alg := range meshAlgorithms(m) {
+			g := turnmodel.FromRouting(m, routing.Relation(alg))
+			if cyc := g.FindCycle(); cyc != nil {
+				t.Errorf("%s on %s: dependency cycle %v", alg.Name(), m.Name(), cyc)
+			}
+		}
+	}
+}
+
+func TestHypercubeAlgorithmsDeadlockFree(t *testing.T) {
+	for _, n := range []int{3, 4, 6} {
+		h := topology.NewHypercube(n)
+		for _, alg := range []routing.Algorithm{routing.ECube(h), routing.PCube(h)} {
+			g := turnmodel.FromRouting(h, routing.Relation(alg))
+			if cyc := g.FindCycle(); cyc != nil {
+				t.Errorf("%s on %s: dependency cycle %v", alg.Name(), h.Name(), cyc)
+			}
+		}
+	}
+}
+
+func TestTorusAlgorithmsDeadlockFree(t *testing.T) {
+	for _, tr := range []*topology.Torus{
+		topology.NewKaryNCube(4, 2),
+		topology.NewKaryNCube(5, 2),
+		topology.NewKaryNCube(3, 3),
+	} {
+		algs := []routing.Algorithm{
+			routing.NegativeFirstTorus(tr),
+			routing.NegativeFirstWrap(tr),
+			routing.DimensionOrderWrap(tr),
+		}
+		if tr.Dims() == 2 {
+			algs = append(algs, routing.WestFirstWrap(tr), routing.NorthLastWrap(tr))
+		}
+		for _, alg := range algs {
+			g := turnmodel.FromRouting(tr, routing.Relation(alg))
+			if cyc := g.FindCycle(); cyc != nil {
+				t.Errorf("%s on %s: dependency cycle %v", alg.Name(), tr.Name(), cyc)
+			}
+		}
+	}
+}
+
+// TestPhasedPartitionProperty verifies the general principle behind every
+// algorithm in the paper, with testing/quick over the design space: ANY
+// ordered partition of a 2D mesh's four directions into two or more
+// phases yields a deadlock-free minimal routing algorithm, because a
+// dependency cycle would need both signs of both axes inside one phase;
+// the single-phase partition (fully adaptive) is the only cyclic one.
+func TestPhasedPartitionProperty(t *testing.T) {
+	topo := topology.NewMesh2D(4, 4)
+	dirs := topology.Directions(2)
+	err := quick.Check(func(assign [4]uint8) bool {
+		phases := make([][]topology.Direction, 3)
+		for i, d := range dirs {
+			p := int(assign[i]) % 3
+			phases[p] = append(phases[p], d)
+		}
+		var nonEmpty [][]topology.Direction
+		for _, ph := range phases {
+			if len(ph) > 0 {
+				nonEmpty = append(nonEmpty, ph)
+			}
+		}
+		alg := routing.Phased(topo, "random-partition", nonEmpty...)
+		free := turnmodel.FromRouting(topo, routing.Relation(alg)).DeadlockFree()
+		if len(nonEmpty) == 1 {
+			return !free // fully adaptive: must be cyclic
+		}
+		return free
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexAlgorithmsDeadlockFree(t *testing.T) {
+	// Section 7 future work: the turn model applied to hexagonal
+	// networks, where the turns are 60/120 degrees and the abstract
+	// cycles have three or six turns. The negative-first phase split
+	// breaks every cycle: its dependency graph is acyclic.
+	for _, size := range [][2]int{{4, 4}, {6, 5}} {
+		h := topology.NewHex(size[0], size[1])
+		for _, alg := range []routing.Algorithm{routing.NegativeFirstHex(h), routing.DimensionOrderHex(h)} {
+			g := turnmodel.FromRouting(h, routing.Relation(alg))
+			if cyc := g.FindCycle(); cyc != nil {
+				t.Errorf("%s on %s: dependency cycle %v", alg.Name(), h.Name(), cyc)
+			}
+		}
+		// Unrestricted minimal adaptive routing on the hex mesh is NOT
+		// deadlock free — the triangle and hexagon cycles survive.
+		g := turnmodel.FromRouting(h, routing.Relation(routing.FullyAdaptive(h)))
+		if g.DeadlockFree() {
+			t.Errorf("fully adaptive on %s verified deadlock free", h.Name())
+		}
+	}
+}
+
+func TestOctagonalAlgorithmsDeadlockFree(t *testing.T) {
+	for _, size := range [][2]int{{4, 4}, {5, 6}} {
+		o := topology.NewOctagonal(size[0], size[1])
+		for _, alg := range []routing.Algorithm{routing.NegativeFirstOctagonal(o), routing.DimensionOrderOctagonal(o)} {
+			g := turnmodel.FromRouting(o, routing.Relation(alg))
+			if cyc := g.FindCycle(); cyc != nil {
+				t.Errorf("%s on %s: dependency cycle %v", alg.Name(), o.Name(), cyc)
+			}
+		}
+		g := turnmodel.FromRouting(o, routing.Relation(routing.FullyAdaptive(o)))
+		if g.DeadlockFree() {
+			t.Errorf("fully adaptive on %s verified deadlock free", o.Name())
+		}
+	}
+}
+
+func TestHexTurnBasedWorstCase(t *testing.T) {
+	// The stronger, nonminimal-worst-case check: with ALL turns among
+	// the negative triple, all among the positive triple, and
+	// negative-to-positive transitions allowed (only positive-to-
+	// negative prohibited), the turn-based dependency graph is acyclic.
+	h := topology.NewHex(5, 5)
+	g := turnmodel.FromTurns(h, func(tr turnmodel.Turn) bool {
+		if tr.Kind() != turnmodel.Turn90 {
+			return false
+		}
+		return !(tr.From.Positive() && !tr.To.Positive())
+	})
+	if cyc := g.FindCycle(); cyc != nil {
+		t.Errorf("hex negative-first turn set has cycle %v", cyc)
+	}
+	// And with every turn allowed there must be a cycle.
+	g = turnmodel.FromTurns(h, func(tr turnmodel.Turn) bool { return tr.Kind() == turnmodel.Turn90 })
+	if g.DeadlockFree() {
+		t.Error("unrestricted hex turns produced an acyclic graph")
+	}
+}
+
+func TestNonminimalPCubeDeadlockFree(t *testing.T) {
+	// Figure 12's nonminimal p-cube misroutes in phase one, yet its
+	// dependency graph stays acyclic: phase one uses only negative
+	// channels and phase two only positive ones.
+	for _, n := range []int{3, 4, 6} {
+		h := topology.NewHypercube(n)
+		g := turnmodel.FromRouting(h, routing.Relation(routing.NonminimalPCube(h)))
+		if cyc := g.FindCycle(); cyc != nil {
+			t.Errorf("nonminimal p-cube on %s: dependency cycle %v", h.Name(), cyc)
+		}
+	}
+}
+
+func TestNonminimalPCubeNumbering(t *testing.T) {
+	// The Theorem 5 numbering certifies even the nonminimal variant.
+	h := topology.NewHypercube(5)
+	nb := turnmodel.NegativeFirstNumbering(&h.Mesh)
+	if err := nb.Validate(h, routing.Relation(routing.NonminimalPCube(h))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyAdaptiveHasCycle(t *testing.T) {
+	// Minimal fully adaptive routing without extra channels is not
+	// deadlock free; its dependency graph must be cyclic.
+	for _, topo := range []topology.Topology{
+		topology.NewMesh2D(3, 3),
+		topology.NewHypercube(3),
+	} {
+		g := turnmodel.FromRouting(topo, routing.Relation(routing.FullyAdaptive(topo)))
+		if g.DeadlockFree() {
+			t.Errorf("fully adaptive on %s claimed deadlock free", topo.Name())
+		}
+	}
+}
+
+func TestWestFirstNumberingDecreasing(t *testing.T) {
+	// Theorem 2: west-first routes every packet along channels with
+	// strictly decreasing numbers.
+	for _, size := range [][2]int{{4, 4}, {8, 8}, {5, 3}, {3, 7}} {
+		m := topology.NewMesh2D(size[0], size[1])
+		nb := turnmodel.WestFirstNumbering(m)
+		if !nb.Decreasing {
+			t.Fatal("west-first numbering must be decreasing")
+		}
+		if err := nb.Validate(m, routing.Relation(routing.WestFirst(m))); err != nil {
+			t.Errorf("mesh %v: %v", size, err)
+		}
+	}
+}
+
+func TestNorthLastNumberingIncreasing(t *testing.T) {
+	// Theorem 3: north-last routes along strictly increasing numbers.
+	for _, size := range [][2]int{{4, 4}, {8, 8}, {5, 3}, {3, 7}} {
+		m := topology.NewMesh2D(size[0], size[1])
+		nb := turnmodel.NorthLastNumbering(m)
+		if err := nb.Validate(m, routing.Relation(routing.NorthLast(m))); err != nil {
+			t.Errorf("mesh %v: %v", size, err)
+		}
+	}
+}
+
+func TestNegativeFirstNumberingIncreasing(t *testing.T) {
+	// Theorem 5: with K the sum of the k_i and X the coordinate sum,
+	// numbering positive channels K-n+X and negative channels K-n-X makes
+	// negative-first routes strictly increasing.
+	for _, m := range []*topology.Mesh{
+		topology.NewMesh2D(4, 4),
+		topology.NewMesh2D(8, 8),
+		topology.NewMesh(3, 4, 5),
+	} {
+		nb := turnmodel.NegativeFirstNumbering(m)
+		if err := nb.Validate(m, routing.Relation(routing.NegativeFirst(m))); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestNegativeFirstNumberingOnPCube(t *testing.T) {
+	// p-cube is the hypercube special case of negative-first, so the
+	// Theorem 5 numbering applies to it as a corollary.
+	h := topology.NewHypercube(5)
+	nb := turnmodel.NegativeFirstNumbering(&h.Mesh)
+	if err := nb.Validate(h, routing.Relation(routing.PCube(h))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberingDetectsBadRouting(t *testing.T) {
+	// The west-first numbering must reject a routing relation that makes
+	// a prohibited turn (sanity check that Validate can fail).
+	m := topology.NewMesh2D(4, 4)
+	nb := turnmodel.WestFirstNumbering(m)
+	bad := routing.Relation(routing.FullyAdaptive(m))
+	if err := nb.Validate(m, bad); err == nil {
+		t.Error("Validate accepted fully adaptive routing")
+	}
+}
+
+func TestNumberingPanicsOn3D(t *testing.T) {
+	m := topology.NewMesh(3, 3, 3)
+	for _, f := range []func(){
+		func() { turnmodel.WestFirstNumbering(m) },
+		func() { turnmodel.NorthLastNumbering(m) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for 3D mesh")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTheorem6Sufficiency(t *testing.T) {
+	// Theorem 6: prohibiting some quarter of the turns — the n(n-1)
+	// positive-to-negative turns of negative-first — is sufficient to
+	// prevent deadlock in an n-dimensional mesh. Verified as a
+	// turn-based (nonminimal worst case) dependency graph, not just for
+	// minimal routes.
+	for _, m := range []*topology.Mesh{
+		topology.NewMesh2D(4, 4),
+		topology.NewMesh(3, 3, 3),
+		topology.NewMesh(2, 2, 2, 2),
+	} {
+		n := m.Dims()
+		prohibited := turnmodel.NewSet()
+		for _, tr := range turnmodel.AllTurns90(n) {
+			if tr.From.Positive() && !tr.To.Positive() {
+				prohibited.Add(tr)
+			}
+		}
+		if got, want := prohibited.Len(), turnmodel.MinimumProhibited(n); got != want {
+			t.Errorf("n=%d: negative-first prohibits %d turns, want %d", n, got, want)
+		}
+		if !turnmodel.BreaksAllAbstractCycles(n, prohibited) {
+			t.Errorf("n=%d: negative-first does not break all abstract cycles", n)
+		}
+		g := turnmodel.FromTurns(m, func(tr turnmodel.Turn) bool {
+			return tr.Kind() == turnmodel.Turn90 && !prohibited.Contains(tr)
+		})
+		if cyc := g.FindCycle(); cyc != nil {
+			t.Errorf("%s: negative-first turn set has cycle %v", m.Name(), cyc)
+		}
+	}
+}
+
+func TestPhasedProhibitedTurnsMatchCDG(t *testing.T) {
+	// For every phased algorithm, the prohibited turn set must (a) break
+	// all abstract cycles and (b) produce an acyclic turn-based CDG.
+	m := topology.NewMesh2D(4, 4)
+	for _, alg := range meshAlgorithms(m) {
+		tc, ok := alg.(routing.TurnCharacterized)
+		if !ok {
+			t.Errorf("%s: not turn characterized", alg.Name())
+			continue
+		}
+		prohibited := tc.ProhibitedTurns()
+		if !turnmodel.BreaksAllAbstractCycles(2, prohibited) {
+			t.Errorf("%s: prohibited turns do not break all abstract cycles", alg.Name())
+		}
+		g := turnmodel.FromTurns(m, func(tr turnmodel.Turn) bool {
+			return tr.Kind() == turnmodel.Turn90 && !prohibited.Contains(tr)
+		})
+		if cyc := g.FindCycle(); cyc != nil {
+			t.Errorf("%s: turn-based CDG has cycle %v", alg.Name(), cyc)
+		}
+	}
+}
+
+func TestDimensionOrderProhibitsHalfTheTurns(t *testing.T) {
+	// Section 3: xy prohibits four of the eight turns — twice the turn
+	// model's minimum, which is why it has no adaptiveness.
+	m := topology.NewMesh2D(4, 4)
+	tc := routing.DimensionOrder(m).(routing.TurnCharacterized)
+	if got := tc.ProhibitedTurns().Len(); got != 4 {
+		t.Errorf("xy prohibits %d turns, want 4", got)
+	}
+	nf := routing.NegativeFirst(m).(routing.TurnCharacterized)
+	if got := nf.ProhibitedTurns().Len(); got != 2 {
+		t.Errorf("negative-first prohibits %d turns, want 2", got)
+	}
+}
+
+func TestHexNegativeFirstNumbering(t *testing.T) {
+	// The Theorem 5 construction carried to the hexagonal mesh: with the
+	// potential X = 2a+b every hex negative-first route follows strictly
+	// increasing channel numbers.
+	for _, size := range [][2]int{{4, 4}, {6, 5}} {
+		h := topology.NewHex(size[0], size[1])
+		nb := turnmodel.HexNegativeFirstNumbering(h)
+		if err := nb.Validate(h, routing.Relation(routing.NegativeFirstHex(h))); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+	// And it must reject unrestricted adaptive routing.
+	h := topology.NewHex(4, 4)
+	nb := turnmodel.HexNegativeFirstNumbering(h)
+	if err := nb.Validate(h, routing.Relation(routing.FullyAdaptive(h))); err == nil {
+		t.Error("hex numbering wrongly certified fully adaptive routing")
+	}
+}
+
+func TestOddEvenSurvivesCensusStyleVerification(t *testing.T) {
+	// Odd-even from the facade-level registry, verified like everything
+	// else; complements the in-package tests.
+	m := topology.NewMesh2D(6, 6)
+	alg, err := routing.New("odd-even", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc := turnmodel.FromRouting(m, routing.Relation(alg)).FindCycle(); cyc != nil {
+		t.Errorf("odd-even: dependency cycle %v", cyc)
+	}
+}

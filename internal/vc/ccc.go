@@ -1,0 +1,146 @@
+package vc
+
+import (
+	"turnmodel/internal/topology"
+)
+
+// CCCAscending is deadlock-free routing for cube-connected cycles, the
+// third Section 7 future-work topology. It is the CCC embedding of e-cube
+// routing: phase A walks each ring in the positive direction, taking the
+// cube edge whenever the current position's corner bit differs from the
+// destination corner; once the corner matches, phase B takes the shorter
+// way around the ring to the destination position.
+//
+// Rings are cycles, so naive single-channel ring traversal deadlocks just
+// like a torus ring. The scheme therefore splits the ring channels into
+// dateline classes, ordered so every dependency strictly increases:
+//
+//	positive ring channels: A0 < A1 < B+0 < B+1 (vc 0..3)
+//	cube channels:          A0 < A1             (vc 0..1)
+//	negative ring channels: B-0 < B-1           (vc 0..1)
+//
+// A packet starts in A0, moves to A1 when phase A crosses a ring's
+// wraparound edge (phase A circles a ring at most once), enters a B class
+// when the corner is fully corrected, and bumps to the B crossed class at
+// that traversal's own wraparound. Classes never decrease, each class is
+// acyclic on its own (a chain of ring positions), so the virtual-channel
+// dependency graph is acyclic — FromRouting verifies this mechanically.
+//
+// Routes are nonminimal in general (phase A may circle most of a ring
+// where a shortest path would backtrack) but bounded by 2n + n/2 hops.
+type CCCAscending struct {
+	ccc *topology.CCC
+}
+
+// NewCCCAscending builds the router for a CCC topology.
+func NewCCCAscending(c *topology.CCC) CCCAscending { return CCCAscending{c} }
+
+// Name implements Algorithm.
+func (a CCCAscending) Name() string { return "ccc-ascending" }
+
+// Topology implements Algorithm.
+func (a CCCAscending) Topology() topology.Topology { return a.ccc }
+
+// VCs implements Algorithm.
+func (a CCCAscending) VCs(d topology.Direction) int {
+	switch d {
+	case topology.Dir(1, true):
+		return 4 // A0, A1, B+0, B+1
+	case topology.Dir(1, false):
+		return 2 // B-0, B-1
+	default:
+		return 2 // cube: A0, A1
+	}
+}
+
+// phase-A class of the incoming virtual channel: 0 before the packet has
+// crossed a ring wraparound in phase A, 1 after. Injection starts at 0.
+func aClass(inDir topology.Direction, inVC int) int {
+	if inDir == topology.Invalid {
+		return 0
+	}
+	// Arriving on a cube channel or a positive ring channel in class A1
+	// keeps the crossed state; everything else is still A0. (A packet in
+	// a B class never returns to phase A, so this is only consulted
+	// while phase A is in progress.)
+	if inVC == 1 && (inDir.Dim() == 0 || inDir == topology.Dir(1, true)) {
+		return 1
+	}
+	return 0
+}
+
+// Candidates implements Algorithm. The route is deterministic: exactly one
+// output per state.
+func (a CCCAscending) Candidates(current, dest topology.NodeID, inDir topology.Direction, inVC int) []Out {
+	c := a.ccc
+	corner, pos := c.Corner(current), c.Position(current)
+	dCorner, dPos := c.Corner(dest), c.Position(dest)
+	n := c.Order()
+	diff := corner ^ dCorner
+	if diff != 0 {
+		cls := aClass(inDir, inVC)
+		if diff&(1<<uint(pos)) != 0 {
+			// Correct this position's bit laterally.
+			return []Out{{topology.Dir(0, corner&(1<<uint(pos)) == 0), cls}}
+		}
+		// Advance the ring; the wraparound edge is the dateline and
+		// belongs to the crossed class.
+		if pos == n-1 {
+			cls = 1
+		}
+		return []Out{{topology.Dir(1, true), cls}}
+	}
+	if pos == dPos {
+		return nil
+	}
+	// Phase B: shorter way around the ring, ties positive.
+	up := (dPos - pos + n) % n
+	if up <= n-up {
+		// Positive ring classes B+0 (vc 2) and B+1 (vc 3).
+		cls := 2
+		if inDir == topology.Dir(1, true) && inVC == 3 {
+			cls = 3
+		}
+		if pos == n-1 {
+			cls = 3
+		}
+		return []Out{{topology.Dir(1, true), cls}}
+	}
+	// Negative ring classes B-0 (vc 0) and B-1 (vc 1).
+	cls := 0
+	if inDir == topology.Dir(1, false) && inVC == 1 {
+		cls = 1
+	}
+	if pos == 0 {
+		cls = 1
+	}
+	return []Out{{topology.Dir(1, false), cls}}
+}
+
+// NaiveCCC is the negative control: the same ascending route on a single
+// virtual channel per physical channel. Its ring dependency cycles make it
+// deadlock prone.
+type NaiveCCC struct {
+	ccc *topology.CCC
+}
+
+// NewNaiveCCC builds the control router.
+func NewNaiveCCC(c *topology.CCC) NaiveCCC { return NaiveCCC{c} }
+
+// Name implements Algorithm.
+func (a NaiveCCC) Name() string { return "ccc-naive" }
+
+// Topology implements Algorithm.
+func (a NaiveCCC) Topology() topology.Topology { return a.ccc }
+
+// VCs implements Algorithm.
+func (a NaiveCCC) VCs(topology.Direction) int { return 1 }
+
+// Candidates implements Algorithm.
+func (a NaiveCCC) Candidates(current, dest topology.NodeID, _ topology.Direction, _ int) []Out {
+	full := CCCAscending{a.ccc}.Candidates(current, dest, topology.Invalid, 0)
+	for i := range full {
+		full[i].VC = 0
+	}
+	return full
+}

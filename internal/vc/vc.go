@@ -1,0 +1,224 @@
+// Package vc applies the turn model to networks with extra virtual
+// channels — the direction Section 4.2 and the companion paper [18] point
+// to. Splitting a physical channel into virtual channels multiplies the
+// vertices of the channel dependency graph, which makes two things
+// possible that the base model cannot do:
+//
+//   - minimal deadlock-free routing on k-ary n-cubes (the Dally–Seitz
+//     dateline scheme, two virtual channels per physical channel), and
+//   - minimal FULLY adaptive routing on 2D meshes (the double-y scheme:
+//     two virtual channels on the y links only).
+//
+// The package mirrors internal/routing at the virtual-channel level: an
+// Algorithm proposes (direction, virtual channel) outputs, and FromRouting
+// builds the virtual-channel dependency graph whose acyclicity certifies
+// deadlock freedom.
+package vc
+
+import (
+	"fmt"
+
+	"turnmodel/internal/topology"
+)
+
+// Out names one output virtual channel at a router: the physical direction
+// and the virtual channel index on it.
+type Out struct {
+	Dir topology.Direction
+	VC  int
+}
+
+func (o Out) String() string { return fmt.Sprintf("%v/vc%d", o.Dir, o.VC) }
+
+// Algorithm is a virtual-channel routing algorithm bound to a topology.
+type Algorithm interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Topology returns the bound network.
+	Topology() topology.Topology
+	// VCs reports how many virtual channels each physical channel in
+	// the given direction carries (uniform across the network).
+	VCs(dir topology.Direction) int
+	// Candidates lists the permitted output virtual channels for a
+	// packet at current destined for dest that arrived on (inDir, inVC)
+	// (topology.Invalid at injection). Ordered by increasing dimension,
+	// then virtual channel.
+	Candidates(current, dest topology.NodeID, inDir topology.Direction, inVC int) []Out
+}
+
+// MaxVCs reports the largest per-direction virtual channel count of the
+// algorithm.
+func MaxVCs(a Algorithm) int {
+	max := 1
+	for _, d := range topology.Directions(a.Topology().Dims()) {
+		if v := a.VCs(d); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Channel is one virtual channel instance of the network.
+type Channel struct {
+	topology.Channel
+	VC int
+}
+
+func (c Channel) String() string {
+	return fmt.Sprintf("%d-%v/vc%d->%d", c.From, c.Dir, c.VC, c.To)
+}
+
+// CDG is the virtual-channel dependency graph of an Algorithm on its
+// topology. As with the physical-channel graph, acyclicity is the
+// Dally–Seitz criterion for deadlock freedom.
+type CDG struct {
+	topo  topology.Topology
+	alg   Algorithm
+	maxVC int
+	chans []Channel
+	index []int32
+	adj   [][]int32
+}
+
+// FromRouting builds the exact dependency graph: for every destination it
+// traverses the virtual channels a packet can occupy and records which
+// virtual channels it may wait for next.
+func FromRouting(a Algorithm) *CDG {
+	topo := a.Topology()
+	g := &CDG{topo: topo, alg: a, maxVC: MaxVCs(a)}
+	dims2 := 2 * topo.Dims()
+	g.index = make([]int32, topo.Nodes()*dims2*g.maxVC)
+	for i := range g.index {
+		g.index[i] = -1
+	}
+	for _, ch := range topo.Channels() {
+		for v := 0; v < a.VCs(ch.Dir); v++ {
+			g.index[g.key(ch.From, ch.Dir, v)] = int32(len(g.chans))
+			g.chans = append(g.chans, Channel{Channel: ch, VC: v})
+		}
+	}
+	g.adj = make([][]int32, len(g.chans))
+
+	seen := make(map[int64]bool)
+	visited := make([]bool, len(g.chans))
+	var queue []int32
+	for dst := topology.NodeID(0); int(dst) < topo.Nodes(); dst++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = queue[:0]
+		for src := topology.NodeID(0); int(src) < topo.Nodes(); src++ {
+			if src == dst {
+				continue
+			}
+			for _, out := range a.Candidates(src, dst, topology.Invalid, 0) {
+				v := g.vertex(src, out)
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			ch := g.chans[v]
+			if ch.To == dst {
+				continue
+			}
+			for _, out := range a.Candidates(ch.To, dst, ch.Dir, ch.VC) {
+				w := g.vertex(ch.To, out)
+				key := int64(v)*int64(len(g.chans)) + int64(w)
+				if !seen[key] {
+					seen[key] = true
+					g.adj[v] = append(g.adj[v], w)
+				}
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *CDG) key(node topology.NodeID, d topology.Direction, v int) int {
+	dims2 := 2 * g.topo.Dims()
+	return (int(node)*dims2+int(d))*g.maxVC + v
+}
+
+func (g *CDG) vertex(node topology.NodeID, out Out) int32 {
+	v := g.index[g.key(node, out.Dir, out.VC)]
+	if v < 0 {
+		panic(fmt.Sprintf("vc: routing proposed missing channel %v at node %d", out, node))
+	}
+	return v
+}
+
+// Vertices reports the number of virtual channels.
+func (g *CDG) Vertices() int { return len(g.chans) }
+
+// Edges reports the number of dependencies.
+func (g *CDG) Edges() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n
+}
+
+// FindCycle returns one dependency cycle, or nil when the routing is
+// deadlock free.
+func (g *CDG) FindCycle() []Channel {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.chans))
+	parent := make([]int32, len(g.chans))
+	type frame struct {
+		v    int32
+		next int
+	}
+	for start := range g.chans {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{int32(start), 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.next]
+				f.next++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					parent[w] = f.v
+					stack = append(stack, frame{w, 0})
+				case gray:
+					var cyc []Channel
+					for v := f.v; ; v = parent[v] {
+						cyc = append(cyc, g.chans[v])
+						if v == w {
+							break
+						}
+					}
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// DeadlockFree reports whether the graph is acyclic.
+func (g *CDG) DeadlockFree() bool { return g.FindCycle() == nil }

@@ -1,0 +1,141 @@
+package vcnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/topology"
+	"turnmodel/internal/vc"
+)
+
+// checkInvariants verifies the per-flit engine's structural invariants:
+//
+//  1. Within a worm, flit positions are strictly decreasing with flit
+//     index (no overtaking) and every in-network flit's buffer is marked
+//     occupied, with no sharing between flits or worms.
+//  2. Channel ownership: a worm owns exactly the channels feeding the
+//     path positions its tail flit has not yet crossed, plus its pending
+//     head allocation.
+//  3. sent/done counters stay consistent with the position array.
+func checkInvariants(t *testing.T, n *Network) {
+	t.Helper()
+	coveredBy := make(map[int32]*worm)
+	ownedWant := make(map[int]*worm)
+	for _, w := range n.active {
+		if w.done > w.sent || w.sent > w.pkt.Length {
+			t.Fatalf("%v: done=%d sent=%d", w.pkt, w.done, w.sent)
+		}
+		prev := len(w.path)
+		for k := w.done; k < w.sent; k++ {
+			p := w.pos[k]
+			if p < 0 || p >= len(w.path) {
+				t.Fatalf("%v: flit %d at invalid position %d", w.pkt, k, p)
+			}
+			if p >= prev {
+				t.Fatalf("%v: flit %d overtook flit %d (%d >= %d)", w.pkt, k, k-1, p, prev)
+			}
+			prev = p
+			buf := w.path[p]
+			if !n.occupied[buf] {
+				t.Fatalf("%v: flit %d's buffer %d not occupied", w.pkt, k, buf)
+			}
+			if other, ok := coveredBy[buf]; ok {
+				t.Fatalf("buffer %d shared by %v and %v", buf, other.pkt, w.pkt)
+			}
+			coveredBy[buf] = w
+		}
+		// Ownership window: from just after the tail flit's position (or
+		// 1 if the tail has not been injected yet) to the end of path.
+		lo := 1
+		if w.sent == w.pkt.Length {
+			lo = w.pos[w.pkt.Length-1] + 1
+		}
+		for j := lo; j < len(w.path); j++ {
+			from := n.bufRouter(w.path[j-1])
+			dir, v := n.bufPort(w.path[j])
+			ownedWant[n.ownerKey(from, dir, v)] = w
+		}
+		if !w.arrived && w.routed {
+			head := n.bufRouter(w.headBuf())
+			ownedWant[n.ownerKey(head, w.out.Dir, w.out.VC)] = w
+		}
+	}
+	for buf, occ := range n.occupied {
+		if occ && coveredBy[int32(buf)] == nil {
+			t.Fatalf("buffer %d occupied but unowned", buf)
+		}
+	}
+	for key, owner := range n.owner {
+		if owner != ownedWant[key] {
+			t.Fatalf("channel %d ownership mismatch", key)
+		}
+	}
+}
+
+func TestVCSimulatorInvariantsUnderRandomTraffic(t *testing.T) {
+	algs := []vc.Algorithm{
+		vc.DoubleY(topology.NewMesh2D(4, 4)),
+		vc.DatelineDOR(topology.NewKaryNCube(4, 2)),
+		vc.NewCCCAscending(topology.NewCCC(3)),
+	}
+	for _, alg := range algs {
+		net := New(Config{Routing: alg, WatchdogCycles: 20000})
+		topo := alg.Topology()
+		rng := rand.New(rand.NewSource(13))
+		for c := 0; c < 2500; c++ {
+			if c%2 == 0 {
+				src := topology.NodeID(rng.Intn(topo.Nodes()))
+				dst := topology.NodeID(rng.Intn(topo.Nodes()))
+				if src != dst {
+					net.Enqueue(src, dst, 1+rng.Intn(25))
+				}
+			}
+			if err := net.Step(); err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			checkInvariants(t, net)
+		}
+		for i := 0; i < 200000 && net.InFlight() > 0; i++ {
+			if err := net.Step(); err != nil {
+				t.Fatalf("%s drain: %v", alg.Name(), err)
+			}
+			checkInvariants(t, net)
+		}
+		if net.InFlight() != 0 {
+			t.Fatalf("%s: did not drain", alg.Name())
+		}
+		for key, owner := range net.owner {
+			if owner != nil {
+				t.Fatalf("%s: channel %d still owned after drain", alg.Name(), key)
+			}
+		}
+		for buf, occ := range net.occupied {
+			if occ {
+				t.Fatalf("%s: buffer %d still occupied after drain", alg.Name(), buf)
+			}
+		}
+	}
+}
+
+func TestVCSingleFlitPackets(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	net := New(Config{Routing: vc.DoubleY(mesh)})
+	want := int64(0)
+	for s := topology.NodeID(0); s < 16; s++ {
+		for d := topology.NodeID(0); d < 16; d++ {
+			if s != d {
+				net.Enqueue(s, d, 1)
+				want++
+			}
+		}
+	}
+	for i := 0; i < 100000 && net.InFlight() > 0; i++ {
+		if err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, net)
+	}
+	if net.PacketsDelivered() != want {
+		t.Errorf("delivered %d, want %d", net.PacketsDelivered(), want)
+	}
+}

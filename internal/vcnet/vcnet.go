@@ -1,0 +1,433 @@
+// Package vcnet is a flit-level wormhole simulator for networks with
+// virtual channels. Unlike internal/network — where a physical channel
+// belongs to one worm at a time, so a worm always advances as a unit —
+// virtual channels share a physical channel's bandwidth (one flit per
+// cycle per physical link), worms interleave flit by flit, and bubbles
+// form naturally. Flits are therefore simulated individually.
+//
+// The router model otherwise matches Section 6: one single-flit buffer per
+// input virtual channel, unbounded source queues, immediate consumption at
+// the destination, and a deadlock watchdog.
+package vcnet
+
+import (
+	"fmt"
+	"sort"
+
+	"turnmodel/internal/network"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/vc"
+)
+
+// Config configures a Network.
+type Config struct {
+	// Routing is the virtual-channel routing algorithm.
+	Routing vc.Algorithm
+	// WatchdogCycles is how long the network may go without progress
+	// while packets are in flight before Step reports a deadlock.
+	// 0 selects the default (10000); negative disables.
+	WatchdogCycles int64
+}
+
+// Packet re-exports the packet bookkeeping of the base simulator.
+type Packet = network.Packet
+
+// worm tracks a packet's flits individually. path is the chain of input
+// buffers the header has entered; pos[k] is the index into path where flit
+// k currently sits, -1 before injection, len(path) after consumption.
+type worm struct {
+	pkt  *Packet
+	path []int32
+	pos  []int
+	// outVC is the allocated output at the header's current router, or
+	// -1 while the header waits.
+	out    vc.Out
+	routed bool
+	// arrived is set once the header has entered the destination router.
+	arrived       bool
+	headerArrival int64
+	sent, done    int
+	// movedAt[k] is the cycle flit k last moved; a flit moves at most
+	// once per cycle.
+	movedAt []int64
+}
+
+// Network is the virtual-channel simulator state.
+type Network struct {
+	topo  topology.Topology
+	alg   vc.Algorithm
+	maxVC int
+	dims2 int
+	ports int // per router: 2n*maxVC virtual-channel buffers + 1 injection
+
+	cycle    int64
+	occupied []bool  // buffer id
+	owner    []*worm // output virtual channel -> holder
+	physUsed []bool  // physical channel used this cycle (node*2n+dir)
+	ejectUse []bool  // ejection channel used this cycle (per node)
+
+	queues [][]*Packet
+	qhead  []int
+
+	active    []*worm
+	delivered []*Packet
+
+	nextID         int64
+	flitsConsumed  int64
+	packetsDone    int64
+	lastProgress   int64
+	watchdogCycles int64
+}
+
+// New builds a virtual-channel network simulator.
+func New(cfg Config) *Network {
+	if cfg.Routing == nil {
+		panic("vcnet: Config.Routing is required")
+	}
+	topo := cfg.Routing.Topology()
+	n := &Network{
+		topo:  topo,
+		alg:   cfg.Routing,
+		maxVC: vc.MaxVCs(cfg.Routing),
+		dims2: 2 * topo.Dims(),
+	}
+	n.ports = n.dims2*n.maxVC + 1
+	n.occupied = make([]bool, topo.Nodes()*n.ports)
+	n.owner = make([]*worm, topo.Nodes()*n.dims2*n.maxVC)
+	n.physUsed = make([]bool, topo.Nodes()*n.dims2)
+	n.ejectUse = make([]bool, topo.Nodes())
+	n.queues = make([][]*Packet, topo.Nodes())
+	n.qhead = make([]int, topo.Nodes())
+	n.watchdogCycles = cfg.WatchdogCycles
+	if n.watchdogCycles == 0 {
+		n.watchdogCycles = 10000
+	}
+	return n
+}
+
+// buffer ids: node*ports + dir*maxVC + vc for network buffers; the last
+// port of each node is the injection buffer.
+func (n *Network) bufID(node topology.NodeID, d topology.Direction, v int) int32 {
+	return int32(int(node)*n.ports + int(d)*n.maxVC + v)
+}
+
+func (n *Network) injID(node topology.NodeID) int32 {
+	return int32(int(node)*n.ports + n.ports - 1)
+}
+
+func (n *Network) bufRouter(buf int32) topology.NodeID {
+	return topology.NodeID(int(buf) / n.ports)
+}
+
+// bufPort decodes a buffer into (direction, vc); injection buffers return
+// (Invalid, 0).
+func (n *Network) bufPort(buf int32) (topology.Direction, int) {
+	p := int(buf) % n.ports
+	if p == n.ports-1 {
+		return topology.Invalid, 0
+	}
+	return topology.Direction(p / n.maxVC), p % n.maxVC
+}
+
+func (n *Network) ownerKey(node topology.NodeID, d topology.Direction, v int) int {
+	return (int(node)*n.dims2+int(d))*n.maxVC + v
+}
+
+// Cycle is the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Enqueue generates a message at the current cycle.
+func (n *Network) Enqueue(src, dst topology.NodeID, length int) *Packet {
+	if length < 1 {
+		panic("vcnet: packet length must be at least 1 flit")
+	}
+	if src == dst {
+		panic("vcnet: self-addressed packet")
+	}
+	p := &Packet{ID: n.nextID, Src: src, Dst: dst, Length: length, Created: n.cycle, Injected: -1, Arrived: -1}
+	n.nextID++
+	n.queues[src] = append(n.queues[src], p)
+	return p
+}
+
+// InFlight counts queued plus in-network packets.
+func (n *Network) InFlight() int {
+	total := len(n.active)
+	for i := range n.queues {
+		total += len(n.queues[i]) - n.qhead[i]
+	}
+	return total
+}
+
+// FlitsConsumed is the cumulative delivered flit count.
+func (n *Network) FlitsConsumed() int64 { return n.flitsConsumed }
+
+// PacketsDelivered is the cumulative completed packet count.
+func (n *Network) PacketsDelivered() int64 { return n.packetsDone }
+
+// MaxQueueLen reports the longest current source queue.
+func (n *Network) MaxQueueLen() int {
+	max := 0
+	for i := range n.queues {
+		if l := len(n.queues[i]) - n.qhead[i]; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// TakeDelivered returns packets completed since the previous call.
+func (n *Network) TakeDelivered() []*Packet {
+	out := n.delivered
+	n.delivered = nil
+	return out
+}
+
+// Step advances one cycle: injection, routing/allocation, then per-flit
+// movement with one flit per physical channel per cycle.
+func (n *Network) Step() error {
+	progress := false
+
+	// Phase 1: injection.
+	for node := range n.queues {
+		if n.qhead[node] >= len(n.queues[node]) {
+			continue
+		}
+		inj := n.injID(topology.NodeID(node))
+		if n.occupied[inj] {
+			continue
+		}
+		p := n.queues[node][n.qhead[node]]
+		n.queues[node][n.qhead[node]] = nil
+		n.qhead[node]++
+		if n.qhead[node] == len(n.queues[node]) {
+			n.queues[node] = n.queues[node][:0]
+			n.qhead[node] = 0
+		}
+		p.Injected = n.cycle
+		w := &worm{
+			pkt:           p,
+			path:          []int32{inj},
+			pos:           make([]int, p.Length),
+			movedAt:       make([]int64, p.Length),
+			sent:          1,
+			headerArrival: n.cycle,
+		}
+		for i := range w.pos {
+			w.pos[i] = -1
+			w.movedAt[i] = -1
+		}
+		w.pos[0] = 0
+		n.occupied[inj] = true
+		n.active = append(n.active, w)
+		progress = true
+	}
+
+	// Phase 2: routing and allocation, local FCFS per router.
+	var reqs []*worm
+	for _, w := range n.active {
+		if w.arrived || w.routed {
+			continue
+		}
+		if n.bufRouter(w.headBuf()) == w.pkt.Dst {
+			w.arrived = true
+			continue
+		}
+		reqs = append(reqs, w)
+	}
+	if len(reqs) > 0 {
+		sort.Slice(reqs, func(i, j int) bool {
+			ri, rj := n.bufRouter(reqs[i].headBuf()), n.bufRouter(reqs[j].headBuf())
+			if ri != rj {
+				return ri < rj
+			}
+			if reqs[i].headerArrival != reqs[j].headerArrival {
+				return reqs[i].headerArrival < reqs[j].headerArrival
+			}
+			return reqs[i].pkt.ID < reqs[j].pkt.ID
+		})
+		for _, w := range reqs {
+			r := n.bufRouter(w.headBuf())
+			inDir, inVC := n.bufPort(w.headBuf())
+			for _, out := range n.alg.Candidates(r, w.pkt.Dst, inDir, inVC) {
+				if n.owner[n.ownerKey(r, out.Dir, out.VC)] == nil {
+					n.owner[n.ownerKey(r, out.Dir, out.VC)] = w
+					w.out = out
+					w.routed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 3: per-flit movement. Process worms head-to-tail so a worm
+	// pipelines within itself; iterate to a fixpoint so a flit can enter
+	// a buffer another packet vacated this cycle. Each flit moves at
+	// most once (tracked via the moved set), and each physical channel
+	// carries at most one flit.
+	for i := range n.physUsed {
+		n.physUsed[i] = false
+	}
+	for i := range n.ejectUse {
+		n.ejectUse[i] = false
+	}
+	for {
+		any := false
+		for _, w := range n.active {
+			if n.moveWorm(w) {
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		progress = true
+	}
+
+	// Phase 4: retire completed worms.
+	out := n.active[:0]
+	for _, w := range n.active {
+		if w.done == w.pkt.Length {
+			w.pkt.Arrived = n.cycle
+			n.delivered = append(n.delivered, w.pkt)
+			n.packetsDone++
+		} else {
+			out = append(out, w)
+		}
+	}
+	for i := len(out); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = out
+
+	n.cycle++
+	if progress {
+		n.lastProgress = n.cycle
+	} else if n.watchdogCycles > 0 && n.InFlight() > 0 && n.cycle-n.lastProgress >= n.watchdogCycles {
+		stuck := make([]*Packet, 0, 4)
+		for _, w := range n.active {
+			stuck = append(stuck, w.pkt)
+			if len(stuck) == 4 {
+				break
+			}
+		}
+		return &network.DeadlockError{Cycle: n.cycle, InFlight: n.InFlight(), Stuck: stuck}
+	}
+	return nil
+}
+
+func (w *worm) headBuf() int32 { return w.path[len(w.path)-1] }
+
+// moveWorm advances whichever flits of w can move this cycle, head first.
+// It returns true if anything moved.
+func (n *Network) moveWorm(w *worm) bool {
+	anything := false
+	for k := w.done; k < w.sent; k++ {
+		if w.movedAt[k] == n.cycle {
+			continue
+		}
+		if n.moveFlit(w, k) {
+			w.movedAt[k] = n.cycle
+			anything = true
+		}
+	}
+	// Inject the next flit if the injection buffer just freed up.
+	if w.sent < w.pkt.Length && !n.occupied[w.path[0]] && w.movedAt[w.sent] != n.cycle {
+		w.pos[w.sent] = 0
+		n.occupied[w.path[0]] = true
+		w.movedAt[w.sent] = n.cycle
+		w.sent++
+		anything = true
+	}
+	return anything
+}
+
+// moveFlit tries to advance flit k of worm w by one hop.
+func (n *Network) moveFlit(w *worm, k int) bool {
+	p := w.pos[k]
+	cur := w.path[p]
+	router := n.bufRouter(cur)
+	if p == len(w.path)-1 {
+		// Front of the worm: either the header extends the path or a
+		// flit is consumed at the destination.
+		if w.arrived {
+			if n.ejectUse[router] {
+				return false
+			}
+			n.ejectUse[router] = true
+			n.occupied[cur] = false
+			w.pos[k] = p + 1
+			w.done++
+			n.flitsConsumed++
+			n.releaseBehind(w, p)
+			return true
+		}
+		if k != 0 || !w.routed {
+			return false
+		}
+		next, ok := n.topo.Neighbor(router, w.out.Dir)
+		if !ok {
+			panic(fmt.Sprintf("vcnet: allocated output %v at node %d has no channel", w.out, router))
+		}
+		physKey := int(router)*n.dims2 + int(w.out.Dir)
+		nb := n.bufID(next, w.out.Dir, w.out.VC)
+		if n.physUsed[physKey] || n.occupied[nb] {
+			return false
+		}
+		n.physUsed[physKey] = true
+		n.occupied[nb] = true
+		n.occupied[cur] = false
+		w.path = append(w.path, nb)
+		w.pos[k] = p + 1
+		w.pkt.Hops++
+		w.headerArrival = n.cycle
+		w.routed = false
+		n.releaseBehind(w, p)
+		return true
+	}
+	// Body flit: follow the path.
+	nb := w.path[p+1]
+	if n.occupied[nb] {
+		return false
+	}
+	dir, _ := n.bufPort(nb)
+	physKey := int(router)*n.dims2 + int(dir)
+	if n.physUsed[physKey] {
+		return false
+	}
+	n.physUsed[physKey] = true
+	n.occupied[nb] = true
+	n.occupied[cur] = false
+	w.pos[k] = p + 1
+	n.releaseBehind(w, p)
+	return true
+}
+
+// releaseBehind releases the output virtual channel feeding path[p+1] if
+// the flit that just left path[p] was the worm's tail (no more flits will
+// cross that channel).
+func (n *Network) releaseBehind(w *worm, p int) {
+	// The flit that moved sat at path[p]. If it is the last flit of the
+	// packet, the channel it just crossed (feeding path[p+1]) is done.
+	// For non-final flits nothing is released.
+	if w.sent < w.pkt.Length {
+		return
+	}
+	// Tail flit is flit Length-1; it just moved from p to p+1 only if
+	// its position is now p+1.
+	if w.pos[w.pkt.Length-1] != p+1 {
+		return
+	}
+	if p+1 >= len(w.path) {
+		return
+	}
+	from := n.bufRouter(w.path[p])
+	dir, v := n.bufPort(w.path[p+1])
+	if dir == topology.Invalid {
+		return
+	}
+	n.owner[n.ownerKey(from, dir, v)] = nil
+}

@@ -1,0 +1,281 @@
+package turnmodel
+
+import (
+	"turnmodel/internal/adaptiveness"
+	"turnmodel/internal/network"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/traffic"
+	"turnmodel/internal/turnmodel"
+	"turnmodel/internal/vc"
+	"turnmodel/internal/vcnet"
+)
+
+// Topology types. NodeID indexes nodes densely; Coord is the coordinate
+// vector (x_0, ..., x_{n-1}); Direction is one of the 2n travel directions
+// with West/East/South/North naming the 2D ones.
+type (
+	Topology  = topology.Topology
+	Mesh      = topology.Mesh
+	Torus     = topology.Torus
+	Hypercube = topology.Hypercube
+	Hex       = topology.Hex
+	Octagonal = topology.Octagonal
+	CCC       = topology.CCC
+	NodeID    = topology.NodeID
+	Coord     = topology.Coord
+	Direction = topology.Direction
+	Channel   = topology.Channel
+)
+
+// The four compass directions of a 2D mesh (dimension 0 is x, 1 is y).
+const (
+	West  = topology.West
+	East  = topology.East
+	South = topology.South
+	North = topology.North
+)
+
+// NewMesh builds an n-dimensional mesh with the given per-dimension sizes.
+func NewMesh(sizes ...int) *Mesh { return topology.NewMesh(sizes...) }
+
+// NewMesh2D builds an m x n two-dimensional mesh.
+func NewMesh2D(m, n int) *Mesh { return topology.NewMesh2D(m, n) }
+
+// NewTorus builds a torus (k-ary n-cube when all sizes agree).
+func NewTorus(sizes ...int) *Torus { return topology.NewTorus(sizes...) }
+
+// NewKaryNCube builds the uniform k-ary n-cube of Section 4.2.
+func NewKaryNCube(k, n int) *Torus { return topology.NewKaryNCube(k, n) }
+
+// NewHypercube builds a binary n-cube.
+func NewHypercube(n int) *Hypercube { return topology.NewHypercube(n) }
+
+// NewHex builds an A x B hexagonal mesh (Section 7 future work).
+func NewHex(a, b int) *Hex { return topology.NewHex(a, b) }
+
+// NewOctagonal builds a W x H octagonal mesh — a 2D mesh with diagonal
+// channels (Section 7 future work).
+func NewOctagonal(w, h int) *Octagonal { return topology.NewOctagonal(w, h) }
+
+// NewCCC builds a cube-connected cycles network of order n (Section 7
+// future work). Route it with the virtual-channel algorithm
+// "ccc-ascending" via NewVCRouting.
+func NewCCC(n int) *CCC { return topology.NewCCC(n) }
+
+// Routing is a routing algorithm bound to a topology.
+type Routing = routing.Algorithm
+
+// NewRouting constructs the named routing algorithm on the topology; see
+// RoutingNames for the registry.
+func NewRouting(name string, topo Topology) (Routing, error) { return routing.New(name, topo) }
+
+// RoutingNames lists the algorithms NewRouting accepts, including the
+// paper's xy, e-cube, west-first, north-last, negative-first, abonf,
+// abopl, p-cube and the torus extensions.
+func RoutingNames() []string { return routing.Names() }
+
+// NewPhasedRouting builds a custom turn-model discipline: directions
+// grouped into ordered phases, turns from later phases back to earlier
+// ones prohibited. All of the paper's algorithms are instances; see
+// routing.Phased for the design-space guarantees.
+func NewPhasedRouting(topo Topology, name string, phases ...[]Direction) Routing {
+	return routing.Phased(topo, name, phases...)
+}
+
+// Turn-model analysis types (the paper's Section 2 machinery).
+type (
+	Turn          = turnmodel.Turn
+	TurnSet       = turnmodel.Set
+	AbstractCycle = turnmodel.AbstractCycle
+	CDG           = turnmodel.CDG
+	Numbering     = turnmodel.Numbering
+	Combination   = turnmodel.Combination
+)
+
+// AbstractCycles enumerates the n(n-1) abstract turn cycles of an
+// n-dimensional mesh (Figure 2 generalized).
+func AbstractCycles(n int) []AbstractCycle { return turnmodel.AbstractCycles(n) }
+
+// AllTurns90 enumerates the 4n(n-1) ninety-degree turns of an
+// n-dimensional network.
+func AllTurns90(n int) []Turn { return turnmodel.AllTurns90(n) }
+
+// MinimumProhibitedTurns is Theorem 1's n(n-1) lower bound.
+func MinimumProhibitedTurns(n int) int { return turnmodel.MinimumProhibited(n) }
+
+// Census2D evaluates all 16 two-turn prohibitions of a 2D mesh; 12 are
+// deadlock free (Section 3).
+func Census2D(m, n int) []Combination { return turnmodel.Census2D(m, n) }
+
+// SymmetryClasses groups deadlock-free combinations under the square's
+// symmetries; the paper's three classes are west-first, north-last and
+// negative-first.
+func SymmetryClasses(combos []Combination) [][]Combination {
+	return turnmodel.SymmetryClasses(combos)
+}
+
+// DependencyGraph builds the exact channel dependency graph of a routing
+// algorithm; its acyclicity is the Dally-Seitz deadlock-freedom criterion.
+func DependencyGraph(alg Routing) *CDG {
+	return turnmodel.FromRouting(alg.Topology(), routing.Relation(alg))
+}
+
+// VerifyDeadlockFree checks the algorithm's channel dependency graph and
+// returns one offending cycle, or nil when the algorithm is deadlock free.
+func VerifyDeadlockFree(alg Routing) []Channel {
+	return DependencyGraph(alg).FindCycle()
+}
+
+// WestFirstNumbering, NorthLastNumbering and NegativeFirstNumbering are
+// the channel numbering schemes of Theorems 2, 3 and 5.
+func WestFirstNumbering(m *Mesh) Numbering     { return turnmodel.WestFirstNumbering(m) }
+func NorthLastNumbering(m *Mesh) Numbering     { return turnmodel.NorthLastNumbering(m) }
+func NegativeFirstNumbering(m *Mesh) Numbering { return turnmodel.NegativeFirstNumbering(m) }
+
+// ValidateNumbering checks the Dally-Seitz proof obligation: every channel
+// dependency the algorithm can create follows the numbering's monotone
+// order.
+func ValidateNumbering(nb Numbering, alg Routing) error {
+	return nb.Validate(alg.Topology(), routing.Relation(alg))
+}
+
+// Traffic patterns.
+type TrafficPattern = traffic.Pattern
+
+// UniformTraffic sends each message to any other node with equal
+// probability.
+func UniformTraffic(topo Topology) TrafficPattern { return traffic.Uniform{Topo: topo} }
+
+// TransposeTraffic is the paper's matrix-transpose workload on a square 2D
+// mesh.
+func TransposeTraffic(m *Mesh) TrafficPattern { return traffic.NewMeshTranspose(m) }
+
+// HypercubeTransposeTraffic is the mesh transpose embedded in a hypercube
+// (Section 6).
+func HypercubeTransposeTraffic(h *Hypercube) TrafficPattern {
+	return traffic.NewHypercubeTranspose(h)
+}
+
+// ReverseFlipTraffic sends (x0,...,x_{n-1}) to (^x_{n-1},...,^x0).
+func ReverseFlipTraffic(h *Hypercube) TrafficPattern { return traffic.ReverseFlip{Cube: h} }
+
+// BitComplementTraffic mirrors every coordinate.
+func BitComplementTraffic(topo Topology) TrafficPattern { return traffic.BitComplement{Topo: topo} }
+
+// HotspotTraffic sends the given fraction of messages to one hot node.
+func HotspotTraffic(topo Topology, hot NodeID, fraction float64) TrafficPattern {
+	return traffic.Hotspot{Topo: topo, Hot: hot, Fraction: fraction}
+}
+
+// AveragePathLength is the exact mean shortest-path length of a pattern,
+// excluding fixed points.
+func AveragePathLength(p TrafficPattern, topo Topology) float64 {
+	return traffic.AveragePathLength(p, topo)
+}
+
+// Simulation. SimConfig/SimResult describe one run of the Section 6
+// simulator; Network exposes the underlying cycle-level machine for
+// callers that want to drive it manually.
+type (
+	SimConfig     = sim.Config
+	SimResult     = sim.Result
+	FigureSpec    = sim.FigureSpec
+	FigureResult  = sim.FigureResult
+	Network       = network.Network
+	NetworkConfig = network.Config
+	Packet        = network.Packet
+	OutputPolicy  = network.OutputPolicy
+	InputPolicy   = network.InputPolicy
+)
+
+// FlitsPerMicrosecond is the paper's channel bandwidth (20 flits/us).
+const FlitsPerMicrosecond = network.FlitsPerMicrosecond
+
+// NewNetwork builds the cycle-level wormhole simulator directly.
+func NewNetwork(cfg NetworkConfig) *Network { return network.New(cfg) }
+
+// Simulate executes one simulation run.
+func Simulate(cfg SimConfig) SimResult { return sim.Run(cfg) }
+
+// SweepRates runs the configuration at each injection rate.
+func SweepRates(cfg SimConfig, rates []float64) []SimResult { return sim.Sweep(cfg, rates) }
+
+// Figures returns the paper's evaluation figures as runnable specs.
+func Figures() []FigureSpec { return sim.Figures() }
+
+// FigureByID looks up one figure spec ("figure13" ... "figure16",
+// "uniform-cube").
+func FigureByID(id string) (FigureSpec, bool) { return sim.FigureByID(id) }
+
+// RunFigure executes a figure's full sweep.
+func RunFigure(spec FigureSpec, warmup, measure, seed int64) FigureResult {
+	return sim.RunFigure(spec, warmup, measure, seed)
+}
+
+// Output and input selection policies (Section 6 and the [19] ablation).
+func LowestDimensionOutput() OutputPolicy { return network.LowestDimension{} }
+func RandomOutput() OutputPolicy          { return network.RandomOutput{} }
+func StraightFirstOutput() OutputPolicy   { return network.StraightFirst{} }
+func LocalFCFSInput() InputPolicy         { return network.LocalFCFS{} }
+func OldestFirstInput() InputPolicy       { return network.OldestFirst{} }
+
+// Virtual channels (Section 4.2 / reference [18]). VCRouting algorithms
+// route over (direction, virtual channel) pairs; the VCNetwork simulator
+// shares each physical channel's bandwidth among its virtual channels flit
+// by flit.
+type (
+	VCRouting       = vc.Algorithm
+	VCOut           = vc.Out
+	VCChannel       = vc.Channel
+	VCNetwork       = vcnet.Network
+	VCNetworkConfig = vcnet.Config
+	VCSimConfig     = sim.VCConfig
+)
+
+// NewVCRouting constructs a named virtual-channel algorithm: "double-y"
+// (minimal fully adaptive 2D mesh, two VCs on the y links), "dateline-dor"
+// (minimal deadlock-free torus DOR, two VCs), "naive-torus-dor" (the
+// deadlock-prone negative control), or any physical algorithm name, which
+// is lifted onto a single virtual channel.
+func NewVCRouting(name string, topo Topology) (VCRouting, error) { return vc.New(name, topo) }
+
+// VerifyVCDeadlockFree checks the virtual-channel dependency graph and
+// returns one offending cycle, or nil when the algorithm is deadlock free.
+func VerifyVCDeadlockFree(alg VCRouting) []VCChannel {
+	return vc.FromRouting(alg).FindCycle()
+}
+
+// NewVCNetwork builds the flit-level virtual-channel simulator.
+func NewVCNetwork(cfg VCNetworkConfig) *VCNetwork { return vcnet.New(cfg) }
+
+// SimulateVC executes one virtual-channel simulation run.
+func SimulateVC(cfg VCSimConfig) SimResult { return sim.RunVC(cfg) }
+
+// VCComparison runs the Section 7 / [18] extension experiment comparing
+// double-y against the no-extra-channel algorithms.
+func VCComparison(warmup, measure, seed int64) string {
+	return sim.VCComparison(warmup, measure, seed)
+}
+
+// Adaptiveness analysis (Sections 3.4, 4.1 and 5).
+
+// CountShortestPaths counts the shortest src->dst paths the algorithm
+// permits (S_algorithm in the paper).
+func CountShortestPaths(alg Routing, src, dst NodeID) int64 {
+	return adaptiveness.CountPaths(alg, src, dst)
+}
+
+// AverageAdaptivenessRatio is the mean S_algorithm/S_f across all ordered
+// pairs; the paper reports > 1/2 for the 2D partially adaptive algorithms.
+func AverageAdaptivenessRatio(alg Routing) float64 { return adaptiveness.AverageRatio(alg) }
+
+// PCubeShortestPaths is S_p-cube = h1! h0! (Section 5).
+func PCubeShortestPaths(src, dst uint) int64 { return adaptiveness.PCube(src, dst) }
+
+// PCubeChoices reports minimal and nonminimal-extra output choices at c
+// toward d in an n-cube (the Section 5 table).
+func PCubeChoices(c, d uint, n int) (minimal, extra int) {
+	return adaptiveness.PCubeChoices(c, d, n)
+}

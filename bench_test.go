@@ -7,6 +7,7 @@ package turnmodel_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"turnmodel"
@@ -93,6 +94,40 @@ func BenchmarkFigure16(b *testing.B) {
 func BenchmarkUniformCube(b *testing.B) {
 	for _, alg := range []string{"e-cube", "p-cube"} {
 		b.Run(alg, func(b *testing.B) { benchPoint(b, "cube", alg, "uniform", 0.2) })
+	}
+}
+
+// BenchmarkSweepRunner compares the serial sweep executor against the
+// worker-pool executor on a scaled-down figure plan (4 algorithms x 3
+// rates = 12 independent jobs). On an N-core machine the parallel case
+// approaches N-fold speedup, since the jobs are compute-bound and
+// independent.
+func BenchmarkSweepRunner(b *testing.B) {
+	spec, ok := turnmodel.FigureByID("figure13")
+	if !ok {
+		b.Fatal("figure13 missing")
+	}
+	spec.Rates = []float64{0.02, 0.05, 0.08}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, jobs := range counts {
+		b.Run(fmt.Sprintf("jobs-%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				frs, _, err := turnmodel.RunSweepPlan(turnmodel.SweepPlan{
+					Specs:        []turnmodel.FigureSpec{spec},
+					WarmupCycles: 500, MeasureCycles: 1000,
+					Seed: 1, Jobs: jobs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(frs) != 1 || len(frs[0].Series) != 4 {
+					b.Fatal("wrong result shape")
+				}
+			}
+		})
 	}
 }
 

@@ -7,6 +7,7 @@
 //	adaptivestats -mesh            # Section 3.4 on a 16x16 mesh
 //	adaptivestats -pcube           # Section 5 worked example
 //	adaptivestats -mesh -size 8    # smaller mesh
+//	adaptivestats -mesh -jobs 4    # all-pairs path counting on 4 workers
 package main
 
 import (
@@ -14,8 +15,10 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"sync"
 
 	"turnmodel/internal/adaptiveness"
+	"turnmodel/internal/cli"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 )
@@ -25,6 +28,7 @@ func main() {
 		meshTab = flag.Bool("mesh", false, "print the Section 3.4 adaptiveness table")
 		pcube   = flag.Bool("pcube", false, "print the Section 5 p-cube worked example")
 		size    = flag.Int("size", 16, "mesh side length for -mesh")
+		jobs    = flag.Int("jobs", 0, "parallel workers for the all-pairs analyses (0 = all CPUs)")
 	)
 	flag.Parse()
 	if !*meshTab && !*pcube {
@@ -32,30 +36,57 @@ func main() {
 		os.Exit(1)
 	}
 	if *meshTab {
-		meshTable(*size)
+		if err := meshTable(*size, cli.Jobs(*jobs)); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptivestats:", err)
+			os.Exit(1)
+		}
 	}
 	if *pcube {
 		pcubeTable()
 	}
 }
 
-func meshTable(k int) {
-	m := topology.NewMesh2D(k, k)
+// meshTable computes the Section 3.4 table. Each algorithm's row is an
+// independent all-pairs path-counting analysis, so rows fan out over the
+// worker pool and print in a fixed order once all are done.
+func meshTable(k, jobs int) error {
+	names := []string{"xy", "west-first", "north-last", "negative-first", "fully-adaptive"}
+	type row struct {
+		ratio, single float64
+		err           error
+	}
+	rows := make([]row, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// A private topology per worker: nothing below needs to be
+			// safe for concurrent use.
+			alg, err := routing.New(name, topology.NewMesh2D(k, k))
+			if err != nil {
+				rows[i] = row{err: err}
+				return
+			}
+			rows[i] = row{ratio: adaptiveness.AverageRatio(alg), single: adaptiveness.FractionSingle(alg)}
+		}(i, name)
+	}
+	wg.Wait()
 	fmt.Printf("Degree of adaptiveness on a %dx%d mesh (Section 3.4)\n", k, k)
 	fmt.Printf("%-16s %-22s %-22s\n", "algorithm", "avg S_p/S_f", "pairs with S_p = 1")
-	for _, name := range []string{"xy", "west-first", "north-last", "negative-first", "fully-adaptive"} {
-		alg, err := routing.New(name, m)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "adaptivestats:", err)
-			os.Exit(1)
+	for i, name := range names {
+		if rows[i].err != nil {
+			return rows[i].err
 		}
-		ratio := adaptiveness.AverageRatio(alg)
-		single := adaptiveness.FractionSingle(alg)
-		fmt.Printf("%-16s %-22.4f %-22.1f%%\n", name, ratio, 100*single)
+		fmt.Printf("%-16s %-22.4f %-22.1f%%\n", name, rows[i].ratio, 100*rows[i].single)
 	}
 	fmt.Println("\npaper: the three partially adaptive algorithms average S_p/S_f > 1/2,")
 	fmt.Println("with S_p = 1 for at least half of the source-destination pairs.")
 	fmt.Println()
+	return nil
 }
 
 func pcubeTable() {

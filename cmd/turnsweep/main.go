@@ -2,10 +2,20 @@
 // versus-throughput curves of Figures 13-16 (plus the uniform-hypercube
 // comparison discussed in the text) and the average-path-length table.
 //
+// The figure sweeps decompose into independent (figure, algorithm, rate)
+// simulations and run on a worker pool (-jobs, default: all CPUs). Every
+// job's seed is derived from its identity alone, so the tables are
+// bit-identical for any worker count; -json additionally writes a
+// machine-readable report with per-point results and timings (the schema
+// is documented in docs/sweeps.md).
+//
 // Usage:
 //
 //	turnsweep -figure 14            # one figure
-//	turnsweep -all                  # every figure (takes a few minutes)
+//	turnsweep -figure 13,14,16      # several
+//	turnsweep -all                  # every paper figure
+//	turnsweep -all -jobs 8          # ... on 8 workers
+//	turnsweep -all -json out.json   # ... plus the structured report
 //	turnsweep -hops                 # the path-length claims
 //	turnsweep -quick -all           # scaled-down windows for a fast pass
 package main
@@ -14,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"turnmodel/internal/cli"
 	"turnmodel/internal/sim"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
@@ -22,21 +34,35 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "", "figure to regenerate: 13, 14, 15, 16 or uniform-cube")
-		all     = flag.Bool("all", false, "regenerate every paper figure")
-		ext     = flag.Bool("extensions", false, "run the extension experiments (hex, octagonal, hotspot)")
-		hops    = flag.Bool("hops", false, "print the average path length table")
-		quick   = flag.Bool("quick", false, "use short warmup/measurement windows")
-		warmup  = flag.Int64("warmup", 20000, "warmup cycles")
-		measure = flag.Int64("measure", 40000, "measurement cycles")
-		seed    = flag.Int64("seed", 1, "random seed")
-		plot    = flag.Bool("plot", false, "also render an ASCII latency-vs-throughput chart")
-		vcrun   = flag.Bool("vc", false, "run the virtual-channel extension experiment (double-y vs west-first vs xy)")
+		figure   = flag.String("figure", "", "comma-separated figures to regenerate: 13, 14, 15, 16, uniform-cube, extension-...")
+		all      = flag.Bool("all", false, "regenerate every paper figure")
+		ext      = flag.Bool("extensions", false, "run the extension experiments (hex, octagonal, hotspot)")
+		hops     = flag.Bool("hops", false, "print the average path length table")
+		quick    = flag.Bool("quick", false, "use short warmup/measurement windows")
+		warmup   = flag.Int64("warmup", 20000, "warmup cycles")
+		measure  = flag.Int64("measure", 40000, "measurement cycles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jobs     = flag.Int("jobs", 0, "parallel sweep workers (0 = all CPUs)")
+		jsonOut  = flag.String("json", "", "also write a structured JSON report to this file")
+		seedMode = flag.String("seedmode", "paired", "per-job seed derivation: paired (common random numbers; matches the archived tables) or hash (independent streams)")
+		progress = flag.Bool("progress", true, "report sweep progress on stderr (only when stderr is a terminal)")
+		plot     = flag.Bool("plot", false, "also render an ASCII latency-vs-throughput chart")
+		vcrun    = flag.Bool("vc", false, "run the virtual-channel extension experiment (double-y vs west-first vs xy)")
 	)
 	flag.Parse()
 
 	if *quick {
 		*warmup, *measure = 3000, 8000
+	}
+	var seedFn sim.SeedFunc
+	switch *seedMode {
+	case "paired":
+		seedFn = sim.PairedSeed
+	case "hash":
+		seedFn = sim.HashSeed
+	default:
+		fmt.Fprintf(os.Stderr, "turnsweep: unknown -seedmode %q (want paired or hash)\n", *seedMode)
+		os.Exit(1)
 	}
 
 	ran := false
@@ -56,22 +82,48 @@ func main() {
 		specs = append(specs, sim.ExtensionFigures()...)
 	}
 	if len(specs) == 0 && *figure != "" {
-		id := *figure
-		if len(id) == 2 {
-			id = "figure" + id
+		for _, id := range cli.ParseFigureIDs(*figure) {
+			spec, ok := sim.FigureByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "turnsweep: unknown figure %q\n", id)
+				os.Exit(1)
+			}
+			specs = append(specs, spec)
 		}
-		spec, ok := sim.FigureByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "turnsweep: unknown figure %q\n", *figure)
+	}
+	if len(specs) > 0 {
+		plan := sim.Plan{
+			Specs:         specs,
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Seed:          *seed,
+			Jobs:          cli.Jobs(*jobs),
+			SeedFn:        seedFn,
+		}
+		if *progress && stderrIsTerminal() {
+			plan.Progress = printProgress
+		}
+		frs, report, err := sim.RunPlan(plan)
+		if plan.Progress != nil {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turnsweep:", err)
 			os.Exit(1)
 		}
-		specs = []sim.FigureSpec{spec}
-	}
-	for _, spec := range specs {
-		fr := sim.RunFigure(spec, *warmup, *measure, *seed)
-		fmt.Println(fr.Table())
-		if *plot {
-			fmt.Println(fr.Plot(64, 20))
+		for _, fr := range frs {
+			fmt.Println(fr.Table())
+			if *plot {
+				fmt.Println(fr.Plot(64, 20))
+			}
+		}
+		if *jsonOut != "" {
+			if err := writeReport(*jsonOut, report); err != nil {
+				fmt.Fprintln(os.Stderr, "turnsweep:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "turnsweep: report written to %s (%d jobs, %.1fs wall, %.1fs cpu)\n",
+				*jsonOut, report.Totals.JobsRun, report.Totals.WallMillis/1000, report.Totals.CPUMillis/1000)
 		}
 		ran = true
 	}
@@ -79,6 +131,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "turnsweep: nothing to do (pass -figure N, -all or -hops)")
 		os.Exit(1)
 	}
+}
+
+// printProgress renders a one-line jobs-done/ETA ticker on stderr.
+func printProgress(ev sim.ProgressEvent) {
+	var eta time.Duration
+	if ev.Done > 0 {
+		eta = time.Duration(float64(ev.Elapsed) / float64(ev.Done) * float64(ev.Total-ev.Done))
+	}
+	fmt.Fprintf(os.Stderr, "\rturnsweep: %d/%d jobs (%d%%) eta %s  last %s/%s@%.3f in %s   ",
+		ev.Done, ev.Total, 100*ev.Done/ev.Total, eta.Round(time.Second),
+		ev.Figure, ev.Algorithm, ev.Rate, ev.JobWall.Round(10*time.Millisecond))
+}
+
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func writeReport(path string, report *sim.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printHops() {

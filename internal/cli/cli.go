@@ -5,6 +5,7 @@ package cli
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -113,6 +114,34 @@ func ParsePattern(spec string, topo topology.Topology) (traffic.Pattern, error) 
 		return traffic.Hotspot{Topo: topo, Hot: 0, Fraction: f}, nil
 	}
 	return nil, fmt.Errorf("cli: unknown pattern %q", spec)
+}
+
+// ParseFigureIDs splits a comma-separated -figure value and normalizes
+// bare figure numbers: "13, extension-hex" becomes ["figure13",
+// "extension-hex"]. Empty elements are dropped; an all-empty spec yields
+// nil.
+func ParseFigureIDs(spec string) []string {
+	var ids []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := strconv.Atoi(part); err == nil {
+			part = "figure" + part
+		}
+		ids = append(ids, part)
+	}
+	return ids
+}
+
+// Jobs normalizes a -jobs flag value: anything below one selects
+// runtime.NumCPU().
+func Jobs(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
 }
 
 // ParseOutputPolicy understands "xy" (lowest dimension), "random" and

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
 	"turnmodel/internal/topology"
@@ -78,6 +80,40 @@ func TestParsePattern(t *testing.T) {
 	for _, c := range bad {
 		if _, err := ParsePattern(c.spec, c.topo); err == nil {
 			t.Errorf("ParsePattern(%q, %s) accepted", c.spec, c.topo.Name())
+		}
+	}
+}
+
+func TestParseFigureIDs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"13", []string{"figure13"}},
+		{"figure14", []string{"figure14"}},
+		{"13,14, 16", []string{"figure13", "figure14", "figure16"}},
+		{"uniform-cube,extension-hex", []string{"uniform-cube", "extension-hex"}},
+		{" 15 ,, ", []string{"figure15"}},
+		{"", nil},
+		{",", nil},
+	}
+	for _, c := range cases {
+		if got := ParseFigureIDs(c.spec); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseFigureIDs(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(4); got != 4 {
+		t.Errorf("Jobs(4) = %d", got)
+	}
+	if got := Jobs(1); got != 1 {
+		t.Errorf("Jobs(1) = %d", got)
+	}
+	for _, n := range []int{0, -3} {
+		if got := Jobs(n); got != runtime.NumCPU() {
+			t.Errorf("Jobs(%d) = %d, want NumCPU %d", n, got, runtime.NumCPU())
 		}
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
 )
@@ -104,27 +103,23 @@ type FigureResult struct {
 	Series map[string][]Result
 }
 
-// RunFigure executes the figure's sweep for every algorithm. The
-// warmup/measure windows default as in Run when zero; scale them down for
-// quick smoke runs.
-func RunFigure(spec FigureSpec, warmup, measure, seed int64) FigureResult {
-	out := FigureResult{Spec: spec, Series: make(map[string][]Result, len(spec.Algorithms))}
-	for _, name := range spec.Algorithms {
-		topo := spec.NewTopology()
-		alg, err := routing.New(name, topo)
-		if err != nil {
-			panic(fmt.Sprintf("sim: figure %s: %v", spec.ID, err))
-		}
-		cfg := Config{
-			Routing:       alg,
-			Pattern:       spec.NewPattern(topo),
-			WarmupCycles:  warmup,
-			MeasureCycles: measure,
-			Seed:          seed,
-		}
-		out.Series[name] = Sweep(cfg, spec.Rates)
+// RunFigure executes the figure's sweep for every algorithm serially and
+// returns an error for an unknown algorithm name. The warmup/measure
+// windows default as in Run when zero; scale them down for quick smoke
+// runs. It is the single-figure, single-worker convenience over RunPlan
+// and produces the identical results.
+func RunFigure(spec FigureSpec, warmup, measure, seed int64) (FigureResult, error) {
+	frs, _, err := RunPlan(Plan{
+		Specs:         []FigureSpec{spec},
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		Seed:          seed,
+		Jobs:          1,
+	})
+	if err != nil {
+		return FigureResult{}, err
 	}
-	return out
+	return frs[0], nil
 }
 
 // MaxSustainable reports the highest sustained throughput (flits/us) of a

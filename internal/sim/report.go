@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReportSchemaVersion identifies the JSON layout of Report. Consumers
+// should reject reports with a different version; bump it on any
+// incompatible change and document the migration in docs/sweeps.md.
+const ReportSchemaVersion = 1
+
+// Report is the machine-readable record of one RunPlan execution: the
+// configuration that produced it, every per-point Result with its seed and
+// wall-clock time, and plan-wide totals. It is what `turnsweep -json`
+// writes alongside the human-readable tables.
+type Report struct {
+	SchemaVersion int            `json:"schema_version"`
+	Generator     string         `json:"generator"`
+	Config        ReportConfig   `json:"config"`
+	Figures       []FigureReport `json:"figures"`
+	Totals        ReportTotals   `json:"totals"`
+}
+
+// ReportConfig echoes the plan so a report is reproducible on its own.
+type ReportConfig struct {
+	WarmupCycles  int64    `json:"warmup_cycles"`
+	MeasureCycles int64    `json:"measure_cycles"`
+	Seed          int64    `json:"seed"`
+	Jobs          int      `json:"jobs"`
+	FigureIDs     []string `json:"figure_ids"`
+}
+
+// ReportTotals summarizes the whole run. CPUMillis is the sum of per-job
+// wall clocks, so CPUMillis/WallMillis is the average number of in-flight
+// jobs (pool occupancy) — an upper bound on the achieved speedup, reached
+// only when the workers do not contend for cores.
+type ReportTotals struct {
+	JobsRun    int     `json:"jobs_run"`
+	Workers    int     `json:"workers"`
+	WallMillis float64 `json:"wall_ms"`
+	CPUMillis  float64 `json:"cpu_ms"`
+}
+
+// FigureReport is one figure's sweep: identity, the claim it tests, and
+// one series per algorithm in the spec's order.
+type FigureReport struct {
+	ID       string         `json:"id"`
+	Title    string         `json:"title"`
+	Claim    string         `json:"claim"`
+	Topology string         `json:"topology"`
+	Pattern  string         `json:"pattern"`
+	Rates    []float64      `json:"rates"`
+	Series   []SeriesReport `json:"series"`
+}
+
+// SeriesReport is one algorithm's sweep across the figure's rates.
+type SeriesReport struct {
+	Algorithm string        `json:"algorithm"`
+	Points    []PointReport `json:"points"`
+}
+
+// PointReport is one simulated (figure, algorithm, rate) point: the full
+// Result plus the derived seed that produced it and its wall-clock cost.
+type PointReport struct {
+	Result
+	Seed       int64   `json:"seed"`
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// buildReport assembles the Report from RunPlan's indexed storage.
+func buildReport(p Plan, workers, jobsRun int, totalWall time.Duration,
+	results [][][]Result, walls [][][]time.Duration, seeds [][][]int64) *Report {
+	cfg := ReportConfig{
+		WarmupCycles:  p.WarmupCycles,
+		MeasureCycles: p.MeasureCycles,
+		Seed:          p.Seed,
+		Jobs:          workers,
+		FigureIDs:     make([]string, 0, len(p.Specs)),
+	}
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Generator:     "turnmodel sweep runner",
+		Figures:       make([]FigureReport, 0, len(p.Specs)),
+	}
+	var cpu time.Duration
+	for si, spec := range p.Specs {
+		cfg.FigureIDs = append(cfg.FigureIDs, spec.ID)
+		topo := spec.NewTopology()
+		fig := FigureReport{
+			ID:       spec.ID,
+			Title:    spec.Title,
+			Claim:    spec.Claim,
+			Topology: topo.Name(),
+			Pattern:  spec.NewPattern(topo).Name(),
+			Rates:    append([]float64(nil), spec.Rates...),
+			Series:   make([]SeriesReport, 0, len(spec.Algorithms)),
+		}
+		for ai, name := range spec.Algorithms {
+			series := SeriesReport{Algorithm: name, Points: make([]PointReport, 0, len(spec.Rates))}
+			for ri := range spec.Rates {
+				cpu += walls[si][ai][ri]
+				series.Points = append(series.Points, PointReport{
+					Result:     results[si][ai][ri],
+					Seed:       seeds[si][ai][ri],
+					WallMillis: float64(walls[si][ai][ri]) / float64(time.Millisecond),
+				})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		rep.Figures = append(rep.Figures, fig)
+	}
+	rep.Config = cfg
+	rep.Totals = ReportTotals{
+		JobsRun:    jobsRun,
+		Workers:    workers,
+		WallMillis: float64(totalWall) / float64(time.Millisecond),
+		CPUMillis:  float64(cpu) / float64(time.Millisecond),
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport decodes a JSON report and verifies its schema version.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("sim: decoding report: %w", err)
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		return nil, fmt.Errorf("sim: report schema version %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	return &rep, nil
+}

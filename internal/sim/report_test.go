@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReportContents(t *testing.T) {
+	plan := quickPlan(2, nil)
+	frs, rep, err := RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema version %d", rep.SchemaVersion)
+	}
+	if rep.Config.Seed != plan.Seed || rep.Config.WarmupCycles != plan.WarmupCycles ||
+		rep.Config.MeasureCycles != plan.MeasureCycles || rep.Config.Jobs != 2 {
+		t.Errorf("config echo wrong: %+v", rep.Config)
+	}
+	if !reflect.DeepEqual(rep.Config.FigureIDs, []string{"figure13", "extension-octagonal"}) {
+		t.Errorf("figure ids = %v", rep.Config.FigureIDs)
+	}
+	if len(rep.Figures) != len(frs) {
+		t.Fatalf("%d figures in report, %d results", len(rep.Figures), len(frs))
+	}
+	for fi, fig := range rep.Figures {
+		spec := plan.Specs[fi]
+		if fig.ID != spec.ID || fig.Topology == "" || fig.Pattern == "" {
+			t.Errorf("figure %d identity incomplete: %+v", fi, fig)
+		}
+		if len(fig.Series) != len(spec.Algorithms) {
+			t.Fatalf("%s: %d series", fig.ID, len(fig.Series))
+		}
+		for si, series := range fig.Series {
+			name := spec.Algorithms[si]
+			if series.Algorithm != name {
+				t.Errorf("%s: series %d is %q, want %q (order must follow the spec)", fig.ID, si, series.Algorithm, name)
+			}
+			for pi, pt := range series.Points {
+				if pt.Result != frs[fi].Series[name][pi] {
+					t.Errorf("%s/%s point %d diverges from FigureResult", fig.ID, name, pi)
+				}
+				if pt.Seed != PairedSeed(plan.Seed, fig.ID, name, pi) {
+					t.Errorf("%s/%s point %d seed = %d", fig.ID, name, pi, pt.Seed)
+				}
+				if pt.WallMillis <= 0 {
+					t.Errorf("%s/%s point %d has no timing", fig.ID, name, pi)
+				}
+			}
+		}
+	}
+	if rep.Totals.WallMillis <= 0 || rep.Totals.CPUMillis <= 0 {
+		t.Errorf("totals lack timing: %+v", rep.Totals)
+	}
+	if rep.Totals.JobsRun != 2*2+2*2 {
+		t.Errorf("jobs run = %d", rep.Totals.JobsRun)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	_, rep, err := RunPlan(quickPlan(4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"schema_version": 1`, `"figure_ids"`, `"throughput_flits_per_us"`,
+		`"avg_latency_us"`, `"sustainable"`, `"wall_ms"`, `"seed"`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("round trip diverged:\n%+v\n%+v", rep, back)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema_version": 99}`)); err == nil {
+		t.Error("schema version 99 accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

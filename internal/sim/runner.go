@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"turnmodel/internal/routing"
+)
+
+// SeedFunc derives the RNG seed of one (figure, algorithm, rate) job from
+// the plan's base seed. A derivation must depend only on the job's
+// identity — never on worker count or scheduling order — which is what
+// makes a parallel sweep bit-identical to a serial one.
+type SeedFunc func(base int64, figureID, algorithm string, rateIdx int) int64
+
+// PairedSeed is the default derivation: base + rateIdx*7919, shared by
+// every algorithm and figure at the same rate index. Sharing the random
+// stream across the algorithms being compared is the classic
+// common-random-numbers variance reduction — each curve of a figure sees
+// the same arrival processes — and it reproduces Sweep's historical
+// seeding, so the archived tables under docs/ regenerate byte-identically.
+func PairedSeed(base int64, _, _ string, rateIdx int) int64 {
+	return base + int64(rateIdx)*7919
+}
+
+// HashSeed derives a statistically independent stream per job by hashing
+// the base seed, figure ID, algorithm name and rate index with FNV-1a.
+// Use it when jobs must not share random streams, e.g. when averaging
+// replicated runs of the same point.
+func HashSeed(base int64, figureID, algorithm string, rateIdx int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	h.Write([]byte(figureID))
+	h.Write([]byte{0})
+	h.Write([]byte(algorithm))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(rateIdx)))
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// ProgressEvent reports one completed job to a Plan's Progress callback.
+type ProgressEvent struct {
+	// Done and Total count jobs across the whole plan.
+	Done, Total int
+	// Figure, Algorithm and Rate identify the job that just finished.
+	Figure    string
+	Algorithm string
+	Rate      float64
+	// JobWall is the job's own wall-clock time; Elapsed is the time since
+	// the plan started.
+	JobWall, Elapsed time.Duration
+}
+
+// Plan describes a batch of figure sweeps for RunPlan.
+type Plan struct {
+	// Specs are the figures to run, in output order.
+	Specs []FigureSpec
+	// WarmupCycles and MeasureCycles set the per-run windows; zero selects
+	// the Run defaults (20000/40000).
+	WarmupCycles, MeasureCycles int64
+	// Seed is the base seed every job derives its own from.
+	Seed int64
+	// Jobs is the worker count. Values <= 0 select runtime.GOMAXPROCS(0);
+	// 1 runs the jobs serially in the calling goroutine.
+	Jobs int
+	// SeedFn derives per-job seeds; nil selects PairedSeed.
+	SeedFn SeedFunc
+	// Progress, when non-nil, is called after every completed job. Calls
+	// are serialized; the callback must not invoke RunPlan reentrantly on
+	// the same Plan's state.
+	Progress func(ProgressEvent)
+}
+
+// job indexes one (figure, algorithm, rate) simulation of a plan.
+type job struct {
+	spec, alg, rate int
+}
+
+// RunPlan flattens the plan's figures into independent (figure, algorithm,
+// rate) simulations, fans them out over a bounded worker pool and
+// reassembles the FigureResults in spec order. Every worker builds its own
+// topology, algorithm and pattern, and every job's seed is a pure function
+// of its identity, so the results are bit-identical for any worker count.
+// The returned Report carries the same results in JSON-ready form together
+// with per-job wall-clock timings.
+//
+// An unknown algorithm name in any spec is reported as an error before any
+// simulation runs.
+func RunPlan(p Plan) ([]FigureResult, *Report, error) {
+	seedFn := p.SeedFn
+	if seedFn == nil {
+		seedFn = PairedSeed
+	}
+	workers := p.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Fail fast: resolve every algorithm against its topology up front so
+	// a bad name is one deterministic error, not a race of partial work.
+	var jobs []job
+	for si, spec := range p.Specs {
+		topo := spec.NewTopology()
+		for ai, name := range spec.Algorithms {
+			if _, err := routing.New(name, topo); err != nil {
+				return nil, nil, fmt.Errorf("sim: figure %s: %w", spec.ID, err)
+			}
+			for ri := range spec.Rates {
+				jobs = append(jobs, job{si, ai, ri})
+			}
+		}
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	// Indexed result storage: assembly order never depends on completion
+	// order.
+	results := make([][][]Result, len(p.Specs))
+	walls := make([][][]time.Duration, len(p.Specs))
+	seeds := make([][][]int64, len(p.Specs))
+	for si, spec := range p.Specs {
+		results[si] = make([][]Result, len(spec.Algorithms))
+		walls[si] = make([][]time.Duration, len(spec.Algorithms))
+		seeds[si] = make([][]int64, len(spec.Algorithms))
+		for ai := range spec.Algorithms {
+			results[si][ai] = make([]Result, len(spec.Rates))
+			walls[si][ai] = make([]time.Duration, len(spec.Rates))
+			seeds[si][ai] = make([]int64, len(spec.Rates))
+		}
+	}
+
+	start := time.Now()
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	runOne := func(j job) {
+		spec := p.Specs[j.spec]
+		name := spec.Algorithms[j.alg]
+		topo := spec.NewTopology()
+		alg, err := routing.New(name, topo)
+		if err != nil {
+			// Validated above; a construction that fails only here would
+			// be nondeterministic, so treat it as a programming error.
+			panic(fmt.Sprintf("sim: figure %s: %v", spec.ID, err))
+		}
+		seed := seedFn(p.Seed, spec.ID, name, j.rate)
+		cfg := Config{
+			Routing:       alg,
+			Pattern:       spec.NewPattern(topo),
+			InjectionRate: spec.Rates[j.rate],
+			WarmupCycles:  p.WarmupCycles,
+			MeasureCycles: p.MeasureCycles,
+			Seed:          seed,
+		}
+		jobStart := time.Now()
+		res := Run(cfg)
+		wall := time.Since(jobStart)
+
+		mu.Lock()
+		results[j.spec][j.alg][j.rate] = res
+		walls[j.spec][j.alg][j.rate] = wall
+		seeds[j.spec][j.alg][j.rate] = seed
+		done++
+		if p.Progress != nil {
+			p.Progress(ProgressEvent{
+				Done: done, Total: len(jobs),
+				Figure: spec.ID, Algorithm: name, Rate: spec.Rates[j.rate],
+				JobWall: wall, Elapsed: time.Since(start),
+			})
+		}
+		mu.Unlock()
+	}
+
+	if workers <= 1 {
+		// The serial degenerate case: same storage, same seeds, same
+		// progress protocol, no goroutines.
+		for _, j := range jobs {
+			runOne(j)
+		}
+	} else {
+		ch := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					runOne(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+	totalWall := time.Since(start)
+
+	out := make([]FigureResult, len(p.Specs))
+	for si, spec := range p.Specs {
+		fr := FigureResult{Spec: spec, Series: make(map[string][]Result, len(spec.Algorithms))}
+		for ai, name := range spec.Algorithms {
+			fr.Series[name] = results[si][ai]
+		}
+		out[si] = fr
+	}
+	report := buildReport(p, workers, len(jobs), totalWall, results, walls, seeds)
+	return out, report, nil
+}

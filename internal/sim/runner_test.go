@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickPlan is a scaled-down two-figure plan that exercises multiple
+// topologies, algorithms and rates while staying fast enough for -race.
+func quickPlan(jobs int, seedFn SeedFunc) Plan {
+	f13, _ := FigureByID("figure13")
+	f13.Rates = []float64{0.01, 0.05}
+	f13.Algorithms = []string{"xy", "west-first"}
+	ext, _ := FigureByID("extension-octagonal")
+	ext.Rates = []float64{0.02, 0.06}
+	return Plan{
+		Specs:         []FigureSpec{f13, ext},
+		WarmupCycles:  300,
+		MeasureCycles: 800,
+		Seed:          2,
+		Jobs:          jobs,
+		SeedFn:        seedFn,
+	}
+}
+
+// figuresEqual compares two figure result slices point by point. Spec
+// holds function fields, so reflect.DeepEqual on the whole FigureResult
+// would always fail; the Series maps and rendered tables carry everything
+// measurable.
+func figuresEqual(t *testing.T, a, b []FigureResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Spec.ID != b[i].Spec.ID {
+			t.Fatalf("figure %d: order differs: %s vs %s", i, a[i].Spec.ID, b[i].Spec.ID)
+		}
+		if !reflect.DeepEqual(a[i].Series, b[i].Series) {
+			t.Errorf("%s: series differ:\n%+v\n%+v", a[i].Spec.ID, a[i].Series, b[i].Series)
+		}
+		if a[i].Table() != b[i].Table() {
+			t.Errorf("%s: tables differ:\n%s\n%s", a[i].Spec.ID, a[i].Table(), b[i].Table())
+		}
+	}
+}
+
+func TestRunPlanParallelMatchesSerial(t *testing.T) {
+	serial, _, err := RunPlan(quickPlan(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := RunPlan(quickPlan(8, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	figuresEqual(t, serial, parallel)
+}
+
+func TestRunPlanHashSeedDeterminism(t *testing.T) {
+	serial, _, err := RunPlan(quickPlan(1, HashSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := RunPlan(quickPlan(4, HashSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	figuresEqual(t, serial, parallel)
+}
+
+func TestRunPlanMatchesRunFigure(t *testing.T) {
+	plan := quickPlan(8, nil)
+	frs, _, err := RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range plan.Specs {
+		fr, err := RunFigure(spec, plan.WarmupCycles, plan.MeasureCycles, plan.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fr.Series, frs[i].Series) {
+			t.Errorf("%s: RunFigure and RunPlan disagree", spec.ID)
+		}
+	}
+}
+
+func TestRunPlanDefaultWorkerCount(t *testing.T) {
+	plan := quickPlan(0, nil) // <= 0 selects GOMAXPROCS
+	frs, rep, err := RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frs) != 2 {
+		t.Fatalf("got %d figures", len(frs))
+	}
+	if rep.Totals.Workers < 1 {
+		t.Errorf("workers = %d", rep.Totals.Workers)
+	}
+}
+
+func TestRunPlanUnknownAlgorithm(t *testing.T) {
+	plan := quickPlan(4, nil)
+	plan.Specs[1].Algorithms = []string{"dimension-order", "no-such-routing"}
+	frs, rep, err := RunPlan(plan)
+	if err == nil {
+		t.Fatal("unknown algorithm not reported")
+	}
+	if !strings.Contains(err.Error(), "no-such-routing") || !strings.Contains(err.Error(), plan.Specs[1].ID) {
+		t.Errorf("error %q does not name the algorithm and figure", err)
+	}
+	if frs != nil || rep != nil {
+		t.Error("partial results returned alongside the error")
+	}
+}
+
+func TestRunPlanProgress(t *testing.T) {
+	plan := quickPlan(8, nil)
+	var events []ProgressEvent
+	plan.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	_, rep, err := RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, spec := range plan.Specs {
+		total += len(spec.Algorithms) * len(spec.Rates)
+	}
+	if len(events) != total {
+		t.Fatalf("got %d progress events, want %d", len(events), total)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != total {
+			t.Errorf("event %d: done/total = %d/%d", i, ev.Done, ev.Total)
+		}
+		if ev.Figure == "" || ev.Algorithm == "" {
+			t.Errorf("event %d lacks identity: %+v", i, ev)
+		}
+		if ev.JobWall <= 0 || ev.Elapsed <= 0 {
+			t.Errorf("event %d lacks timing: %+v", i, ev)
+		}
+	}
+	if rep.Totals.JobsRun != total {
+		t.Errorf("report counts %d jobs, want %d", rep.Totals.JobsRun, total)
+	}
+}
+
+func TestPairedSeedMatchesSweepDerivation(t *testing.T) {
+	// The archived tables under docs/ were produced by Sweep's
+	// base + i*7919; PairedSeed must reproduce it exactly.
+	for i := 0; i < 12; i++ {
+		if got, want := PairedSeed(1, "figure13", "xy", i), int64(1+i*7919); got != want {
+			t.Fatalf("PairedSeed(1, _, _, %d) = %d, want %d", i, got, want)
+		}
+	}
+	if PairedSeed(5, "figure13", "xy", 3) != PairedSeed(5, "figure16", "e-cube", 3) {
+		t.Error("PairedSeed must be shared across figures and algorithms")
+	}
+}
+
+func TestHashSeedIndependence(t *testing.T) {
+	base := HashSeed(1, "figure13", "xy", 0)
+	for _, other := range []int64{
+		HashSeed(2, "figure13", "xy", 0),
+		HashSeed(1, "figure14", "xy", 0),
+		HashSeed(1, "figure13", "west-first", 0),
+		HashSeed(1, "figure13", "xy", 1),
+	} {
+		if other == base {
+			t.Errorf("HashSeed collision with %d", other)
+		}
+	}
+	if HashSeed(1, "figure13", "xy", 0) != base {
+		t.Error("HashSeed is not deterministic")
+	}
+}

@@ -75,40 +75,41 @@ func meanLength(lengths []int) float64 {
 	return float64(total) / float64(len(lengths))
 }
 
-// Result summarizes one run.
+// Result summarizes one run. The JSON field names are part of the sweep
+// report schema (see Report and docs/sweeps.md).
 type Result struct {
-	Algorithm string
-	Pattern   string
+	Algorithm string `json:"algorithm"`
+	Pattern   string `json:"pattern"`
 	// InjectionRate is the offered load in flits per node per cycle.
-	InjectionRate float64
+	InjectionRate float64 `json:"injection_rate"`
 	// OfferedFlitsPerUs is the total offered load in flits/us
 	// network-wide (InjectionRate x nodes x 20).
-	OfferedFlitsPerUs float64
+	OfferedFlitsPerUs float64 `json:"offered_flits_per_us"`
 	// ThroughputFlitsPerUs is the measured delivery rate network-wide
 	// in flits per microsecond — the paper's throughput axis.
-	ThroughputFlitsPerUs float64
+	ThroughputFlitsPerUs float64 `json:"throughput_flits_per_us"`
 	// AvgLatencyUs is the mean message latency (generation to tail
 	// consumption) in microseconds — the paper's latency axis.
-	AvgLatencyUs float64
+	AvgLatencyUs float64 `json:"avg_latency_us"`
 	// P95LatencyUs is the 95th-percentile latency in microseconds.
-	P95LatencyUs float64
+	P95LatencyUs float64 `json:"p95_latency_us"`
 	// AvgHops is the mean header path length of measured packets.
-	AvgHops float64
+	AvgHops float64 `json:"avg_hops"`
 	// Packets is the number of packets the latency average covers.
-	Packets int64
+	Packets int64 `json:"packets"`
 	// MaxQueue is the longest source queue seen at the end of the run;
 	// sustainability requires it to stay small and bounded.
-	MaxQueue int
+	MaxQueue int `json:"max_queue"`
 	// QueueGrowth is the increase of total in-flight packets across the
 	// measurement window; a saturated network grows without bound.
-	QueueGrowth int
+	QueueGrowth int `json:"queue_growth"`
 	// Sustainable is the harness's judgement that the offered load was
 	// accepted: delivery kept pace with generation and queues stayed
 	// bounded.
-	Sustainable bool
+	Sustainable bool `json:"sustainable"`
 	// Deadlocked reports that the network watchdog fired (only possible
 	// for routing algorithms outside the turn model).
-	Deadlocked bool
+	Deadlocked bool `json:"deadlocked"`
 }
 
 func (r Result) String() string {

@@ -224,7 +224,10 @@ func TestRunFigureSmoke(t *testing.T) {
 	// A scaled-down figure run: tiny windows, but the full pipeline.
 	spec, _ := FigureByID("figure13")
 	spec.Rates = []float64{0.01, 0.05}
-	fr := RunFigure(spec, 500, 1000, 2)
+	fr, err := RunFigure(spec, 500, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fr.Series) != 4 {
 		t.Fatalf("series for %d algorithms, want 4", len(fr.Series))
 	}
@@ -277,7 +280,10 @@ func TestExtensionFigureSmoke(t *testing.T) {
 		t.Fatal("extension-octagonal missing")
 	}
 	spec.Rates = []float64{0.02}
-	fr := RunFigure(spec, 300, 800, 4)
+	fr, err := RunFigure(spec, 300, 800, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fr.Series) != 2 {
 		t.Fatalf("series = %d", len(fr.Series))
 	}
@@ -291,7 +297,10 @@ func TestExtensionFigureSmoke(t *testing.T) {
 func TestPlotRendersAllSeries(t *testing.T) {
 	spec, _ := FigureByID("figure13")
 	spec.Rates = []float64{0.02, 0.05}
-	fr := RunFigure(spec, 300, 800, 3)
+	fr, err := RunFigure(spec, 300, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	plot := fr.Plot(60, 16)
 	for _, want := range []string{"figure13", "legend:", "x=xy", "o=west-first"} {
 		if !strings.Contains(plot, want) {
@@ -317,16 +326,17 @@ func TestPlotRendersAllSeries(t *testing.T) {
 	}
 }
 
-func TestRunFigurePanicsOnBadAlgorithm(t *testing.T) {
+func TestRunFigureBadAlgorithmError(t *testing.T) {
 	spec, _ := FigureByID("figure13")
 	spec.Algorithms = []string{"no-such"}
 	spec.Rates = []float64{0.01}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	RunFigure(spec, 100, 200, 1)
+	_, err := RunFigure(spec, 100, 200, 1)
+	if err == nil {
+		t.Fatal("expected an error for an unknown algorithm")
+	}
+	if !strings.Contains(err.Error(), "no-such") || !strings.Contains(err.Error(), "figure13") {
+		t.Errorf("error %q does not name the algorithm and figure", err)
+	}
 }
 
 func TestSaturationBisect(t *testing.T) {

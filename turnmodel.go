@@ -209,9 +209,35 @@ func Figures() []FigureSpec { return sim.Figures() }
 // "uniform-cube").
 func FigureByID(id string) (FigureSpec, bool) { return sim.FigureByID(id) }
 
-// RunFigure executes a figure's full sweep.
-func RunFigure(spec FigureSpec, warmup, measure, seed int64) FigureResult {
+// RunFigure executes a figure's full sweep serially; an unknown algorithm
+// name is reported as an error.
+func RunFigure(spec FigureSpec, warmup, measure, seed int64) (FigureResult, error) {
 	return sim.RunFigure(spec, warmup, measure, seed)
+}
+
+// Parallel sweep execution. A SweepPlan batches figure specs; RunSweepPlan
+// flattens them into independent (figure, algorithm, rate) jobs, runs them
+// on a bounded worker pool and reassembles ordered FigureResults plus a
+// JSON-ready SweepReport with per-point timings. Results are bit-identical
+// for any worker count.
+type (
+	SweepPlan          = sim.Plan
+	SweepReport        = sim.Report
+	SweepSeedFunc      = sim.SeedFunc
+	SweepProgressEvent = sim.ProgressEvent
+)
+
+// RunSweepPlan executes the plan; see sim.RunPlan.
+func RunSweepPlan(p SweepPlan) ([]FigureResult, *SweepReport, error) { return sim.RunPlan(p) }
+
+// PairedSweepSeed is the default per-job seed derivation: shared across
+// algorithms at each rate index (common random numbers; reproduces the
+// archived tables). HashSweepSeed derives independent streams per job.
+func PairedSweepSeed(base int64, figureID, algorithm string, rateIdx int) int64 {
+	return sim.PairedSeed(base, figureID, algorithm, rateIdx)
+}
+func HashSweepSeed(base int64, figureID, algorithm string, rateIdx int) int64 {
+	return sim.HashSeed(base, figureID, algorithm, rateIdx)
 }
 
 // Output and input selection policies (Section 6 and the [19] ablation).

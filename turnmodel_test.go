@@ -193,9 +193,30 @@ func TestFacadeFigures(t *testing.T) {
 		t.Fatal("figure16 missing")
 	}
 	spec.Rates = []float64{0.05}
-	fr := turnmodel.RunFigure(spec, 300, 600, 1)
+	fr, err := turnmodel.RunFigure(spec, 300, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(fr.Table(), "figure16") {
 		t.Error("figure table malformed")
+	}
+
+	// The parallel runner agrees with the serial path and reports timings.
+	frs, report, err := turnmodel.RunSweepPlan(turnmodel.SweepPlan{
+		Specs: []turnmodel.FigureSpec{spec}, WarmupCycles: 300, MeasureCycles: 600, Seed: 1, Jobs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frs) != 1 || frs[0].Table() != fr.Table() {
+		t.Error("RunSweepPlan diverges from RunFigure")
+	}
+	if report.Totals.JobsRun != len(spec.Algorithms) {
+		t.Errorf("report counted %d jobs", report.Totals.JobsRun)
+	}
+	spec.Algorithms = []string{"bogus"}
+	if _, err := turnmodel.RunFigure(spec, 300, 600, 1); err == nil {
+		t.Error("bad algorithm not reported")
 	}
 }
 

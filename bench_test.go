@@ -47,12 +47,14 @@ func benchPoint(b *testing.B, topoKind, algName, patternName string, rate float6
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := turnmodel.Simulate(turnmodel.SimConfig{
-			Routing:       alg,
-			Pattern:       pattern,
-			InjectionRate: rate,
-			WarmupCycles:  1500,
-			MeasureCycles: 3000,
-			Seed:          int64(i),
+			Routing: alg,
+			RunParams: turnmodel.SimRunParams{
+				Pattern:       pattern,
+				InjectionRate: rate,
+				WarmupCycles:  1500,
+				MeasureCycles: 3000,
+				Seed:          int64(i),
+			},
 		})
 		if res.Packets == 0 {
 			b.Fatal("no packets measured")
@@ -220,13 +222,15 @@ func BenchmarkAblationOutputPolicy(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := turnmodel.Simulate(turnmodel.SimConfig{
-					Routing:       alg,
-					Pattern:       turnmodel.TransposeTraffic(mesh),
-					InjectionRate: 0.06,
-					WarmupCycles:  1500,
-					MeasureCycles: 3000,
-					Seed:          int64(i),
-					Output:        pol,
+					Routing: alg,
+					Output:  pol,
+					RunParams: turnmodel.SimRunParams{
+						Pattern:       turnmodel.TransposeTraffic(mesh),
+						InjectionRate: 0.06,
+						WarmupCycles:  1500,
+						MeasureCycles: 3000,
+						Seed:          int64(i),
+					},
 				})
 				b.ReportMetric(res.AvgLatencyUs, "latency-us")
 			}
@@ -250,13 +254,15 @@ func BenchmarkAblationInputPolicy(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := turnmodel.Simulate(turnmodel.SimConfig{
-					Routing:       alg,
-					Pattern:       turnmodel.UniformTraffic(mesh),
-					InjectionRate: 0.06,
-					WarmupCycles:  1500,
-					MeasureCycles: 3000,
-					Seed:          int64(i),
-					Input:         pol,
+					Routing: alg,
+					Input:   pol,
+					RunParams: turnmodel.SimRunParams{
+						Pattern:       turnmodel.UniformTraffic(mesh),
+						InjectionRate: 0.06,
+						WarmupCycles:  1500,
+						MeasureCycles: 3000,
+						Seed:          int64(i),
+					},
 				})
 				b.ReportMetric(res.AvgLatencyUs, "latency-us")
 			}
@@ -264,9 +270,61 @@ func BenchmarkAblationInputPolicy(b *testing.B) {
 	}
 }
 
-// BenchmarkNetworkStep measures the raw simulator engine: cycles per
-// second on a loaded 16x16 mesh.
+// BenchmarkNetworkStep measures the steady-state cost of one simulator
+// cycle with and without an instrumentation probe attached. The network
+// is driven into a permanently blocked state (xy packets piled against a
+// faulted column, watchdog disabled) so every iteration does identical
+// work: arbitration over the same blocked headers. CI gates on the
+// no-probe case reporting 0 allocs/op — the observability layer must be
+// free when unused.
 func BenchmarkNetworkStep(b *testing.B) {
+	run := func(b *testing.B, probe turnmodel.Probe) {
+		mesh := turnmodel.NewMesh2D(16, 16)
+		alg, err := turnmodel.NewRouting("xy", mesh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Break every eastbound channel out of column x=8: xy traffic
+		// headed past it blocks forever, giving a static working set.
+		faults := make([]turnmodel.Channel, 0, 16)
+		for y := 0; y < 16; y++ {
+			faults = append(faults, turnmodel.Channel{
+				From: mesh.ID(turnmodel.Coord{8, y}), Dir: turnmodel.East,
+			})
+		}
+		net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
+			Routing: alg, Seed: 1, WatchdogCycles: -1,
+			Faults: faults, Probe: probe,
+		})
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 4; x++ {
+				net.Enqueue(mesh.ID(turnmodel.Coord{x, y}), mesh.ID(turnmodel.Coord{15, y}), 10)
+			}
+		}
+		// Let the worms advance until every header is wedged.
+		for c := 0; c < 2000; c++ {
+			if err := net.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := net.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("no-probe", func(b *testing.B) { run(b, nil) })
+	b.Run("probe", func(b *testing.B) {
+		mesh := turnmodel.NewMesh2D(16, 16)
+		run(b, turnmodel.NewMetricsCollector(mesh, turnmodel.MetricsOptions{}))
+	})
+}
+
+// BenchmarkNetworkStepTraffic measures the raw simulator engine under
+// moving traffic: cycles per second on a loaded 16x16 mesh.
+func BenchmarkNetworkStepTraffic(b *testing.B) {
 	mesh := turnmodel.NewMesh2D(16, 16)
 	alg, err := turnmodel.NewRouting("west-first", mesh)
 	if err != nil {
@@ -310,12 +368,14 @@ func BenchmarkExtensionHex(b *testing.B) {
 		b.Run(alg.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := turnmodel.Simulate(turnmodel.SimConfig{
-					Routing:       alg,
-					Pattern:       turnmodel.UniformTraffic(hex),
-					InjectionRate: 0.06,
-					WarmupCycles:  1500,
-					MeasureCycles: 3000,
-					Seed:          int64(i),
+					Routing: alg,
+					RunParams: turnmodel.SimRunParams{
+						Pattern:       turnmodel.UniformTraffic(hex),
+						InjectionRate: 0.06,
+						WarmupCycles:  1500,
+						MeasureCycles: 3000,
+						Seed:          int64(i),
+					},
 				})
 				if res.Packets == 0 {
 					b.Fatal("no packets")
@@ -337,12 +397,14 @@ func BenchmarkExtensionVC(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := turnmodel.SimulateVC(turnmodel.VCSimConfig{
-					Routing:       alg,
-					Pattern:       turnmodel.TransposeTraffic(mesh),
-					InjectionRate: 0.06,
-					WarmupCycles:  1500,
-					MeasureCycles: 3000,
-					Seed:          int64(i),
+					Routing: alg,
+					RunParams: turnmodel.SimRunParams{
+						Pattern:       turnmodel.TransposeTraffic(mesh),
+						InjectionRate: 0.06,
+						WarmupCycles:  1500,
+						MeasureCycles: 3000,
+						Seed:          int64(i),
+					},
 				})
 				if res.Packets == 0 {
 					b.Fatal("no packets")
@@ -382,13 +444,15 @@ func BenchmarkAblationRoutingDelay(b *testing.B) {
 		b.Run(fmt.Sprintf("delay-%d", delay), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := turnmodel.Simulate(turnmodel.SimConfig{
-					Routing:       alg,
-					Pattern:       turnmodel.TransposeTraffic(mesh),
-					InjectionRate: 0.06,
-					WarmupCycles:  1500,
-					MeasureCycles: 3000,
-					Seed:          int64(i),
-					RoutingDelay:  delay,
+					Routing:      alg,
+					RoutingDelay: delay,
+					RunParams: turnmodel.SimRunParams{
+						Pattern:       turnmodel.TransposeTraffic(mesh),
+						InjectionRate: 0.06,
+						WarmupCycles:  1500,
+						MeasureCycles: 3000,
+						Seed:          int64(i),
+					},
 				})
 				b.ReportMetric(res.AvgLatencyUs, "latency-us")
 			}

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"turnmodel/internal/cli"
+	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
 	"turnmodel/internal/vc"
@@ -26,12 +27,29 @@ func main() {
 		warmup   = flag.Int64("warmup", 20000, "warmup cycles")
 		measure  = flag.Int64("measure", 40000, "measurement cycles")
 		seed     = flag.Int64("seed", 1, "random seed")
-		outPol   = flag.String("output-policy", "xy", "output selection: xy, random, straight")
-		inPol    = flag.String("input-policy", "fcfs", "input selection: fcfs, oldest")
+		outPol   = flag.String("output", "", fmt.Sprintf("output selection policy: one of %v", network.OutputPolicyNames()))
+		inPol    = flag.String("input", "", fmt.Sprintf("input selection policy: one of %v", network.InputPolicyNames()))
 		useVC    = flag.Bool("vc", false, "run on the virtual-channel simulator (accepts VC algorithms such as double-y, dateline-dor, ccc-ascending)")
+		metrics  = flag.Bool("metrics", false, "collect and print run metrics: latency percentiles, delay split, channel-utilization heatmap")
 		verbose  = flag.Bool("v", false, "print the full result breakdown")
 	)
+	flag.String("output-policy", "", "deprecated alias for -output")
+	flag.String("input-policy", "", "deprecated alias for -input")
 	flag.Parse()
+	// The historical flag names keep working; the new ones win when both
+	// are set.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "output-policy":
+			if *outPol == "" {
+				*outPol = f.Value.String()
+			}
+		case "input-policy":
+			if *inPol == "" {
+				*inPol = f.Value.String()
+			}
+		}
+	})
 
 	topo, err := cli.ParseTopology(*topoSpec)
 	if err != nil {
@@ -47,14 +65,18 @@ func main() {
 			fatal(err)
 		}
 		res := sim.RunVC(sim.VCConfig{
-			Routing:       valg,
-			Pattern:       pat,
-			InjectionRate: *rate,
-			WarmupCycles:  *warmup,
-			MeasureCycles: *measure,
-			Seed:          *seed,
+			Routing: valg,
+			RunParams: sim.RunParams{
+				Pattern:       pat,
+				InjectionRate: *rate,
+				WarmupCycles:  *warmup,
+				MeasureCycles: *measure,
+				Seed:          *seed,
+				Metrics:       *metrics,
+			},
 		})
 		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
+		printMetrics(res)
 		return
 	}
 	alg, err := routing.New(*algName, topo)
@@ -71,16 +93,30 @@ func main() {
 	}
 
 	res := sim.Run(sim.Config{
-		Routing:       alg,
-		Pattern:       pat,
-		InjectionRate: *rate,
-		WarmupCycles:  *warmup,
-		MeasureCycles: *measure,
-		Seed:          *seed,
-		Output:        output,
-		Input:         input,
+		Routing: alg,
+		RunParams: sim.RunParams{
+			Pattern:       pat,
+			InjectionRate: *rate,
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Seed:          *seed,
+			Metrics:       *metrics,
+		},
+		Output: output,
+		Input:  input,
 	})
 	report(topo.Name(), alg.Name(), pat.Name(), res, *verbose)
+	printMetrics(res)
+}
+
+// printMetrics renders the collector snapshot when -metrics was on.
+func printMetrics(res sim.Result) {
+	if res.Metrics == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Print(res.Metrics.Summary())
+	fmt.Print(res.Metrics.UtilizationHeatmap())
 }
 
 func report(topo, alg, pattern string, res sim.Result, verbose bool) {

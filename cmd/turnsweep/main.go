@@ -48,6 +48,7 @@ func main() {
 		progress = flag.Bool("progress", true, "report sweep progress on stderr (only when stderr is a terminal)")
 		plot     = flag.Bool("plot", false, "also render an ASCII latency-vs-throughput chart")
 		vcrun    = flag.Bool("vc", false, "run the virtual-channel extension experiment (double-y vs west-first vs xy)")
+		metrics  = flag.Bool("metrics", false, "collect per-point metrics (channel utilization, latency percentiles); printed per figure and included in the -json report (schema v2)")
 	)
 	flag.Parse()
 
@@ -71,7 +72,7 @@ func main() {
 		ran = true
 	}
 	if *vcrun {
-		fmt.Println(sim.VCComparison(*warmup, *measure, *seed))
+		fmt.Println(sim.VCComparison(*warmup, *measure, *seed).Table())
 		ran = true
 	}
 	var specs []sim.FigureSpec
@@ -99,6 +100,7 @@ func main() {
 			Seed:          *seed,
 			Jobs:          cli.Jobs(*jobs),
 			SeedFn:        seedFn,
+			Metrics:       *metrics,
 		}
 		if *progress && stderrIsTerminal() {
 			plan.Progress = printProgress
@@ -113,6 +115,9 @@ func main() {
 		}
 		for _, fr := range frs {
 			fmt.Println(fr.Table())
+			if *metrics {
+				printFigureMetrics(fr)
+			}
 			if *plot {
 				fmt.Println(fr.Plot(64, 20))
 			}
@@ -131,6 +136,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "turnsweep: nothing to do (pass -figure N, -all or -hops)")
 		os.Exit(1)
 	}
+}
+
+// printFigureMetrics renders one line per (algorithm, rate) point from the
+// collector snapshots: latency percentiles, the queueing/in-network delay
+// split, and channel utilization.
+func printFigureMetrics(fr sim.FigureResult) {
+	fmt.Printf("%s metrics:\n", fr.Spec.ID)
+	fmt.Printf("  %-16s %-8s %10s %10s %10s %10s %10s %8s %8s\n",
+		"algorithm", "rate", "p50 us", "p95 us", "p99 us", "queue us", "net us", "util", "max util")
+	for _, name := range fr.Spec.Algorithms {
+		for ri, rate := range fr.Spec.Rates {
+			m := fr.Series[name][ri].Metrics
+			if m == nil {
+				continue
+			}
+			fmt.Printf("  %-16s %-8.4f %10.2f %10.2f %10.2f %10.2f %10.2f %8.3f %8.3f\n",
+				name, rate, m.LatencyP50Us, m.LatencyP95Us, m.LatencyP99Us,
+				m.AvgQueueDelayUs, m.AvgNetDelayUs, m.MeanChannelUtil, m.MaxChannelUtil)
+		}
+	}
+	fmt.Println()
 }
 
 // printProgress renders a one-line jobs-done/ETA ticker on stderr.

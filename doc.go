@@ -13,9 +13,11 @@
 //	mesh := turnmodel.NewMesh2D(16, 16)
 //	alg, _ := turnmodel.NewRouting("west-first", mesh)
 //	res := turnmodel.Simulate(turnmodel.SimConfig{
-//		Routing:       alg,
-//		Pattern:       turnmodel.UniformTraffic(mesh),
-//		InjectionRate: 0.05,
+//		Routing: alg,
+//		RunParams: turnmodel.SimRunParams{
+//			Pattern:       turnmodel.UniformTraffic(mesh),
+//			InjectionRate: 0.05,
+//		},
 //	})
 //	fmt.Println(res)
 //

@@ -30,12 +30,14 @@ func main() {
 		fmt.Printf("%s:\n", name)
 		for _, rate := range []float64{0.05, 0.10, 0.20, 0.30, 0.40} {
 			res := turnmodel.Simulate(turnmodel.SimConfig{
-				Routing:       alg,
-				Pattern:       pattern,
-				InjectionRate: rate,
-				WarmupCycles:  8000,
-				MeasureCycles: 15000,
-				Seed:          3,
+				Routing: alg,
+				RunParams: turnmodel.SimRunParams{
+					Pattern:       pattern,
+					InjectionRate: rate,
+					WarmupCycles:  8000,
+					MeasureCycles: 15000,
+					Seed:          3,
+				},
 			})
 			marker := ""
 			if res.Sustainable {

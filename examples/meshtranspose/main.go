@@ -36,12 +36,14 @@ func main() {
 				log.Fatal(err)
 			}
 			res := turnmodel.Simulate(turnmodel.SimConfig{
-				Routing:       alg,
-				Pattern:       pattern,
-				InjectionRate: rate,
-				WarmupCycles:  8000,
-				MeasureCycles: 15000,
-				Seed:          7,
+				Routing: alg,
+				RunParams: turnmodel.SimRunParams{
+					Pattern:       pattern,
+					InjectionRate: rate,
+					WarmupCycles:  8000,
+					MeasureCycles: 15000,
+					Seed:          7,
+				},
 			})
 			fmt.Printf(" | %9.2f %12.1f", res.AvgLatencyUs, res.ThroughputFlitsPerUs)
 		}

@@ -38,12 +38,14 @@ func main() {
 	// Simulate Section 6 style: Poisson sources, packets of 10 or 200
 	// flits, 20 flits/us channels, single-flit buffers.
 	res := turnmodel.Simulate(turnmodel.SimConfig{
-		Routing:       alg,
-		Pattern:       turnmodel.UniformTraffic(mesh),
-		InjectionRate: 0.05, // flits per node per cycle
-		WarmupCycles:  10000,
-		MeasureCycles: 20000,
-		Seed:          1,
+		Routing: alg,
+		RunParams: turnmodel.SimRunParams{
+			Pattern:       turnmodel.UniformTraffic(mesh),
+			InjectionRate: 0.05, // flits per node per cycle
+			WarmupCycles:  10000,
+			MeasureCycles: 20000,
+			Seed:          1,
+		},
 	})
 	fmt.Printf("uniform traffic at %.0f flits/us offered:\n", res.OfferedFlitsPerUs)
 	fmt.Printf("  throughput %.1f flits/us, latency %.2f us, sustainable=%v\n",

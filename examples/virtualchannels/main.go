@@ -53,12 +53,14 @@ func main() {
 			log.Fatal(err)
 		}
 		res := turnmodel.SimulateVC(turnmodel.VCSimConfig{
-			Routing:       alg,
-			Pattern:       turnmodel.TransposeTraffic(mesh),
-			InjectionRate: 0.12,
-			WarmupCycles:  8000,
-			MeasureCycles: 15000,
-			Seed:          5,
+			Routing: alg,
+			RunParams: turnmodel.SimRunParams{
+				Pattern:       turnmodel.TransposeTraffic(mesh),
+				InjectionRate: 0.12,
+				WarmupCycles:  8000,
+				MeasureCycles: 15000,
+				Seed:          5,
+			},
 		})
 		fmt.Printf("  %-12s throughput %6.1f flits/us, latency %6.2f us, sustainable=%v\n",
 			name, res.ThroughputFlitsPerUs, res.AvgLatencyUs, res.Sustainable)

@@ -144,27 +144,30 @@ func Jobs(n int) int {
 	return n
 }
 
-// ParseOutputPolicy understands "xy" (lowest dimension), "random" and
-// "straight".
+// ParseOutputPolicy resolves an output selection policy through the
+// network registry ("xy", "random", "straight-first" and their aliases);
+// the empty string selects the paper's default ("xy").
 func ParseOutputPolicy(spec string) (network.OutputPolicy, error) {
-	switch spec {
-	case "", "xy", "lowest-dimension":
-		return network.LowestDimension{}, nil
-	case "random":
-		return network.RandomOutput{}, nil
-	case "straight", "straight-first":
-		return network.StraightFirst{}, nil
+	if spec == "" {
+		spec = "xy"
 	}
-	return nil, fmt.Errorf("cli: unknown output policy %q", spec)
+	p, err := network.NewOutputPolicy(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cli: %v", err)
+	}
+	return p, nil
 }
 
-// ParseInputPolicy understands "fcfs" and "oldest".
+// ParseInputPolicy resolves an input selection policy through the network
+// registry ("local-fcfs", "oldest-first" and their aliases); the empty
+// string selects the paper's default ("local-fcfs").
 func ParseInputPolicy(spec string) (network.InputPolicy, error) {
-	switch spec {
-	case "", "fcfs", "local-fcfs":
-		return network.LocalFCFS{}, nil
-	case "oldest", "oldest-first":
-		return network.OldestFirst{}, nil
+	if spec == "" {
+		spec = "local-fcfs"
 	}
-	return nil, fmt.Errorf("cli: unknown input policy %q", spec)
+	p, err := network.NewInputPolicy(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cli: %v", err)
+	}
+	return p, nil
 }

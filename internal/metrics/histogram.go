@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucketing: values below histExact get one exact bucket each;
+// larger values fall into octaves split into histSub sub-buckets, so the
+// relative quantization error is bounded by 1/histSub (12.5%) while the
+// bucket count stays logarithmic in the value range — the usual
+// HDR/log-linear scheme. A 60000-cycle run needs ~110 buckets.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histExact   = 2 * histSub      // values < histExact are exact
+)
+
+// Histogram is a log-bucketed histogram of non-negative int64 samples
+// (latencies in cycles). The zero value is ready to use. Observe never
+// allocates once the bucket slice has grown to cover the largest sample.
+type Histogram struct {
+	counts   []int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	b := bucketOf(v)
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+}
+
+// Count is the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum is the exact sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean is the exact mean of recorded samples, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max are the exact extremes of recorded samples, 0 when empty.
+func (h *Histogram) Min() int64 { return h.min }
+func (h *Histogram) Max() int64 { return h.max }
+
+// Reset forgets all samples but keeps the bucket storage.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Quantile returns the q-th percentile (q in [0,100]) by nearest rank over
+// the buckets: the midpoint of the bucket containing the rank, clamped to
+// the observed [Min, Max] so the estimate never leaves the sample range.
+// Exact for values below histExact; otherwise within 1/histSub relative
+// error. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketMid(b)
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+	}
+	return float64(h.max)
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) // 2^(k-1) <= v < 2^k, k >= histSubBits+2
+	sub := int(v>>(k-1-histSubBits)) & (histSub - 1)
+	return histExact + (k-histSubBits-2)<<histSubBits + sub
+}
+
+// bucketMid is the midpoint of the bucket's value range.
+func bucketMid(b int) float64 {
+	if b < histExact {
+		return float64(b)
+	}
+	o := (b - histExact) >> histSubBits
+	sub := int64(b-histExact) & (histSub - 1)
+	k := o + histSubBits + 2
+	low := int64(1)<<(k-1) + sub<<(k-1-histSubBits)
+	width := int64(1) << (k - 1 - histSubBits)
+	return float64(low) + float64(width)/2
+}

@@ -1,0 +1,85 @@
+// Package metrics is the in-simulator observability layer: a Probe
+// interface the flit-level simulators (internal/network, internal/vcnet)
+// emit events into, and stdlib-only collectors that turn those events into
+// per-channel utilization, blocked-cycle counters, log-bucketed latency
+// histograms and a warmup occupancy trace.
+//
+// The layer is zero-cost when off: every emission site in the simulators is
+// nil-guarded, so a nil probe adds one predictable branch and no
+// allocations to the hot loops (enforced by BenchmarkNetworkStep's
+// allocs/op gate in CI).
+package metrics
+
+import "turnmodel/internal/topology"
+
+// Probe receives simulation events. Implementations must be cheap: the
+// simulators call these methods from their innermost loops, once per event,
+// with no batching beyond what the event semantics already imply.
+// Implementations must not retain references to mutable simulator state
+// (the arguments are all values).
+//
+// Event semantics, shared by both simulators:
+//
+//   - Inject: a packet's header flit entered the network (left the source
+//     queue for the injection buffer).
+//   - Blocked: a header flit requested an output channel this cycle and was
+//     not allocated one — either every permitted candidate was busy or
+//     faulted, or arbitration gave the channel to a competing header. One
+//     event per blocked header per cycle.
+//   - FlitMove: flits crossed the channel leaving `from` in direction
+//     `dir`. internal/network accounts at tail release (the whole packet's
+//     `flits` at once, when the last flit finishes crossing);
+//     internal/vcnet accounts per flit per cycle (`flits` is always 1).
+//     Ejection into the destination processor is not a FlitMove.
+//   - Deliver: a packet's tail flit was consumed at the destination.
+//     queueDelay is the time from generation to injection (source
+//     queueing), netDelay from injection to tail consumption; both are in
+//     cycles and sum to the packet's end-to-end latency.
+//   - Tick: the simulator finished one Step. cycle is the cycle that just
+//     completed; Tick(c) is emitted after every event of cycle c.
+type Probe interface {
+	Inject(cycle int64, src, dst topology.NodeID, length int)
+	Blocked(cycle int64, node topology.NodeID)
+	FlitMove(cycle int64, from topology.NodeID, dir topology.Direction, flits int)
+	Deliver(cycle int64, src, dst topology.NodeID, length, hops int, queueDelay, netDelay int64)
+	Tick(cycle int64)
+}
+
+// Tee fans every event out to both probes, a first, in order. Either may be
+// nil, in which case the other is returned directly.
+func Tee(a, b Probe) Probe {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &tee{a, b}
+}
+
+type tee struct{ a, b Probe }
+
+func (t *tee) Inject(cycle int64, src, dst topology.NodeID, length int) {
+	t.a.Inject(cycle, src, dst, length)
+	t.b.Inject(cycle, src, dst, length)
+}
+
+func (t *tee) Blocked(cycle int64, node topology.NodeID) {
+	t.a.Blocked(cycle, node)
+	t.b.Blocked(cycle, node)
+}
+
+func (t *tee) FlitMove(cycle int64, from topology.NodeID, dir topology.Direction, flits int) {
+	t.a.FlitMove(cycle, from, dir, flits)
+	t.b.FlitMove(cycle, from, dir, flits)
+}
+
+func (t *tee) Deliver(cycle int64, src, dst topology.NodeID, length, hops int, queueDelay, netDelay int64) {
+	t.a.Deliver(cycle, src, dst, length, hops, queueDelay, netDelay)
+	t.b.Deliver(cycle, src, dst, length, hops, queueDelay, netDelay)
+}
+
+func (t *tee) Tick(cycle int64) {
+	t.a.Tick(cycle)
+	t.b.Tick(cycle)
+}

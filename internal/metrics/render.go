@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"turnmodel/internal/topology"
+)
+
+// heatShades maps utilization in [0,1] to a character ramp.
+var heatShades = []byte(" .:-=+*#%@")
+
+func shade(u float64) byte {
+	i := int(u * float64(len(heatShades)))
+	if i >= len(heatShades) {
+		i = len(heatShades) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return heatShades[i]
+}
+
+// Summary renders the scalar metrics as a short human-readable block.
+func (s *Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window: %d cycles, %d packets in / %d out\n",
+		s.WindowCycles, s.PacketsInjected, s.PacketsDelivered)
+	fmt.Fprintf(&b, "latency: p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
+		s.LatencyP50Us, s.LatencyP95Us, s.LatencyP99Us)
+	fmt.Fprintf(&b, "delay split: queueing %.2f us, in-network %.2f us\n",
+		s.AvgQueueDelayUs, s.AvgNetDelayUs)
+	fmt.Fprintf(&b, "blocked header-cycles: %d\n", s.BlockedCycles)
+	fmt.Fprintf(&b, "channel utilization: mean %.3f, max %.3f\n",
+		s.MeanChannelUtil, s.MaxChannelUtil)
+	return b.String()
+}
+
+// nodeMaxUtil is the highest utilization among the node's output channels.
+func (s *Snapshot) nodeMaxUtil(node int) float64 {
+	max := 0.0
+	for d := 0; d < s.Dirs; d++ {
+		if u := s.ChannelUtil[node*s.Dirs+d]; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// UtilizationHeatmap renders per-node peak output-channel utilization. For
+// two-dimensional topologies it draws a MeshWidth x MeshHeight grid of
+// shade characters (top row = highest y, matching the paper's mesh
+// figures), with the shade legend underneath. For other topologies it
+// falls back to HottestChannels.
+func (s *Snapshot) UtilizationHeatmap() string {
+	if s.MeshWidth*s.MeshHeight != s.Nodes || s.Nodes == 0 {
+		return s.HottestChannels(10)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-node peak channel utilization (%dx%d):\n", s.MeshWidth, s.MeshHeight)
+	for y := s.MeshHeight - 1; y >= 0; y-- {
+		fmt.Fprintf(&b, "%3d ", y)
+		for x := 0; x < s.MeshWidth; x++ {
+			b.WriteByte(shade(s.nodeMaxUtil(y*s.MeshWidth + x)))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    ")
+	for x := 0; x < s.MeshWidth; x++ {
+		b.WriteByte("0123456789"[x%10])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "legend: '%s' = 0..1\n", heatShades)
+	return b.String()
+}
+
+// HottestChannels lists the n busiest channels with their utilization and
+// blocked-cycle counts at their source node.
+func (s *Snapshot) HottestChannels(n int) string {
+	type ch struct {
+		idx  int
+		util float64
+	}
+	chans := make([]ch, 0, len(s.ChannelUtil))
+	for i, u := range s.ChannelUtil {
+		if u > 0 {
+			chans = append(chans, ch{i, u})
+		}
+	}
+	sort.Slice(chans, func(i, j int) bool {
+		if chans[i].util != chans[j].util {
+			return chans[i].util > chans[j].util
+		}
+		return chans[i].idx < chans[j].idx
+	})
+	if n > len(chans) {
+		n = len(chans)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hottest channels (of %d loaded):\n", len(chans))
+	for _, c := range chans[:n] {
+		node := c.idx / s.Dirs
+		dir := topology.Direction(c.idx % s.Dirs)
+		fmt.Fprintf(&b, "  node %4d %-10s util %.3f (blocked %d cycles at node)\n",
+			node, dir, c.util, s.NodeBlocked[node])
+	}
+	return b.String()
+}

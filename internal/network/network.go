@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 )
@@ -53,6 +54,11 @@ type Config struct {
 	// cycles, so a header spends max(1, RoutingDelay) cycles per hop.
 	// 0 (and 1) give the paper's idealized single-cycle router.
 	RoutingDelay int64
+	// Probe receives simulation events (see metrics.Probe). nil disables
+	// instrumentation at zero cost: every emission site is nil-guarded
+	// and the Step hot loop stays allocation-free (BenchmarkNetworkStep
+	// pins this).
+	Probe metrics.Probe
 }
 
 // DeadlockError is returned by Step when the watchdog detects that no flit
@@ -102,6 +108,36 @@ type Network struct {
 	// channelFlits counts the flits each output channel has carried,
 	// for load analysis (router*2n+dir).
 	channelFlits []int64
+
+	probe metrics.Probe
+	// sorter, freeBase and freeFn are allocation-free machinery for the
+	// Step hot loop: a stored sort.Interface replaces the sort.Slice
+	// closure, and freeFn is allocated once with freeBase rebound per
+	// request instead of closing over a fresh base per header.
+	sorter   reqSorter
+	freeBase int
+	freeFn   func(topology.Direction) bool
+}
+
+// reqSorter orders the pending requests by router, then by the input
+// selection policy. It exists (rather than a sort.Slice closure) so that
+// sorting in Step does not allocate.
+type reqSorter struct{ n *Network }
+
+func (s *reqSorter) Len() int { return len(s.n.requests) }
+
+func (s *reqSorter) Swap(i, j int) {
+	r := s.n.requests
+	r[i], r[j] = r[j], r[i]
+}
+
+func (s *reqSorter) Less(i, j int) bool {
+	r := s.n.requests
+	ri, rj := s.n.bufRouter(r[i].headBuf()), s.n.bufRouter(r[j].headBuf())
+	if ri != rj {
+		return ri < rj
+	}
+	return s.n.input.Less(r[i], r[j])
 }
 
 // New builds a network simulator for the given configuration.
@@ -142,6 +178,11 @@ func New(cfg Config) *Network {
 	}
 	n.routingDelay = cfg.RoutingDelay
 	n.channelFlits = make([]int64, topo.Nodes()*2*n.dims)
+	n.probe = cfg.Probe
+	n.sorter = reqSorter{n}
+	n.freeFn = func(d topology.Direction) bool {
+		return n.outOwner[n.freeBase+int(d)] == nil && !n.faulted[n.freeBase+int(d)]
+	}
 	return n
 }
 
@@ -286,6 +327,9 @@ func (n *Network) Step() error {
 		n.occupied[inj] = true
 		n.active = append(n.active, w)
 		progress = true
+		if n.probe != nil {
+			n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
+		}
 	}
 
 	// Phase 2: routing and output allocation for waiting headers,
@@ -310,27 +354,24 @@ func (n *Network) Step() error {
 		n.requests = append(n.requests, w)
 	}
 	if len(n.requests) > 0 {
-		input := n.input
-		reqs := n.requests
-		sort.Slice(reqs, func(i, j int) bool {
-			ri := n.bufRouter(reqs[i].headBuf())
-			rj := n.bufRouter(reqs[j].headBuf())
-			if ri != rj {
-				return ri < rj
-			}
-			return input.Less(reqs[i], reqs[j])
-		})
-		for _, w := range reqs {
+		sort.Sort(&n.sorter)
+		for _, w := range n.requests {
 			r := n.bufRouter(w.headBuf())
 			in, inWrap := n.inDirOf(w)
-			cands := n.alg.Candidates(r, w.pkt.Dst, in, inWrap)
-			base := int(r) * 2 * n.dims
-			free := func(d topology.Direction) bool {
-				return n.outOwner[base+int(d)] == nil && !n.faulted[base+int(d)]
+			if !w.candsValid {
+				// The permitted outputs depend only on (router, dst,
+				// arrival direction), all fixed while the header waits in
+				// this buffer, so the candidate list is computed once per
+				// hop rather than once per cycle.
+				w.cands = n.alg.Candidates(r, w.pkt.Dst, in, inWrap)
+				w.candsValid = true
 			}
-			if d, ok := n.output.Choose(cands, free, in, n.rng); ok {
-				n.outOwner[base+int(d)] = w
+			n.freeBase = int(r) * 2 * n.dims
+			if d, ok := n.output.Choose(w.cands, n.freeFn, in, n.rng); ok {
+				n.outOwner[n.freeBase+int(d)] = w
 				w.outDir = d
+			} else if n.probe != nil {
+				n.probe.Blocked(n.cycle, r)
 			}
 		}
 	}
@@ -358,6 +399,11 @@ func (n *Network) Step() error {
 			w.pkt.Arrived = n.cycle
 			n.delivered = append(n.delivered, w.pkt)
 			n.packetsDone++
+			if n.probe != nil {
+				p := w.pkt
+				n.probe.Deliver(n.cycle, p.Src, p.Dst, p.Length, p.Hops,
+					p.Injected-p.Created, p.Arrived-p.Injected)
+			}
 		} else {
 			out = append(out, w)
 		}
@@ -367,6 +413,9 @@ func (n *Network) Step() error {
 	}
 	n.active = out
 
+	if n.probe != nil {
+		n.probe.Tick(n.cycle)
+	}
 	n.cycle++
 	if progress {
 		n.lastProgress = n.cycle
@@ -411,6 +460,7 @@ func (n *Network) tryAdvance(w *worm) bool {
 		w.pkt.Hops++
 		w.headerArrival = n.cycle
 		w.outDir = noDirection
+		w.candsValid = false
 	} else {
 		// The front flit is consumed by the destination processor.
 		w.delivered++
@@ -436,6 +486,9 @@ func (n *Network) tryAdvance(w *worm) bool {
 			// traversed this channel. Tallied at release so the counts
 			// reflect completed traversals only.
 			n.channelFlits[key] += int64(w.pkt.Length)
+			if n.probe != nil {
+				n.probe.FlitMove(n.cycle, from, topology.Direction(dir), w.pkt.Length)
+			}
 		}
 	}
 	w.advanced = true

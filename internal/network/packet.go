@@ -68,6 +68,11 @@ type worm struct {
 	headerArrival int64
 	// advanced marks that the worm already moved this cycle.
 	advanced bool
+	// cands caches the routing algorithm's candidate outputs for the
+	// header's current buffer (valid while candsValid); it is invalidated
+	// on every hop so a blocked header re-requests without recomputing.
+	cands      []topology.Direction
+	candsValid bool
 }
 
 func (w *worm) inNetwork() int { return w.sent - w.delivered }

@@ -1,7 +1,9 @@
 package network
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"turnmodel/internal/topology"
 )
@@ -130,4 +132,59 @@ func (OldestFirst) Less(a, b *worm) bool {
 		return a.pkt.Created < b.pkt.Created
 	}
 	return a.pkt.ID < b.pkt.ID
+}
+
+// The policy registries mirror routing.New/routing.Names: policies are
+// selected by name (with a few historical aliases), so CLIs and config
+// files need no per-policy constructors. The canonical name of a policy is
+// its Name() method; aliases map to the same value.
+
+var outputPolicies = map[string]OutputPolicy{
+	"xy":               LowestDimension{},
+	"lowest-dimension": LowestDimension{},
+	"random":           RandomOutput{},
+	"straight-first":   StraightFirst{},
+	"straight":         StraightFirst{},
+}
+
+var inputPolicies = map[string]InputPolicy{
+	"local-fcfs":   LocalFCFS{},
+	"fcfs":         LocalFCFS{},
+	"oldest-first": OldestFirst{},
+	"oldest":       OldestFirst{},
+}
+
+// NewOutputPolicy resolves an output selection policy by name or alias.
+func NewOutputPolicy(name string) (OutputPolicy, error) {
+	if p, ok := outputPolicies[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("network: unknown output policy %q (have %v)", name, OutputPolicyNames())
+}
+
+// NewInputPolicy resolves an input selection policy by name or alias.
+func NewInputPolicy(name string) (InputPolicy, error) {
+	if p, ok := inputPolicies[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("network: unknown input policy %q (have %v)", name, InputPolicyNames())
+}
+
+// OutputPolicyNames lists the canonical output policy names, sorted.
+func OutputPolicyNames() []string { return canonicalNames(outputPolicies) }
+
+// InputPolicyNames lists the canonical input policy names, sorted.
+func InputPolicyNames() []string { return canonicalNames(inputPolicies) }
+
+func canonicalNames[P interface{ Name() string }](m map[string]P) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, p := range m {
+		if n := p.Name(); !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,55 @@
+package network
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPolicyRegistry(t *testing.T) {
+	if got := OutputPolicyNames(); !reflect.DeepEqual(got, []string{"random", "straight-first", "xy"}) {
+		t.Errorf("output policy names = %v", got)
+	}
+	if got := InputPolicyNames(); !reflect.DeepEqual(got, []string{"local-fcfs", "oldest-first"}) {
+		t.Errorf("input policy names = %v", got)
+	}
+	// Every listed name resolves to a policy that reports the same name.
+	for _, name := range OutputPolicyNames() {
+		p, err := NewOutputPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("output %q resolves to %q", name, p.Name())
+		}
+	}
+	for _, name := range InputPolicyNames() {
+		p, err := NewInputPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("input %q resolves to %q", name, p.Name())
+		}
+	}
+	// Aliases map to the canonical policies.
+	if p, err := NewOutputPolicy("lowest-dimension"); err != nil || p.Name() != "xy" {
+		t.Errorf("lowest-dimension alias: %v, %v", p, err)
+	}
+	if p, err := NewOutputPolicy("straight"); err != nil || p.Name() != "straight-first" {
+		t.Errorf("straight alias: %v, %v", p, err)
+	}
+	if p, err := NewInputPolicy("fcfs"); err != nil || p.Name() != "local-fcfs" {
+		t.Errorf("fcfs alias: %v, %v", p, err)
+	}
+	if p, err := NewInputPolicy("oldest"); err != nil || p.Name() != "oldest-first" {
+		t.Errorf("oldest alias: %v, %v", p, err)
+	}
+	// Unknown names fail with the available names in the message.
+	if _, err := NewOutputPolicy("nope"); err == nil || !strings.Contains(err.Error(), "xy") {
+		t.Errorf("unknown output policy error: %v", err)
+	}
+	if _, err := NewInputPolicy("nope"); err == nil || !strings.Contains(err.Error(), "local-fcfs") {
+		t.Errorf("unknown input policy error: %v", err)
+	}
+}

@@ -10,7 +10,12 @@ import (
 // ReportSchemaVersion identifies the JSON layout of Report. Consumers
 // should reject reports with a different version; bump it on any
 // incompatible change and document the migration in docs/sweeps.md.
-const ReportSchemaVersion = 1
+//
+// v2 (this version): points may carry a "metrics" snapshot (per-channel
+// utilization, latency percentiles, blocked cycles, occupancy trace) when
+// the plan ran with metrics collection on, and the config echoes the
+// "metrics" flag. See docs/metrics.md.
+const ReportSchemaVersion = 2
 
 // Report is the machine-readable record of one RunPlan execution: the
 // configuration that produced it, every per-point Result with its seed and
@@ -30,6 +35,7 @@ type ReportConfig struct {
 	MeasureCycles int64    `json:"measure_cycles"`
 	Seed          int64    `json:"seed"`
 	Jobs          int      `json:"jobs"`
+	Metrics       bool     `json:"metrics"`
 	FigureIDs     []string `json:"figure_ids"`
 }
 
@@ -78,6 +84,7 @@ func buildReport(p Plan, workers, jobsRun int, totalWall time.Duration,
 		MeasureCycles: p.MeasureCycles,
 		Seed:          p.Seed,
 		Jobs:          workers,
+		Metrics:       p.Metrics,
 		FigureIDs:     make([]string, 0, len(p.Specs)),
 	}
 	rep := &Report{

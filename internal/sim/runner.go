@@ -72,6 +72,11 @@ type Plan struct {
 	Jobs int
 	// SeedFn derives per-job seeds; nil selects PairedSeed.
 	SeedFn SeedFunc
+	// Metrics attaches a metrics collector to every job, so each
+	// PointReport's Result carries a Snapshot (channel utilization,
+	// latency percentiles; see docs/metrics.md). The Result scalars and
+	// table output are identical with or without it.
+	Metrics bool
 	// Progress, when non-nil, is called after every completed job. Calls
 	// are serialized; the callback must not invoke RunPlan reentrantly on
 	// the same Plan's state.
@@ -154,12 +159,15 @@ func RunPlan(p Plan) ([]FigureResult, *Report, error) {
 		}
 		seed := seedFn(p.Seed, spec.ID, name, j.rate)
 		cfg := Config{
-			Routing:       alg,
-			Pattern:       spec.NewPattern(topo),
-			InjectionRate: spec.Rates[j.rate],
-			WarmupCycles:  p.WarmupCycles,
-			MeasureCycles: p.MeasureCycles,
-			Seed:          seed,
+			Routing: alg,
+			RunParams: RunParams{
+				Pattern:       spec.NewPattern(topo),
+				InjectionRate: spec.Rates[j.rate],
+				WarmupCycles:  p.WarmupCycles,
+				MeasureCycles: p.MeasureCycles,
+				Seed:          seed,
+				Metrics:       p.Metrics,
+			},
 		}
 		jobStart := time.Now()
 		res := Run(cfg)

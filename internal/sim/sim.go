@@ -12,6 +12,7 @@ import (
 
 	"math/rand"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/stats"
@@ -23,10 +24,12 @@ import (
 // is one packet of either length with equal probability.
 var DefaultLengths = []int{10, 200}
 
-// Config describes one simulation run.
-type Config struct {
-	// Routing selects the algorithm (and with it the topology).
-	Routing routing.Algorithm
+// RunParams are the run parameters shared by both simulator harnesses
+// (Config for the physical-channel network, VCConfig for the
+// virtual-channel one): workload, offered load, run windows, seeding and
+// instrumentation. Both configs embed it, so the defaults live in one
+// place.
+type RunParams struct {
 	// Pattern selects the workload.
 	Pattern traffic.Pattern
 	// InjectionRate is the offered load per processor in flits per
@@ -41,12 +44,55 @@ type Config struct {
 	WarmupCycles, MeasureCycles int64
 	// Seed makes runs reproducible.
 	Seed int64
+	// WatchdogCycles is forwarded to the simulator (see network.Config).
+	WatchdogCycles int64
+	// Metrics attaches a metrics.Collector to the run: Result.Metrics
+	// then carries the measurement-window Snapshot (channel utilization,
+	// latency percentiles, blocked cycles, occupancy trace). Collection
+	// does not perturb the simulation; the Result scalars are identical
+	// either way.
+	Metrics bool
+	// MetricsOptions tunes the collector; the zero value selects the
+	// defaults (see metrics.Options).
+	MetricsOptions metrics.Options
+	// Probe, when non-nil, additionally receives every simulation event
+	// (combined with the collector via metrics.Tee when Metrics is set).
+	Probe metrics.Probe
+}
+
+func (p RunParams) withDefaults() RunParams {
+	if len(p.Lengths) == 0 {
+		p.Lengths = DefaultLengths
+	}
+	if p.WarmupCycles == 0 {
+		p.WarmupCycles = 20000
+	}
+	if p.MeasureCycles == 0 {
+		p.MeasureCycles = 40000
+	}
+	return p
+}
+
+// instrument builds the probe to hand the simulator and, when Metrics is
+// set, the collector whose snapshot the Result will carry.
+func (p RunParams) instrument(topo topology.Topology) (metrics.Probe, *metrics.Collector) {
+	if !p.Metrics {
+		return p.Probe, nil
+	}
+	coll := metrics.NewCollector(topo, p.MetricsOptions)
+	return metrics.Tee(coll, p.Probe), coll
+}
+
+// Config describes one simulation run on the physical-channel simulator.
+type Config struct {
+	// Routing selects the algorithm (and with it the topology).
+	Routing routing.Algorithm
+	// RunParams carry the simulator-independent parameters.
+	RunParams
 	// Output and Input select arbitration policies; nil selects the
 	// paper's defaults (lowest-dimension output, local FCFS input).
 	Output network.OutputPolicy
 	Input  network.InputPolicy
-	// WatchdogCycles is forwarded to the network (see network.Config).
-	WatchdogCycles int64
 	// RoutingDelay is forwarded to the network: extra cycles per routing
 	// decision (see network.Config).
 	RoutingDelay int64
@@ -54,15 +100,7 @@ type Config struct {
 
 func (c *Config) withDefaults() Config {
 	out := *c
-	if len(out.Lengths) == 0 {
-		out.Lengths = DefaultLengths
-	}
-	if out.WarmupCycles == 0 {
-		out.WarmupCycles = 20000
-	}
-	if out.MeasureCycles == 0 {
-		out.MeasureCycles = 40000
-	}
+	out.RunParams = out.RunParams.withDefaults()
 	return out
 }
 
@@ -110,6 +148,9 @@ type Result struct {
 	// Deadlocked reports that the network watchdog fired (only possible
 	// for routing algorithms outside the turn model).
 	Deadlocked bool `json:"deadlocked"`
+	// Metrics is the collector snapshot of the measurement window, set
+	// only when RunParams.Metrics was on (schema v2; see docs/metrics.md).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 func (r Result) String() string {
@@ -122,6 +163,8 @@ func (r Result) String() string {
 // Result rather than as an error.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
+	topo := cfg.Routing.Topology()
+	probe, coll := cfg.RunParams.instrument(topo)
 	net := network.New(network.Config{
 		Routing:        cfg.Routing,
 		Output:         cfg.Output,
@@ -129,14 +172,16 @@ func Run(cfg Config) Result {
 		Seed:           cfg.Seed,
 		WatchdogCycles: cfg.WatchdogCycles,
 		RoutingDelay:   cfg.RoutingDelay,
+		Probe:          probe,
 	})
-	return measure(cfg, cfg.Routing.Name(), cfg.Routing.Topology(), net)
+	return measure(cfg.RunParams, cfg.Routing.Name(), topo, net, coll)
 }
 
 // measure drives an engine through warmup and measurement with Poisson
 // per-processor generation and collects the Result. cfg must already have
-// defaults applied.
-func measure(cfg Config, algName string, topo topology.Topology, net engine) Result {
+// defaults applied; coll, when non-nil, is the collector already attached
+// to the engine whose snapshot the Result will carry.
+func measure(cfg RunParams, algName string, topo topology.Topology, net engine, coll *metrics.Collector) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
 	// Fixed points of permutation patterns consume their own messages
@@ -185,6 +230,9 @@ func measure(cfg Config, algName string, topo topology.Topology, net engine) Res
 	flitsBefore := net.FlitsConsumed()
 	inFlightBefore := net.InFlight()
 	measureStart := net.Cycle()
+	if coll != nil {
+		coll.BeginMeasurement(measureStart)
+	}
 
 	for cycle := int64(0); cycle < cfg.MeasureCycles && !deadlocked; cycle++ {
 		generate(measureStart + cycle)
@@ -220,12 +268,15 @@ func measure(cfg Config, algName string, topo topology.Topology, net engine) Res
 	expected := expectedPackets(cfg, topo.Nodes()) * injecting
 	bounded := float64(res.QueueGrowth) <= 50+0.02*expected
 	res.Sustainable = !deadlocked && bounded
+	if coll != nil {
+		res.Metrics = coll.Snapshot()
+	}
 	return res
 }
 
 // expectedPackets estimates how many packets the whole network generates
 // during the measurement window.
-func expectedPackets(cfg Config, nodes int) float64 {
+func expectedPackets(cfg RunParams, nodes int) float64 {
 	return cfg.InjectionRate * float64(cfg.MeasureCycles) * float64(nodes) / meanLength(cfg.Lengths)
 }
 

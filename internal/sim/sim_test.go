@@ -18,12 +18,14 @@ func meshCfg(t *testing.T, alg string, rate float64) Config {
 		t.Fatal(err)
 	}
 	return Config{
-		Routing:       a,
-		Pattern:       traffic.Uniform{Topo: mesh},
-		InjectionRate: rate,
-		WarmupCycles:  2000,
-		MeasureCycles: 5000,
-		Seed:          11,
+		Routing: a,
+		RunParams: RunParams{
+			Pattern:       traffic.Uniform{Topo: mesh},
+			InjectionRate: rate,
+			WarmupCycles:  2000,
+			MeasureCycles: 5000,
+			Seed:          11,
+		},
 	}
 }
 
@@ -99,13 +101,15 @@ func TestSeedChangesOutcome(t *testing.T) {
 func TestDeadlockReportedInResult(t *testing.T) {
 	mesh := topology.NewMesh2D(4, 4)
 	cfg := Config{
-		Routing:        routing.FullyAdaptive(mesh),
-		Pattern:        traffic.Uniform{Topo: mesh},
-		InjectionRate:  1.0,
-		WarmupCycles:   30000,
-		MeasureCycles:  30000,
-		Seed:           1,
-		WatchdogCycles: 1500,
+		Routing: routing.FullyAdaptive(mesh),
+		RunParams: RunParams{
+			Pattern:        traffic.Uniform{Topo: mesh},
+			InjectionRate:  1.0,
+			WarmupCycles:   30000,
+			MeasureCycles:  30000,
+			Seed:           1,
+			WatchdogCycles: 1500,
+		},
 	}
 	r := Run(cfg)
 	if !r.Deadlocked {
@@ -123,8 +127,11 @@ func TestFixedPointsReduceOfferedLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{
-		Routing: a, Pattern: traffic.NewMeshTranspose(mesh),
-		InjectionRate: 0.04, WarmupCycles: 5000, MeasureCycles: 30000, Seed: 3,
+		Routing: a,
+		RunParams: RunParams{
+			Pattern:       traffic.NewMeshTranspose(mesh),
+			InjectionRate: 0.04, WarmupCycles: 5000, MeasureCycles: 30000, Seed: 3,
+		},
 	}
 	r := Run(cfg)
 	// 8 of 64 nodes are fixed points: effective offered load is 56/64

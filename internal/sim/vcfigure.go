@@ -9,16 +9,47 @@ import (
 	"turnmodel/internal/vc"
 )
 
+// VCComparisonResult is the structured outcome of VCComparison: one block
+// of per-rate Results per traffic pattern, for each algorithm compared.
+// Table renders it in the archived docs/results-extension-vc.txt layout.
+type VCComparisonResult struct {
+	// Topology names the network (a 16x16 mesh).
+	Topology string
+	// Algorithms are the compared routing algorithms, in column order.
+	Algorithms []string
+	// Rates are the swept injection rates, in row order.
+	Rates []float64
+	// Patterns holds one result block per traffic pattern.
+	Patterns []VCComparisonPattern
+}
+
+// VCComparisonPattern is one traffic pattern's sweep.
+type VCComparisonPattern struct {
+	// Pattern is the workload name.
+	Pattern string
+	// Results[ai][ri] is algorithm ai at rate ri.
+	Results [][]Result
+	// BestThroughput[ai] is the highest sustained throughput algorithm ai
+	// reached across the rates (flits/us), 0 if never sustainable.
+	BestThroughput []float64
+}
+
 // VCComparison runs the extension experiment the paper's Section 7 and
 // reference [18] point to: minimal fully adaptive routing bought with one
 // extra virtual channel on the y links (double-y), compared with the
 // no-extra-channel algorithms on the same 16x16 mesh. The expectation from
 // [18]: the fully adaptive algorithm wins on nonuniform traffic; under
 // uniform traffic nonadaptive xy still wins at high load.
-func VCComparison(warmup, measure, seed int64) string {
+//
+// The returned results are structured; render them with Table (the CLI
+// does) or consume the Results directly.
+func VCComparison(warmup, measure, seed int64) VCComparisonResult {
 	mesh := topology.NewMesh2D(16, 16)
-	algs := []string{"double-y", "west-first", "xy"}
-	rates := []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14}
+	out := VCComparisonResult{
+		Topology:   mesh.Name(),
+		Algorithms: []string{"double-y", "west-first", "xy"},
+		Rates:      []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14},
+	}
 	patterns := []struct {
 		name string
 		make func() traffic.Pattern
@@ -26,50 +57,73 @@ func VCComparison(warmup, measure, seed int64) string {
 		{"matrix-transpose", func() traffic.Pattern { return traffic.NewMeshTranspose(mesh) }},
 		{"uniform", func() traffic.Pattern { return traffic.Uniform{Topo: mesh} }},
 	}
+	for _, pat := range patterns {
+		block := VCComparisonPattern{
+			Pattern:        pat.name,
+			Results:        make([][]Result, len(out.Algorithms)),
+			BestThroughput: make([]float64, len(out.Algorithms)),
+		}
+		for i, name := range out.Algorithms {
+			alg, err := vc.New(name, mesh)
+			if err != nil {
+				panic(err)
+			}
+			block.Results[i] = make([]Result, 0, len(out.Rates))
+			for _, rate := range out.Rates {
+				r := RunVC(VCConfig{
+					Routing: alg,
+					RunParams: RunParams{
+						Pattern:       pat.make(),
+						InjectionRate: rate,
+						WarmupCycles:  warmup,
+						MeasureCycles: measure,
+						Seed:          seed + int64(i),
+					},
+				})
+				if r.Sustainable && r.ThroughputFlitsPerUs > block.BestThroughput[i] {
+					block.BestThroughput[i] = r.ThroughputFlitsPerUs
+				}
+				block.Results[i] = append(block.Results[i], r)
+			}
+		}
+		out.Patterns = append(out.Patterns, block)
+	}
+	return out
+}
+
+// Table renders the comparison in the layout archived under
+// docs/results-extension-vc.txt (byte-identical to the historical
+// preformatted output of VCComparison).
+func (r VCComparisonResult) Table() string {
 	var b strings.Builder
 	b.WriteString("extension-vc: double-y (2 virtual channels on y links, minimal fully adaptive)\n")
 	b.WriteString("vs. the no-extra-channel algorithms on a 16x16 mesh (cf. Section 7 / [18])\n\n")
-	for _, pat := range patterns {
-		fmt.Fprintf(&b, "%s:\n", pat.name)
+	for _, pat := range r.Patterns {
+		fmt.Fprintf(&b, "%s:\n", pat.Pattern)
 		fmt.Fprintf(&b, "%-8s", "rate")
-		for _, a := range algs {
+		for _, a := range r.Algorithms {
 			fmt.Fprintf(&b, " | %27s", a)
 		}
 		fmt.Fprintf(&b, "\n%-8s", "")
-		for range algs {
+		for range r.Algorithms {
 			fmt.Fprintf(&b, " | %12s %8s %5s", "thr flits/us", "lat us", "sust")
 		}
 		b.WriteString("\n")
-		best := make(map[string]float64)
-		for _, rate := range rates {
+		for ri, rate := range r.Rates {
 			fmt.Fprintf(&b, "%-8.3f", rate)
-			for i, name := range algs {
-				alg, err := vc.New(name, mesh)
-				if err != nil {
-					panic(err)
-				}
-				r := RunVC(VCConfig{
-					Routing:       alg,
-					Pattern:       pat.make(),
-					InjectionRate: rate,
-					WarmupCycles:  warmup,
-					MeasureCycles: measure,
-					Seed:          seed + int64(i),
-				})
+			for ai := range r.Algorithms {
+				res := pat.Results[ai][ri]
 				sust := " "
-				if r.Sustainable {
+				if res.Sustainable {
 					sust = "yes"
-					if r.ThroughputFlitsPerUs > best[name] {
-						best[name] = r.ThroughputFlitsPerUs
-					}
 				}
-				fmt.Fprintf(&b, " | %12.1f %8.2f %5s", r.ThroughputFlitsPerUs, r.AvgLatencyUs, sust)
+				fmt.Fprintf(&b, " | %12.1f %8.2f %5s", res.ThroughputFlitsPerUs, res.AvgLatencyUs, sust)
 			}
 			b.WriteString("\n")
 		}
 		b.WriteString("max sustainable: ")
-		for _, a := range algs {
-			fmt.Fprintf(&b, "%s %.1f  ", a, best[a])
+		for ai, a := range r.Algorithms {
+			fmt.Fprintf(&b, "%s %.1f  ", a, pat.BestThroughput[ai])
 		}
 		b.WriteString("\n\n")
 	}

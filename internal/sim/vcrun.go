@@ -3,7 +3,6 @@ package sim
 import (
 	"turnmodel/internal/network"
 	"turnmodel/internal/topology"
-	"turnmodel/internal/traffic"
 	"turnmodel/internal/vc"
 	"turnmodel/internal/vcnet"
 )
@@ -24,27 +23,21 @@ type engine interface {
 type VCConfig struct {
 	// Routing is the virtual-channel routing algorithm.
 	Routing vc.Algorithm
-	// Pattern, InjectionRate, Lengths, windows and Seed as in Config.
-	Pattern                     traffic.Pattern
-	InjectionRate               float64
-	Lengths                     []int
-	WarmupCycles, MeasureCycles int64
-	Seed                        int64
-	WatchdogCycles              int64
+	// RunParams carry the simulator-independent parameters, exactly as
+	// in Config.
+	RunParams
 }
 
 // RunVC executes one virtual-channel simulation with the same generation
 // and measurement protocol as Run.
 func RunVC(cfg VCConfig) Result {
-	proto := Config{
-		Pattern:       cfg.Pattern,
-		InjectionRate: cfg.InjectionRate,
-		Lengths:       cfg.Lengths,
-		WarmupCycles:  cfg.WarmupCycles,
-		MeasureCycles: cfg.MeasureCycles,
-		Seed:          cfg.Seed,
-	}
-	base := proto.withDefaults()
-	net := vcnet.New(vcnet.Config{Routing: cfg.Routing, WatchdogCycles: cfg.WatchdogCycles})
-	return measure(base, cfg.Routing.Name(), cfg.Routing.Topology(), net)
+	params := cfg.RunParams.withDefaults()
+	topo := cfg.Routing.Topology()
+	probe, coll := params.instrument(topo)
+	net := vcnet.New(vcnet.Config{
+		Routing:        cfg.Routing,
+		WatchdogCycles: cfg.WatchdogCycles,
+		Probe:          probe,
+	})
+	return measure(params, cfg.Routing.Name(), topo, net, coll)
 }

@@ -17,12 +17,14 @@ func TestRunVCLowLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := RunVC(VCConfig{
-		Routing:       alg,
-		Pattern:       traffic.Uniform{Topo: mesh},
-		InjectionRate: 0.04,
-		WarmupCycles:  3000,
-		MeasureCycles: 15000,
-		Seed:          2,
+		Routing: alg,
+		RunParams: RunParams{
+			Pattern:       traffic.Uniform{Topo: mesh},
+			InjectionRate: 0.04,
+			WarmupCycles:  3000,
+			MeasureCycles: 15000,
+			Seed:          2,
+		},
 	})
 	if !r.Sustainable || r.Deadlocked {
 		t.Errorf("low-load VC run failed: %+v", r)
@@ -44,12 +46,12 @@ func TestRunVCMatchesRunForLiftedAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vres := RunVC(VCConfig{
-		Routing: balg, Pattern: traffic.Uniform{Topo: mesh},
+	params := RunParams{
+		Pattern:       traffic.Uniform{Topo: mesh},
 		InjectionRate: 0.03, WarmupCycles: 3000, MeasureCycles: 15000, Seed: 2,
-	})
-	cfg := Config{InjectionRate: 0.03, WarmupCycles: 3000, MeasureCycles: 15000, Seed: 2,
-		Pattern: traffic.Uniform{Topo: mesh}}
+	}
+	vres := RunVC(VCConfig{Routing: balg, RunParams: params})
+	cfg := Config{RunParams: params}
 	var err2 error
 	cfg.Routing, err2 = routing.New("xy", mesh)
 	if err2 != nil {
@@ -65,10 +67,29 @@ func TestRunVCMatchesRunForLiftedAlgorithm(t *testing.T) {
 }
 
 func TestVCComparisonSmoke(t *testing.T) {
-	out := VCComparison(500, 1500, 1)
+	res := VCComparison(500, 1500, 1)
+	out := res.Table()
 	for _, want := range []string{"double-y", "west-first", "xy", "matrix-transpose", "uniform"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("comparison output missing %q", want)
+		}
+	}
+	if len(res.Patterns) != 2 {
+		t.Fatalf("got %d pattern blocks, want 2", len(res.Patterns))
+	}
+	for _, pat := range res.Patterns {
+		if len(pat.Results) != len(res.Algorithms) {
+			t.Fatalf("%s: %d series, want %d", pat.Pattern, len(pat.Results), len(res.Algorithms))
+		}
+		for ai, series := range pat.Results {
+			if len(series) != len(res.Rates) {
+				t.Errorf("%s/%s: %d points, want %d", pat.Pattern, res.Algorithms[ai], len(series), len(res.Rates))
+			}
+			for ri, r := range series {
+				if r.InjectionRate != res.Rates[ri] {
+					t.Errorf("%s/%s point %d has rate %v", pat.Pattern, res.Algorithms[ai], ri, r.InjectionRate)
+				}
+			}
 		}
 	}
 }

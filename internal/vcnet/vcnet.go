@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/vc"
@@ -27,6 +28,11 @@ type Config struct {
 	// while packets are in flight before Step reports a deadlock.
 	// 0 selects the default (10000); negative disables.
 	WatchdogCycles int64
+	// Probe receives simulation events (see metrics.Probe); nil disables
+	// instrumentation. Unlike internal/network, FlitMove is emitted per
+	// flit per physical-channel crossing, so utilization derived from it
+	// is exact.
+	Probe metrics.Probe
 }
 
 // Packet re-exports the packet bookkeeping of the base simulator.
@@ -50,6 +56,10 @@ type worm struct {
 	// movedAt[k] is the cycle flit k last moved; a flit moves at most
 	// once per cycle.
 	movedAt []int64
+	// cands caches the algorithm's candidate outputs for the header's
+	// current buffer; invalidated on every hop (see candsValid).
+	cands      []vc.Out
+	candsValid bool
 }
 
 // Network is the virtual-channel simulator state.
@@ -70,6 +80,7 @@ type Network struct {
 	qhead  []int
 
 	active    []*worm
+	requests  []*worm // scratch: headers awaiting an output this cycle
 	delivered []*Packet
 
 	nextID         int64
@@ -77,6 +88,34 @@ type Network struct {
 	packetsDone    int64
 	lastProgress   int64
 	watchdogCycles int64
+
+	probe metrics.Probe
+	// sorter replaces a per-Step sort.Slice closure so the hot loop does
+	// not allocate (mirrors internal/network).
+	sorter reqSorter
+}
+
+// reqSorter orders pending requests by router, then local FCFS with packet
+// ID as the tiebreak, without allocating.
+type reqSorter struct{ n *Network }
+
+func (s *reqSorter) Len() int { return len(s.n.requests) }
+
+func (s *reqSorter) Swap(i, j int) {
+	r := s.n.requests
+	r[i], r[j] = r[j], r[i]
+}
+
+func (s *reqSorter) Less(i, j int) bool {
+	r := s.n.requests
+	ri, rj := s.n.bufRouter(r[i].headBuf()), s.n.bufRouter(r[j].headBuf())
+	if ri != rj {
+		return ri < rj
+	}
+	if r[i].headerArrival != r[j].headerArrival {
+		return r[i].headerArrival < r[j].headerArrival
+	}
+	return r[i].pkt.ID < r[j].pkt.ID
 }
 
 // New builds a virtual-channel network simulator.
@@ -102,6 +141,8 @@ func New(cfg Config) *Network {
 	if n.watchdogCycles == 0 {
 		n.watchdogCycles = 10000
 	}
+	n.probe = cfg.Probe
+	n.sorter = reqSorter{n}
 	return n
 }
 
@@ -151,6 +192,12 @@ func (n *Network) Enqueue(src, dst topology.NodeID, length int) *Packet {
 	n.nextID++
 	n.queues[src] = append(n.queues[src], p)
 	return p
+}
+
+// QueueLen reports how many generated messages wait at the node's source
+// queue (not yet injecting).
+func (n *Network) QueueLen(node topology.NodeID) int {
+	return len(n.queues[node]) - n.qhead[node]
 }
 
 // InFlight counts queued plus in-network packets.
@@ -224,10 +271,13 @@ func (n *Network) Step() error {
 		n.occupied[inj] = true
 		n.active = append(n.active, w)
 		progress = true
+		if n.probe != nil {
+			n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
+		}
 	}
 
 	// Phase 2: routing and allocation, local FCFS per router.
-	var reqs []*worm
+	n.requests = n.requests[:0]
 	for _, w := range n.active {
 		if w.arrived || w.routed {
 			continue
@@ -236,29 +286,29 @@ func (n *Network) Step() error {
 			w.arrived = true
 			continue
 		}
-		reqs = append(reqs, w)
+		n.requests = append(n.requests, w)
 	}
-	if len(reqs) > 0 {
-		sort.Slice(reqs, func(i, j int) bool {
-			ri, rj := n.bufRouter(reqs[i].headBuf()), n.bufRouter(reqs[j].headBuf())
-			if ri != rj {
-				return ri < rj
-			}
-			if reqs[i].headerArrival != reqs[j].headerArrival {
-				return reqs[i].headerArrival < reqs[j].headerArrival
-			}
-			return reqs[i].pkt.ID < reqs[j].pkt.ID
-		})
-		for _, w := range reqs {
+	if len(n.requests) > 0 {
+		sort.Sort(&n.sorter)
+		for _, w := range n.requests {
 			r := n.bufRouter(w.headBuf())
-			inDir, inVC := n.bufPort(w.headBuf())
-			for _, out := range n.alg.Candidates(r, w.pkt.Dst, inDir, inVC) {
+			if !w.candsValid {
+				inDir, inVC := n.bufPort(w.headBuf())
+				// Fixed while the header waits in this buffer; computed
+				// once per hop rather than once per cycle.
+				w.cands = n.alg.Candidates(r, w.pkt.Dst, inDir, inVC)
+				w.candsValid = true
+			}
+			for _, out := range w.cands {
 				if n.owner[n.ownerKey(r, out.Dir, out.VC)] == nil {
 					n.owner[n.ownerKey(r, out.Dir, out.VC)] = w
 					w.out = out
 					w.routed = true
 					break
 				}
+			}
+			if !w.routed && n.probe != nil {
+				n.probe.Blocked(n.cycle, r)
 			}
 		}
 	}
@@ -294,6 +344,11 @@ func (n *Network) Step() error {
 			w.pkt.Arrived = n.cycle
 			n.delivered = append(n.delivered, w.pkt)
 			n.packetsDone++
+			if n.probe != nil {
+				p := w.pkt
+				n.probe.Deliver(n.cycle, p.Src, p.Dst, p.Length, p.Hops,
+					p.Injected-p.Created, p.Arrived-p.Injected)
+			}
 		} else {
 			out = append(out, w)
 		}
@@ -303,6 +358,9 @@ func (n *Network) Step() error {
 	}
 	n.active = out
 
+	if n.probe != nil {
+		n.probe.Tick(n.cycle)
+	}
 	n.cycle++
 	if progress {
 		n.lastProgress = n.cycle
@@ -385,6 +443,10 @@ func (n *Network) moveFlit(w *worm, k int) bool {
 		w.pkt.Hops++
 		w.headerArrival = n.cycle
 		w.routed = false
+		w.candsValid = false
+		if n.probe != nil {
+			n.probe.FlitMove(n.cycle, router, w.out.Dir, 1)
+		}
 		n.releaseBehind(w, p)
 		return true
 	}
@@ -402,6 +464,9 @@ func (n *Network) moveFlit(w *worm, k int) bool {
 	n.occupied[nb] = true
 	n.occupied[cur] = false
 	w.pos[k] = p + 1
+	if n.probe != nil {
+		n.probe.FlitMove(n.cycle, router, dir, 1)
+	}
 	n.releaseBehind(w, p)
 	return true
 }

@@ -2,6 +2,7 @@ package turnmodel
 
 import (
 	"turnmodel/internal/adaptiveness"
+	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
@@ -180,6 +181,7 @@ func AveragePathLength(p TrafficPattern, topo Topology) float64 {
 // callers that want to drive it manually.
 type (
 	SimConfig     = sim.Config
+	SimRunParams  = sim.RunParams
 	SimResult     = sim.Result
 	FigureSpec    = sim.FigureSpec
 	FigureResult  = sim.FigureResult
@@ -189,6 +191,32 @@ type (
 	OutputPolicy  = network.OutputPolicy
 	InputPolicy   = network.InputPolicy
 )
+
+// Observability. A Probe receives inject/blocked/flit-move/deliver/tick
+// events from either simulator (attach one via NetworkConfig.Probe,
+// VCNetworkConfig.Probe or SimRunParams.Probe); MetricsCollector is the
+// standard implementation whose MetricsSnapshot — latency percentiles from
+// a log-bucketed histogram, queueing/in-network delay split, per-channel
+// utilization, blocked cycles and an occupancy trace — lands in
+// SimResult.Metrics when SimRunParams.Metrics is set. With no probe
+// attached the simulators' hot loops pay nothing (zero allocations,
+// enforced by a benchmark gate in CI). See docs/metrics.md.
+type (
+	Probe            = metrics.Probe
+	MetricsCollector = metrics.Collector
+	MetricsOptions   = metrics.Options
+	MetricsSnapshot  = metrics.Snapshot
+	MetricsHistogram = metrics.Histogram
+)
+
+// NewMetricsCollector builds a collector for the given topology; drive a
+// simulator with it attached as the probe, then call Snapshot.
+func NewMetricsCollector(topo Topology, opts MetricsOptions) *MetricsCollector {
+	return metrics.NewCollector(topo, opts)
+}
+
+// TeeProbes fans simulation events out to both probes (either may be nil).
+func TeeProbes(a, b Probe) Probe { return metrics.Tee(a, b) }
 
 // FlitsPerMicrosecond is the paper's channel bandwidth (20 flits/us).
 const FlitsPerMicrosecond = network.FlitsPerMicrosecond
@@ -241,11 +269,25 @@ func HashSweepSeed(base int64, figureID, algorithm string, rateIdx int) int64 {
 }
 
 // Output and input selection policies (Section 6 and the [19] ablation).
+// The named registry (NewOutputPolicy/NewInputPolicy) mirrors NewRouting;
+// the per-policy constructors remain as conveniences.
 func LowestDimensionOutput() OutputPolicy { return network.LowestDimension{} }
 func RandomOutput() OutputPolicy          { return network.RandomOutput{} }
 func StraightFirstOutput() OutputPolicy   { return network.StraightFirst{} }
 func LocalFCFSInput() InputPolicy         { return network.LocalFCFS{} }
 func OldestFirstInput() InputPolicy       { return network.OldestFirst{} }
+
+// NewOutputPolicy resolves an output selection policy by name; see
+// OutputPolicyNames for the registry.
+func NewOutputPolicy(name string) (OutputPolicy, error) { return network.NewOutputPolicy(name) }
+
+// NewInputPolicy resolves an input selection policy by name; see
+// InputPolicyNames for the registry.
+func NewInputPolicy(name string) (InputPolicy, error) { return network.NewInputPolicy(name) }
+
+// OutputPolicyNames and InputPolicyNames list the canonical policy names.
+func OutputPolicyNames() []string { return network.OutputPolicyNames() }
+func InputPolicyNames() []string  { return network.InputPolicyNames() }
 
 // Virtual channels (Section 4.2 / reference [18]). VCRouting algorithms
 // route over (direction, virtual channel) pairs; the VCNetwork simulator
@@ -279,9 +321,20 @@ func NewVCNetwork(cfg VCNetworkConfig) *VCNetwork { return vcnet.New(cfg) }
 // SimulateVC executes one virtual-channel simulation run.
 func SimulateVC(cfg VCSimConfig) SimResult { return sim.RunVC(cfg) }
 
+// VCComparisonResult is the structured outcome of the Section 7 / [18]
+// extension experiment; render it with its Table method.
+type VCComparisonResult = sim.VCComparisonResult
+
 // VCComparison runs the Section 7 / [18] extension experiment comparing
-// double-y against the no-extra-channel algorithms.
+// double-y against the no-extra-channel algorithms and renders the
+// archived table. CompareVC returns the structured results instead.
 func VCComparison(warmup, measure, seed int64) string {
+	return sim.VCComparison(warmup, measure, seed).Table()
+}
+
+// CompareVC runs the same experiment and returns the structured per-rate
+// results (VCComparison renders exactly CompareVC(...).Table()).
+func CompareVC(warmup, measure, seed int64) VCComparisonResult {
 	return sim.VCComparison(warmup, measure, seed)
 }
 

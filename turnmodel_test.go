@@ -147,19 +147,24 @@ func TestFacadeSimulation(t *testing.T) {
 	mesh := turnmodel.NewMesh2D(8, 8)
 	alg, _ := turnmodel.NewRouting("west-first", mesh)
 	res := turnmodel.Simulate(turnmodel.SimConfig{
-		Routing:       alg,
-		Pattern:       turnmodel.UniformTraffic(mesh),
-		InjectionRate: 0.05,
-		WarmupCycles:  3000,
-		MeasureCycles: 20000,
-		Seed:          5,
+		Routing: alg,
+		RunParams: turnmodel.SimRunParams{
+			Pattern:       turnmodel.UniformTraffic(mesh),
+			InjectionRate: 0.05,
+			WarmupCycles:  3000,
+			MeasureCycles: 20000,
+			Seed:          5,
+		},
 	})
 	if !res.Sustainable || res.Packets == 0 {
 		t.Errorf("simulation failed: %+v", res)
 	}
 	rs := turnmodel.SweepRates(turnmodel.SimConfig{
-		Routing: alg, Pattern: turnmodel.UniformTraffic(mesh),
-		WarmupCycles: 1000, MeasureCycles: 2000,
+		Routing: alg,
+		RunParams: turnmodel.SimRunParams{
+			Pattern:      turnmodel.UniformTraffic(mesh),
+			WarmupCycles: 1000, MeasureCycles: 2000,
+		},
 	}, []float64{0.01, 0.02})
 	if len(rs) != 2 {
 		t.Fatalf("sweep returned %d results", len(rs))
@@ -275,12 +280,14 @@ func TestFacadeVirtualChannels(t *testing.T) {
 	}
 	// One VC simulation run.
 	res := turnmodel.SimulateVC(turnmodel.VCSimConfig{
-		Routing:       dy,
-		Pattern:       turnmodel.UniformTraffic(mesh),
-		InjectionRate: 0.04,
-		WarmupCycles:  1000,
-		MeasureCycles: 4000,
-		Seed:          3,
+		Routing: dy,
+		RunParams: turnmodel.SimRunParams{
+			Pattern:       turnmodel.UniformTraffic(mesh),
+			InjectionRate: 0.04,
+			WarmupCycles:  1000,
+			MeasureCycles: 4000,
+			Seed:          3,
+		},
 	})
 	if res.Packets == 0 || res.Deadlocked {
 		t.Errorf("VC simulation failed: %+v", res)

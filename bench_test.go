@@ -356,6 +356,45 @@ func BenchmarkNetworkStepTraffic(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkStepFaultedRecovery measures the same moving-traffic
+// engine with the full fault subsystem live: a random transient-fault
+// process advancing every cycle and deadlock recovery armed. The delta
+// against BenchmarkNetworkStepTraffic is the whole price of resilience.
+func BenchmarkNetworkStepFaultedRecovery(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
+		Routing: alg, Seed: 1,
+		FaultPlan: turnmodel.FaultPlan{Rate: 1e-6, Repair: 500, Seed: 3},
+		Recovery:  turnmodel.FaultRecovery{Enabled: true},
+	})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		src := turnmodel.NodeID(rng.Intn(256))
+		dst := turnmodel.NodeID(rng.Intn(256))
+		if src != dst {
+			net.Enqueue(src, dst, 10+rng.Intn(190))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50 == 0 {
+			src := turnmodel.NodeID(rng.Intn(256))
+			dst := turnmodel.NodeID(rng.Intn(256))
+			if src != dst {
+				net.Enqueue(src, dst, 10)
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtensionHex benchmarks the Section 7 hexagonal-mesh extension
 // experiment (one sweep point per algorithm per iteration).
 func BenchmarkExtensionHex(b *testing.B) {

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"turnmodel/internal/cli"
+	"turnmodel/internal/fault"
 	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
@@ -32,6 +33,12 @@ func main() {
 		useVC    = flag.Bool("vc", false, "run on the virtual-channel simulator (accepts VC algorithms such as double-y, dateline-dor, ccc-ascending)")
 		metrics  = flag.Bool("metrics", false, "collect and print run metrics: latency percentiles, delay split, channel-utilization heatmap")
 		verbose  = flag.Bool("v", false, "print the full result breakdown")
+
+		faults      = flag.String("faults", "", "static faults: comma-separated channels N:dir (5:e, 5:+0) and failed nodes nodeN")
+		faultRate   = flag.Float64("faultrate", 0, "per-cycle per-channel failure probability of the random fault process")
+		faultRepair = flag.Int64("faultrepair", 0, "repair delay in cycles for random faults; 0 makes them permanent")
+		faultSeed   = flag.Int64("faultseed", 0, "seed of the random fault process; 0 derives it from -seed")
+		recovery    = flag.Bool("recovery", false, "enable deadlock recovery: abort stalled worms and retry from the source with backoff")
 	)
 	flag.String("output-policy", "", "deprecated alias for -output")
 	flag.String("input-policy", "", "deprecated alias for -input")
@@ -59,6 +66,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	plan, err := cli.ParseFaults(*faults, topo)
+	if err != nil {
+		fatal(err)
+	}
+	plan.Rate = *faultRate
+	plan.Repair = *faultRepair
+	plan.Seed = *faultSeed
+	if plan.Seed == 0 {
+		plan.Seed = *seed + 1
+	}
+	rec := fault.Recovery{Enabled: *recovery}
 	if *useVC {
 		valg, err := vc.New(*algName, topo)
 		if err != nil {
@@ -73,6 +91,8 @@ func main() {
 				MeasureCycles: *measure,
 				Seed:          *seed,
 				Metrics:       *metrics,
+				FaultPlan:     plan,
+				Recovery:      rec,
 			},
 		})
 		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
@@ -101,6 +121,8 @@ func main() {
 			MeasureCycles: *measure,
 			Seed:          *seed,
 			Metrics:       *metrics,
+			FaultPlan:     plan,
+			Recovery:      rec,
 		},
 		Output: output,
 		Input:  input,
@@ -124,6 +146,11 @@ func report(topo, alg, pattern string, res sim.Result, verbose bool) {
 	fmt.Printf("offered    %.1f flits/us network-wide (%.4f flits/node/cycle)\n", res.OfferedFlitsPerUs, res.InjectionRate)
 	fmt.Printf("throughput %.1f flits/us\nlatency    %.2f us average (p95 %.2f us)\n", res.ThroughputFlitsPerUs, res.AvgLatencyUs, res.P95LatencyUs)
 	fmt.Printf("sustainable %v\n", res.Sustainable)
+	if res.FaultEvents > 0 || res.Dropped > 0 || res.Aborted > 0 {
+		fmt.Printf("delivered  %d of %d packets (%.2f%%); %d dropped, %d aborted, %d retried, %d fault events\n",
+			res.Delivered, res.Delivered+res.Dropped, 100*res.DeliveredFraction,
+			res.Dropped, res.Aborted, res.Retried, res.FaultEvents)
+	}
 	if res.Deadlocked {
 		fmt.Println("DEADLOCK detected by the watchdog")
 	}

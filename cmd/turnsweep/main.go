@@ -24,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"turnmodel/internal/cli"
+	"turnmodel/internal/fault"
 	"turnmodel/internal/sim"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
@@ -49,6 +51,12 @@ func main() {
 		plot     = flag.Bool("plot", false, "also render an ASCII latency-vs-throughput chart")
 		vcrun    = flag.Bool("vc", false, "run the virtual-channel extension experiment (double-y vs west-first vs xy)")
 		metrics  = flag.Bool("metrics", false, "collect per-point metrics (channel utilization, latency percentiles); printed per figure and included in the -json report (schema v2)")
+
+		resilience  = flag.String("resilience", "", "run resilience figures (graceful degradation vs fault rate): comma-separated IDs or \"all\"")
+		faults      = flag.String("faults", "", "static faults applied to every figure job: comma-separated channels N:dir and failed nodes nodeN")
+		faultRate   = flag.Float64("faultrate", 0, "per-cycle per-channel failure probability applied to every figure job")
+		faultRepair = flag.Int64("faultrepair", 0, "repair delay in cycles for random faults; 0 makes them permanent")
+		recovery    = flag.Bool("recovery", false, "enable deadlock recovery (abort + source retry) in every figure job")
 	)
 	flag.Parse()
 
@@ -73,6 +81,34 @@ func main() {
 	}
 	if *vcrun {
 		fmt.Println(sim.VCComparison(*warmup, *measure, *seed).Table())
+		ran = true
+	}
+	if *resilience != "" {
+		var rspecs []sim.ResilienceSpec
+		if *resilience == "all" {
+			rspecs = sim.ResilienceFigures()
+		} else {
+			for _, id := range strings.Split(*resilience, ",") {
+				id = strings.TrimSpace(id)
+				if id == "" {
+					continue
+				}
+				rs, ok := sim.ResilienceByID(id)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "turnsweep: unknown resilience figure %q\n", id)
+					os.Exit(1)
+				}
+				rspecs = append(rspecs, rs)
+			}
+		}
+		for _, rs := range rspecs {
+			rr, err := sim.RunResilience(rs, *warmup, *measure, *seed, cli.Jobs(*jobs))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "turnsweep:", err)
+				os.Exit(1)
+			}
+			fmt.Println(rr.Table())
+		}
 		ran = true
 	}
 	var specs []sim.FigureSpec
@@ -101,6 +137,28 @@ func main() {
 			Jobs:          cli.Jobs(*jobs),
 			SeedFn:        seedFn,
 			Metrics:       *metrics,
+			FaultPlan:     fault.Plan{Rate: *faultRate, Repair: *faultRepair},
+			Recovery:      fault.Recovery{Enabled: *recovery},
+		}
+		if *faults != "" {
+			// Static fault channels must exist in every topology being
+			// swept; parse against the first figure's topology and validate
+			// against the rest so a bad spec fails before any simulation.
+			fp, err := cli.ParseFaults(*faults, specs[0].NewTopology())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "turnsweep:", err)
+				os.Exit(1)
+			}
+			for _, spec := range specs[1:] {
+				fp2 := fp
+				fp2.Rate, fp2.Repair = plan.FaultPlan.Rate, plan.FaultPlan.Repair
+				if err := fault.Validate(spec.NewTopology(), fp2); err != nil {
+					fmt.Fprintf(os.Stderr, "turnsweep: figure %s: %v\n", spec.ID, err)
+					os.Exit(1)
+				}
+			}
+			plan.FaultPlan.Static = fp.Static
+			plan.FaultPlan.Nodes = fp.Nodes
 		}
 		if *progress && stderrIsTerminal() {
 			plan.Progress = printProgress

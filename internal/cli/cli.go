@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/network"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
@@ -133,6 +134,78 @@ func ParseFigureIDs(spec string) []string {
 		ids = append(ids, part)
 	}
 	return ids
+}
+
+// ParseFaults turns a comma-separated -faults value into the static part
+// of a fault plan. Each token is either a broken unidirectional channel,
+// written as the source node and a direction ("5:e", "5:east", or the
+// dimension form "5:+0" / "5:-1" for topologies beyond 2D), or a failed
+// node written "nodeN", which breaks every channel into and out of node N.
+// The empty spec yields an empty plan. Directions are resolved and
+// validated against topo, so a fault on a channel the topology does not
+// have (an edge channel of a mesh, say) is an error here rather than a
+// panic in the engine.
+func ParseFaults(spec string, topo topology.Topology) (fault.Plan, error) {
+	var plan fault.Plan
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(tok, "node"); ok {
+			id, err := strconv.Atoi(rest)
+			if err != nil {
+				return fault.Plan{}, fmt.Errorf("cli: bad fault token %q (want nodeN)", tok)
+			}
+			plan.Nodes = append(plan.Nodes, topology.NodeID(id))
+			continue
+		}
+		nodeStr, dirStr, ok := strings.Cut(tok, ":")
+		if !ok {
+			return fault.Plan{}, fmt.Errorf("cli: bad fault token %q (want N:dir or nodeN)", tok)
+		}
+		id, err := strconv.Atoi(nodeStr)
+		if err != nil {
+			return fault.Plan{}, fmt.Errorf("cli: bad fault source in %q", tok)
+		}
+		dir, err := parseDirection(dirStr)
+		if err != nil {
+			return fault.Plan{}, fmt.Errorf("cli: %v in %q", err, tok)
+		}
+		from := topology.NodeID(id)
+		to, exists := topo.Neighbor(from, dir)
+		if !exists {
+			return fault.Plan{}, fmt.Errorf("cli: fault %q names a channel %s has not: node %d has no %s neighbor",
+				tok, topo.Name(), id, dir)
+		}
+		plan.Static = append(plan.Static, topology.Channel{From: from, To: to, Dir: dir})
+	}
+	if err := fault.Validate(topo, plan); err != nil {
+		return fault.Plan{}, fmt.Errorf("cli: %v", err)
+	}
+	return plan, nil
+}
+
+// parseDirection resolves a direction token: a compass name for 2D
+// topologies or the generic "+k"/"-k" dimension form.
+func parseDirection(s string) (topology.Direction, error) {
+	switch strings.ToLower(s) {
+	case "w", "west":
+		return topology.West, nil
+	case "e", "east":
+		return topology.East, nil
+	case "s", "south":
+		return topology.South, nil
+	case "n", "north":
+		return topology.North, nil
+	}
+	if len(s) >= 2 && (s[0] == '+' || s[0] == '-') {
+		dim, err := strconv.Atoi(s[1:])
+		if err == nil && dim >= 0 {
+			return topology.Dir(dim, s[0] == '+'), nil
+		}
+	}
+	return topology.Invalid, fmt.Errorf("bad direction %q (want w/e/s/n, west/east/south/north, or +k/-k)", s)
 }
 
 // Jobs normalizes a -jobs flag value: anything below one selects

@@ -136,3 +136,37 @@ func TestParsePolicies(t *testing.T) {
 		t.Error("bad input policy accepted")
 	}
 }
+
+func TestParseFaults(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	plan, err := ParseFaults("5:e, 5:north, 6:+0, 9:-1, node12", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Static) != 4 || len(plan.Nodes) != 1 {
+		t.Fatalf("parsed %d channels, %d nodes, want 4, 1", len(plan.Static), len(plan.Nodes))
+	}
+	want := []topology.Channel{
+		{From: 5, To: 6, Dir: topology.East},
+		{From: 5, To: 9, Dir: topology.North},
+		{From: 6, To: 7, Dir: topology.East},
+		{From: 9, To: 5, Dir: topology.South},
+	}
+	for i, ch := range plan.Static {
+		if ch != want[i] {
+			t.Errorf("channel %d: %v, want %v", i, ch, want[i])
+		}
+	}
+	if plan.Nodes[0] != 12 {
+		t.Errorf("failed node %d, want 12", plan.Nodes[0])
+	}
+
+	if p, err := ParseFaults("", mesh); err != nil || !p.Empty() {
+		t.Errorf("empty spec: plan %+v, err %v", p, err)
+	}
+	for _, bad := range []string{"0:w", "5", "5:q", "node", "nodeX", "99:e", "5:+9"} {
+		if _, err := ParseFaults(bad, mesh); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}

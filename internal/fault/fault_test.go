@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"missing channel", Plan{Static: []topology.Channel{
+			{From: 0, Dir: topology.West}, // node 0 has no west neighbor
+		}}},
+		{"invalid direction", Plan{Static: []topology.Channel{
+			{From: 0, Dir: topology.Direction(9)},
+		}}},
+		{"node out of range", Plan{Nodes: []topology.NodeID{16}}},
+		{"negative node", Plan{Nodes: []topology.NodeID{-1}}},
+		{"rate one", Plan{Rate: 1}},
+		{"negative rate", Plan{Rate: -0.5}},
+		{"negative repair", Plan{Rate: 0.1, Repair: -1}},
+	}
+	for _, tc := range cases {
+		if err := Validate(mesh, tc.plan); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.plan)
+		}
+	}
+	if err := Validate(mesh, Plan{}); err != nil {
+		t.Errorf("empty plan rejected: %v", err)
+	}
+}
+
+func TestNodeFailureBreaksAllIncidentChannels(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	// Node 5 = (1,1) is interior: 4 outgoing + 4 incoming channels.
+	s := MustNew(Plan{Nodes: []topology.NodeID{5}}, mesh)
+	dims2 := 2 * mesh.Dims()
+	for d := 0; d < dims2; d++ {
+		dir := topology.Direction(d)
+		if !s.Faulted[5*dims2+d] {
+			t.Errorf("outgoing channel 5:%s not faulted", dir)
+		}
+		nb, ok := mesh.Neighbor(5, dir)
+		if !ok {
+			t.Fatalf("node 5 missing %s neighbor", dir)
+		}
+		if !s.Faulted[int(nb)*dims2+int(dir.Opposite())] {
+			t.Errorf("incoming channel %d:%s not faulted", nb, dir.Opposite())
+		}
+	}
+	if s.ActiveFaults() != 2*dims2 {
+		t.Errorf("ActiveFaults = %d, want %d", s.ActiveFaults(), 2*dims2)
+	}
+	// Other channels stay up.
+	if s.Faulted[0*dims2+int(topology.East)] {
+		t.Error("unrelated channel 0:east faulted")
+	}
+}
+
+func TestRandomProcessIsDeterministic(t *testing.T) {
+	mesh := topology.NewMesh2D(8, 8)
+	plan := Plan{Rate: 1e-5, Repair: 500, Seed: 42}
+	a := MustNew(plan, mesh)
+	b := MustNew(plan, mesh)
+	for c := int64(0); c < 50000; c++ {
+		a.Advance(c)
+		b.Advance(c)
+		if a.Epoch() != b.Epoch() {
+			t.Fatalf("cycle %d: epochs diverge (%d vs %d)", c, a.Epoch(), b.Epoch())
+		}
+	}
+	if a.FailEvents() == 0 {
+		t.Fatal("no failures in 50000 cycles at rate 1e-5 over 224 channels")
+	}
+	if a.FailEvents() != b.FailEvents() || a.ActiveFaults() != b.ActiveFaults() {
+		t.Fatalf("streams diverge: %d/%d events, %d/%d active",
+			a.FailEvents(), b.FailEvents(), a.ActiveFaults(), b.ActiveFaults())
+	}
+	for i := range a.Faulted {
+		if a.Faulted[i] != b.Faulted[i] {
+			t.Fatalf("fault bitmaps diverge at key %d", i)
+		}
+	}
+}
+
+func TestTransientFaultsRepair(t *testing.T) {
+	mesh := topology.NewMesh2D(8, 8)
+	var fails, repairs int
+	s := MustNew(Plan{Rate: 1e-4, Repair: 100, Seed: 7}, mesh)
+	s.OnChange = func(from topology.NodeID, dir topology.Direction, failed bool) {
+		if failed {
+			fails++
+		} else {
+			repairs++
+		}
+	}
+	for c := int64(0); c < 100000; c++ {
+		s.Advance(c)
+	}
+	if fails == 0 || repairs == 0 {
+		t.Fatalf("fails=%d repairs=%d, want both > 0", fails, repairs)
+	}
+	// Every fault eventually repairs: active faults are only those whose
+	// repair is still pending, bounded by fails - repairs.
+	if got := fails - repairs; s.ActiveFaults() != got {
+		t.Errorf("ActiveFaults = %d, want fails-repairs = %d", s.ActiveFaults(), got)
+	}
+}
+
+func TestPermanentRandomFaultsNeverRepair(t *testing.T) {
+	mesh := topology.NewMesh2D(8, 8)
+	s := MustNew(Plan{Rate: 1e-4, Repair: 0, Seed: 7}, mesh)
+	s.OnChange = func(_ topology.NodeID, _ topology.Direction, failed bool) {
+		if !failed {
+			t.Fatal("permanent fault repaired")
+		}
+	}
+	for c := int64(0); c < 100000; c++ {
+		s.Advance(c)
+	}
+	if int64(s.ActiveFaults()) != s.FailEvents() {
+		t.Errorf("ActiveFaults = %d, want FailEvents = %d", s.ActiveFaults(), s.FailEvents())
+	}
+}
+
+func TestRecoveryBackoff(t *testing.T) {
+	r := Recovery{Enabled: true}.WithDefaults()
+	if r.StallCycles <= 0 || r.BackoffBase <= 0 || r.BackoffCap < r.BackoffBase || r.MaxRetries <= 0 {
+		t.Fatalf("bad defaults: %+v", r)
+	}
+	prev := int64(0)
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := r.Backoff(attempt)
+		if d < prev {
+			t.Fatalf("attempt %d: backoff %d shrank from %d", attempt, d, prev)
+		}
+		if d > r.BackoffCap {
+			t.Fatalf("attempt %d: backoff %d above cap %d", attempt, d, r.BackoffCap)
+		}
+		prev = d
+	}
+	if r.Backoff(1) != r.BackoffBase {
+		t.Errorf("first backoff = %d, want base %d", r.Backoff(1), r.BackoffBase)
+	}
+	if r.Backoff(20) != r.BackoffCap {
+		t.Errorf("late backoff = %d, want cap %d", r.Backoff(20), r.BackoffCap)
+	}
+}

@@ -69,6 +69,11 @@ type Collector struct {
 	netDelay     int64
 	hist         Histogram
 
+	faultEvents    int64
+	packetsAborted int64
+	packetsRetried int64
+	packetsDropped int64
+
 	// inFlightFlits tracks flits committed to the network (injected packet
 	// lengths minus delivered packet lengths); the occupancy trace samples
 	// it. Spans the whole run, not the window.
@@ -118,6 +123,7 @@ func (c *Collector) BeginMeasurement(cycle int64) {
 	c.blockedTotal = 0
 	c.packetsIn, c.packetsOut = 0, 0
 	c.queueDelay, c.netDelay = 0, 0
+	c.faultEvents, c.packetsAborted, c.packetsRetried, c.packetsDropped = 0, 0, 0, 0
 	c.hist.Reset()
 }
 
@@ -145,6 +151,31 @@ func (c *Collector) Deliver(cycle int64, src, dst topology.NodeID, length, hops 
 	c.queueDelay += queueDelay
 	c.netDelay += netDelay
 	c.hist.Observe(queueDelay + netDelay)
+}
+
+// Fault implements Probe. Only channel-break events are counted; repairs
+// tick the same channel back into service without a counter of their own.
+func (c *Collector) Fault(cycle int64, from topology.NodeID, dir topology.Direction, failed bool) {
+	if failed {
+		c.faultEvents++
+	}
+}
+
+// Abort implements Probe. The aborted worm's flits leave the network, so
+// the occupancy accounting gives them back.
+func (c *Collector) Abort(cycle int64, src, dst topology.NodeID, length, attempt int) {
+	c.packetsAborted++
+	c.inFlightFlits -= int64(length)
+}
+
+// Retry implements Probe.
+func (c *Collector) Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64) {
+	c.packetsRetried++
+}
+
+// Drop implements Probe.
+func (c *Collector) Drop(cycle int64, src, dst topology.NodeID, length int, reason DropReason) {
+	c.packetsDropped++
 }
 
 // Tick implements Probe.
@@ -207,6 +238,10 @@ func (c *Collector) Snapshot() *Snapshot {
 		WindowCycles:     elapsed,
 		PacketsInjected:  c.packetsIn,
 		PacketsDelivered: c.packetsOut,
+		FaultEvents:      c.faultEvents,
+		PacketsAborted:   c.packetsAborted,
+		PacketsRetried:   c.packetsRetried,
+		PacketsDropped:   c.packetsDropped,
 		BlockedCycles:    c.blockedTotal,
 		NodeBlocked:      append([]int64(nil), c.nodeBlocked...),
 		ChannelUtil:      make([]float64, len(c.channelFlits)),
@@ -260,6 +295,14 @@ type Snapshot struct {
 	// network and reaching their destination inside the window.
 	PacketsInjected  int64 `json:"packets_injected"`
 	PacketsDelivered int64 `json:"packets_delivered"`
+	// Fault and recovery accounting inside the window (schema v3): channel
+	// breaks, worms aborted by deadlock recovery, source retries of aborted
+	// packets, and packets dropped (unreachable or retry budget exhausted).
+	// All zero — and omitted from JSON — when no faults are configured.
+	FaultEvents    int64 `json:"fault_events,omitempty"`
+	PacketsAborted int64 `json:"packets_aborted,omitempty"`
+	PacketsRetried int64 `json:"packets_retried,omitempty"`
+	PacketsDropped int64 `json:"packets_dropped,omitempty"`
 	// Latency percentiles over packets delivered in the window, from the
 	// log-bucketed histogram (≤12.5% relative bucketing error), in
 	// microseconds at the configured channel bandwidth.

@@ -35,6 +35,19 @@ import "turnmodel/internal/topology"
 //     queueDelay is the time from generation to injection (source
 //     queueing), netDelay from injection to tail consumption; both are in
 //     cycles and sum to the packet's end-to-end latency.
+//   - Fault: the channel leaving `from` in direction `dir` broke
+//     (failed=true) or was repaired (failed=false). Emitted by the
+//     fault-injection layer as the fault plan advances.
+//   - Abort: deadlock recovery yanked a blocked worm out of the network:
+//     its flits were drained and its buffers and channels released.
+//     attempt counts the packet's aborts so far (1 on the first). The
+//     packet either retries (a later Retry then Inject) or is dropped (a
+//     Drop follows in the same cycle), so in-flight accounting derived
+//     from Inject/Deliver must subtract aborted injections.
+//   - Retry: an aborted packet was requeued at its source, to reinject
+//     after `delay` cycles of backoff.
+//   - Drop: a packet was abandoned: its destination became unreachable
+//     under the current fault set, or its retry budget ran out.
 //   - Tick: the simulator finished one Step. cycle is the cycle that just
 //     completed; Tick(c) is emitted after every event of cycle c.
 type Probe interface {
@@ -42,7 +55,33 @@ type Probe interface {
 	Blocked(cycle int64, node topology.NodeID)
 	FlitMove(cycle int64, from topology.NodeID, dir topology.Direction, flits int)
 	Deliver(cycle int64, src, dst topology.NodeID, length, hops int, queueDelay, netDelay int64)
+	Fault(cycle int64, from topology.NodeID, dir topology.Direction, failed bool)
+	Abort(cycle int64, src, dst topology.NodeID, length, attempt int)
+	Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64)
+	Drop(cycle int64, src, dst topology.NodeID, length int, reason DropReason)
 	Tick(cycle int64)
+}
+
+// DropReason says why a packet was dropped rather than delivered.
+type DropReason int
+
+const (
+	// DropUnreachable: no fault-free path permitted by the routing
+	// algorithm leads from the packet's position to its destination.
+	DropUnreachable DropReason = iota
+	// DropRetriesExhausted: the packet was aborted more times than the
+	// recovery policy's retry budget allows.
+	DropRetriesExhausted
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropUnreachable:
+		return "unreachable"
+	case DropRetriesExhausted:
+		return "retries-exhausted"
+	}
+	return "unknown"
 }
 
 // Tee fans every event out to both probes, a first, in order. Either may be
@@ -77,6 +116,26 @@ func (t *tee) FlitMove(cycle int64, from topology.NodeID, dir topology.Direction
 func (t *tee) Deliver(cycle int64, src, dst topology.NodeID, length, hops int, queueDelay, netDelay int64) {
 	t.a.Deliver(cycle, src, dst, length, hops, queueDelay, netDelay)
 	t.b.Deliver(cycle, src, dst, length, hops, queueDelay, netDelay)
+}
+
+func (t *tee) Fault(cycle int64, from topology.NodeID, dir topology.Direction, failed bool) {
+	t.a.Fault(cycle, from, dir, failed)
+	t.b.Fault(cycle, from, dir, failed)
+}
+
+func (t *tee) Abort(cycle int64, src, dst topology.NodeID, length, attempt int) {
+	t.a.Abort(cycle, src, dst, length, attempt)
+	t.b.Abort(cycle, src, dst, length, attempt)
+}
+
+func (t *tee) Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64) {
+	t.a.Retry(cycle, src, dst, attempt, delay)
+	t.b.Retry(cycle, src, dst, attempt, delay)
+}
+
+func (t *tee) Drop(cycle int64, src, dst topology.NodeID, length int, reason DropReason) {
+	t.a.Drop(cycle, src, dst, length, reason)
+	t.b.Drop(cycle, src, dst, length, reason)
 }
 
 func (t *tee) Tick(cycle int64) {

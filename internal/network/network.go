@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
@@ -46,8 +47,21 @@ type Config struct {
 	// never allocated; packets route around it when their algorithm
 	// offers an alternative (the fault-tolerance benefit the paper
 	// claims for adaptive and especially nonminimal routing) and stall
-	// until the watchdog fires when it does not.
+	// until the watchdog fires when it does not. Faults is shorthand for
+	// FaultPlan.Static; the two lists are merged.
 	Faults []topology.Channel
+	// FaultPlan is the full fault workload: static channels, failed
+	// nodes, and a seeded random per-cycle link-failure process with
+	// optional repair (see fault.Plan). The zero plan injects nothing.
+	FaultPlan fault.Plan
+	// Recovery switches the watchdog from fail-stop to deadlock
+	// recovery: a worm whose header has not moved for
+	// Recovery.StallCycles is aborted — its flits drained, its buffers
+	// and channels released — and retried from the source after capped
+	// exponential backoff, or dropped once the retry budget is spent or
+	// its destination is unreachable under the current fault set. With
+	// Recovery.Enabled, Step never returns DeadlockError.
+	Recovery fault.Recovery
 	// RoutingDelay models the cost Section 7 warns adaptive routing may
 	// add ("more complex control logic for route selection ... may
 	// increase node delay"): each routing decision takes RoutingDelay
@@ -92,6 +106,15 @@ type Network struct {
 	outOwner []*worm // router*2n+dir -> holder of the output channel
 	faulted  []bool  // router*2n+dir -> channel is broken
 
+	// faults drives the dynamic fault plan; nil when the plan is empty.
+	// When non-nil, faulted aliases faults.Faulted so output allocation
+	// keeps its single-load fault check.
+	faults   *fault.State
+	recovery fault.Recovery
+	// retries holds aborted packets waiting out their backoff at the
+	// source (per node); nil unless recovery is enabled.
+	retries [][]retryEntry
+
 	queues [][]*Packet // per-node source queues (FIFO)
 	qhead  []int
 
@@ -102,9 +125,20 @@ type Network struct {
 	nextID         int64
 	flitsConsumed  int64
 	packetsDone    int64
+	packetsAborted int64
+	packetsRetried int64
+	packetsDropped int64
 	lastProgress   int64
 	watchdogCycles int64
 	routingDelay   int64
+
+	// Reachability-BFS scratch (recovery mode only): stamped visited
+	// marks over (node, inPort, wrap) states, reused across queries.
+	reachSeen  []int32
+	reachQueue []int32
+	reachStamp int32
+	// victims is the per-cycle scratch list of timed-out worms.
+	victims []*worm
 	// channelFlits counts the flits each output channel has carried,
 	// for load analysis (router*2n+dir).
 	channelFlits []int64
@@ -117,6 +151,13 @@ type Network struct {
 	sorter   reqSorter
 	freeBase int
 	freeFn   func(topology.Direction) bool
+}
+
+// retryEntry is one aborted packet waiting at its source to reinject at
+// cycle `at`.
+type retryEntry struct {
+	p  *Packet
+	at int64
 }
 
 // reqSorter orders the pending requests by router, then by the input
@@ -163,12 +204,27 @@ func New(cfg Config) *Network {
 	n.ports = 2*n.dims + 1
 	n.occupied = make([]bool, topo.Nodes()*n.ports)
 	n.outOwner = make([]*worm, topo.Nodes()*2*n.dims)
-	n.faulted = make([]bool, topo.Nodes()*2*n.dims)
-	for _, ch := range cfg.Faults {
-		if _, ok := topo.Neighbor(ch.From, ch.Dir); !ok {
-			panic(fmt.Sprintf("network: fault on nonexistent channel %v", ch))
+	plan := cfg.FaultPlan
+	if len(cfg.Faults) > 0 {
+		plan.Static = append(append([]topology.Channel(nil), plan.Static...), cfg.Faults...)
+	}
+	if plan.Empty() {
+		n.faulted = make([]bool, topo.Nodes()*2*n.dims)
+	} else {
+		n.faults = fault.MustNew(plan, topo)
+		// Alias the fault state's bitmap: output allocation reads it with
+		// one load, and Advance's transitions are visible immediately.
+		n.faulted = n.faults.Faulted
+		n.faults.OnChange = func(from topology.NodeID, dir topology.Direction, failed bool) {
+			if n.probe != nil {
+				n.probe.Fault(n.cycle, from, dir, failed)
+			}
 		}
-		n.faulted[int(ch.From)*2*n.dims+int(ch.Dir)] = true
+	}
+	n.recovery = cfg.Recovery
+	if n.recovery.Enabled {
+		n.recovery = n.recovery.WithDefaults()
+		n.retries = make([][]retryEntry, topo.Nodes())
 	}
 	n.queues = make([][]*Packet, topo.Nodes())
 	n.qhead = make([]int, topo.Nodes())
@@ -243,11 +299,16 @@ func (n *Network) MaxQueueLen() int {
 	return max
 }
 
-// InFlight counts packets that are queued or have flits in the network.
+// InFlight counts packets that are queued, have flits in the network, or
+// are waiting out a retry backoff after an abort. Dropped packets are not
+// in flight: enqueued = delivered + dropped + in-flight at all times.
 func (n *Network) InFlight() int {
 	total := len(n.active)
 	for i := range n.queues {
 		total += len(n.queues[i]) - n.qhead[i]
+	}
+	for i := range n.retries {
+		total += len(n.retries[i])
 	}
 	return total
 }
@@ -258,6 +319,34 @@ func (n *Network) FlitsConsumed() int64 { return n.flitsConsumed }
 
 // PacketsDelivered is the total number of completed packets.
 func (n *Network) PacketsDelivered() int64 { return n.packetsDone }
+
+// PacketsAborted counts worm aborts by deadlock recovery (a packet aborted
+// k times contributes k).
+func (n *Network) PacketsAborted() int64 { return n.packetsAborted }
+
+// PacketsRetried counts source retries of aborted packets.
+func (n *Network) PacketsRetried() int64 { return n.packetsRetried }
+
+// PacketsDropped counts packets abandoned: destination unreachable under
+// the current fault set, or retry budget exhausted.
+func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
+
+// FaultEvents counts channel-break events applied so far, including static
+// faults. ActiveFaults is the number of channels broken right now.
+func (n *Network) FaultEvents() int64 {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.FailEvents()
+}
+
+// ActiveFaults reports how many channels are currently broken.
+func (n *Network) ActiveFaults() int {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.ActiveFaults()
+}
 
 // TakeDelivered returns the packets completed since the previous call and
 // resets the internal list.
@@ -299,36 +388,71 @@ func (n *Network) inDirOf(w *worm) (topology.Direction, bool) {
 func (n *Network) Step() error {
 	progress := false
 
-	// Phase 1: injection. A queued message's header enters the router's
-	// injection buffer as soon as that buffer is free.
-	for node := range n.queues {
-		if n.qhead[node] >= len(n.queues[node]) {
-			continue
+	// Phase 0: fault transitions and deadlock recovery. The fault plan
+	// applies this cycle's channel breaks and repairs; recovery then
+	// aborts any worm whose header has been stuck past the stall
+	// threshold (the timeout criterion of software-based deadlock
+	// recovery: a genuinely deadlocked worm never moves again, and a
+	// worm starved that long is treated the same).
+	if n.faults != nil {
+		n.faults.Advance(n.cycle)
+	}
+	if n.recovery.Enabled {
+		n.victims = n.victims[:0]
+		for _, w := range n.active {
+			if !w.arrived && n.cycle-w.headerArrival >= n.recovery.StallCycles {
+				n.victims = append(n.victims, w)
+			}
 		}
+		for _, w := range n.victims {
+			n.abort(w)
+		}
+	}
+
+	// Phase 1: injection. A queued message's header enters the router's
+	// injection buffer as soon as that buffer is free. Due retries take
+	// priority over fresh messages; packets whose destination the fault
+	// set has cut off entirely are dropped without entering the network.
+	for node := range n.queues {
 		inj := n.bufID(topology.NodeID(node), 2*n.dims)
 		if n.occupied[inj] {
 			continue
 		}
-		p := n.queues[node][n.qhead[node]]
-		n.queues[node][n.qhead[node]] = nil
-		n.qhead[node]++
-		if n.qhead[node] == len(n.queues[node]) {
-			n.queues[node] = n.queues[node][:0]
-			n.qhead[node] = 0
-		}
-		p.Injected = n.cycle
-		w := &worm{
-			pkt:           p,
-			path:          []int32{inj},
-			sent:          1,
-			outDir:        noDirection,
-			headerArrival: n.cycle,
-		}
-		n.occupied[inj] = true
-		n.active = append(n.active, w)
-		progress = true
-		if n.probe != nil {
-			n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
+		for {
+			p := n.popRetry(node)
+			if p == nil {
+				if n.qhead[node] >= len(n.queues[node]) {
+					break
+				}
+				p = n.queues[node][n.qhead[node]]
+				n.queues[node][n.qhead[node]] = nil
+				n.qhead[node]++
+				if n.qhead[node] == len(n.queues[node]) {
+					n.queues[node] = n.queues[node][:0]
+					n.qhead[node] = 0
+				}
+			}
+			if n.recovery.Enabled && n.faults != nil && n.faults.ActiveFaults() > 0 &&
+				n.cutOff(topology.NodeID(node), p.Dst) {
+				n.drop(p, metrics.DropUnreachable)
+				progress = true
+				continue // the injection buffer is still free; try the next
+			}
+			p.Injected = n.cycle
+			w := &worm{
+				pkt:           p,
+				path:          []int32{inj},
+				sent:          1,
+				outDir:        noDirection,
+				headerArrival: n.cycle,
+			}
+			n.occupied[inj] = true
+			n.active = append(n.active, w)
+			progress = true
+			if n.probe != nil {
+				n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
+			}
+			break
 		}
 	}
 
@@ -419,6 +543,10 @@ func (n *Network) Step() error {
 	n.cycle++
 	if progress {
 		n.lastProgress = n.cycle
+	} else if n.recovery.Enabled {
+		// Recovery mode never fail-stops: stuck worms are aborted by the
+		// per-worm timeout above, and a quiet network with packets only
+		// waiting out retry backoff is making (delayed) progress.
 	} else if n.watchdogCycles > 0 && n.InFlight() > 0 && n.cycle-n.lastProgress >= n.watchdogCycles {
 		stuck := make([]*Packet, 0, 4)
 		for _, w := range n.active {
@@ -430,6 +558,167 @@ func (n *Network) Step() error {
 		return &DeadlockError{Cycle: n.cycle, InFlight: n.InFlight(), Stuck: stuck}
 	}
 	return nil
+}
+
+// popRetry returns the first due retry packet at the node, or nil. Entries
+// are scanned in abort order so an early abort with a long backoff does not
+// block a later one with a short backoff.
+func (n *Network) popRetry(node int) *Packet {
+	if !n.recovery.Enabled {
+		return nil
+	}
+	q := n.retries[node]
+	for i := range q {
+		if q[i].at <= n.cycle {
+			p := q[i].p
+			n.retries[node] = append(q[:i], q[i+1:]...)
+			return p
+		}
+	}
+	return nil
+}
+
+// abort yanks a blocked worm out of the network: every buffer its flits
+// occupy is freed and every channel it still holds (including a pending
+// output allocation) is released, then the packet is either requeued at its
+// source with backoff or dropped. Only never-arrived worms are aborted, and
+// an arrived worm always consumes a flit each cycle, so a victim has
+// delivered no flits — aborting loses nothing that was already consumed.
+func (n *Network) abort(w *worm) {
+	last := len(w.path) - 1
+	inNet := w.inNetwork()
+	tailIdx := last - (inNet - 1)
+	for i := tailIdx; i <= last; i++ {
+		n.occupied[w.path[i]] = false
+	}
+	for j := tailIdx + 1; j <= last; j++ {
+		from := n.bufRouter(w.path[j-1])
+		dir := n.bufPort(w.path[j])
+		n.outOwner[int(from)*2*n.dims+dir] = nil
+	}
+	if w.outDir != noDirection {
+		r := n.bufRouter(w.headBuf())
+		n.outOwner[int(r)*2*n.dims+int(w.outDir)] = nil
+		w.outDir = noDirection
+	}
+	for i, x := range n.active {
+		if x == w {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
+	p := w.pkt
+	p.Injected = -1
+	p.Hops = 0
+	p.Aborts++
+	n.packetsAborted++
+	if n.probe != nil {
+		n.probe.Abort(n.cycle, p.Src, p.Dst, p.Length, p.Aborts)
+	}
+	if n.recovery.MaxRetries >= 0 && p.Aborts > n.recovery.MaxRetries {
+		n.drop(p, metrics.DropRetriesExhausted)
+		return
+	}
+	if !n.reachable(p.Src, p.Dst) {
+		n.drop(p, metrics.DropUnreachable)
+		return
+	}
+	delay := n.recovery.Backoff(p.Aborts)
+	n.retries[p.Src] = append(n.retries[p.Src], retryEntry{p: p, at: n.cycle + delay})
+	n.packetsRetried++
+	if n.probe != nil {
+		n.probe.Retry(n.cycle, p.Src, p.Dst, p.Aborts, delay)
+	}
+}
+
+// drop abandons a packet: it leaves the in-flight population for good.
+func (n *Network) drop(p *Packet, reason metrics.DropReason) {
+	n.packetsDropped++
+	if n.probe != nil {
+		n.probe.Drop(n.cycle, p.Src, p.Dst, p.Length, reason)
+	}
+}
+
+// cutOff is the cheap injection-time unreachability check: the source has
+// no live outgoing channel, or the destination no live incoming one. It
+// catches failed-node destinations outright; subtler routing-restricted
+// unreachability is caught by the full BFS when the packet is aborted.
+func (n *Network) cutOff(src, dst topology.NodeID) bool {
+	srcCut, dstCut := true, true
+	for d := 0; d < 2*n.dims; d++ {
+		dir := topology.Direction(d)
+		if nb, ok := n.topo.Neighbor(src, dir); ok && nb != src {
+			if !n.faulted[int(src)*2*n.dims+d] {
+				srcCut = false
+			}
+		}
+		if nb, ok := n.topo.Neighbor(dst, dir); ok && nb != dst {
+			if back, ok2 := n.topo.Neighbor(nb, dir.Opposite()); ok2 && back == dst &&
+				!n.faulted[int(nb)*2*n.dims+int(dir.Opposite())] {
+				dstCut = false
+			}
+		}
+		if !srcCut && !dstCut {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable reports whether a packet injected at src can reach dst under
+// the routing algorithm, avoiding currently faulted channels. It searches
+// the (node, arrival-direction, wraparound) state space the algorithm's
+// Candidates function is defined over, with stamped visited marks so
+// repeated queries do not allocate.
+func (n *Network) reachable(src, dst topology.NodeID) bool {
+	if src == dst {
+		return true
+	}
+	states := n.topo.Nodes() * n.ports * 2
+	if len(n.reachSeen) < states {
+		n.reachSeen = make([]int32, states)
+		n.reachQueue = make([]int32, 0, states)
+	}
+	n.reachStamp++
+	stamp := n.reachStamp
+	// inPort 2n encodes "injected here" (arrival direction Invalid).
+	start := int32((int(src)*n.ports + 2*n.dims) * 2)
+	n.reachSeen[start] = stamp
+	q := append(n.reachQueue[:0], start)
+	found := false
+	for head := 0; head < len(q) && !found; head++ {
+		s := q[head]
+		node := topology.NodeID(int(s) / 2 / n.ports)
+		inPort := int(s) / 2 % n.ports
+		inWrap := s&1 == 1
+		in := topology.Invalid
+		if inPort < 2*n.dims {
+			in = topology.Direction(inPort)
+		}
+		for _, d := range n.alg.Candidates(node, dst, in, inWrap) {
+			if n.faulted[int(node)*2*n.dims+int(d)] {
+				continue
+			}
+			nb, ok := n.topo.Neighbor(node, d)
+			if !ok {
+				continue
+			}
+			if nb == dst {
+				found = true
+				break
+			}
+			next := int32((int(nb)*n.ports + int(d)) * 2)
+			if n.topo.Wraparound(node, d) {
+				next++
+			}
+			if n.reachSeen[next] != stamp {
+				n.reachSeen[next] = stamp
+				q = append(q, next)
+			}
+		}
+	}
+	n.reachQueue = q[:0]
+	return found
 }
 
 // tryAdvance moves the worm forward one hop if it can: the header moves

@@ -27,6 +27,10 @@ type Packet struct {
 	Arrived int64
 	// Hops counts the channels the header traversed.
 	Hops int
+	// Aborts counts how many times deadlock recovery has pulled the
+	// packet back out of the network. Injected and Hops reset on abort;
+	// Created does not, so Latency spans every attempt.
+	Aborts int
 }
 
 // Latency is the end-to-end message latency in cycles, including source

@@ -22,6 +22,12 @@ type ledgerProbe struct {
 	blocked        int64
 	ticks          int64
 	lastTick       int64
+	faults         int64
+	repairs        int64
+	aborted        int64
+	abortedFlits   int64
+	retried        int64
+	dropped        int64
 }
 
 func (p *ledgerProbe) Inject(cycle int64, src, dst topology.NodeID, length int) {
@@ -42,6 +48,33 @@ func (p *ledgerProbe) Deliver(cycle int64, src, dst topology.NodeID, length, hop
 	if queueDelay < 0 || netDelay <= 0 {
 		p.t.Errorf("packet %d->%d: queueDelay=%d netDelay=%d", src, dst, queueDelay, netDelay)
 	}
+}
+
+func (p *ledgerProbe) Fault(cycle int64, from topology.NodeID, d topology.Direction, failed bool) {
+	if failed {
+		p.faults++
+	} else {
+		p.repairs++
+	}
+}
+
+func (p *ledgerProbe) Abort(cycle int64, src, dst topology.NodeID, length, attempt int) {
+	p.aborted++
+	p.abortedFlits += int64(length)
+	if attempt < 1 {
+		p.t.Errorf("abort of %d->%d with attempt %d", src, dst, attempt)
+	}
+}
+
+func (p *ledgerProbe) Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64) {
+	p.retried++
+	if delay <= 0 {
+		p.t.Errorf("retry of %d->%d with delay %d", src, dst, delay)
+	}
+}
+
+func (p *ledgerProbe) Drop(cycle int64, src, dst topology.NodeID, length int, reason metrics.DropReason) {
+	p.dropped++
 }
 
 func (p *ledgerProbe) Tick(cycle int64) {

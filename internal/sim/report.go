@@ -11,11 +11,17 @@ import (
 // should reject reports with a different version; bump it on any
 // incompatible change and document the migration in docs/sweeps.md.
 //
-// v2 (this version): points may carry a "metrics" snapshot (per-channel
-// utilization, latency percentiles, blocked cycles, occupancy trace) when
-// the plan ran with metrics collection on, and the config echoes the
-// "metrics" flag. See docs/metrics.md.
-const ReportSchemaVersion = 2
+// v2: points may carry a "metrics" snapshot (per-channel utilization,
+// latency percentiles, blocked cycles, occupancy trace) when the plan ran
+// with metrics collection on, and the config echoes the "metrics" flag.
+// See docs/metrics.md.
+//
+// v3 (this version): points carry delivery accounting under faults and
+// recovery — "delivered", "dropped", "aborted", "retried",
+// "delivered_fraction", "fault_events" — and the config echoes the fault
+// workload ("fault_rate", "fault_repair", "static_faults", "recovery").
+// Metrics snapshots gain the matching window counters. See docs/faults.md.
+const ReportSchemaVersion = 3
 
 // Report is the machine-readable record of one RunPlan execution: the
 // configuration that produced it, every per-point Result with its seed and
@@ -37,6 +43,12 @@ type ReportConfig struct {
 	Jobs          int      `json:"jobs"`
 	Metrics       bool     `json:"metrics"`
 	FigureIDs     []string `json:"figure_ids"`
+	// The fault workload and recovery policy the plan ran under (schema
+	// v3); all zero for fault-free plans.
+	FaultRate    float64 `json:"fault_rate,omitempty"`
+	FaultRepair  int64   `json:"fault_repair,omitempty"`
+	StaticFaults int     `json:"static_faults,omitempty"`
+	Recovery     bool    `json:"recovery,omitempty"`
 }
 
 // ReportTotals summarizes the whole run. CPUMillis is the sum of per-job
@@ -86,6 +98,10 @@ func buildReport(p Plan, workers, jobsRun int, totalWall time.Duration,
 		Jobs:          workers,
 		Metrics:       p.Metrics,
 		FigureIDs:     make([]string, 0, len(p.Specs)),
+		FaultRate:     p.FaultPlan.Rate,
+		FaultRepair:   p.FaultPlan.Repair,
+		StaticFaults:  len(p.FaultPlan.Static),
+		Recovery:      p.Recovery.Enabled,
 	}
 	rep := &Report{
 		SchemaVersion: ReportSchemaVersion,

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/routing"
 )
 
@@ -77,6 +78,15 @@ type Plan struct {
 	// latency percentiles; see docs/metrics.md). The Result scalars and
 	// table output are identical with or without it.
 	Metrics bool
+	// FaultPlan injects faults into every job (see fault.Plan). The
+	// plan's Seed is salted with each job's derived seed, so fault
+	// histories are a pure function of job identity (bit-identical for
+	// any worker count) and, under PairedSeed, shared by the algorithms
+	// being compared at the same rate index.
+	FaultPlan fault.Plan
+	// Recovery enables deadlock recovery in every job (see
+	// fault.Recovery).
+	Recovery fault.Recovery
 	// Progress, when non-nil, is called after every completed job. Calls
 	// are serialized; the callback must not invoke RunPlan reentrantly on
 	// the same Plan's state.
@@ -158,6 +168,10 @@ func RunPlan(p Plan) ([]FigureResult, *Report, error) {
 			panic(fmt.Sprintf("sim: figure %s: %v", spec.ID, err))
 		}
 		seed := seedFn(p.Seed, spec.ID, name, j.rate)
+		fp := p.FaultPlan
+		if !fp.Empty() {
+			fp.Seed += seed
+		}
 		cfg := Config{
 			Routing: alg,
 			RunParams: RunParams{
@@ -167,6 +181,8 @@ func RunPlan(p Plan) ([]FigureResult, *Report, error) {
 				MeasureCycles: p.MeasureCycles,
 				Seed:          seed,
 				Metrics:       p.Metrics,
+				FaultPlan:     fp,
+				Recovery:      p.Recovery,
 			},
 		}
 		jobStart := time.Now()

@@ -12,6 +12,7 @@ import (
 
 	"math/rand"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
@@ -46,6 +47,15 @@ type RunParams struct {
 	Seed int64
 	// WatchdogCycles is forwarded to the simulator (see network.Config).
 	WatchdogCycles int64
+	// FaultPlan injects channel faults into the run (static channels,
+	// failed nodes, or a seeded random per-cycle failure process; see
+	// fault.Plan). The zero plan is fault-free.
+	FaultPlan fault.Plan
+	// Recovery enables deadlock recovery in place of the fail-stop
+	// watchdog (see fault.Recovery): stuck worms are aborted and
+	// source-retried with backoff, and undeliverable packets are dropped
+	// and accounted rather than wedging the run.
+	Recovery fault.Recovery
 	// Metrics attaches a metrics.Collector to the run: Result.Metrics
 	// then carries the measurement-window Snapshot (channel utilization,
 	// latency percentiles, blocked cycles, occupancy trace). Collection
@@ -146,8 +156,24 @@ type Result struct {
 	// bounded.
 	Sustainable bool `json:"sustainable"`
 	// Deadlocked reports that the network watchdog fired (only possible
-	// for routing algorithms outside the turn model).
+	// for routing algorithms outside the turn model, and never with
+	// recovery enabled).
 	Deadlocked bool `json:"deadlocked"`
+	// Delivery accounting over the measurement window (schema v3; all
+	// zero except Delivered unless faults or recovery are configured).
+	// Delivered counts packets consumed at their destination; Dropped
+	// counts packets abandoned (destination unreachable under the fault
+	// set, or retry budget exhausted); Aborted counts worm aborts by
+	// deadlock recovery; Retried counts source retries after aborts.
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped,omitempty"`
+	Aborted   int64 `json:"aborted,omitempty"`
+	Retried   int64 `json:"retried,omitempty"`
+	// DeliveredFraction is Delivered/(Delivered+Dropped), the graceful-
+	// degradation figure of merit; 1 when nothing was dropped.
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	// FaultEvents counts channel-break events during the window.
+	FaultEvents int64 `json:"fault_events,omitempty"`
 	// Metrics is the collector snapshot of the measurement window, set
 	// only when RunParams.Metrics was on (schema v2; see docs/metrics.md).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -171,6 +197,8 @@ func Run(cfg Config) Result {
 		Input:          cfg.Input,
 		Seed:           cfg.Seed,
 		WatchdogCycles: cfg.WatchdogCycles,
+		FaultPlan:      cfg.FaultPlan,
+		Recovery:       cfg.Recovery,
 		RoutingDelay:   cfg.RoutingDelay,
 		Probe:          probe,
 	})
@@ -229,6 +257,11 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 	net.TakeDelivered()
 	flitsBefore := net.FlitsConsumed()
 	inFlightBefore := net.InFlight()
+	deliveredBefore := net.PacketsDelivered()
+	droppedBefore := net.PacketsDropped()
+	abortedBefore := net.PacketsAborted()
+	retriedBefore := net.PacketsRetried()
+	faultsBefore := net.FaultEvents()
 	measureStart := net.Cycle()
 	if coll != nil {
 		coll.BeginMeasurement(measureStart)
@@ -258,6 +291,15 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 	res.MaxQueue = net.MaxQueueLen()
 	res.QueueGrowth = net.InFlight() - inFlightBefore
 	res.Deadlocked = deadlocked
+	res.Delivered = net.PacketsDelivered() - deliveredBefore
+	res.Dropped = net.PacketsDropped() - droppedBefore
+	res.Aborted = net.PacketsAborted() - abortedBefore
+	res.Retried = net.PacketsRetried() - retriedBefore
+	res.FaultEvents = net.FaultEvents() - faultsBefore
+	res.DeliveredFraction = 1
+	if denom := res.Delivered + res.Dropped; denom > 0 {
+		res.DeliveredFraction = float64(res.Delivered) / float64(denom)
+	}
 
 	// Sustainability per Section 6: the number of packets queued at the
 	// sources stays small and bounded. By conservation, offered load the

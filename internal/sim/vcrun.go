@@ -17,6 +17,11 @@ type engine interface {
 	InFlight() int
 	MaxQueueLen() int
 	TakeDelivered() []*network.Packet
+	PacketsDelivered() int64
+	PacketsAborted() int64
+	PacketsRetried() int64
+	PacketsDropped() int64
+	FaultEvents() int64
 }
 
 // VCConfig describes one run on the virtual-channel simulator.
@@ -37,6 +42,8 @@ func RunVC(cfg VCConfig) Result {
 	net := vcnet.New(vcnet.Config{
 		Routing:        cfg.Routing,
 		WatchdogCycles: cfg.WatchdogCycles,
+		FaultPlan:      cfg.FaultPlan,
+		Recovery:       cfg.Recovery,
 		Probe:          probe,
 	})
 	return measure(params, cfg.Routing.Name(), topo, net, coll)

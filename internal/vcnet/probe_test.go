@@ -21,6 +21,11 @@ type ledgerProbe struct {
 	movedThisCycle int64
 	wantMovedFlits int64 // sum of length*hops over delivered packets
 	ticks          int64
+	faults         int64
+	aborted        int64
+	abortedFlits   int64
+	retried        int64
+	dropped        int64
 }
 
 func (p *ledgerProbe) Inject(cycle int64, src, dst topology.NodeID, length int) {
@@ -45,6 +50,25 @@ func (p *ledgerProbe) Deliver(cycle int64, src, dst topology.NodeID, length, hop
 	if queueDelay < 0 || netDelay <= 0 {
 		p.t.Errorf("packet %d->%d: queueDelay=%d netDelay=%d", src, dst, queueDelay, netDelay)
 	}
+}
+
+func (p *ledgerProbe) Fault(cycle int64, from topology.NodeID, d topology.Direction, failed bool) {
+	if failed {
+		p.faults++
+	}
+}
+
+func (p *ledgerProbe) Abort(cycle int64, src, dst topology.NodeID, length, attempt int) {
+	p.aborted++
+	p.abortedFlits += int64(length)
+}
+
+func (p *ledgerProbe) Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64) {
+	p.retried++
+}
+
+func (p *ledgerProbe) Drop(cycle int64, src, dst topology.NodeID, length int, reason metrics.DropReason) {
+	p.dropped++
 }
 
 func (p *ledgerProbe) Tick(cycle int64) {

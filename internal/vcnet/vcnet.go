@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
 	"turnmodel/internal/topology"
@@ -28,6 +29,18 @@ type Config struct {
 	// while packets are in flight before Step reports a deadlock.
 	// 0 selects the default (10000); negative disables.
 	WatchdogCycles int64
+	// Faults lists broken unidirectional physical channels: every
+	// virtual channel multiplexed over a faulted link is unallocatable,
+	// exactly as in internal/network. Shorthand for FaultPlan.Static.
+	Faults []topology.Channel
+	// FaultPlan is the full fault workload (see fault.Plan); validation
+	// is shared with internal/network through the fault package.
+	FaultPlan fault.Plan
+	// Recovery switches the watchdog from fail-stop to deadlock
+	// recovery, mirroring internal/network: stuck worms are aborted,
+	// drained and source-retried with capped exponential backoff; with
+	// Recovery.Enabled, Step never returns DeadlockError.
+	Recovery fault.Recovery
 	// Probe receives simulation events (see metrics.Probe); nil disables
 	// instrumentation. Unlike internal/network, FlitMove is emitted per
 	// flit per physical-channel crossing, so utilization derived from it
@@ -75,6 +88,13 @@ type Network struct {
 	owner    []*worm // output virtual channel -> holder
 	physUsed []bool  // physical channel used this cycle (node*2n+dir)
 	ejectUse []bool  // ejection channel used this cycle (per node)
+	faulted  []bool  // physical channel broken (node*2n+dir)
+
+	// faults drives the dynamic fault plan (nil when empty); faulted
+	// aliases faults.Faulted, as in internal/network.
+	faults   *fault.State
+	recovery fault.Recovery
+	retries  [][]retryEntry // aborted packets waiting out backoff, per node
 
 	queues [][]*Packet
 	qhead  []int
@@ -86,13 +106,30 @@ type Network struct {
 	nextID         int64
 	flitsConsumed  int64
 	packetsDone    int64
+	packetsAborted int64
+	packetsRetried int64
+	packetsDropped int64
 	lastProgress   int64
 	watchdogCycles int64
+
+	// Reachability-BFS scratch (recovery mode only). The state space is
+	// exactly the input-buffer id space: (node, inDir, inVC).
+	reachSeen  []int32
+	reachQueue []int32
+	reachStamp int32
+	victims    []*worm
 
 	probe metrics.Probe
 	// sorter replaces a per-Step sort.Slice closure so the hot loop does
 	// not allocate (mirrors internal/network).
 	sorter reqSorter
+}
+
+// retryEntry is one aborted packet waiting at its source to reinject at
+// cycle `at`.
+type retryEntry struct {
+	p  *Packet
+	at int64
 }
 
 // reqSorter orders pending requests by router, then local FCFS with packet
@@ -135,6 +172,26 @@ func New(cfg Config) *Network {
 	n.owner = make([]*worm, topo.Nodes()*n.dims2*n.maxVC)
 	n.physUsed = make([]bool, topo.Nodes()*n.dims2)
 	n.ejectUse = make([]bool, topo.Nodes())
+	plan := cfg.FaultPlan
+	if len(cfg.Faults) > 0 {
+		plan.Static = append(append([]topology.Channel(nil), plan.Static...), cfg.Faults...)
+	}
+	if plan.Empty() {
+		n.faulted = make([]bool, topo.Nodes()*n.dims2)
+	} else {
+		n.faults = fault.MustNew(plan, topo)
+		n.faulted = n.faults.Faulted
+		n.faults.OnChange = func(from topology.NodeID, dir topology.Direction, failed bool) {
+			if n.probe != nil {
+				n.probe.Fault(n.cycle, from, dir, failed)
+			}
+		}
+	}
+	n.recovery = cfg.Recovery
+	if n.recovery.Enabled {
+		n.recovery = n.recovery.WithDefaults()
+		n.retries = make([][]retryEntry, topo.Nodes())
+	}
 	n.queues = make([][]*Packet, topo.Nodes())
 	n.qhead = make([]int, topo.Nodes())
 	n.watchdogCycles = cfg.WatchdogCycles
@@ -200,11 +257,15 @@ func (n *Network) QueueLen(node topology.NodeID) int {
 	return len(n.queues[node]) - n.qhead[node]
 }
 
-// InFlight counts queued plus in-network packets.
+// InFlight counts queued, in-network, and retry-pending packets:
+// enqueued = delivered + dropped + in-flight at all times.
 func (n *Network) InFlight() int {
 	total := len(n.active)
 	for i := range n.queues {
 		total += len(n.queues[i]) - n.qhead[i]
+	}
+	for i := range n.retries {
+		total += len(n.retries[i])
 	}
 	return total
 }
@@ -214,6 +275,33 @@ func (n *Network) FlitsConsumed() int64 { return n.flitsConsumed }
 
 // PacketsDelivered is the cumulative completed packet count.
 func (n *Network) PacketsDelivered() int64 { return n.packetsDone }
+
+// PacketsAborted counts worm aborts by deadlock recovery.
+func (n *Network) PacketsAborted() int64 { return n.packetsAborted }
+
+// PacketsRetried counts source retries of aborted packets.
+func (n *Network) PacketsRetried() int64 { return n.packetsRetried }
+
+// PacketsDropped counts packets abandoned as unreachable or out of
+// retries.
+func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
+
+// FaultEvents counts channel-break events applied so far, including static
+// faults; ActiveFaults is the number of channels broken right now.
+func (n *Network) FaultEvents() int64 {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.FailEvents()
+}
+
+// ActiveFaults reports how many physical channels are currently broken.
+func (n *Network) ActiveFaults() int {
+	if n.faults == nil {
+		return 0
+	}
+	return n.faults.ActiveFaults()
+}
 
 // MaxQueueLen reports the longest current source queue.
 func (n *Network) MaxQueueLen() int {
@@ -238,41 +326,71 @@ func (n *Network) TakeDelivered() []*Packet {
 func (n *Network) Step() error {
 	progress := false
 
-	// Phase 1: injection.
-	for node := range n.queues {
-		if n.qhead[node] >= len(n.queues[node]) {
-			continue
+	// Phase 0: fault transitions and deadlock recovery (mirrors
+	// internal/network).
+	if n.faults != nil {
+		n.faults.Advance(n.cycle)
+	}
+	if n.recovery.Enabled {
+		n.victims = n.victims[:0]
+		for _, w := range n.active {
+			if !w.arrived && n.cycle-w.headerArrival >= n.recovery.StallCycles {
+				n.victims = append(n.victims, w)
+			}
 		}
+		for _, w := range n.victims {
+			n.abort(w)
+		}
+	}
+
+	// Phase 1: injection. Due retries take priority; packets whose
+	// destination the fault set has cut off entirely are dropped.
+	for node := range n.queues {
 		inj := n.injID(topology.NodeID(node))
 		if n.occupied[inj] {
 			continue
 		}
-		p := n.queues[node][n.qhead[node]]
-		n.queues[node][n.qhead[node]] = nil
-		n.qhead[node]++
-		if n.qhead[node] == len(n.queues[node]) {
-			n.queues[node] = n.queues[node][:0]
-			n.qhead[node] = 0
-		}
-		p.Injected = n.cycle
-		w := &worm{
-			pkt:           p,
-			path:          []int32{inj},
-			pos:           make([]int, p.Length),
-			movedAt:       make([]int64, p.Length),
-			sent:          1,
-			headerArrival: n.cycle,
-		}
-		for i := range w.pos {
-			w.pos[i] = -1
-			w.movedAt[i] = -1
-		}
-		w.pos[0] = 0
-		n.occupied[inj] = true
-		n.active = append(n.active, w)
-		progress = true
-		if n.probe != nil {
-			n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
+		for {
+			p := n.popRetry(node)
+			if p == nil {
+				if n.qhead[node] >= len(n.queues[node]) {
+					break
+				}
+				p = n.queues[node][n.qhead[node]]
+				n.queues[node][n.qhead[node]] = nil
+				n.qhead[node]++
+				if n.qhead[node] == len(n.queues[node]) {
+					n.queues[node] = n.queues[node][:0]
+					n.qhead[node] = 0
+				}
+			}
+			if n.recovery.Enabled && n.faults != nil && n.faults.ActiveFaults() > 0 &&
+				n.cutOff(topology.NodeID(node), p.Dst) {
+				n.drop(p, metrics.DropUnreachable)
+				progress = true
+				continue
+			}
+			p.Injected = n.cycle
+			w := &worm{
+				pkt:           p,
+				path:          []int32{inj},
+				pos:           make([]int, p.Length),
+				movedAt:       make([]int64, p.Length),
+				sent:          1,
+				headerArrival: n.cycle,
+			}
+			for i := range w.pos {
+				w.pos[i] = -1
+				w.movedAt[i] = -1
+			}
+			w.pos[0] = 0
+			n.occupied[inj] = true
+			n.active = append(n.active, w)
+			progress = true
+			if n.probe != nil {
+				n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
+			}
+			break
 		}
 	}
 
@@ -300,6 +418,9 @@ func (n *Network) Step() error {
 				w.candsValid = true
 			}
 			for _, out := range w.cands {
+				if n.faulted[int(r)*n.dims2+int(out.Dir)] {
+					continue
+				}
 				if n.owner[n.ownerKey(r, out.Dir, out.VC)] == nil {
 					n.owner[n.ownerKey(r, out.Dir, out.VC)] = w
 					w.out = out
@@ -364,6 +485,9 @@ func (n *Network) Step() error {
 	n.cycle++
 	if progress {
 		n.lastProgress = n.cycle
+	} else if n.recovery.Enabled {
+		// Recovery mode never fail-stops: the per-worm timeout above
+		// handles stuck worms, and retry backoff is delayed progress.
 	} else if n.watchdogCycles > 0 && n.InFlight() > 0 && n.cycle-n.lastProgress >= n.watchdogCycles {
 		stuck := make([]*Packet, 0, 4)
 		for _, w := range n.active {
@@ -378,6 +502,154 @@ func (n *Network) Step() error {
 }
 
 func (w *worm) headBuf() int32 { return w.path[len(w.path)-1] }
+
+// popRetry returns the first due retry packet at the node, or nil.
+func (n *Network) popRetry(node int) *Packet {
+	if !n.recovery.Enabled {
+		return nil
+	}
+	q := n.retries[node]
+	for i := range q {
+		if q[i].at <= n.cycle {
+			p := q[i].p
+			n.retries[node] = append(q[:i], q[i+1:]...)
+			return p
+		}
+	}
+	return nil
+}
+
+// abort yanks a blocked worm out of the network. A victim is never
+// arrived, and done only advances on arrived worms, so no flit of it was
+// consumed: freeing every buffer its flits occupy and every virtual
+// channel it still owns loses nothing.
+func (n *Network) abort(w *worm) {
+	for k := w.done; k < w.sent; k++ {
+		n.occupied[w.path[w.pos[k]]] = false
+	}
+	// Channels feeding path[j] stay owned until the tail flit passes
+	// path[j]; nothing has been released while the tail is uninjected.
+	tailPos := 0
+	if w.sent == w.pkt.Length {
+		tailPos = w.pos[w.pkt.Length-1]
+	}
+	for j := tailPos + 1; j < len(w.path); j++ {
+		from := n.bufRouter(w.path[j-1])
+		dir, v := n.bufPort(w.path[j])
+		if dir != topology.Invalid {
+			n.owner[n.ownerKey(from, dir, v)] = nil
+		}
+	}
+	if w.routed {
+		r := n.bufRouter(w.headBuf())
+		n.owner[n.ownerKey(r, w.out.Dir, w.out.VC)] = nil
+		w.routed = false
+	}
+	for i, x := range n.active {
+		if x == w {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
+	p := w.pkt
+	p.Injected = -1
+	p.Hops = 0
+	p.Aborts++
+	n.packetsAborted++
+	if n.probe != nil {
+		n.probe.Abort(n.cycle, p.Src, p.Dst, p.Length, p.Aborts)
+	}
+	if n.recovery.MaxRetries >= 0 && p.Aborts > n.recovery.MaxRetries {
+		n.drop(p, metrics.DropRetriesExhausted)
+		return
+	}
+	if !n.reachable(p.Src, p.Dst) {
+		n.drop(p, metrics.DropUnreachable)
+		return
+	}
+	delay := n.recovery.Backoff(p.Aborts)
+	n.retries[p.Src] = append(n.retries[p.Src], retryEntry{p: p, at: n.cycle + delay})
+	n.packetsRetried++
+	if n.probe != nil {
+		n.probe.Retry(n.cycle, p.Src, p.Dst, p.Aborts, delay)
+	}
+}
+
+// drop abandons a packet for good.
+func (n *Network) drop(p *Packet, reason metrics.DropReason) {
+	n.packetsDropped++
+	if n.probe != nil {
+		n.probe.Drop(n.cycle, p.Src, p.Dst, p.Length, reason)
+	}
+}
+
+// cutOff is the cheap injection-time unreachability check: source with no
+// live outgoing physical channel, or destination with no live incoming
+// one. Routing-restricted unreachability is caught by the BFS on abort.
+func (n *Network) cutOff(src, dst topology.NodeID) bool {
+	srcCut, dstCut := true, true
+	for d := 0; d < n.dims2; d++ {
+		dir := topology.Direction(d)
+		if _, ok := n.topo.Neighbor(src, dir); ok && !n.faulted[int(src)*n.dims2+d] {
+			srcCut = false
+		}
+		if nb, ok := n.topo.Neighbor(dst, dir); ok {
+			if back, ok2 := n.topo.Neighbor(nb, dir.Opposite()); ok2 && back == dst &&
+				!n.faulted[int(nb)*n.dims2+int(dir.Opposite())] {
+				dstCut = false
+			}
+		}
+		if !srcCut && !dstCut {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable reports whether a packet injected at src can reach dst under
+// the VC routing algorithm avoiding faulted physical channels. The search
+// states are exactly the input-buffer ids: (node, inDir, inVC).
+func (n *Network) reachable(src, dst topology.NodeID) bool {
+	if src == dst {
+		return true
+	}
+	states := n.topo.Nodes() * n.ports
+	if len(n.reachSeen) < states {
+		n.reachSeen = make([]int32, states)
+		n.reachQueue = make([]int32, 0, states)
+	}
+	n.reachStamp++
+	stamp := n.reachStamp
+	start := n.injID(src)
+	n.reachSeen[start] = stamp
+	q := append(n.reachQueue[:0], start)
+	found := false
+	for head := 0; head < len(q) && !found; head++ {
+		buf := q[head]
+		node := n.bufRouter(buf)
+		inDir, inVC := n.bufPort(buf)
+		for _, out := range n.alg.Candidates(node, dst, inDir, inVC) {
+			if n.faulted[int(node)*n.dims2+int(out.Dir)] {
+				continue
+			}
+			nb, ok := n.topo.Neighbor(node, out.Dir)
+			if !ok {
+				continue
+			}
+			if nb == dst {
+				found = true
+				break
+			}
+			next := n.bufID(nb, out.Dir, out.VC)
+			if n.reachSeen[next] != stamp {
+				n.reachSeen[next] = stamp
+				q = append(q, next)
+			}
+		}
+	}
+	n.reachQueue = q[:0]
+	return found
+}
 
 // moveWorm advances whichever flits of w can move this cycle, head first.
 // It returns true if anything moved.

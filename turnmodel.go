@@ -2,6 +2,7 @@ package turnmodel
 
 import (
 	"turnmodel/internal/adaptiveness"
+	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
@@ -336,6 +337,55 @@ func VCComparison(warmup, measure, seed int64) string {
 // results (VCComparison renders exactly CompareVC(...).Table()).
 func CompareVC(warmup, measure, seed int64) VCComparisonResult {
 	return sim.VCComparison(warmup, measure, seed)
+}
+
+// Fault injection and deadlock recovery. A FaultPlan describes the fault
+// workload of a run — static broken channels, failed nodes, and a
+// deterministic seed-driven random link-failure process with optional
+// repair; FaultRecovery replaces the fail-stop watchdog with per-worm
+// abort, source retry under capped exponential backoff, and unreachable-
+// destination drops. Set them on SimRunParams (or NetworkConfig /
+// VCNetworkConfig / SweepPlan); the delivery accounting lands in
+// SimResult.Delivered/Dropped/Aborted/Retried/DeliveredFraction. See
+// docs/faults.md.
+type (
+	FaultPlan     = fault.Plan
+	FaultRecovery = fault.Recovery
+	DropReason    = metrics.DropReason
+)
+
+// The reasons a packet can be dropped under recovery.
+const (
+	DropUnreachable      = metrics.DropUnreachable
+	DropRetriesExhausted = metrics.DropRetriesExhausted
+)
+
+// ValidateFaultPlan checks a fault plan against a topology without
+// building a simulator: every static channel and failed node must exist,
+// the failure rate must lie in [0, 1) and the repair delay must be
+// nonnegative.
+func ValidateFaultPlan(topo Topology, p FaultPlan) error { return fault.Validate(topo, p) }
+
+// Resilience experiments: fixed offered load swept across link-failure
+// rates with recovery on, tracing delivered fraction, throughput and
+// latency as the network decays (the paper's fault-tolerance claims in
+// quantitative form).
+type (
+	ResilienceSpec   = sim.ResilienceSpec
+	ResilienceResult = sim.ResilienceResult
+)
+
+// ResilienceFigures returns the stock resilience experiments (16x16 mesh
+// and binary 8-cube); ResilienceFigureByID looks one up.
+func ResilienceFigures() []ResilienceSpec { return sim.ResilienceFigures() }
+func ResilienceFigureByID(id string) (ResilienceSpec, bool) {
+	return sim.ResilienceByID(id)
+}
+
+// RunResilience executes a resilience spec over a bounded worker pool;
+// results are bit-identical for any worker count.
+func RunResilience(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceResult, error) {
+	return sim.RunResilience(spec, warmup, measure, seed, jobs)
 }
 
 // Adaptiveness analysis (Sections 3.4, 4.1 and 5).

@@ -278,7 +278,7 @@ func BenchmarkAblationInputPolicy(b *testing.B) {
 // no-probe case reporting 0 allocs/op — the observability layer must be
 // free when unused.
 func BenchmarkNetworkStep(b *testing.B) {
-	run := func(b *testing.B, probe turnmodel.Probe) {
+	run := func(b *testing.B, probe turnmodel.Probe, ftroute turnmodel.FaultRoutingPolicy) {
 		mesh := turnmodel.NewMesh2D(16, 16)
 		alg, err := turnmodel.NewRouting("xy", mesh)
 		if err != nil {
@@ -294,7 +294,7 @@ func BenchmarkNetworkStep(b *testing.B) {
 		}
 		net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
 			Routing: alg, Seed: 1, WatchdogCycles: -1,
-			Faults: faults, Probe: probe,
+			Faults: faults, Probe: probe, FaultRouting: ftroute,
 		})
 		for y := 0; y < 16; y++ {
 			for x := 0; x < 4; x++ {
@@ -315,10 +315,20 @@ func BenchmarkNetworkStep(b *testing.B) {
 			}
 		}
 	}
-	b.Run("no-probe", func(b *testing.B) { run(b, nil) })
+	b.Run("no-probe", func(b *testing.B) { run(b, nil, turnmodel.FaultRoutingPolicy{}) })
+	// Same wedged steady state with fault-aware routing armed: candidates
+	// are cached and the fault set is static, so each cycle costs one
+	// health refresh comparison — gated at 0 allocs/op in CI alongside
+	// no-probe.
+	b.Run("no-probe-ftroute", func(b *testing.B) {
+		run(b, nil, turnmodel.FaultRoutingPolicy{
+			Visibility:    turnmodel.FaultVisibilityKHop,
+			MisrouteLimit: 4,
+		})
+	})
 	b.Run("probe", func(b *testing.B) {
 		mesh := turnmodel.NewMesh2D(16, 16)
-		run(b, turnmodel.NewMetricsCollector(mesh, turnmodel.MetricsOptions{}))
+		run(b, turnmodel.NewMetricsCollector(mesh, turnmodel.MetricsOptions{}), turnmodel.FaultRoutingPolicy{})
 	})
 }
 

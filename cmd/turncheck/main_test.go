@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/topology"
+)
+
+func TestCheckFaultedExitCodes(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	plan := fault.Plan{Static: []topology.Channel{{From: 5, Dir: topology.East}}}
+	khop := fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}
+
+	t.Run("clean", func(t *testing.T) {
+		var b strings.Builder
+		if code := checkFaulted(&b, mesh, []string{"negative-first", "west-first"}, plan, khop); code != 0 {
+			t.Fatalf("exit code %d, want 0; output:\n%s", code, b.String())
+		}
+		if out := b.String(); !strings.Contains(out, "deadlock free") || strings.Contains(out, "DEADLOCK") {
+			t.Fatalf("unexpected output:\n%s", out)
+		}
+	})
+
+	t.Run("cycle", func(t *testing.T) {
+		var b strings.Builder
+		if code := checkFaulted(&b, mesh, []string{"fully-adaptive"}, plan, khop); code != 1 {
+			t.Fatalf("exit code %d, want 1; output:\n%s", code, b.String())
+		}
+		out := b.String()
+		if !strings.Contains(out, "DEADLOCK POSSIBLE") || !strings.Contains(out, "cycle:") {
+			t.Fatalf("cycle not reported:\n%s", out)
+		}
+	})
+
+	t.Run("unknown algorithm", func(t *testing.T) {
+		var b strings.Builder
+		if code := checkFaulted(&b, mesh, []string{"no-such-algorithm"}, plan, khop); code != 2 {
+			t.Fatalf("exit code %d, want 2; output:\n%s", code, b.String())
+		}
+	})
+
+	t.Run("fault-oblivious relation keeps dead dependencies", func(t *testing.T) {
+		// Under the oblivious relation the check still runs (and stays
+		// acyclic for a turn-model algorithm); the policy only changes the
+		// relation being verified, not the verdict machinery.
+		var b strings.Builder
+		if code := checkFaulted(&b, mesh, []string{"negative-first"}, plan, fault.RoutingPolicy{}); code != 0 {
+			t.Fatalf("exit code %d, want 0; output:\n%s", code, b.String())
+		}
+		if !strings.Contains(b.String(), "fault-oblivious") {
+			t.Fatalf("mode label missing:\n%s", b.String())
+		}
+	})
+}

@@ -39,6 +39,8 @@ func main() {
 		faultRepair = flag.Int64("faultrepair", 0, "repair delay in cycles for random faults; 0 makes them permanent")
 		faultSeed   = flag.Int64("faultseed", 0, "seed of the random fault process; 0 derives it from -seed")
 		recovery    = flag.Bool("recovery", false, "enable deadlock recovery: abort stalled worms and retry from the source with backoff")
+		ftroute     = flag.String("ftroute", "off", "fault-aware routing: off, local (own channels), khop or khopN (disseminate within N hops)")
+		misroute    = flag.Int("misroute", 0, "max nonminimal detour hops per packet attempt under -ftroute (0 disables misrouting)")
 	)
 	flag.String("output-policy", "", "deprecated alias for -output")
 	flag.String("input-policy", "", "deprecated alias for -input")
@@ -77,6 +79,11 @@ func main() {
 		plan.Seed = *seed + 1
 	}
 	rec := fault.Recovery{Enabled: *recovery}
+	ftpol, err := cli.ParseFaultRouting(*ftroute)
+	if err != nil {
+		fatal(err)
+	}
+	ftpol.MisrouteLimit = *misroute
 	if *useVC {
 		valg, err := vc.New(*algName, topo)
 		if err != nil {
@@ -93,6 +100,7 @@ func main() {
 				Metrics:       *metrics,
 				FaultPlan:     plan,
 				Recovery:      rec,
+				FaultRouting:  ftpol,
 			},
 		})
 		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
@@ -123,6 +131,7 @@ func main() {
 			Metrics:       *metrics,
 			FaultPlan:     plan,
 			Recovery:      rec,
+			FaultRouting:  ftpol,
 		},
 		Output: output,
 		Input:  input,
@@ -150,6 +159,10 @@ func report(topo, alg, pattern string, res sim.Result, verbose bool) {
 		fmt.Printf("delivered  %d of %d packets (%.2f%%); %d dropped, %d aborted, %d retried, %d fault events\n",
 			res.Delivered, res.Delivered+res.Dropped, 100*res.DeliveredFraction,
 			res.Dropped, res.Aborted, res.Retried, res.FaultEvents)
+	}
+	if res.MaskedFaults > 0 || res.MisrouteHops > 0 {
+		fmt.Printf("masked     %d routing decisions steered around known faults; %d misroute hops\n",
+			res.MaskedFaults, res.MisrouteHops)
 	}
 	if res.Deadlocked {
 		fmt.Println("DEADLOCK detected by the watchdog")

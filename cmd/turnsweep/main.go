@@ -57,6 +57,9 @@ func main() {
 		faultRate   = flag.Float64("faultrate", 0, "per-cycle per-channel failure probability applied to every figure job")
 		faultRepair = flag.Int64("faultrepair", 0, "repair delay in cycles for random faults; 0 makes them permanent")
 		recovery    = flag.Bool("recovery", false, "enable deadlock recovery (abort + source retry) in every figure job")
+		ftroute     = flag.String("ftroute", "off", "fault-aware routing in every figure job: off, local, khop or khopN")
+		misroute    = flag.Int("misroute", 0, "max nonminimal detour hops per packet attempt under -ftroute")
+		ftcompare   = flag.String("ftcompare", "", "run the masking-vs-recovery resilience comparison: comma-separated resilience IDs or \"all\"")
 	)
 	flag.Parse()
 
@@ -74,6 +77,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	ftpol, err := cli.ParseFaultRouting(*ftroute)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turnsweep:", err)
+		os.Exit(1)
+	}
+	ftpol.MisrouteLimit = *misroute
+
 	ran := false
 	if *hops {
 		printHops()
@@ -84,30 +94,24 @@ func main() {
 		ran = true
 	}
 	if *resilience != "" {
-		var rspecs []sim.ResilienceSpec
-		if *resilience == "all" {
-			rspecs = sim.ResilienceFigures()
-		} else {
-			for _, id := range strings.Split(*resilience, ",") {
-				id = strings.TrimSpace(id)
-				if id == "" {
-					continue
-				}
-				rs, ok := sim.ResilienceByID(id)
-				if !ok {
-					fmt.Fprintf(os.Stderr, "turnsweep: unknown resilience figure %q\n", id)
-					os.Exit(1)
-				}
-				rspecs = append(rspecs, rs)
-			}
-		}
-		for _, rs := range rspecs {
+		for _, rs := range resilienceSpecs(*resilience) {
 			rr, err := sim.RunResilience(rs, *warmup, *measure, *seed, cli.Jobs(*jobs))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "turnsweep:", err)
 				os.Exit(1)
 			}
 			fmt.Println(rr.Table())
+		}
+		ran = true
+	}
+	if *ftcompare != "" {
+		for _, rs := range resilienceSpecs(*ftcompare) {
+			rc, err := sim.RunResilienceCompare(rs, *warmup, *measure, *seed, cli.Jobs(*jobs))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "turnsweep:", err)
+				os.Exit(1)
+			}
+			fmt.Println(rc.Table())
 		}
 		ran = true
 	}
@@ -139,6 +143,7 @@ func main() {
 			Metrics:       *metrics,
 			FaultPlan:     fault.Plan{Rate: *faultRate, Repair: *faultRepair},
 			Recovery:      fault.Recovery{Enabled: *recovery},
+			FaultRouting:  ftpol,
 		}
 		if *faults != "" {
 			// Static fault channels must exist in every topology being
@@ -194,6 +199,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "turnsweep: nothing to do (pass -figure N, -all or -hops)")
 		os.Exit(1)
 	}
+}
+
+// resilienceSpecs resolves a comma-separated resilience figure list (or
+// "all"), exiting on an unknown ID.
+func resilienceSpecs(spec string) []sim.ResilienceSpec {
+	if spec == "all" {
+		return sim.ResilienceFigures()
+	}
+	var out []sim.ResilienceSpec
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		rs, ok := sim.ResilienceByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "turnsweep: unknown resilience figure %q\n", id)
+			os.Exit(1)
+		}
+		out = append(out, rs)
+	}
+	return out
 }
 
 // printFigureMetrics renders one line per (algorithm, rate) point from the

@@ -157,6 +157,9 @@ func ParseFaults(spec string, topo topology.Topology) (fault.Plan, error) {
 			if err != nil {
 				return fault.Plan{}, fmt.Errorf("cli: bad fault token %q (want nodeN)", tok)
 			}
+			if id < 0 || id >= topo.Nodes() {
+				return fault.Plan{}, fmt.Errorf("cli: fault node %d outside [0,%d)", id, topo.Nodes())
+			}
 			plan.Nodes = append(plan.Nodes, topology.NodeID(id))
 			continue
 		}
@@ -168,9 +171,17 @@ func ParseFaults(spec string, topo topology.Topology) (fault.Plan, error) {
 		if err != nil {
 			return fault.Plan{}, fmt.Errorf("cli: bad fault source in %q", tok)
 		}
+		// Bounds-check before consulting the topology: Neighbor's contract
+		// only covers in-range nodes and valid directions.
+		if id < 0 || id >= topo.Nodes() {
+			return fault.Plan{}, fmt.Errorf("cli: fault source %d outside [0,%d)", id, topo.Nodes())
+		}
 		dir, err := parseDirection(dirStr)
 		if err != nil {
 			return fault.Plan{}, fmt.Errorf("cli: %v in %q", err, tok)
+		}
+		if !dir.Valid(topo.Dims()) {
+			return fault.Plan{}, fmt.Errorf("cli: direction %s in %q does not exist in %s", dir, tok, topo.Name())
 		}
 		from := topology.NodeID(id)
 		to, exists := topo.Neighbor(from, dir)
@@ -184,6 +195,30 @@ func ParseFaults(spec string, topo topology.Topology) (fault.Plan, error) {
 		return fault.Plan{}, fmt.Errorf("cli: %v", err)
 	}
 	return plan, nil
+}
+
+// ParseFaultRouting turns a -ftroute value into a fault.RoutingPolicy:
+// "off" (or the empty string) leaves routing fault-oblivious, "local"
+// gives routers knowledge of their own incident channels, "khop" adds
+// dissemination at the default radius, and "khopN" (N >= 1) chooses the
+// radius explicitly. The misroute budget is a separate flag; callers set
+// RoutingPolicy.MisrouteLimit themselves.
+func ParseFaultRouting(spec string) (fault.RoutingPolicy, error) {
+	if spec == "" {
+		return fault.RoutingPolicy{}, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "khop"); ok && rest != "" {
+		r, err := strconv.Atoi(rest)
+		if err != nil || r < 1 {
+			return fault.RoutingPolicy{}, fmt.Errorf("cli: bad fault-routing radius in %q (want khopN with N >= 1)", spec)
+		}
+		return fault.RoutingPolicy{Visibility: fault.VisibilityKHop, Radius: r}, nil
+	}
+	vis, err := fault.ParseVisibility(spec)
+	if err != nil {
+		return fault.RoutingPolicy{}, fmt.Errorf("cli: %v", err)
+	}
+	return fault.RoutingPolicy{Visibility: vis}, nil
 }
 
 // parseDirection resolves a direction token: a compass name for 2D

@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/topology"
+)
+
+// FuzzParseFaults asserts the contract the fault-spec parser owes the
+// engines: any input either parses into a plan the fault machinery
+// accepts without panicking, or is rejected with an error — never a
+// panic, and never a plan that blows up downstream (out-of-range nodes,
+// nonexistent directions, garbage channels).
+func FuzzParseFaults(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"5:e",
+		"5:east, 6:west",
+		"0:+0,0:-1",
+		"node3",
+		"node3,12:n",
+		"nodeX",
+		"5:q",
+		"5:",
+		":e",
+		"-5:e",
+		"99999:e",
+		"5:+99",
+		"5:-1x",
+		"node-1",
+		"node99999999999999999999",
+		"5:e,,  ,node0",
+		"0:e:w",
+		"\x00:\xff",
+	} {
+		f.Add(seed)
+	}
+	topos := []topology.Topology{
+		topology.NewMesh2D(4, 4),
+		topology.NewHypercube(3),
+		topology.NewTorus(4, 4),
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		for _, topo := range topos {
+			plan, err := ParseFaults(spec, topo)
+			if err != nil {
+				continue
+			}
+			if verr := fault.Validate(topo, plan); verr != nil {
+				t.Fatalf("%s: ParseFaults(%q) accepted a plan Validate rejects: %v", topo.Name(), spec, verr)
+			}
+			// Instantiating must not panic either: every parsed channel and
+			// node must be real.
+			fault.MustNew(plan, topo)
+		}
+	})
+}

@@ -348,17 +348,26 @@ func (r Recovery) WithDefaults() Recovery {
 
 // Backoff is the retry delay after the packet's attempt-th abort
 // (attempt >= 1): BackoffBase doubled per additional attempt, capped at
-// BackoffCap.
+// BackoffCap. Attempts 0 and 1 both return the base delay, and the
+// doubling saturates at the cap before it could overflow, so arbitrarily
+// large attempt counts are safe even with a cap near MaxInt64.
 func (r Recovery) Backoff(attempt int) int64 {
 	d := r.BackoffBase
+	if d <= 0 {
+		return 0 // doubling can never grow a non-positive base
+	}
+	if d >= r.BackoffCap {
+		return r.BackoffCap
+	}
 	for i := 1; i < attempt; i++ {
+		if d > r.BackoffCap/2 {
+			// Doubling would pass (or overflow past) the cap.
+			return r.BackoffCap
+		}
 		d *= 2
 		if d >= r.BackoffCap {
 			return r.BackoffCap
 		}
-	}
-	if d > r.BackoffCap {
-		d = r.BackoffCap
 	}
 	return d
 }

@@ -1,0 +1,129 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// TestChaosSoakFaultRouting is the chaos soak with the full resilience
+// stack on: random transient faults, deadlock recovery AND in-network
+// fault-aware routing with a misroute budget. Same invariants and flit
+// conservation as TestChaosSoakRecovery, plus masking accounting: the
+// adaptive algorithms must actually steer around faults, and misroute
+// hops only appear when a misroute budget exists.
+func TestChaosSoakFaultRouting(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  routing.Algorithm
+		pol  fault.RoutingPolicy
+	}{
+		{"mesh-negative-first-local", routing.NegativeFirst(topology.NewMesh2D(4, 4)),
+			fault.RoutingPolicy{Visibility: fault.VisibilityLocal}},
+		{"mesh-negative-first-khop-misroute", routing.NegativeFirst(topology.NewMesh2D(4, 4)),
+			fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}},
+		{"torus-negative-first-khop", routing.NegativeFirstTorus(topology.NewKaryNCube(4, 2)),
+			fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probe := &chaosProbe{ledgerProbe: &ledgerProbe{t: t}}
+			net := New(Config{
+				Routing:      tc.alg,
+				Seed:         11,
+				Probe:        probe,
+				FaultPlan:    fault.Plan{Rate: 5e-5, Repair: 300, Seed: 99},
+				Recovery:     fault.Recovery{Enabled: true, StallCycles: 200},
+				FaultRouting: tc.pol,
+			})
+			topo := tc.alg.Topology()
+			rng := rand.New(rand.NewSource(21))
+			enqueued := int64(0)
+			enqueuedFlits := int64(0)
+			for c := 0; c < 5000; c++ {
+				if c%2 == 0 {
+					src := topology.NodeID(rng.Intn(topo.Nodes()))
+					dst := topology.NodeID(rng.Intn(topo.Nodes()))
+					if src != dst {
+						length := 1 + rng.Intn(20)
+						net.Enqueue(src, dst, length)
+						enqueued++
+						enqueuedFlits += int64(length)
+					}
+				}
+				if err := net.Step(); err != nil {
+					t.Fatalf("step: %v", err)
+				}
+				checkInvariants(t, net)
+				if got := net.PacketsDelivered() + net.PacketsDropped() + int64(net.InFlight()); got != enqueued {
+					t.Fatalf("step %d: enqueued=%d but accounted=%d", c, enqueued, got)
+				}
+			}
+			if probe.faults == 0 {
+				t.Fatal("no faults fired; soak exercised nothing")
+			}
+			for i := 0; i < 400000 && net.InFlight() > 0; i++ {
+				if err := net.Step(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				checkInvariants(t, net)
+			}
+			if net.InFlight() != 0 {
+				t.Fatalf("network did not drain: %d in flight", net.InFlight())
+			}
+			if got := probe.deliveredFlits + probe.droppedFlits; got != enqueuedFlits {
+				t.Errorf("flits delivered %d + dropped %d = %d, want enqueued %d",
+					probe.deliveredFlits, probe.droppedFlits, got, enqueuedFlits)
+			}
+			if net.MaskedFaults() == 0 {
+				t.Error("no masked routing decisions over a 5000-cycle faulted soak")
+			}
+			if tc.pol.MisrouteLimit == 0 && net.MisrouteHops() != 0 {
+				t.Errorf("misroute hops %d with a zero budget", net.MisrouteHops())
+			}
+			t.Logf("%s: enqueued=%d delivered=%d dropped=%d masked=%d misroutes=%d faults=%d",
+				tc.name, enqueued, probe.delivered, probe.dropped,
+				net.MaskedFaults(), net.MisrouteHops(), probe.faults)
+		})
+	}
+}
+
+// TestFaultRoutingOffWithoutFaults: enabling the policy on a fault-free
+// configuration builds no wrapper and changes nothing — the run matches a
+// plain network cycle for cycle.
+func TestFaultRoutingOffWithoutFaults(t *testing.T) {
+	run := func(pol fault.RoutingPolicy) (int64, int64) {
+		mesh := topology.NewMesh2D(4, 4)
+		net := New(Config{
+			Routing:      routing.WestFirst(mesh),
+			Seed:         5,
+			FaultRouting: pol,
+		})
+		rng := rand.New(rand.NewSource(9))
+		for c := 0; c < 3000; c++ {
+			if c%3 == 0 {
+				src := topology.NodeID(rng.Intn(mesh.Nodes()))
+				dst := topology.NodeID(rng.Intn(mesh.Nodes()))
+				if src != dst {
+					net.Enqueue(src, dst, 1+rng.Intn(10))
+				}
+			}
+			if err := net.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if net.MaskedFaults() != 0 || net.MisrouteHops() != 0 {
+			t.Fatalf("fault-free run counted masked=%d misroutes=%d", net.MaskedFaults(), net.MisrouteHops())
+		}
+		return net.PacketsDelivered(), net.FlitsConsumed()
+	}
+	offD, offF := run(fault.RoutingPolicy{})
+	onD, onF := run(fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4})
+	if offD != onD || offF != onF {
+		t.Errorf("fault-free runs diverge with the policy on: delivered %d vs %d, flits %d vs %d",
+			offD, onD, offF, onF)
+	}
+}

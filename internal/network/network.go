@@ -62,6 +62,14 @@ type Config struct {
 	// its destination is unreachable under the current fault set. With
 	// Recovery.Enabled, Step never returns DeadlockError.
 	Recovery fault.Recovery
+	// FaultRouting enables in-network fault masking: the routing
+	// algorithm is wrapped by routing.NewFaultAware, so candidates on
+	// channels the deciding router knows are broken are filtered out when
+	// a legal alternative survives, with an optional bounded misroute
+	// fallback along turns the algorithm already permits (see
+	// docs/fault-routing.md). Ignored when the fault plan is empty; off
+	// by default.
+	FaultRouting fault.RoutingPolicy
 	// RoutingDelay models the cost Section 7 warns adaptive routing may
 	// add ("more complex control logic for route selection ... may
 	// increase node delay"): each routing decision takes RoutingDelay
@@ -111,6 +119,13 @@ type Network struct {
 	// keeps its single-load fault check.
 	faults   *fault.State
 	recovery fault.Recovery
+	// health and masked implement fault-aware routing; both nil unless
+	// Config.FaultRouting is enabled and the fault plan is non-empty.
+	// faultEpoch tracks the last fault-set epoch seen, to invalidate
+	// cached candidate sets when the set changes.
+	health     *fault.Health
+	masked     *routing.FaultAware
+	faultEpoch int64
 	// retries holds aborted packets waiting out their backoff at the
 	// source (per node); nil unless recovery is enabled.
 	retries [][]retryEntry
@@ -128,6 +143,7 @@ type Network struct {
 	packetsAborted int64
 	packetsRetried int64
 	packetsDropped int64
+	misrouteHops   int64
 	lastProgress   int64
 	watchdogCycles int64
 	routingDelay   int64
@@ -220,6 +236,11 @@ func New(cfg Config) *Network {
 				n.probe.Fault(n.cycle, from, dir, failed)
 			}
 		}
+	}
+	if cfg.FaultRouting.Enabled() && n.faults != nil {
+		pol := cfg.FaultRouting.WithDefaults()
+		n.health = fault.NewHealth(topo, n.faults, pol)
+		n.masked = routing.NewFaultAware(cfg.Routing, n.health, pol)
 	}
 	n.recovery = cfg.Recovery
 	if n.recovery.Enabled {
@@ -331,6 +352,20 @@ func (n *Network) PacketsRetried() int64 { return n.packetsRetried }
 // the current fault set, or retry budget exhausted.
 func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
 
+// MaskedFaults counts routing decisions whose candidate set was narrowed
+// (or replaced by a misroute fallback) because the deciding router knew
+// about broken channels; 0 unless fault-aware routing is enabled.
+func (n *Network) MaskedFaults() int64 {
+	if n.masked == nil {
+		return 0
+	}
+	return n.masked.MaskedDecisions()
+}
+
+// MisrouteHops counts header hops taken from a misroute fallback set —
+// the nonminimal detours of fault-aware routing; 0 unless enabled.
+func (n *Network) MisrouteHops() int64 { return n.misrouteHops }
+
 // FaultEvents counts channel-break events applied so far, including static
 // faults. ActiveFaults is the number of channels broken right now.
 func (n *Network) FaultEvents() int64 {
@@ -396,6 +431,20 @@ func (n *Network) Step() error {
 	// worm starved that long is treated the same).
 	if n.faults != nil {
 		n.faults.Advance(n.cycle)
+		if n.health != nil {
+			n.health.Refresh()
+			if e := n.faults.Epoch(); e != n.faultEpoch {
+				// The fault set changed, so masked candidate sets computed
+				// from the old set are stale: let waiting headers (those
+				// not yet granted an output channel) re-decide.
+				n.faultEpoch = e
+				for _, w := range n.active {
+					if !w.arrived && w.outDir == noDirection {
+						w.candsValid = false
+					}
+				}
+			}
+		}
 	}
 	if n.recovery.Enabled {
 		n.victims = n.victims[:0]
@@ -487,7 +536,11 @@ func (n *Network) Step() error {
 				// arrival direction), all fixed while the header waits in
 				// this buffer, so the candidate list is computed once per
 				// hop rather than once per cycle.
-				w.cands = n.alg.Candidates(r, w.pkt.Dst, in, inWrap)
+				if n.masked != nil {
+					w.cands, w.candsMis = n.masked.FaultCandidates(r, w.pkt.Dst, in, inWrap, w.misroutes)
+				} else {
+					w.cands = n.alg.Candidates(r, w.pkt.Dst, in, inWrap)
+				}
 				w.candsValid = true
 			}
 			n.freeBase = int(r) * 2 * n.dims
@@ -695,7 +748,17 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 		if inPort < 2*n.dims {
 			in = topology.Direction(inPort)
 		}
-		for _, d := range n.alg.Candidates(node, dst, in, inWrap) {
+		var cands []topology.Direction
+		if n.masked != nil {
+			// Under fault-aware routing the packet follows the masked
+			// relation, which can also reach around faults by misrouting;
+			// budget is ignored, an over-approximation that at worst
+			// retries a packet that will be aborted again.
+			cands, _ = n.masked.FaultCandidates(node, dst, in, inWrap, 0)
+		} else {
+			cands = n.alg.Candidates(node, dst, in, inWrap)
+		}
+		for _, d := range cands {
 			if n.faulted[int(node)*2*n.dims+int(d)] {
 				continue
 			}
@@ -745,6 +808,13 @@ func (n *Network) tryAdvance(w *worm) bool {
 			return false
 		}
 		n.occupied[nb] = true
+		if w.candsMis {
+			// The hop came from a misroute set: a nonminimal detour,
+			// charged against the packet's misroute budget.
+			w.misroutes++
+			n.misrouteHops++
+			w.candsMis = false
+		}
 		w.path = append(w.path, nb)
 		w.pkt.Hops++
 		w.headerArrival = n.cycle

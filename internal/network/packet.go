@@ -75,8 +75,13 @@ type worm struct {
 	// cands caches the routing algorithm's candidate outputs for the
 	// header's current buffer (valid while candsValid); it is invalidated
 	// on every hop so a blocked header re-requests without recomputing.
+	// candsMis marks cands as a misroute fallback set (fault-aware
+	// routing): the next hop is a nonminimal detour and counts against
+	// the packet's misroute budget, tracked in misroutes per attempt.
 	cands      []topology.Direction
 	candsValid bool
+	candsMis   bool
+	misroutes  int
 }
 
 func (w *worm) inNetwork() int { return w.sent - w.delivered }

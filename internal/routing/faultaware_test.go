@@ -1,0 +1,333 @@
+package routing
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/turnmodel"
+)
+
+// newHealthState builds a fault state from the plan plus the health view a
+// wrapper needs, without going through a simulator.
+func newHealthState(t *testing.T, topo topology.Topology, plan fault.Plan, pol fault.RoutingPolicy) (*fault.State, *fault.Health) {
+	t.Helper()
+	if err := fault.Validate(topo, plan); err != nil {
+		t.Fatalf("bad plan: %v", err)
+	}
+	state := fault.MustNew(plan, topo)
+	return state, fault.NewHealth(topo, state, pol)
+}
+
+// TestFaultedCDGDeadlockFreeRandomFaults is the headline safety property:
+// for every registered algorithm whose fault-free dependency graph is
+// acyclic, the graph of the faulted configuration under the fault-aware
+// masking/misroute relation stays acyclic — at several fault densities,
+// under both visibility models, with and without the misroute budget. The
+// fault sets are random but seeded, so a failure reproduces exactly.
+func TestFaultedCDGDeadlockFreeRandomFaults(t *testing.T) {
+	topos := []topology.Topology{
+		topology.NewMesh2D(5, 5),
+		topology.NewTorus(4, 4),
+		topology.NewHypercube(4),
+	}
+	policies := []fault.RoutingPolicy{
+		{Visibility: fault.VisibilityLocal},
+		{Visibility: fault.VisibilityKHop, MisrouteLimit: 4},
+		{Visibility: fault.VisibilityKHop, Radius: 3, MisrouteLimit: 1},
+	}
+	densities := []int{1, 3, 7} // broken channels per trial
+	rng := rand.New(rand.NewSource(20260806))
+	for _, topo := range topos {
+		var algs []Algorithm
+		for _, name := range Names() {
+			alg, err := New(name, topo)
+			if err != nil || alg.Name() == "fully-adaptive" {
+				continue
+			}
+			// Only algorithms that are deadlock free on this topology to
+			// begin with carry a safety claim to preserve (plain mesh xy
+			// constructed on a torus, say, is already cyclic fault free).
+			if turnmodel.FromRouting(topo, Relation(alg)).FindCycle() != nil {
+				continue
+			}
+			algs = append(algs, alg)
+		}
+		if len(algs) < 5 {
+			t.Fatalf("%s: only %d verifiable algorithms", topo.Name(), len(algs))
+		}
+		dims2 := 2 * topo.Dims()
+		for _, density := range densities {
+			for trial := 0; trial < 3; trial++ {
+				plan := randomFaultPlan(rng, topo, density)
+				for _, pol := range policies {
+					state := fault.MustNew(plan, topo)
+					faulted := func(from topology.NodeID, dir topology.Direction) bool {
+						return state.Faulted[int(from)*dims2+int(dir)]
+					}
+					for _, alg := range algs {
+						health := fault.NewHealth(topo, state, pol)
+						fa := NewFaultAware(alg, health, pol)
+						g := turnmodel.FromRoutingFaulted(topo, FaultRelation(fa), faulted)
+						if cyc := g.FindCycle(); cyc != nil {
+							t.Errorf("%s on %s, faults %+v, policy %s: dependency cycle %v",
+								alg.Name(), topo.Name(), plan, pol.WithDefaults(), cyc)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomFaultPlan draws a static plan with the given number of distinct
+// broken channels, plus occasionally a failed node.
+func randomFaultPlan(rng *rand.Rand, topo topology.Topology, channels int) fault.Plan {
+	var plan fault.Plan
+	seen := make(map[int]bool)
+	for len(plan.Static) < channels {
+		from := topology.NodeID(rng.Intn(topo.Nodes()))
+		dir := topology.Direction(rng.Intn(2 * topo.Dims()))
+		if _, ok := topo.Neighbor(from, dir); !ok {
+			continue
+		}
+		key := int(from)*2*topo.Dims() + int(dir)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		plan.Static = append(plan.Static, topology.Channel{From: from, Dir: dir})
+	}
+	if rng.Intn(3) == 0 {
+		plan.Nodes = []topology.NodeID{topology.NodeID(rng.Intn(topo.Nodes()))}
+	}
+	return plan
+}
+
+// TestFaultAwarePassthroughWhenHealthy pins the fast path: with no active
+// fault the wrapper returns the base algorithm's candidate slice untouched
+// and counts nothing.
+func TestFaultAwarePassthroughWhenHealthy(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg, err := New("negative-first", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}
+	// A rate-only plan: the state exists but no fault is active yet.
+	_, health := newHealthState(t, mesh, fault.Plan{Rate: 1e-9, Seed: 1}, pol)
+	fa := NewFaultAware(alg, health, pol)
+	for src := 0; src < mesh.Nodes(); src++ {
+		for dst := 0; dst < mesh.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			want := alg.Candidates(topology.NodeID(src), topology.NodeID(dst), topology.Invalid, false)
+			got, mis := fa.FaultCandidates(topology.NodeID(src), topology.NodeID(dst), topology.Invalid, false, 0)
+			if mis {
+				t.Fatalf("%d->%d: misroute set on a healthy network", src, dst)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d->%d: got %v, want %v", src, dst, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%d->%d: got %v, want %v", src, dst, got, want)
+				}
+			}
+		}
+	}
+	if fa.MaskedDecisions() != 0 || fa.MisrouteDecisions() != 0 {
+		t.Errorf("healthy network counted masked=%d misroutes=%d", fa.MaskedDecisions(), fa.MisrouteDecisions())
+	}
+}
+
+// TestFaultAwareFiltersDeadCandidate checks case 2 of the ladder: when one
+// of two productive directions is broken, only the live one survives.
+func TestFaultAwareFiltersDeadCandidate(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg, err := New("negative-first", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 5 = (1,1) to node 0 = (0,0): productive west and south, both
+	// phase 0. Break 5:west.
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityLocal}
+	plan := fault.Plan{Static: []topology.Channel{{From: 5, Dir: topology.West}}}
+	_, health := newHealthState(t, mesh, plan, pol)
+	fa := NewFaultAware(alg, health, pol)
+	got, mis := fa.FaultCandidates(5, 0, topology.Invalid, false, 0)
+	if mis {
+		t.Fatal("filtered decision flagged as misroute")
+	}
+	if len(got) != 1 || got[0] != topology.South {
+		t.Fatalf("candidates = %v, want [south]", got)
+	}
+	if fa.MaskedDecisions() != 1 {
+		t.Errorf("MaskedDecisions = %d, want 1", fa.MaskedDecisions())
+	}
+}
+
+// TestFaultAwareNeverEmptiesWithoutAlternative checks case 4: a packet
+// whose only candidate is dead and whose algorithm cannot misroute gets
+// the unfiltered base set back, never an empty one.
+func TestFaultAwareNeverEmptiesWithoutAlternative(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg, err := New("xy", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}
+	plan := fault.Plan{Static: []topology.Channel{{From: 5, Dir: topology.East}}}
+	_, health := newHealthState(t, mesh, plan, pol)
+	fa := NewFaultAware(alg, health, pol)
+	// 5 -> 7 under xy: the only candidate is east, which is dead, and xy's
+	// opposite-paired phases leave no safe detour.
+	got, mis := fa.FaultCandidates(5, 7, topology.Invalid, false, 0)
+	if mis {
+		t.Fatal("xy produced a misroute set")
+	}
+	if len(got) != 1 || got[0] != topology.East {
+		t.Fatalf("candidates = %v, want the unfiltered [east]", got)
+	}
+}
+
+// TestFaultAwareMisrouteFallback checks case 3 and the budget: an adaptive
+// algorithm whose every productive direction is dead detours along a
+// permitted direction while budget remains, and reverts to the stalled
+// base set when the budget is spent.
+func TestFaultAwareMisrouteFallback(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg, err := New("negative-first", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityLocal, MisrouteLimit: 2}
+	// At node 5 = (1,1) toward 4 = (0,1) the only productive direction is
+	// west; break it. The negative phase still holds the non-productive
+	// south detour, whose opposite (north) sits in the later phase.
+	plan := fault.Plan{Static: []topology.Channel{{From: 5, Dir: topology.West}}}
+	_, health := newHealthState(t, mesh, plan, pol)
+	fa := NewFaultAware(alg, health, pol)
+	got, mis := fa.FaultCandidates(5, 4, topology.Invalid, false, 0)
+	if !mis {
+		t.Fatalf("expected a misroute set, got %v", got)
+	}
+	if len(got) != 1 || got[0] != topology.South {
+		t.Fatalf("misroute set = %v, want [south]", got)
+	}
+	if fa.MisrouteDecisions() != 1 {
+		t.Errorf("MisrouteDecisions = %d, want 1", fa.MisrouteDecisions())
+	}
+	// Budget exhausted: back to the stalled base set.
+	got, mis = fa.FaultCandidates(5, 4, topology.Invalid, false, pol.MisrouteLimit)
+	if mis {
+		t.Fatal("misroute set granted beyond the budget")
+	}
+	if len(got) != 1 || got[0] != topology.West {
+		t.Fatalf("exhausted budget returned %v, want the dead productive [west]", got)
+	}
+}
+
+// TestMisrouteDetoursStayInPhaseWithLaterOpposite pins the safety rule of
+// misrouteInPhase directly: every detour the phased algorithms offer lies
+// in the packet's current phase and its opposite lies in a strictly later
+// phase, so the correction hop is a permitted turn that can never return.
+func TestMisrouteDetoursStayInPhaseWithLaterOpposite(t *testing.T) {
+	topos := []topology.Topology{topology.NewMesh2D(5, 5), topology.NewHypercube(4)}
+	rng := rand.New(rand.NewSource(7))
+	for _, topo := range topos {
+		for _, name := range []string{"negative-first", "west-first", "north-last", "p-cube"} {
+			alg, err := New(name, topo)
+			if err != nil {
+				continue // p-cube needs a hypercube; west-first a 2D mesh
+			}
+			p, ok := alg.(*phased)
+			if !ok {
+				t.Fatalf("%s is not phased", name)
+			}
+			for trial := 0; trial < 200; trial++ {
+				cur := topology.NodeID(rng.Intn(topo.Nodes()))
+				dst := topology.NodeID(rng.Intn(topo.Nodes()))
+				if cur == dst {
+					continue
+				}
+				in := topology.Invalid
+				if rng.Intn(2) == 0 {
+					in = topology.Direction(rng.Intn(2 * topo.Dims()))
+				}
+				productive := topo.MinimalDirections(cur, dst)
+				best := p.phaseOf[productive[0]]
+				for _, d := range productive[1:] {
+					if ph := p.phaseOf[d]; ph < best {
+						best = ph
+					}
+				}
+				for _, d := range p.MisrouteCandidates(cur, dst, in, false) {
+					if p.phaseOf[d] != best {
+						t.Fatalf("%s on %s at %d->%d: detour %v outside current phase", name, topo.Name(), cur, dst, d)
+					}
+					if p.phaseOf[d.Opposite()] <= best {
+						t.Fatalf("%s on %s at %d->%d: detour %v has its opposite in phase %d <= %d",
+							name, topo.Name(), cur, dst, d, p.phaseOf[d.Opposite()], best)
+					}
+					if in != topology.Invalid && d == in.Opposite() {
+						t.Fatalf("%s on %s at %d->%d: detour %v is the arrival U-turn", name, topo.Name(), cur, dst, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDimensionOrderCannotMisroute: disciplines that pair every direction
+// with its opposite in the same phase have no safe detour — the paper's
+// observation that a single-path algorithm cannot route around faults.
+func TestDimensionOrderCannotMisroute(t *testing.T) {
+	mesh := topology.NewMesh2D(5, 5)
+	for _, name := range []string{"xy", "dimension-order"} {
+		alg, err := New(name, mesh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := alg.(Misrouter)
+		if !ok {
+			t.Fatalf("%s does not implement Misrouter", name)
+		}
+		for src := 0; src < mesh.Nodes(); src++ {
+			for dst := 0; dst < mesh.Nodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				if alt := m.MisrouteCandidates(topology.NodeID(src), topology.NodeID(dst), topology.Invalid, false); len(alt) != 0 {
+					t.Fatalf("%s offered detours %v for %d->%d", name, alt, src, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestNamesSortedAndStable: the registry listing is sorted and identical
+// across calls, so -ftroute sweep tables and reports keyed by it are
+// deterministic.
+func TestNamesSortedAndStable(t *testing.T) {
+	a, b := Names(), Names()
+	if !sort.StringsAreSorted(a) {
+		t.Fatalf("Names() not sorted: %v", a)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("Names() length varies: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Names() differs across calls at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Mutating one call's result must not leak into the registry.
+	a[0] = "mutated"
+	if c := Names(); c[0] == "mutated" {
+		t.Fatal("Names() exposes shared backing storage")
+	}
+}

@@ -142,6 +142,28 @@ func (a firstHopWrap) Candidates(current, dest topology.NodeID, in topology.Dire
 	return out
 }
 
+// MisrouteCandidates implements Misrouter. It overrides the promoted
+// phased rule because the first-hop-wrap discipline routes by plain
+// coordinate comparison, not the torus's modular minimal directions, and
+// its safety numbering admits wraparound channels on the first hop only —
+// a detour must therefore stay on mesh channels of the mesh-productive
+// phase (misrouteInPhase's wraparound exclusion enforces the latter at
+// boundary nodes).
+func (a firstHopWrap) MisrouteCandidates(current, dest topology.NodeID, in topology.Direction, _ bool) []topology.Direction {
+	cc := a.t.Coord(current)
+	dc := a.t.Coord(dest)
+	var productive []topology.Direction
+	for dim := range cc {
+		switch {
+		case dc[dim] < cc[dim]:
+			productive = append(productive, topology.Dir(dim, false))
+		case dc[dim] > cc[dim]:
+			productive = append(productive, topology.Dir(dim, true))
+		}
+	}
+	return misrouteInPhase(a.t, a.phaseOf, productive, current, in)
+}
+
 // WestFirstWrap is west-first on a 2D torus with first-hop wraparounds.
 func WestFirstWrap(t *topology.Torus) Algorithm {
 	if t.Dims() != 2 {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"turnmodel/internal/fault"
 )
 
 // ReportSchemaVersion identifies the JSON layout of Report. Consumers
@@ -16,12 +18,17 @@ import (
 // with metrics collection on, and the config echoes the "metrics" flag.
 // See docs/metrics.md.
 //
-// v3 (this version): points carry delivery accounting under faults and
-// recovery — "delivered", "dropped", "aborted", "retried",
-// "delivered_fraction", "fault_events" — and the config echoes the fault
-// workload ("fault_rate", "fault_repair", "static_faults", "recovery").
-// Metrics snapshots gain the matching window counters. See docs/faults.md.
-const ReportSchemaVersion = 3
+// v3: points carry delivery accounting under faults and recovery —
+// "delivered", "dropped", "aborted", "retried", "delivered_fraction",
+// "fault_events" — and the config echoes the fault workload
+// ("fault_rate", "fault_repair", "static_faults", "recovery"). Metrics
+// snapshots gain the matching window counters. See docs/faults.md.
+//
+// v4 (this version): points carry fault-aware routing accounting —
+// "masked_faults", "misroute_hops" — and the config echoes the policy
+// ("fault_routing", "fault_radius", "misroute_limit"). See
+// docs/fault-routing.md.
+const ReportSchemaVersion = 4
 
 // Report is the machine-readable record of one RunPlan execution: the
 // configuration that produced it, every per-point Result with its seed and
@@ -49,6 +56,11 @@ type ReportConfig struct {
 	FaultRepair  int64   `json:"fault_repair,omitempty"`
 	StaticFaults int     `json:"static_faults,omitempty"`
 	Recovery     bool    `json:"recovery,omitempty"`
+	// The fault-aware routing policy the plan ran under (schema v4);
+	// all zero when routing was fault-oblivious.
+	FaultRouting  string `json:"fault_routing,omitempty"`
+	FaultRadius   int    `json:"fault_radius,omitempty"`
+	MisrouteLimit int    `json:"misroute_limit,omitempty"`
 }
 
 // ReportTotals summarizes the whole run. CPUMillis is the sum of per-job
@@ -102,6 +114,14 @@ func buildReport(p Plan, workers, jobsRun int, totalWall time.Duration,
 		FaultRepair:   p.FaultPlan.Repair,
 		StaticFaults:  len(p.FaultPlan.Static),
 		Recovery:      p.Recovery.Enabled,
+	}
+	if p.FaultRouting.Enabled() {
+		pol := p.FaultRouting.WithDefaults()
+		cfg.FaultRouting = pol.Visibility.String()
+		if pol.Visibility == fault.VisibilityKHop {
+			cfg.FaultRadius = pol.Radius
+		}
+		cfg.MisrouteLimit = pol.MisrouteLimit
 	}
 	rep := &Report{
 		SchemaVersion: ReportSchemaVersion,

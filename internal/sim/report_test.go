@@ -70,7 +70,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`"schema_version": 3`, `"figure_ids"`, `"metrics"`, `"throughput_flits_per_us"`,
+		`"schema_version": 4`, `"figure_ids"`, `"metrics"`, `"throughput_flits_per_us"`,
 		`"avg_latency_us"`, `"sustainable"`, `"wall_ms"`, `"seed"`,
 	} {
 		if !strings.Contains(buf.String(), want) {

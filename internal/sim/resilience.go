@@ -48,9 +48,9 @@ func ResilienceFigures() []ResilienceSpec {
 	uniform := func(t topology.Topology) traffic.Pattern { return traffic.Uniform{Topo: t} }
 	return []ResilienceSpec{
 		{
-			ID:    "resilience-mesh",
-			Title: "Graceful degradation under permanent link faults in a 16x16 mesh",
-			Claim: "adaptive turn-model routing delivers around broken channels where xy, with exactly one path per pair, must drop; delivered fraction decays more slowly for west-first and negative-first",
+			ID:          "resilience-mesh",
+			Title:       "Graceful degradation under permanent link faults in a 16x16 mesh",
+			Claim:       "adaptive turn-model routing delivers around broken channels where xy, with exactly one path per pair, must drop; delivered fraction decays more slowly for west-first and negative-first",
 			NewTopology: func() topology.Topology { return topology.NewMesh2D(16, 16) },
 			Algorithms:  []string{"xy", "west-first", "negative-first"},
 			NewPattern:  uniform,
@@ -60,9 +60,9 @@ func ResilienceFigures() []ResilienceSpec {
 			FaultRates:    []float64{0, 5e-8, 1e-7, 2e-7, 5e-7, 1e-6},
 		},
 		{
-			ID:    "resilience-cube",
-			Title: "Graceful degradation under permanent link faults in a binary 8-cube",
-			Claim: "nonminimal p-cube survives faults that cut every minimal path (Section 5); minimal adaptive p-cube degrades more slowly than e-cube",
+			ID:          "resilience-cube",
+			Title:       "Graceful degradation under permanent link faults in a binary 8-cube",
+			Claim:       "nonminimal p-cube survives faults that cut every minimal path (Section 5); minimal adaptive p-cube degrades more slowly than e-cube",
 			NewTopology: func() topology.Topology { return topology.NewHypercube(8) },
 			Algorithms:  []string{"e-cube", "p-cube", "p-cube-nonminimal"},
 			NewPattern:  uniform,
@@ -179,6 +179,199 @@ func RunResilience(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (
 		out.Series[name] = results[ai]
 	}
 	return out, nil
+}
+
+// ResilienceMode is one fault-handling configuration of the
+// masking-versus-recovery comparison: which of the two defense layers —
+// end-to-end abort/retry recovery and in-network fault-aware routing —
+// are switched on.
+type ResilienceMode struct {
+	// Name labels the mode in tables ("recovery", "masking",
+	// "recovery+masking").
+	Name string
+	// Recovery enables deadlock recovery (abort, backoff, source retry).
+	Recovery bool
+	// FaultRouting is the fault-aware routing policy; the zero value
+	// leaves routing fault-oblivious.
+	FaultRouting fault.RoutingPolicy
+}
+
+// ResilienceModes returns the three configurations RunResilienceCompare
+// contrasts. Masking uses k-hop health dissemination at the default
+// radius with a misroute budget of 4 — enough for a detour around any
+// single broken link and its immediate neighborhood. The masking-only
+// mode runs with the watchdog disabled: a packet whose every permitted
+// path is dead then stalls in place instead of being recovered, which is
+// exactly the failure mode the comparison is meant to expose.
+func ResilienceModes() []ResilienceMode {
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}
+	return []ResilienceMode{
+		{Name: "recovery", Recovery: true},
+		{Name: "masking", FaultRouting: pol},
+		{Name: "recovery+masking", Recovery: true, FaultRouting: pol},
+	}
+}
+
+// ResilienceCompareResult holds the mode comparison of one spec:
+// Series[mode][algorithm] is indexed like Spec.FaultRates.
+type ResilienceCompareResult struct {
+	Spec   ResilienceSpec
+	Modes  []ResilienceMode
+	Series map[string]map[string][]Result
+}
+
+// RunResilienceCompare executes the spec once per mode of ResilienceModes.
+// Cell seeds — arrival and fault histories — are pure functions of the
+// rate index, exactly as in RunResilience and shared across algorithms
+// AND modes, so the recovery-only series reproduces RunResilience
+// bit-identically and every mode faces the same fault history (common
+// random numbers). Zero warmup/measure select the Run defaults.
+func RunResilienceCompare(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceCompareResult, error) {
+	topoCheck := spec.NewTopology()
+	for _, name := range spec.Algorithms {
+		if _, err := routing.New(name, topoCheck); err != nil {
+			return ResilienceCompareResult{}, fmt.Errorf("sim: resilience %s: %w", spec.ID, err)
+		}
+	}
+	modes := ResilienceModes()
+	workers := jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := len(modes) * len(spec.Algorithms) * len(spec.FaultRates); workers > total {
+		workers = total
+	}
+
+	results := make([][][]Result, len(modes))
+	for mi := range results {
+		results[mi] = make([][]Result, len(spec.Algorithms))
+		for ai := range results[mi] {
+			results[mi][ai] = make([]Result, len(spec.FaultRates))
+		}
+	}
+	type cell struct{ mode, alg, rate int }
+	runOne := func(c cell) {
+		topo := spec.NewTopology()
+		alg, err := routing.New(spec.Algorithms[c.alg], topo)
+		if err != nil {
+			panic(fmt.Sprintf("sim: resilience %s: %v", spec.ID, err))
+		}
+		mode := modes[c.mode]
+		cellSeed := seed + int64(c.rate)*7919
+		cfg := Config{
+			Routing: alg,
+			RunParams: RunParams{
+				Pattern:       spec.NewPattern(topo),
+				InjectionRate: spec.InjectionRate,
+				WarmupCycles:  warmup,
+				MeasureCycles: measure,
+				Seed:          cellSeed,
+				FaultPlan: fault.Plan{
+					Rate:   spec.FaultRates[c.rate],
+					Repair: spec.RepairDelay,
+					Seed:   cellSeed + 1,
+				},
+				Recovery:     fault.Recovery{Enabled: mode.Recovery},
+				FaultRouting: mode.FaultRouting,
+			},
+		}
+		if !mode.Recovery {
+			// Without recovery, a packet with every permitted path dead
+			// stalls forever; disable the fail-stop watchdog so the run
+			// measures that honestly instead of aborting.
+			cfg.WatchdogCycles = -1
+		}
+		results[c.mode][c.alg][c.rate] = Run(cfg)
+	}
+
+	var cells []cell
+	for mi := range modes {
+		for ai := range spec.Algorithms {
+			for ri := range spec.FaultRates {
+				cells = append(cells, cell{mi, ai, ri})
+			}
+		}
+	}
+	if workers <= 1 {
+		for _, c := range cells {
+			runOne(c)
+		}
+	} else {
+		ch := make(chan cell)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range ch {
+					runOne(c)
+				}
+			}()
+		}
+		for _, c := range cells {
+			ch <- c
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	out := ResilienceCompareResult{Spec: spec, Modes: modes, Series: make(map[string]map[string][]Result, len(modes))}
+	for mi, mode := range modes {
+		byAlg := make(map[string][]Result, len(spec.Algorithms))
+		for ai, name := range spec.Algorithms {
+			byAlg[name] = results[mi][ai]
+		}
+		out.Series[mode.Name] = byAlg
+	}
+	return out, nil
+}
+
+// Table renders the comparison: one block per algorithm with delivered
+// fraction, throughput and latency per mode as the fault rate climbs,
+// then the masking gain — delivered fraction and latency recovered by
+// adding fault-aware routing to recovery — at the highest fault rate.
+func (rc ResilienceCompareResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s — recovery vs in-network fault masking\n", rc.Spec.ID, rc.Spec.Title)
+	fmt.Fprintf(&b, "offered load %.3f flits/node/cycle", rc.Spec.InjectionRate)
+	for _, m := range rc.Modes {
+		if m.FaultRouting.Enabled() {
+			fmt.Fprintf(&b, "; masking policy %s", m.FaultRouting.WithDefaults())
+			break
+		}
+	}
+	b.WriteString("\n\n")
+	for _, alg := range rc.Spec.Algorithms {
+		fmt.Fprintf(&b, "%s\n%-10s", alg, "faultrate")
+		for _, m := range rc.Modes {
+			fmt.Fprintf(&b, " | %28s", m.Name)
+		}
+		fmt.Fprintf(&b, "\n%-10s", "")
+		for range rc.Modes {
+			fmt.Fprintf(&b, " | %6s %9s %8s", "deliv%", "thr fl/us", "lat us")
+		}
+		b.WriteString("\n")
+		for ri, fr := range rc.Spec.FaultRates {
+			fmt.Fprintf(&b, "%-10.1e", fr)
+			for _, m := range rc.Modes {
+				r := rc.Series[m.Name][alg][ri]
+				fmt.Fprintf(&b, " | %6.2f %9.1f %8.2f", 100*r.DeliveredFraction, r.ThroughputFlitsPerUs, r.AvgLatencyUs)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	last := len(rc.Spec.FaultRates) - 1
+	fmt.Fprintf(&b, "masking gain over recovery alone at fault rate %.1e:\n", rc.Spec.FaultRates[last])
+	for _, alg := range rc.Spec.Algorithms {
+		rec := rc.Series["recovery"][alg][last]
+		both := rc.Series["recovery+masking"][alg][last]
+		fmt.Fprintf(&b, "  %-18s delivered %6.2f%% -> %6.2f%% (%+.2f); latency %8.2f -> %8.2f us; masked %d, misroutes %d\n",
+			alg, 100*rec.DeliveredFraction, 100*both.DeliveredFraction,
+			100*(both.DeliveredFraction-rec.DeliveredFraction),
+			rec.AvgLatencyUs, both.AvgLatencyUs, both.MaskedFaults, both.MisrouteHops)
+	}
+	return b.String()
 }
 
 // Table renders the sweep: delivered fraction, throughput and latency per

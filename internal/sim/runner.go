@@ -87,6 +87,9 @@ type Plan struct {
 	// Recovery enables deadlock recovery in every job (see
 	// fault.Recovery).
 	Recovery fault.Recovery
+	// FaultRouting enables in-network fault masking in every job (see
+	// fault.RoutingPolicy); ignored when FaultPlan is empty.
+	FaultRouting fault.RoutingPolicy
 	// Progress, when non-nil, is called after every completed job. Calls
 	// are serialized; the callback must not invoke RunPlan reentrantly on
 	// the same Plan's state.
@@ -183,6 +186,7 @@ func RunPlan(p Plan) ([]FigureResult, *Report, error) {
 				Metrics:       p.Metrics,
 				FaultPlan:     fp,
 				Recovery:      p.Recovery,
+				FaultRouting:  p.FaultRouting,
 			},
 		}
 		jobStart := time.Now()

@@ -56,6 +56,11 @@ type RunParams struct {
 	// source-retried with backoff, and undeliverable packets are dropped
 	// and accounted rather than wedging the run.
 	Recovery fault.Recovery
+	// FaultRouting enables in-network fault masking (see
+	// fault.RoutingPolicy): routers filter candidate outputs they know
+	// to be broken and may take bounded safe misroutes. Ignored when
+	// FaultPlan is empty.
+	FaultRouting fault.RoutingPolicy
 	// Metrics attaches a metrics.Collector to the run: Result.Metrics
 	// then carries the measurement-window Snapshot (channel utilization,
 	// latency percentiles, blocked cycles, occupancy trace). Collection
@@ -174,6 +179,13 @@ type Result struct {
 	DeliveredFraction float64 `json:"delivered_fraction"`
 	// FaultEvents counts channel-break events during the window.
 	FaultEvents int64 `json:"fault_events,omitempty"`
+	// Fault-aware routing accounting over the measurement window (schema
+	// v4; zero unless RunParams.FaultRouting is enabled). MaskedFaults
+	// counts routing decisions whose candidate set was narrowed around
+	// known-broken channels; MisrouteHops counts nonminimal detour hops
+	// actually taken.
+	MaskedFaults int64 `json:"masked_faults,omitempty"`
+	MisrouteHops int64 `json:"misroute_hops,omitempty"`
 	// Metrics is the collector snapshot of the measurement window, set
 	// only when RunParams.Metrics was on (schema v2; see docs/metrics.md).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -199,6 +211,7 @@ func Run(cfg Config) Result {
 		WatchdogCycles: cfg.WatchdogCycles,
 		FaultPlan:      cfg.FaultPlan,
 		Recovery:       cfg.Recovery,
+		FaultRouting:   cfg.FaultRouting,
 		RoutingDelay:   cfg.RoutingDelay,
 		Probe:          probe,
 	})
@@ -262,6 +275,8 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 	abortedBefore := net.PacketsAborted()
 	retriedBefore := net.PacketsRetried()
 	faultsBefore := net.FaultEvents()
+	maskedBefore := net.MaskedFaults()
+	misrouteBefore := net.MisrouteHops()
 	measureStart := net.Cycle()
 	if coll != nil {
 		coll.BeginMeasurement(measureStart)
@@ -296,6 +311,8 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 	res.Aborted = net.PacketsAborted() - abortedBefore
 	res.Retried = net.PacketsRetried() - retriedBefore
 	res.FaultEvents = net.FaultEvents() - faultsBefore
+	res.MaskedFaults = net.MaskedFaults() - maskedBefore
+	res.MisrouteHops = net.MisrouteHops() - misrouteBefore
 	res.DeliveredFraction = 1
 	if denom := res.Delivered + res.Dropped; denom > 0 {
 		res.DeliveredFraction = float64(res.Delivered) / float64(denom)

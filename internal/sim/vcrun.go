@@ -22,6 +22,8 @@ type engine interface {
 	PacketsRetried() int64
 	PacketsDropped() int64
 	FaultEvents() int64
+	MaskedFaults() int64
+	MisrouteHops() int64
 }
 
 // VCConfig describes one run on the virtual-channel simulator.
@@ -44,6 +46,7 @@ func RunVC(cfg VCConfig) Result {
 		WatchdogCycles: cfg.WatchdogCycles,
 		FaultPlan:      cfg.FaultPlan,
 		Recovery:       cfg.Recovery,
+		FaultRouting:   cfg.FaultRouting,
 		Probe:          probe,
 	})
 	return measure(params, cfg.Routing.Name(), topo, net, coll)

@@ -99,6 +99,23 @@ func FromTurnsAt(topo topology.Topology, allowed func(at topology.NodeID, t Turn
 // graph whose acyclicity Theorems 2-5 establish for the specific
 // algorithms.
 func FromRouting(topo topology.Topology, candidates CandidateFunc) *CDG {
+	return FromRoutingFaulted(topo, candidates, nil)
+}
+
+// FromRoutingFaulted builds the dependency graph of a routing relation on
+// a faulted configuration: channels for which faulted returns true are
+// excluded from the traversal. A broken channel is never allocated, so no
+// packet ever holds one — a packet may still *wait* on one (when masking
+// leaves it no alternative, until recovery aborts it), but a channel that
+// is never held cannot take part in a hold-and-wait cycle, so such
+// dependencies are irrelevant to deadlock and the faulted channels simply
+// leave the graph. A nil faulted predicate gives the healthy graph
+// (FromRouting).
+//
+// Pass routing.FaultRelation(wrapper) as the candidate function to check
+// that a fault-aware masking/misroute configuration keeps an algorithm
+// deadlock free on a specific fault set.
+func FromRoutingFaulted(topo topology.Topology, candidates CandidateFunc, faulted func(from topology.NodeID, dir topology.Direction) bool) *CDG {
 	g := newCDG(topo)
 	seen := make(map[int64]bool)
 	visited := make([]bool, len(g.chans))
@@ -118,6 +135,9 @@ func FromRouting(topo topology.Topology, candidates CandidateFunc) *CDG {
 				if v < 0 {
 					panic(fmt.Sprintf("turnmodel: routing proposed missing channel %v from node %d", d, src))
 				}
+				if faulted != nil && faulted(src, d) {
+					continue
+				}
 				if !visited[v] {
 					visited[v] = true
 					queue = append(queue, v)
@@ -135,6 +155,9 @@ func FromRouting(topo topology.Topology, candidates CandidateFunc) *CDG {
 				w := g.vertex(ch.To, d2)
 				if w < 0 {
 					panic(fmt.Sprintf("turnmodel: routing proposed missing channel %v from node %d", d2, ch.To))
+				}
+				if faulted != nil && faulted(ch.To, d2) {
+					continue
 				}
 				g.addEdge(seen, v, w)
 				if !visited[w] {

@@ -1,0 +1,142 @@
+package vc
+
+import (
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+func vcWrapper(t *testing.T, alg Algorithm, plan fault.Plan, pol fault.RoutingPolicy) *FaultAware {
+	t.Helper()
+	topo := alg.Topology()
+	if err := fault.Validate(topo, plan); err != nil {
+		t.Fatalf("bad plan: %v", err)
+	}
+	state := fault.MustNew(plan, topo)
+	return NewFaultAware(alg, fault.NewHealth(topo, state, pol), pol)
+}
+
+// TestVCFaultAwareFiltersBrokenPhysicalChannel: a fault takes down every
+// virtual channel on the physical link, and the wrapper keeps the live
+// alternative.
+func TestVCFaultAwareFiltersBrokenPhysicalChannel(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg := DoubleY(mesh)
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityLocal}
+	// 5 -> 0: double-y offers west and south; break 5:west.
+	fa := vcWrapper(t, alg, fault.Plan{Static: []topology.Channel{{From: 5, Dir: topology.West}}}, pol)
+	got, mis := fa.FaultCandidates(5, 0, topology.Invalid, 0, 0)
+	if mis {
+		t.Fatal("filtered decision flagged as misroute")
+	}
+	if len(got) == 0 {
+		t.Fatal("candidate set emptied")
+	}
+	for _, o := range got {
+		if o.Dir == topology.West {
+			t.Fatalf("dead west survived the filter: %v", got)
+		}
+	}
+	if fa.MaskedDecisions() != 1 {
+		t.Errorf("MaskedDecisions = %d, want 1", fa.MaskedDecisions())
+	}
+}
+
+// TestVCFaultAwareNeverEmptiesNativeScheme: the native VC schemes do not
+// implement Misrouter, so when every candidate is dead the wrapper falls
+// through to the unfiltered base set and the packet stalls into recovery.
+func TestVCFaultAwareNeverEmptiesNativeScheme(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg := DoubleY(mesh)
+	if _, ok := Algorithm(alg).(Misrouter); ok {
+		t.Fatal("double-y unexpectedly implements Misrouter")
+	}
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityLocal, MisrouteLimit: 4}
+	fa := vcWrapper(t, alg, fault.Plan{Static: []topology.Channel{
+		{From: 5, Dir: topology.West},
+		{From: 5, Dir: topology.South},
+	}}, pol)
+	base := alg.Candidates(5, 0, topology.Invalid, 0)
+	got, mis := fa.FaultCandidates(5, 0, topology.Invalid, 0, 0)
+	if mis {
+		t.Fatal("native scheme produced a misroute set")
+	}
+	if len(got) != len(base) {
+		t.Fatalf("got %v, want the unfiltered base %v", got, base)
+	}
+}
+
+// TestVCLiftedMisrouteInheritsPhysicalDetours: a lifted phased algorithm
+// exposes its inner algorithm's safe detours on the single lifted VC.
+func TestVCLiftedMisrouteInheritsPhysicalDetours(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	inner, err := routing.New("negative-first", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := New("negative-first", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := alg.(Misrouter)
+	if !ok {
+		t.Fatal("lifted negative-first does not implement Misrouter")
+	}
+	// 5 -> 4: only west productive; the physical detour set is [south].
+	want := inner.(routing.Misrouter).MisrouteCandidates(5, 4, topology.Invalid, false)
+	got := m.MisrouteCandidates(5, 4, topology.Invalid, 0)
+	if len(got) != len(want) {
+		t.Fatalf("lifted detours %v, physical %v", got, want)
+	}
+	for i, o := range got {
+		if o.Dir != want[i] || o.VC != 0 {
+			t.Fatalf("lifted detours %v, want %v on VC 0", got, want)
+		}
+	}
+
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityLocal, MisrouteLimit: 2}
+	fa := vcWrapper(t, alg, fault.Plan{Static: []topology.Channel{{From: 5, Dir: topology.West}}}, pol)
+	outs, mis := fa.FaultCandidates(5, 4, topology.Invalid, 0, 0)
+	if !mis {
+		t.Fatalf("expected a misroute set, got %v", outs)
+	}
+	if len(outs) != 1 || outs[0].Dir != topology.South {
+		t.Fatalf("misroute set = %v, want [south]", outs)
+	}
+	// Budget spent: the stalled base set comes back.
+	outs, mis = fa.FaultCandidates(5, 4, topology.Invalid, 0, pol.MisrouteLimit)
+	if mis || len(outs) != 1 || outs[0].Dir != topology.West {
+		t.Fatalf("exhausted budget returned %v (mis=%v), want the dead [west]", outs, mis)
+	}
+}
+
+// TestVCFaultAwarePassthroughWhenHealthy pins the fast path at the VC
+// level: no active faults, base candidates untouched.
+func TestVCFaultAwarePassthroughWhenHealthy(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	alg := DoubleY(mesh)
+	pol := fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}
+	fa := vcWrapper(t, alg, fault.Plan{Rate: 1e-9, Seed: 1}, pol)
+	for src := 0; src < mesh.Nodes(); src++ {
+		for dst := 0; dst < mesh.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			want := alg.Candidates(topology.NodeID(src), topology.NodeID(dst), topology.Invalid, 0)
+			got, mis := fa.FaultCandidates(topology.NodeID(src), topology.NodeID(dst), topology.Invalid, 0, 0)
+			if mis || len(got) != len(want) {
+				t.Fatalf("%d->%d: got %v (mis=%v), want %v", src, dst, got, mis, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%d->%d: got %v, want %v", src, dst, got, want)
+				}
+			}
+		}
+	}
+	if fa.MaskedDecisions() != 0 {
+		t.Errorf("healthy network counted %d masked decisions", fa.MaskedDecisions())
+	}
+}

@@ -1,0 +1,136 @@
+package vcnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/vc"
+)
+
+// TestVCChaosSoakFaultRouting is the virtual-channel mirror of the
+// wormhole engine's fault-routing soak: transient faults, recovery and
+// in-network masking together, with invariants, conservation and masking
+// accounting checked throughout. Double-y exercises a native VC scheme
+// (filtering only); lifted negative-first exercises the inherited
+// misroute path.
+func TestVCChaosSoakFaultRouting(t *testing.T) {
+	newLifted := func() vc.Algorithm {
+		alg, err := vc.New("negative-first", topology.NewMesh2D(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+	cases := []struct {
+		name string
+		alg  vc.Algorithm
+		pol  fault.RoutingPolicy
+		// wantMask: adaptive schemes must steer; dimension-order schemes
+		// (dateline) offer one physical direction per hop, so no proper
+		// nonempty subset ever survives the filter and masked stays 0.
+		wantMask bool
+	}{
+		{"mesh-double-y-khop", vc.DoubleY(topology.NewMesh2D(4, 4)),
+			fault.RoutingPolicy{Visibility: fault.VisibilityKHop}, true},
+		{"mesh-lifted-negative-first-misroute", newLifted(),
+			fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}, true},
+		{"torus-dateline-dor-local", vc.DatelineDOR(topology.NewKaryNCube(4, 2)),
+			fault.RoutingPolicy{Visibility: fault.VisibilityLocal}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probe := &chaosProbe{ledgerProbe: &ledgerProbe{t: t}}
+			net := New(Config{
+				Routing:      tc.alg,
+				Probe:        probe,
+				FaultPlan:    fault.Plan{Rate: 5e-5, Repair: 300, Seed: 99},
+				Recovery:     fault.Recovery{Enabled: true, StallCycles: 200},
+				FaultRouting: tc.pol,
+			})
+			topo := tc.alg.Topology()
+			rng := rand.New(rand.NewSource(21))
+			enqueued := int64(0)
+			enqueuedFlits := int64(0)
+			for c := 0; c < 5000; c++ {
+				if c%2 == 0 {
+					src := topology.NodeID(rng.Intn(topo.Nodes()))
+					dst := topology.NodeID(rng.Intn(topo.Nodes()))
+					if src != dst {
+						length := 1 + rng.Intn(20)
+						net.Enqueue(src, dst, length)
+						enqueued++
+						enqueuedFlits += int64(length)
+					}
+				}
+				if err := net.Step(); err != nil {
+					t.Fatalf("step: %v", err)
+				}
+				checkInvariants(t, net)
+				if got := net.PacketsDelivered() + net.PacketsDropped() + int64(net.InFlight()); got != enqueued {
+					t.Fatalf("step %d: enqueued=%d but accounted=%d", c, enqueued, got)
+				}
+			}
+			if probe.faults == 0 {
+				t.Fatal("no faults fired; soak exercised nothing")
+			}
+			for i := 0; i < 400000 && net.InFlight() > 0; i++ {
+				if err := net.Step(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				checkInvariants(t, net)
+			}
+			if net.InFlight() != 0 {
+				t.Fatalf("network did not drain: %d in flight", net.InFlight())
+			}
+			if got := probe.deliveredFlits + probe.droppedFlits; got != enqueuedFlits {
+				t.Errorf("flits delivered %d + dropped %d = %d, want enqueued %d",
+					probe.deliveredFlits, probe.droppedFlits, got, enqueuedFlits)
+			}
+			if tc.wantMask && net.MaskedFaults() == 0 {
+				t.Error("no masked routing decisions over a 5000-cycle faulted soak")
+			}
+			if tc.pol.MisrouteLimit == 0 && net.MisrouteHops() != 0 {
+				t.Errorf("misroute hops %d with a zero budget", net.MisrouteHops())
+			}
+			t.Logf("%s: enqueued=%d delivered=%d dropped=%d masked=%d misroutes=%d faults=%d",
+				tc.name, enqueued, probe.delivered, probe.dropped,
+				net.MaskedFaults(), net.MisrouteHops(), probe.faults)
+		})
+	}
+}
+
+// TestVCFaultRoutingOffWithoutFaults: the policy without a fault plan
+// builds no wrapper and perturbs nothing.
+func TestVCFaultRoutingOffWithoutFaults(t *testing.T) {
+	run := func(pol fault.RoutingPolicy) (int64, int64) {
+		net := New(Config{
+			Routing:      vc.DoubleY(topology.NewMesh2D(4, 4)),
+			FaultRouting: pol,
+		})
+		rng := rand.New(rand.NewSource(9))
+		for c := 0; c < 3000; c++ {
+			if c%3 == 0 {
+				src := topology.NodeID(rng.Intn(16))
+				dst := topology.NodeID(rng.Intn(16))
+				if src != dst {
+					net.Enqueue(src, dst, 1+rng.Intn(10))
+				}
+			}
+			if err := net.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if net.MaskedFaults() != 0 || net.MisrouteHops() != 0 {
+			t.Fatalf("fault-free run counted masked=%d misroutes=%d", net.MaskedFaults(), net.MisrouteHops())
+		}
+		return net.PacketsDelivered(), net.FlitsConsumed()
+	}
+	offD, offF := run(fault.RoutingPolicy{})
+	onD, onF := run(fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4})
+	if offD != onD || offF != onF {
+		t.Errorf("fault-free runs diverge with the policy on: delivered %d vs %d, flits %d vs %d",
+			offD, onD, offF, onF)
+	}
+}

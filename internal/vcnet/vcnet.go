@@ -41,6 +41,12 @@ type Config struct {
 	// drained and source-retried with capped exponential backoff; with
 	// Recovery.Enabled, Step never returns DeadlockError.
 	Recovery fault.Recovery
+	// FaultRouting enables in-network fault masking, mirroring
+	// internal/network: routers steer headers around physical channels
+	// they know to be broken (see fault.RoutingPolicy and
+	// vc.FaultAware). Ignored when the fault plan is empty; the
+	// zero value leaves routing fault-oblivious.
+	FaultRouting fault.RoutingPolicy
 	// Probe receives simulation events (see metrics.Probe); nil disables
 	// instrumentation. Unlike internal/network, FlitMove is emitted per
 	// flit per physical-channel crossing, so utilization derived from it
@@ -71,8 +77,13 @@ type worm struct {
 	movedAt []int64
 	// cands caches the algorithm's candidate outputs for the header's
 	// current buffer; invalidated on every hop (see candsValid).
+	// candsMis marks cands as a misroute fallback set (fault-aware
+	// routing): the next hop is a nonminimal detour and counts against
+	// the packet's misroute budget, tracked in misroutes per attempt.
 	cands      []vc.Out
 	candsValid bool
+	candsMis   bool
+	misroutes  int
 }
 
 // Network is the virtual-channel simulator state.
@@ -92,9 +103,16 @@ type Network struct {
 
 	// faults drives the dynamic fault plan (nil when empty); faulted
 	// aliases faults.Faulted, as in internal/network.
-	faults   *fault.State
-	recovery fault.Recovery
-	retries  [][]retryEntry // aborted packets waiting out backoff, per node
+	faults *fault.State
+	// health and masked implement fault-aware routing; both nil unless
+	// Config.FaultRouting is enabled and the fault plan is nonempty.
+	// faultEpoch tracks the last fault-set epoch seen, to invalidate
+	// cached candidate sets of waiting headers on fault transitions.
+	health     *fault.Health
+	masked     *vc.FaultAware
+	faultEpoch int64
+	recovery   fault.Recovery
+	retries    [][]retryEntry // aborted packets waiting out backoff, per node
 
 	queues [][]*Packet
 	qhead  []int
@@ -109,6 +127,7 @@ type Network struct {
 	packetsAborted int64
 	packetsRetried int64
 	packetsDropped int64
+	misrouteHops   int64
 	lastProgress   int64
 	watchdogCycles int64
 
@@ -186,6 +205,11 @@ func New(cfg Config) *Network {
 				n.probe.Fault(n.cycle, from, dir, failed)
 			}
 		}
+	}
+	if cfg.FaultRouting.Enabled() && n.faults != nil {
+		pol := cfg.FaultRouting.WithDefaults()
+		n.health = fault.NewHealth(topo, n.faults, pol)
+		n.masked = vc.NewFaultAware(cfg.Routing, n.health, pol)
 	}
 	n.recovery = cfg.Recovery
 	if n.recovery.Enabled {
@@ -303,6 +327,19 @@ func (n *Network) ActiveFaults() int {
 	return n.faults.ActiveFaults()
 }
 
+// MaskedFaults counts routing decisions whose candidate set fault-aware
+// routing narrowed (or replaced with a misroute set); 0 when disabled.
+func (n *Network) MaskedFaults() int64 {
+	if n.masked == nil {
+		return 0
+	}
+	return n.masked.MaskedDecisions()
+}
+
+// MisrouteHops counts nonminimal detour hops actually taken under
+// fault-aware routing.
+func (n *Network) MisrouteHops() int64 { return n.misrouteHops }
+
 // MaxQueueLen reports the longest current source queue.
 func (n *Network) MaxQueueLen() int {
 	max := 0
@@ -330,6 +367,20 @@ func (n *Network) Step() error {
 	// internal/network).
 	if n.faults != nil {
 		n.faults.Advance(n.cycle)
+		if n.health != nil {
+			n.health.Refresh()
+			if e := n.faults.Epoch(); e != n.faultEpoch {
+				// The fault set changed, so masked candidate sets computed
+				// from the old set are stale: let waiting headers (those
+				// not yet granted an output channel) re-decide.
+				n.faultEpoch = e
+				for _, w := range n.active {
+					if !w.arrived && !w.routed {
+						w.candsValid = false
+					}
+				}
+			}
+		}
 	}
 	if n.recovery.Enabled {
 		n.victims = n.victims[:0]
@@ -414,7 +465,11 @@ func (n *Network) Step() error {
 				inDir, inVC := n.bufPort(w.headBuf())
 				// Fixed while the header waits in this buffer; computed
 				// once per hop rather than once per cycle.
-				w.cands = n.alg.Candidates(r, w.pkt.Dst, inDir, inVC)
+				if n.masked != nil {
+					w.cands, w.candsMis = n.masked.FaultCandidates(r, w.pkt.Dst, inDir, inVC, w.misroutes)
+				} else {
+					w.cands = n.alg.Candidates(r, w.pkt.Dst, inDir, inVC)
+				}
 				w.candsValid = true
 			}
 			for _, out := range w.cands {
@@ -628,7 +683,16 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 		buf := q[head]
 		node := n.bufRouter(buf)
 		inDir, inVC := n.bufPort(buf)
-		for _, out := range n.alg.Candidates(node, dst, inDir, inVC) {
+		var outs []vc.Out
+		if n.masked != nil {
+			// Under fault-aware routing the packet follows the masked
+			// relation, so retry feasibility must too (misroute budget
+			// treated as fresh, matching a reinjected packet).
+			outs, _ = n.masked.FaultCandidates(node, dst, inDir, inVC, 0)
+		} else {
+			outs = n.alg.Candidates(node, dst, inDir, inVC)
+		}
+		for _, out := range outs {
 			if n.faulted[int(node)*n.dims2+int(out.Dir)] {
 				continue
 			}
@@ -716,6 +780,13 @@ func (n *Network) moveFlit(w *worm, k int) bool {
 		w.headerArrival = n.cycle
 		w.routed = false
 		w.candsValid = false
+		if w.candsMis {
+			// The hop came from a misroute fallback set: charge the
+			// packet's budget and the network-wide counter.
+			w.misroutes++
+			n.misrouteHops++
+			w.candsMis = false
+		}
 		if n.probe != nil {
 			n.probe.FlitMove(n.cycle, router, w.out.Dir, 1)
 		}

@@ -366,6 +366,53 @@ const (
 // nonnegative.
 func ValidateFaultPlan(topo Topology, p FaultPlan) error { return fault.Validate(topo, p) }
 
+// Fault-aware routing (in-network fault masking). A FaultRoutingPolicy on
+// SimRunParams / NetworkConfig / VCNetworkConfig / SweepPlan makes routers
+// filter candidates on channels they know to be broken and optionally take
+// bounded nonminimal detours along turns the algorithm already permits, so
+// surviving adaptivity masks faults before recovery has to abort anything.
+// The zero value leaves routing fault-oblivious. See docs/fault-routing.md.
+type (
+	FaultRoutingPolicy = fault.RoutingPolicy
+	FaultVisibility    = fault.Visibility
+)
+
+// The health models of fault-aware routing: off, each router's own
+// incident channels only, or dissemination to every router within
+// FaultRoutingPolicy.Radius hops.
+const (
+	FaultVisibilityOff   = fault.VisibilityOff
+	FaultVisibilityLocal = fault.VisibilityLocal
+	FaultVisibilityKHop  = fault.VisibilityKHop
+)
+
+// DefaultFaultRadius is the k-hop dissemination horizon used when a
+// policy enables FaultVisibilityKHop without choosing one.
+const DefaultFaultRadius = fault.DefaultRadius
+
+// VerifyDeadlockFreeFaulted checks the Dally-Seitz criterion for a faulted
+// configuration: the channel dependency graph of the algorithm restricted
+// to the surviving channels — under the fault-aware masking/misroute
+// relation when pol is enabled, fault-oblivious otherwise — must be
+// acyclic. It returns one offending cycle, or nil when deadlock free.
+func VerifyDeadlockFreeFaulted(alg Routing, plan FaultPlan, pol FaultRoutingPolicy) ([]Channel, error) {
+	topo := alg.Topology()
+	state, err := fault.NewState(plan, topo)
+	if err != nil {
+		return nil, err
+	}
+	dims2 := 2 * topo.Dims()
+	faulted := func(from NodeID, dir Direction) bool {
+		return state.Faulted[int(from)*dims2+int(dir)]
+	}
+	rel := routing.Relation(alg)
+	if pol.Enabled() {
+		health := fault.NewHealth(topo, state, pol)
+		rel = routing.FaultRelation(routing.NewFaultAware(alg, health, pol))
+	}
+	return turnmodel.FromRoutingFaulted(topo, rel, faulted).FindCycle(), nil
+}
+
 // Resilience experiments: fixed offered load swept across link-failure
 // rates with recovery on, tracing delivered fraction, throughput and
 // latency as the network decays (the paper's fault-tolerance claims in
@@ -386,6 +433,25 @@ func ResilienceFigureByID(id string) (ResilienceSpec, bool) {
 // results are bit-identical for any worker count.
 func RunResilience(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceResult, error) {
 	return sim.RunResilience(spec, warmup, measure, seed, jobs)
+}
+
+// Masking-versus-recovery comparison: the same resilience sweep run once
+// per fault-handling mode (recovery only, in-network masking only, both),
+// with common random numbers across modes and algorithms.
+type (
+	ResilienceMode          = sim.ResilienceMode
+	ResilienceCompareResult = sim.ResilienceCompareResult
+)
+
+// ResilienceModes returns the three fault-handling configurations
+// RunResilienceCompare contrasts.
+func ResilienceModes() []ResilienceMode { return sim.ResilienceModes() }
+
+// RunResilienceCompare executes the spec once per mode; the recovery-only
+// series reproduces RunResilience bit-identically, and results are
+// bit-identical for any worker count. Render with its Table method.
+func RunResilienceCompare(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceCompareResult, error) {
+	return sim.RunResilienceCompare(spec, warmup, measure, seed, jobs)
 }
 
 // Adaptiveness analysis (Sections 3.4, 4.1 and 5).

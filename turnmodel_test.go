@@ -387,3 +387,63 @@ func TestFacadeCCC(t *testing.T) {
 		t.Error("CCC packet not delivered")
 	}
 }
+
+func TestFacadeFaultRouting(t *testing.T) {
+	mesh := turnmodel.NewMesh2D(6, 6)
+	alg, err := turnmodel.NewRouting("negative-first", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := turnmodel.FaultPlan{Static: []turnmodel.Channel{
+		{From: 7, Dir: turnmodel.East},
+		{From: 14, Dir: turnmodel.North},
+	}}
+	pol := turnmodel.FaultRoutingPolicy{
+		Visibility:    turnmodel.FaultVisibilityKHop,
+		MisrouteLimit: 4,
+	}
+	cyc, err := turnmodel.VerifyDeadlockFreeFaulted(alg, plan, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc != nil {
+		t.Errorf("faulted negative-first not deadlock free: %v", cyc)
+	}
+	// The unsafe baseline stays cyclic under the same faults.
+	fa, err := turnmodel.NewRouting("fully-adaptive", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err = turnmodel.VerifyDeadlockFreeFaulted(fa, plan, turnmodel.FaultRoutingPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc == nil {
+		t.Error("fully-adaptive verified deadlock free under faults")
+	}
+	// An invalid plan surfaces as an error, not a panic.
+	if _, err := turnmodel.VerifyDeadlockFreeFaulted(alg, turnmodel.FaultPlan{Rate: 2}, pol); err == nil {
+		t.Error("invalid plan accepted")
+	}
+	// Simulate with the policy on: masking accounting lands in the result.
+	res := turnmodel.Simulate(turnmodel.SimConfig{
+		Routing: alg,
+		RunParams: turnmodel.SimRunParams{
+			Pattern:       turnmodel.UniformTraffic(mesh),
+			InjectionRate: 0.03,
+			WarmupCycles:  500,
+			MeasureCycles: 2000,
+			Seed:          3,
+			FaultPlan:     plan,
+			Recovery:      turnmodel.FaultRecovery{Enabled: true},
+			FaultRouting:  pol,
+		},
+	})
+	if res.MaskedFaults == 0 {
+		t.Error("no masked decisions with two static faults and an adaptive algorithm")
+	}
+	// The mode comparison is exported and consistent with RunResilience.
+	if len(turnmodel.ResilienceModes()) != 3 {
+		t.Errorf("ResilienceModes = %d, want 3", len(turnmodel.ResilienceModes()))
+	}
+}

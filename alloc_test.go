@@ -1,0 +1,82 @@
+// Allocation gates for the hot step path, enforced by plain `go test`
+// so a regression fails CI without anyone remembering to pass -bench.
+// BenchmarkNetworkStep reports the same property as allocs/op; these tests
+// pin it with testing.AllocsPerRun over the identical wedged steady state.
+package turnmodel_test
+
+import (
+	"testing"
+
+	"turnmodel"
+)
+
+// wedgedNetwork drives a 16x16 xy mesh into a permanently blocked steady
+// state: every eastbound channel out of column x=8 is faulted, westbound
+// traffic piles against the break, and the watchdog is disabled. Every
+// subsequent Step does identical work — arbitration over the same blocked
+// headers — which makes it the reference workload for both the step
+// benchmarks and the allocation gates.
+func wedgedNetwork(tb testing.TB, probe turnmodel.Probe, ftroute turnmodel.FaultRoutingPolicy) *turnmodel.Network {
+	tb.Helper()
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("xy", mesh)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	faults := make([]turnmodel.Channel, 0, 16)
+	for y := 0; y < 16; y++ {
+		faults = append(faults, turnmodel.Channel{
+			From: mesh.ID(turnmodel.Coord{8, y}), Dir: turnmodel.East,
+		})
+	}
+	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
+		Routing: alg, Seed: 1, WatchdogCycles: -1,
+		Faults: faults, Probe: probe, FaultRouting: ftroute,
+	})
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 4; x++ {
+			net.Enqueue(mesh.ID(turnmodel.Coord{x, y}), mesh.ID(turnmodel.Coord{15, y}), 10)
+		}
+	}
+	// Let the worms advance until every header is wedged.
+	for c := 0; c < 2000; c++ {
+		if err := net.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return net
+}
+
+// TestStepZeroAllocs gates the no-probe step paths at zero heap
+// allocations per cycle: the observability layer must cost nothing when
+// unused, and fault-aware routing must stay allocation-free once its
+// candidate caches are warm.
+func TestStepZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name    string
+		ftroute turnmodel.FaultRoutingPolicy
+	}{
+		{"no-probe", turnmodel.FaultRoutingPolicy{}},
+		{"no-probe-ftroute", turnmodel.FaultRoutingPolicy{
+			Visibility:    turnmodel.FaultVisibilityKHop,
+			MisrouteLimit: 4,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := wedgedNetwork(t, nil, tc.ftroute)
+			var stepErr error
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := net.Step(); err != nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if allocs != 0 {
+				t.Errorf("%s step path allocates %.1f allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -273,40 +273,14 @@ func BenchmarkAblationInputPolicy(b *testing.B) {
 // BenchmarkNetworkStep measures the steady-state cost of one simulator
 // cycle with and without an instrumentation probe attached. The network
 // is driven into a permanently blocked state (xy packets piled against a
-// faulted column, watchdog disabled) so every iteration does identical
-// work: arbitration over the same blocked headers. CI gates on the
-// no-probe case reporting 0 allocs/op — the observability layer must be
-// free when unused.
+// faulted column, watchdog disabled — see wedgedNetwork in alloc_test.go)
+// so every iteration does identical work: arbitration over the same
+// blocked headers. The 0 allocs/op property of the no-probe cases is
+// enforced by TestStepZeroAllocs on every plain `go test` run; the
+// benchmark additionally reports allocs for inspection.
 func BenchmarkNetworkStep(b *testing.B) {
 	run := func(b *testing.B, probe turnmodel.Probe, ftroute turnmodel.FaultRoutingPolicy) {
-		mesh := turnmodel.NewMesh2D(16, 16)
-		alg, err := turnmodel.NewRouting("xy", mesh)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Break every eastbound channel out of column x=8: xy traffic
-		// headed past it blocks forever, giving a static working set.
-		faults := make([]turnmodel.Channel, 0, 16)
-		for y := 0; y < 16; y++ {
-			faults = append(faults, turnmodel.Channel{
-				From: mesh.ID(turnmodel.Coord{8, y}), Dir: turnmodel.East,
-			})
-		}
-		net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
-			Routing: alg, Seed: 1, WatchdogCycles: -1,
-			Faults: faults, Probe: probe, FaultRouting: ftroute,
-		})
-		for y := 0; y < 16; y++ {
-			for x := 0; x < 4; x++ {
-				net.Enqueue(mesh.ID(turnmodel.Coord{x, y}), mesh.ID(turnmodel.Coord{15, y}), 10)
-			}
-		}
-		// Let the worms advance until every header is wedged.
-		for c := 0; c < 2000; c++ {
-			if err := net.Step(); err != nil {
-				b.Fatal(err)
-			}
-		}
+		net := wedgedNetwork(b, probe, ftroute)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -318,8 +292,7 @@ func BenchmarkNetworkStep(b *testing.B) {
 	b.Run("no-probe", func(b *testing.B) { run(b, nil, turnmodel.FaultRoutingPolicy{}) })
 	// Same wedged steady state with fault-aware routing armed: candidates
 	// are cached and the fault set is static, so each cycle costs one
-	// health refresh comparison — gated at 0 allocs/op in CI alongside
-	// no-probe.
+	// health refresh comparison — also allocation-free.
 	b.Run("no-probe-ftroute", func(b *testing.B) {
 		run(b, nil, turnmodel.FaultRoutingPolicy{
 			Visibility:    turnmodel.FaultVisibilityKHop,

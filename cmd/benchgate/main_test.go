@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: turnmodel
+BenchmarkNetworkStep/no-probe-8          2000      1002 ns/op        0 B/op        0 allocs/op
+BenchmarkNetworkStep/no-probe-ftroute-8  2000      1010.5 ns/op      0 B/op        0 allocs/op
+BenchmarkNetworkStep/probe-8             2000      1840 ns/op      120 B/op        3 allocs/op
+BenchmarkSweepRunner/jobs-1                 79  14900000 ns/op
+BenchmarkSweepRunner/jobs-1                 80  14800000 ns/op
+PASS
+ok      turnmodel       12.3s
+`
+	got, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names stay verbatim at parse time; the decoration is resolved by
+	// lookup against the baseline's canonical names.
+	want := map[string]Entry{
+		"BenchmarkNetworkStep/no-probe-8":         {NsPerOp: 1002},
+		"BenchmarkNetworkStep/no-probe-ftroute-8": {NsPerOp: 1010.5},
+		"BenchmarkNetworkStep/probe-8":            {NsPerOp: 1840, AllocsPerOp: 3},
+		"BenchmarkSweepRunner/jobs-1":             {NsPerOp: 14800000}, // last run wins
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+
+	for baseName, wantNs := range map[string]float64{
+		"BenchmarkNetworkStep/no-probe": 1002,     // decorated measurement
+		"BenchmarkSweepRunner/jobs-1":   14800000, // undecorated (GOMAXPROCS=1 run)
+	} {
+		e, ok := lookup(got, baseName)
+		if !ok || e.NsPerOp != wantNs {
+			t.Errorf("lookup(%q) = %+v, %v; want %.0f ns/op", baseName, e, ok, wantNs)
+		}
+	}
+	if _, ok := lookup(got, "BenchmarkNetworkStep/no-pro"); ok {
+		t.Error("lookup matched a name prefix that is not a GOMAXPROCS decoration")
+	}
+}
+
+func TestLookupDecoratedSubBenchmark(t *testing.T) {
+	// jobs-4 measured on an 8-proc machine: the raw name carries both the
+	// sub-benchmark's own -4 and the decoration's -8.
+	got := map[string]Entry{"BenchmarkSweepRunner/jobs-4-8": {NsPerOp: 32000000}}
+	if e, ok := lookup(got, "BenchmarkSweepRunner/jobs-4"); !ok || e.NsPerOp != 32000000 {
+		t.Fatalf("lookup(jobs-4) = %+v, %v", e, ok)
+	}
+	if _, ok := lookup(got, "BenchmarkSweepRunner/jobs"); ok {
+		t.Error("jobs matched jobs-4-8: -4-8 is not a single decoration")
+	}
+}

@@ -1,0 +1,453 @@
+// Package engine is the shared core of the two flit-level simulators:
+// internal/network (physical channels, worms advance as units) and
+// internal/vcnet (virtual channels, flits move individually). Both engines
+// step through the same per-cycle skeleton — fault transitions, source
+// injection, routing + output allocation, movement, retirement — and this
+// package owns everything in that skeleton that does not depend on the
+// channel model:
+//
+//   - Grid: flat integer neighbor/wraparound tables replacing interface
+//     lookups in the hot loops;
+//   - Core: source queues, retry backoff, the injection worklist (only
+//     nodes with queued work are visited, so idle routers cost nothing),
+//     fault plan wiring, delivery/abort/drop accounting, and the deadlock
+//     watchdog;
+//   - Emitter: batched probe event emission that keeps the no-probe step
+//     paths allocation-free.
+//
+// The split is semantics-preserving by construction: the engines drive the
+// same phases in the same order with the same tie-breaking, which the
+// differential harness in diff_test.go checks end to end.
+package engine
+
+import (
+	"turnmodel/internal/fault"
+	"turnmodel/internal/metrics"
+	"turnmodel/internal/topology"
+)
+
+// Config configures a Core. It is the engine-independent subset of the
+// simulators' Config structs.
+type Config struct {
+	Topo topology.Topology
+	// WatchdogCycles is how long the network may go without progress
+	// while packets are in flight before the watchdog fires. 0 selects
+	// the default (10000); negative disables.
+	WatchdogCycles int64
+	// Faults is shorthand for FaultPlan.Static; the two lists are merged.
+	Faults    []topology.Channel
+	FaultPlan fault.Plan
+	// Recovery enables deadlock recovery (abort + source retry).
+	Recovery fault.Recovery
+	// FaultRouting enables in-network fault masking; ignored when the
+	// fault plan is empty.
+	FaultRouting fault.RoutingPolicy
+	// Probe receives simulation events; nil disables instrumentation.
+	Probe metrics.Probe
+}
+
+// retryEntry is one aborted packet waiting at its source to reinject at
+// cycle `at`.
+type retryEntry struct {
+	p  *Packet
+	at int64
+}
+
+// Core is the engine-independent simulator state. The embedding engine
+// wires the four hooks after NewCore and then drives FaultPhase,
+// InjectPhase and EndStep from its Step loop.
+type Core struct {
+	Topo topology.Topology
+	Grid *Grid
+
+	// Cycle is the current simulation time.
+	Cycle int64
+
+	// Faults drives the dynamic fault plan; nil when the plan is empty.
+	// Faulted aliases Faults.Faulted when non-nil (so transitions are
+	// visible with a single load), and is a zero bitmap otherwise; it is
+	// keyed by Grid.Key.
+	Faults  *fault.State
+	Faulted []bool
+	// Health is the per-node fault visibility map of fault-aware routing;
+	// nil unless Config.FaultRouting was enabled and the plan non-empty.
+	// FaultPol is the policy with defaults applied (valid when Health is
+	// non-nil); the engine builds its masked algorithm from the pair.
+	Health   *fault.Health
+	FaultPol fault.RoutingPolicy
+
+	Recovery fault.Recovery
+	Watchdog int64
+
+	// Em batches probe events; its methods no-op without a probe.
+	Em Emitter
+
+	// Counters. NextID numbers packets in enqueue order; the rest are the
+	// totals the simulators expose.
+	NextID         int64
+	FlitsConsumed  int64
+	PacketsDone    int64
+	PacketsAborted int64
+	PacketsRetried int64
+	PacketsDropped int64
+	MisrouteHops   int64
+
+	// Reachability-BFS scratch for the engines' reachable() queries
+	// (recovery mode only): stamped visited marks reused across queries.
+	ReachSeen  []int32
+	ReachQueue []int32
+	ReachStamp int32
+
+	// Hooks, set by the engine once after NewCore. InjFree reports
+	// whether the node's injection buffer is free; InjPlace creates the
+	// engine's worm for a packet whose header enters that buffer.
+	// Reachable answers the post-abort retry feasibility query.
+	// OnEpochChange fires when the fault set's epoch advances (the engine
+	// invalidates cached candidate sets of waiting headers).
+	InjFree       func(node topology.NodeID) bool
+	InjPlace      func(node topology.NodeID, p *Packet)
+	Reachable     func(src, dst topology.NodeID) bool
+	OnEpochChange func()
+
+	queues [][]*Packet // per-node source queues (FIFO)
+	qhead  []int
+	queued int // packets across all queues (O(1) InFlight)
+
+	// retries holds aborted packets waiting out their backoff at the
+	// source (per node); nil unless recovery is enabled.
+	retries    [][]retryEntry
+	retryCount int
+
+	// pending is the injection worklist: the nodes with queued packets or
+	// retry entries, each at most once (inPending is the membership
+	// bitmap). It is kept in ascending node order at injection time so
+	// the visit order — and with it every probe event and arbitration
+	// outcome — matches the full scan it replaces.
+	pending   []int32
+	inPending []bool
+
+	faultEpoch   int64
+	lastProgress int64
+}
+
+// NewCore builds the shared state for a topology and the engine-
+// independent configuration.
+func NewCore(cfg Config) Core {
+	topo := cfg.Topo
+	c := Core{
+		Topo: topo,
+		Grid: NewGrid(topo),
+		Em:   NewEmitter(cfg.Probe),
+	}
+	plan := cfg.FaultPlan
+	if len(cfg.Faults) > 0 {
+		plan.Static = append(append([]topology.Channel(nil), plan.Static...), cfg.Faults...)
+	}
+	if plan.Empty() {
+		c.Faulted = make([]bool, topo.Nodes()*c.Grid.Dims2)
+	} else {
+		c.Faults = fault.MustNew(plan, topo)
+		c.Faulted = c.Faults.Faulted
+	}
+	if cfg.FaultRouting.Enabled() && c.Faults != nil {
+		c.FaultPol = cfg.FaultRouting.WithDefaults()
+		c.Health = fault.NewHealth(topo, c.Faults, c.FaultPol)
+	}
+	c.Recovery = cfg.Recovery
+	if c.Recovery.Enabled {
+		c.Recovery = c.Recovery.WithDefaults()
+		c.retries = make([][]retryEntry, topo.Nodes())
+	}
+	c.queues = make([][]*Packet, topo.Nodes())
+	c.qhead = make([]int, topo.Nodes())
+	c.inPending = make([]bool, topo.Nodes())
+	c.Watchdog = cfg.WatchdogCycles
+	if c.Watchdog == 0 {
+		c.Watchdog = 10000
+	}
+	return c
+}
+
+// Bind finishes construction once the Core has its final address (the
+// engines embed it by value): it routes fault transition events through
+// the emitter. The engine sets the hooks alongside.
+func (c *Core) Bind() {
+	if c.Faults != nil {
+		c.Faults.OnChange = func(from topology.NodeID, dir topology.Direction, failed bool) {
+			c.Em.Fault(c.Cycle, from, dir, failed)
+		}
+	}
+}
+
+// Enqueue creates a packet at the current cycle and queues it at src. The
+// engines validate arguments (their panic messages carry the package name)
+// before delegating here.
+func (c *Core) Enqueue(src, dst topology.NodeID, length int) *Packet {
+	p := &Packet{
+		ID: c.NextID, Src: src, Dst: dst, Length: length,
+		Created: c.Cycle, Injected: -1, Arrived: -1,
+	}
+	c.NextID++
+	c.queues[src] = append(c.queues[src], p)
+	c.queued++
+	c.addPending(int32(src))
+	return p
+}
+
+// QueueLen reports how many generated messages wait at the node's source
+// queue (not yet injecting).
+func (c *Core) QueueLen(node topology.NodeID) int {
+	return len(c.queues[node]) - c.qhead[node]
+}
+
+// MaxQueueLen reports the longest current source queue.
+func (c *Core) MaxQueueLen() int {
+	max := 0
+	for i := range c.queues {
+		if l := len(c.queues[i]) - c.qhead[i]; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Backlog counts queued plus retry-pending packets; the engine adds its
+// active worm count for the InFlight total. O(1): the queue and retry
+// populations are tracked incrementally.
+func (c *Core) Backlog() int { return c.queued + c.retryCount }
+
+// FaultEvents counts channel-break events applied so far, including static
+// faults.
+func (c *Core) FaultEvents() int64 {
+	if c.Faults == nil {
+		return 0
+	}
+	return c.Faults.FailEvents()
+}
+
+// ActiveFaults reports how many channels are currently broken.
+func (c *Core) ActiveFaults() int {
+	if c.Faults == nil {
+		return 0
+	}
+	return c.Faults.ActiveFaults()
+}
+
+// addPending puts a node on the injection worklist (idempotent).
+func (c *Core) addPending(node int32) {
+	if !c.inPending[node] {
+		c.inPending[node] = true
+		c.pending = append(c.pending, node)
+	}
+}
+
+// nodeBusy reports whether the node still has queued packets or retry
+// entries (due or not).
+func (c *Core) nodeBusy(node int32) bool {
+	if c.qhead[node] < len(c.queues[node]) {
+		return true
+	}
+	return c.retries != nil && len(c.retries[node]) > 0
+}
+
+// sortPending restores ascending node order. The list is nearly sorted —
+// compaction preserves order and new nodes append at the end — so an
+// insertion sort is effectively linear; and because each node appears at
+// most once the order is total, making the visit order identical to the
+// full node scan this worklist replaces.
+func (c *Core) sortPending() {
+	p := c.pending
+	for i := 1; i < len(p); i++ {
+		v := p[i]
+		j := i - 1
+		for j >= 0 && p[j] > v {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = v
+	}
+}
+
+// popRetry returns the first due retry packet at the node, or nil. Entries
+// are scanned in abort order so an early abort with a long backoff does not
+// block a later one with a short backoff.
+func (c *Core) popRetry(node int32) *Packet {
+	if c.retries == nil {
+		return nil
+	}
+	q := c.retries[node]
+	for i := range q {
+		if q[i].at <= c.Cycle {
+			p := q[i].p
+			c.retries[node] = append(q[:i], q[i+1:]...)
+			c.retryCount--
+			return p
+		}
+	}
+	return nil
+}
+
+// popQueue dequeues the node's oldest generated packet, or nil.
+func (c *Core) popQueue(node int32) *Packet {
+	if c.qhead[node] >= len(c.queues[node]) {
+		return nil
+	}
+	p := c.queues[node][c.qhead[node]]
+	c.queues[node][c.qhead[node]] = nil
+	c.qhead[node]++
+	if c.qhead[node] == len(c.queues[node]) {
+		c.queues[node] = c.queues[node][:0]
+		c.qhead[node] = 0
+	}
+	c.queued--
+	return p
+}
+
+// FaultPhase applies this cycle's channel breaks and repairs and refreshes
+// the fault-visibility map; when the fault epoch advances it invokes the
+// engine's OnEpochChange hook so stale cached candidate sets are dropped.
+func (c *Core) FaultPhase() {
+	if c.Faults == nil {
+		return
+	}
+	c.Faults.Advance(c.Cycle)
+	if c.Health != nil {
+		c.Health.Refresh()
+		if e := c.Faults.Epoch(); e != c.faultEpoch {
+			c.faultEpoch = e
+			c.OnEpochChange()
+		}
+	}
+}
+
+// InjectPhase runs source injection over the pending worklist: for each
+// node with queued work, in ascending node order, due retries then fresh
+// messages enter the injection buffer while it is free; packets whose
+// destination the fault set has cut off entirely are dropped without
+// entering the network. Nodes left with no queued work leave the
+// worklist. It reports whether anything happened (progress).
+func (c *Core) InjectPhase() bool {
+	if len(c.pending) == 0 {
+		return false
+	}
+	c.sortPending()
+	progress := false
+	out := c.pending[:0]
+	for _, nd := range c.pending {
+		node := topology.NodeID(nd)
+		if c.InjFree(node) {
+			for {
+				p := c.popRetry(nd)
+				if p == nil {
+					p = c.popQueue(nd)
+					if p == nil {
+						break
+					}
+				}
+				if c.Recovery.Enabled && c.Faults != nil && c.Faults.ActiveFaults() > 0 &&
+					c.CutOff(node, p.Dst) {
+					c.DropPacket(p, metrics.DropUnreachable)
+					progress = true
+					continue // the injection buffer is still free; try the next
+				}
+				p.Injected = c.Cycle
+				c.InjPlace(node, p)
+				progress = true
+				c.Em.Inject(c.Cycle, p.Src, p.Dst, p.Length)
+				break
+			}
+		}
+		if c.nodeBusy(nd) {
+			out = append(out, nd)
+		} else {
+			c.inPending[nd] = false
+		}
+	}
+	c.pending = out
+	return progress
+}
+
+// FinishAbort is the engine-independent tail of a worm abort, after the
+// engine has drained the worm's flits and released its buffers and
+// channels: accounting, then retry with backoff or drop.
+func (c *Core) FinishAbort(p *Packet) {
+	p.Injected = -1
+	p.Hops = 0
+	p.Aborts++
+	c.PacketsAborted++
+	c.Em.Abort(c.Cycle, p.Src, p.Dst, p.Length, p.Aborts)
+	if c.Recovery.MaxRetries >= 0 && p.Aborts > c.Recovery.MaxRetries {
+		c.DropPacket(p, metrics.DropRetriesExhausted)
+		return
+	}
+	if !c.Reachable(p.Src, p.Dst) {
+		c.DropPacket(p, metrics.DropUnreachable)
+		return
+	}
+	delay := c.Recovery.Backoff(p.Aborts)
+	c.retries[p.Src] = append(c.retries[p.Src], retryEntry{p: p, at: c.Cycle + delay})
+	c.retryCount++
+	c.addPending(int32(p.Src))
+	c.PacketsRetried++
+	c.Em.Retry(c.Cycle, p.Src, p.Dst, p.Aborts, delay)
+}
+
+// DropPacket abandons a packet: it leaves the in-flight population for
+// good.
+func (c *Core) DropPacket(p *Packet, reason metrics.DropReason) {
+	c.PacketsDropped++
+	c.Em.Drop(c.Cycle, p.Src, p.Dst, p.Length, reason)
+}
+
+// CutOff is the cheap injection-time unreachability check: the source has
+// no live outgoing channel, or the destination no live incoming one. It
+// catches failed-node destinations outright; subtler routing-restricted
+// unreachability is caught by the engine's full BFS when the packet is
+// aborted.
+func (c *Core) CutOff(src, dst topology.NodeID) bool {
+	g := c.Grid
+	srcCut, dstCut := true, true
+	for d := 0; d < g.Dims2; d++ {
+		dir := topology.Direction(d)
+		if nb, ok := g.Neighbor(src, dir); ok && nb != src {
+			if !c.Faulted[int(src)*g.Dims2+d] {
+				srcCut = false
+			}
+		}
+		if nb, ok := g.Neighbor(dst, dir); ok && nb != dst {
+			if back, ok2 := g.Neighbor(nb, dir.Opposite()); ok2 && back == dst &&
+				!c.Faulted[int(nb)*g.Dims2+int(dir.Opposite())] {
+				dstCut = false
+			}
+		}
+		if !srcCut && !dstCut {
+			return false
+		}
+	}
+	return true
+}
+
+// EndStep closes the cycle: it flushes batched probe events, advances the
+// clock and evaluates the deadlock watchdog. active is the engine's
+// in-network worm count; the return value reports whether the watchdog
+// fired (never under recovery, which aborts stuck worms per-worm instead).
+func (c *Core) EndStep(progress bool, active int) bool {
+	c.Em.Tick(c.Cycle)
+	c.Cycle++
+	if progress {
+		c.lastProgress = c.Cycle
+		return false
+	}
+	if c.Recovery.Enabled {
+		// Recovery mode never fail-stops: stuck worms are aborted by the
+		// per-worm timeout, and a quiet network with packets only waiting
+		// out retry backoff is making (delayed) progress.
+		return false
+	}
+	return c.Watchdog > 0 && active+c.queued+c.retryCount > 0 && c.Cycle-c.lastProgress >= c.Watchdog
+}
+
+// Deadlock builds the watchdog's error value.
+func (c *Core) Deadlock(active int, stuck []*Packet) *DeadlockError {
+	return &DeadlockError{Cycle: c.Cycle, InFlight: active + c.queued + c.retryCount, Stuck: stuck}
+}

@@ -1,0 +1,231 @@
+package engine_test
+
+// The differential harness: the same (topology, algorithm, traffic, seed,
+// faults) workload is driven through both simulators — internal/network,
+// where a physical channel belongs to one worm, and internal/vcnet with the
+// algorithm lifted to a single virtual channel per physical channel. With
+// one VC the two channel models coincide, so every observable must agree:
+// per-packet injection and delivery cycles, hop counts, counter totals, and
+// the outcome of every step (including deadlock). This pins the shared
+// engine core refactor end to end: any divergence in phase order,
+// arbitration tie-breaking, fault handling, or retry policy between the two
+// engines shows up as a packet delivered at a different cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/network"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/vc"
+	"turnmodel/internal/vcnet"
+)
+
+// diffCase is one workload of the harness.
+type diffCase struct {
+	topo   string // "mesh", "torus", "cube"
+	alg    string // registered routing algorithm name
+	rate   float64
+	cycles int64
+	faults []topology.Channel
+	rec    bool
+}
+
+func (c diffCase) name() string {
+	n := c.topo + "/" + c.alg
+	if len(c.faults) > 0 {
+		n += "/faulted"
+	}
+	return n
+}
+
+func (c diffCase) topology(t *testing.T) topology.Topology {
+	t.Helper()
+	switch c.topo {
+	case "mesh":
+		return topology.NewMesh(6, 6)
+	case "torus":
+		return topology.NewTorus(5, 5)
+	case "cube":
+		return topology.NewHypercube(4)
+	}
+	t.Fatalf("unknown topology kind %q", c.topo)
+	return nil
+}
+
+// injection is one scheduled enqueue, generated once and applied to both
+// simulators.
+type injection struct {
+	cycle    int64
+	src, dst topology.NodeID
+	length   int
+}
+
+func schedule(c diffCase, topo topology.Topology, seed int64) []injection {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := topo.Nodes()
+	var out []injection
+	for cycle := int64(0); cycle < c.cycles; cycle++ {
+		for node := 0; node < nodes; node++ {
+			if rng.Float64() >= c.rate {
+				continue
+			}
+			dst := topology.NodeID(rng.Intn(nodes))
+			if dst == topology.NodeID(node) {
+				continue
+			}
+			out = append(out, injection{
+				cycle: cycle, src: topology.NodeID(node), dst: dst,
+				length: 1 + rng.Intn(8),
+			})
+		}
+	}
+	return out
+}
+
+// every registered algorithm on a topology it supports; together the cases
+// cover all of routing.Names().
+var diffCases = []diffCase{
+	{topo: "mesh", alg: "dimension-order", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "xy", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "west-first", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "north-last", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "negative-first", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "abonf", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "abopl", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "odd-even", rate: 0.02, cycles: 3000},
+	{topo: "mesh", alg: "fully-adaptive", rate: 0.01, cycles: 2000},
+	{topo: "torus", alg: "negative-first", rate: 0.02, cycles: 3000},
+	{topo: "torus", alg: "west-first+wrap", rate: 0.02, cycles: 3000},
+	{topo: "torus", alg: "north-last+wrap", rate: 0.02, cycles: 3000},
+	{topo: "torus", alg: "negative-first+wrap", rate: 0.02, cycles: 3000},
+	{topo: "torus", alg: "dimension-order+wrap", rate: 0.02, cycles: 3000},
+	{topo: "cube", alg: "e-cube", rate: 0.02, cycles: 3000},
+	{topo: "cube", alg: "p-cube", rate: 0.02, cycles: 3000},
+	{topo: "cube", alg: "p-cube-nonminimal", rate: 0.02, cycles: 3000},
+	// Faulted + recovery: aborts, source retries, reachability drops and
+	// the fault-epoch plumbing must also agree between the engines.
+	{topo: "mesh", alg: "west-first", rate: 0.02, cycles: 4000, rec: true,
+		faults: []topology.Channel{mustChan("mesh", 7, topology.East), mustChan("mesh", 14, topology.North)}},
+	{topo: "torus", alg: "negative-first+wrap", rate: 0.02, cycles: 4000, rec: true,
+		faults: []topology.Channel{mustChan("torus", 6, topology.East)}},
+	{topo: "cube", alg: "p-cube-nonminimal", rate: 0.02, cycles: 4000, rec: true,
+		faults: []topology.Channel{mustChan("cube", 3, topology.Dir(1, false))}},
+}
+
+func mustChan(kind string, from topology.NodeID, d topology.Direction) topology.Channel {
+	var topo topology.Topology
+	switch kind {
+	case "mesh":
+		topo = topology.NewMesh(6, 6)
+	case "torus":
+		topo = topology.NewTorus(5, 5)
+	case "cube":
+		topo = topology.NewHypercube(4)
+	}
+	to, ok := topo.Neighbor(from, d)
+	if !ok {
+		panic(fmt.Sprintf("diff test: node %d has no %v channel on %s", from, d, kind))
+	}
+	return topology.Channel{From: from, To: to, Dir: d}
+}
+
+func TestDifferentialNetworkVsVCNet(t *testing.T) {
+	for _, c := range diffCases {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			t.Parallel()
+			topo := c.topology(t)
+			algPhys, err := routing.New(c.alg, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			algVC, err := routing.New(c.alg, c.topology(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := fault.Recovery{}
+			if c.rec {
+				rec = fault.Recovery{Enabled: true, StallCycles: 200, MaxRetries: 4}
+			}
+			phys := network.New(network.Config{
+				Routing:  algPhys,
+				Faults:   c.faults,
+				Recovery: rec,
+			})
+			vnet := vcnet.New(vcnet.Config{
+				Routing:  vc.Lift(algVC),
+				Faults:   c.faults,
+				Recovery: rec,
+				// With one VC the channel models coincide except for
+				// ejection bandwidth, where vcnet defaults to one flit per
+				// node per cycle; lift the cap to match network's
+				// consume-immediately model.
+				UncappedEjection: true,
+			})
+
+			sched := schedule(c, topo, 42)
+			next := 0
+			drain := c.cycles + 20000
+			for cycle := int64(0); cycle < drain; cycle++ {
+				for next < len(sched) && sched[next].cycle == cycle {
+					in := sched[next]
+					a := phys.Enqueue(in.src, in.dst, in.length)
+					b := vnet.Enqueue(in.src, in.dst, in.length)
+					if a.ID != b.ID {
+						t.Fatalf("cycle %d: packet ID mismatch %d vs %d", cycle, a.ID, b.ID)
+					}
+					next++
+				}
+				errA := phys.Step()
+				errB := vnet.Step()
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("cycle %d: step errors diverge: network=%v vcnet=%v", cycle, errA, errB)
+				}
+				if errA != nil {
+					// Both deadlocked: the shared watchdog must agree on the
+					// diagnosis too.
+					if errA.Error() != errB.Error() {
+						t.Fatalf("cycle %d: deadlock diagnoses diverge:\n  network: %v\n  vcnet:   %v", cycle, errA, errB)
+					}
+					return
+				}
+				da, db := phys.TakeDelivered(), vnet.TakeDelivered()
+				if len(da) != len(db) {
+					t.Fatalf("cycle %d: delivered %d packets in network, %d in vcnet", cycle, len(da), len(db))
+				}
+				for i := range da {
+					pa, pb := da[i], db[i]
+					if pa.ID != pb.ID || pa.Injected != pb.Injected || pa.Arrived != pb.Arrived ||
+						pa.Hops != pb.Hops || pa.Aborts != pb.Aborts {
+						t.Fatalf("cycle %d: delivery %d diverges:\n  network: %+v\n  vcnet:   %+v", cycle, i, *pa, *pb)
+					}
+				}
+				if next == len(sched) && phys.InFlight() == 0 && vnet.InFlight() == 0 {
+					break
+				}
+			}
+			if phys.InFlight() != vnet.InFlight() {
+				t.Errorf("in flight at end: network %d, vcnet %d", phys.InFlight(), vnet.InFlight())
+			}
+
+			type totals struct {
+				Delivered, Flits, Aborted, Retried, Dropped, FaultEvents int64
+				MaxQueue                                                 int
+			}
+			ta := totals{phys.PacketsDelivered(), phys.FlitsConsumed(), phys.PacketsAborted(),
+				phys.PacketsRetried(), phys.PacketsDropped(), phys.FaultEvents(), phys.MaxQueueLen()}
+			tb := totals{vnet.PacketsDelivered(), vnet.FlitsConsumed(), vnet.PacketsAborted(),
+				vnet.PacketsRetried(), vnet.PacketsDropped(), vnet.FaultEvents(), vnet.MaxQueueLen()}
+			if ta != tb {
+				t.Errorf("counter totals diverge:\n  network: %+v\n  vcnet:   %+v", ta, tb)
+			}
+			if ta.Delivered == 0 {
+				t.Errorf("differential run delivered no packets (workload too weak to mean anything)")
+			}
+		})
+	}
+}

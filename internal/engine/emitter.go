@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"turnmodel/internal/metrics"
+	"turnmodel/internal/topology"
+)
+
+// Emitter batches probe events: the step loops record events into a
+// reusable tagged buffer and Tick replays them, in emission order, into the
+// configured metrics.Probe before forwarding the Tick itself. Batching
+// keeps the interface dispatch out of the innermost loops; with no probe
+// configured every method returns immediately, so the no-probe step path
+// stays allocation-free (enforced by TestStepZeroAllocs).
+//
+// Probe semantics are preserved exactly: events of cycle c reach the probe
+// in the order they were emitted, before Tick(c), and never after it.
+type Emitter struct {
+	probe  metrics.Probe
+	events []probeEvent
+}
+
+type probeEventKind uint8
+
+const (
+	evInject probeEventKind = iota
+	evBlocked
+	evFlitMove
+	evDeliver
+	evFault
+	evAbort
+	evRetry
+	evDrop
+)
+
+// probeEvent is one buffered probe call; the meaning of a, b, x, y, z
+// depends on kind.
+type probeEvent struct {
+	kind   probeEventKind
+	failed bool
+	dir    topology.Direction
+	reason metrics.DropReason
+	cycle  int64
+	a, b   topology.NodeID
+	x, y   int64
+	z, w   int64
+}
+
+// NewEmitter wraps a probe; a nil probe yields a disabled emitter.
+func NewEmitter(p metrics.Probe) Emitter { return Emitter{probe: p} }
+
+// Enabled reports whether a probe is attached.
+func (e *Emitter) Enabled() bool { return e.probe != nil }
+
+// Probe returns the attached probe (nil when disabled).
+func (e *Emitter) Probe() metrics.Probe { return e.probe }
+
+func (e *Emitter) Inject(cycle int64, src, dst topology.NodeID, length int) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evInject, cycle: cycle, a: src, b: dst, x: int64(length)})
+}
+
+func (e *Emitter) Blocked(cycle int64, node topology.NodeID) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evBlocked, cycle: cycle, a: node})
+}
+
+func (e *Emitter) FlitMove(cycle int64, from topology.NodeID, dir topology.Direction, flits int) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evFlitMove, cycle: cycle, a: from, dir: dir, x: int64(flits)})
+}
+
+func (e *Emitter) Deliver(cycle int64, src, dst topology.NodeID, length, hops int, queueDelay, netDelay int64) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{
+		kind: evDeliver, cycle: cycle, a: src, b: dst,
+		x: int64(length), y: int64(hops), z: queueDelay, w: netDelay,
+	})
+}
+
+func (e *Emitter) Fault(cycle int64, from topology.NodeID, dir topology.Direction, failed bool) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evFault, cycle: cycle, a: from, dir: dir, failed: failed})
+}
+
+func (e *Emitter) Abort(cycle int64, src, dst topology.NodeID, length, attempt int) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evAbort, cycle: cycle, a: src, b: dst, x: int64(length), y: int64(attempt)})
+}
+
+func (e *Emitter) Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evRetry, cycle: cycle, a: src, b: dst, x: int64(attempt), y: delay})
+}
+
+func (e *Emitter) Drop(cycle int64, src, dst topology.NodeID, length int, reason metrics.DropReason) {
+	if e.probe == nil {
+		return
+	}
+	e.events = append(e.events, probeEvent{kind: evDrop, cycle: cycle, a: src, b: dst, x: int64(length), reason: reason})
+}
+
+// Tick flushes every buffered event to the probe in order, then forwards
+// the end-of-cycle Tick.
+func (e *Emitter) Tick(cycle int64) {
+	if e.probe == nil {
+		return
+	}
+	for i := range e.events {
+		ev := &e.events[i]
+		switch ev.kind {
+		case evInject:
+			e.probe.Inject(ev.cycle, ev.a, ev.b, int(ev.x))
+		case evBlocked:
+			e.probe.Blocked(ev.cycle, ev.a)
+		case evFlitMove:
+			e.probe.FlitMove(ev.cycle, ev.a, ev.dir, int(ev.x))
+		case evDeliver:
+			e.probe.Deliver(ev.cycle, ev.a, ev.b, int(ev.x), int(ev.y), ev.z, ev.w)
+		case evFault:
+			e.probe.Fault(ev.cycle, ev.a, ev.dir, ev.failed)
+		case evAbort:
+			e.probe.Abort(ev.cycle, ev.a, ev.b, int(ev.x), int(ev.y))
+		case evRetry:
+			e.probe.Retry(ev.cycle, ev.a, ev.b, int(ev.x), ev.y)
+		case evDrop:
+			e.probe.Drop(ev.cycle, ev.a, ev.b, int(ev.x), ev.reason)
+		}
+	}
+	e.events = e.events[:0]
+	e.probe.Tick(cycle)
+}

@@ -1,0 +1,62 @@
+package engine
+
+import "turnmodel/internal/topology"
+
+// Grid is the flat-indexed image of a topology.Topology: neighbor and
+// wraparound lookups become single loads into dense precomputed tables,
+// replacing the interface calls (and their coordinate arithmetic) in the
+// per-cycle step loops. A Grid is immutable after construction and safe
+// for concurrent use.
+type Grid struct {
+	Topo  topology.Topology
+	Dims  int
+	Dims2 int // 2*Dims: directed channel classes per node
+	Nodes int
+
+	// neighbor[node*Dims2+dir] is the node the channel leaving node in
+	// dir enters, or -1 when the channel does not exist (mesh boundary).
+	// wrap marks torus wraparound channels under the same key.
+	neighbor []int32
+	wrap     []bool
+}
+
+// NewGrid precomputes the flat tables for a topology.
+func NewGrid(topo topology.Topology) *Grid {
+	g := &Grid{
+		Topo:  topo,
+		Dims:  topo.Dims(),
+		Dims2: 2 * topo.Dims(),
+		Nodes: topo.Nodes(),
+	}
+	g.neighbor = make([]int32, g.Nodes*g.Dims2)
+	g.wrap = make([]bool, g.Nodes*g.Dims2)
+	for node := 0; node < g.Nodes; node++ {
+		for d := 0; d < g.Dims2; d++ {
+			dir := topology.Direction(d)
+			if nb, ok := topo.Neighbor(topology.NodeID(node), dir); ok {
+				g.neighbor[node*g.Dims2+d] = int32(nb)
+				g.wrap[node*g.Dims2+d] = topo.Wraparound(topology.NodeID(node), dir)
+			} else {
+				g.neighbor[node*g.Dims2+d] = -1
+			}
+		}
+	}
+	return g
+}
+
+// Key is the dense index of the directed channel leaving node in dir; the
+// engines key their outOwner/faulted/channel-load tables by it.
+func (g *Grid) Key(node topology.NodeID, d topology.Direction) int {
+	return int(node)*g.Dims2 + int(d)
+}
+
+// Neighbor is the table-backed equivalent of Topology.Neighbor.
+func (g *Grid) Neighbor(node topology.NodeID, d topology.Direction) (topology.NodeID, bool) {
+	nb := g.neighbor[int(node)*g.Dims2+int(d)]
+	return topology.NodeID(nb), nb >= 0
+}
+
+// Wrap is the table-backed equivalent of Topology.Wraparound.
+func (g *Grid) Wrap(node topology.NodeID, d topology.Direction) bool {
+	return g.wrap[int(node)*g.Dims2+int(d)]
+}

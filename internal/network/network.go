@@ -9,6 +9,12 @@
 // Time advances in cycles; one cycle is the time a channel needs to
 // transmit one flit. With the paper's channel bandwidth of 20 flits/us,
 // one cycle is 0.05 us (see FlitsPerMicrosecond).
+//
+// The engine-independent machinery — source queues, the injection
+// worklist, fault wiring, retry/drop accounting, the watchdog, and flat
+// topology tables — lives in the shared internal/engine core; this package
+// owns the physical-channel model, where a worm holds whole channels and
+// advances as a unit.
 package network
 
 import (
@@ -16,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"turnmodel/internal/engine"
 	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/routing"
@@ -77,29 +84,22 @@ type Config struct {
 	// 0 (and 1) give the paper's idealized single-cycle router.
 	RoutingDelay int64
 	// Probe receives simulation events (see metrics.Probe). nil disables
-	// instrumentation at zero cost: every emission site is nil-guarded
-	// and the Step hot loop stays allocation-free (BenchmarkNetworkStep
-	// pins this).
+	// instrumentation at zero cost: emission is batched through the
+	// engine core's emitter, whose no-probe paths return immediately and
+	// keep the Step hot loop allocation-free (TestStepAllocs pins this).
 	Probe metrics.Probe
 }
 
 // DeadlockError is returned by Step when the watchdog detects that no flit
 // has moved for the configured number of cycles although packets are in
 // flight — the signature of a routing deadlock.
-type DeadlockError struct {
-	Cycle    int64
-	InFlight int
-	Stuck    []*Packet
-}
-
-func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("network: deadlock at cycle %d: %d packets in flight, none progressing (e.g. %v)",
-		e.Cycle, e.InFlight, e.Stuck[0])
-}
+type DeadlockError = engine.DeadlockError
 
 // Network is the simulator state. It is not safe for concurrent use; run
 // independent simulations in independent Networks.
 type Network struct {
+	core engine.Core
+
 	topo   topology.Topology
 	alg    routing.Algorithm
 	output OutputPolicy
@@ -107,73 +107,48 @@ type Network struct {
 	rng    *rand.Rand
 
 	dims  int
+	dims2 int
 	ports int // per router: 2n input-buffer ports plus the injection port
 
-	cycle    int64
 	occupied []bool  // buffer id -> flit present
 	outOwner []*worm // router*2n+dir -> holder of the output channel
-	faulted  []bool  // router*2n+dir -> channel is broken
+	faulted  []bool  // router*2n+dir -> broken (aliases core.Faulted)
 
-	// faults drives the dynamic fault plan; nil when the plan is empty.
-	// When non-nil, faulted aliases faults.Faulted so output allocation
-	// keeps its single-load fault check.
-	faults   *fault.State
-	recovery fault.Recovery
-	// health and masked implement fault-aware routing; both nil unless
-	// Config.FaultRouting is enabled and the fault plan is non-empty.
-	// faultEpoch tracks the last fault-set epoch seen, to invalidate
-	// cached candidate sets when the set changes.
-	health     *fault.Health
+	// routerOf and portOf decode buffer ids without division.
+	routerOf []int32
+	portOf   []int16
+
+	// masked implements fault-aware routing; nil unless enabled with a
+	// non-empty fault plan. appender is the routing algorithm's optional
+	// allocation-free candidate path; fastOutput short-circuits the
+	// output policy when it is the default LowestDimension (first free
+	// candidate), keeping the policy interface out of the hot loop.
 	masked     *routing.FaultAware
-	faultEpoch int64
-	// retries holds aborted packets waiting out their backoff at the
-	// source (per node); nil unless recovery is enabled.
-	retries [][]retryEntry
-
-	queues [][]*Packet // per-node source queues (FIFO)
-	qhead  []int
+	appender   routing.CandidateAppender
+	fastOutput bool
 
 	active    []*worm
 	requests  []*worm // scratch: headers awaiting an output this cycle
 	delivered []*Packet
 
-	nextID         int64
-	flitsConsumed  int64
-	packetsDone    int64
-	packetsAborted int64
-	packetsRetried int64
-	packetsDropped int64
-	misrouteHops   int64
-	lastProgress   int64
-	watchdogCycles int64
-	routingDelay   int64
+	routingDelay int64
 
-	// Reachability-BFS scratch (recovery mode only): stamped visited
-	// marks over (node, inPort, wrap) states, reused across queries.
-	reachSeen  []int32
-	reachQueue []int32
-	reachStamp int32
-	// victims is the per-cycle scratch list of timed-out worms.
-	victims []*worm
+	// victims is the per-cycle scratch list of timed-out worms;
+	// candScratch is reused by reachable()'s candidate queries.
+	victims     []*worm
+	candScratch []topology.Direction
 	// channelFlits counts the flits each output channel has carried,
 	// for load analysis (router*2n+dir).
 	channelFlits []int64
 
-	probe metrics.Probe
 	// sorter, freeBase and freeFn are allocation-free machinery for the
 	// Step hot loop: a stored sort.Interface replaces the sort.Slice
-	// closure, and freeFn is allocated once with freeBase rebound per
-	// request instead of closing over a fresh base per header.
+	// closure for large request lists, and freeFn is allocated once with
+	// freeBase rebound per request instead of closing over a fresh base
+	// per header.
 	sorter   reqSorter
 	freeBase int
 	freeFn   func(topology.Direction) bool
-}
-
-// retryEntry is one aborted packet waiting at its source to reinject at
-// cycle `at`.
-type retryEntry struct {
-	p  *Packet
-	at int64
 }
 
 // reqSorter orders the pending requests by router, then by the input
@@ -190,11 +165,7 @@ func (s *reqSorter) Swap(i, j int) {
 
 func (s *reqSorter) Less(i, j int) bool {
 	r := s.n.requests
-	ri, rj := s.n.bufRouter(r[i].headBuf()), s.n.bufRouter(r[j].headBuf())
-	if ri != rj {
-		return ri < rj
-	}
-	return s.n.input.Less(r[i], r[j])
+	return s.n.requestLess(r[i], r[j])
 }
 
 // New builds a network simulator for the given configuration.
@@ -217,45 +188,51 @@ func New(cfg Config) *Network {
 	if n.input == nil {
 		n.input = LocalFCFS{}
 	}
-	n.ports = 2*n.dims + 1
+	n.dims2 = 2 * n.dims
+	n.ports = n.dims2 + 1
 	n.occupied = make([]bool, topo.Nodes()*n.ports)
-	n.outOwner = make([]*worm, topo.Nodes()*2*n.dims)
-	plan := cfg.FaultPlan
-	if len(cfg.Faults) > 0 {
-		plan.Static = append(append([]topology.Channel(nil), plan.Static...), cfg.Faults...)
+	n.outOwner = make([]*worm, topo.Nodes()*n.dims2)
+	n.routerOf = make([]int32, topo.Nodes()*n.ports)
+	n.portOf = make([]int16, topo.Nodes()*n.ports)
+	for b := range n.routerOf {
+		n.routerOf[b] = int32(b / n.ports)
+		n.portOf[b] = int16(b % n.ports)
 	}
-	if plan.Empty() {
-		n.faulted = make([]bool, topo.Nodes()*2*n.dims)
-	} else {
-		n.faults = fault.MustNew(plan, topo)
-		// Alias the fault state's bitmap: output allocation reads it with
-		// one load, and Advance's transitions are visible immediately.
-		n.faulted = n.faults.Faulted
-		n.faults.OnChange = func(from topology.NodeID, dir topology.Direction, failed bool) {
-			if n.probe != nil {
-				n.probe.Fault(n.cycle, from, dir, failed)
+	n.core = engine.NewCore(engine.Config{
+		Topo:           topo,
+		WatchdogCycles: cfg.WatchdogCycles,
+		Faults:         cfg.Faults,
+		FaultPlan:      cfg.FaultPlan,
+		Recovery:       cfg.Recovery,
+		FaultRouting:   cfg.FaultRouting,
+		Probe:          cfg.Probe,
+	})
+	n.core.Bind()
+	n.core.InjFree = func(node topology.NodeID) bool {
+		return !n.occupied[int(node)*n.ports+n.dims2]
+	}
+	n.core.InjPlace = n.placeWorm
+	n.core.Reachable = n.reachable
+	n.core.OnEpochChange = func() {
+		// The fault set changed, so masked candidate sets computed from
+		// the old set are stale: let waiting headers (those not yet
+		// granted an output channel) re-decide.
+		for _, w := range n.active {
+			if !w.arrived && w.outDir == noDirection {
+				w.candsValid = false
 			}
 		}
 	}
-	if cfg.FaultRouting.Enabled() && n.faults != nil {
-		pol := cfg.FaultRouting.WithDefaults()
-		n.health = fault.NewHealth(topo, n.faults, pol)
-		n.masked = routing.NewFaultAware(cfg.Routing, n.health, pol)
+	// Alias the core's fault bitmap: output allocation reads it with one
+	// load, and fault transitions are visible immediately.
+	n.faulted = n.core.Faulted
+	if n.core.Health != nil {
+		n.masked = routing.NewFaultAware(cfg.Routing, n.core.Health, n.core.FaultPol)
 	}
-	n.recovery = cfg.Recovery
-	if n.recovery.Enabled {
-		n.recovery = n.recovery.WithDefaults()
-		n.retries = make([][]retryEntry, topo.Nodes())
-	}
-	n.queues = make([][]*Packet, topo.Nodes())
-	n.qhead = make([]int, topo.Nodes())
-	n.watchdogCycles = cfg.WatchdogCycles
-	if n.watchdogCycles == 0 {
-		n.watchdogCycles = 10000
-	}
+	n.appender, _ = cfg.Routing.(routing.CandidateAppender)
+	_, n.fastOutput = n.output.(LowestDimension)
 	n.routingDelay = cfg.RoutingDelay
-	n.channelFlits = make([]int64, topo.Nodes()*2*n.dims)
-	n.probe = cfg.Probe
+	n.channelFlits = make([]int64, topo.Nodes()*n.dims2)
 	n.sorter = reqSorter{n}
 	n.freeFn = func(d topology.Direction) bool {
 		return n.outOwner[n.freeBase+int(d)] == nil && !n.faulted[n.freeBase+int(d)]
@@ -263,10 +240,27 @@ func New(cfg Config) *Network {
 	return n
 }
 
+// placeWorm is the core's injection hook: the packet's header enters the
+// node's free injection buffer.
+func (n *Network) placeWorm(node topology.NodeID, p *Packet) {
+	inj := n.bufID(node, n.dims2)
+	w := &worm{
+		pkt:           p,
+		sent:          1,
+		outDir:        noDirection,
+		headerArrival: n.core.Cycle,
+		headRouter:    node,
+		inDir:         topology.Invalid,
+	}
+	w.path = append(w.pathBuf[:0], inj)
+	n.occupied[inj] = true
+	n.active = append(n.active, w)
+}
+
 // ChannelLoad reports how many flits the channel leaving node in direction
 // d has carried since the start of the simulation.
 func (n *Network) ChannelLoad(node topology.NodeID, d topology.Direction) int64 {
-	return n.channelFlits[int(node)*2*n.dims+int(d)]
+	return n.channelFlits[int(node)*n.dims2+int(d)]
 }
 
 // Topology returns the simulated network's topology.
@@ -276,7 +270,7 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 func (n *Network) Routing() routing.Algorithm { return n.alg }
 
 // Cycle is the current simulation time in cycles.
-func (n *Network) Cycle() int64 { return n.cycle }
+func (n *Network) Cycle() int64 { return n.core.Cycle }
 
 // Microseconds converts a cycle count to microseconds at the paper's
 // channel bandwidth.
@@ -293,64 +287,39 @@ func (n *Network) Enqueue(src, dst topology.NodeID, length int) *Packet {
 	if src == dst {
 		panic("network: self-addressed packet")
 	}
-	p := &Packet{
-		ID: n.nextID, Src: src, Dst: dst, Length: length,
-		Created: n.cycle, Injected: -1, Arrived: -1,
-	}
-	n.nextID++
-	n.queues[src] = append(n.queues[src], p)
-	return p
+	return n.core.Enqueue(src, dst, length)
 }
 
 // QueueLen reports how many generated messages wait at the node's source
 // queue (not yet injecting).
-func (n *Network) QueueLen(node topology.NodeID) int {
-	return len(n.queues[node]) - n.qhead[node]
-}
+func (n *Network) QueueLen(node topology.NodeID) int { return n.core.QueueLen(node) }
 
 // MaxQueueLen reports the longest current source queue; the paper deems a
 // throughput sustainable while source queues stay small and bounded.
-func (n *Network) MaxQueueLen() int {
-	max := 0
-	for i := range n.queues {
-		if l := len(n.queues[i]) - n.qhead[i]; l > max {
-			max = l
-		}
-	}
-	return max
-}
+func (n *Network) MaxQueueLen() int { return n.core.MaxQueueLen() }
 
 // InFlight counts packets that are queued, have flits in the network, or
 // are waiting out a retry backoff after an abort. Dropped packets are not
 // in flight: enqueued = delivered + dropped + in-flight at all times.
-func (n *Network) InFlight() int {
-	total := len(n.active)
-	for i := range n.queues {
-		total += len(n.queues[i]) - n.qhead[i]
-	}
-	for i := range n.retries {
-		total += len(n.retries[i])
-	}
-	return total
-}
+func (n *Network) InFlight() int { return len(n.active) + n.core.Backlog() }
 
 // FlitsConsumed is the total number of flits delivered to destination
 // processors since the start of the simulation.
-func (n *Network) FlitsConsumed() int64 { return n.flitsConsumed }
+func (n *Network) FlitsConsumed() int64 { return n.core.FlitsConsumed }
 
 // PacketsDelivered is the total number of completed packets.
-func (n *Network) PacketsDelivered() int64 { return n.packetsDone }
+func (n *Network) PacketsDelivered() int64 { return n.core.PacketsDone }
 
 // PacketsAborted counts worm aborts by deadlock recovery (a packet aborted
 // k times contributes k).
-func (n *Network) PacketsAborted() int64 { return n.packetsAborted }
+func (n *Network) PacketsAborted() int64 { return n.core.PacketsAborted }
 
 // PacketsRetried counts source retries of aborted packets.
-func (n *Network) PacketsRetried() int64 { return n.packetsRetried }
+func (n *Network) PacketsRetried() int64 { return n.core.PacketsRetried }
 
 // PacketsDropped counts packets abandoned: destination unreachable under
 // the current fault set, or retry budget exhausted.
-func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
+func (n *Network) PacketsDropped() int64 { return n.core.PacketsDropped }
 
 // MaskedFaults counts routing decisions whose candidate set was narrowed
 // (or replaced by a misroute fallback) because the deciding router knew
@@ -364,24 +333,14 @@ func (n *Network) MaskedFaults() int64 {
 
 // MisrouteHops counts header hops taken from a misroute fallback set —
 // the nonminimal detours of fault-aware routing; 0 unless enabled.
-func (n *Network) MisrouteHops() int64 { return n.misrouteHops }
+func (n *Network) MisrouteHops() int64 { return n.core.MisrouteHops }
 
 // FaultEvents counts channel-break events applied so far, including static
 // faults. ActiveFaults is the number of channels broken right now.
-func (n *Network) FaultEvents() int64 {
-	if n.faults == nil {
-		return 0
-	}
-	return n.faults.FailEvents()
-}
+func (n *Network) FaultEvents() int64 { return n.core.FaultEvents() }
 
 // ActiveFaults reports how many channels are currently broken.
-func (n *Network) ActiveFaults() int {
-	if n.faults == nil {
-		return 0
-	}
-	return n.faults.ActiveFaults()
-}
+func (n *Network) ActiveFaults() int { return n.core.ActiveFaults() }
 
 // TakeDelivered returns the packets completed since the previous call and
 // resets the internal list.
@@ -396,24 +355,42 @@ func (n *Network) bufID(node topology.NodeID, port int) int32 {
 }
 
 func (n *Network) bufRouter(buf int32) topology.NodeID {
-	return topology.NodeID(int(buf) / n.ports)
+	return topology.NodeID(n.routerOf[buf])
 }
 
-func (n *Network) bufPort(buf int32) int { return int(buf) % n.ports }
+func (n *Network) bufPort(buf int32) int { return int(n.portOf[buf]) }
 
-// inDirOf reports the direction the worm's header was travelling when it
-// entered its current buffer, and whether it came over a wraparound.
-func (n *Network) inDirOf(w *worm) (topology.Direction, bool) {
-	port := n.bufPort(w.headBuf())
-	if port == 2*n.dims {
-		return topology.Invalid, false
+// requestLess orders competing headers by router, then by the input
+// selection policy. Both built-in policies tie-break on the unique packet
+// ID, so the order is total and every sorting algorithm yields the same
+// permutation.
+func (n *Network) requestLess(a, b *worm) bool {
+	if a.headRouter != b.headRouter {
+		return a.headRouter < b.headRouter
 	}
-	d := topology.Direction(port)
-	if len(w.path) < 2 {
-		return d, false
+	return n.input.Less(a, b)
+}
+
+// sortRequests orders the pending requests. Small lists (the common case
+// at sweep loads) use an insertion sort — the active list's injection
+// order is close to sorted, so it is effectively linear — and large lists
+// fall back to the stored sort.Interface. The comparison is a strict total
+// order, so both paths produce the identical permutation.
+func (n *Network) sortRequests() {
+	r := n.requests
+	if len(r) <= 32 {
+		for i := 1; i < len(r); i++ {
+			w := r[i]
+			j := i - 1
+			for j >= 0 && n.requestLess(w, r[j]) {
+				r[j+1] = r[j]
+				j--
+			}
+			r[j+1] = w
+		}
+		return
 	}
-	prev := n.bufRouter(w.path[len(w.path)-2])
-	return d, n.topo.Wraparound(prev, d)
+	sort.Sort(&n.sorter)
 }
 
 // Step advances the simulation by one cycle: it injects waiting headers,
@@ -421,6 +398,7 @@ func (n *Network) inDirOf(w *worm) (topology.Direction, bool) {
 // output selection policies arbitrate), and then advances every worm that
 // can move by one hop. It returns a *DeadlockError if the watchdog fires.
 func (n *Network) Step() error {
+	c := &n.core
 	progress := false
 
 	// Phase 0: fault transitions and deadlock recovery. The fault plan
@@ -429,27 +407,11 @@ func (n *Network) Step() error {
 	// threshold (the timeout criterion of software-based deadlock
 	// recovery: a genuinely deadlocked worm never moves again, and a
 	// worm starved that long is treated the same).
-	if n.faults != nil {
-		n.faults.Advance(n.cycle)
-		if n.health != nil {
-			n.health.Refresh()
-			if e := n.faults.Epoch(); e != n.faultEpoch {
-				// The fault set changed, so masked candidate sets computed
-				// from the old set are stale: let waiting headers (those
-				// not yet granted an output channel) re-decide.
-				n.faultEpoch = e
-				for _, w := range n.active {
-					if !w.arrived && w.outDir == noDirection {
-						w.candsValid = false
-					}
-				}
-			}
-		}
-	}
-	if n.recovery.Enabled {
+	c.FaultPhase()
+	if c.Recovery.Enabled {
 		n.victims = n.victims[:0]
 		for _, w := range n.active {
-			if !w.arrived && n.cycle-w.headerArrival >= n.recovery.StallCycles {
+			if !w.arrived && c.Cycle-w.headerArrival >= c.Recovery.StallCycles {
 				n.victims = append(n.victims, w)
 			}
 		}
@@ -458,51 +420,12 @@ func (n *Network) Step() error {
 		}
 	}
 
-	// Phase 1: injection. A queued message's header enters the router's
-	// injection buffer as soon as that buffer is free. Due retries take
-	// priority over fresh messages; packets whose destination the fault
-	// set has cut off entirely are dropped without entering the network.
-	for node := range n.queues {
-		inj := n.bufID(topology.NodeID(node), 2*n.dims)
-		if n.occupied[inj] {
-			continue
-		}
-		for {
-			p := n.popRetry(node)
-			if p == nil {
-				if n.qhead[node] >= len(n.queues[node]) {
-					break
-				}
-				p = n.queues[node][n.qhead[node]]
-				n.queues[node][n.qhead[node]] = nil
-				n.qhead[node]++
-				if n.qhead[node] == len(n.queues[node]) {
-					n.queues[node] = n.queues[node][:0]
-					n.qhead[node] = 0
-				}
-			}
-			if n.recovery.Enabled && n.faults != nil && n.faults.ActiveFaults() > 0 &&
-				n.cutOff(topology.NodeID(node), p.Dst) {
-				n.drop(p, metrics.DropUnreachable)
-				progress = true
-				continue // the injection buffer is still free; try the next
-			}
-			p.Injected = n.cycle
-			w := &worm{
-				pkt:           p,
-				path:          []int32{inj},
-				sent:          1,
-				outDir:        noDirection,
-				headerArrival: n.cycle,
-			}
-			n.occupied[inj] = true
-			n.active = append(n.active, w)
-			progress = true
-			if n.probe != nil {
-				n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
-			}
-			break
-		}
+	// Phase 1: injection, over the core's worklist of nodes with queued
+	// work. Due retries take priority over fresh messages; packets whose
+	// destination the fault set has cut off entirely are dropped without
+	// entering the network.
+	if c.InjectPhase() {
+		progress = true
 	}
 
 	// Phase 2: routing and output allocation for waiting headers,
@@ -513,12 +436,12 @@ func (n *Network) Step() error {
 		if w.arrived || w.outDir != noDirection {
 			continue
 		}
-		if n.routingDelay > 0 && n.cycle-w.headerArrival < n.routingDelay {
+		if n.routingDelay > 0 && c.Cycle-w.headerArrival < n.routingDelay {
 			// The routing decision is still in the router pipeline
 			// (Section 7's node-delay cost of adaptive route selection).
 			continue
 		}
-		if n.bufRouter(w.headBuf()) == w.pkt.Dst {
+		if w.headRouter == w.pkt.Dst {
 			// Ejection channels are always available; the message
 			// starts draining into the local processor.
 			w.arrived = true
@@ -527,28 +450,47 @@ func (n *Network) Step() error {
 		n.requests = append(n.requests, w)
 	}
 	if len(n.requests) > 0 {
-		sort.Sort(&n.sorter)
+		n.sortRequests()
 		for _, w := range n.requests {
-			r := n.bufRouter(w.headBuf())
-			in, inWrap := n.inDirOf(w)
+			r := w.headRouter
 			if !w.candsValid {
 				// The permitted outputs depend only on (router, dst,
 				// arrival direction), all fixed while the header waits in
 				// this buffer, so the candidate list is computed once per
 				// hop rather than once per cycle.
 				if n.masked != nil {
-					w.cands, w.candsMis = n.masked.FaultCandidates(r, w.pkt.Dst, in, inWrap, w.misroutes)
+					w.cands, w.candsMis = n.masked.FaultCandidates(r, w.pkt.Dst, w.inDir, w.inWrap, w.misroutes)
+				} else if n.appender != nil {
+					w.cands = n.appender.AppendCandidates(w.candBuf[:0], r, w.pkt.Dst, w.inDir, w.inWrap)
 				} else {
-					w.cands = n.alg.Candidates(r, w.pkt.Dst, in, inWrap)
+					w.cands = n.alg.Candidates(r, w.pkt.Dst, w.inDir, w.inWrap)
 				}
 				w.candsValid = true
 			}
-			n.freeBase = int(r) * 2 * n.dims
-			if d, ok := n.output.Choose(w.cands, n.freeFn, in, n.rng); ok {
-				n.outOwner[n.freeBase+int(d)] = w
+			base := int(r) * n.dims2
+			if n.fastOutput {
+				// LowestDimension is "first free candidate": inline it and
+				// skip the policy's closure indirection.
+				granted := false
+				for _, d := range w.cands {
+					if k := base + int(d); n.outOwner[k] == nil && !n.faulted[k] {
+						n.outOwner[k] = w
+						w.outDir = d
+						granted = true
+						break
+					}
+				}
+				if !granted {
+					c.Em.Blocked(c.Cycle, r)
+				}
+				continue
+			}
+			n.freeBase = base
+			if d, ok := n.output.Choose(w.cands, n.freeFn, w.inDir, n.rng); ok {
+				n.outOwner[base+int(d)] = w
 				w.outDir = d
-			} else if n.probe != nil {
-				n.probe.Blocked(n.cycle, r)
+			} else {
+				c.Em.Blocked(c.Cycle, r)
 			}
 		}
 	}
@@ -573,14 +515,12 @@ func (n *Network) Step() error {
 	out := n.active[:0]
 	for _, w := range n.active {
 		if w.delivered == w.pkt.Length {
-			w.pkt.Arrived = n.cycle
+			w.pkt.Arrived = c.Cycle
 			n.delivered = append(n.delivered, w.pkt)
-			n.packetsDone++
-			if n.probe != nil {
-				p := w.pkt
-				n.probe.Deliver(n.cycle, p.Src, p.Dst, p.Length, p.Hops,
-					p.Injected-p.Created, p.Arrived-p.Injected)
-			}
+			c.PacketsDone++
+			p := w.pkt
+			c.Em.Deliver(c.Cycle, p.Src, p.Dst, p.Length, p.Hops,
+				p.Injected-p.Created, p.Arrived-p.Injected)
 		} else {
 			out = append(out, w)
 		}
@@ -590,17 +530,7 @@ func (n *Network) Step() error {
 	}
 	n.active = out
 
-	if n.probe != nil {
-		n.probe.Tick(n.cycle)
-	}
-	n.cycle++
-	if progress {
-		n.lastProgress = n.cycle
-	} else if n.recovery.Enabled {
-		// Recovery mode never fail-stops: stuck worms are aborted by the
-		// per-worm timeout above, and a quiet network with packets only
-		// waiting out retry backoff is making (delayed) progress.
-	} else if n.watchdogCycles > 0 && n.InFlight() > 0 && n.cycle-n.lastProgress >= n.watchdogCycles {
+	if c.EndStep(progress, len(n.active)) {
 		stuck := make([]*Packet, 0, 4)
 		for _, w := range n.active {
 			stuck = append(stuck, w.pkt)
@@ -608,35 +538,17 @@ func (n *Network) Step() error {
 				break
 			}
 		}
-		return &DeadlockError{Cycle: n.cycle, InFlight: n.InFlight(), Stuck: stuck}
-	}
-	return nil
-}
-
-// popRetry returns the first due retry packet at the node, or nil. Entries
-// are scanned in abort order so an early abort with a long backoff does not
-// block a later one with a short backoff.
-func (n *Network) popRetry(node int) *Packet {
-	if !n.recovery.Enabled {
-		return nil
-	}
-	q := n.retries[node]
-	for i := range q {
-		if q[i].at <= n.cycle {
-			p := q[i].p
-			n.retries[node] = append(q[:i], q[i+1:]...)
-			return p
-		}
+		return c.Deadlock(len(n.active), stuck)
 	}
 	return nil
 }
 
 // abort yanks a blocked worm out of the network: every buffer its flits
 // occupy is freed and every channel it still holds (including a pending
-// output allocation) is released, then the packet is either requeued at its
-// source with backoff or dropped. Only never-arrived worms are aborted, and
-// an arrived worm always consumes a flit each cycle, so a victim has
-// delivered no flits — aborting loses nothing that was already consumed.
+// output allocation) is released; the shared core then requeues the packet
+// at its source with backoff or drops it. Only never-arrived worms are
+// aborted, and an arrived worm always consumes a flit each cycle, so a
+// victim has delivered no flits — aborting loses nothing already consumed.
 func (n *Network) abort(w *worm) {
 	last := len(w.path) - 1
 	inNet := w.inNetwork()
@@ -647,11 +559,10 @@ func (n *Network) abort(w *worm) {
 	for j := tailIdx + 1; j <= last; j++ {
 		from := n.bufRouter(w.path[j-1])
 		dir := n.bufPort(w.path[j])
-		n.outOwner[int(from)*2*n.dims+dir] = nil
+		n.outOwner[int(from)*n.dims2+dir] = nil
 	}
 	if w.outDir != noDirection {
-		r := n.bufRouter(w.headBuf())
-		n.outOwner[int(r)*2*n.dims+int(w.outDir)] = nil
+		n.outOwner[int(w.headRouter)*n.dims2+int(w.outDir)] = nil
 		w.outDir = noDirection
 	}
 	for i, x := range n.active {
@@ -660,84 +571,31 @@ func (n *Network) abort(w *worm) {
 			break
 		}
 	}
-	p := w.pkt
-	p.Injected = -1
-	p.Hops = 0
-	p.Aborts++
-	n.packetsAborted++
-	if n.probe != nil {
-		n.probe.Abort(n.cycle, p.Src, p.Dst, p.Length, p.Aborts)
-	}
-	if n.recovery.MaxRetries >= 0 && p.Aborts > n.recovery.MaxRetries {
-		n.drop(p, metrics.DropRetriesExhausted)
-		return
-	}
-	if !n.reachable(p.Src, p.Dst) {
-		n.drop(p, metrics.DropUnreachable)
-		return
-	}
-	delay := n.recovery.Backoff(p.Aborts)
-	n.retries[p.Src] = append(n.retries[p.Src], retryEntry{p: p, at: n.cycle + delay})
-	n.packetsRetried++
-	if n.probe != nil {
-		n.probe.Retry(n.cycle, p.Src, p.Dst, p.Aborts, delay)
-	}
-}
-
-// drop abandons a packet: it leaves the in-flight population for good.
-func (n *Network) drop(p *Packet, reason metrics.DropReason) {
-	n.packetsDropped++
-	if n.probe != nil {
-		n.probe.Drop(n.cycle, p.Src, p.Dst, p.Length, reason)
-	}
-}
-
-// cutOff is the cheap injection-time unreachability check: the source has
-// no live outgoing channel, or the destination no live incoming one. It
-// catches failed-node destinations outright; subtler routing-restricted
-// unreachability is caught by the full BFS when the packet is aborted.
-func (n *Network) cutOff(src, dst topology.NodeID) bool {
-	srcCut, dstCut := true, true
-	for d := 0; d < 2*n.dims; d++ {
-		dir := topology.Direction(d)
-		if nb, ok := n.topo.Neighbor(src, dir); ok && nb != src {
-			if !n.faulted[int(src)*2*n.dims+d] {
-				srcCut = false
-			}
-		}
-		if nb, ok := n.topo.Neighbor(dst, dir); ok && nb != dst {
-			if back, ok2 := n.topo.Neighbor(nb, dir.Opposite()); ok2 && back == dst &&
-				!n.faulted[int(nb)*2*n.dims+int(dir.Opposite())] {
-				dstCut = false
-			}
-		}
-		if !srcCut && !dstCut {
-			return false
-		}
-	}
-	return true
+	n.core.FinishAbort(w.pkt)
 }
 
 // reachable reports whether a packet injected at src can reach dst under
 // the routing algorithm, avoiding currently faulted channels. It searches
-// the (node, arrival-direction, wraparound) state space the algorithm's
-// Candidates function is defined over, with stamped visited marks so
-// repeated queries do not allocate.
+// the (node, inPort, wrap) state space the algorithm's Candidates function
+// is defined over, with stamped visited marks (scratch shared through the
+// engine core) so repeated queries do not allocate.
 func (n *Network) reachable(src, dst topology.NodeID) bool {
 	if src == dst {
 		return true
 	}
+	c := &n.core
+	g := c.Grid
 	states := n.topo.Nodes() * n.ports * 2
-	if len(n.reachSeen) < states {
-		n.reachSeen = make([]int32, states)
-		n.reachQueue = make([]int32, 0, states)
+	if len(c.ReachSeen) < states {
+		c.ReachSeen = make([]int32, states)
+		c.ReachQueue = make([]int32, 0, states)
 	}
-	n.reachStamp++
-	stamp := n.reachStamp
+	c.ReachStamp++
+	stamp := c.ReachStamp
 	// inPort 2n encodes "injected here" (arrival direction Invalid).
-	start := int32((int(src)*n.ports + 2*n.dims) * 2)
-	n.reachSeen[start] = stamp
-	q := append(n.reachQueue[:0], start)
+	start := int32((int(src)*n.ports + n.dims2) * 2)
+	c.ReachSeen[start] = stamp
+	q := append(c.ReachQueue[:0], start)
 	found := false
 	for head := 0; head < len(q) && !found; head++ {
 		s := q[head]
@@ -745,7 +603,7 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 		inPort := int(s) / 2 % n.ports
 		inWrap := s&1 == 1
 		in := topology.Invalid
-		if inPort < 2*n.dims {
+		if inPort < n.dims2 {
 			in = topology.Direction(inPort)
 		}
 		var cands []topology.Direction
@@ -755,14 +613,17 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 			// budget is ignored, an over-approximation that at worst
 			// retries a packet that will be aborted again.
 			cands, _ = n.masked.FaultCandidates(node, dst, in, inWrap, 0)
+		} else if n.appender != nil {
+			n.candScratch = n.appender.AppendCandidates(n.candScratch[:0], node, dst, in, inWrap)
+			cands = n.candScratch
 		} else {
 			cands = n.alg.Candidates(node, dst, in, inWrap)
 		}
 		for _, d := range cands {
-			if n.faulted[int(node)*2*n.dims+int(d)] {
+			if n.faulted[int(node)*n.dims2+int(d)] {
 				continue
 			}
-			nb, ok := n.topo.Neighbor(node, d)
+			nb, ok := g.Neighbor(node, d)
 			if !ok {
 				continue
 			}
@@ -771,16 +632,16 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 				break
 			}
 			next := int32((int(nb)*n.ports + int(d)) * 2)
-			if n.topo.Wraparound(node, d) {
+			if g.Wrap(node, d) {
 				next++
 			}
-			if n.reachSeen[next] != stamp {
-				n.reachSeen[next] = stamp
+			if c.ReachSeen[next] != stamp {
+				c.ReachSeen[next] = stamp
 				q = append(q, next)
 			}
 		}
 	}
-	n.reachQueue = q[:0]
+	c.ReachQueue = q[:0]
 	return found
 }
 
@@ -794,12 +655,13 @@ func (n *Network) tryAdvance(w *worm) bool {
 	if inNet == 0 {
 		return false
 	}
+	c := &n.core
 	if !w.arrived {
 		if w.outDir == noDirection {
 			return false
 		}
-		r := n.bufRouter(w.headBuf())
-		next, ok := n.topo.Neighbor(r, w.outDir)
+		r := w.headRouter
+		next, ok := c.Grid.Neighbor(r, w.outDir)
 		if !ok {
 			panic(fmt.Sprintf("network: allocated output %v at node %d has no channel", w.outDir, r))
 		}
@@ -812,18 +674,21 @@ func (n *Network) tryAdvance(w *worm) bool {
 			// The hop came from a misroute set: a nonminimal detour,
 			// charged against the packet's misroute budget.
 			w.misroutes++
-			n.misrouteHops++
+			c.MisrouteHops++
 			w.candsMis = false
 		}
 		w.path = append(w.path, nb)
 		w.pkt.Hops++
-		w.headerArrival = n.cycle
+		w.headerArrival = c.Cycle
+		w.inWrap = c.Grid.Wrap(r, w.outDir)
+		w.inDir = w.outDir
+		w.headRouter = next
 		w.outDir = noDirection
 		w.candsValid = false
 	} else {
 		// The front flit is consumed by the destination processor.
 		w.delivered++
-		n.flitsConsumed++
+		c.FlitsConsumed++
 	}
 
 	// Shift the tail: either a fresh flit enters the injection buffer or
@@ -839,15 +704,13 @@ func (n *Network) tryAdvance(w *worm) bool {
 		if tailIdx+1 < len(w.path) {
 			from := n.bufRouter(w.path[tailIdx])
 			dir := n.bufPort(w.path[tailIdx+1])
-			key := int(from)*2*n.dims + dir
+			key := int(from)*n.dims2 + dir
 			n.outOwner[key] = nil
 			// The tail has crossed: all of the packet's flits have now
 			// traversed this channel. Tallied at release so the counts
 			// reflect completed traversals only.
 			n.channelFlits[key] += int64(w.pkt.Length)
-			if n.probe != nil {
-				n.probe.FlitMove(n.cycle, from, topology.Direction(dir), w.pkt.Length)
-			}
+			c.Em.FlitMove(c.Cycle, from, topology.Direction(dir), w.pkt.Length)
 		}
 	}
 	w.advanced = true

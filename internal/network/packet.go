@@ -1,50 +1,14 @@
 package network
 
 import (
-	"fmt"
-
+	"turnmodel/internal/engine"
 	"turnmodel/internal/topology"
 )
 
-// Packet is one wormhole packet. The paper's simulations use one packet
-// per message, of 10 or 200 flits with equal probability; the first flit
-// is the header and the last the tail.
-type Packet struct {
-	// ID is assigned by the network in enqueue order.
-	ID int64
-	// Src and Dst are the endpoints.
-	Src, Dst topology.NodeID
-	// Length is the packet size in flits (header and tail included).
-	Length int
-	// Created is the cycle the message was generated at the source
-	// processor (it may then wait in the source queue).
-	Created int64
-	// Injected is the cycle the header flit entered the network; -1
-	// until then.
-	Injected int64
-	// Arrived is the cycle the tail flit was consumed at the
-	// destination; -1 until then.
-	Arrived int64
-	// Hops counts the channels the header traversed.
-	Hops int
-	// Aborts counts how many times deadlock recovery has pulled the
-	// packet back out of the network. Injected and Hops reset on abort;
-	// Created does not, so Latency spans every attempt.
-	Aborts int
-}
-
-// Latency is the end-to-end message latency in cycles, including source
-// queueing, or -1 if the packet has not arrived.
-func (p *Packet) Latency() int64 {
-	if p.Arrived < 0 {
-		return -1
-	}
-	return p.Arrived - p.Created
-}
-
-func (p *Packet) String() string {
-	return fmt.Sprintf("packet %d %d->%d len=%d", p.ID, p.Src, p.Dst, p.Length)
-}
+// Packet is one wormhole packet; the bookkeeping lives in the shared
+// engine core (both simulators alias the same type, so packets and the
+// structures built from them interoperate).
+type Packet = engine.Packet
 
 // noDirection marks a worm whose header has no allocated output port.
 const noDirection topology.Direction = -2
@@ -55,7 +19,8 @@ const noDirection topology.Direction = -2
 // occupy the contiguous suffix path[len(path)-inNetwork:].
 type worm struct {
 	pkt *Packet
-	// path[i] is the i-th buffer the header entered (buffer ids).
+	// path[i] is the i-th buffer the header entered (buffer ids). It is
+	// backed by pathBuf until the route outgrows it.
 	path []int32
 	// sent counts flits that have left the source processor, delivered
 	// counts flits consumed at the destination.
@@ -72,9 +37,17 @@ type worm struct {
 	headerArrival int64
 	// advanced marks that the worm already moved this cycle.
 	advanced bool
+	// headRouter, inDir and inWrap cache the header's position state —
+	// the router holding its buffer, the direction it was travelling when
+	// it entered, and whether that hop crossed a wraparound — so the step
+	// loop never decodes buffer ids or re-derives arrival wraps.
+	headRouter topology.NodeID
+	inDir      topology.Direction
+	inWrap     bool
 	// cands caches the routing algorithm's candidate outputs for the
 	// header's current buffer (valid while candsValid); it is invalidated
 	// on every hop so a blocked header re-requests without recomputing.
+	// It is backed by candBuf when the algorithm supports appending.
 	// candsMis marks cands as a misroute fallback set (fault-aware
 	// routing): the next hop is a nonminimal detour and counts against
 	// the packet's misroute budget, tracked in misroutes per attempt.
@@ -82,6 +55,9 @@ type worm struct {
 	candsValid bool
 	candsMis   bool
 	misroutes  int
+
+	candBuf [8]topology.Direction
+	pathBuf [16]int32
 }
 
 func (w *worm) inNetwork() int { return w.sent - w.delivered }

@@ -107,16 +107,28 @@ func PCube(h *topology.Hypercube) Algorithm {
 // deadlock free (its channel dependency graph is cyclic); it exists as the
 // cautionary baseline for tests and the deadlock demonstration.
 func FullyAdaptive(topo topology.Topology) Algorithm {
-	return fullyAdaptive{topo}
+	ma, _ := topo.(topology.MinimalAppender)
+	return fullyAdaptive{topo, ma}
 }
 
-type fullyAdaptive struct{ topo topology.Topology }
+type fullyAdaptive struct {
+	topo topology.Topology
+	ma   topology.MinimalAppender // nil when the topology cannot append
+}
 
 func (f fullyAdaptive) Name() string                { return "fully-adaptive" }
 func (f fullyAdaptive) Topology() topology.Topology { return f.topo }
 
 func (f fullyAdaptive) Candidates(current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
 	return f.topo.MinimalDirections(current, dest)
+}
+
+// AppendCandidates implements CandidateAppender.
+func (f fullyAdaptive) AppendCandidates(dst []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
+	if f.ma != nil {
+		return f.ma.AppendMinimalDirections(dst, current, dest)
+	}
+	return append(dst, f.topo.MinimalDirections(current, dest)...)
 }
 
 func mustBe2D(m *topology.Mesh, name string) {

@@ -1,0 +1,135 @@
+package routing_test
+
+import (
+	"reflect"
+	"testing"
+
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// minimalByName lists the algorithms that are minimal with respect to
+// their topology's Distance metric: every candidate hop lands strictly
+// closer to the destination. Excluded on purpose: p-cube-nonminimal and
+// negative-first-torus (strictly nonminimal by design), and the first-hop
+// wrap family (plain-coordinate mesh discipline, not modular-minimal).
+var minimalByName = map[string]bool{
+	"dimension-order": true,
+	"west-first":      true,
+	"north-last":      true,
+	"negative-first":  true,
+	"abonf":           true,
+	"abopl":           true,
+	"odd-even":        true,
+	"fully-adaptive":  true,
+	"p-cube":          true,
+}
+
+// fuzzTopology decodes a bounded random topology: 2D/3D meshes and tori
+// and hypercubes up to 64 nodes.
+func fuzzTopology(kind, a, b uint8) topology.Topology {
+	s1 := 2 + int(a)%6 // 2..7
+	s2 := 2 + int(b)%6
+	switch kind % 5 {
+	case 0:
+		return topology.NewMesh(s1, s2)
+	case 1:
+		return topology.NewMesh(2+int(a)%3, 2+int(b)%3, 3)
+	case 2:
+		return topology.NewTorus(2+int(a)%5, 2+int(b)%5)
+	case 3:
+		return topology.NewTorus(2+int(a)%3, 2+int(b)%3, 3)
+	default:
+		return topology.NewHypercube(1 + int(a)%6)
+	}
+}
+
+// FuzzRouteCandidates drives every registered algorithm from a random
+// source toward a random destination, choosing a random permitted hop at
+// every intermediate router, and checks the routing-relation invariants
+// the simulators rely on:
+//
+//   - the candidate set at a non-destination router is never empty (a
+//     packet always has a legal move; deadlock freedom is separately
+//     certified by the CDG, but an empty set would strand it);
+//   - every candidate is an incident output channel of the current router,
+//     with no duplicates;
+//   - minimal algorithms only offer hops that land strictly closer to the
+//     destination;
+//   - Candidates is deterministic, and AppendCandidates (the engines'
+//     allocation-free fast path) returns the identical list in the
+//     identical order;
+//   - following any sequence of candidates reaches the destination in
+//     bounded hops (livelock freedom, including the nonminimal
+//     algorithms' strictly-decreasing-offset arguments).
+func FuzzRouteCandidates(f *testing.F) {
+	names := routing.Names()
+	f.Add(uint8(0), uint8(4), uint8(4), uint8(0), uint16(0), uint16(35), uint16(1))
+	f.Add(uint8(2), uint8(3), uint8(3), uint8(3), uint16(7), uint16(12), uint16(9))
+	f.Add(uint8(4), uint8(5), uint8(0), uint8(7), uint16(1), uint16(62), uint16(5))
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(11), uint16(20), uint16(3), uint16(2))
+	f.Fuzz(func(t *testing.T, kind, a, b, algSeed uint8, srcSeed, dstSeed, pick uint16) {
+		topo := fuzzTopology(kind, a, b)
+		name := names[int(algSeed)%len(names)]
+		alg, err := routing.New(name, topo)
+		if err != nil {
+			t.Skip() // algorithm/topology mismatch (e.g. west-first on a torus)
+		}
+		topo = alg.Topology() // hypercube aliases may rebind to the embedded mesh
+		nodes := topo.Nodes()
+		src := topology.NodeID(int(srcSeed) % nodes)
+		dst := topology.NodeID(int(dstSeed) % nodes)
+		if src == dst {
+			t.Skip()
+		}
+		appender, _ := alg.(routing.CandidateAppender)
+		var scratch []topology.Direction
+
+		cur, in, inWrap := src, topology.Invalid, false
+		limit := 4*nodes + 16
+		hop := 0
+		for ; hop < limit && cur != dst; hop++ {
+			cands := alg.Candidates(cur, dst, in, inWrap)
+			if len(cands) == 0 {
+				t.Fatalf("%s on %s: empty candidate set at node %d (dst %d, in %v, wrap %v) after %d hops",
+					alg.Name(), topo.Name(), cur, dst, in, inWrap, hop)
+			}
+			if again := alg.Candidates(cur, dst, in, inWrap); !reflect.DeepEqual(cands, again) {
+				t.Fatalf("%s on %s: Candidates not deterministic at node %d: %v then %v",
+					alg.Name(), topo.Name(), cur, cands, again)
+			}
+			if appender != nil {
+				scratch = appender.AppendCandidates(scratch[:0], cur, dst, in, inWrap)
+				if len(scratch) != len(cands) || !reflect.DeepEqual(cands, append([]topology.Direction(nil), scratch...)) {
+					t.Fatalf("%s on %s: AppendCandidates diverges from Candidates at node %d: %v vs %v",
+						alg.Name(), topo.Name(), cur, scratch, cands)
+				}
+			}
+			seen := make(map[topology.Direction]bool, len(cands))
+			for _, d := range cands {
+				if seen[d] {
+					t.Fatalf("%s on %s: duplicate candidate %v at node %d: %v", alg.Name(), topo.Name(), d, cur, cands)
+				}
+				seen[d] = true
+				nb, ok := topo.Neighbor(cur, d)
+				if !ok {
+					t.Fatalf("%s on %s: candidate %v at node %d has no channel", alg.Name(), topo.Name(), d, cur)
+				}
+				if minimalByName[alg.Name()] {
+					if got, want := topo.Distance(nb, dst), topo.Distance(cur, dst)-1; got != want {
+						t.Fatalf("%s on %s: non-minimal hop %v at node %d toward %d: distance %d -> %d",
+							alg.Name(), topo.Name(), d, cur, dst, topo.Distance(cur, dst), got)
+					}
+				}
+			}
+			d := cands[(int(pick)+hop)%len(cands)]
+			inWrap = topo.Wraparound(cur, d)
+			cur, _ = topo.Neighbor(cur, d)
+			in = d
+		}
+		if cur != dst {
+			t.Fatalf("%s on %s: no arrival from %d to %d within %d hops (livelock?)",
+				alg.Name(), topo.Name(), src, dst, limit)
+		}
+	})
+}

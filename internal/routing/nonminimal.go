@@ -55,3 +55,27 @@ func (a nonminPCube) Candidates(current, dest topology.NodeID, _ topology.Direct
 	}
 	return out
 }
+
+// AppendCandidates implements CandidateAppender (same phases, appended).
+func (a nonminPCube) AppendCandidates(dst []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
+	c := a.h.Bits(current)
+	d := a.h.Bits(dest)
+	n := a.h.Dims()
+	if c == d {
+		return dst
+	}
+	if c&^d != 0 {
+		for dim := 0; dim < n; dim++ {
+			if c&(1<<uint(dim)) != 0 {
+				dst = append(dst, topology.Dir(dim, false))
+			}
+		}
+		return dst
+	}
+	for dim := 0; dim < n; dim++ {
+		if ^c&d&(1<<uint(dim)) != 0 {
+			dst = append(dst, topology.Dir(dim, true))
+		}
+	}
+	return dst
+}

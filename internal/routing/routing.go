@@ -36,6 +36,16 @@ type Algorithm interface {
 	Candidates(current, dest topology.NodeID, in topology.Direction, inWrap bool) []topology.Direction
 }
 
+// CandidateAppender is the optional allocation-free form of Candidates.
+// The contract is exact: AppendCandidates(dst, args...) appends the same
+// directions in the same order Candidates(args...) returns, reusing dst's
+// storage (typically per-worm scratch owned by a simulator). Algorithms
+// whose candidate computation would otherwise allocate per hop implement
+// it; callers must fall back to Candidates when the assertion fails.
+type CandidateAppender interface {
+	AppendCandidates(dst []topology.Direction, current, dest topology.NodeID, in topology.Direction, inWrap bool) []topology.Direction
+}
+
 // Relation adapts an Algorithm to the turnmodel.CandidateFunc used for
 // channel dependency graph construction and numbering validation.
 func Relation(a Algorithm) turnmodel.CandidateFunc {
@@ -81,10 +91,14 @@ type phased struct {
 	topo    topology.Topology
 	name    string
 	phaseOf []int // indexed by Direction
+	// ma caches the topology's MinimalAppender (nil when unsupported) so
+	// AppendCandidates skips the type assertion per hop.
+	ma topology.MinimalAppender
 }
 
 func newPhased(topo topology.Topology, name string, phases ...[]topology.Direction) *phased {
 	p := &phased{topo: topo, name: name, phaseOf: make([]int, 2*topo.Dims())}
+	p.ma, _ = topo.(topology.MinimalAppender)
 	for i := range p.phaseOf {
 		p.phaseOf[i] = -1
 	}
@@ -128,6 +142,35 @@ func (p *phased) Candidates(current, dest topology.NodeID, _ topology.Direction,
 		}
 	}
 	return out
+}
+
+// AppendCandidates implements CandidateAppender: the same lowest-phase
+// filter as Candidates, over minimal directions appended into dst.
+func (p *phased) AppendCandidates(dst []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
+	base := len(dst)
+	if p.ma != nil {
+		dst = p.ma.AppendMinimalDirections(dst, current, dest)
+	} else {
+		dst = append(dst, p.topo.MinimalDirections(current, dest)...)
+	}
+	productive := dst[base:]
+	if len(productive) == 0 {
+		return dst[:base]
+	}
+	best := p.phaseOf[productive[0]]
+	for _, d := range productive[1:] {
+		if ph := p.phaseOf[d]; ph < best {
+			best = ph
+		}
+	}
+	k := base
+	for _, d := range productive {
+		if p.phaseOf[d] == best {
+			dst[k] = d
+			k++
+		}
+	}
+	return dst[:k]
 }
 
 // ProhibitedTurns lists the 90-degree turns the phase discipline forbids:

@@ -66,6 +66,48 @@ func (a nfTorus) Candidates(current, dest topology.NodeID, _ topology.Direction,
 	return out
 }
 
+// AppendCandidates implements CandidateAppender: the classified-direction
+// negative-first rule of Candidates, computed per coordinate without
+// allocating the Coord vectors.
+func (a nfTorus) AppendCandidates(dst []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ bool) []topology.Direction {
+	dims := a.t.Dims()
+	negPhase := false
+	for dim := 0; dim < dims; dim++ {
+		if a.t.CoordAt(dest, dim) < a.t.CoordAt(current, dim) {
+			negPhase = true
+			break
+		}
+	}
+	for dim := 0; dim < dims; dim++ {
+		k := a.t.Size(dim)
+		cur, want := a.t.CoordAt(current, dim), a.t.CoordAt(dest, dim)
+		if cur == want {
+			continue
+		}
+		for _, d := range [2]topology.Direction{topology.Dir(dim, false), topology.Dir(dim, true)} {
+			next := cur + d.Delta()
+			switch {
+			case next < 0:
+				next = k - 1
+			case next >= k:
+				next = 0
+			}
+			classifiedPositive := next > cur
+			if negPhase == classifiedPositive {
+				continue
+			}
+			if abs(want-next) >= abs(want-cur) {
+				continue
+			}
+			if !negPhase && next > want {
+				continue
+			}
+			dst = append(dst, d)
+		}
+	}
+	return dst
+}
+
 func abs(v int) int {
 	if v < 0 {
 		return -v
@@ -140,6 +182,61 @@ func (a firstHopWrap) Candidates(current, dest topology.NodeID, in topology.Dire
 		}
 	}
 	return out
+}
+
+// AppendCandidates implements CandidateAppender. It must shadow the
+// promoted phased rule — which filters the torus's modular minimal
+// directions — because the first-hop-wrap discipline routes by plain
+// coordinate comparison plus first-hop wraps, exactly as Candidates does.
+func (a firstHopWrap) AppendCandidates(dst []topology.Direction, current, dest topology.NodeID, in topology.Direction, _ bool) []topology.Direction {
+	base := len(dst)
+	dims := a.t.Dims()
+	for dim := 0; dim < dims; dim++ {
+		cc, dc := a.t.CoordAt(current, dim), a.t.CoordAt(dest, dim)
+		switch {
+		case dc < cc:
+			dst = append(dst, topology.Dir(dim, false))
+		case dc > cc:
+			dst = append(dst, topology.Dir(dim, true))
+		}
+	}
+	productive := dst[base:]
+	k := base
+	if len(productive) > 0 {
+		best := a.phaseOf[productive[0]]
+		for _, d := range productive[1:] {
+			if ph := a.phaseOf[d]; ph < best {
+				best = ph
+			}
+		}
+		for _, d := range productive {
+			if a.phaseOf[d] == best {
+				dst[k] = d
+				k++
+			}
+		}
+	}
+	dst = dst[:k]
+	if in != topology.Invalid {
+		return dst
+	}
+	// First hop: offer every wraparound channel that lands strictly
+	// closer to the destination in its dimension.
+	for dim := 0; dim < dims; dim++ {
+		kk := a.t.Size(dim)
+		cc, dc := a.t.CoordAt(current, dim), a.t.CoordAt(dest, dim)
+		switch cc {
+		case 0:
+			if abs(dc-(kk-1)) < abs(dc) {
+				dst = append(dst, topology.Dir(dim, false))
+			}
+		case kk - 1:
+			if abs(dc) < abs(dc-(kk-1)) {
+				dst = append(dst, topology.Dir(dim, true))
+			}
+		}
+	}
+	return dst
 }
 
 // MisrouteCandidates implements Misrouter. It overrides the promoted

@@ -9,9 +9,11 @@ import (
 	"turnmodel/internal/fault"
 )
 
-// ReportSchemaVersion identifies the JSON layout of Report. Consumers
-// should reject reports with a different version; bump it on any
-// incompatible change and document the migration in docs/sweeps.md.
+// ReportSchemaVersion identifies the JSON layout of Report. Every bump so
+// far only added fields, so ReadReport accepts versions 1 through this one
+// and rejects anything newer or unknown; bump it on any incompatible
+// change, document the migration in docs/sweeps.md, and regenerate the
+// golden fixture (see docs/testing.md).
 //
 // v2: points may carry a "metrics" snapshot (per-channel utilization,
 // latency percentiles, blocked cycles, occupancy trace) when the plan ran
@@ -173,13 +175,19 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // ReadReport decodes a JSON report and verifies its schema version.
+// Reports written by older turnmodel revisions (schema versions 1 through
+// 3) still parse: every schema bump so far only added fields, so an old
+// report decodes with the newer fields at their zero values and
+// SchemaVersion states which fields are meaningful. Versions this build
+// does not know (0, negative, or newer than ReportSchemaVersion) are
+// rejected.
 func ReadReport(rd io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("sim: decoding report: %w", err)
 	}
-	if rep.SchemaVersion != ReportSchemaVersion {
-		return nil, fmt.Errorf("sim: report schema version %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	if rep.SchemaVersion < 1 || rep.SchemaVersion > ReportSchemaVersion {
+		return nil, fmt.Errorf("sim: report schema version %d, want 1..%d", rep.SchemaVersion, ReportSchemaVersion)
 	}
 	return &rep, nil
 }

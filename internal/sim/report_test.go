@@ -2,6 +2,8 @@ package sim
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -90,7 +92,118 @@ func TestReadReportRejectsWrongSchema(t *testing.T) {
 	if _, err := ReadReport(strings.NewReader(`{"schema_version": 99}`)); err == nil {
 		t.Error("schema version 99 accepted")
 	}
+	if _, err := ReadReport(strings.NewReader(`{"schema_version": 0}`)); err == nil {
+		t.Error("schema version 0 accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`{"generator": "x"}`)); err == nil {
+		t.Error("report without schema version accepted")
+	}
 	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// goldenV4Report produces the deterministic report behind
+// testdata/report_v4.json: quickPlan serially, with the wall-clock fields
+// (the only run-to-run variation) zeroed. Regenerate the fixture with
+// UPDATE_GOLDEN=1 go test ./internal/sim -run TestReportGoldenV4
+// whenever the schema changes on purpose.
+func goldenV4Report(t *testing.T) *Report {
+	t.Helper()
+	_, rep, err := RunPlan(quickPlan(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Totals.WallMillis, rep.Totals.CPUMillis = 0, 0
+	for fi := range rep.Figures {
+		for si := range rep.Figures[fi].Series {
+			pts := rep.Figures[fi].Series[si].Points
+			for pi := range pts {
+				pts[pi].WallMillis = 0
+			}
+		}
+	}
+	return rep
+}
+
+// TestReportGoldenV4 pins the schema-v4 wire format byte for byte: a
+// fresh run marshals exactly to the committed fixture, and the fixture
+// survives unmarshal -> remarshal unchanged. Any accidental field rename,
+// reorder, omitempty change, or indentation drift fails here before it
+// breaks downstream consumers of `turnsweep -json`.
+func TestReportGoldenV4(t *testing.T) {
+	golden := filepath.Join("testdata", "report_v4.json")
+	rep := goldenV4Report(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fresh report diverges from %s (rerun with UPDATE_GOLDEN=1 if the change is intentional)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+
+	back, err := ReadReport(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := back.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Errorf("unmarshal -> remarshal of %s is not byte-identical\ngot:\n%s", golden, again.Bytes())
+	}
+}
+
+// TestReadReportBackwardCompat feeds ReadReport reports written by the
+// v1-v3 revisions of the schema (committed as testdata fixtures). Every
+// bump only added fields, so old reports must still parse, keep their
+// declared version, and land their data in the right places.
+func TestReadReportBackwardCompat(t *testing.T) {
+	for _, tc := range []struct {
+		version int
+		file    string
+	}{
+		{1, "report_v1.json"},
+		{2, "report_v2.json"},
+		{3, "report_v3.json"},
+	} {
+		f, err := os.Open(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReadReport(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("v%d report rejected: %v", tc.version, err)
+			continue
+		}
+		if rep.SchemaVersion != tc.version {
+			t.Errorf("%s: schema version %d, want %d", tc.file, rep.SchemaVersion, tc.version)
+		}
+		if len(rep.Figures) == 0 || len(rep.Figures[0].Series) == 0 || len(rep.Figures[0].Series[0].Points) == 0 {
+			t.Errorf("%s: no points decoded", tc.file)
+			continue
+		}
+		pt := rep.Figures[0].Series[0].Points[0]
+		if pt.Result.Algorithm == "" || pt.Result.ThroughputFlitsPerUs <= 0 {
+			t.Errorf("%s: point did not decode: %+v", tc.file, pt)
+		}
+		if tc.version < 3 && (rep.Config.FaultRate != 0 || rep.Config.Recovery) {
+			t.Errorf("%s: pre-v3 report grew fault config: %+v", tc.file, rep.Config)
+		}
+		if tc.version < 4 && rep.Config.FaultRouting != "" {
+			t.Errorf("%s: pre-v4 report grew fault-routing config: %+v", tc.file, rep.Config)
+		}
 	}
 }

@@ -56,6 +56,23 @@ func (m *Mesh) MinimalDirections(from, to NodeID) []Direction {
 	return ds
 }
 
+// AppendMinimalDirections implements MinimalAppender: the allocation-free
+// form of MinimalDirections. Hypercube inherits it; the bitwise override
+// of MinimalDirections produces the same directions in the same order for
+// k_i = 2, so the contract holds for both.
+func (m *Mesh) AppendMinimalDirections(dst []Direction, from, to NodeID) []Direction {
+	for dim := 0; dim < m.Dims(); dim++ {
+		f, t := m.coordAt(from, dim), m.coordAt(to, dim)
+		switch {
+		case t < f:
+			dst = append(dst, Dir(dim, false))
+		case t > f:
+			dst = append(dst, Dir(dim, true))
+		}
+	}
+	return dst
+}
+
 // Distance implements Topology (Manhattan distance).
 func (m *Mesh) Distance(from, to NodeID) int {
 	d := 0

@@ -146,6 +146,21 @@ func (g grid) coordAt(id NodeID, dim int) int {
 	return (int(id) / g.strides[dim]) % g.sizes[dim]
 }
 
+// CoordAt returns a single coordinate of a node without allocating the
+// full Coord vector; it is the hot-loop counterpart of Coord, promoted to
+// every grid-based topology.
+func (g grid) CoordAt(id NodeID, dim int) int { return g.coordAt(id, dim) }
+
+// MinimalAppender is implemented by topologies that can append their
+// MinimalDirections into a caller-provided buffer. The contract is exact:
+// AppendMinimalDirections(dst, from, to) appends the same directions in
+// the same order MinimalDirections(from, to) returns, reusing dst's
+// storage. The simulators' step loops use it to keep routing decisions
+// allocation-free.
+type MinimalAppender interface {
+	AppendMinimalDirections(dst []Direction, from, to NodeID) []Direction
+}
+
 func sizesString(sizes []int) string {
 	s := ""
 	for i, k := range sizes {

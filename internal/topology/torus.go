@@ -88,6 +88,29 @@ func (t *Torus) MinimalDirections(from, to NodeID) []Direction {
 	return ds
 }
 
+// AppendMinimalDirections implements MinimalAppender: the allocation-free
+// form of MinimalDirections, with the identical direction order.
+func (t *Torus) AppendMinimalDirections(dst []Direction, from, to NodeID) []Direction {
+	for dim := 0; dim < t.Dims(); dim++ {
+		f, tt := t.coordAt(from, dim), t.coordAt(to, dim)
+		if f == tt {
+			continue
+		}
+		k := t.sizes[dim]
+		up := ((tt-f)%k + k) % k
+		down := k - up
+		switch {
+		case up < down:
+			dst = append(dst, Dir(dim, true))
+		case down < up:
+			dst = append(dst, Dir(dim, false))
+		default:
+			dst = append(dst, Dir(dim, false), Dir(dim, true))
+		}
+	}
+	return dst
+}
+
 // Distance implements Topology (sum of per-dimension ring distances).
 func (t *Torus) Distance(from, to NodeID) int {
 	d := 0

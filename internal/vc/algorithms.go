@@ -64,6 +64,31 @@ func (a doubleY) Candidates(current, dest topology.NodeID, _ topology.Direction,
 	return out
 }
 
+// AppendCandidates implements CandidateAppender (per-coordinate reads, no
+// Coord allocation).
+func (a doubleY) AppendCandidates(dst []Out, scratch []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ int) ([]Out, []topology.Direction) {
+	cx, cy := a.m.CoordAt(current, 0), a.m.CoordAt(current, 1)
+	dx, dy := a.m.CoordAt(dest, 0), a.m.CoordAt(dest, 1)
+	westPending := dx < cx
+	yvc := 1
+	if westPending {
+		yvc = 0
+	}
+	switch {
+	case westPending:
+		dst = append(dst, Out{topology.West, 0})
+	case dx > cx:
+		dst = append(dst, Out{topology.East, 0})
+	}
+	switch {
+	case dy < cy:
+		dst = append(dst, Out{topology.South, yvc})
+	case dy > cy:
+		dst = append(dst, Out{topology.North, yvc})
+	}
+	return dst, scratch
+}
+
 // DatelineDOR is minimal dimension-order routing on a k-ary n-cube made
 // deadlock free with the Dally–Seitz dateline scheme: every physical
 // channel carries two virtual channels, and within each ring a packet uses
@@ -112,12 +137,43 @@ func (a datelineDOR) Candidates(current, dest topology.NodeID, _ topology.Direct
 	return nil
 }
 
+// AppendCandidates implements CandidateAppender.
+func (a datelineDOR) AppendCandidates(dst []Out, scratch []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ int) ([]Out, []topology.Direction) {
+	for dim := 0; dim < a.t.Dims(); dim++ {
+		cur, want := a.t.CoordAt(current, dim), a.t.CoordAt(dest, dim)
+		if cur == want {
+			continue
+		}
+		k := a.t.Size(dim)
+		up := ((want-cur)%k + k) % k
+		down := k - up
+		positive := up <= down
+		vc := 0
+		if positive && cur < want {
+			vc = 1
+		}
+		if !positive && cur > want {
+			vc = 1
+		}
+		return append(dst, Out{topology.Dir(dim, positive), vc}), scratch
+	}
+	return dst, scratch
+}
+
 // Lift adapts a physical-channel routing.Algorithm into a single-virtual-
 // channel vc.Algorithm, so the two simulators and verifiers can be
 // cross-checked on identical routing relations.
-func Lift(a routing.Algorithm) Algorithm { return lifted{a} }
+func Lift(a routing.Algorithm) Algorithm {
+	ra, _ := a.(routing.CandidateAppender)
+	return lifted{a, ra}
+}
 
-type lifted struct{ a routing.Algorithm }
+type lifted struct {
+	a routing.Algorithm
+	// ra caches the underlying CandidateAppender (nil when unsupported)
+	// so AppendCandidates skips the type assertion per hop.
+	ra routing.CandidateAppender
+}
 
 func (l lifted) Name() string                { return l.a.Name() }
 func (l lifted) Topology() topology.Topology { return l.a.Topology() }
@@ -137,6 +193,29 @@ func (l lifted) Candidates(current, dest topology.NodeID, inDir topology.Directi
 		out[i] = Out{d, 0}
 	}
 	return out
+}
+
+// AppendCandidates implements CandidateAppender, delegating to the
+// underlying algorithm's appender when it has one.
+func (l lifted) AppendCandidates(dst []Out, scratch []topology.Direction, current, dest topology.NodeID, inDir topology.Direction, _ int) ([]Out, []topology.Direction) {
+	topo := l.a.Topology()
+	inWrap := false
+	if inDir != topology.Invalid {
+		if from, ok := topo.Neighbor(current, inDir.Opposite()); ok {
+			inWrap = topo.Wraparound(from, inDir)
+		}
+	}
+	var dirs []topology.Direction
+	if l.ra != nil {
+		scratch = l.ra.AppendCandidates(scratch[:0], current, dest, inDir, inWrap)
+		dirs = scratch
+	} else {
+		dirs = l.a.Candidates(current, dest, inDir, inWrap)
+	}
+	for _, d := range dirs {
+		dst = append(dst, Out{d, 0})
+	}
+	return dst, scratch
 }
 
 // NaiveTorusDOR is minimal dimension-order torus routing WITHOUT the
@@ -168,6 +247,21 @@ func (a naiveTorus) Candidates(current, dest topology.NodeID, _ topology.Directi
 		return []Out{{topology.Dir(dim, positive), 0}}
 	}
 	return nil
+}
+
+// AppendCandidates implements CandidateAppender.
+func (a naiveTorus) AppendCandidates(dst []Out, scratch []topology.Direction, current, dest topology.NodeID, _ topology.Direction, _ int) ([]Out, []topology.Direction) {
+	for dim := 0; dim < a.t.Dims(); dim++ {
+		cur, want := a.t.CoordAt(current, dim), a.t.CoordAt(dest, dim)
+		if cur == want {
+			continue
+		}
+		k := a.t.Size(dim)
+		up := ((want-cur)%k + k) % k
+		positive := up <= k-up
+		return append(dst, Out{topology.Dir(dim, positive), 0}), scratch
+	}
+	return dst, scratch
 }
 
 // New constructs a named virtual-channel algorithm.

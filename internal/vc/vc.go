@@ -46,6 +46,17 @@ type Algorithm interface {
 	Candidates(current, dest topology.NodeID, inDir topology.Direction, inVC int) []Out
 }
 
+// CandidateAppender is the optional allocation-free form of Candidates:
+// AppendCandidates appends the same outputs in the same order Candidates
+// returns, reusing dst's storage. dirScratch is caller-owned scratch for
+// algorithms that lift a physical-channel routing.Algorithm (its contents
+// are meaningless afterwards); the possibly-grown scratch is returned so
+// the caller can reuse its capacity. Callers must fall back to Candidates
+// when the assertion fails.
+type CandidateAppender interface {
+	AppendCandidates(dst []Out, dirScratch []topology.Direction, current, dest topology.NodeID, inDir topology.Direction, inVC int) ([]Out, []topology.Direction)
+}
+
 // MaxVCs reports the largest per-direction virtual channel count of the
 // algorithm.
 func MaxVCs(a Algorithm) int {

@@ -7,13 +7,18 @@
 //
 // The router model otherwise matches Section 6: one single-flit buffer per
 // input virtual channel, unbounded source queues, immediate consumption at
-// the destination, and a deadlock watchdog.
+// the destination, and a deadlock watchdog. The engine-independent
+// machinery (queues, injection worklist, faults, retries, watchdog) is the
+// shared internal/engine core, the same one internal/network drives; the
+// differential harness in internal/engine exploits the shared skeleton to
+// compare the two simulators packet for packet.
 package vcnet
 
 import (
 	"fmt"
 	"sort"
 
+	"turnmodel/internal/engine"
 	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/network"
@@ -52,9 +57,18 @@ type Config struct {
 	// flit per physical-channel crossing, so utilization derived from it
 	// is exact.
 	Probe metrics.Probe
+	// UncappedEjection lifts the one-flit-per-cycle limit on each node's
+	// ejection channel, matching internal/network's model of Section 6
+	// ("arriving messages are consumed immediately", with no bandwidth
+	// cap at the destination). Off by default: the virtual-channel
+	// simulations archived in docs/ treat ejection as one more physical
+	// channel. The differential harness in internal/engine turns it on,
+	// making vcnet-with-1-VC observation-equivalent to network.
+	UncappedEjection bool
 }
 
-// Packet re-exports the packet bookkeeping of the base simulator.
+// Packet re-exports the packet bookkeeping of the base simulator (both
+// simulators alias the shared engine type).
 type Packet = network.Packet
 
 // worm tracks a packet's flits individually. path is the chain of input
@@ -75,8 +89,15 @@ type worm struct {
 	// movedAt[k] is the cycle flit k last moved; a flit moves at most
 	// once per cycle.
 	movedAt []int64
+	// headRouter, inDir and inVC cache the header's position state — the
+	// router holding its buffer and the virtual channel it arrived on —
+	// so the step loop never decodes buffer ids.
+	headRouter topology.NodeID
+	inDir      topology.Direction
+	inVC       int
 	// cands caches the algorithm's candidate outputs for the header's
-	// current buffer; invalidated on every hop (see candsValid).
+	// current buffer; invalidated on every hop (see candsValid). It is
+	// backed by candBuf when the algorithm supports appending.
 	// candsMis marks cands as a misroute fallback set (fault-aware
 	// routing): the next hop is a nonminimal detour and counts against
 	// the packet's misroute budget, tracked in misroutes per attempt.
@@ -84,71 +105,61 @@ type worm struct {
 	candsValid bool
 	candsMis   bool
 	misroutes  int
+
+	candBuf [8]vc.Out
+	pathBuf [16]int32
 }
+
+func (w *worm) headBuf() int32 { return w.path[len(w.path)-1] }
 
 // Network is the virtual-channel simulator state.
 type Network struct {
+	core engine.Core
+
 	topo  topology.Topology
 	alg   vc.Algorithm
 	maxVC int
 	dims2 int
 	ports int // per router: 2n*maxVC virtual-channel buffers + 1 injection
 
-	cycle    int64
 	occupied []bool  // buffer id
 	owner    []*worm // output virtual channel -> holder
-	physUsed []bool  // physical channel used this cycle (node*2n+dir)
-	ejectUse []bool  // ejection channel used this cycle (per node)
-	faulted  []bool  // physical channel broken (node*2n+dir)
+	faulted  []bool  // physical channel broken (node*2n+dir), aliases core
 
-	// faults drives the dynamic fault plan (nil when empty); faulted
-	// aliases faults.Faulted, as in internal/network.
-	faults *fault.State
-	// health and masked implement fault-aware routing; both nil unless
-	// Config.FaultRouting is enabled and the fault plan is nonempty.
-	// faultEpoch tracks the last fault-set epoch seen, to invalidate
-	// cached candidate sets of waiting headers on fault transitions.
-	health     *fault.Health
-	masked     *vc.FaultAware
-	faultEpoch int64
-	recovery   fault.Recovery
-	retries    [][]retryEntry // aborted packets waiting out backoff, per node
+	// physUsed and ejectUse enforce one flit per physical (respectively
+	// ejection) channel per cycle; stamping with the cycle number makes
+	// "clear at start of phase" free. uncappedEject disables the
+	// ejection limit (Config.UncappedEjection).
+	physUsed      []int64 // node*2n+dir -> last cycle the channel carried a flit
+	ejectUse      []int64 // node -> last cycle the ejection channel was used
+	uncappedEject bool
 
-	queues [][]*Packet
-	qhead  []int
+	// routerOf, portDir and portVC decode buffer ids without division;
+	// injection buffers decode to (Invalid, 0).
+	routerOf []int32
+	portDir  []int16
+	portVC   []int16
+
+	// masked implements fault-aware routing; nil unless enabled with a
+	// non-empty fault plan. appender is the algorithm's optional
+	// allocation-free candidate path.
+	masked   *vc.FaultAware
+	appender vc.CandidateAppender
 
 	active    []*worm
 	requests  []*worm // scratch: headers awaiting an output this cycle
 	delivered []*Packet
 
-	nextID         int64
-	flitsConsumed  int64
-	packetsDone    int64
-	packetsAborted int64
-	packetsRetried int64
-	packetsDropped int64
-	misrouteHops   int64
-	lastProgress   int64
-	watchdogCycles int64
+	victims []*worm
+	// dirScratch and candScratch are reused by the appender fast path and
+	// reachable()'s candidate queries.
+	dirScratch  []topology.Direction
+	candScratch []vc.Out
 
-	// Reachability-BFS scratch (recovery mode only). The state space is
-	// exactly the input-buffer id space: (node, inDir, inVC).
-	reachSeen  []int32
-	reachQueue []int32
-	reachStamp int32
-	victims    []*worm
-
-	probe metrics.Probe
 	// sorter replaces a per-Step sort.Slice closure so the hot loop does
-	// not allocate (mirrors internal/network).
+	// not allocate (mirrors internal/network); used for large request
+	// lists only.
 	sorter reqSorter
-}
-
-// retryEntry is one aborted packet waiting at its source to reinject at
-// cycle `at`.
-type retryEntry struct {
-	p  *Packet
-	at int64
 }
 
 // reqSorter orders pending requests by router, then local FCFS with packet
@@ -164,14 +175,20 @@ func (s *reqSorter) Swap(i, j int) {
 
 func (s *reqSorter) Less(i, j int) bool {
 	r := s.n.requests
-	ri, rj := s.n.bufRouter(r[i].headBuf()), s.n.bufRouter(r[j].headBuf())
-	if ri != rj {
-		return ri < rj
+	return requestLess(r[i], r[j])
+}
+
+// requestLess is the total request order: router, then header arrival
+// cycle, then the unique packet ID — so any correct sorting algorithm
+// produces the identical permutation.
+func requestLess(a, b *worm) bool {
+	if a.headRouter != b.headRouter {
+		return a.headRouter < b.headRouter
 	}
-	if r[i].headerArrival != r[j].headerArrival {
-		return r[i].headerArrival < r[j].headerArrival
+	if a.headerArrival != b.headerArrival {
+		return a.headerArrival < b.headerArrival
 	}
-	return r[i].pkt.ID < r[j].pkt.ID
+	return a.pkt.ID < b.pkt.ID
 }
 
 // New builds a virtual-channel network simulator.
@@ -189,42 +206,84 @@ func New(cfg Config) *Network {
 	n.ports = n.dims2*n.maxVC + 1
 	n.occupied = make([]bool, topo.Nodes()*n.ports)
 	n.owner = make([]*worm, topo.Nodes()*n.dims2*n.maxVC)
-	n.physUsed = make([]bool, topo.Nodes()*n.dims2)
-	n.ejectUse = make([]bool, topo.Nodes())
-	plan := cfg.FaultPlan
-	if len(cfg.Faults) > 0 {
-		plan.Static = append(append([]topology.Channel(nil), plan.Static...), cfg.Faults...)
+	n.physUsed = make([]int64, topo.Nodes()*n.dims2)
+	n.ejectUse = make([]int64, topo.Nodes())
+	for i := range n.physUsed {
+		n.physUsed[i] = -1
 	}
-	if plan.Empty() {
-		n.faulted = make([]bool, topo.Nodes()*n.dims2)
-	} else {
-		n.faults = fault.MustNew(plan, topo)
-		n.faulted = n.faults.Faulted
-		n.faults.OnChange = func(from topology.NodeID, dir topology.Direction, failed bool) {
-			if n.probe != nil {
-				n.probe.Fault(n.cycle, from, dir, failed)
+	for i := range n.ejectUse {
+		n.ejectUse[i] = -1
+	}
+	n.routerOf = make([]int32, topo.Nodes()*n.ports)
+	n.portDir = make([]int16, topo.Nodes()*n.ports)
+	n.portVC = make([]int16, topo.Nodes()*n.ports)
+	for b := range n.routerOf {
+		n.routerOf[b] = int32(b / n.ports)
+		p := b % n.ports
+		if p == n.ports-1 {
+			n.portDir[b] = int16(topology.Invalid)
+			n.portVC[b] = 0
+		} else {
+			n.portDir[b] = int16(p / n.maxVC)
+			n.portVC[b] = int16(p % n.maxVC)
+		}
+	}
+	n.core = engine.NewCore(engine.Config{
+		Topo:           topo,
+		WatchdogCycles: cfg.WatchdogCycles,
+		Faults:         cfg.Faults,
+		FaultPlan:      cfg.FaultPlan,
+		Recovery:       cfg.Recovery,
+		FaultRouting:   cfg.FaultRouting,
+		Probe:          cfg.Probe,
+	})
+	n.core.Bind()
+	n.core.InjFree = func(node topology.NodeID) bool {
+		return !n.occupied[n.injID(node)]
+	}
+	n.core.InjPlace = n.placeWorm
+	n.core.Reachable = n.reachable
+	n.core.OnEpochChange = func() {
+		// The fault set changed, so masked candidate sets computed from
+		// the old set are stale: let waiting headers (those not yet
+		// granted an output channel) re-decide.
+		for _, w := range n.active {
+			if !w.arrived && !w.routed {
+				w.candsValid = false
 			}
 		}
 	}
-	if cfg.FaultRouting.Enabled() && n.faults != nil {
-		pol := cfg.FaultRouting.WithDefaults()
-		n.health = fault.NewHealth(topo, n.faults, pol)
-		n.masked = vc.NewFaultAware(cfg.Routing, n.health, pol)
+	n.faulted = n.core.Faulted
+	if n.core.Health != nil {
+		n.masked = vc.NewFaultAware(cfg.Routing, n.core.Health, n.core.FaultPol)
 	}
-	n.recovery = cfg.Recovery
-	if n.recovery.Enabled {
-		n.recovery = n.recovery.WithDefaults()
-		n.retries = make([][]retryEntry, topo.Nodes())
-	}
-	n.queues = make([][]*Packet, topo.Nodes())
-	n.qhead = make([]int, topo.Nodes())
-	n.watchdogCycles = cfg.WatchdogCycles
-	if n.watchdogCycles == 0 {
-		n.watchdogCycles = 10000
-	}
-	n.probe = cfg.Probe
+	n.appender, _ = cfg.Routing.(vc.CandidateAppender)
+	n.uncappedEject = cfg.UncappedEjection
 	n.sorter = reqSorter{n}
 	return n
+}
+
+// placeWorm is the core's injection hook: the packet's header enters the
+// node's free injection buffer.
+func (n *Network) placeWorm(node topology.NodeID, p *Packet) {
+	inj := n.injID(node)
+	w := &worm{
+		pkt:           p,
+		pos:           make([]int, p.Length),
+		movedAt:       make([]int64, p.Length),
+		sent:          1,
+		headerArrival: n.core.Cycle,
+		headRouter:    node,
+		inDir:         topology.Invalid,
+	}
+	w.path = append(w.pathBuf[:0], inj)
+	for i := range w.pos {
+		w.pos[i] = -1
+		w.movedAt[i] = -1
+	}
+	w.pos[0] = 0
+	n.occupied[inj] = true
+	n.active = append(n.active, w)
 }
 
 // buffer ids: node*ports + dir*maxVC + vc for network buffers; the last
@@ -238,17 +297,13 @@ func (n *Network) injID(node topology.NodeID) int32 {
 }
 
 func (n *Network) bufRouter(buf int32) topology.NodeID {
-	return topology.NodeID(int(buf) / n.ports)
+	return topology.NodeID(n.routerOf[buf])
 }
 
 // bufPort decodes a buffer into (direction, vc); injection buffers return
 // (Invalid, 0).
 func (n *Network) bufPort(buf int32) (topology.Direction, int) {
-	p := int(buf) % n.ports
-	if p == n.ports-1 {
-		return topology.Invalid, 0
-	}
-	return topology.Direction(p / n.maxVC), p % n.maxVC
+	return topology.Direction(n.portDir[buf]), int(n.portVC[buf])
 }
 
 func (n *Network) ownerKey(node topology.NodeID, d topology.Direction, v int) int {
@@ -256,7 +311,7 @@ func (n *Network) ownerKey(node topology.NodeID, d topology.Direction, v int) in
 }
 
 // Cycle is the current simulation time.
-func (n *Network) Cycle() int64 { return n.cycle }
+func (n *Network) Cycle() int64 { return n.core.Cycle }
 
 // Topology returns the simulated topology.
 func (n *Network) Topology() topology.Topology { return n.topo }
@@ -269,63 +324,39 @@ func (n *Network) Enqueue(src, dst topology.NodeID, length int) *Packet {
 	if src == dst {
 		panic("vcnet: self-addressed packet")
 	}
-	p := &Packet{ID: n.nextID, Src: src, Dst: dst, Length: length, Created: n.cycle, Injected: -1, Arrived: -1}
-	n.nextID++
-	n.queues[src] = append(n.queues[src], p)
-	return p
+	return n.core.Enqueue(src, dst, length)
 }
 
 // QueueLen reports how many generated messages wait at the node's source
 // queue (not yet injecting).
-func (n *Network) QueueLen(node topology.NodeID) int {
-	return len(n.queues[node]) - n.qhead[node]
-}
+func (n *Network) QueueLen(node topology.NodeID) int { return n.core.QueueLen(node) }
 
 // InFlight counts queued, in-network, and retry-pending packets:
 // enqueued = delivered + dropped + in-flight at all times.
-func (n *Network) InFlight() int {
-	total := len(n.active)
-	for i := range n.queues {
-		total += len(n.queues[i]) - n.qhead[i]
-	}
-	for i := range n.retries {
-		total += len(n.retries[i])
-	}
-	return total
-}
+func (n *Network) InFlight() int { return len(n.active) + n.core.Backlog() }
 
 // FlitsConsumed is the cumulative delivered flit count.
-func (n *Network) FlitsConsumed() int64 { return n.flitsConsumed }
+func (n *Network) FlitsConsumed() int64 { return n.core.FlitsConsumed }
 
 // PacketsDelivered is the cumulative completed packet count.
-func (n *Network) PacketsDelivered() int64 { return n.packetsDone }
+func (n *Network) PacketsDelivered() int64 { return n.core.PacketsDone }
 
 // PacketsAborted counts worm aborts by deadlock recovery.
-func (n *Network) PacketsAborted() int64 { return n.packetsAborted }
+func (n *Network) PacketsAborted() int64 { return n.core.PacketsAborted }
 
 // PacketsRetried counts source retries of aborted packets.
-func (n *Network) PacketsRetried() int64 { return n.packetsRetried }
+func (n *Network) PacketsRetried() int64 { return n.core.PacketsRetried }
 
 // PacketsDropped counts packets abandoned as unreachable or out of
 // retries.
-func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
+func (n *Network) PacketsDropped() int64 { return n.core.PacketsDropped }
 
 // FaultEvents counts channel-break events applied so far, including static
 // faults; ActiveFaults is the number of channels broken right now.
-func (n *Network) FaultEvents() int64 {
-	if n.faults == nil {
-		return 0
-	}
-	return n.faults.FailEvents()
-}
+func (n *Network) FaultEvents() int64 { return n.core.FaultEvents() }
 
 // ActiveFaults reports how many physical channels are currently broken.
-func (n *Network) ActiveFaults() int {
-	if n.faults == nil {
-		return 0
-	}
-	return n.faults.ActiveFaults()
-}
+func (n *Network) ActiveFaults() int { return n.core.ActiveFaults() }
 
 // MaskedFaults counts routing decisions whose candidate set fault-aware
 // routing narrowed (or replaced with a misroute set); 0 when disabled.
@@ -338,18 +369,10 @@ func (n *Network) MaskedFaults() int64 {
 
 // MisrouteHops counts nonminimal detour hops actually taken under
 // fault-aware routing.
-func (n *Network) MisrouteHops() int64 { return n.misrouteHops }
+func (n *Network) MisrouteHops() int64 { return n.core.MisrouteHops }
 
 // MaxQueueLen reports the longest current source queue.
-func (n *Network) MaxQueueLen() int {
-	max := 0
-	for i := range n.queues {
-		if l := len(n.queues[i]) - n.qhead[i]; l > max {
-			max = l
-		}
-	}
-	return max
-}
+func (n *Network) MaxQueueLen() int { return n.core.MaxQueueLen() }
 
 // TakeDelivered returns packets completed since the previous call.
 func (n *Network) TakeDelivered() []*Packet {
@@ -358,34 +381,40 @@ func (n *Network) TakeDelivered() []*Packet {
 	return out
 }
 
+// sortRequests orders the pending requests: insertion sort for small lists
+// (the active set's order is close to sorted, so it is effectively linear),
+// the stored sort.Interface beyond that. requestLess is a strict total
+// order, so both paths produce the identical permutation.
+func (n *Network) sortRequests() {
+	r := n.requests
+	if len(r) <= 32 {
+		for i := 1; i < len(r); i++ {
+			w := r[i]
+			j := i - 1
+			for j >= 0 && requestLess(w, r[j]) {
+				r[j+1] = r[j]
+				j--
+			}
+			r[j+1] = w
+		}
+		return
+	}
+	sort.Sort(&n.sorter)
+}
+
 // Step advances one cycle: injection, routing/allocation, then per-flit
 // movement with one flit per physical channel per cycle.
 func (n *Network) Step() error {
+	c := &n.core
 	progress := false
 
 	// Phase 0: fault transitions and deadlock recovery (mirrors
 	// internal/network).
-	if n.faults != nil {
-		n.faults.Advance(n.cycle)
-		if n.health != nil {
-			n.health.Refresh()
-			if e := n.faults.Epoch(); e != n.faultEpoch {
-				// The fault set changed, so masked candidate sets computed
-				// from the old set are stale: let waiting headers (those
-				// not yet granted an output channel) re-decide.
-				n.faultEpoch = e
-				for _, w := range n.active {
-					if !w.arrived && !w.routed {
-						w.candsValid = false
-					}
-				}
-			}
-		}
-	}
-	if n.recovery.Enabled {
+	c.FaultPhase()
+	if c.Recovery.Enabled {
 		n.victims = n.victims[:0]
 		for _, w := range n.active {
-			if !w.arrived && n.cycle-w.headerArrival >= n.recovery.StallCycles {
+			if !w.arrived && c.Cycle-w.headerArrival >= c.Recovery.StallCycles {
 				n.victims = append(n.victims, w)
 			}
 		}
@@ -394,55 +423,11 @@ func (n *Network) Step() error {
 		}
 	}
 
-	// Phase 1: injection. Due retries take priority; packets whose
-	// destination the fault set has cut off entirely are dropped.
-	for node := range n.queues {
-		inj := n.injID(topology.NodeID(node))
-		if n.occupied[inj] {
-			continue
-		}
-		for {
-			p := n.popRetry(node)
-			if p == nil {
-				if n.qhead[node] >= len(n.queues[node]) {
-					break
-				}
-				p = n.queues[node][n.qhead[node]]
-				n.queues[node][n.qhead[node]] = nil
-				n.qhead[node]++
-				if n.qhead[node] == len(n.queues[node]) {
-					n.queues[node] = n.queues[node][:0]
-					n.qhead[node] = 0
-				}
-			}
-			if n.recovery.Enabled && n.faults != nil && n.faults.ActiveFaults() > 0 &&
-				n.cutOff(topology.NodeID(node), p.Dst) {
-				n.drop(p, metrics.DropUnreachable)
-				progress = true
-				continue
-			}
-			p.Injected = n.cycle
-			w := &worm{
-				pkt:           p,
-				path:          []int32{inj},
-				pos:           make([]int, p.Length),
-				movedAt:       make([]int64, p.Length),
-				sent:          1,
-				headerArrival: n.cycle,
-			}
-			for i := range w.pos {
-				w.pos[i] = -1
-				w.movedAt[i] = -1
-			}
-			w.pos[0] = 0
-			n.occupied[inj] = true
-			n.active = append(n.active, w)
-			progress = true
-			if n.probe != nil {
-				n.probe.Inject(n.cycle, p.Src, p.Dst, p.Length)
-			}
-			break
-		}
+	// Phase 1: injection, over the core's worklist of nodes with queued
+	// work. Due retries take priority; packets whose destination the
+	// fault set has cut off entirely are dropped.
+	if c.InjectPhase() {
+		progress = true
 	}
 
 	// Phase 2: routing and allocation, local FCFS per router.
@@ -451,40 +436,44 @@ func (n *Network) Step() error {
 		if w.arrived || w.routed {
 			continue
 		}
-		if n.bufRouter(w.headBuf()) == w.pkt.Dst {
+		if w.headRouter == w.pkt.Dst {
 			w.arrived = true
 			continue
 		}
 		n.requests = append(n.requests, w)
 	}
 	if len(n.requests) > 0 {
-		sort.Sort(&n.sorter)
+		n.sortRequests()
 		for _, w := range n.requests {
-			r := n.bufRouter(w.headBuf())
+			r := w.headRouter
 			if !w.candsValid {
-				inDir, inVC := n.bufPort(w.headBuf())
 				// Fixed while the header waits in this buffer; computed
 				// once per hop rather than once per cycle.
 				if n.masked != nil {
-					w.cands, w.candsMis = n.masked.FaultCandidates(r, w.pkt.Dst, inDir, inVC, w.misroutes)
+					w.cands, w.candsMis = n.masked.FaultCandidates(r, w.pkt.Dst, w.inDir, w.inVC, w.misroutes)
+				} else if n.appender != nil {
+					w.cands, n.dirScratch = n.appender.AppendCandidates(
+						w.candBuf[:0], n.dirScratch, r, w.pkt.Dst, w.inDir, w.inVC)
 				} else {
-					w.cands = n.alg.Candidates(r, w.pkt.Dst, inDir, inVC)
+					w.cands = n.alg.Candidates(r, w.pkt.Dst, w.inDir, w.inVC)
 				}
 				w.candsValid = true
 			}
+			base := int(r) * n.dims2
 			for _, out := range w.cands {
-				if n.faulted[int(r)*n.dims2+int(out.Dir)] {
+				if n.faulted[base+int(out.Dir)] {
 					continue
 				}
-				if n.owner[n.ownerKey(r, out.Dir, out.VC)] == nil {
-					n.owner[n.ownerKey(r, out.Dir, out.VC)] = w
+				key := (base+int(out.Dir))*n.maxVC + out.VC
+				if n.owner[key] == nil {
+					n.owner[key] = w
 					w.out = out
 					w.routed = true
 					break
 				}
 			}
-			if !w.routed && n.probe != nil {
-				n.probe.Blocked(n.cycle, r)
+			if !w.routed {
+				c.Em.Blocked(c.Cycle, r)
 			}
 		}
 	}
@@ -492,14 +481,9 @@ func (n *Network) Step() error {
 	// Phase 3: per-flit movement. Process worms head-to-tail so a worm
 	// pipelines within itself; iterate to a fixpoint so a flit can enter
 	// a buffer another packet vacated this cycle. Each flit moves at
-	// most once (tracked via the moved set), and each physical channel
-	// carries at most one flit.
-	for i := range n.physUsed {
-		n.physUsed[i] = false
-	}
-	for i := range n.ejectUse {
-		n.ejectUse[i] = false
-	}
+	// most once (movedAt), and each physical channel carries at most one
+	// flit (physUsed/ejectUse are stamped with the current cycle, so
+	// clearing them between cycles is free).
 	for {
 		any := false
 		for _, w := range n.active {
@@ -517,14 +501,12 @@ func (n *Network) Step() error {
 	out := n.active[:0]
 	for _, w := range n.active {
 		if w.done == w.pkt.Length {
-			w.pkt.Arrived = n.cycle
+			w.pkt.Arrived = c.Cycle
 			n.delivered = append(n.delivered, w.pkt)
-			n.packetsDone++
-			if n.probe != nil {
-				p := w.pkt
-				n.probe.Deliver(n.cycle, p.Src, p.Dst, p.Length, p.Hops,
-					p.Injected-p.Created, p.Arrived-p.Injected)
-			}
+			c.PacketsDone++
+			p := w.pkt
+			c.Em.Deliver(c.Cycle, p.Src, p.Dst, p.Length, p.Hops,
+				p.Injected-p.Created, p.Arrived-p.Injected)
 		} else {
 			out = append(out, w)
 		}
@@ -534,16 +516,7 @@ func (n *Network) Step() error {
 	}
 	n.active = out
 
-	if n.probe != nil {
-		n.probe.Tick(n.cycle)
-	}
-	n.cycle++
-	if progress {
-		n.lastProgress = n.cycle
-	} else if n.recovery.Enabled {
-		// Recovery mode never fail-stops: the per-worm timeout above
-		// handles stuck worms, and retry backoff is delayed progress.
-	} else if n.watchdogCycles > 0 && n.InFlight() > 0 && n.cycle-n.lastProgress >= n.watchdogCycles {
+	if c.EndStep(progress, len(n.active)) {
 		stuck := make([]*Packet, 0, 4)
 		for _, w := range n.active {
 			stuck = append(stuck, w.pkt)
@@ -551,25 +524,7 @@ func (n *Network) Step() error {
 				break
 			}
 		}
-		return &network.DeadlockError{Cycle: n.cycle, InFlight: n.InFlight(), Stuck: stuck}
-	}
-	return nil
-}
-
-func (w *worm) headBuf() int32 { return w.path[len(w.path)-1] }
-
-// popRetry returns the first due retry packet at the node, or nil.
-func (n *Network) popRetry(node int) *Packet {
-	if !n.recovery.Enabled {
-		return nil
-	}
-	q := n.retries[node]
-	for i := range q {
-		if q[i].at <= n.cycle {
-			p := q[i].p
-			n.retries[node] = append(q[:i], q[i+1:]...)
-			return p
-		}
+		return c.Deadlock(len(n.active), stuck)
 	}
 	return nil
 }
@@ -577,7 +532,8 @@ func (n *Network) popRetry(node int) *Packet {
 // abort yanks a blocked worm out of the network. A victim is never
 // arrived, and done only advances on arrived worms, so no flit of it was
 // consumed: freeing every buffer its flits occupy and every virtual
-// channel it still owns loses nothing.
+// channel it still owns loses nothing; the shared core then requeues the
+// packet at its source with backoff or drops it.
 func (n *Network) abort(w *worm) {
 	for k := w.done; k < w.sent; k++ {
 		n.occupied[w.path[w.pos[k]]] = false
@@ -596,8 +552,7 @@ func (n *Network) abort(w *worm) {
 		}
 	}
 	if w.routed {
-		r := n.bufRouter(w.headBuf())
-		n.owner[n.ownerKey(r, w.out.Dir, w.out.VC)] = nil
+		n.owner[n.ownerKey(w.headRouter, w.out.Dir, w.out.VC)] = nil
 		w.routed = false
 	}
 	for i, x := range n.active {
@@ -606,78 +561,30 @@ func (n *Network) abort(w *worm) {
 			break
 		}
 	}
-	p := w.pkt
-	p.Injected = -1
-	p.Hops = 0
-	p.Aborts++
-	n.packetsAborted++
-	if n.probe != nil {
-		n.probe.Abort(n.cycle, p.Src, p.Dst, p.Length, p.Aborts)
-	}
-	if n.recovery.MaxRetries >= 0 && p.Aborts > n.recovery.MaxRetries {
-		n.drop(p, metrics.DropRetriesExhausted)
-		return
-	}
-	if !n.reachable(p.Src, p.Dst) {
-		n.drop(p, metrics.DropUnreachable)
-		return
-	}
-	delay := n.recovery.Backoff(p.Aborts)
-	n.retries[p.Src] = append(n.retries[p.Src], retryEntry{p: p, at: n.cycle + delay})
-	n.packetsRetried++
-	if n.probe != nil {
-		n.probe.Retry(n.cycle, p.Src, p.Dst, p.Aborts, delay)
-	}
-}
-
-// drop abandons a packet for good.
-func (n *Network) drop(p *Packet, reason metrics.DropReason) {
-	n.packetsDropped++
-	if n.probe != nil {
-		n.probe.Drop(n.cycle, p.Src, p.Dst, p.Length, reason)
-	}
-}
-
-// cutOff is the cheap injection-time unreachability check: source with no
-// live outgoing physical channel, or destination with no live incoming
-// one. Routing-restricted unreachability is caught by the BFS on abort.
-func (n *Network) cutOff(src, dst topology.NodeID) bool {
-	srcCut, dstCut := true, true
-	for d := 0; d < n.dims2; d++ {
-		dir := topology.Direction(d)
-		if _, ok := n.topo.Neighbor(src, dir); ok && !n.faulted[int(src)*n.dims2+d] {
-			srcCut = false
-		}
-		if nb, ok := n.topo.Neighbor(dst, dir); ok {
-			if back, ok2 := n.topo.Neighbor(nb, dir.Opposite()); ok2 && back == dst &&
-				!n.faulted[int(nb)*n.dims2+int(dir.Opposite())] {
-				dstCut = false
-			}
-		}
-		if !srcCut && !dstCut {
-			return false
-		}
-	}
-	return true
+	n.core.FinishAbort(w.pkt)
 }
 
 // reachable reports whether a packet injected at src can reach dst under
 // the VC routing algorithm avoiding faulted physical channels. The search
-// states are exactly the input-buffer ids: (node, inDir, inVC).
+// states are exactly the input-buffer ids: (node, inDir, inVC); the
+// stamped visited marks (scratch shared through the engine core) make
+// repeated queries allocation-free.
 func (n *Network) reachable(src, dst topology.NodeID) bool {
 	if src == dst {
 		return true
 	}
+	c := &n.core
+	g := c.Grid
 	states := n.topo.Nodes() * n.ports
-	if len(n.reachSeen) < states {
-		n.reachSeen = make([]int32, states)
-		n.reachQueue = make([]int32, 0, states)
+	if len(c.ReachSeen) < states {
+		c.ReachSeen = make([]int32, states)
+		c.ReachQueue = make([]int32, 0, states)
 	}
-	n.reachStamp++
-	stamp := n.reachStamp
+	c.ReachStamp++
+	stamp := c.ReachStamp
 	start := n.injID(src)
-	n.reachSeen[start] = stamp
-	q := append(n.reachQueue[:0], start)
+	c.ReachSeen[start] = stamp
+	q := append(c.ReachQueue[:0], start)
 	found := false
 	for head := 0; head < len(q) && !found; head++ {
 		buf := q[head]
@@ -689,6 +596,10 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 			// relation, so retry feasibility must too (misroute budget
 			// treated as fresh, matching a reinjected packet).
 			outs, _ = n.masked.FaultCandidates(node, dst, inDir, inVC, 0)
+		} else if n.appender != nil {
+			n.candScratch, n.dirScratch = n.appender.AppendCandidates(
+				n.candScratch[:0], n.dirScratch, node, dst, inDir, inVC)
+			outs = n.candScratch
 		} else {
 			outs = n.alg.Candidates(node, dst, inDir, inVC)
 		}
@@ -696,7 +607,7 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 			if n.faulted[int(node)*n.dims2+int(out.Dir)] {
 				continue
 			}
-			nb, ok := n.topo.Neighbor(node, out.Dir)
+			nb, ok := g.Neighbor(node, out.Dir)
 			if !ok {
 				continue
 			}
@@ -705,34 +616,35 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 				break
 			}
 			next := n.bufID(nb, out.Dir, out.VC)
-			if n.reachSeen[next] != stamp {
-				n.reachSeen[next] = stamp
+			if c.ReachSeen[next] != stamp {
+				c.ReachSeen[next] = stamp
 				q = append(q, next)
 			}
 		}
 	}
-	n.reachQueue = q[:0]
+	c.ReachQueue = q[:0]
 	return found
 }
 
 // moveWorm advances whichever flits of w can move this cycle, head first.
 // It returns true if anything moved.
 func (n *Network) moveWorm(w *worm) bool {
+	cycle := n.core.Cycle
 	anything := false
 	for k := w.done; k < w.sent; k++ {
-		if w.movedAt[k] == n.cycle {
+		if w.movedAt[k] == cycle {
 			continue
 		}
 		if n.moveFlit(w, k) {
-			w.movedAt[k] = n.cycle
+			w.movedAt[k] = cycle
 			anything = true
 		}
 	}
 	// Inject the next flit if the injection buffer just freed up.
-	if w.sent < w.pkt.Length && !n.occupied[w.path[0]] && w.movedAt[w.sent] != n.cycle {
+	if w.sent < w.pkt.Length && !n.occupied[w.path[0]] && w.movedAt[w.sent] != cycle {
 		w.pos[w.sent] = 0
 		n.occupied[w.path[0]] = true
-		w.movedAt[w.sent] = n.cycle
+		w.movedAt[w.sent] = cycle
 		w.sent++
 		anything = true
 	}
@@ -741,55 +653,60 @@ func (n *Network) moveWorm(w *worm) bool {
 
 // moveFlit tries to advance flit k of worm w by one hop.
 func (n *Network) moveFlit(w *worm, k int) bool {
+	c := &n.core
+	cycle := c.Cycle
 	p := w.pos[k]
 	cur := w.path[p]
-	router := n.bufRouter(cur)
 	if p == len(w.path)-1 {
 		// Front of the worm: either the header extends the path or a
 		// flit is consumed at the destination.
+		router := w.headRouter
 		if w.arrived {
-			if n.ejectUse[router] {
-				return false
+			if !n.uncappedEject {
+				if n.ejectUse[router] == cycle {
+					return false
+				}
+				n.ejectUse[router] = cycle
 			}
-			n.ejectUse[router] = true
 			n.occupied[cur] = false
 			w.pos[k] = p + 1
 			w.done++
-			n.flitsConsumed++
+			c.FlitsConsumed++
 			n.releaseBehind(w, p)
 			return true
 		}
 		if k != 0 || !w.routed {
 			return false
 		}
-		next, ok := n.topo.Neighbor(router, w.out.Dir)
+		next, ok := c.Grid.Neighbor(router, w.out.Dir)
 		if !ok {
 			panic(fmt.Sprintf("vcnet: allocated output %v at node %d has no channel", w.out, router))
 		}
 		physKey := int(router)*n.dims2 + int(w.out.Dir)
 		nb := n.bufID(next, w.out.Dir, w.out.VC)
-		if n.physUsed[physKey] || n.occupied[nb] {
+		if n.physUsed[physKey] == cycle || n.occupied[nb] {
 			return false
 		}
-		n.physUsed[physKey] = true
+		n.physUsed[physKey] = cycle
 		n.occupied[nb] = true
 		n.occupied[cur] = false
 		w.path = append(w.path, nb)
 		w.pos[k] = p + 1
 		w.pkt.Hops++
-		w.headerArrival = n.cycle
+		w.headerArrival = cycle
+		w.inDir = w.out.Dir
+		w.inVC = w.out.VC
+		w.headRouter = next
 		w.routed = false
 		w.candsValid = false
 		if w.candsMis {
 			// The hop came from a misroute fallback set: charge the
 			// packet's budget and the network-wide counter.
 			w.misroutes++
-			n.misrouteHops++
+			c.MisrouteHops++
 			w.candsMis = false
 		}
-		if n.probe != nil {
-			n.probe.FlitMove(n.cycle, router, w.out.Dir, 1)
-		}
+		c.Em.FlitMove(cycle, router, w.out.Dir, 1)
 		n.releaseBehind(w, p)
 		return true
 	}
@@ -798,18 +715,17 @@ func (n *Network) moveFlit(w *worm, k int) bool {
 	if n.occupied[nb] {
 		return false
 	}
-	dir, _ := n.bufPort(nb)
+	router := n.bufRouter(cur)
+	dir := topology.Direction(n.portDir[nb])
 	physKey := int(router)*n.dims2 + int(dir)
-	if n.physUsed[physKey] {
+	if n.physUsed[physKey] == cycle {
 		return false
 	}
-	n.physUsed[physKey] = true
+	n.physUsed[physKey] = cycle
 	n.occupied[nb] = true
 	n.occupied[cur] = false
 	w.pos[k] = p + 1
-	if n.probe != nil {
-		n.probe.FlitMove(n.cycle, router, dir, 1)
-	}
+	c.Em.FlitMove(cycle, router, dir, 1)
 	n.releaseBehind(w, p)
 	return true
 }

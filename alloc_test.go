@@ -15,8 +15,9 @@ import (
 // traffic piles against the break, and the watchdog is disabled. Every
 // subsequent Step does identical work — arbitration over the same blocked
 // headers — which makes it the reference workload for both the step
-// benchmarks and the allocation gates.
-func wedgedNetwork(tb testing.TB, probe turnmodel.Probe, ftroute turnmodel.FaultRoutingPolicy) *turnmodel.Network {
+// benchmarks and the allocation gates. shards > 1 steps the same workload
+// through the domain-decomposed path (0 or 1 steps serially).
+func wedgedNetwork(tb testing.TB, probe turnmodel.Probe, ftroute turnmodel.FaultRoutingPolicy, shards int) *turnmodel.Network {
 	tb.Helper()
 	mesh := turnmodel.NewMesh2D(16, 16)
 	alg, err := turnmodel.NewRouting("xy", mesh)
@@ -32,6 +33,7 @@ func wedgedNetwork(tb testing.TB, probe turnmodel.Probe, ftroute turnmodel.Fault
 	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
 		Routing: alg, Seed: 1, WatchdogCycles: -1,
 		Faults: faults, Probe: probe, FaultRouting: ftroute,
+		Shards: shards,
 	})
 	for y := 0; y < 16; y++ {
 		for x := 0; x < 4; x++ {
@@ -49,22 +51,26 @@ func wedgedNetwork(tb testing.TB, probe turnmodel.Probe, ftroute turnmodel.Fault
 
 // TestStepZeroAllocs gates the no-probe step paths at zero heap
 // allocations per cycle: the observability layer must cost nothing when
-// unused, and fault-aware routing must stay allocation-free once its
-// candidate caches are warm.
+// unused, fault-aware routing must stay allocation-free once its candidate
+// caches are warm, and the sharded step must reuse its per-domain scratch
+// rather than allocate per cycle.
 func TestStepZeroAllocs(t *testing.T) {
 	cases := []struct {
 		name    string
 		ftroute turnmodel.FaultRoutingPolicy
+		shards  int
 	}{
-		{"no-probe", turnmodel.FaultRoutingPolicy{}},
+		{"no-probe", turnmodel.FaultRoutingPolicy{}, 0},
 		{"no-probe-ftroute", turnmodel.FaultRoutingPolicy{
 			Visibility:    turnmodel.FaultVisibilityKHop,
 			MisrouteLimit: 4,
-		}},
+		}, 0},
+		{"no-probe-sharded", turnmodel.FaultRoutingPolicy{}, 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			net := wedgedNetwork(t, nil, tc.ftroute)
+			net := wedgedNetwork(t, nil, tc.ftroute, tc.shards)
+			defer net.Close()
 			var stepErr error
 			allocs := testing.AllocsPerRun(200, func() {
 				if err := net.Step(); err != nil {

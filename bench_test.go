@@ -280,7 +280,7 @@ func BenchmarkAblationInputPolicy(b *testing.B) {
 // benchmark additionally reports allocs for inspection.
 func BenchmarkNetworkStep(b *testing.B) {
 	run := func(b *testing.B, probe turnmodel.Probe, ftroute turnmodel.FaultRoutingPolicy) {
-		net := wedgedNetwork(b, probe, ftroute)
+		net := wedgedNetwork(b, probe, ftroute, 0)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -303,6 +303,70 @@ func BenchmarkNetworkStep(b *testing.B) {
 		mesh := turnmodel.NewMesh2D(16, 16)
 		run(b, turnmodel.NewMetricsCollector(mesh, turnmodel.MetricsOptions{}), turnmodel.FaultRoutingPolicy{})
 	})
+}
+
+// bigWedgedNetwork is wedgedNetwork scaled to a size x size mesh for the
+// sharded-step benchmark: eastbound channels out of the middle column are
+// faulted and four worms per row pile against the break from just west of
+// it, so every row band — and therefore every contiguous spatial domain —
+// holds the same number of permanently blocked headers doing identical
+// arbitration work each cycle.
+func bigWedgedNetwork(tb testing.TB, size, shards int) *turnmodel.Network {
+	tb.Helper()
+	mesh := turnmodel.NewMesh2D(size, size)
+	alg, err := turnmodel.NewRouting("xy", mesh)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cut := size / 2
+	faults := make([]turnmodel.Channel, 0, size)
+	for y := 0; y < size; y++ {
+		faults = append(faults, turnmodel.Channel{
+			From: mesh.ID(turnmodel.Coord{cut, y}), Dir: turnmodel.East,
+		})
+	}
+	net := turnmodel.NewNetwork(turnmodel.NetworkConfig{
+		Routing: alg, Seed: 1, WatchdogCycles: -1,
+		Faults: faults, Shards: shards,
+	})
+	// Sources sit just west of the break so the pile-up forms within a few
+	// hundred cycles even on a 1000-wide mesh.
+	for y := 0; y < size; y++ {
+		for x := cut - 44; x < cut-40; x++ {
+			net.Enqueue(mesh.ID(turnmodel.Coord{x, y}), mesh.ID(turnmodel.Coord{size - 1, y}), 10)
+		}
+	}
+	for c := 0; c < 200; c++ {
+		if err := net.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return net
+}
+
+// BenchmarkShardedStep measures intra-simulation parallelism: one wedged
+// 1000x1000 mesh (4000 blocked worms spread evenly over the rows) stepped
+// serially and with the network split into 2 and 4 spatial domains. The
+// workload per cycle is identical in every variant — sharding is an
+// execution strategy, and the cross-shard tests pin bit-identical results —
+// so the ns/op ratio is pure parallel speedup (plus barrier overhead). The
+// committed baseline gates the serial number everywhere and the 4-shard
+// speedup on machines with at least 4 CPUs (see BENCH_baseline.json
+// "speedups" and docs/performance.md).
+func BenchmarkShardedStep(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			net := bigWedgedNetwork(b, 1000, shards)
+			defer net.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := net.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkNetworkStepTraffic measures the raw simulator engine under

@@ -41,12 +41,31 @@ type Baseline struct {
 	// Benchmarks maps the benchmark name (sub-benchmark path included,
 	// GOMAXPROCS suffix stripped) to its reference measurement.
 	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Speedups are relative gates: Name must run at least Min times
+	// faster than Vs in the same measured output. Unlike absolute ns/op
+	// baselines they are machine-portable, so they are configuration, not
+	// measurement — -update preserves them verbatim.
+	Speedups []Speedup `json:"speedups,omitempty"`
 }
 
 // Entry is one benchmark's reference numbers.
 type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is one relative gate between two benchmarks of the same run.
+type Speedup struct {
+	// Name is the benchmark whose speedup is gated (e.g. the sharded
+	// step); Vs is its reference (e.g. the serial step).
+	Name string `json:"name"`
+	Vs   string `json:"vs"`
+	// Min is the required ratio Vs/Name of ns/op (2.0 = at least twice
+	// as fast).
+	Min float64 `json:"min_speedup"`
+	// MinProcs skips the gate on machines with fewer CPUs — a parallel
+	// speedup cannot materialize without the cores. 0 always enforces.
+	MinProcs int `json:"min_procs,omitempty"`
 }
 
 // benchLine matches one result line of `go test -bench -benchmem` output,
@@ -149,6 +168,7 @@ func run() error {
 			if old.MaxRegress > 0 {
 				base.MaxRegress = old.MaxRegress
 			}
+			base.Speedups = old.Speedups
 			// Keep entries the current run did not re-measure.
 			for name, e := range old.Benchmarks {
 				if _, ok := lookup(got, name); !ok {
@@ -185,20 +205,34 @@ func run() error {
 		allowed = 0.10
 	}
 
+	failed, missing := gate(base, got, allowed, runtime.NumCPU(), os.Stdout)
+	if missing > 0 {
+		return fmt.Errorf("benchgate: %d baseline benchmark(s) not present in the measured output", missing)
+	}
+	if failed > 0 {
+		return fmt.Errorf("benchgate: %d benchmark(s) regressed more than the allowed band", failed)
+	}
+	return nil
+}
+
+// gate compares the measured entries against the baseline — absolute ns/op
+// within the allowed band, then the relative speedup gates — writing one
+// status line per comparison. It returns how many comparisons failed and
+// how many baselined benchmarks were missing from the measurement. procs
+// is the CPU count used for Speedup.MinProcs skips (injected for tests).
+func gate(base Baseline, got map[string]Entry, allowed float64, procs int, w io.Writer) (failed, missing int) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	failed := 0
-	missing := 0
 	for _, name := range names {
 		ref := base.Benchmarks[name]
 		cur, ok := lookup(got, name)
 		if !ok {
 			missing++
-			fmt.Printf("MISS  %-50s baseline %.1f ns/op, not measured\n", name, ref.NsPerOp)
+			fmt.Fprintf(w, "MISS  %-50s baseline %.1f ns/op, not measured\n", name, ref.NsPerOp)
 			continue
 		}
 		ratio := cur.NsPerOp / ref.NsPerOp
@@ -207,16 +241,32 @@ func run() error {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("%s  %-50s %9.1f ns/op vs baseline %9.1f (%+.1f%%)\n",
+		fmt.Fprintf(w, "%s  %-50s %9.1f ns/op vs baseline %9.1f (%+.1f%%)\n",
 			status, name, cur.NsPerOp, ref.NsPerOp, (ratio-1)*100)
 	}
-	if missing > 0 {
-		return fmt.Errorf("benchgate: %d baseline benchmark(s) not present in the measured output", missing)
+	for _, sp := range base.Speedups {
+		if sp.MinProcs > 0 && procs < sp.MinProcs {
+			fmt.Fprintf(w, "SKIP  %-50s needs %d CPUs, have %d\n",
+				sp.Name+" vs "+sp.Vs, sp.MinProcs, procs)
+			continue
+		}
+		cur, okCur := lookup(got, sp.Name)
+		ref, okRef := lookup(got, sp.Vs)
+		if !okCur || !okRef {
+			missing++
+			fmt.Fprintf(w, "MISS  %-50s speedup gate needs both measured\n", sp.Name+" vs "+sp.Vs)
+			continue
+		}
+		ratio := ref.NsPerOp / cur.NsPerOp
+		status := "ok  "
+		if ratio < sp.Min {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%s  %-50s %.2fx speedup, want >= %.2fx\n",
+			status, sp.Name+" vs "+sp.Vs, ratio, sp.Min)
 	}
-	if failed > 0 {
-		return fmt.Errorf("benchgate: %d benchmark(s) regressed more than %.0f%%", failed, allowed*100)
-	}
-	return nil
+	return failed, missing
 }
 
 func readBaseline(path string) (Baseline, error) {

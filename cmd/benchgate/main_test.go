@@ -63,3 +63,76 @@ func TestLookupDecoratedSubBenchmark(t *testing.T) {
 		t.Error("jobs matched jobs-4-8: -4-8 is not a single decoration")
 	}
 }
+
+func TestGate(t *testing.T) {
+	base := Baseline{
+		Benchmarks: map[string]Entry{
+			"BenchmarkA": {NsPerOp: 1000},
+			"BenchmarkB": {NsPerOp: 1000},
+			"BenchmarkC": {NsPerOp: 1000},
+		},
+		Speedups: []Speedup{
+			{Name: "BenchmarkA", Vs: "BenchmarkB", Min: 2.0},
+		},
+	}
+	got := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 1050}, // within the 10% band
+		"BenchmarkB": {NsPerOp: 1200}, // regressed
+		// BenchmarkC missing
+		// speedup B/A = 1200/1050 = 1.14x < 2.0: fails too
+	}
+	var out strings.Builder
+	failed, missing := gate(base, got, 0.10, 1, &out)
+	if failed != 2 || missing != 1 {
+		t.Fatalf("gate: failed=%d missing=%d, want 2, 1\n%s", failed, missing, out.String())
+	}
+	for _, want := range []string{
+		"ok    BenchmarkA",
+		"FAIL  BenchmarkB",
+		"MISS  BenchmarkC",
+		"FAIL  BenchmarkA vs BenchmarkB",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGateSpeedup(t *testing.T) {
+	base := Baseline{
+		Benchmarks: map[string]Entry{},
+		Speedups: []Speedup{
+			{Name: "BenchmarkFast", Vs: "BenchmarkSlow", Min: 2.0, MinProcs: 4},
+		},
+	}
+	got := map[string]Entry{
+		"BenchmarkFast-8": {NsPerOp: 400}, // decorated measurement resolves
+		"BenchmarkSlow":   {NsPerOp: 1000},
+	}
+
+	// Under MinProcs the gate is skipped, not failed or missing: a
+	// parallel speedup cannot materialize without the cores.
+	var out strings.Builder
+	if failed, missing := gate(base, got, 0.10, 2, &out); failed != 0 || missing != 0 {
+		t.Fatalf("procs=2: failed=%d missing=%d, want skip\n%s", failed, missing, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Errorf("procs=2 output missing SKIP:\n%s", out.String())
+	}
+
+	// With the cores, 2.5x >= 2.0x passes.
+	out.Reset()
+	if failed, missing := gate(base, got, 0.10, 8, &out); failed != 0 || missing != 0 {
+		t.Fatalf("procs=8: failed=%d missing=%d, want pass\n%s", failed, missing, out.String())
+	}
+	if !strings.Contains(out.String(), "2.50x speedup") {
+		t.Errorf("procs=8 output missing ratio:\n%s", out.String())
+	}
+
+	// A speedup gate whose legs were not measured counts as missing —
+	// the CI bench regex must keep covering both.
+	out.Reset()
+	if failed, missing := gate(base, map[string]Entry{}, 0.10, 8, &out); failed != 0 || missing != 1 {
+		t.Fatalf("unmeasured: failed=%d missing=%d, want missing=1\n%s", failed, missing, out.String())
+	}
+}

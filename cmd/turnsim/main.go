@@ -31,6 +31,7 @@ func main() {
 		outPol   = flag.String("output", "", fmt.Sprintf("output selection policy: one of %v", network.OutputPolicyNames()))
 		inPol    = flag.String("input", "", fmt.Sprintf("input selection policy: one of %v", network.InputPolicyNames()))
 		useVC    = flag.Bool("vc", false, "run on the virtual-channel simulator (accepts VC algorithms such as double-y, dateline-dor, ccc-ascending)")
+		shards   = flag.Int("shards", 1, "spatial domains stepped in parallel within the one network (results are identical at any value)")
 		metrics  = flag.Bool("metrics", false, "collect and print run metrics: latency percentiles, delay split, channel-utilization heatmap")
 		verbose  = flag.Bool("v", false, "print the full result breakdown")
 
@@ -101,6 +102,7 @@ func main() {
 				FaultPlan:     plan,
 				Recovery:      rec,
 				FaultRouting:  ftpol,
+				Shards:        *shards,
 			},
 		})
 		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
@@ -132,6 +134,7 @@ func main() {
 			FaultPlan:     plan,
 			Recovery:      rec,
 			FaultRouting:  ftpol,
+			Shards:        *shards,
 		},
 		Output: output,
 		Input:  input,

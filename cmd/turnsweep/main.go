@@ -45,6 +45,7 @@ func main() {
 		measure  = flag.Int64("measure", 40000, "measurement cycles")
 		seed     = flag.Int64("seed", 1, "random seed")
 		jobs     = flag.Int("jobs", 0, "parallel sweep workers (0 = all CPUs)")
+		shards   = flag.Int("shards", 1, "spatial domains stepped in parallel within every job's network; composes with -jobs (results are identical at any value)")
 		jsonOut  = flag.String("json", "", "also write a structured JSON report to this file")
 		seedMode = flag.String("seedmode", "paired", "per-job seed derivation: paired (common random numbers; matches the archived tables) or hash (independent streams)")
 		progress = flag.Bool("progress", true, "report sweep progress on stderr (only when stderr is a terminal)")
@@ -139,6 +140,7 @@ func main() {
 			MeasureCycles: *measure,
 			Seed:          *seed,
 			Jobs:          cli.Jobs(*jobs),
+			Shards:        *shards,
 			SeedFn:        seedFn,
 			Metrics:       *metrics,
 			FaultPlan:     fault.Plan{Rate: *faultRate, Repair: *faultRepair},

@@ -44,6 +44,11 @@ type Config struct {
 	FaultRouting fault.RoutingPolicy
 	// Probe receives simulation events; nil disables instrumentation.
 	Probe metrics.Probe
+	// Shards is the number of spatial domains the network is partitioned
+	// into for intra-simulation parallelism (see shard.go). Values <= 1
+	// select serial stepping; the count is capped at the node count.
+	// Results are bit-identical at every shard count.
+	Shards int
 }
 
 // retryEntry is one aborted packet waiting at its source to reinject at
@@ -104,8 +109,14 @@ type Core struct {
 	// Reachable answers the post-abort retry feasibility query.
 	// OnEpochChange fires when the fault set's epoch advances (the engine
 	// invalidates cached candidate sets of waiting headers).
+	// InjPlaceShard is the sharded counterpart of InjPlace: it runs on
+	// domain d's worker and must defer any shared-state mutation (such as
+	// appending to the engine's active list) to the engine's post-barrier
+	// merge. Required when ShardCount() > 1; both hooks must be set, since
+	// InjFree and InjPlace also serve serial helpers.
 	InjFree       func(node topology.NodeID) bool
 	InjPlace      func(node topology.NodeID, p *Packet)
+	InjPlaceShard func(d int, node topology.NodeID, p *Packet)
 	Reachable     func(src, dst topology.NodeID) bool
 	OnEpochChange func()
 
@@ -128,6 +139,14 @@ type Core struct {
 
 	faultEpoch   int64
 	lastProgress int64
+
+	// Sharding state (see shard.go); shards is 1 for serial stepping.
+	shards    int
+	bounds    []int32
+	shardEm   []Emitter
+	shardInjs []shardInj
+	pool      *Pool
+	injectFn  func(d int)
 }
 
 // NewCore builds the shared state for a topology and the engine-
@@ -165,6 +184,7 @@ func NewCore(cfg Config) Core {
 	if c.Watchdog == 0 {
 		c.Watchdog = 10000
 	}
+	c.initShards(cfg.Shards, cfg.Probe)
 	return c
 }
 
@@ -177,6 +197,9 @@ func (c *Core) Bind() {
 			c.Em.Fault(c.Cycle, from, dir, failed)
 		}
 	}
+	// Method values bound here point at the final address; binding them in
+	// NewCore would capture the soon-discarded stack copy.
+	c.injectFn = c.injectDomain
 }
 
 // Enqueue creates a packet at the current cycle and queues it at src. The
@@ -270,7 +293,9 @@ func (c *Core) sortPending() {
 
 // popRetry returns the first due retry packet at the node, or nil. Entries
 // are scanned in abort order so an early abort with a long backoff does not
-// block a later one with a short backoff.
+// block a later one with a short backoff. The caller owns the retryCount
+// bookkeeping: the sharded injection path tracks per-domain deltas instead
+// of racing on the shared counter.
 func (c *Core) popRetry(node int32) *Packet {
 	if c.retries == nil {
 		return nil
@@ -280,14 +305,14 @@ func (c *Core) popRetry(node int32) *Packet {
 		if q[i].at <= c.Cycle {
 			p := q[i].p
 			c.retries[node] = append(q[:i], q[i+1:]...)
-			c.retryCount--
 			return p
 		}
 	}
 	return nil
 }
 
-// popQueue dequeues the node's oldest generated packet, or nil.
+// popQueue dequeues the node's oldest generated packet, or nil. As with
+// popRetry, the caller owns the queued bookkeeping.
 func (c *Core) popQueue(node int32) *Packet {
 	if c.qhead[node] >= len(c.queues[node]) {
 		return nil
@@ -299,7 +324,6 @@ func (c *Core) popQueue(node int32) *Packet {
 		c.queues[node] = c.queues[node][:0]
 		c.qhead[node] = 0
 	}
-	c.queued--
 	return p
 }
 
@@ -326,11 +350,19 @@ func (c *Core) FaultPhase() {
 // destination the fault set has cut off entirely are dropped without
 // entering the network. Nodes left with no queued work leave the
 // worklist. It reports whether anything happened (progress).
+//
+// With ShardCount() > 1 the sorted worklist is partitioned at the domain
+// bounds and injected in parallel (see injectSharded); because nodes are
+// injection-independent, the per-domain results merged in domain order are
+// identical to this serial loop.
 func (c *Core) InjectPhase() bool {
 	if len(c.pending) == 0 {
 		return false
 	}
 	c.sortPending()
+	if c.shards > 1 && c.InjPlaceShard != nil {
+		return c.injectSharded()
+	}
 	progress := false
 	out := c.pending[:0]
 	for _, nd := range c.pending {
@@ -338,11 +370,14 @@ func (c *Core) InjectPhase() bool {
 		if c.InjFree(node) {
 			for {
 				p := c.popRetry(nd)
-				if p == nil {
+				if p != nil {
+					c.retryCount--
+				} else {
 					p = c.popQueue(nd)
 					if p == nil {
 						break
 					}
+					c.queued--
 				}
 				if c.Recovery.Enabled && c.Faults != nil && c.Faults.ActiveFaults() > 0 &&
 					c.CutOff(node, p.Dst) {

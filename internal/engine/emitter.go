@@ -54,6 +54,7 @@ func (e *Emitter) Enabled() bool { return e.probe != nil }
 // Probe returns the attached probe (nil when disabled).
 func (e *Emitter) Probe() metrics.Probe { return e.probe }
 
+// Inject buffers a packet-injection event (a worm left its source queue).
 func (e *Emitter) Inject(cycle int64, src, dst topology.NodeID, length int) {
 	if e.probe == nil {
 		return
@@ -61,6 +62,7 @@ func (e *Emitter) Inject(cycle int64, src, dst topology.NodeID, length int) {
 	e.events = append(e.events, probeEvent{kind: evInject, cycle: cycle, a: src, b: dst, x: int64(length)})
 }
 
+// Blocked buffers a blocked-cycle event (a waiting header got no output).
 func (e *Emitter) Blocked(cycle int64, node topology.NodeID) {
 	if e.probe == nil {
 		return
@@ -68,6 +70,8 @@ func (e *Emitter) Blocked(cycle int64, node topology.NodeID) {
 	e.events = append(e.events, probeEvent{kind: evBlocked, cycle: cycle, a: node})
 }
 
+// FlitMove buffers a flit-movement event (flits crossed the channel
+// leaving from in direction dir).
 func (e *Emitter) FlitMove(cycle int64, from topology.NodeID, dir topology.Direction, flits int) {
 	if e.probe == nil {
 		return
@@ -75,6 +79,8 @@ func (e *Emitter) FlitMove(cycle int64, from topology.NodeID, dir topology.Direc
 	e.events = append(e.events, probeEvent{kind: evFlitMove, cycle: cycle, a: from, dir: dir, x: int64(flits)})
 }
 
+// Deliver buffers a delivery event with the packet's hop count and its
+// queueing-vs-in-network delay split.
 func (e *Emitter) Deliver(cycle int64, src, dst topology.NodeID, length, hops int, queueDelay, netDelay int64) {
 	if e.probe == nil {
 		return
@@ -85,6 +91,7 @@ func (e *Emitter) Deliver(cycle int64, src, dst topology.NodeID, length, hops in
 	})
 }
 
+// Fault buffers a channel fault transition (failed or repaired).
 func (e *Emitter) Fault(cycle int64, from topology.NodeID, dir topology.Direction, failed bool) {
 	if e.probe == nil {
 		return
@@ -92,6 +99,8 @@ func (e *Emitter) Fault(cycle int64, from topology.NodeID, dir topology.Directio
 	e.events = append(e.events, probeEvent{kind: evFault, cycle: cycle, a: from, dir: dir, failed: failed})
 }
 
+// Abort buffers a recovery abort (a deadlocked worm withdrawn to its
+// source; attempt counts prior tries).
 func (e *Emitter) Abort(cycle int64, src, dst topology.NodeID, length, attempt int) {
 	if e.probe == nil {
 		return
@@ -99,6 +108,7 @@ func (e *Emitter) Abort(cycle int64, src, dst topology.NodeID, length, attempt i
 	e.events = append(e.events, probeEvent{kind: evAbort, cycle: cycle, a: src, b: dst, x: int64(length), y: int64(attempt)})
 }
 
+// Retry buffers a recovery reinjection scheduled after a backoff delay.
 func (e *Emitter) Retry(cycle int64, src, dst topology.NodeID, attempt int, delay int64) {
 	if e.probe == nil {
 		return
@@ -106,11 +116,26 @@ func (e *Emitter) Retry(cycle int64, src, dst topology.NodeID, attempt int, dela
 	e.events = append(e.events, probeEvent{kind: evRetry, cycle: cycle, a: src, b: dst, x: int64(attempt), y: delay})
 }
 
+// Drop buffers a packet drop (e.g. an unreachable destination) with its
+// reason.
 func (e *Emitter) Drop(cycle int64, src, dst topology.NodeID, length int, reason metrics.DropReason) {
 	if e.probe == nil {
 		return
 	}
 	e.events = append(e.events, probeEvent{kind: evDrop, cycle: cycle, a: src, b: dst, x: int64(length), reason: reason})
+}
+
+// Absorb appends another emitter's buffered events, in their emission
+// order, and clears the source. The sharded step paths emit into
+// per-domain emitters during parallel phases and absorb them at the phase
+// barrier in domain order, so the merged event stream is identical to the
+// serial one.
+func (e *Emitter) Absorb(from *Emitter) {
+	if e.probe == nil || len(from.events) == 0 {
+		return
+	}
+	e.events = append(e.events, from.events...)
+	from.events = from.events[:0]
 }
 
 // Tick flushes every buffered event to the probe in order, then forwards

@@ -43,6 +43,7 @@ func (p *Packet) Latency() int64 {
 	return p.Arrived - p.Created
 }
 
+// String renders the packet for diagnostics (watchdog reports, tests).
 func (p *Packet) String() string {
 	return fmt.Sprintf("packet %d %d->%d len=%d", p.ID, p.Src, p.Dst, p.Length)
 }
@@ -58,6 +59,8 @@ type DeadlockError struct {
 	Stuck    []*Packet
 }
 
+// Error describes the deadlock: the cycle it was detected and the worms
+// involved.
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("network: deadlock at cycle %d: %d packets in flight, none progressing (e.g. %v)",
 		e.Cycle, e.InFlight, e.Stuck[0])

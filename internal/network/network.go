@@ -83,6 +83,14 @@ type Config struct {
 	// cycles, so a header spends max(1, RoutingDelay) cycles per hop.
 	// 0 (and 1) give the paper's idealized single-cycle router.
 	RoutingDelay int64
+	// Shards partitions the network into that many contiguous spatial
+	// domains stepped in parallel by a persistent worker pool (see
+	// docs/performance.md). Results are bit-identical to serial stepping
+	// at every shard count. Values <= 1 step serially. Sharding requires
+	// the default LowestDimension output policy (randomized arbitration
+	// consumes a shared RNG stream whose draw order sharding would
+	// change); other policies silently fall back to serial stepping.
+	Shards int
 	// Probe receives simulation events (see metrics.Probe). nil disables
 	// instrumentation at zero cost: emission is batched through the
 	// engine core's emitter, whose no-probe paths return immediately and
@@ -149,22 +157,34 @@ type Network struct {
 	sorter   reqSorter
 	freeBase int
 	freeFn   func(topology.Direction) bool
+
+	// Sharded stepping (see shard.go): dsc holds one netDomain per
+	// spatial domain and the Fn fields are the prebound per-phase worker
+	// tasks; shards mirrors core.ShardCount() and is 1 for serial Step.
+	shards     int
+	dsc        []netDomain
+	classifyFn func(d int)
+	planFn     func(d int)
+	applyFn    func(d int)
 }
 
-// reqSorter orders the pending requests by router, then by the input
-// selection policy. It exists (rather than a sort.Slice closure) so that
-// sorting in Step does not allocate.
-type reqSorter struct{ n *Network }
+// reqSorter orders a request list by router, then by the input selection
+// policy. It exists (rather than a sort.Slice closure) so that sorting in
+// Step does not allocate; the sharded step keeps one per domain.
+type reqSorter struct {
+	n    *Network
+	reqs *[]*worm
+}
 
-func (s *reqSorter) Len() int { return len(s.n.requests) }
+func (s *reqSorter) Len() int { return len(*s.reqs) }
 
 func (s *reqSorter) Swap(i, j int) {
-	r := s.n.requests
+	r := *s.reqs
 	r[i], r[j] = r[j], r[i]
 }
 
 func (s *reqSorter) Less(i, j int) bool {
-	r := s.n.requests
+	r := *s.reqs
 	return s.n.requestLess(r[i], r[j])
 }
 
@@ -206,6 +226,7 @@ func New(cfg Config) *Network {
 		Recovery:       cfg.Recovery,
 		FaultRouting:   cfg.FaultRouting,
 		Probe:          cfg.Probe,
+		Shards:         cfg.Shards,
 	})
 	n.core.Bind()
 	n.core.InjFree = func(node topology.NodeID) bool {
@@ -233,10 +254,11 @@ func New(cfg Config) *Network {
 	_, n.fastOutput = n.output.(LowestDimension)
 	n.routingDelay = cfg.RoutingDelay
 	n.channelFlits = make([]int64, topo.Nodes()*n.dims2)
-	n.sorter = reqSorter{n}
+	n.sorter = reqSorter{n, &n.requests}
 	n.freeFn = func(d topology.Direction) bool {
 		return n.outOwner[n.freeBase+int(d)] == nil && !n.faulted[n.freeBase+int(d)]
 	}
+	n.initShardDomains(cfg)
 	return n
 }
 
@@ -328,7 +350,16 @@ func (n *Network) MaskedFaults() int64 {
 	if n.masked == nil {
 		return 0
 	}
-	return n.masked.MaskedDecisions()
+	total := n.masked.MaskedDecisions()
+	// The sharded step routes each request through its domain's wrapper
+	// (the wrapper's counters are not concurrent-safe); every request is
+	// processed exactly once, so the sum matches the serial count.
+	for d := range n.dsc {
+		if m := n.dsc[d].masked; m != nil {
+			total += m.MaskedDecisions()
+		}
+	}
+	return total
 }
 
 // MisrouteHops counts header hops taken from a misroute fallback set —
@@ -371,13 +402,12 @@ func (n *Network) requestLess(a, b *worm) bool {
 	return n.input.Less(a, b)
 }
 
-// sortRequests orders the pending requests. Small lists (the common case
-// at sweep loads) use an insertion sort — the active list's injection
+// sortRequestList orders a request list in place. Small lists (the common
+// case at sweep loads) use an insertion sort — the active list's injection
 // order is close to sorted, so it is effectively linear — and large lists
-// fall back to the stored sort.Interface. The comparison is a strict total
-// order, so both paths produce the identical permutation.
-func (n *Network) sortRequests() {
-	r := n.requests
+// fall back to the caller's stored sort.Interface. The comparison is a
+// strict total order, so both paths produce the identical permutation.
+func (n *Network) sortRequestList(r []*worm, s *reqSorter) {
 	if len(r) <= 32 {
 		for i := 1; i < len(r); i++ {
 			w := r[i]
@@ -390,34 +420,29 @@ func (n *Network) sortRequests() {
 		}
 		return
 	}
-	sort.Sort(&n.sorter)
+	sort.Sort(s)
 }
+
+func (n *Network) sortRequests() { n.sortRequestList(n.requests, &n.sorter) }
 
 // Step advances the simulation by one cycle: it injects waiting headers,
 // routes and allocates output channels for waiting headers (input and
 // output selection policies arbitrate), and then advances every worm that
 // can move by one hop. It returns a *DeadlockError if the watchdog fires.
+//
+// With Config.Shards > 1 the cycle runs on the domain-decomposed path
+// (see shard.go), which produces bit-identical results.
 func (n *Network) Step() error {
+	if n.shards > 1 {
+		return n.stepSharded()
+	}
 	c := &n.core
 	progress := false
 
-	// Phase 0: fault transitions and deadlock recovery. The fault plan
-	// applies this cycle's channel breaks and repairs; recovery then
-	// aborts any worm whose header has been stuck past the stall
-	// threshold (the timeout criterion of software-based deadlock
-	// recovery: a genuinely deadlocked worm never moves again, and a
-	// worm starved that long is treated the same).
+	// Phase 0: fault transitions and deadlock recovery.
 	c.FaultPhase()
 	if c.Recovery.Enabled {
-		n.victims = n.victims[:0]
-		for _, w := range n.active {
-			if !w.arrived && c.Cycle-w.headerArrival >= c.Recovery.StallCycles {
-				n.victims = append(n.victims, w)
-			}
-		}
-		for _, w := range n.victims {
-			n.abort(w)
-		}
+		n.recoveryPhase()
 	}
 
 	// Phase 1: injection, over the core's worklist of nodes with queued
@@ -511,7 +536,33 @@ func (n *Network) Step() error {
 		progress = true
 	}
 
-	// Phase 4: retire completed worms, preserving order.
+	// Phase 4: retire completed worms, then close the cycle.
+	n.retirePhase()
+	return n.finishStep(progress)
+}
+
+// recoveryPhase aborts any worm whose header has been stuck past the stall
+// threshold (the timeout criterion of software-based deadlock recovery: a
+// genuinely deadlocked worm never moves again, and a worm starved that long
+// is treated the same). It is always serial: aborts mutate the active list
+// and shared retry state.
+func (n *Network) recoveryPhase() {
+	c := &n.core
+	n.victims = n.victims[:0]
+	for _, w := range n.active {
+		if !w.arrived && c.Cycle-w.headerArrival >= c.Recovery.StallCycles {
+			n.victims = append(n.victims, w)
+		}
+	}
+	for _, w := range n.victims {
+		n.abort(w)
+	}
+}
+
+// retirePhase removes completed worms from the active list, preserving
+// order, and records their delivery.
+func (n *Network) retirePhase() {
+	c := &n.core
 	out := n.active[:0]
 	for _, w := range n.active {
 		if w.delivered == w.pkt.Length {
@@ -529,7 +580,12 @@ func (n *Network) Step() error {
 		n.active[i] = nil
 	}
 	n.active = out
+}
 
+// finishStep closes the cycle through the core and builds the deadlock
+// error if the watchdog fired.
+func (n *Network) finishStep(progress bool) error {
+	c := &n.core
 	if c.EndStep(progress, len(n.active)) {
 		stuck := make([]*Packet, 0, 4)
 		for _, w := range n.active {
@@ -650,31 +706,60 @@ func (n *Network) reachable(src, dst topology.NodeID) bool {
 // every trailing flit follows, with the tail releasing its buffer and, once
 // fully injected, the channel behind it.
 func (n *Network) tryAdvance(w *worm) bool {
-	last := len(w.path) - 1
-	inNet := w.inNetwork()
-	if inNet == 0 {
+	if !n.canAdvance(w) {
 		return false
 	}
 	c := &n.core
+	n.applyAdvance(w, &c.Em, &c.FlitsConsumed, &c.MisrouteHops)
+	return true
+}
+
+// canAdvance is tryAdvance's read-only half: whether the worm moves this
+// round. An arrived worm always drains a flit; a granted header moves iff
+// its target buffer is free. The sharded step's movement rounds evaluate it
+// for every worm at a barrier before any write (see shard.go), which is
+// sound because no write of the subsequent apply stage can invalidate a
+// positive answer: granted headers hold exclusive output channels, so two
+// movers never target one buffer, and frees only enable.
+func (n *Network) canAdvance(w *worm) bool {
+	if w.inNetwork() == 0 {
+		return false
+	}
+	if w.arrived {
+		return true
+	}
+	if w.outDir == noDirection {
+		return false
+	}
+	r := w.headRouter
+	next, ok := n.core.Grid.Neighbor(r, w.outDir)
+	if !ok {
+		panic(fmt.Sprintf("network: allocated output %v at node %d has no channel", w.outDir, r))
+	}
+	return !n.occupied[n.bufID(next, int(w.outDir))]
+}
+
+// applyAdvance is tryAdvance's write half: one hop for a worm canAdvance
+// approved. Every location it writes is exclusive to this worm — the
+// target buffer (via its output-channel grant), its own flits' buffers and
+// channels — so the sharded step may apply a whole round of moves in
+// parallel. The flit-consumed and misroute tallies and the probe events go
+// through the caller's sinks: the core's own for the serial path, the
+// domain's for the sharded one.
+func (n *Network) applyAdvance(w *worm, em *engine.Emitter, flits, mis *int64) {
+	c := &n.core
+	last := len(w.path) - 1
+	inNet := w.inNetwork()
 	if !w.arrived {
-		if w.outDir == noDirection {
-			return false
-		}
 		r := w.headRouter
-		next, ok := c.Grid.Neighbor(r, w.outDir)
-		if !ok {
-			panic(fmt.Sprintf("network: allocated output %v at node %d has no channel", w.outDir, r))
-		}
+		next, _ := c.Grid.Neighbor(r, w.outDir)
 		nb := n.bufID(next, int(w.outDir))
-		if n.occupied[nb] {
-			return false
-		}
 		n.occupied[nb] = true
 		if w.candsMis {
 			// The hop came from a misroute set: a nonminimal detour,
 			// charged against the packet's misroute budget.
 			w.misroutes++
-			c.MisrouteHops++
+			*mis++
 			w.candsMis = false
 		}
 		w.path = append(w.path, nb)
@@ -688,7 +773,7 @@ func (n *Network) tryAdvance(w *worm) bool {
 	} else {
 		// The front flit is consumed by the destination processor.
 		w.delivered++
-		c.FlitsConsumed++
+		*flits++
 	}
 
 	// Shift the tail: either a fresh flit enters the injection buffer or
@@ -710,9 +795,8 @@ func (n *Network) tryAdvance(w *worm) bool {
 			// traversed this channel. Tallied at release so the counts
 			// reflect completed traversals only.
 			n.channelFlits[key] += int64(w.pkt.Length)
-			c.Em.FlitMove(c.Cycle, from, topology.Direction(dir), w.pkt.Length)
+			em.FlitMove(c.Cycle, from, topology.Direction(dir), w.pkt.Length)
 		}
 	}
 	w.advanced = true
-	return true
 }

@@ -1,0 +1,269 @@
+package network
+
+import (
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+)
+
+// Sharded stepping: Config.Shards > 1 partitions the node space into
+// contiguous domains (engine.Core owns the bounds and the worker pool) and
+// runs the parallelizable phases of Step on one worker per domain. The
+// acceptance bar is bit-identical results at every shard count; the full
+// argument lives in docs/performance.md, the short form next to each phase
+// below. The differential harness (internal/engine/diff_test.go) and the
+// cross-shard tests in this package check it end to end.
+//
+// A worm belongs to the domain of its head router at the start of the
+// phase. Its flits may trail through other domains' nodes — that is fine,
+// because buffer and channel writes during movement are exclusive to the
+// worm (not to the domain), and the phases that consult another router's
+// state are either read-only at that point or serial.
+
+// netDomain is one domain's per-cycle scratch: the worms it owns this
+// cycle, its request and mover lists, the worms it injected this cycle
+// (merged into the active list in domain order), its fault-masking wrapper
+// (the wrapper's counters are not concurrent-safe, so each domain gets its
+// own over the shared read-only Health), its counter deltas, and its
+// request sorter. Everything is preallocated or reused, keeping the
+// no-probe sharded step allocation-free. Padded against false sharing of
+// the counters.
+type netDomain struct {
+	owned    []*worm
+	requests []*worm
+	movers   []*worm
+	injected []*worm
+	masked   *routing.FaultAware
+	sorter   reqSorter
+	flits    int64
+	mis      int64
+	_        [64]byte
+}
+
+// initShardDomains finishes sharded-step construction inside New. The core
+// has already clamped the shard count; sharding additionally requires the
+// inlined LowestDimension output arbitration — any other policy draws from
+// a shared RNG stream or closure state whose order sharding would change,
+// so those configurations release the pool and fall back to serial
+// stepping.
+func (n *Network) initShardDomains(cfg Config) {
+	if n.core.ShardCount() > 1 && !n.fastOutput {
+		n.core.Close()
+	}
+	n.shards = n.core.ShardCount()
+	if n.shards <= 1 {
+		return
+	}
+	n.dsc = make([]netDomain, n.shards)
+	for d := range n.dsc {
+		dm := &n.dsc[d]
+		dm.sorter = reqSorter{n, &dm.requests}
+		if n.core.Health != nil {
+			dm.masked = routing.NewFaultAware(n.alg, n.core.Health, n.core.FaultPol)
+		}
+	}
+	n.core.InjPlaceShard = n.placeWormShard
+	n.classifyFn = n.classifyDomain
+	n.planFn = n.planDomain
+	n.applyFn = n.applyDomain
+}
+
+// Close releases the sharded step's worker pool and returns the network to
+// serial stepping; idempotent and a no-op for serial networks. The pool
+// also has a finalizer, so an un-Closed network leaks nothing once
+// collected — Close just makes the release deterministic (the sweep runner
+// closes each point's network as it finishes).
+func (n *Network) Close() {
+	n.core.Close()
+	n.shards = 1
+}
+
+// placeWormShard is the core's sharded injection hook: identical to
+// placeWorm except that the worm is appended to the domain's injected list
+// instead of the shared active list; stepSharded merges the lists in
+// domain order, which reproduces the serial active-list order because
+// injection visits nodes in ascending order and domains are ascending node
+// ranges. The buffer write is to the injecting node's own injection
+// buffer, which belongs to this domain.
+func (n *Network) placeWormShard(d int, node topology.NodeID, p *Packet) {
+	inj := n.bufID(node, n.dims2)
+	w := &worm{
+		pkt:           p,
+		sent:          1,
+		outDir:        noDirection,
+		headerArrival: n.core.Cycle,
+		headRouter:    node,
+		inDir:         topology.Invalid,
+	}
+	w.path = append(w.pathBuf[:0], inj)
+	n.occupied[inj] = true
+	n.dsc[d].injected = append(n.dsc[d].injected, w)
+}
+
+// classifyDomain is the parallel body of phase 2 for one domain: collect
+// the worms whose head router lies in the domain's node range, reset their
+// advanced flags, mark arrivals, then route and allocate output channels
+// for the waiting headers.
+//
+// Serial equivalence: the request order is total (router first), so
+// per-domain sorted lists concatenated in domain order equal the globally
+// sorted list; and a request only reads and writes arbitration state at
+// its own head router (outOwner, faulted), which no other domain touches
+// in this phase — so every router's arbitration sees exactly the
+// competitors, in exactly the order, of the serial pass. Blocked events go
+// to the domain emitter and merge in domain order, again the serial order.
+func (n *Network) classifyDomain(d int) {
+	c := &n.core
+	dm := &n.dsc[d]
+	lo, hi := c.ShardRange(d)
+	dm.owned = dm.owned[:0]
+	dm.requests = dm.requests[:0]
+	for _, w := range n.active {
+		r := int32(w.headRouter)
+		if r < lo || r >= hi {
+			continue
+		}
+		dm.owned = append(dm.owned, w)
+		w.advanced = false
+		if w.arrived || w.outDir != noDirection {
+			continue
+		}
+		if n.routingDelay > 0 && c.Cycle-w.headerArrival < n.routingDelay {
+			continue
+		}
+		if w.headRouter == w.pkt.Dst {
+			w.arrived = true
+			continue
+		}
+		dm.requests = append(dm.requests, w)
+	}
+	if len(dm.requests) == 0 {
+		return
+	}
+	n.sortRequestList(dm.requests, &dm.sorter)
+	em := c.ShardEmitter(d)
+	for _, w := range dm.requests {
+		r := w.headRouter
+		if !w.candsValid {
+			if dm.masked != nil {
+				w.cands, w.candsMis = dm.masked.FaultCandidates(r, w.pkt.Dst, w.inDir, w.inWrap, w.misroutes)
+			} else if n.appender != nil {
+				w.cands = n.appender.AppendCandidates(w.candBuf[:0], r, w.pkt.Dst, w.inDir, w.inWrap)
+			} else {
+				w.cands = n.alg.Candidates(r, w.pkt.Dst, w.inDir, w.inWrap)
+			}
+			w.candsValid = true
+		}
+		// Sharding requires fastOutput, so the inlined LowestDimension
+		// (first free candidate) is the only arbitration here.
+		base := int(r) * n.dims2
+		granted := false
+		for _, dd := range w.cands {
+			if k := base + int(dd); n.outOwner[k] == nil && !n.faulted[k] {
+				n.outOwner[k] = w
+				w.outDir = dd
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			em.Blocked(c.Cycle, r)
+		}
+	}
+}
+
+// planDomain is the read-only half of one movement round: it collects the
+// domain's worms that can advance under the state frozen at the round's
+// barrier. No mover invalidates another (see canAdvance), so the plan is
+// exactly the set of moves the round applies.
+func (n *Network) planDomain(d int) {
+	dm := &n.dsc[d]
+	dm.movers = dm.movers[:0]
+	for _, w := range dm.owned {
+		if !w.advanced && n.canAdvance(w) {
+			dm.movers = append(dm.movers, w)
+		}
+	}
+}
+
+// applyDomain applies one movement round's planned moves for the domain.
+// All writes are exclusive to each moving worm (see applyAdvance), so
+// domains apply concurrently; counter deltas and FlitMove events land in
+// the domain's sinks and merge after the movement loop.
+func (n *Network) applyDomain(d int) {
+	c := &n.core
+	dm := &n.dsc[d]
+	em := c.ShardEmitter(d)
+	for _, w := range dm.movers {
+		n.applyAdvance(w, em, &dm.flits, &dm.mis)
+	}
+}
+
+// stepSharded is Step's domain-decomposed body. Phases 0 (faults,
+// recovery) and 4 (retirement, watchdog) are inherently order-dependent
+// and stay serial; injection, routing/allocation and movement fan out over
+// the domains with barriers between phases.
+//
+// Movement runs as rounds of plan (read-only, collect movers) and apply
+// (disjoint writes) instead of the serial sweep-to-fixpoint loop. Both
+// compute the same least fixpoint: a move never blocks another possible
+// move this cycle (target buffers are exclusively granted) and frees only
+// enable, so the set of worms that advance — and therefore every buffer,
+// channel and counter after the phase — is identical to the serial
+// schedule's. Only the intra-cycle interleaving of FlitMove probe events
+// differs from serial (it is still deterministic for a fixed shard count);
+// per-cycle aggregation, which is all the metrics collector does, sees
+// identical streams.
+func (n *Network) stepSharded() error {
+	c := &n.core
+	progress := false
+
+	// Phase 0: fault transitions and deadlock recovery (serial).
+	c.FaultPhase()
+	if c.Recovery.Enabled {
+		n.recoveryPhase()
+	}
+
+	// Phase 1: injection over the core's worklist, fanned out across the
+	// domains by the core; the worms each domain created are appended in
+	// domain order, reproducing the serial ascending-node active order.
+	if c.InjectPhase() {
+		progress = true
+	}
+	for d := range n.dsc {
+		dm := &n.dsc[d]
+		n.active = append(n.active, dm.injected...)
+		for i := range dm.injected {
+			dm.injected[i] = nil
+		}
+		dm.injected = dm.injected[:0]
+	}
+
+	// Phase 2: routing and output allocation, one task per domain.
+	c.RunShards(n.classifyFn)
+	c.AbsorbShardEmitters()
+
+	// Phase 3: movement rounds to the fixpoint.
+	for {
+		c.RunShards(n.planFn)
+		total := 0
+		for d := range n.dsc {
+			total += len(n.dsc[d].movers)
+		}
+		if total == 0 {
+			break
+		}
+		progress = true
+		c.RunShards(n.applyFn)
+	}
+	c.AbsorbShardEmitters()
+	for d := range n.dsc {
+		dm := &n.dsc[d]
+		c.FlitsConsumed += dm.flits
+		c.MisrouteHops += dm.mis
+		dm.flits, dm.mis = 0, 0
+	}
+
+	// Phase 4: retire completed worms, then close the cycle (serial).
+	n.retirePhase()
+	return n.finishStep(progress)
+}

@@ -1,0 +1,49 @@
+package network
+
+import (
+	"testing"
+
+	"turnmodel/internal/topology"
+)
+
+// TestShardingRequiresDefaultOutput pins the serial fallback: sharding is
+// only sound under the inlined LowestDimension arbitration (randomized
+// policies draw from a shared RNG stream whose order sharding would
+// change), so any other output policy silently steps serially.
+func TestShardingRequiresDefaultOutput(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+
+	def := New(Config{Routing: mustAlg(t, "west-first", mesh), Shards: 4})
+	defer def.Close()
+	if def.shards != 4 || def.core.ShardCount() != 4 {
+		t.Errorf("default output: shards = %d (core %d), want 4", def.shards, def.core.ShardCount())
+	}
+
+	for name, pol := range map[string]OutputPolicy{
+		"random":         RandomOutput{},
+		"straight-first": StraightFirst{},
+	} {
+		n := New(Config{Routing: mustAlg(t, "west-first", mesh), Shards: 4, Output: pol})
+		if n.shards != 1 || n.core.ShardCount() != 1 {
+			t.Errorf("%s output: shards = %d (core %d), want serial fallback",
+				name, n.shards, n.core.ShardCount())
+		}
+		n.Close()
+	}
+}
+
+// TestCloseReturnsToSerial checks that Close releases the pool and that a
+// closed network still steps correctly (serially).
+func TestCloseReturnsToSerial(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	n := New(Config{Routing: mustAlg(t, "west-first", mesh), Shards: 4})
+	n.Close()
+	if n.shards != 1 {
+		t.Fatalf("shards after Close = %d, want 1", n.shards)
+	}
+	p := n.Enqueue(0, 15, 4)
+	run(t, n, 200)
+	if p.Arrived < 0 {
+		t.Error("closed network failed to deliver")
+	}
+}

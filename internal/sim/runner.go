@@ -71,6 +71,11 @@ type Plan struct {
 	// Jobs is the worker count. Values <= 0 select runtime.GOMAXPROCS(0);
 	// 1 runs the jobs serially in the calling goroutine.
 	Jobs int
+	// Shards partitions every job's network into that many spatial
+	// domains stepped in parallel (see RunParams.Shards). Point-level
+	// (Jobs) and intra-point (Shards) parallelism compose: a plan uses up
+	// to Jobs*Shards cores. Results are bit-identical at every value.
+	Shards int
 	// SeedFn derives per-job seeds; nil selects PairedSeed.
 	SeedFn SeedFunc
 	// Metrics attaches a metrics collector to every job, so each
@@ -187,6 +192,7 @@ func RunPlan(p Plan) ([]FigureResult, *Report, error) {
 				FaultPlan:     fp,
 				Recovery:      p.Recovery,
 				FaultRouting:  p.FaultRouting,
+				Shards:        p.Shards,
 			},
 		}
 		jobStart := time.Now()

@@ -58,6 +58,26 @@ func TestRunPlanParallelMatchesSerial(t *testing.T) {
 	figuresEqual(t, serial, parallel)
 }
 
+// TestRunPlanShardedMatchesSerial pins the intra-simulation parallelism
+// axis: the same plan run with every job's network split into 2, 4 or 7
+// spatial domains — composed with point-level workers — produces results
+// and rendered tables identical to the fully serial run.
+func TestRunPlanShardedMatchesSerial(t *testing.T) {
+	serial, _, err := RunPlan(quickPlan(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 7} {
+		plan := quickPlan(2, nil)
+		plan.Shards = shards
+		sharded, _, err := RunPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		figuresEqual(t, serial, sharded)
+	}
+}
+
 func TestRunPlanHashSeedDeterminism(t *testing.T) {
 	serial, _, err := RunPlan(quickPlan(1, HashSeed))
 	if err != nil {

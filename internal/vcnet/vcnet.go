@@ -65,6 +65,14 @@ type Config struct {
 	// channel. The differential harness in internal/engine turns it on,
 	// making vcnet-with-1-VC observation-equivalent to network.
 	UncappedEjection bool
+	// Shards partitions the network into contiguous spatial domains for
+	// intra-simulation parallelism, mirroring network.Config.Shards, with
+	// bit-identical results at every shard count. In this engine only
+	// injection and routing/allocation fan out: per-flit movement
+	// arbitrates per-cycle physical-channel bandwidth across worms
+	// (physUsed/ejectUse), which is inherently order-dependent, so it
+	// stays serial (see docs/performance.md). Values <= 1 step serially.
+	Shards int
 }
 
 // Packet re-exports the packet bookkeeping of the base simulator (both
@@ -160,22 +168,44 @@ type Network struct {
 	// not allocate (mirrors internal/network); used for large request
 	// lists only.
 	sorter reqSorter
+
+	// Sharded stepping (see stepSharded): one vcDomain of scratch per
+	// spatial domain, with the prebound phase-2 worker task; shards
+	// mirrors core.ShardCount() and is 1 for serial Step.
+	shards     int
+	dsc        []vcDomain
+	classifyFn func(d int)
 }
 
-// reqSorter orders pending requests by router, then local FCFS with packet
-// ID as the tiebreak, without allocating.
-type reqSorter struct{ n *Network }
+// reqSorter orders a request list by router, then local FCFS with packet
+// ID as the tiebreak, without allocating; the sharded step keeps one per
+// domain.
+type reqSorter struct{ reqs *[]*worm }
 
-func (s *reqSorter) Len() int { return len(s.n.requests) }
+func (s *reqSorter) Len() int { return len(*s.reqs) }
 
 func (s *reqSorter) Swap(i, j int) {
-	r := s.n.requests
+	r := *s.reqs
 	r[i], r[j] = r[j], r[i]
 }
 
 func (s *reqSorter) Less(i, j int) bool {
-	r := s.n.requests
+	r := *s.reqs
 	return requestLess(r[i], r[j])
+}
+
+// vcDomain is one domain's phase-2 scratch: its request list and sorter,
+// the worms it injected this cycle, and — because the fault-masking
+// wrapper's counters and the appender's direction scratch are not
+// concurrent-safe — a per-domain wrapper over the shared read-only Health
+// and a per-domain scratch slice. Padded against false sharing.
+type vcDomain struct {
+	requests   []*worm
+	injected   []*worm
+	masked     *vc.FaultAware
+	dirScratch []topology.Direction
+	sorter     reqSorter
+	_          [64]byte
 }
 
 // requestLess is the total request order: router, then header arrival
@@ -236,6 +266,7 @@ func New(cfg Config) *Network {
 		Recovery:       cfg.Recovery,
 		FaultRouting:   cfg.FaultRouting,
 		Probe:          cfg.Probe,
+		Shards:         cfg.Shards,
 	})
 	n.core.Bind()
 	n.core.InjFree = func(node topology.NodeID) bool {
@@ -259,8 +290,30 @@ func New(cfg Config) *Network {
 	}
 	n.appender, _ = cfg.Routing.(vc.CandidateAppender)
 	n.uncappedEject = cfg.UncappedEjection
-	n.sorter = reqSorter{n}
+	n.sorter = reqSorter{&n.requests}
+	n.shards = n.core.ShardCount()
+	if n.shards > 1 {
+		n.dsc = make([]vcDomain, n.shards)
+		for d := range n.dsc {
+			dm := &n.dsc[d]
+			dm.sorter = reqSorter{&dm.requests}
+			if n.core.Health != nil {
+				dm.masked = vc.NewFaultAware(cfg.Routing, n.core.Health, n.core.FaultPol)
+			}
+		}
+		n.core.InjPlaceShard = n.placeWormShard
+		n.classifyFn = n.classifyDomain
+	}
 	return n
+}
+
+// Close releases the sharded step's worker pool and returns the network to
+// serial stepping; idempotent and a no-op for serial networks (the pool
+// also carries a finalizer, so a forgotten Close leaks nothing once the
+// network is collected).
+func (n *Network) Close() {
+	n.core.Close()
+	n.shards = 1
 }
 
 // placeWorm is the core's injection hook: the packet's header enters the
@@ -284,6 +337,31 @@ func (n *Network) placeWorm(node topology.NodeID, p *Packet) {
 	w.pos[0] = 0
 	n.occupied[inj] = true
 	n.active = append(n.active, w)
+}
+
+// placeWormShard is the core's sharded injection hook: placeWorm with the
+// worm parked on the domain's injected list; stepSharded appends the lists
+// to the active list in domain order, reproducing the serial
+// ascending-node injection order.
+func (n *Network) placeWormShard(d int, node topology.NodeID, p *Packet) {
+	inj := n.injID(node)
+	w := &worm{
+		pkt:           p,
+		pos:           make([]int, p.Length),
+		movedAt:       make([]int64, p.Length),
+		sent:          1,
+		headerArrival: n.core.Cycle,
+		headRouter:    node,
+		inDir:         topology.Invalid,
+	}
+	w.path = append(w.pathBuf[:0], inj)
+	for i := range w.pos {
+		w.pos[i] = -1
+		w.movedAt[i] = -1
+	}
+	w.pos[0] = 0
+	n.occupied[inj] = true
+	n.dsc[d].injected = append(n.dsc[d].injected, w)
 }
 
 // buffer ids: node*ports + dir*maxVC + vc for network buffers; the last
@@ -364,7 +442,16 @@ func (n *Network) MaskedFaults() int64 {
 	if n.masked == nil {
 		return 0
 	}
-	return n.masked.MaskedDecisions()
+	total := n.masked.MaskedDecisions()
+	// The sharded step routes each request through its domain's wrapper
+	// (the wrapper's counters are not concurrent-safe); every request is
+	// processed exactly once, so the sum matches the serial count.
+	for d := range n.dsc {
+		if m := n.dsc[d].masked; m != nil {
+			total += m.MaskedDecisions()
+		}
+	}
+	return total
 }
 
 // MisrouteHops counts nonminimal detour hops actually taken under
@@ -381,12 +468,11 @@ func (n *Network) TakeDelivered() []*Packet {
 	return out
 }
 
-// sortRequests orders the pending requests: insertion sort for small lists
-// (the active set's order is close to sorted, so it is effectively linear),
-// the stored sort.Interface beyond that. requestLess is a strict total
-// order, so both paths produce the identical permutation.
-func (n *Network) sortRequests() {
-	r := n.requests
+// sortRequestList orders a request list in place: insertion sort for small
+// lists (the active set's order is close to sorted, so it is effectively
+// linear), the caller's stored sort.Interface beyond that. requestLess is a
+// strict total order, so both paths produce the identical permutation.
+func sortRequestList(r []*worm, s *reqSorter) {
 	if len(r) <= 32 {
 		for i := 1; i < len(r); i++ {
 			w := r[i]
@@ -399,12 +485,20 @@ func (n *Network) sortRequests() {
 		}
 		return
 	}
-	sort.Sort(&n.sorter)
+	sort.Sort(s)
 }
+
+func (n *Network) sortRequests() { sortRequestList(n.requests, &n.sorter) }
 
 // Step advances one cycle: injection, routing/allocation, then per-flit
 // movement with one flit per physical channel per cycle.
+//
+// With Config.Shards > 1, injection and routing/allocation run on the
+// domain-decomposed path (see stepSharded) with bit-identical results.
 func (n *Network) Step() error {
+	if n.shards > 1 {
+		return n.stepSharded()
+	}
 	c := &n.core
 	progress := false
 
@@ -412,15 +506,7 @@ func (n *Network) Step() error {
 	// internal/network).
 	c.FaultPhase()
 	if c.Recovery.Enabled {
-		n.victims = n.victims[:0]
-		for _, w := range n.active {
-			if !w.arrived && c.Cycle-w.headerArrival >= c.Recovery.StallCycles {
-				n.victims = append(n.victims, w)
-			}
-		}
-		for _, w := range n.victims {
-			n.abort(w)
-		}
+		n.recoveryPhase()
 	}
 
 	// Phase 1: injection, over the core's worklist of nodes with queued
@@ -478,12 +564,43 @@ func (n *Network) Step() error {
 		}
 	}
 
-	// Phase 3: per-flit movement. Process worms head-to-tail so a worm
-	// pipelines within itself; iterate to a fixpoint so a flit can enter
-	// a buffer another packet vacated this cycle. Each flit moves at
-	// most once (movedAt), and each physical channel carries at most one
-	// flit (physUsed/ejectUse are stamped with the current cycle, so
-	// clearing them between cycles is free).
+	// Phase 3: per-flit movement; phase 4: retirement and the watchdog.
+	if n.movementPhase() {
+		progress = true
+	}
+	n.retirePhase()
+	return n.finishStep(progress)
+}
+
+// recoveryPhase aborts any worm whose header has been stuck past the stall
+// threshold; always serial (aborts mutate the active list and shared retry
+// state).
+func (n *Network) recoveryPhase() {
+	c := &n.core
+	n.victims = n.victims[:0]
+	for _, w := range n.active {
+		if !w.arrived && c.Cycle-w.headerArrival >= c.Recovery.StallCycles {
+			n.victims = append(n.victims, w)
+		}
+	}
+	for _, w := range n.victims {
+		n.abort(w)
+	}
+}
+
+// movementPhase is the per-flit movement loop. Worms are processed
+// head-to-tail so a worm pipelines within itself; iterate to a fixpoint so
+// a flit can enter a buffer another packet vacated this cycle. Each flit
+// moves at most once (movedAt), and each physical channel carries at most
+// one flit (physUsed/ejectUse are stamped with the current cycle, so
+// clearing them between cycles is free).
+//
+// Movement is serial even under sharding: the bandwidth stamps arbitrate
+// competing worms on shared physical channels in visit order, so any
+// reordering — unlike in internal/network, where a granted worm's target
+// buffer is exclusively owned — could change which flit wins a channel.
+func (n *Network) movementPhase() bool {
+	progress := false
 	for {
 		any := false
 		for _, w := range n.active {
@@ -496,8 +613,13 @@ func (n *Network) Step() error {
 		}
 		progress = true
 	}
+	return progress
+}
 
-	// Phase 4: retire completed worms.
+// retirePhase removes completed worms from the active list, preserving
+// order, and records their delivery.
+func (n *Network) retirePhase() {
+	c := &n.core
 	out := n.active[:0]
 	for _, w := range n.active {
 		if w.done == w.pkt.Length {
@@ -515,7 +637,12 @@ func (n *Network) Step() error {
 		n.active[i] = nil
 	}
 	n.active = out
+}
 
+// finishStep closes the cycle through the core and builds the deadlock
+// error if the watchdog fired.
+func (n *Network) finishStep(progress bool) error {
+	c := &n.core
 	if c.EndStep(progress, len(n.active)) {
 		stuck := make([]*Packet, 0, 4)
 		for _, w := range n.active {
@@ -527,6 +654,112 @@ func (n *Network) Step() error {
 		return c.Deadlock(len(n.active), stuck)
 	}
 	return nil
+}
+
+// classifyDomain is the parallel body of phase 2 for one domain: collect
+// the domain's waiting headers, sort them (per-domain sorted lists
+// concatenated in domain order equal the globally sorted list, since the
+// order is total with the router as primary key), then route and allocate
+// output virtual channels. A request only touches arbitration state at its
+// own head router, so every router sees exactly the serial pass's
+// competitors in the serial order; Blocked events merge in domain order.
+func (n *Network) classifyDomain(d int) {
+	c := &n.core
+	dm := &n.dsc[d]
+	lo, hi := c.ShardRange(d)
+	dm.requests = dm.requests[:0]
+	for _, w := range n.active {
+		r := int32(w.headRouter)
+		if r < lo || r >= hi {
+			continue
+		}
+		if w.arrived || w.routed {
+			continue
+		}
+		if w.headRouter == w.pkt.Dst {
+			w.arrived = true
+			continue
+		}
+		dm.requests = append(dm.requests, w)
+	}
+	if len(dm.requests) == 0 {
+		return
+	}
+	sortRequestList(dm.requests, &dm.sorter)
+	em := c.ShardEmitter(d)
+	for _, w := range dm.requests {
+		r := w.headRouter
+		if !w.candsValid {
+			if dm.masked != nil {
+				w.cands, w.candsMis = dm.masked.FaultCandidates(r, w.pkt.Dst, w.inDir, w.inVC, w.misroutes)
+			} else if n.appender != nil {
+				w.cands, dm.dirScratch = n.appender.AppendCandidates(
+					w.candBuf[:0], dm.dirScratch, r, w.pkt.Dst, w.inDir, w.inVC)
+			} else {
+				w.cands = n.alg.Candidates(r, w.pkt.Dst, w.inDir, w.inVC)
+			}
+			w.candsValid = true
+		}
+		base := int(r) * n.dims2
+		for _, out := range w.cands {
+			if n.faulted[base+int(out.Dir)] {
+				continue
+			}
+			key := (base+int(out.Dir))*n.maxVC + out.VC
+			if n.owner[key] == nil {
+				n.owner[key] = w
+				w.out = out
+				w.routed = true
+				break
+			}
+		}
+		if !w.routed {
+			em.Blocked(c.Cycle, r)
+		}
+	}
+}
+
+// stepSharded is Step's domain-decomposed body: injection and
+// routing/allocation fan out over the domains (with the same ordered
+// merges as internal/network's sharded step), while per-flit movement —
+// whose physical-channel bandwidth arbitration is order-dependent — and
+// retirement stay serial. See docs/performance.md for why this engine
+// parallelizes fewer phases than internal/network.
+func (n *Network) stepSharded() error {
+	c := &n.core
+	progress := false
+
+	// Phase 0: fault transitions and deadlock recovery (serial).
+	c.FaultPhase()
+	if c.Recovery.Enabled {
+		n.recoveryPhase()
+	}
+
+	// Phase 1: injection over the core's worklist, fanned out across the
+	// domains by the core; per-domain worm lists merge in domain order,
+	// reproducing the serial ascending-node active order.
+	if c.InjectPhase() {
+		progress = true
+	}
+	for d := range n.dsc {
+		dm := &n.dsc[d]
+		n.active = append(n.active, dm.injected...)
+		for i := range dm.injected {
+			dm.injected[i] = nil
+		}
+		dm.injected = dm.injected[:0]
+	}
+
+	// Phase 2: routing and output allocation, one task per domain.
+	c.RunShards(n.classifyFn)
+	c.AbsorbShardEmitters()
+
+	// Phases 3 and 4: serial movement, retirement, watchdog.
+	if n.movementPhase() {
+		progress = true
+	}
+	n.retirePhase()
+	return n.finishStep(progress)
 }
 
 // abort yanks a blocked worm out of the network. A victim is never

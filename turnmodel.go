@@ -179,7 +179,11 @@ func AveragePathLength(p TrafficPattern, topo Topology) float64 {
 
 // Simulation. SimConfig/SimResult describe one run of the Section 6
 // simulator; Network exposes the underlying cycle-level machine for
-// callers that want to drive it manually.
+// callers that want to drive it manually. SimRunParams.Shards splits the
+// one network into spatial domains stepped in parallel — results are
+// bit-identical at any shard count (see docs/performance.md). Callers
+// driving a Network or VCNetwork manually must call its Close method when
+// done so a sharded engine's worker pool is released.
 type (
 	SimConfig     = sim.Config
 	SimRunParams  = sim.RunParams

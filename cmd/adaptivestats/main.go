@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/bits"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	"turnmodel/internal/adaptiveness"
 	"turnmodel/internal/cli"
@@ -31,12 +34,16 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "parallel workers for the all-pairs analyses (0 = all CPUs)")
 	)
 	flag.Parse()
+	// Ctrl-C or SIGTERM abandons the remaining all-pairs analyses; rows
+	// already computed are discarded rather than printed as a partial table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if !*meshTab && !*pcube {
 		fmt.Fprintln(os.Stderr, "adaptivestats: pass -mesh and/or -pcube")
 		os.Exit(1)
 	}
 	if *meshTab {
-		if err := meshTable(*size, cli.Jobs(*jobs)); err != nil {
+		if err := meshTable(ctx, *size, cli.Jobs(*jobs)); err != nil {
 			fmt.Fprintln(os.Stderr, "adaptivestats:", err)
 			os.Exit(1)
 		}
@@ -49,7 +56,7 @@ func main() {
 // meshTable computes the Section 3.4 table. Each algorithm's row is an
 // independent all-pairs path-counting analysis, so rows fan out over the
 // worker pool and print in a fixed order once all are done.
-func meshTable(k, jobs int) error {
+func meshTable(ctx context.Context, k, jobs int) error {
 	names := []string{"xy", "west-first", "north-last", "negative-first", "fully-adaptive"}
 	type row struct {
 		ratio, single float64
@@ -64,6 +71,10 @@ func meshTable(k, jobs int) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				rows[i] = row{err: err}
+				return
+			}
 			// A private topology per worker: nothing below needs to be
 			// safe for concurrent use.
 			alg, err := routing.New(name, topology.NewMesh2D(k, k))
@@ -75,6 +86,9 @@ func meshTable(k, jobs int) error {
 		}(i, name)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Printf("Degree of adaptiveness on a %dx%d mesh (Section 3.4)\n", k, k)
 	fmt.Printf("%-16s %-22s %-22s\n", "algorithm", "avg S_p/S_f", "pairs with S_p = 1")
 	for i, name := range names {

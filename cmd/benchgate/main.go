@@ -46,6 +46,21 @@ type Baseline struct {
 	// baselines they are machine-portable, so they are configuration, not
 	// measurement — -update preserves them verbatim.
 	Speedups []Speedup `json:"speedups,omitempty"`
+	// Absolutes are hard ceilings: Name's measured ns/op must stay under
+	// MaxNsPerOp outright, independent of any baseline measurement. They
+	// gate order-of-magnitude properties — "serving a cached result never
+	// costs a simulation" — where the tolerable bound is orders above the
+	// expected number, so one ceiling works on any machine. Like Speedups
+	// they are configuration, not measurement; -update preserves them.
+	Absolutes []Absolute `json:"absolutes,omitempty"`
+}
+
+// Absolute is one hard-ceiling gate.
+type Absolute struct {
+	Name       string  `json:"name"`
+	MaxNsPerOp float64 `json:"max_ns_per_op"`
+	// Note documents the property the ceiling protects.
+	Note string `json:"note,omitempty"`
 }
 
 // Entry is one benchmark's reference numbers.
@@ -169,6 +184,7 @@ func run() error {
 				base.MaxRegress = old.MaxRegress
 			}
 			base.Speedups = old.Speedups
+			base.Absolutes = old.Absolutes
 			// Keep entries the current run did not re-measure.
 			for name, e := range old.Benchmarks {
 				if _, ok := lookup(got, name); !ok {
@@ -215,8 +231,9 @@ func run() error {
 	return nil
 }
 
-// gate compares the measured entries against the baseline — absolute ns/op
-// within the allowed band, then the relative speedup gates — writing one
+// gate compares the measured entries against the baseline — baselined
+// ns/op within the allowed band, then the hard ceilings, then the relative
+// speedup gates — writing one
 // status line per comparison. It returns how many comparisons failed and
 // how many baselined benchmarks were missing from the measurement. procs
 // is the CPU count used for Speedup.MinProcs skips (injected for tests).
@@ -243,6 +260,21 @@ func gate(base Baseline, got map[string]Entry, allowed float64, procs int, w io.
 		}
 		fmt.Fprintf(w, "%s  %-50s %9.1f ns/op vs baseline %9.1f (%+.1f%%)\n",
 			status, name, cur.NsPerOp, ref.NsPerOp, (ratio-1)*100)
+	}
+	for _, ab := range base.Absolutes {
+		cur, ok := lookup(got, ab.Name)
+		if !ok {
+			missing++
+			fmt.Fprintf(w, "MISS  %-50s ceiling %.0f ns/op, not measured\n", ab.Name, ab.MaxNsPerOp)
+			continue
+		}
+		status := "ok  "
+		if cur.NsPerOp > ab.MaxNsPerOp {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%s  %-50s %9.1f ns/op vs ceiling %9.0f\n",
+			status, ab.Name, cur.NsPerOp, ab.MaxNsPerOp)
 	}
 	for _, sp := range base.Speedups {
 		if sp.MinProcs > 0 && procs < sp.MinProcs {

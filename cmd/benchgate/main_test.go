@@ -98,6 +98,39 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestGateAbsolute(t *testing.T) {
+	base := Baseline{
+		Benchmarks: map[string]Entry{},
+		Absolutes: []Absolute{
+			{Name: "BenchmarkCached", MaxNsPerOp: 5e6},
+		},
+	}
+
+	// Under the ceiling (decorated measurement resolves): passes.
+	var out strings.Builder
+	got := map[string]Entry{"BenchmarkCached-8": {NsPerOp: 2e5}}
+	if failed, missing := gate(base, got, 0.10, 1, &out); failed != 0 || missing != 0 {
+		t.Fatalf("warm: failed=%d missing=%d\n%s", failed, missing, out.String())
+	}
+
+	// Over the ceiling — e.g. cached serving regressed to simulation.
+	out.Reset()
+	got = map[string]Entry{"BenchmarkCached": {NsPerOp: 2e7}}
+	if failed, _ := gate(base, got, 0.10, 1, &out); failed != 1 {
+		t.Fatalf("regressed: failed=%d, want 1\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL  BenchmarkCached") {
+		t.Errorf("output missing FAIL:\n%s", out.String())
+	}
+
+	// Not measured at all counts as missing, so CI cannot silently drop
+	// the benchmark from its -bench regex.
+	out.Reset()
+	if failed, missing := gate(base, map[string]Entry{}, 0.10, 1, &out); failed != 0 || missing != 1 {
+		t.Fatalf("unmeasured: failed=%d missing=%d, want missing=1\n%s", failed, missing, out.String())
+	}
+}
+
 func TestGateSpeedup(t *testing.T) {
 	base := Baseline{
 		Benchmarks: map[string]Entry{},

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"turnmodel/internal/sim"
+)
+
+// TestEndToEnd builds the daemon, runs it on an ephemeral port, drives a
+// small sweep through the HTTP API — submit, SSE stream to completion,
+// report fetch and round-trip through sim.ReadReport — and shuts it down
+// with SIGTERM. This is the smoke test CI runs against the real binary.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "turnserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building turnserved: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cachedir", t.TempDir())
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// exited is closed after the send, so both the shutdown check and the
+	// deferred cleanup can receive from it.
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait(); close(exited) }()
+	defer func() {
+		cmd.Process.Kill()
+		<-exited
+	}()
+
+	// The daemon prints "turnserved: listening on http://HOST:PORT".
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := strings.TrimSpace(line[i:])
+
+	spec := `{"figures":["figure13"],"rates":[0.01,0.05],"algorithms":["xy","west-first"],"warmup_cycles":300,"measure_cycles":800,"seed":2,"jobs":2}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
+	}
+	jobURL := resp.Header.Get("Location")
+	if jobURL == "" {
+		t.Fatalf("no Location header; body: %s", body)
+	}
+
+	// Follow the event stream until the done event; count the points.
+	events, err := http.Get(base + jobURL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	points, sawDone := 0, false
+	esc := bufio.NewScanner(events.Body)
+	for esc.Scan() {
+		switch {
+		case esc.Text() == "event: point":
+			points++
+		case esc.Text() == "event: done":
+			sawDone = true
+		case sawDone && esc.Text() == "":
+			goto streamed
+		}
+	}
+	t.Fatalf("event stream ended without done (after %d points): %v", points, esc.Err())
+streamed:
+	if points != 4 {
+		t.Fatalf("streamed %d points, want 4", points)
+	}
+
+	rep, err := http.Get(base + jobURL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(rep.Body)
+	rep.Body.Close()
+	if rep.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d: %s", rep.StatusCode, raw)
+	}
+	report, err := sim.ReadReport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("served report does not round-trip: %v", err)
+	}
+	if len(report.Figures) != 1 || report.Figures[0].ID != "figure13" {
+		t.Fatalf("report figures = %+v", report.Figures)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,91 @@
+// Turnserved serves the sweep harness over HTTP: clients POST job specs,
+// follow per-point progress over server-sent events, and fetch the
+// finished schema-v4 reports and tables. Results are content-addressed —
+// with -cachedir, a spec the daemon (or any earlier run sharing the
+// directory) has already answered comes back byte-identically without
+// simulating.
+//
+// Usage:
+//
+//	turnserved -addr :8080 -cachedir /var/cache/turnmodel
+//	curl -d '{"figures":["figure13"]}' localhost:8080/v1/jobs
+//	curl -N localhost:8080/v1/jobs/job-1/events
+//	curl localhost:8080/v1/jobs/job-1/report
+//
+// See docs/service.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"turnmodel/internal/serve"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/simcache"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		jobs     = flag.Int("jobs", 0, "default worker count per job when a spec leaves jobs unset (0 = all CPUs)")
+		queue    = flag.Int("queue", 8, "max jobs waiting behind the running one; beyond it submissions get 503")
+		cacheDir = flag.String("cachedir", "", "content-addressed result cache directory shared across restarts (empty = in-memory only)")
+		drain    = flag.Duration("drain", time.Minute, "max time to finish in-flight jobs on shutdown before cancelling them")
+	)
+	flag.Parse()
+	if err := run(*addr, *jobs, *queue, *cacheDir, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "turnserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, jobs, queue int, cacheDir string, drain time.Duration) error {
+	var cache sim.Cache
+	if cacheDir != "" {
+		cache = simcache.NewStore(simcache.Options{Dir: cacheDir})
+	}
+	srv := serve.NewServer(serve.Config{Workers: jobs, QueueDepth: queue, Cache: cache})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address on stdout is the contract scripts (and the e2e
+	// test) parse to find an ephemeral port.
+	fmt.Printf("turnserved: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "turnserved: draining in-flight jobs")
+
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Drain order: first the job queue (new submissions already get 503),
+	// then the HTTP server, so event streams of draining jobs stay
+	// attached until their jobs finish.
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "turnserved: cancelled in-flight jobs:", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"turnmodel/internal/network"
 	"turnmodel/internal/routing"
 	"turnmodel/internal/sim"
+	"turnmodel/internal/simcache"
 	"turnmodel/internal/vc"
 )
 
@@ -34,6 +35,8 @@ func main() {
 		shards   = flag.Int("shards", 1, "spatial domains stepped in parallel within the one network (results are identical at any value)")
 		metrics  = flag.Bool("metrics", false, "collect and print run metrics: latency percentiles, delay split, channel-utilization heatmap")
 		verbose  = flag.Bool("v", false, "print the full result breakdown")
+
+		cacheDir = flag.String("cachedir", "", "content-addressed result cache directory; a repeated run is served from it without simulating")
 
 		faults      = flag.String("faults", "", "static faults: comma-separated channels N:dir (5:e, 5:+0) and failed nodes nodeN")
 		faultRate   = flag.Float64("faultrate", 0, "per-cycle per-channel failure probability of the random fault process")
@@ -85,12 +88,16 @@ func main() {
 		fatal(err)
 	}
 	ftpol.MisrouteLimit = *misroute
+	var cache sim.Cache
+	if *cacheDir != "" {
+		cache = simcache.NewStore(simcache.Options{Dir: *cacheDir})
+	}
 	if *useVC {
 		valg, err := vc.New(*algName, topo)
 		if err != nil {
 			fatal(err)
 		}
-		res := sim.RunVC(sim.VCConfig{
+		res, hit := sim.RunVCCached(sim.VCConfig{
 			Routing: valg,
 			RunParams: sim.RunParams{
 				Pattern:       pat,
@@ -104,9 +111,10 @@ func main() {
 				FaultRouting:  ftpol,
 				Shards:        *shards,
 			},
-		})
+		}, cache)
 		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
 		printMetrics(res)
+		noteCached(hit)
 		return
 	}
 	alg, err := routing.New(*algName, topo)
@@ -122,7 +130,7 @@ func main() {
 		fatal(err)
 	}
 
-	res := sim.Run(sim.Config{
+	res, hit := sim.RunCached(sim.Config{
 		Routing: alg,
 		RunParams: sim.RunParams{
 			Pattern:       pat,
@@ -138,9 +146,19 @@ func main() {
 		},
 		Output: output,
 		Input:  input,
-	})
+	}, cache)
 	report(topo.Name(), alg.Name(), pat.Name(), res, *verbose)
 	printMetrics(res)
+	noteCached(hit)
+}
+
+// noteCached tells the operator on stderr when the result came from the
+// cache rather than a fresh simulation; stdout stays byte-identical either
+// way.
+func noteCached(hit bool) {
+	if hit {
+		fmt.Fprintln(os.Stderr, "turnsim: result served from cache")
+	}
 }
 
 // printMetrics renders the collector snapshot when -metrics was on.

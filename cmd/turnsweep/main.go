@@ -21,15 +21,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"turnmodel/internal/cli"
 	"turnmodel/internal/fault"
 	"turnmodel/internal/sim"
+	"turnmodel/internal/simcache"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
 )
@@ -53,6 +57,8 @@ func main() {
 		vcrun    = flag.Bool("vc", false, "run the virtual-channel extension experiment (double-y vs west-first vs xy)")
 		metrics  = flag.Bool("metrics", false, "collect per-point metrics (channel utilization, latency percentiles); printed per figure and included in the -json report (schema v2)")
 
+		cacheDir = flag.String("cachedir", "", "content-addressed result cache directory; repeated points are served from it without simulating")
+
 		resilience  = flag.String("resilience", "", "run resilience figures (graceful degradation vs fault rate): comma-separated IDs or \"all\"")
 		faults      = flag.String("faults", "", "static faults applied to every figure job: comma-separated channels N:dir and failed nodes nodeN")
 		faultRate   = flag.Float64("faultrate", 0, "per-cycle per-channel failure probability applied to every figure job")
@@ -64,8 +70,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C or SIGTERM stops the sweep at point granularity: in-flight
+	// simulations finish, nothing new starts, and the process exits
+	// nonzero without partial tables.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *quick {
 		*warmup, *measure = 3000, 8000
+	}
+	var cache sim.Cache
+	if *cacheDir != "" {
+		cache = simcache.NewStore(simcache.Options{Dir: *cacheDir})
 	}
 	var seedFn sim.SeedFunc
 	switch *seedMode {
@@ -95,23 +111,40 @@ func main() {
 		ran = true
 	}
 	if *resilience != "" {
-		for _, rs := range resilienceSpecs(*resilience) {
-			rr, err := sim.RunResilience(rs, *warmup, *measure, *seed, cli.Jobs(*jobs))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "turnsweep:", err)
-				os.Exit(1)
-			}
+		out, err := sim.RunSweep(ctx, sim.Options{
+			Resilience:    resilienceSpecs(*resilience),
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Seed:          *seed,
+			Jobs:          cli.Jobs(*jobs),
+			Shards:        *shards,
+			Cache:         cache,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turnsweep:", err)
+			os.Exit(1)
+		}
+		for _, rr := range out.Resilience {
 			fmt.Println(rr.Table())
 		}
 		ran = true
 	}
 	if *ftcompare != "" {
-		for _, rs := range resilienceSpecs(*ftcompare) {
-			rc, err := sim.RunResilienceCompare(rs, *warmup, *measure, *seed, cli.Jobs(*jobs))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "turnsweep:", err)
-				os.Exit(1)
-			}
+		out, err := sim.RunSweep(ctx, sim.Options{
+			Resilience:    resilienceSpecs(*ftcompare),
+			CompareModes:  true,
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Seed:          *seed,
+			Jobs:          cli.Jobs(*jobs),
+			Shards:        *shards,
+			Cache:         cache,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turnsweep:", err)
+			os.Exit(1)
+		}
+		for _, rc := range out.Compares {
 			fmt.Println(rc.Table())
 		}
 		ran = true
@@ -134,7 +167,7 @@ func main() {
 		}
 	}
 	if len(specs) > 0 {
-		plan := sim.Plan{
+		plan := sim.Options{
 			Specs:         specs,
 			WarmupCycles:  *warmup,
 			MeasureCycles: *measure,
@@ -146,6 +179,7 @@ func main() {
 			FaultPlan:     fault.Plan{Rate: *faultRate, Repair: *faultRepair},
 			Recovery:      fault.Recovery{Enabled: *recovery},
 			FaultRouting:  ftpol,
+			Cache:         cache,
 		}
 		if *faults != "" {
 			// Static fault channels must exist in every topology being
@@ -170,7 +204,7 @@ func main() {
 		if *progress && stderrIsTerminal() {
 			plan.Progress = printProgress
 		}
-		frs, report, err := sim.RunPlan(plan)
+		out, err := sim.RunSweep(ctx, plan)
 		if plan.Progress != nil {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -178,7 +212,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "turnsweep:", err)
 			os.Exit(1)
 		}
-		for _, fr := range frs {
+		report := out.Report
+		for _, fr := range out.Figures {
 			fmt.Println(fr.Table())
 			if *metrics {
 				printFigureMetrics(fr)

@@ -63,11 +63,11 @@ type Collector struct {
 	nodeBlocked  []int64
 	blockedTotal int64
 
-	packetsIn    int64
-	packetsOut   int64
-	queueDelay   int64
-	netDelay     int64
-	hist         Histogram
+	packetsIn  int64
+	packetsOut int64
+	queueDelay int64
+	netDelay   int64
+	hist       Histogram
 
 	faultEvents    int64
 	packetsAborted int64

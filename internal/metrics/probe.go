@@ -62,6 +62,21 @@ type Probe interface {
 	Tick(cycle int64)
 }
 
+// NopProbe implements Probe with empty methods. Embed it to implement
+// only the events a probe cares about (a tick counter, say) without
+// spelling out the full interface.
+type NopProbe struct{}
+
+func (NopProbe) Inject(int64, topology.NodeID, topology.NodeID, int)                     {}
+func (NopProbe) Blocked(int64, topology.NodeID)                                          {}
+func (NopProbe) FlitMove(int64, topology.NodeID, topology.Direction, int)                {}
+func (NopProbe) Deliver(int64, topology.NodeID, topology.NodeID, int, int, int64, int64) {}
+func (NopProbe) Fault(int64, topology.NodeID, topology.Direction, bool)                  {}
+func (NopProbe) Abort(int64, topology.NodeID, topology.NodeID, int, int)                 {}
+func (NopProbe) Retry(int64, topology.NodeID, topology.NodeID, int, int64)               {}
+func (NopProbe) Drop(int64, topology.NodeID, topology.NodeID, int, DropReason)           {}
+func (NopProbe) Tick(int64)                                                              {}
+
 // DropReason says why a packet was dropped rather than delivered.
 type DropReason int
 

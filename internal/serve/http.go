@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a JobSpec; 201 on new work, 200 when
+//	                            an equivalent job already exists, 503 when
+//	                            the bounded queue is full or shutting down
+//	GET    /v1/jobs             list job statuses in submission order
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/events server-sent events: every point as
+//	                            "event: point", then a final "event: done"
+//	                            with the job's status (replay included, so
+//	                            late subscribers see the full stream)
+//	GET    /v1/jobs/{id}/report the finished schema-v4 report, byte-for-byte
+//	                            as the run archived it
+//	GET    /v1/jobs/{id}/tables the rendered result tables, text/plain
+//	DELETE /v1/jobs/{id}        cancel the job
+//	GET    /v1/stats            queue depth and cache counters
+//	GET    /v1/healthz          liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.withJob(s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.withJob(s.handleEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.withJob(s.handleReport))
+	mux.HandleFunc("GET /v1/jobs/{id}/tables", s.withJob(s.handleTables))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withJob(s.handleCancel))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *Job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := ParseSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, created, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	statuses := make([]Status, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, j *Job) {
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job as server-sent events. The replay log means
+// the stream is complete no matter when the client attaches — including
+// after the job finished.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	notify := j.subscribe()
+	defer j.unsubscribe(notify)
+	sent := 0
+	emit := func() bool {
+		for _, ev := range j.pointsSince(sent) {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "event: point\ndata: %s\n\n", data); err != nil {
+				return false
+			}
+			sent++
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		if !emit() {
+			return
+		}
+		select {
+		case <-notify:
+		case <-j.Done():
+			if !emit() {
+				return
+			}
+			data, _ := json.Marshal(j.Status())
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, j *Job) {
+	switch j.State() {
+	case StateDone:
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusGone, fmt.Errorf("job %s %s", j.ID(), j.State()))
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s still %s", j.ID(), j.State()))
+		return
+	}
+	raw, ok := j.Report()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no report (no figure sweeps)", j.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request, j *Job) {
+	tables, ok := j.Tables()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s still %s", j.ID(), j.State()))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprint(w, t)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, j *Job) {
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := map[string]any{
+		"queue_len": s.QueueLen(),
+		"jobs":      len(s.Jobs()),
+	}
+	if cs, ok := s.CacheStats(); ok {
+		stats["cache"] = cs
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

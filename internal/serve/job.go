@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"turnmodel/internal/sim"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Job is one submitted sweep: its spec, its position in the lifecycle, the
+// points streamed so far (kept for replay, so a subscriber attaching late
+// still sees the full stream), and — once done — the archived report and
+// tables.
+type Job struct {
+	id      string
+	key     string
+	spec    JobSpec
+	created time.Time
+	done    chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu           sync.Mutex
+	state        State
+	err          error
+	total        int
+	cachedPoints int
+	fromCache    bool
+	points       []sim.PointEvent
+	subs         map[chan struct{}]struct{}
+	art          *artifact
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's content address.
+func (j *Job) Key() string { return j.key }
+
+// Spec returns the spec the job was submitted with.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// State returns the job's current lifecycle stage.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job: queued jobs never run, running jobs stop at the
+// next point boundary (in-flight points drain). Terminal jobs ignore it.
+func (j *Job) Cancel() { j.cancel() }
+
+// Report returns the archived schema-v4 report bytes — exactly the bytes
+// WriteJSON produced when the job (or the earlier job this one was served
+// from) finished. ok is false until the job is done, or always for jobs
+// with no figure sweeps.
+func (j *Job) Report() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.art == nil || len(j.art.Report) == 0 {
+		return nil, false
+	}
+	return j.art.Report, true
+}
+
+// Tables returns the rendered result tables once the job is done.
+func (j *Job) Tables() ([]string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.art == nil {
+		return nil, false
+	}
+	return j.art.Tables, true
+}
+
+// Status is the job's wire-visible state.
+type Status struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Done/Total count completed points; for archived jobs Done == Total
+	// immediately.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// CachedPoints counts points the runner served from the point cache;
+	// FromCache marks the whole job as answered from the report archive
+	// without running at all.
+	CachedPoints int       `json:"cached_points"`
+	FromCache    bool      `json:"from_cache,omitempty"`
+	HasReport    bool      `json:"has_report"`
+	Created      time.Time `json:"created"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:           j.id,
+		Key:          j.key,
+		State:        j.state,
+		Done:         len(j.points),
+		Total:        j.total,
+		CachedPoints: j.cachedPoints,
+		FromCache:    j.fromCache,
+		HasReport:    j.state == StateDone && j.art != nil && len(j.art.Report) > 0,
+		Created:      j.created,
+	}
+	if j.fromCache {
+		st.Done = j.total
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// setRunning records the point count and moves the job to running.
+func (j *Job) setRunning(total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.total = total
+}
+
+// publish appends a point to the replay log and pokes every subscriber.
+// It runs serialized inside the runner's own emission lock, so points land
+// in Done order. Subscribers re-read the log rather than receive events, so
+// a stalled consumer can never block the simulation.
+func (j *Job) publish(ev sim.PointEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.points = append(j.points, ev)
+	if ev.Cached {
+		j.cachedPoints++
+	}
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // a pending wakeup already covers this point
+		}
+	}
+}
+
+// subscribe registers a wakeup channel: a receive means the replay log may
+// have grown (read it with pointsSince). Close with unsubscribe.
+func (j *Job) subscribe() chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	if j.subs != nil {
+		j.subs[ch] = struct{}{}
+	}
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+// pointsSince returns the points emitted after the first n.
+func (j *Job) pointsSince(n int) []sim.PointEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n >= len(j.points) {
+		return nil
+	}
+	return append([]sim.PointEvent(nil), j.points[n:]...)
+}
+
+// finish moves the job to a terminal state, records the artifact, detaches
+// the subscribers and closes Done.
+func (j *Job) finish(state State, err error, art *artifact) {
+	j.mu.Lock()
+	j.state = state
+	j.err = err
+	j.art = art
+	j.subs = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// completeFromArchive materializes a job as already done from an archived
+// artifact: no points stream (the report carries the results), Done and
+// Total jump straight to the archived point count.
+func (j *Job) completeFromArchive(art artifact) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.fromCache = true
+	j.total = art.Points
+	j.art = &art
+	j.subs = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// MarshalJSON renders the job as its Status, so handlers can encode jobs
+// directly.
+func (j *Job) MarshalJSON() ([]byte, error) {
+	return json.Marshal(j.Status())
+}

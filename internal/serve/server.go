@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"turnmodel/internal/metrics"
+	"turnmodel/internal/sim"
+	"turnmodel/internal/simcache"
+)
+
+// Config sizes one Server. The zero value is usable: one simulation worker
+// per core, a small bounded queue, and an in-memory result cache.
+type Config struct {
+	// Workers is the default per-job worker count when a spec leaves Jobs
+	// unset; <= 0 selects all CPUs (the sim default).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting behind the running
+	// one; submissions beyond it are refused with 503 rather than
+	// accepted into an unbounded backlog. <= 0 selects 8.
+	QueueDepth int
+	// Cache backs both tiers of result reuse: the runner's per-point
+	// cache and the server's whole-report archive. Nil selects a fresh
+	// in-memory simcache.Store; pass a disk-backed store to persist
+	// results across restarts.
+	Cache sim.Cache
+	// Probe is attached to every simulated point (tests use it to assert
+	// cache hits run zero engine steps).
+	Probe metrics.Probe
+	// Clock stamps job creation times; nil selects time.Now.
+	Clock func() time.Time
+}
+
+// Server executes sweep jobs one at a time off a bounded queue, streams
+// their points to any number of subscribers, and archives finished reports
+// in the content-addressed cache so an identical spec — resubmitted to
+// this process or to a later one sharing the cache directory — is answered
+// byte-identically without simulating.
+type Server struct {
+	cfg   Config
+	cache sim.Cache
+	clock func() time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job // by ID
+	byKey  map[string]*Job // most recent job per content address
+	order  []string        // IDs in submission order
+	queue  chan *Job
+	nextID int
+	closed bool
+
+	wg sync.WaitGroup // the runner goroutine
+}
+
+// NewServer starts the job runner goroutine; callers must Shutdown.
+func NewServer(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = simcache.NewStore(simcache.Options{})
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      cache,
+		clock:      clock,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(1)
+	go s.runLoop()
+	return s
+}
+
+// Shutdown stops accepting jobs and drains the queue: the running job and
+// every queued one finish normally. If ctx expires first, the in-flight
+// work is cancelled and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ErrQueueFull reports that the bounded job queue refused a submission.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrShuttingDown reports a submission after Shutdown began.
+var ErrShuttingDown = errors.New("serve: server shutting down")
+
+// Submit registers a job for the spec. Reuse comes in two tiers before
+// anything is queued: an active or completed job with the same content
+// address is returned as-is (created = false), and a report archived in
+// the cache — by this process or an earlier one — materializes as an
+// instantly-completed job. Otherwise the job is queued, or refused with
+// ErrQueueFull / ErrShuttingDown.
+func (s *Server) Submit(spec JobSpec) (job *Job, created bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	key, err := spec.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrShuttingDown
+	}
+	if j, ok := s.byKey[key]; ok && j.State() != StateFailed && j.State() != StateCanceled {
+		return j, false, nil
+	}
+	j := s.newJobLocked(spec, key)
+	if raw, ok := s.cache.Get(key); ok {
+		var art artifact
+		if err := json.Unmarshal(raw, &art); err == nil {
+			j.completeFromArchive(art)
+			s.registerLocked(j)
+			return j, true, nil
+		}
+		// A corrupt archive entry falls through to a fresh run.
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, false, ErrQueueFull
+	}
+	s.registerLocked(j)
+	return j, true, nil
+}
+
+func (s *Server) newJobLocked(spec JobSpec, key string) *Job {
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	return &Job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		key:     key,
+		spec:    spec,
+		state:   StateQueued,
+		created: s.clock(),
+		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+		subs:    make(map[chan struct{}]struct{}),
+	}
+}
+
+func (s *Server) registerLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.byKey[j.key] = j
+	s.order = append(s.order, j.id)
+}
+
+// Job returns the job with the given ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueLen reports how many jobs are waiting behind the running one.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// CacheStats exposes the underlying store's counters when the cache has
+// them (the default store does).
+func (s *Server) CacheStats() (simcache.Stats, bool) {
+	if st, ok := s.cache.(interface{ Stats() simcache.Stats }); ok {
+		return st.Stats(), true
+	}
+	return simcache.Stats{}, false
+}
+
+// runLoop executes queued jobs one at a time; simulation parallelism lives
+// inside each job (Options.Jobs x Options.Shards), not across jobs, so a
+// lone job still saturates the machine.
+func (s *Server) runLoop() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	defer j.cancel()
+	if j.ctx.Err() != nil { // cancelled while queued
+		j.finish(StateCanceled, context.Canceled, nil)
+		return
+	}
+	opts, err := j.spec.Options()
+	if err != nil {
+		j.finish(StateFailed, err, nil)
+		return
+	}
+	if opts.Jobs == 0 {
+		opts.Jobs = s.cfg.Workers
+	}
+	opts.Cache = s.cache
+	opts.Probe = s.cfg.Probe
+	opts.OnPoint = j.publish
+	rn, err := sim.NewRunner(opts)
+	if err != nil {
+		j.finish(StateFailed, err, nil)
+		return
+	}
+	j.setRunning(rn.Total())
+	out, err := rn.Run(j.ctx)
+	switch {
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCanceled, err, nil)
+	case err != nil:
+		j.finish(StateFailed, err, nil)
+	default:
+		art, aerr := buildArtifact(out)
+		if aerr != nil {
+			j.finish(StateFailed, aerr, nil)
+			return
+		}
+		art.Points = rn.Total()
+		j.finish(StateDone, nil, art)
+		if raw, merr := json.Marshal(art); merr == nil {
+			// Best-effort archive; a full disk must not fail the job.
+			_ = s.cache.Put(j.key, raw)
+		}
+	}
+}
+
+// artifact is the archived form of a finished job: the schema-v4 report
+// exactly as WriteJSON rendered it, plus the rendered tables. Report is
+// []byte (base64 on disk), NOT json.RawMessage: Marshal compacts embedded
+// raw JSON, and a resubmission must serve the original bytes unchanged.
+type artifact struct {
+	Report []byte   `json:"report,omitempty"`
+	Tables []string `json:"tables,omitempty"`
+	Points int      `json:"points"`
+	Cached int      `json:"cached_points"`
+}
+
+func buildArtifact(out *sim.Outcome) (*artifact, error) {
+	art := &artifact{Cached: out.CachedPoints}
+	if out.Report != nil {
+		var buf bytes.Buffer
+		if err := out.Report.WriteJSON(&buf); err != nil {
+			return nil, fmt.Errorf("encoding report: %w", err)
+		}
+		art.Report = buf.Bytes()
+	}
+	for _, fr := range out.Figures {
+		art.Tables = append(art.Tables, fr.Table())
+	}
+	for _, rr := range out.Resilience {
+		art.Tables = append(art.Tables, rr.Table())
+	}
+	for _, rc := range out.Compares {
+		art.Tables = append(art.Tables, rc.Table())
+	}
+	return art, nil
+}

@@ -103,25 +103,6 @@ type FigureResult struct {
 	Series map[string][]Result
 }
 
-// RunFigure executes the figure's sweep for every algorithm serially and
-// returns an error for an unknown algorithm name. The warmup/measure
-// windows default as in Run when zero; scale them down for quick smoke
-// runs. It is the single-figure, single-worker convenience over RunPlan
-// and produces the identical results.
-func RunFigure(spec FigureSpec, warmup, measure, seed int64) (FigureResult, error) {
-	frs, _, err := RunPlan(Plan{
-		Specs:         []FigureSpec{spec},
-		WarmupCycles:  warmup,
-		MeasureCycles: measure,
-		Seed:          seed,
-		Jobs:          1,
-	})
-	if err != nil {
-		return FigureResult{}, err
-	}
-	return frs[0], nil
-}
-
 // MaxSustainable reports the highest sustained throughput (flits/us) of a
 // series and the injection rate it occurred at.
 func MaxSustainable(series []Result) (rate, throughput float64) {

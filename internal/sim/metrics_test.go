@@ -97,13 +97,13 @@ func TestMetricsSnapshotSane(t *testing.T) {
 // TestRunnerMetricsPlan checks Plan.Metrics flows through to the point
 // results while leaving scalars untouched.
 func TestRunnerMetricsPlan(t *testing.T) {
-	plain, _, err := RunPlan(quickPlan(2, nil))
+	plain, _, err := runPlan(quickPlan(2, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan := quickPlan(2, nil)
 	plan.Metrics = true
-	on, rep, err := RunPlan(plan)
+	on, rep, err := runPlan(plan)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,10 +32,11 @@ import (
 // docs/fault-routing.md.
 const ReportSchemaVersion = 4
 
-// Report is the machine-readable record of one RunPlan execution: the
+// Report is the machine-readable record of one Runner execution: the
 // configuration that produced it, every per-point Result with its seed and
-// wall-clock time, and plan-wide totals. It is what `turnsweep -json`
-// writes alongside the human-readable tables.
+// wall-clock time, and run-wide totals. It is what `turnsweep -json`
+// writes alongside the human-readable tables and what `turnserved` serves
+// for completed jobs.
 type Report struct {
 	SchemaVersion int            `json:"schema_version"`
 	Generator     string         `json:"generator"`
@@ -102,8 +103,10 @@ type PointReport struct {
 	WallMillis float64 `json:"wall_ms"`
 }
 
-// buildReport assembles the Report from RunPlan's indexed storage.
-func buildReport(p Plan, workers, jobsRun int, totalWall time.Duration,
+// buildReport assembles the Report from the Runner's indexed figure
+// storage. jobsRun counts every point of the run (including resilience
+// cells, when the options mixed them in).
+func buildReport(p Options, workers, jobsRun int, totalWall time.Duration,
 	results [][][]Result, walls [][][]time.Duration, seeds [][][]int64) *Report {
 	cfg := ReportConfig{
 		WarmupCycles:  p.WarmupCycles,
@@ -180,11 +183,17 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // report decodes with the newer fields at their zero values and
 // SchemaVersion states which fields are meaningful. Versions this build
 // does not know (0, negative, or newer than ReportSchemaVersion) are
-// rejected.
+// rejected, as is trailing data after the document — a report that
+// travelled over HTTP and got concatenated with a second document or
+// truncated mid-stream must not parse as if it were whole.
 func ReadReport(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
 	var rep Report
-	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("sim: decoding report: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("sim: trailing data after report document")
 	}
 	if rep.SchemaVersion < 1 || rep.SchemaVersion > ReportSchemaVersion {
 		return nil, fmt.Errorf("sim: report schema version %d, want 1..%d", rep.SchemaVersion, ReportSchemaVersion)

@@ -11,7 +11,7 @@ import (
 
 func TestReportContents(t *testing.T) {
 	plan := quickPlan(2, nil)
-	frs, rep, err := RunPlan(plan)
+	frs, rep, err := runPlan(plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestReportContents(t *testing.T) {
 }
 
 func TestReportJSONRoundTrip(t *testing.T) {
-	_, rep, err := RunPlan(quickPlan(4, nil))
+	_, rep, err := runPlan(quickPlan(4, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,6 +103,36 @@ func TestReadReportRejectsWrongSchema(t *testing.T) {
 	}
 }
 
+// TestReadReportRejectsTrailingGarbage: a report followed by anything but
+// whitespace must not parse. json.Decoder stops at the end of the first
+// document, so before this check a concatenation of two reports — or a
+// report with a stray diagnostic line appended by a broken pipe — silently
+// decoded as the first document alone.
+func TestReadReportRejectsTrailingGarbage(t *testing.T) {
+	_, rep, err := runPlan(quickPlan(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := rep.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, trailer := range []string{
+		"{}", doc.String(), "null", "garbage", "[1,2]", `"x"`, "0",
+	} {
+		if _, err := ReadReport(strings.NewReader(doc.String() + trailer)); err == nil {
+			t.Errorf("report with trailer %.20q accepted", trailer)
+		}
+	}
+	// Trailing whitespace is what WriteJSON itself emits (Encoder appends a
+	// newline); it must keep parsing.
+	for _, ws := range []string{"", "\n", "\n\n  \t\n"} {
+		if _, err := ReadReport(strings.NewReader(doc.String() + ws)); err != nil {
+			t.Errorf("report with whitespace trailer %q rejected: %v", ws, err)
+		}
+	}
+}
+
 // goldenV4Report produces the deterministic report behind
 // testdata/report_v4.json: quickPlan serially, with the wall-clock fields
 // (the only run-to-run variation) zeroed. Regenerate the fixture with
@@ -110,7 +140,7 @@ func TestReadReportRejectsWrongSchema(t *testing.T) {
 // whenever the schema changes on purpose.
 func goldenV4Report(t *testing.T) *Report {
 	t.Helper()
-	_, rep, err := RunPlan(quickPlan(1, nil))
+	_, rep, err := runPlan(quickPlan(1, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,13 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"turnmodel/internal/fault"
-	"turnmodel/internal/routing"
 	"turnmodel/internal/topology"
 	"turnmodel/internal/traffic"
 )
@@ -92,95 +89,6 @@ type ResilienceResult struct {
 	Series map[string][]Result
 }
 
-// RunResilience executes the spec: every (algorithm, fault rate) cell runs
-// with recovery enabled over a bounded worker pool. Seeds — including the
-// fault plan's — are pure functions of the cell's rate index and shared by
-// the algorithms at that index, so every curve of a figure faces the same
-// arrival processes and the same fault history (common random numbers) and
-// results are bit-identical for any worker count. Zero warmup/measure
-// select the Run defaults.
-func RunResilience(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceResult, error) {
-	topoCheck := spec.NewTopology()
-	for _, name := range spec.Algorithms {
-		if _, err := routing.New(name, topoCheck); err != nil {
-			return ResilienceResult{}, fmt.Errorf("sim: resilience %s: %w", spec.ID, err)
-		}
-	}
-	workers := jobs
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if total := len(spec.Algorithms) * len(spec.FaultRates); workers > total {
-		workers = total
-	}
-
-	results := make([][]Result, len(spec.Algorithms))
-	for ai := range results {
-		results[ai] = make([]Result, len(spec.FaultRates))
-	}
-	type cell struct{ alg, rate int }
-	runOne := func(c cell) {
-		topo := spec.NewTopology()
-		alg, err := routing.New(spec.Algorithms[c.alg], topo)
-		if err != nil {
-			panic(fmt.Sprintf("sim: resilience %s: %v", spec.ID, err))
-		}
-		cellSeed := seed + int64(c.rate)*7919
-		cfg := Config{
-			Routing: alg,
-			RunParams: RunParams{
-				Pattern:       spec.NewPattern(topo),
-				InjectionRate: spec.InjectionRate,
-				WarmupCycles:  warmup,
-				MeasureCycles: measure,
-				Seed:          cellSeed,
-				FaultPlan: fault.Plan{
-					Rate:   spec.FaultRates[c.rate],
-					Repair: spec.RepairDelay,
-					Seed:   cellSeed + 1,
-				},
-				Recovery: fault.Recovery{Enabled: true},
-			},
-		}
-		results[c.alg][c.rate] = Run(cfg)
-	}
-
-	var cells []cell
-	for ai := range spec.Algorithms {
-		for ri := range spec.FaultRates {
-			cells = append(cells, cell{ai, ri})
-		}
-	}
-	if workers <= 1 {
-		for _, c := range cells {
-			runOne(c)
-		}
-	} else {
-		ch := make(chan cell)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for c := range ch {
-					runOne(c)
-				}
-			}()
-		}
-		for _, c := range cells {
-			ch <- c
-		}
-		close(ch)
-		wg.Wait()
-	}
-
-	out := ResilienceResult{Spec: spec, Series: make(map[string][]Result, len(spec.Algorithms))}
-	for ai, name := range spec.Algorithms {
-		out.Series[name] = results[ai]
-	}
-	return out, nil
-}
-
 // ResilienceMode is one fault-handling configuration of the
 // masking-versus-recovery comparison: which of the two defense layers —
 // end-to-end abort/retry recovery and in-network fault-aware routing —
@@ -218,112 +126,6 @@ type ResilienceCompareResult struct {
 	Spec   ResilienceSpec
 	Modes  []ResilienceMode
 	Series map[string]map[string][]Result
-}
-
-// RunResilienceCompare executes the spec once per mode of ResilienceModes.
-// Cell seeds — arrival and fault histories — are pure functions of the
-// rate index, exactly as in RunResilience and shared across algorithms
-// AND modes, so the recovery-only series reproduces RunResilience
-// bit-identically and every mode faces the same fault history (common
-// random numbers). Zero warmup/measure select the Run defaults.
-func RunResilienceCompare(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceCompareResult, error) {
-	topoCheck := spec.NewTopology()
-	for _, name := range spec.Algorithms {
-		if _, err := routing.New(name, topoCheck); err != nil {
-			return ResilienceCompareResult{}, fmt.Errorf("sim: resilience %s: %w", spec.ID, err)
-		}
-	}
-	modes := ResilienceModes()
-	workers := jobs
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if total := len(modes) * len(spec.Algorithms) * len(spec.FaultRates); workers > total {
-		workers = total
-	}
-
-	results := make([][][]Result, len(modes))
-	for mi := range results {
-		results[mi] = make([][]Result, len(spec.Algorithms))
-		for ai := range results[mi] {
-			results[mi][ai] = make([]Result, len(spec.FaultRates))
-		}
-	}
-	type cell struct{ mode, alg, rate int }
-	runOne := func(c cell) {
-		topo := spec.NewTopology()
-		alg, err := routing.New(spec.Algorithms[c.alg], topo)
-		if err != nil {
-			panic(fmt.Sprintf("sim: resilience %s: %v", spec.ID, err))
-		}
-		mode := modes[c.mode]
-		cellSeed := seed + int64(c.rate)*7919
-		cfg := Config{
-			Routing: alg,
-			RunParams: RunParams{
-				Pattern:       spec.NewPattern(topo),
-				InjectionRate: spec.InjectionRate,
-				WarmupCycles:  warmup,
-				MeasureCycles: measure,
-				Seed:          cellSeed,
-				FaultPlan: fault.Plan{
-					Rate:   spec.FaultRates[c.rate],
-					Repair: spec.RepairDelay,
-					Seed:   cellSeed + 1,
-				},
-				Recovery:     fault.Recovery{Enabled: mode.Recovery},
-				FaultRouting: mode.FaultRouting,
-			},
-		}
-		if !mode.Recovery {
-			// Without recovery, a packet with every permitted path dead
-			// stalls forever; disable the fail-stop watchdog so the run
-			// measures that honestly instead of aborting.
-			cfg.WatchdogCycles = -1
-		}
-		results[c.mode][c.alg][c.rate] = Run(cfg)
-	}
-
-	var cells []cell
-	for mi := range modes {
-		for ai := range spec.Algorithms {
-			for ri := range spec.FaultRates {
-				cells = append(cells, cell{mi, ai, ri})
-			}
-		}
-	}
-	if workers <= 1 {
-		for _, c := range cells {
-			runOne(c)
-		}
-	} else {
-		ch := make(chan cell)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for c := range ch {
-					runOne(c)
-				}
-			}()
-		}
-		for _, c := range cells {
-			ch <- c
-		}
-		close(ch)
-		wg.Wait()
-	}
-
-	out := ResilienceCompareResult{Spec: spec, Modes: modes, Series: make(map[string]map[string][]Result, len(modes))}
-	for mi, mode := range modes {
-		byAlg := make(map[string][]Result, len(spec.Algorithms))
-		for ai, name := range spec.Algorithms {
-			byAlg[name] = results[mi][ai]
-		}
-		out.Series[mode.Name] = byAlg
-	}
-	return out, nil
 }
 
 // Table renders the comparison: one block per algorithm with delivered

@@ -33,11 +33,11 @@ func TestResilienceModesCatalog(t *testing.T) {
 // tables.
 func TestResilienceCompareDeterministicAcrossJobs(t *testing.T) {
 	spec := quickResilience()
-	serial, err := RunResilienceCompare(spec, 400, 1200, 3, 1)
+	serial, err := runResilienceCompare(spec, 400, 1200, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunResilienceCompare(spec, 400, 1200, 3, 6)
+	parallel, err := runResilienceCompare(spec, 400, 1200, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,22 +50,23 @@ func TestResilienceCompareDeterministicAcrossJobs(t *testing.T) {
 }
 
 // TestResilienceCompareEndToEnd runs the scaled-down comparison and checks
-// the semantics of each mode: the recovery series reproduces RunResilience
-// bit-identically (common random numbers across modes), masking actually
+// the semantics of each mode: the recovery series reproduces the
+// recovery-only sweep bit-identically (common random numbers across
+// modes), masking actually
 // masks at faulted rates, and adding masking to recovery never hurts — and
 // strictly helps the adaptive algorithm at the highest rate.
 func TestResilienceCompareEndToEnd(t *testing.T) {
 	spec := quickResilience()
-	rc, err := RunResilienceCompare(spec, 1000, 6000, 1, 0)
+	rc, err := runResilienceCompare(spec, 1000, 6000, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := RunResilience(spec, 1000, 6000, 1, 0)
+	baseline, err := runResilience(spec, 1000, 6000, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(rc.Series["recovery"], baseline.Series) {
-		t.Error("recovery-only series does not reproduce RunResilience")
+		t.Error("recovery-only series does not reproduce the recovery-only sweep")
 	}
 	last := len(spec.FaultRates) - 1
 	for _, alg := range spec.Algorithms {
@@ -118,11 +119,11 @@ func TestRunPlanFaultRoutingDeterminism(t *testing.T) {
 		p.FaultRouting = fault.RoutingPolicy{Visibility: fault.VisibilityKHop, MisrouteLimit: 4}
 		return p
 	}
-	serial, serialRep, err := RunPlan(mk(1))
+	serial, serialRep, err := runPlan(mk(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, _, err := RunPlan(mk(8))
+	parallel, _, err := runPlan(mk(8))
 	if err != nil {
 		t.Fatal(err)
 	}

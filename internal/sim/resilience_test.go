@@ -15,12 +15,12 @@ import (
 // all happen inside short windows.
 func quickResilience() ResilienceSpec {
 	return ResilienceSpec{
-		ID:          "quick-resilience",
-		Title:       "scaled-down resilience sweep for tests",
-		Claim:       "test fixture",
-		NewTopology: func() topology.Topology { return topology.NewMesh2D(8, 8) },
-		Algorithms:  []string{"xy", "west-first"},
-		NewPattern:  func(t topology.Topology) traffic.Pattern { return traffic.Uniform{Topo: t} },
+		ID:            "quick-resilience",
+		Title:         "scaled-down resilience sweep for tests",
+		Claim:         "test fixture",
+		NewTopology:   func() topology.Topology { return topology.NewMesh2D(8, 8) },
+		Algorithms:    []string{"xy", "west-first"},
+		NewPattern:    func(t topology.Topology) traffic.Pattern { return traffic.Uniform{Topo: t} },
 		InjectionRate: 0.04,
 		FaultRates:    []float64{0, 1e-6, 4e-6},
 	}
@@ -58,11 +58,11 @@ func TestResilienceCatalog(t *testing.T) {
 // worker count.
 func TestResilienceDeterministicAcrossJobs(t *testing.T) {
 	spec := quickResilience()
-	serial, err := RunResilience(spec, 400, 1200, 3, 1)
+	serial, err := runResilience(spec, 400, 1200, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunResilience(spec, 400, 1200, 3, 6)
+	parallel, err := runResilience(spec, 400, 1200, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestResilienceDeterministicAcrossJobs(t *testing.T) {
 // is a valid probability.
 func TestResilienceSweepAccounting(t *testing.T) {
 	spec := quickResilience()
-	rr, err := RunResilience(spec, 1000, 6000, 1, 0)
+	rr, err := runResilience(spec, 1000, 6000, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +136,11 @@ func TestRunPlanFaultDeterminism(t *testing.T) {
 		p.Recovery = fault.Recovery{Enabled: true, StallCycles: 300}
 		return p
 	}
-	serial, serialRep, err := RunPlan(mk(1))
+	serial, serialRep, err := runPlan(mk(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, parallelRep, err := RunPlan(mk(8))
+	parallel, parallelRep, err := runPlan(mk(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,14 +168,14 @@ func TestRunPlanFaultDeterminism(t *testing.T) {
 // tables to one that predates the fault subsystem entirely (the zero
 // value of the new fields changes nothing).
 func TestRunPlanFaultFreeMatchesBaseline(t *testing.T) {
-	base, _, err := RunPlan(quickPlan(4, nil))
+	base, _, err := runPlan(quickPlan(4, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	withZero := quickPlan(4, nil)
 	withZero.FaultPlan = fault.Plan{}
 	withZero.Recovery = fault.Recovery{}
-	again, _, err := RunPlan(withZero)
+	again, _, err := runPlan(withZero)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -231,7 +231,7 @@ func TestRunFigureSmoke(t *testing.T) {
 	// A scaled-down figure run: tiny windows, but the full pipeline.
 	spec, _ := FigureByID("figure13")
 	spec.Rates = []float64{0.01, 0.05}
-	fr, err := RunFigure(spec, 500, 1000, 2)
+	fr, err := runFigure(spec, 500, 1000, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestExtensionFigureSmoke(t *testing.T) {
 		t.Fatal("extension-octagonal missing")
 	}
 	spec.Rates = []float64{0.02}
-	fr, err := RunFigure(spec, 300, 800, 4)
+	fr, err := runFigure(spec, 300, 800, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestExtensionFigureSmoke(t *testing.T) {
 func TestPlotRendersAllSeries(t *testing.T) {
 	spec, _ := FigureByID("figure13")
 	spec.Rates = []float64{0.02, 0.05}
-	fr, err := RunFigure(spec, 300, 800, 3)
+	fr, err := runFigure(spec, 300, 800, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestRunFigureBadAlgorithmError(t *testing.T) {
 	spec, _ := FigureByID("figure13")
 	spec.Algorithms = []string{"no-such"}
 	spec.Rates = []float64{0.01}
-	_, err := RunFigure(spec, 100, 200, 1)
+	_, err := runFigure(spec, 100, 200, 1)
 	if err == nil {
 		t.Fatal("expected an error for an unknown algorithm")
 	}

@@ -1,0 +1,206 @@
+// Package simcache is the content-addressed result cache behind the
+// simulation-as-a-service layer: deterministic canonical-JSON keys over
+// normalized run parameters, and a two-tier (memory LRU + disk) store for
+// the payloads those keys address.
+//
+// The cache is sound because simulation results are a pure function of
+// (normalized parameters, seed, engine version): seeds derive from job
+// identity alone (see internal/sim), so the same key always denotes the
+// same bytes. Keying discipline — what goes into the normalized form and
+// what must stay out of it — is owned by the callers (internal/sim builds
+// point keys, internal/serve builds job keys); this package only
+// guarantees that equal logical values hash equally.
+package simcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Canonical renders v as canonical JSON: object keys sorted, zero-valued
+// object members pruned recursively, numbers preserved digit-for-digit,
+// and no insignificant whitespace. Two values that differ only in map
+// iteration/insertion order or in members holding their zero value ("",
+// 0, false, null, empty array, empty object) canonicalize identically —
+// which is exactly the equivalence a content-addressed cache key needs:
+// adding a new optional knob at its default value must not invalidate
+// every existing entry.
+//
+// Array elements are never pruned (position is meaning), but each element
+// is canonicalized recursively.
+func Canonical(v any) ([]byte, error) {
+	// Round-trip through encoding/json to erase Go-side representation
+	// details (struct vs map, field order, int vs float) while keeping
+	// numbers verbatim via json.Number.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: canonicalizing: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("simcache: canonicalizing: %w", err)
+	}
+	var b bytes.Buffer
+	if err := writeCanonical(&b, prune(tree)); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Key returns the content address of v: the hex SHA-256 of its canonical
+// JSON form.
+func Key(v any) (string, error) {
+	c, err := Canonical(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// prune drops zero-valued members from objects, recursively. It returns
+// the pruned value; a value that prunes to nothing becomes nil (the
+// caller decides whether to keep it — objects drop it, arrays keep it as
+// null to preserve positions).
+func prune(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, member := range t {
+			p := prune(member)
+			if isZero(p) {
+				continue
+			}
+			out[k] = p
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = prune(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// isZero reports whether a pruned JSON value is a zero its enclosing
+// object should drop.
+func isZero(v any) bool {
+	switch t := v.(type) {
+	case nil:
+		return true
+	case bool:
+		return !t
+	case string:
+		return t == ""
+	case json.Number:
+		return numberIsZero(t)
+	case map[string]any:
+		return len(t) == 0
+	case []any:
+		return len(t) == 0
+	}
+	return reflect.ValueOf(v).IsZero()
+}
+
+// numberIsZero recognizes every JSON spelling of zero ("0", "-0", "0.0",
+// "0e5", ...) so that 0 and 0.0 prune identically regardless of how the
+// Go side spelled them.
+func numberIsZero(n json.Number) bool {
+	if f, err := n.Float64(); err == nil {
+		return f == 0
+	}
+	return false
+}
+
+// writeCanonical serializes the pruned tree with sorted keys and no
+// whitespace. Strings go through encoding/json for escaping; numbers are
+// written verbatim as decoded (json.Number), so no float64 round trip can
+// perturb digits.
+func writeCanonical(b *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		if t {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case string:
+		enc, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		b.Write(enc)
+	case json.Number:
+		b.WriteString(canonicalNumber(t))
+	case []any:
+		b.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeCanonical(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			enc, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			b.Write(enc)
+			b.WriteByte(':')
+			if err := writeCanonical(b, t[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	default:
+		return fmt.Errorf("simcache: unexpected canonical node %T", v)
+	}
+	return nil
+}
+
+// canonicalNumber normalizes the textual spelling of a JSON number so
+// that 1, 1.0 and 1e0 address the same entry: integers print without
+// exponent or fraction, everything else prints as Go's shortest float64
+// form. Numbers outside float64 range keep their literal spelling.
+func canonicalNumber(n json.Number) string {
+	if i, err := n.Int64(); err == nil {
+		return json.Number(fmt.Sprintf("%d", i)).String()
+	}
+	var f float64
+	if err := json.Unmarshal([]byte(n.String()), &f); err != nil {
+		return n.String()
+	}
+	if f == 0 {
+		return "0" // fold negative zero into zero
+	}
+	out, err := json.Marshal(f)
+	if err != nil {
+		return n.String()
+	}
+	return string(out)
+}

@@ -1,0 +1,268 @@
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalSortsKeys(t *testing.T) {
+	got, err := Canonical(map[string]any{"b": 2, "a": 1, "c": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"a":1,"b":2,"c":"x"}` {
+		t.Errorf("canonical = %s", got)
+	}
+}
+
+func TestCanonicalPrunesZeros(t *testing.T) {
+	type inner struct {
+		Kept    string  `json:"kept"`
+		Zero    int     `json:"zero"`
+		ZeroF   float64 `json:"zero_f"`
+		Off     bool    `json:"off"`
+		Empty   string  `json:"empty"`
+		Nothing []int   `json:"nothing"`
+	}
+	got, err := Canonical(map[string]any{"x": inner{Kept: "v"}, "gone": ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"x":{"kept":"v"}}` {
+		t.Errorf("canonical = %s", got)
+	}
+}
+
+// TestCanonicalZeroEquivalence is the satellite requirement in miniature:
+// a params value with optional members at their zero values must hash
+// identically to one without the members at all, and any semantic change
+// must miss.
+func TestCanonicalZeroEquivalence(t *testing.T) {
+	full := map[string]any{
+		"algorithm": "xy", "rate": 0.05, "seed": 7,
+		"fault_rate": 0.0, "recovery": false, "static": []any{},
+		"metrics": false, "misroute": 0,
+	}
+	bare := map[string]any{"algorithm": "xy", "rate": 0.05, "seed": 7}
+	kFull, err := Key(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kBare, err := Key(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kFull != kBare {
+		t.Errorf("zero-valued optionals changed the key: %s vs %s", kFull, kBare)
+	}
+	for field, v := range map[string]any{
+		"algorithm": "west-first", "rate": 0.06, "seed": 8,
+		"fault_rate": 1e-7, "recovery": true, "misroute": 4,
+	} {
+		changed := map[string]any{"algorithm": "xy", "rate": 0.05, "seed": 7}
+		changed[field] = v
+		k, err := Key(changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == kBare {
+			t.Errorf("changing %s=%v did not change the key", field, v)
+		}
+	}
+}
+
+func TestCanonicalNumberSpellings(t *testing.T) {
+	for _, tc := range [][2]any{
+		{map[string]any{"n": 1}, map[string]any{"n": 1.0}},
+		{map[string]any{"n": json.Number("1e0")}, map[string]any{"n": 1}},
+		{map[string]any{"n": json.Number("0.5")}, map[string]any{"n": 0.5}},
+		{map[string]any{"n": int64(20)}, map[string]any{"n": json.Number("20")}},
+	} {
+		a, err := Key(tc[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Key(tc[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%v and %v hash differently", tc[0], tc[1])
+		}
+	}
+	a, _ := Key(map[string]any{"n": 1})
+	b, _ := Key(map[string]any{"n": 2})
+	if a == b {
+		t.Error("distinct numbers hash equally")
+	}
+}
+
+func TestCanonicalArraysKeepPositions(t *testing.T) {
+	a, err := Canonical([]any{0, "", false, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != `[0,"",false,1]` {
+		t.Errorf("array canonical = %s", a)
+	}
+	ka, _ := Key([]any{1, 2})
+	kb, _ := Key([]any{2, 1})
+	if ka == kb {
+		t.Error("array order must matter")
+	}
+}
+
+func TestCanonicalStructFieldOrderIrrelevant(t *testing.T) {
+	// The same logical value declared with different struct layouts (and
+	// therefore different encoding/json member order) must hash equally.
+	type ab struct {
+		A string `json:"a"`
+		B int    `json:"b"`
+	}
+	type ba struct {
+		B int    `json:"b"`
+		A string `json:"a"`
+	}
+	ka, err := Key(ab{A: "x", B: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := Key(ba{A: "x", B: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("member order changed the key")
+	}
+}
+
+func TestKeyShape(t *testing.T) {
+	k, err := Key(map[string]any{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != 64 || strings.ToLower(k) != k {
+		t.Errorf("key %q is not lowercase hex sha256", k)
+	}
+}
+
+func TestCanonicalRejectsUnmarshalable(t *testing.T) {
+	if _, err := Canonical(map[string]any{"f": func() {}}); err == nil {
+		t.Error("function value canonicalized")
+	}
+}
+
+// randomTree builds a random JSON tree; buildShuffled re-builds the same
+// logical tree with map insertions in a different order and zero-valued
+// members randomly added or dropped.
+func randomTree(rng *rand.Rand, depth int) any {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return rng.Intn(100)
+		case 1:
+			return rng.Float64()
+		case 2:
+			return fmt.Sprintf("s%d", rng.Intn(10))
+		default:
+			return rng.Intn(2) == 0
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := rng.Intn(4)
+		out := make([]any, n)
+		for i := range out {
+			out[i] = randomTree(rng, depth-1)
+		}
+		return out
+	default:
+		n := rng.Intn(5)
+		out := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			out[fmt.Sprintf("k%d", rng.Intn(8))] = randomTree(rng, depth-1)
+		}
+		return out
+	}
+}
+
+func addZeros(rng *rand.Rand, v any) any {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return v
+	}
+	out := make(map[string]any, len(m)+2)
+	for k, e := range m {
+		out[k] = addZeros(rng, e)
+	}
+	zeros := []any{0, "", false, nil, []any{}, map[string]any{}, 0.0}
+	for i := 0; i < rng.Intn(3); i++ {
+		out[fmt.Sprintf("zz%d", rng.Intn(5))] = zeros[rng.Intn(len(zeros))]
+	}
+	return out
+}
+
+func TestCanonicalRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(rng, 3)
+		a, err := Key(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Key(addZeros(rng, tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Collisions are only legal when the added zero member names did
+		// not overwrite a non-zero member; addZeros uses a distinct "zz"
+		// namespace, so equality must always hold.
+		if a != b {
+			t.Fatalf("iteration %d: zero padding changed the key\ntree: %#v", i, tree)
+		}
+	}
+}
+
+// FuzzCanonical is the satellite's fuzz target over the normalizer: for
+// any JSON document, canonicalization must be deterministic, idempotent
+// (canonicalizing the canonical form is a fixed point) and
+// order-insensitive (decoding and re-encoding through Go maps, which
+// randomizes iteration order, lands on the same bytes).
+func FuzzCanonical(f *testing.F) {
+	f.Add([]byte(`{"a":1,"b":[1,2,{"c":0}],"d":{"e":""}}`))
+	f.Add([]byte(`[0,1,2.5,"x",null,{}]`))
+	f.Add([]byte(`{"n":1e3,"m":-0.0,"big":123456789123456789}`))
+	f.Add([]byte(`"plain"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v any
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.UseNumber()
+		if err := dec.Decode(&v); err != nil {
+			t.Skip()
+		}
+		c1, err := Canonical(v)
+		if err != nil {
+			t.Skip() // numbers outside what json.Marshal accepts, etc.
+		}
+		c2, err := Canonical(v)
+		if err != nil || string(c1) != string(c2) {
+			t.Fatalf("canonicalization not deterministic: %s vs %s (%v)", c1, c2, err)
+		}
+		var back any
+		dec = json.NewDecoder(strings.NewReader(string(c1)))
+		dec.UseNumber()
+		if err := dec.Decode(&back); err != nil {
+			t.Fatalf("canonical form is not valid JSON: %s: %v", c1, err)
+		}
+		c3, err := Canonical(back)
+		if err != nil {
+			t.Fatalf("re-canonicalizing failed: %v", err)
+		}
+		if string(c3) != string(c1) {
+			t.Fatalf("canonicalization not idempotent:\n%s\n%s", c1, c3)
+		}
+	})
+}

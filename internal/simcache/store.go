@@ -1,0 +1,215 @@
+package simcache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the disk tier's root directory; empty keeps the cache
+	// memory-only. The directory (and shard subdirectories) are created
+	// on demand.
+	Dir string
+	// MaxMemEntries bounds the memory LRU tier; 0 selects
+	// DefaultMaxMemEntries, negative disables the memory tier.
+	MaxMemEntries int
+}
+
+// DefaultMaxMemEntries is the memory-tier capacity when Options leaves it
+// zero. Entries are simulation point results (a few hundred bytes to a
+// few KB each, tens of KB with metrics snapshots), so the default costs
+// at most a few hundred MB and typically far less.
+const DefaultMaxMemEntries = 4096
+
+// Stats counts cache traffic since the store was created. Hits = MemHits
+// + DiskHits; lookups = Hits + Misses.
+type Stats struct {
+	MemHits   int64 `json:"mem_hits"`
+	DiskHits  int64 `json:"disk_hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Errors    int64 `json:"errors"`
+}
+
+// Hits is the total hit count across both tiers.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits }
+
+// Store is a two-tier content-addressed byte store: an in-memory LRU in
+// front of an optional disk directory. Keys are opaque strings — in
+// practice the hex SHA-256 content addresses Key produces — and values
+// are immutable byte payloads (a key always denotes the same bytes, so
+// overwrites are idempotent and races between writers are harmless).
+// All methods are safe for concurrent use.
+type Store struct {
+	dir    string
+	maxMem int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats Stats
+}
+
+// entry is one memory-tier element.
+type entry struct {
+	key string
+	val []byte
+}
+
+// NewStore builds a store from the options. A disk directory is not
+// touched until the first Put.
+func NewStore(opts Options) *Store {
+	maxMem := opts.MaxMemEntries
+	if maxMem == 0 {
+		maxMem = DefaultMaxMemEntries
+	}
+	return &Store{
+		dir:    opts.Dir,
+		maxMem: maxMem,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// keyPattern guards the disk tier against keys that are not content
+// addresses: only hex-ish names may touch the filesystem, so a hostile
+// or buggy key cannot traverse outside the cache directory.
+var keyPattern = regexp.MustCompile(`^[a-zA-Z0-9_-]{4,128}$`)
+
+// path maps a key to its disk location, sharded by the first two
+// characters to keep directories small.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".bin")
+}
+
+// Get returns the payload stored under key. A disk hit is promoted into
+// the memory tier.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return val, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" || !keyPattern.MatchString(key) {
+		s.miss()
+		return nil, false
+	}
+	val, err := os.ReadFile(s.path(key))
+	if err != nil {
+		// Missing or unreadable file: a miss either way. Unreadable
+		// payloads surface in Stats.Errors for operators.
+		s.mu.Lock()
+		s.stats.Misses++
+		if !os.IsNotExist(err) {
+			s.stats.Errors++
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.DiskHits++
+	s.admit(key, val)
+	s.mu.Unlock()
+	return val, true
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// admit inserts key into the memory tier, evicting from the LRU tail.
+// Caller holds s.mu.
+func (s *Store) admit(key string, val []byte) {
+	if s.maxMem < 0 {
+		return
+	}
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key, val})
+	for s.ll.Len() > s.maxMem {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.items, tail.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}
+
+// Put stores the payload under key in both tiers. The disk write is
+// atomic (temp file + rename), so a crashed or concurrent writer can
+// never leave a torn payload where Get would find it.
+func (s *Store) Put(key string, val []byte) error {
+	if !keyPattern.MatchString(key) {
+		return fmt.Errorf("simcache: key %q is not a content address", key)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.admit(key, append([]byte(nil), val...))
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return nil
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.fail()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
+	if err != nil {
+		s.fail()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.fail()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.fail()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		s.fail()
+		return fmt.Errorf("simcache: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) fail() {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len reports the number of memory-tier entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -1,0 +1,148 @@
+package simcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestStoreMemoryRoundTrip(t *testing.T) {
+	s := NewStore(Options{})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store hit")
+	}
+	if err := s.Put("kkkk", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("kkkk")
+	if !ok || string(got) != "value" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(Options{MaxMemEntries: 2})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, ok := s.Get("key0"); ok {
+		t.Error("oldest entry not evicted")
+	}
+	// key1 is now least recently used; touching it protects it.
+	if _, ok := s.Get("key1"); !ok {
+		t.Fatal("key1 missing")
+	}
+	s.Put("key3", []byte{3})
+	if _, ok := s.Get("key1"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := s.Get("key2"); ok {
+		t.Error("least recently used entry survived")
+	}
+	if ev := s.Stats().Evictions; ev != 2 {
+		t.Errorf("evictions = %d", ev)
+	}
+}
+
+func TestStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := Key(map[string]any{"x": 1})
+	s := NewStore(Options{Dir: dir})
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory — cold memory tier — must
+	// hit via disk and promote.
+	s2 := NewStore(Options{Dir: dir})
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("disk get = %q, %v", got, ok)
+	}
+	if s2.Stats().DiskHits != 1 {
+		t.Errorf("stats = %+v", s2.Stats())
+	}
+	got, ok = s2.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatal("promotion lost the payload")
+	}
+	if s2.Stats().MemHits != 1 {
+		t.Errorf("second get did not hit memory: %+v", s2.Stats())
+	}
+}
+
+func TestStoreDiskLayoutSharded(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(Options{Dir: dir})
+	key, _ := Key("v")
+	if err := s.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key[:2], key+".bin")
+	if _, err := os.Stat(p); err != nil {
+		t.Errorf("expected payload at %s: %v", p, err)
+	}
+}
+
+func TestStoreRejectsTraversalKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(Options{Dir: dir})
+	if err := s.Put("../../etc/passwd", []byte("x")); err == nil {
+		t.Error("traversal key accepted for disk write")
+	}
+	// Reads with hostile keys are plain misses, not filesystem probes.
+	if _, ok := s.Get("../../etc/passwd"); ok {
+		t.Error("traversal key hit")
+	}
+}
+
+func TestStoreMemoryDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(Options{Dir: dir, MaxMemEntries: -1})
+	key, _ := Key("only-disk")
+	if err := s.Put(key, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("memory tier holds %d entries", s.Len())
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "d" {
+		t.Error("disk-only store lost the payload")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(Options{Dir: t.TempDir(), MaxMemEntries: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key, _ := Key(map[string]any{"i": i % 10})
+				want := []byte(fmt.Sprintf("payload-%d", i%10))
+				if err := s.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("payload mismatch: %q vs %q", got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

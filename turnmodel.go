@@ -1,6 +1,8 @@
 package turnmodel
 
 import (
+	"context"
+
 	"turnmodel/internal/adaptiveness"
 	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
@@ -244,24 +246,68 @@ func FigureByID(id string) (FigureSpec, bool) { return sim.FigureByID(id) }
 
 // RunFigure executes a figure's full sweep serially; an unknown algorithm
 // name is reported as an error.
+//
+// Deprecated: use RunSweep, which runs many figures, in parallel, with
+// streaming, caching and cancellation.
 func RunFigure(spec FigureSpec, warmup, measure, seed int64) (FigureResult, error) {
-	return sim.RunFigure(spec, warmup, measure, seed)
+	out, err := sim.RunSweep(context.Background(), sim.Options{
+		Specs:         []sim.FigureSpec{spec},
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		Seed:          seed,
+		Jobs:          1,
+	})
+	if err != nil {
+		return FigureResult{}, err
+	}
+	return out.Figures[0], nil
 }
 
-// Parallel sweep execution. A SweepPlan batches figure specs; RunSweepPlan
-// flattens them into independent (figure, algorithm, rate) jobs, runs them
-// on a bounded worker pool and reassembles ordered FigureResults plus a
-// JSON-ready SweepReport with per-point timings. Results are bit-identical
-// for any worker count.
+// Sweep execution. SweepOptions batches figure and resilience specs;
+// RunSweep flattens them into independent (figure, algorithm, rate) points,
+// runs them on a bounded worker pool under a context.Context, streams each
+// point through SweepOptions.OnPoint as it completes, and reassembles
+// ordered results plus a JSON-ready SweepReport with per-point timings.
+// Results are bit-identical for any worker count, and a SimCache
+// (simcache.NewStore, or any conforming store) makes repeated points free.
 type (
-	SweepPlan          = sim.Plan
+	SweepOptions       = sim.Options
+	SweepOutcome       = sim.Outcome
 	SweepReport        = sim.Report
 	SweepSeedFunc      = sim.SeedFunc
 	SweepProgressEvent = sim.ProgressEvent
+	SweepPointEvent    = sim.PointEvent
+	SweepRunner        = sim.Runner
+	SimCache           = sim.Cache
 )
 
-// RunSweepPlan executes the plan; see sim.RunPlan.
-func RunSweepPlan(p SweepPlan) ([]FigureResult, *SweepReport, error) { return sim.RunPlan(p) }
+// SweepPlan is the former name of SweepOptions.
+//
+// Deprecated: use SweepOptions with RunSweep.
+type SweepPlan = sim.Plan
+
+// NewSweepRunner validates the options and plans a run without starting
+// it; Runner.Run executes under a context.
+func NewSweepRunner(opts SweepOptions) (*SweepRunner, error) { return sim.NewRunner(opts) }
+
+// RunSweep executes the options' full point set; see sim.RunSweep.
+func RunSweep(ctx context.Context, opts SweepOptions) (*SweepOutcome, error) {
+	return sim.RunSweep(ctx, opts)
+}
+
+// RunSweepPlan executes a figure-only plan and returns the batch shape of
+// the pre-streaming API.
+//
+// Deprecated: use RunSweep, which adds context cancellation, resilience
+// specs, per-point streaming and caching. RunSweepPlan remains as a thin
+// adapter for existing callers.
+func RunSweepPlan(p SweepPlan) ([]FigureResult, *SweepReport, error) {
+	out, err := sim.RunSweep(context.Background(), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Figures, out.Report, nil
+}
 
 // PairedSweepSeed is the default per-job seed derivation: shared across
 // algorithms at each rate index (common random numbers; reproduces the
@@ -435,8 +481,21 @@ func ResilienceFigureByID(id string) (ResilienceSpec, bool) {
 
 // RunResilience executes a resilience spec over a bounded worker pool;
 // results are bit-identical for any worker count.
+//
+// Deprecated: use RunSweep with SweepOptions.Resilience, which adds
+// context cancellation, streaming and caching.
 func RunResilience(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceResult, error) {
-	return sim.RunResilience(spec, warmup, measure, seed, jobs)
+	out, err := sim.RunSweep(context.Background(), sim.Options{
+		Resilience:    []sim.ResilienceSpec{spec},
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		Seed:          seed,
+		Jobs:          jobs,
+	})
+	if err != nil {
+		return ResilienceResult{}, err
+	}
+	return out.Resilience[0], nil
 }
 
 // Masking-versus-recovery comparison: the same resilience sweep run once
@@ -454,8 +513,21 @@ func ResilienceModes() []ResilienceMode { return sim.ResilienceModes() }
 // RunResilienceCompare executes the spec once per mode; the recovery-only
 // series reproduces RunResilience bit-identically, and results are
 // bit-identical for any worker count. Render with its Table method.
+//
+// Deprecated: use RunSweep with SweepOptions.Resilience and CompareModes.
 func RunResilienceCompare(spec ResilienceSpec, warmup, measure, seed int64, jobs int) (ResilienceCompareResult, error) {
-	return sim.RunResilienceCompare(spec, warmup, measure, seed, jobs)
+	out, err := sim.RunSweep(context.Background(), sim.Options{
+		Resilience:    []sim.ResilienceSpec{spec},
+		CompareModes:  true,
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		Seed:          seed,
+		Jobs:          jobs,
+	})
+	if err != nil {
+		return ResilienceCompareResult{}, err
+	}
+	return out.Compares[0], nil
 }
 
 // Adaptiveness analysis (Sections 3.4, 4.1 and 5).

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// serviceGoroutines returns the goroutine stacks still executing service
+// code — the serve scheduler, the simcache janitor, or run itself. After
+// a drain there must be none: this is the leak check for the shutdown
+// ordering (scheduler workers and limiter ticker, then HTTP, then the
+// store's janitor).
+func serviceGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "turnmodel/internal/serve") ||
+			strings.Contains(g, "turnmodel/internal/simcache") ||
+			strings.Contains(g, "cmd/turnserved.run") {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// TestRunShutdownLeakFree drives the daemon in-process — real listener,
+// real jobs, live SSE stream, disk cache with a fast janitor, rate
+// limiter armed — then cancels its context (what SIGTERM does) and
+// asserts the drain leaves zero service goroutines behind.
+func TestRunShutdownLeakFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the daemon")
+	}
+	cfg := config{
+		addr:            "127.0.0.1:0",
+		jobs:            2,
+		queue:           4,
+		cacheDir:        t.TempDir(),
+		cacheMaxBytes:   1 << 20,
+		cacheMaxEntries: 64,
+		janitor:         10 * time.Millisecond,
+		submitRate:      100,
+		submitBurst:     10,
+		streamRate:      100,
+		streamBurst:     10,
+		jobTimeout:      time.Minute,
+		drain:           30 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, pw) }()
+
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := strings.TrimSpace(line[i:])
+
+	// Run one real job to spin up workers, cache writes and a stream.
+	spec := `{"figures":["figure13"],"rates":[0.01],"algorithms":["xy"],"warmup_cycles":200,"measure_cycles":400,"seed":5,"jobs":1}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := resp.Header.Get("Location")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || loc == "" {
+		t.Fatalf("submit = %d, location %q", resp.StatusCode, loc)
+	}
+	events, err := http.Get(base + loc + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := bufio.NewScanner(events.Body)
+	for esc.Scan() {
+		if esc.Text() == "event: done" {
+			break
+		}
+	}
+	events.Body.Close()
+
+	// SIGTERM-equivalent: cancel the run context and wait out the drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+
+	// Handlers detach asynchronously after Shutdown returns; give the
+	// runtime a moment, then require zero service goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		leaked := serviceGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d service goroutines leaked after drain:\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -5,14 +5,17 @@
 // directory) has already answered comes back byte-identically without
 // simulating.
 //
+// Jobs execute on a concurrent scheduler with per-client fair queuing,
+// per-job deadlines, panic isolation and bounded retry; admission is
+// rate-limited per client, and the disk cache is bounded and
+// self-repairing. See docs/service.md for the full operations surface.
+//
 // Usage:
 //
 //	turnserved -addr :8080 -cachedir /var/cache/turnmodel
 //	curl -d '{"figures":["figure13"]}' localhost:8080/v1/jobs
 //	curl -N localhost:8080/v1/jobs/job-1/events
 //	curl localhost:8080/v1/jobs/job-1/report
-//
-// See docs/service.md for the API.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -28,59 +32,107 @@ import (
 	"time"
 
 	"turnmodel/internal/serve"
-	"turnmodel/internal/sim"
 	"turnmodel/internal/simcache"
 )
 
+// config collects the daemon's knobs so tests can drive run in-process.
+type config struct {
+	addr            string
+	jobs            int
+	workers         int
+	queue           int
+	jobTimeout      time.Duration
+	submitRate      float64
+	submitBurst     int
+	streamRate      float64
+	streamBurst     int
+	cacheDir        string
+	cacheMaxBytes   int64
+	cacheMaxEntries int
+	janitor         time.Duration
+	drain           time.Duration
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-		jobs     = flag.Int("jobs", 0, "default worker count per job when a spec leaves jobs unset (0 = all CPUs)")
-		queue    = flag.Int("queue", 8, "max jobs waiting behind the running one; beyond it submissions get 503")
-		cacheDir = flag.String("cachedir", "", "content-addressed result cache directory shared across restarts (empty = in-memory only)")
-		drain    = flag.Duration("drain", time.Minute, "max time to finish in-flight jobs on shutdown before cancelling them")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	flag.IntVar(&cfg.jobs, "jobs", 0, "default worker count per job when a spec leaves jobs unset (0 = all CPUs)")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent jobs (0 = NumCPU divided by the per-job worker count)")
+	flag.IntVar(&cfg.queue, "queue", 8, "max jobs waiting behind the running ones; beyond it submissions get 503")
+	flag.DurationVar(&cfg.jobTimeout, "jobtimeout", 0, "per-job deadline, and the cap on a spec's timeout_s (0 = none)")
+	flag.Float64Var(&cfg.submitRate, "submitrate", 0, "per-client job submissions per second (0 = unlimited)")
+	flag.IntVar(&cfg.submitBurst, "submitburst", 4, "per-client submission burst")
+	flag.Float64Var(&cfg.streamRate, "streamrate", 0, "per-client event-stream attaches per second (0 = unlimited)")
+	flag.IntVar(&cfg.streamBurst, "streamburst", 8, "per-client event-stream attach burst")
+	flag.StringVar(&cfg.cacheDir, "cachedir", "", "content-addressed result cache directory shared across restarts (empty = in-memory only)")
+	flag.Int64Var(&cfg.cacheMaxBytes, "cachemaxbytes", 0, "bound on the cache directory's total entry bytes; oldest entries are evicted (0 = unbounded)")
+	flag.IntVar(&cfg.cacheMaxEntries, "cachemaxentries", 0, "bound on the cache directory's entry count (0 = unbounded)")
+	flag.DurationVar(&cfg.janitor, "janitor", time.Minute, "disk-cache janitor interval: eviction sweeps and degraded-mode recovery probes (0 = off)")
+	flag.DurationVar(&cfg.drain, "drain", time.Minute, "max time to finish in-flight jobs on shutdown before cancelling them")
 	flag.Parse()
-	if err := run(*addr, *jobs, *queue, *cacheDir, *drain); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "turnserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, jobs, queue int, cacheDir string, drain time.Duration) error {
-	var cache sim.Cache
-	if cacheDir != "" {
-		cache = simcache.NewStore(simcache.Options{Dir: cacheDir})
+// run serves until ctx is cancelled (SIGTERM/SIGINT in production), then
+// drains: the scheduler first (workers and rate-limiter ticker stop, jobs
+// finish), the HTTP server second (event streams of draining jobs stay
+// attached until their jobs end), the cache store last (its janitor
+// ticker stops only after nothing can touch the store). After run
+// returns, no service goroutine is left.
+func run(ctx context.Context, cfg config, out io.Writer) error {
+	var store *simcache.Store
+	srvCfg := serve.Config{
+		Workers:     cfg.jobs,
+		JobWorkers:  cfg.workers,
+		QueueDepth:  cfg.queue,
+		JobTimeout:  cfg.jobTimeout,
+		SubmitRate:  cfg.submitRate,
+		SubmitBurst: cfg.submitBurst,
+		StreamRate:  cfg.streamRate,
+		StreamBurst: cfg.streamBurst,
 	}
-	srv := serve.NewServer(serve.Config{Workers: jobs, QueueDepth: queue, Cache: cache})
+	if cfg.cacheDir != "" {
+		store = simcache.NewStore(simcache.Options{
+			Dir:            cfg.cacheDir,
+			MaxDiskBytes:   cfg.cacheMaxBytes,
+			MaxDiskEntries: cfg.cacheMaxEntries,
+		})
+		store.StartJanitor(cfg.janitor)
+		defer store.Close()
+		srvCfg.Cache = store
+	}
+	srv := serve.NewServer(srvCfg)
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		// The server never ran a job; still stop its workers.
+		srv.Shutdown(context.Background())
 		return err
 	}
 	// The resolved address on stdout is the contract scripts (and the e2e
 	// test) parse to find an ephemeral port.
-	fmt.Printf("turnserved: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(out, "turnserved: listening on http://%s\n", ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errc:
+		srv.Shutdown(context.Background())
 		return err
 	case <-ctx.Done():
 	}
-	stop()
 	fmt.Fprintln(os.Stderr, "turnserved: draining in-flight jobs")
 
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
-	// Drain order: first the job queue (new submissions already get 503),
-	// then the HTTP server, so event streams of draining jobs stay
-	// attached until their jobs finish.
 	if err := srv.Shutdown(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "turnserved: cancelled in-flight jobs:", err)
 	}

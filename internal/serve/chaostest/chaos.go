@@ -1,0 +1,173 @@
+// Package chaostest is the fault-injection harness for the serve stack:
+// a seeded Plan drives every built-in fault point — disk read/write/probe
+// failures in the simcache store, transient failures, panics and
+// slowdowns in the scheduler's execution hook, a forward-skewing clock
+// for the admission controller — while the soak test hammers a server
+// with concurrent clients, stalled event streams and cancellations, then
+// asserts the invariants production hardening promises: no job is lost
+// or stuck, terminal states are conserved, completed reports stay
+// byte-identical to an unfaulted control run, and the disk cache stays
+// inside its byte bound.
+//
+// The package exports only test infrastructure; nothing here runs in
+// production builds.
+package chaostest
+
+import (
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turnmodel/internal/serve"
+)
+
+// Behavior is the per-job fault assignment, derived deterministically
+// from the job's content address so a spec misbehaves the same way no
+// matter which client submits it or when.
+type Behavior int
+
+const (
+	// BehaviorClean runs normally.
+	BehaviorClean Behavior = iota
+	// BehaviorSlow sleeps briefly before running, widening the windows
+	// the scheduler's races could hide in.
+	BehaviorSlow
+	// BehaviorTransient1 fails its first attempt with a retryable error.
+	BehaviorTransient1
+	// BehaviorTransient2 fails its first two attempts; with the default
+	// retry budget it still completes on the third.
+	BehaviorTransient2
+	// BehaviorPanic panics on every attempt: the job must fail with a
+	// recovered, classified error and the process must survive.
+	BehaviorPanic
+)
+
+// Plan is one seeded chaos schedule. The seed pins the random stream, so
+// a failing soak reproduces with the same -chaos.seed; fault ordering
+// still varies with goroutine interleaving, which is the point of
+// running it under -race.
+type Plan struct {
+	seed   int64
+	pRead  float64
+	pWrite float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	clockMu   sync.Mutex
+	clockSkew time.Duration
+	clockN    int
+
+	// Counters prove each fault class actually fired during a soak.
+	ReadFaults  atomic.Int64
+	WriteFaults atomic.Int64
+	Transients  atomic.Int64
+	Panics      atomic.Int64
+	Slowdowns   atomic.Int64
+}
+
+// NewPlan seeds a schedule: disk reads fail with probability pRead and
+// writes (including eviction unlinks and health probes) with pWrite.
+func NewPlan(seed int64, pRead, pWrite float64) *Plan {
+	return &Plan{
+		seed:   seed,
+		pRead:  pRead,
+		pWrite: pWrite,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// roll draws one uniform variate from the seeded stream.
+func (p *Plan) roll() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+// CacheHook is the simcache fault point: wire it as Options.FaultHook.
+// Read and write paths fail probabilistically; enough consecutive write
+// failures push the store into memory-only degradation, and the janitor's
+// probe failures keep it there — both paths the soak exercises.
+func (p *Plan) CacheHook(op, key string) error {
+	switch op {
+	case "read":
+		if p.roll() < p.pRead {
+			p.ReadFaults.Add(1)
+			return errors.New("chaos: injected disk read failure")
+		}
+	case "write", "evict", "probe":
+		if p.roll() < p.pWrite {
+			p.WriteFaults.Add(1)
+			return errors.New("chaos: injected disk write failure")
+		}
+	}
+	return nil
+}
+
+// JobBehavior assigns the job key its deterministic misbehavior.
+func (p *Plan) JobBehavior(key string) Behavior {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var seedBytes [8]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(p.seed >> (8 * i))
+	}
+	h.Write(seedBytes[:])
+	switch h.Sum64() % 8 {
+	case 0:
+		return BehaviorSlow
+	case 1:
+		return BehaviorTransient1
+	case 2:
+		return BehaviorTransient2
+	case 3:
+		return BehaviorPanic
+	default:
+		return BehaviorClean
+	}
+}
+
+// RunHook is the scheduler fault point: wire it as Config.RunHook.
+func (p *Plan) RunHook(j *serve.Job, attempt int) error {
+	switch p.JobBehavior(j.Key()) {
+	case BehaviorSlow:
+		p.Slowdowns.Add(1)
+		time.Sleep(2 * time.Millisecond)
+	case BehaviorTransient1:
+		if attempt <= 1 {
+			p.Transients.Add(1)
+			return serve.Transient(errors.New("chaos: transient infrastructure failure"))
+		}
+	case BehaviorTransient2:
+		if attempt <= 2 {
+			p.Transients.Add(1)
+			return serve.Transient(errors.New("chaos: transient infrastructure failure"))
+		}
+	case BehaviorPanic:
+		p.Panics.Add(1)
+		panic("chaos: injected job panic")
+	}
+	return nil
+}
+
+// Clock returns a forward-skewing clock for Config.Clock: every few
+// reads it jumps ahead by up to half a second, so the token buckets and
+// job timestamps see the kind of clock trouble retries meet in
+// production. It never runs backwards.
+func (p *Plan) Clock() func() time.Time {
+	return func() time.Time {
+		p.clockMu.Lock()
+		defer p.clockMu.Unlock()
+		p.clockN++
+		if p.clockN%7 == 0 {
+			p.mu.Lock()
+			skew := time.Duration(p.rng.Int63n(int64(500 * time.Millisecond)))
+			p.mu.Unlock()
+			p.clockSkew += skew
+		}
+		return time.Now().Add(p.clockSkew)
+	}
+}

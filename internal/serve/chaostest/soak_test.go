@@ -1,0 +1,413 @@
+package chaostest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"turnmodel/internal/serve"
+	"turnmodel/internal/simcache"
+)
+
+const (
+	soakSeed     = 1
+	soakSpecs    = 20
+	soakClients  = 6
+	maxDiskBytes = 16 << 10
+)
+
+// soakSpec is one tiny single-point figure job; seed n gives it a
+// distinct content address.
+func soakSpec(n int) serve.JobSpec {
+	return serve.JobSpec{
+		Figures:       []string{"figure13"},
+		Rates:         []float64{0.02},
+		Algorithms:    []string{"xy"},
+		WarmupCycles:  100,
+		MeasureCycles: 300,
+		Seed:          int64(n + 1),
+		Jobs:          1,
+	}
+}
+
+// controlReports runs every spec on an unfaulted server and returns the
+// reference report bytes per content address.
+func controlReports(t *testing.T, specs []serve.JobSpec) map[string][]byte {
+	t.Helper()
+	control := serve.NewServer(serve.Config{Workers: 1})
+	defer func() {
+		if err := control.Shutdown(context.Background()); err != nil {
+			t.Errorf("control shutdown: %v", err)
+		}
+	}()
+	out := make(map[string][]byte)
+	for _, spec := range specs {
+		j, _, err := control.Submit(spec, "control")
+		if err != nil {
+			t.Fatalf("control submit: %v", err)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("control job %s stuck", j.ID())
+		}
+		if j.State() != serve.StateDone {
+			err, class := j.Err()
+			t.Fatalf("control job %s = %s (%s: %v)", j.ID(), j.State(), class, err)
+		}
+		raw, ok := j.Report()
+		if !ok {
+			t.Fatalf("control job %s has no report", j.ID())
+		}
+		out[j.Key()] = raw
+	}
+	return out
+}
+
+// submitUntilAccepted POSTs the spec as the client, backing off on 429
+// (rate limited) and 503 (queue full) as a well-behaved client would,
+// and returns the accepted job ID.
+func submitUntilAccepted(t *testing.T, url string, client string, spec serve.JobSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		req, _ := http.NewRequest(http.MethodPost, url+"/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("X-Client-Id", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: submit: %v", client, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusCreated:
+			var st serve.Status
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatalf("%s: status body %q: %v", client, raw, err)
+			}
+			return st.ID
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if resp.Header.Get("Retry-After") == "" {
+				t.Errorf("%s: %d response without Retry-After", client, resp.StatusCode)
+			}
+			time.Sleep(20 * time.Millisecond)
+		default:
+			t.Fatalf("%s: submit status %d: %s", client, resp.StatusCode, raw)
+		}
+	}
+	t.Fatalf("%s: submission never accepted", client)
+	return ""
+}
+
+// drainSSE consumes the job's event stream until the done event,
+// counting retry restarts.
+func drainSSE(t *testing.T, url, id string, retries *int) {
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Errorf("events %s: %v", id, err)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: retry" {
+			*retries++
+		}
+		if line == "event: done" {
+			return
+		}
+	}
+}
+
+// stripWall zeroes the wall_ms/cpu_ms timings, the only report fields
+// that vary between runs of the same spec.
+func stripWall(report []byte) []byte {
+	return wallRe.ReplaceAll(report, []byte(`"${1}": 0`))
+}
+
+var wallRe = regexp.MustCompile(`"(wall_ms|cpu_ms)": [0-9.eE+-]+`)
+
+// diskFootprint sums the cache's on-disk entry bytes.
+func diskFootprint(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".bin") {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking cache dir: %v", err)
+	}
+	return total
+}
+
+// TestServeChaosSoak is the harness's main soak: concurrent clients
+// submit overlapping specs into a server with every fault point armed —
+// disk I/O failures and a tight disk bound underneath, transient
+// failures, panics and slowdowns in execution, a skewed clock behind
+// admission control, stalled and vanishing event streams on top — and
+// then every hardening invariant is checked.
+func TestServeChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a long test")
+	}
+	plan := NewPlan(soakSeed, 0.15, 0.2)
+	specs := make([]serve.JobSpec, soakSpecs)
+	keys := make([]string, soakSpecs)
+	for i := range specs {
+		specs[i] = soakSpec(i)
+		k, err := specs[i].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	// The behavior mix is deterministic in (seed, spec set); the soak is
+	// only a soak if every class is represented.
+	byBehavior := map[Behavior]int{}
+	for _, k := range keys {
+		byBehavior[plan.JobBehavior(k)]++
+	}
+	for _, b := range []Behavior{BehaviorClean, BehaviorSlow, BehaviorTransient1, BehaviorTransient2, BehaviorPanic} {
+		if byBehavior[b] == 0 {
+			t.Fatalf("behavior mix %v covers no %d; adjust soakSeed/soakSpecs", byBehavior, b)
+		}
+	}
+	control := controlReports(t, specs)
+
+	dir := t.TempDir()
+	store := simcache.NewStore(simcache.Options{
+		Dir:            dir,
+		MaxDiskBytes:   maxDiskBytes,
+		MaxDiskEntries: 24,
+		DegradeAfter:   3,
+		FaultHook:      plan.CacheHook,
+	})
+	store.StartJanitor(5 * time.Millisecond)
+	defer store.Close()
+
+	s := serve.NewServer(serve.Config{
+		Workers:         1,
+		JobWorkers:      4,
+		QueueDepth:      6, // small enough that the soak hits ErrQueueFull
+		Cache:           store,
+		Clock:           plan.Clock(),
+		MaxRetries:      2,
+		RetryBase:       time.Millisecond,
+		RetryMax:        10 * time.Millisecond,
+		RetrySeed:       soakSeed,
+		SubmitRate:      200,
+		SubmitBurst:     4,
+		SSEHeartbeat:    5 * time.Millisecond,
+		SSEWriteTimeout: 250 * time.Millisecond,
+		RunHook:         plan.RunHook,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Every client submits every spec, offset so concurrent submissions
+	// collide on the same keys (dedup) as often as they diverge.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := make(map[string]struct{})
+	sseRetries := make([]int, soakClients)
+	for c := 0; c < soakClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("client-%d", c)
+			for i := 0; i < soakSpecs; i++ {
+				spec := specs[(i+c*3)%soakSpecs]
+				id := submitUntilAccepted(t, ts.URL, client, spec)
+				mu.Lock()
+				accepted[id] = struct{}{}
+				mu.Unlock()
+				// Each client follows a few of its jobs over SSE.
+				if i%5 == c%5 {
+					drainSSE(t, ts.URL, id, &sseRetries[c])
+				}
+			}
+		}(c)
+	}
+
+	// Two stalled subscribers: attach, never read, vanish at the end.
+	// They must not block any simulation or leak a subscription.
+	var stalled []*http.Response
+	stallSpec := specs[0]
+	stallID := submitUntilAccepted(t, ts.URL, "staller", stallSpec)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + stallID + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stalled = append(stalled, resp)
+	}
+	mu.Lock()
+	accepted[stallID] = struct{}{}
+	mu.Unlock()
+
+	wg.Wait()
+
+	// Cancel one job mid-soak shape: it may already be done (then the
+	// cancel is a no-op) — either way it must settle terminally.
+	if j, ok := s.Job(stallID); ok {
+		j.Cancel()
+	}
+
+	// Invariant: no lost or stuck jobs — every accepted job reaches a
+	// terminal state.
+	for id := range accepted {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("accepted job %s vanished", id)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			err, class := j.Err()
+			t.Fatalf("job %s stuck in %s (attempts=%d, %s: %v)", id, j.State(), j.Attempts(), class, err)
+		}
+	}
+
+	for _, resp := range stalled {
+		resp.Body.Close()
+	}
+	// Invariant: no leaked event streams once clients are gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().SSEActive != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sse_active = %d after all clients vanished", s.Stats().SSEActive)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+
+	// Invariant: terminal-state conservation. Every job the server ever
+	// tracked is done, failed, or canceled — nothing in between.
+	var done, failed, canceled int
+	jobs := s.Jobs()
+	for _, j := range jobs {
+		switch j.State() {
+		case serve.StateDone:
+			done++
+		case serve.StateFailed:
+			failed++
+		case serve.StateCanceled:
+			canceled++
+		default:
+			t.Errorf("job %s ended in non-terminal state %s", j.ID(), j.State())
+		}
+	}
+	if done+failed+canceled != len(jobs) {
+		t.Fatalf("state conservation: %d done + %d failed + %d canceled != %d jobs",
+			done, failed, canceled, len(jobs))
+	}
+	if done == 0 {
+		t.Fatal("soak completed no jobs")
+	}
+
+	// Invariant: failures are exactly the injected panics (transients
+	// complete within the retry budget; nothing else may fail).
+	for _, j := range jobs {
+		if j.State() != serve.StateFailed {
+			continue
+		}
+		err, class := j.Err()
+		if class != serve.ClassPanic || plan.JobBehavior(j.Key()) != BehaviorPanic {
+			t.Errorf("job %s failed outside the plan: %s class=%s err=%v behavior=%d",
+				j.ID(), j.State(), class, err, plan.JobBehavior(j.Key()))
+		}
+	}
+
+	// Invariant: completed results are unaffected by the faults. Two
+	// layers: any two completed jobs with the same content address have
+	// byte-identical reports (the archive contract), and every report
+	// matches the unfaulted control run exactly, modulo the embedded
+	// wall_ms timings (the one field that legitimately varies between
+	// runs).
+	byKey := make(map[string][]byte)
+	for _, j := range jobs {
+		if j.State() != serve.StateDone {
+			continue
+		}
+		got, ok := j.Report()
+		if !ok {
+			t.Errorf("done job %s has no report", j.ID())
+			continue
+		}
+		if prev, seen := byKey[j.Key()]; seen {
+			if !bytes.Equal(got, prev) {
+				t.Errorf("job %s report differs from an earlier job with the same key", j.ID())
+			}
+		} else {
+			byKey[j.Key()] = got
+		}
+		want, ok := control[j.Key()]
+		if !ok {
+			t.Errorf("done job %s has no control reference", j.ID())
+			continue
+		}
+		if !bytes.Equal(stripWall(got), stripWall(want)) {
+			t.Errorf("job %s results differ from control run", j.ID())
+		}
+	}
+
+	// Invariant: the disk tier respected its byte bound (walked from the
+	// filesystem, not the store's own accounting).
+	if got := diskFootprint(t, dir); got > maxDiskBytes {
+		t.Errorf("cache dir holds %d bytes, bound %d", got, maxDiskBytes)
+	}
+	cs := store.Stats()
+	if cs.DiskBytes > maxDiskBytes {
+		t.Errorf("store accounts %d disk bytes, bound %d", cs.DiskBytes, maxDiskBytes)
+	}
+
+	// The soak only proves anything if the faults actually fired.
+	stats := s.Stats()
+	if plan.Transients.Load() == 0 || stats.Retries == 0 {
+		t.Errorf("no transient faults exercised (plan=%d retries=%d)", plan.Transients.Load(), stats.Retries)
+	}
+	if plan.Panics.Load() == 0 || stats.Panics == 0 {
+		t.Errorf("no panics exercised (plan=%d stats=%d)", plan.Panics.Load(), stats.Panics)
+	}
+	if plan.ReadFaults.Load()+plan.WriteFaults.Load() == 0 {
+		t.Error("no disk faults exercised")
+	}
+	if cs.Failures == 0 {
+		t.Error("store absorbed no failures")
+	}
+	t.Logf("soak: %d jobs (%d done, %d failed, %d canceled), %d retries, %d panics, "+
+		"disk faults r=%d w=%d, store failures=%d, degraded=%v, disk=%dB",
+		len(jobs), done, failed, canceled, stats.Retries, stats.Panics,
+		plan.ReadFaults.Load(), plan.WriteFaults.Load(), cs.Failures, cs.DiskDegraded, cs.DiskBytes)
+}

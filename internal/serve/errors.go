@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrQueueFull reports that the bounded job queue refused a submission.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrShuttingDown reports a submission after Shutdown began.
+var ErrShuttingDown = errors.New("serve: server shutting down")
+
+// ErrRateLimited reports a submission or stream attach refused by the
+// per-client admission controller.
+var ErrRateLimited = errors.New("serve: rate limit exceeded")
+
+// ErrorClass labels why a job reached a non-done terminal state, so
+// clients and operators can tell a bad spec from exhausted retries from a
+// timed-out or crashed run without parsing error strings.
+type ErrorClass string
+
+const (
+	// ClassSpec is a rejected or unrunnable spec — never retried, the
+	// same spec will always fail.
+	ClassSpec ErrorClass = "spec"
+	// ClassTimeout is a job that exceeded its per-job deadline.
+	ClassTimeout ErrorClass = "timeout"
+	// ClassCanceled is a job canceled by the client or by shutdown.
+	ClassCanceled ErrorClass = "canceled"
+	// ClassPanic is a job whose execution panicked; the panic was
+	// recovered and isolated to the job.
+	ClassPanic ErrorClass = "panic"
+	// ClassTransient is an infrastructure failure (cache I/O, pool
+	// exhaustion, an injected chaos fault) that exhausted its retries.
+	ClassTransient ErrorClass = "transient"
+	// ClassInternal is anything else — a bug.
+	ClassInternal ErrorClass = "internal"
+)
+
+// transientError marks an error as infrastructure-caused: the spec is
+// fine and a retry may succeed.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as retryable. Only infrastructure failures — cache
+// I/O, worker-pool exhaustion, injected chaos faults — may be marked
+// transient; spec errors must never be, or the scheduler would burn
+// retries on a job that can only fail.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// retryable with Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// PanicError is a recovered job panic: the job fails with this structured
+// error while the process, the other jobs, and the scheduler all survive.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v", e.Value)
+}
+
+// classify maps a terminal job error onto its ErrorClass. Call sites that
+// know better (spec validation failures) set the class directly.
+func classify(err error) ErrorClass {
+	var p *PanicError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &p):
+		return ClassPanic
+	case IsTransient(err):
+		return ClassTransient
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassTimeout
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	default:
+		return ClassInternal
+	}
+}

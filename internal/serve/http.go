@@ -4,26 +4,39 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs             submit a JobSpec; 201 on new work, 200 when
-//	                            an equivalent job already exists, 503 when
-//	                            the bounded queue is full or shutting down
+//	                            an equivalent job already exists, 429 when
+//	                            the client is over its submit rate, 503
+//	                            (with a queue-derived Retry-After) when the
+//	                            bounded queue is full or shutting down
 //	GET    /v1/jobs             list job statuses in submission order
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/events server-sent events: every point as
-//	                            "event: point", then a final "event: done"
-//	                            with the job's status (replay included, so
-//	                            late subscribers see the full stream)
+//	                            "event: point", an "event: retry" marker
+//	                            when a transient failure restarts the
+//	                            stream, periodic ": hb" comment frames on
+//	                            idle, then a final "event: done" with the
+//	                            job's status (replay included, so late
+//	                            subscribers see the full stream)
 //	GET    /v1/jobs/{id}/report the finished schema-v4 report, byte-for-byte
 //	                            as the run archived it
 //	GET    /v1/jobs/{id}/tables the rendered result tables, text/plain
 //	DELETE /v1/jobs/{id}        cancel the job
-//	GET    /v1/stats            queue depth and cache counters
-//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            scheduler and cache counters
+//	GET    /healthz             liveness: 200 while the process serves
+//	GET    /readyz              readiness: 503 once shutdown begins
+//
+// Clients are identified for fairness and rate limiting by the
+// X-Client-Id header, falling back to the remote address.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -34,10 +47,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/tables", s.withJob(s.handleTables))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withJob(s.handleCancel))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return mux
+}
+
+// clientKey identifies the requester for fairness and rate limiting: the
+// X-Client-Id header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *Job)) http.HandlerFunc {
@@ -51,15 +77,42 @@ func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *Job)) http.
 	}
 }
 
+// retryAfterHeader rounds d up to whole seconds for the Retry-After header
+// (which is integral), with a 1s floor.
+func retryAfterHeader(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	client := clientKey(r)
+	if ok, retry := s.submitLim.allow(client); !ok {
+		s.rejectedRate.Add(1)
+		w.Header().Set("Retry-After", retryAfterHeader(retry))
+		writeError(w, http.StatusTooManyRequests, ErrRateLimited)
+		return
+	}
 	spec, err := ParseSpec(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, created, err := s.Submit(spec)
+	job, created, err := s.Submit(spec, client)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrQueueFull):
+		// Tell the client when space is likely: mean recent job duration
+		// times the jobs ahead of it.
+		retry := s.RetryAfterQueueFull()
+		w.Header().Set("Retry-After", retryAfterHeader(retry))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":         err.Error(),
+			"retry_after_s": int(math.Ceil(retry.Seconds())),
+		})
+		return
+	case errors.Is(err, ErrShuttingDown):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -90,45 +143,98 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, j *Job) {
 
 // handleEvents streams the job as server-sent events. The replay log means
 // the stream is complete no matter when the client attaches — including
-// after the job finished.
+// after the job finished. Dead clients are reaped two ways: a per-write
+// deadline bounds how long a blocked write (client stopped reading) can
+// hold the handler, and a heartbeat comment frame on idle streams forces
+// a write so vanished connections surface instead of idling forever.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	client := clientKey(r)
+	if ok, retry := s.streamLim.allow(client); !ok {
+		s.rejectedRate.Add(1)
+		w.Header().Set("Retry-After", retryAfterHeader(retry))
+		writeError(w, http.StatusTooManyRequests, ErrRateLimited)
+		return
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	rc := http.NewResponseController(w)
+	writeTimeout := s.cfg.SSEWriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = defaultWriteTimeout
+	}
+	heartbeat := s.cfg.SSEHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = defaultHeartbeat
+	}
+	// armWrite bounds the next write; a connection whose client stopped
+	// reading fails the write once its buffers fill, ending the handler.
+	// ErrNotSupported (a test recorder, an exotic wrapper) degrades to
+	// unbounded writes rather than refusing to stream.
+	armWrite := func() {
+		_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	}
+
 	notify := j.subscribe()
 	defer j.unsubscribe(notify)
-	sent := 0
+	sent, gen := 0, 0
 	emit := func() bool {
-		for _, ev := range j.pointsSince(sent) {
+		pts, g := j.pointsSince(sent)
+		if g != gen {
+			// A retry restarted the replay log: tell the client and
+			// stream the new attempt from the top.
+			if sent > 0 {
+				armWrite()
+				if _, err := fmt.Fprintf(w, "event: retry\ndata: {\"attempt\": %d}\n\n", g); err != nil {
+					return false
+				}
+			}
+			gen, sent = g, 0
+			pts, _ = j.pointsSince(0)
+		}
+		for _, ev := range pts {
 			data, err := json.Marshal(ev)
 			if err != nil {
 				return false
 			}
+			armWrite()
 			if _, err := fmt.Fprintf(w, "event: point\ndata: %s\n\n", data); err != nil {
 				return false
 			}
 			sent++
 		}
+		armWrite()
 		flusher.Flush()
 		return true
 	}
+	hb := time.NewTicker(heartbeat)
+	defer hb.Stop()
 	for {
 		if !emit() {
 			return
 		}
 		select {
 		case <-notify:
+		case <-hb.C:
+			armWrite()
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-j.Done():
 			if !emit() {
 				return
 			}
 			data, _ := json.Marshal(j.Status())
+			armWrite()
 			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
 			flusher.Flush()
 			return
@@ -185,11 +291,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := map[string]any{
 		"queue_len": s.QueueLen(),
 		"jobs":      len(s.Jobs()),
+		"scheduler": s.Stats(),
 	}
 	if cs, ok := s.CacheStats(); ok {
 		stats["cache"] = cs
 	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleHealthz is liveness: 200 for as long as the process can serve.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 once shutdown begins, so load balancers
+// stop routing to a draining instance before its listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -13,12 +13,20 @@ import (
 type State string
 
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	// StateRetrying is a job whose last attempt failed transiently,
+	// waiting out its backoff before re-entering the queue.
+	StateRetrying State = "retrying"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
 )
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // Job is one submitted sweep: its spec, its position in the lifecycle, the
 // points streamed so far (kept for replay, so a subscriber attaching late
@@ -27,6 +35,7 @@ const (
 type Job struct {
 	id      string
 	key     string
+	client  string
 	spec    JobSpec
 	created time.Time
 	done    chan struct{}
@@ -36,6 +45,9 @@ type Job struct {
 	mu           sync.Mutex
 	state        State
 	err          error
+	errClass     ErrorClass
+	attempts     int
+	gen          int // bumped per attempt; stale publishes are dropped
 	total        int
 	cachedPoints int
 	fromCache    bool
@@ -50,6 +62,9 @@ func (j *Job) ID() string { return j.id }
 // Key returns the job's content address.
 func (j *Job) Key() string { return j.key }
 
+// Client returns the client key the job was submitted under.
+func (j *Job) Client() string { return j.client }
+
 // Spec returns the spec the job was submitted with.
 func (j *Job) Spec() JobSpec { return j.spec }
 
@@ -60,11 +75,26 @@ func (j *Job) State() State {
 	return j.state
 }
 
+// Attempts returns how many execution attempts have started.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// Err returns the job's terminal error and class, if any.
+func (j *Job) Err() (error, ErrorClass) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err, j.errClass
+}
+
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Cancel aborts the job: queued jobs never run, running jobs stop at the
-// next point boundary (in-flight points drain). Terminal jobs ignore it.
+// next point boundary (in-flight points drain), retrying jobs skip their
+// backoff and cancel. Terminal jobs ignore it.
 func (j *Job) Cancel() { j.cancel() }
 
 // Report returns the archived schema-v4 report bytes — exactly the bytes
@@ -95,7 +125,13 @@ type Status struct {
 	ID    string `json:"id"`
 	Key   string `json:"key"`
 	State State  `json:"state"`
-	Error string `json:"error,omitempty"`
+	// Error and ErrorClass describe the last failure; for retrying jobs
+	// the failure the retry is recovering from, for terminal jobs why
+	// the job ended.
+	Error      string     `json:"error,omitempty"`
+	ErrorClass ErrorClass `json:"error_class,omitempty"`
+	// Attempts counts execution attempts started (retries included).
+	Attempts int `json:"attempts,omitempty"`
 	// Done/Total count completed points; for archived jobs Done == Total
 	// immediately.
 	Done  int `json:"done"`
@@ -117,6 +153,7 @@ func (j *Job) Status() Status {
 		ID:           j.id,
 		Key:          j.key,
 		State:        j.state,
+		Attempts:     j.attempts,
 		Done:         len(j.points),
 		Total:        j.total,
 		CachedPoints: j.cachedPoints,
@@ -129,39 +166,81 @@ func (j *Job) Status() Status {
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
+		st.ErrorClass = j.errClass
 	}
 	return st
 }
 
-// setRunning records the point count and moves the job to running.
-func (j *Job) setRunning(total int) {
+// beginAttempt starts a new execution attempt: the attempt counter and
+// generation advance, the replay log of any previous attempt is discarded
+// (subscribers observe the generation change and replay from scratch),
+// and the job moves to running. Returns the new generation.
+func (j *Job) beginAttempt() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.attempts++
+	j.gen++
+	j.points = nil
+	j.cachedPoints = 0
 	j.state = StateRunning
+	j.notifyLocked()
+	return j.gen
+}
+
+// setTotal records the planned point count once the runner is built.
+func (j *Job) setTotal(total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.total = total
+}
+
+// setRetrying parks the job between a transient failure and its
+// re-dispatch, keeping the failure visible in the status.
+func (j *Job) setRetrying(cause error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateRetrying
+	j.err = cause
+	j.errClass = ClassTransient
+	j.notifyLocked()
 }
 
 // publish appends a point to the replay log and pokes every subscriber.
 // It runs serialized inside the runner's own emission lock, so points land
 // in Done order. Subscribers re-read the log rather than receive events, so
-// a stalled consumer can never block the simulation.
-func (j *Job) publish(ev sim.PointEvent) {
+// a stalled consumer can never block the simulation. Publishes from a
+// superseded attempt (gen mismatch: the attempt timed out and was
+// abandoned, then retried) or after the job finished are dropped — the
+// abandoned runner drains harmlessly.
+func (j *Job) publish(gen int, ev sim.PointEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if gen != j.gen || j.state.Terminal() {
+		return
+	}
 	j.points = append(j.points, ev)
 	if ev.Cached {
 		j.cachedPoints++
 	}
+	j.notifyLocked()
+}
+
+// notifyLocked pokes every subscriber. Caller holds j.mu.
+func (j *Job) notifyLocked() {
 	for ch := range j.subs {
 		select {
 		case ch <- struct{}{}:
-		default: // a pending wakeup already covers this point
+		default: // a pending wakeup already covers this change
 		}
 	}
 }
 
 // subscribe registers a wakeup channel: a receive means the replay log may
-// have grown (read it with pointsSince). Close with unsubscribe.
+// have grown or the job changed state (read it with pointsSince). Close
+// with unsubscribe.
 func (j *Job) subscribe() chan struct{} {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -178,23 +257,56 @@ func (j *Job) unsubscribe(ch chan struct{}) {
 	delete(j.subs, ch)
 }
 
-// pointsSince returns the points emitted after the first n.
-func (j *Job) pointsSince(n int) []sim.PointEvent {
+// subscriberCount reports the live subscriber channels — how tests assert
+// dead SSE clients were reaped.
+func (j *Job) subscriberCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs)
+}
+
+// pointsSince returns the points emitted after the first n of the current
+// attempt, plus that attempt's generation. A generation different from
+// the caller's last means the job was retried: the replay log restarted
+// and the caller should reset its cursor.
+func (j *Job) pointsSince(n int) ([]sim.PointEvent, int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if n >= len(j.points) {
-		return nil
+		return nil, j.gen
 	}
-	return append([]sim.PointEvent(nil), j.points[n:]...)
+	return append([]sim.PointEvent(nil), j.points[n:]...), j.gen
 }
 
 // finish moves the job to a terminal state, records the artifact, detaches
-// the subscribers and closes Done.
+// the subscribers and closes Done. Only the first call wins; a late
+// finish from an abandoned attempt is dropped.
 func (j *Job) finish(state State, err error, art *artifact) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.state = state
 	j.err = err
+	j.errClass = classify(err)
 	j.art = art
+	j.subs = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// finishSpec is finish for spec-level failures, which carry ClassSpec
+// rather than whatever classify would guess.
+func (j *Job) finishSpec(err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateFailed
+	j.err = err
+	j.errClass = ClassSpec
 	j.subs = nil
 	j.mu.Unlock()
 	close(j.done)

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket admission controller. Each client
+// key owns a bucket refilled at rate tokens/second up to burst; an
+// operation spends one token. Buckets are created on first sight and
+// pruned once full and idle, so a scan of client keys cannot grow the
+// map without bound.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter returns nil when rate is non-positive (limiting disabled).
+func newLimiter(rate float64, burst int, clock func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		clock:   clock,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from key's bucket. When refused, retryAfter is
+// how long until a token will be available.
+func (l *limiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// prune drops buckets that have refilled to burst and sat idle past
+// maxIdle — they are indistinguishable from never-seen clients.
+func (l *limiter) prune(maxIdle time.Duration) {
+	if l == nil {
+		return
+	}
+	now := l.clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for key, b := range l.buckets {
+		idle := now.Sub(b.last)
+		if idle >= maxIdle && b.tokens+idle.Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// size reports the tracked-client count (tests and stats).
+func (l *limiter) size() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,765 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"turnmodel/internal/sim"
+)
+
+// fastRetry makes backoff negligible so retry tests run in milliseconds.
+func fastRetry(cfg Config) Config {
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 5 * time.Millisecond
+	return cfg
+}
+
+// TestFairQueueRoundRobin pins the queue discipline: clients are served
+// round-robin regardless of how many jobs each has pending, and a drained
+// client re-enters the rotation at the tail.
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue()
+	mk := func(client, id string) *Job { return &Job{id: id, client: client} }
+	for _, j := range []*Job{
+		mk("a", "a1"), mk("a", "a2"), mk("a", "a3"),
+		mk("b", "b1"),
+		mk("c", "c1"), mk("c", "c2"),
+	} {
+		q.push(j)
+	}
+	if q.len() != 6 || q.clientLen("a") != 3 || q.clientLen("b") != 1 {
+		t.Fatalf("len = %d, a = %d, b = %d", q.len(), q.clientLen("a"), q.clientLen("b"))
+	}
+	var order []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		order = append(order, j.id)
+	}
+	want := []string{"a1", "b1", "c1", "a2", "c2", "a3"}
+	if got := strings.Join(order, ","); got != strings.Join(want, ",") {
+		t.Fatalf("pop order = %s, want %s", got, strings.Join(want, ","))
+	}
+	if q.len() != 0 || q.pop() != nil {
+		t.Fatal("queue not empty after draining")
+	}
+	// A drained client re-enters cleanly.
+	q.push(mk("b", "b2"))
+	if j := q.pop(); j == nil || j.id != "b2" {
+		t.Fatalf("pop after re-push = %v", j)
+	}
+}
+
+// TestFairSchedulingAcrossClients checks the end-to-end discipline: with
+// one job slot, a client that floods the queue does not starve another
+// client's single job.
+func TestFairSchedulingAcrossClients(t *testing.T) {
+	gate := newGateProbe()
+	var mu sync.Mutex
+	var order []string
+	s := NewServer(Config{
+		Workers:    2,
+		JobWorkers: 1,
+		QueueDepth: 8,
+		Probe:      gate,
+		RunHook: func(j *Job, attempt int) error {
+			mu.Lock()
+			order = append(order, j.Client())
+			mu.Unlock()
+			return nil
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// Pin the only worker, then let client a flood the queue before
+	// client b's single job arrives.
+	warm := quickSpec()
+	if _, _, err := s.Submit(warm, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	<-gate.started
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		spec := quickSpec()
+		spec.Seed = int64(100 + i)
+		j, _, err := s.Submit(spec, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	specB := quickSpec()
+	specB.Seed = 200
+	jb, _, err := s.Submit(specB, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, jb)
+	close(gate.release)
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("job %s stuck in %s", j.ID(), j.State())
+		}
+	}
+	mu.Lock()
+	got := strings.Join(order, ",")
+	mu.Unlock()
+	// Round-robin: b's lone job runs right after a's first, not behind
+	// a's whole backlog.
+	if want := "warm,a,b,a,a"; got != want {
+		t.Fatalf("dispatch order = %s, want %s", got, want)
+	}
+}
+
+// TestRetryTransient checks a transiently-failing job is retried with
+// backoff and succeeds, with the attempts and retry counters visible.
+func TestRetryTransient(t *testing.T) {
+	s, ts := newTestServer(t, fastRetry(Config{
+		Workers: 2,
+		RunHook: func(j *Job, attempt int) error {
+			if attempt <= 2 {
+				return Transient(errors.New("injected cache outage"))
+			}
+			return nil
+		},
+	}))
+	st, code := submit(t, ts, quickSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	j := waitDone(t, s, st.ID)
+	if j.State() != StateDone {
+		err, class := j.Err()
+		t.Fatalf("state = %q (%s: %v), want done after retries", j.State(), class, err)
+	}
+	if got := j.Attempts(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if stats := s.Stats(); stats.Retries != 2 {
+		t.Fatalf("retries counter = %d, want 2", stats.Retries)
+	}
+	// The final status carries no stale error from the failed attempts.
+	if fin := j.Status(); fin.Error != "" || fin.ErrorClass != "" {
+		t.Fatalf("done status still carries error %q (%s)", fin.Error, fin.ErrorClass)
+	}
+}
+
+// TestRetryExhausted checks retries are bounded: a persistently transient
+// failure lands in failed/transient after exactly 1+MaxRetries attempts.
+func TestRetryExhausted(t *testing.T) {
+	s, ts := newTestServer(t, fastRetry(Config{
+		Workers:    2,
+		MaxRetries: 2,
+		RunHook: func(j *Job, attempt int) error {
+			return Transient(errors.New("disk is on fire"))
+		},
+	}))
+	st, code := submit(t, ts, quickSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	j := waitDone(t, s, st.ID)
+	if j.State() != StateFailed {
+		t.Fatalf("state = %q, want failed", j.State())
+	}
+	err, class := j.Err()
+	if class != ClassTransient || !IsTransient(err) {
+		t.Fatalf("error class = %q (%v), want transient", class, err)
+	}
+	if got := j.Attempts(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (first + 2 retries)", got)
+	}
+}
+
+// TestNonTransientNeverRetries checks the retry loop is reserved for
+// infrastructure failures: a plain error fails the job on the first
+// attempt with ClassInternal, no retries burned.
+func TestNonTransientNeverRetries(t *testing.T) {
+	var attempts int
+	var mu sync.Mutex
+	s2 := NewServer(fastRetry(Config{
+		Workers: 2,
+		RunHook: func(j *Job, attempt int) error {
+			mu.Lock()
+			attempts++
+			mu.Unlock()
+			return errors.New("not transient")
+		},
+	}))
+	defer s2.Shutdown(context.Background())
+	j, _, err := s2.Submit(quickSpec(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != StateFailed {
+		t.Fatalf("state = %q", j.State())
+	}
+	if _, class := j.Err(); class != ClassInternal {
+		t.Fatalf("class = %q, want internal", class)
+	}
+	mu.Lock()
+	got := attempts
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry for non-transient)", got)
+	}
+}
+
+// TestPanicIsolation checks a panicking job fails with a structured error
+// while the process, the scheduler, and subsequent jobs all survive.
+func TestPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 2,
+		RunHook: func(j *Job, attempt int) error {
+			if j.Spec().Seed == 666 {
+				panic("boom")
+			}
+			return nil
+		},
+	})
+	bad := quickSpec()
+	bad.Seed = 666
+	st, code := submit(t, ts, bad)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	j := waitDone(t, s, st.ID)
+	if j.State() != StateFailed {
+		t.Fatalf("state = %q, want failed", j.State())
+	}
+	err, class := j.Err()
+	if class != ClassPanic {
+		t.Fatalf("class = %q (%v), want panic", class, err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error = %#v", err)
+	}
+	if stats := s.Stats(); stats.Panics != 1 {
+		t.Fatalf("panics counter = %d, want 1", stats.Panics)
+	}
+	// The worker that recovered the panic still serves the next job.
+	good, code := submit(t, ts, quickSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("post-panic submit = %d", code)
+	}
+	if j := waitDone(t, s, good.ID); j.State() != StateDone {
+		t.Fatalf("post-panic job state = %q", j.State())
+	}
+}
+
+// TestJobTimeout pins a job on a never-returning point and checks the
+// per-job deadline fails it with ClassTimeout while the worker is freed
+// for the next job.
+func TestJobTimeout(t *testing.T) {
+	gate := newGateProbe()
+	s, ts := newTestServer(t, Config{
+		Workers:    1,
+		JobWorkers: 1,
+		Probe:      gate,
+		JobTimeout: 50 * time.Millisecond,
+		StallGrace: 20 * time.Millisecond,
+	})
+	defer close(gate.release) // lets the abandoned runner drain at cleanup
+
+	st, code := submit(t, ts, quickSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	<-gate.started
+	j := waitDone(t, s, st.ID)
+	if j.State() != StateFailed {
+		t.Fatalf("state = %q, want failed", j.State())
+	}
+	if err, class := j.Err(); class != ClassTimeout {
+		t.Fatalf("class = %q (%v), want timeout", class, err)
+	}
+}
+
+// TestSpecDeadlineCap pins the deadline resolution: the spec's timeout_s
+// is honored below the server cap and clamped above it.
+func TestSpecDeadlineCap(t *testing.T) {
+	cases := []struct {
+		spec float64
+		cap  time.Duration
+		want time.Duration
+	}{
+		{0, 0, 0},
+		{0, time.Minute, time.Minute},
+		{2, time.Minute, 2 * time.Second},
+		{120, time.Minute, time.Minute},
+		{2, 0, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		s := JobSpec{TimeoutS: tc.spec}
+		if got := s.deadline(tc.cap); got != tc.want {
+			t.Errorf("deadline(timeout_s=%g, cap=%v) = %v, want %v", tc.spec, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestLimiter pins the token bucket: burst, refill, retry-after, prune.
+func TestLimiter(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	l := newLimiter(2, 2, clock) // 2/s, burst 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.allow("c")
+	if ok {
+		t.Fatal("over-burst request allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v", retry)
+	}
+	now = now.Add(500 * time.Millisecond) // refills one token at 2/s
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("request after refill refused")
+	}
+	// Other clients are independent.
+	if ok, _ := l.allow("d"); !ok {
+		t.Fatal("fresh client refused")
+	}
+	if l.size() != 2 {
+		t.Fatalf("size = %d", l.size())
+	}
+	// Idle, refilled buckets are pruned; active ones are kept.
+	now = now.Add(time.Hour)
+	l.prune(10 * time.Minute)
+	if l.size() != 0 {
+		t.Fatalf("size after prune = %d", l.size())
+	}
+	// nil limiter (disabled) allows everything.
+	var nl *limiter
+	if ok, _ := nl.allow("x"); !ok {
+		t.Fatal("nil limiter refused")
+	}
+	nl.prune(0)
+}
+
+// TestSubmitRateLimit checks per-client admission control over HTTP: an
+// over-rate client gets 429 with Retry-After while other clients and
+// other endpoints are unaffected.
+func TestSubmitRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, SubmitRate: 0.01, SubmitBurst: 1})
+	post := func(client string, seed int64) *http.Response {
+		spec := quickSpec()
+		spec.Seed = seed
+		body, _ := json.Marshal(spec)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("X-Client-Id", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1 := post("alice", 1)
+	io.Copy(io.Discard, r1.Body)
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit = %d", r1.StatusCode)
+	}
+	r2 := post("alice", 2)
+	raw, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit = %d, want 429", r2.StatusCode)
+	}
+	ra := r2.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(raw, &body); err != nil || body["error"] == "" {
+		t.Fatalf("429 body = %s", raw)
+	}
+	// Another client still gets in.
+	r3 := post("bob", 3)
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusCreated {
+		t.Fatalf("other client submit = %d", r3.StatusCode)
+	}
+}
+
+// TestQueueFullRetryAfter checks the 503 contract: a JSON error body plus
+// a Retry-After header derived from queue depth and recent job duration.
+func TestQueueFullRetryAfter(t *testing.T) {
+	gate := newGateProbe()
+	s, ts := newTestServer(t, Config{Workers: 1, JobWorkers: 1, QueueDepth: 2, Probe: gate})
+	defer close(gate.release)
+
+	// Seed the duration history so the estimate has something to chew on:
+	// recent jobs around 10s each, 2 queued -> (2+1)*10s/1 worker = 30s.
+	for i := 0; i < 8; i++ {
+		s.observeDuration(10 * time.Second)
+	}
+	first := quickSpec()
+	first.Seed = 1001
+	if _, code := submit(t, ts, first); code != http.StatusCreated {
+		t.Fatalf("first submit = %d", code)
+	}
+	<-gate.started
+	// Running job occupies the worker; fill the 2-deep queue.
+	for _, seed := range []int64{2000, 2001} {
+		spec := quickSpec()
+		spec.Seed = seed
+		if _, code := submit(t, ts, spec); code != http.StatusCreated {
+			t.Fatalf("queued submit = %d", code)
+		}
+	}
+	over := quickSpec()
+	over.Seed = 3000
+	body, _ := json.Marshal(over)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want integral seconds", ra)
+	}
+	if secs != 30 {
+		t.Fatalf("Retry-After = %d, want 30 ((2 queued + 1) x 10s mean / 1 worker)", secs)
+	}
+	var payload struct {
+		Error      string `json:"error"`
+		RetryAfter int    `json:"retry_after_s"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("503 body is not JSON: %s", raw)
+	}
+	if payload.Error == "" || payload.RetryAfter != secs {
+		t.Fatalf("503 body = %s, want error text and retry_after_s = %d", raw, secs)
+	}
+}
+
+// TestRetryAfterClamps pins the estimate's bounds: 1s with no history,
+// never above a minute.
+func TestRetryAfterClamps(t *testing.T) {
+	s := NewServer(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	if got := s.RetryAfterQueueFull(); got != time.Second {
+		t.Fatalf("no-history estimate = %v, want 1s", got)
+	}
+	for i := 0; i < 40; i++ {
+		s.observeDuration(10 * time.Minute)
+	}
+	if got := s.RetryAfterQueueFull(); got != time.Minute {
+		t.Fatalf("huge estimate = %v, want clamped to 1m", got)
+	}
+}
+
+// TestSSEHeartbeatAndDeadClientReap checks an idle stream emits heartbeat
+// comment frames, and a client that attaches then vanishes does not leak
+// its subscription.
+func TestSSEHeartbeatAndDeadClientReap(t *testing.T) {
+	gate := newGateProbe()
+	s, ts := newTestServer(t, Config{
+		Workers:      1,
+		JobWorkers:   1,
+		Probe:        gate,
+		SSEHeartbeat: 10 * time.Millisecond,
+	})
+	st, code := submit(t, ts, quickSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	<-gate.started // running, but no points: the stream is idle
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	hbSeen := false
+	deadline := time.After(5 * time.Second)
+	for !hbSeen {
+		select {
+		case <-deadline:
+			t.Fatal("no heartbeat frame within 5s")
+		default:
+		}
+		if !sc.Scan() {
+			t.Fatalf("stream ended before heartbeat: %v", sc.Err())
+		}
+		if strings.HasPrefix(sc.Text(), ": hb") {
+			hbSeen = true
+		}
+	}
+	j, _ := s.Job(st.ID)
+	if got := j.subscriberCount(); got != 1 {
+		t.Fatalf("subscribers while attached = %d, want 1", got)
+	}
+
+	// The client vanishes mid-stream; the handler must unsubscribe.
+	resp.Body.Close()
+	reaped := false
+	for waited := 0; waited < 200; waited++ {
+		if j.subscriberCount() == 0 {
+			reaped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !reaped {
+		t.Fatalf("vanished client still subscribed (%d)", j.subscriberCount())
+	}
+	close(gate.release)
+	waitDone(t, s, st.ID)
+}
+
+// TestSSERetryEvent checks a subscriber attached across a transient
+// failure sees the stream restart: an "event: retry" marker, then the new
+// attempt's points from the top.
+func TestSSERetryEvent(t *testing.T) {
+	synthetic := sim.PointEvent{Done: 1, Total: 4}
+	// Attempt 1 publishes a point, then blocks until the SSE client has
+	// received it (the test closes consumed), then fails transiently —
+	// so the subscriber deterministically straddles the retry.
+	consumed := make(chan struct{})
+	s, ts := newTestServer(t, fastRetry(Config{
+		Workers: 2,
+		RunHook: func(j *Job, attempt int) error {
+			if attempt == 1 {
+				j.publish(attempt, synthetic)
+				<-consumed
+				return Transient(errors.New("mid-stream outage"))
+			}
+			return nil
+		},
+	}))
+	st, code := submit(t, ts, quickSpec())
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var names []string
+	points, released := 0, false
+	sawRetry := false
+	cur := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = strings.TrimPrefix(line, "event: ")
+		case line == "" && cur != "":
+			names = append(names, cur)
+			switch cur {
+			case "point":
+				points++
+				if !released {
+					released = true
+					close(consumed) // first point landed; let attempt 1 fail
+				}
+			case "retry":
+				sawRetry = true
+				points = 0 // stream restarted
+			}
+			if cur == "done" {
+				cur = ""
+				goto finished
+			}
+			cur = ""
+		}
+	}
+finished:
+	waitDone(t, s, st.ID)
+	if !sawRetry {
+		t.Fatalf("no retry event in stream: %v", names)
+	}
+	if points != 4 {
+		t.Fatalf("points after retry = %d, want the full 4: %v", points, names)
+	}
+	if len(names) == 0 || names[len(names)-1] != "done" {
+		t.Fatalf("stream did not end in done: %v", names)
+	}
+}
+
+// TestReadyzDrain checks readiness flips to 503 once shutdown begins
+// while liveness stays 200.
+func TestReadyzDrain(t *testing.T) {
+	s := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after drain = %d, want 200 (process still serves)", code)
+	}
+}
+
+// TestStatsScheduler checks /v1/stats surfaces the scheduler counters and
+// the cache's degradation flag.
+func TestStatsScheduler(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, JobWorkers: 3})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Scheduler SchedulerStats `json:"scheduler"`
+		Cache     map[string]any `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	if stats.Scheduler.Workers != 3 {
+		t.Fatalf("scheduler.workers = %d, want 3", stats.Scheduler.Workers)
+	}
+	if _, ok := stats.Cache["disk_degraded"]; !ok {
+		t.Fatalf("cache stats missing disk_degraded: %s", raw)
+	}
+}
+
+// TestCancelWhileRetrying checks a job canceled during its backoff wait
+// lands in canceled promptly instead of waiting out the timer.
+func TestCancelWhileRetrying(t *testing.T) {
+	retrying := make(chan struct{})
+	var once sync.Once
+	s := NewServer(Config{
+		Workers:   2,
+		RetryBase: time.Hour, // cancellation, not the timer, must end the wait
+		RetryMax:  time.Hour,
+		RunHook: func(j *Job, attempt int) error {
+			once.Do(func() { close(retrying) })
+			return Transient(errors.New("always down"))
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	j, _, err := s.Submit(quickSpec(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-retrying
+	for j.State() != StateRetrying {
+		time.Sleep(time.Millisecond)
+	}
+	j.Cancel()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("canceled retrying job stuck in %s", j.State())
+	}
+	if j.State() != StateCanceled {
+		t.Fatalf("state = %q, want canceled", j.State())
+	}
+}
+
+// BenchmarkServeCachedPointConcurrent measures the warm-archive round trip
+// under 8 concurrent clients — the benchgate absolute ceiling pins the
+// scheduler's submit-to-dispatch overhead (fair queue, limiter, dedup)
+// at cache speed.
+func BenchmarkServeCachedPointConcurrent(b *testing.B) {
+	s := NewServer(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := quickSpec()
+	body, _ := json.Marshal(spec)
+	warm, _, err := s.Submit(spec, "warm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-warm.Done()
+	if warm.State() != StateDone {
+		b.Fatalf("warmup job state = %q", warm.State())
+	}
+
+	var clientN int64
+	var mu sync.Mutex
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		clientN++
+		client := fmt.Sprintf("bench-%d", clientN)
+		mu.Unlock()
+		for pb.Next() {
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+			req.Header.Set("X-Client-Id", client)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st Status
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+				b.Fatalf("submit status = %d", resp.StatusCode)
+			}
+			rep, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/report")
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, rep.Body)
+			rep.Body.Close()
+			if rep.StatusCode != http.StatusOK {
+				b.Fatalf("report status = %d", rep.StatusCode)
+			}
+		}
+	})
+}

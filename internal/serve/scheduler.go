@@ -1,0 +1,81 @@
+package serve
+
+// fairQueue is the scheduler's run queue: one FIFO per client key, served
+// round-robin across clients. A client that floods the queue only ever
+// delays its own jobs — every other client still gets one dispatch per
+// round — which is the service-level analogue of the turn model's
+// starvation argument: bound what any one requester may hold, and
+// everyone else keeps making progress.
+//
+// Not safe for concurrent use; the Server guards it with its mutex.
+type fairQueue struct {
+	clients map[string]*clientQ
+	ring    []*clientQ // clients with pending jobs, round-robin order
+	next    int        // ring index served next
+	total   int
+}
+
+// clientQ is one client's pending-job FIFO.
+type clientQ struct {
+	key    string
+	jobs   []*Job
+	inRing bool
+}
+
+func newFairQueue() fairQueue {
+	return fairQueue{clients: make(map[string]*clientQ)}
+}
+
+// push appends the job to its client's FIFO, entering the client into the
+// round-robin ring if it had nothing pending.
+func (q *fairQueue) push(j *Job) {
+	c := q.clients[j.client]
+	if c == nil {
+		c = &clientQ{key: j.client}
+		q.clients[j.client] = c
+	}
+	c.jobs = append(c.jobs, j)
+	if !c.inRing {
+		c.inRing = true
+		q.ring = append(q.ring, c)
+	}
+	q.total++
+}
+
+// pop removes and returns the head job of the next client in round-robin
+// order, or nil when nothing is pending. A drained client leaves the ring
+// (and re-enters at the tail on its next push), so rotation only ever
+// visits clients with work.
+func (q *fairQueue) pop() *Job {
+	if q.total == 0 {
+		return nil
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	c := q.ring[q.next]
+	j := c.jobs[0]
+	copy(c.jobs, c.jobs[1:])
+	c.jobs[len(c.jobs)-1] = nil
+	c.jobs = c.jobs[:len(c.jobs)-1]
+	q.total--
+	if len(c.jobs) == 0 {
+		c.inRing = false
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// q.next now indexes the following client; leave it.
+	} else {
+		q.next++
+	}
+	return j
+}
+
+// len reports the total number of pending jobs across all clients.
+func (q *fairQueue) len() int { return q.total }
+
+// clientLen reports one client's pending-job count.
+func (q *fairQueue) clientLen(key string) int {
+	if c := q.clients[key]; c != nil {
+		return len(c.jobs)
+	}
+	return 0
+}

@@ -333,7 +333,7 @@ func TestResilienceTables(t *testing.T) {
 // queue refuses overflow with 503 instead of accepting unbounded work.
 func TestBackpressure(t *testing.T) {
 	gate := newGateProbe()
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Probe: gate})
+	_, ts := newTestServer(t, Config{Workers: 1, JobWorkers: 1, QueueDepth: 1, Probe: gate})
 	defer close(gate.release)
 
 	running := quickSpec()
@@ -390,7 +390,7 @@ func TestCancel(t *testing.T) {
 func TestShutdownDrains(t *testing.T) {
 	s := NewServer(Config{Workers: 2})
 	spec := quickSpec()
-	j, created, err := s.Submit(spec)
+	j, created, err := s.Submit(spec, "test")
 	if err != nil || !created {
 		t.Fatalf("submit: %v created=%v", err, created)
 	}
@@ -402,7 +402,7 @@ func TestShutdownDrains(t *testing.T) {
 	if j.State() != StateDone {
 		t.Fatalf("state after drain = %q, want done", j.State())
 	}
-	if _, _, err := s.Submit(spec); err != ErrShuttingDown {
+	if _, _, err := s.Submit(spec, "test"); err != ErrShuttingDown {
 		t.Fatalf("submit after shutdown = %v, want ErrShuttingDown", err)
 	}
 }
@@ -454,8 +454,9 @@ func TestKeyIgnoresExecutionFields(t *testing.T) {
 	same := base
 	same.Jobs = 16
 	same.Shards = 4
+	same.TimeoutS = 30
 	if k, _ := same.Key(); k != baseKey {
-		t.Fatalf("Jobs/Shards changed the key: %s vs %s", k, baseKey)
+		t.Fatalf("Jobs/Shards/TimeoutS changed the key: %s vs %s", k, baseKey)
 	}
 	for name, mutate := range map[string]func(*JobSpec){
 		"seed":    func(s *JobSpec) { s.Seed++ },
@@ -477,7 +478,7 @@ func TestKeyIgnoresExecutionFields(t *testing.T) {
 // TestStats smoke-checks the stats and health endpoints.
 func TestStats(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	for _, path := range []string{"/v1/stats", "/v1/healthz", "/v1/jobs"} {
+	for _, path := range []string{"/v1/stats", "/v1/healthz", "/healthz", "/readyz", "/v1/jobs"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -507,7 +508,7 @@ func BenchmarkServeCachedPoint(b *testing.B) {
 
 	spec := quickSpec()
 	body, _ := json.Marshal(spec)
-	warm, _, err := s.Submit(spec)
+	warm, _, err := s.Submit(spec, "bench")
 	if err != nil {
 		b.Fatal(err)
 	}

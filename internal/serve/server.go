@@ -6,7 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"turnmodel/internal/metrics"
@@ -14,15 +19,23 @@ import (
 	"turnmodel/internal/simcache"
 )
 
-// Config sizes one Server. The zero value is usable: one simulation worker
-// per core, a small bounded queue, and an in-memory result cache.
+// Config sizes one Server. The zero value is usable: one job at a time
+// with all CPUs inside it, a small bounded queue, no rate limits, and an
+// in-memory result cache.
 type Config struct {
 	// Workers is the default per-job worker count when a spec leaves Jobs
 	// unset; <= 0 selects all CPUs (the sim default).
 	Workers int
+	// JobWorkers is how many jobs execute concurrently. <= 0 derives
+	// max(1, NumCPU/Workers): the machine is divided between intra-job
+	// parallelism and cross-job concurrency, so the default Workers
+	// (all CPUs per job) keeps one job at a time — exactly the pre-
+	// scheduler behavior — while narrower per-job budgets buy job
+	// concurrency.
+	JobWorkers int
 	// QueueDepth bounds the number of jobs waiting behind the running
-	// one; submissions beyond it are refused with 503 rather than
-	// accepted into an unbounded backlog. <= 0 selects 8.
+	// ones; submissions beyond it are refused with ErrQueueFull rather
+	// than accepted into an unbounded backlog. <= 0 selects 8.
 	QueueDepth int
 	// Cache backs both tiers of result reuse: the runner's per-point
 	// cache and the server's whole-report archive. Nil selects a fresh
@@ -32,35 +45,121 @@ type Config struct {
 	// Probe is attached to every simulated point (tests use it to assert
 	// cache hits run zero engine steps).
 	Probe metrics.Probe
-	// Clock stamps job creation times; nil selects time.Now.
+	// Clock stamps job creation times and drives the rate limiters; nil
+	// selects time.Now.
 	Clock func() time.Time
+
+	// JobTimeout is the per-job deadline: the default when a spec leaves
+	// timeout_s unset and the cap when it sets one (a client may ask for
+	// less time than the server allows, never more). 0 disables
+	// deadlines.
+	JobTimeout time.Duration
+	// StallGrace is how long after a job's deadline the scheduler waits
+	// for the runner's point-granular drain before abandoning the
+	// attempt and freeing the worker (the abandoned attempt's late
+	// output is dropped by generation). 0 selects 10s.
+	StallGrace time.Duration
+	// MaxRetries bounds how many times a transiently-failed job (see
+	// Transient) is re-queued with exponential backoff before failing
+	// for good. 0 selects 2; negative disables retries.
+	MaxRetries int
+	// RetryBase and RetryMax shape the backoff: attempt n waits
+	// RetryBase*2^(n-1) capped at RetryMax, halved-plus-jitter so
+	// synchronized failures spread out. Zero selects 200ms / 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the deterministic jitter stream; 0 selects 1.
+	RetrySeed int64
+
+	// SubmitRate and SubmitBurst rate-limit job submissions per client
+	// key (tokens/second and bucket size). Rate 0 disables limiting.
+	SubmitRate  float64
+	SubmitBurst int
+	// StreamRate and StreamBurst rate-limit SSE stream attaches the same
+	// way.
+	StreamRate  float64
+	StreamBurst int
+
+	// SSEHeartbeat is the idle interval after which the event stream
+	// emits a comment frame, so dead connections surface as write
+	// failures instead of idling forever. 0 selects 15s.
+	SSEHeartbeat time.Duration
+	// SSEWriteTimeout is the per-write deadline on event streams: a
+	// client that stops reading is disconnected once its buffers fill
+	// and a write blocks this long. 0 selects 10s.
+	SSEWriteTimeout time.Duration
+
+	// RunHook, when non-nil, runs at the start of every execution
+	// attempt, before any simulation. A non-nil return fails the
+	// attempt with that error (retryable when marked Transient); a
+	// panic exercises the scheduler's panic isolation. It is the
+	// chaos-test fault point and has no production use.
+	RunHook func(j *Job, attempt int) error
 }
 
-// Server executes sweep jobs one at a time off a bounded queue, streams
-// their points to any number of subscribers, and archives finished reports
-// in the content-addressed cache so an identical spec — resubmitted to
-// this process or to a later one sharing the cache directory — is answered
-// byte-identically without simulating.
+const (
+	defaultStallGrace   = 10 * time.Second
+	defaultMaxRetries   = 2
+	defaultRetryBase    = 200 * time.Millisecond
+	defaultRetryMax     = 5 * time.Second
+	defaultHeartbeat    = 15 * time.Second
+	defaultWriteTimeout = 10 * time.Second
+	limiterPruneEvery   = time.Minute
+	limiterMaxIdle      = 10 * time.Minute
+)
+
+// Server executes sweep jobs on a pool of workers fed by a per-client
+// fair queue, streams their points to any number of subscribers, and
+// archives finished reports in the content-addressed cache so an
+// identical spec — resubmitted to this process or to a later one sharing
+// the cache directory — is answered byte-identically without simulating.
+//
+// Failure is isolated per job: panics are recovered into structured
+// errors, deadlines bound each job's runtime, and transient
+// infrastructure failures retry with backoff — the process and the other
+// jobs are never taken down by one bad job.
 type Server struct {
-	cfg   Config
-	cache sim.Cache
-	clock func() time.Time
+	cfg        Config
+	jobWorkers int
+	maxRetries int
+	cache      sim.Cache
+	clock      func() time.Time
+
+	submitLim *limiter
+	streamLim *limiter
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	drainNow   chan struct{} // closed at Shutdown: backoff waits end early
 
-	mu     sync.Mutex
-	jobs   map[string]*Job // by ID
-	byKey  map[string]*Job // most recent job per content address
-	order  []string        // IDs in submission order
-	queue  chan *Job
-	nextID int
-	closed bool
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
-	wg sync.WaitGroup // the runner goroutine
+	mu           sync.Mutex
+	cond         *sync.Cond
+	fq           fairQueue
+	jobs         map[string]*Job // by ID
+	byKey        map[string]*Job // most recent job per content address
+	order        []string        // IDs in submission order
+	nextID       int
+	closed       bool
+	running      int
+	retryPending int
+	durs         [32]time.Duration // recent attempt durations, ring
+	durN         int
+
+	rejectedFull atomic.Int64
+	rejectedRate atomic.Int64
+	retriesRun   atomic.Int64
+	panicsSeen   atomic.Int64
+	sseActive    atomic.Int64
+
+	wg     sync.WaitGroup // worker goroutines
+	bgWg   sync.WaitGroup // limiter pruner
+	bgStop chan struct{}
 }
 
-// NewServer starts the job runner goroutine; callers must Shutdown.
+// NewServer starts the worker pool; callers must Shutdown.
 func NewServer(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8
@@ -73,60 +172,122 @@ func NewServer(cfg Config) *Server {
 	if clock == nil {
 		clock = time.Now
 	}
+	jobWorkers := cfg.JobWorkers
+	if jobWorkers <= 0 {
+		per := cfg.Workers
+		if per <= 0 {
+			per = runtime.NumCPU()
+		}
+		jobWorkers = runtime.NumCPU() / per
+		if jobWorkers < 1 {
+			jobWorkers = 1
+		}
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = defaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = 1
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		jobWorkers: jobWorkers,
+		maxRetries: maxRetries,
 		cache:      cache,
 		clock:      clock,
+		submitLim:  newLimiter(cfg.SubmitRate, cfg.SubmitBurst, clock),
+		streamLim:  newLimiter(cfg.StreamRate, cfg.StreamBurst, clock),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		drainNow:   make(chan struct{}),
+		rng:        rand.New(rand.NewSource(seed)),
+		fq:         newFairQueue(),
 		jobs:       make(map[string]*Job),
 		byKey:      make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		bgStop:     make(chan struct{}),
 	}
-	s.wg.Add(1)
-	go s.runLoop()
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < jobWorkers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if s.submitLim != nil || s.streamLim != nil {
+		s.bgWg.Add(1)
+		go s.pruneLoop()
+	}
 	return s
 }
 
-// Shutdown stops accepting jobs and drains the queue: the running job and
-// every queued one finish normally. If ctx expires first, the in-flight
-// work is cancelled and ctx's error returned.
+// pruneLoop periodically drops idle rate-limiter buckets. Its ticker is
+// stopped by Shutdown before the server's stores are closed.
+func (s *Server) pruneLoop() {
+	defer s.bgWg.Done()
+	t := time.NewTicker(limiterPruneEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.submitLim.prune(limiterMaxIdle)
+			s.streamLim.prune(limiterMaxIdle)
+		case <-s.bgStop:
+			return
+		}
+	}
+}
+
+// Shutdown stops accepting jobs and drains the queue: running, queued and
+// retry-pending jobs all finish (backoff waits are skipped so retries
+// drain promptly). If ctx expires first, the in-flight work is cancelled
+// and ctx's error returned. The rate-limiter ticker is stopped either
+// way, so a post-Shutdown server holds no goroutines.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		close(s.drainNow)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
+
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Stop the limiter pruner after the workers: nothing else references
+	// it, and stopping it last keeps Shutdown idempotent.
+	s.mu.Lock()
+	select {
+	case <-s.bgStop:
+	default:
+		close(s.bgStop)
+	}
+	s.mu.Unlock()
+	s.bgWg.Wait()
+	return err
 }
 
-// ErrQueueFull reports that the bounded job queue refused a submission.
-var ErrQueueFull = errors.New("serve: job queue full")
-
-// ErrShuttingDown reports a submission after Shutdown began.
-var ErrShuttingDown = errors.New("serve: server shutting down")
-
-// Submit registers a job for the spec. Reuse comes in two tiers before
-// anything is queued: an active or completed job with the same content
-// address is returned as-is (created = false), and a report archived in
-// the cache — by this process or an earlier one — materializes as an
-// instantly-completed job. Otherwise the job is queued, or refused with
-// ErrQueueFull / ErrShuttingDown.
-func (s *Server) Submit(spec JobSpec) (job *Job, created bool, err error) {
+// Submit registers a job for the spec under the given client key (the
+// fairness and rate-limit identity; empty is a valid shared key). Reuse
+// comes in two tiers before anything is queued: an active or completed
+// job with the same content address is returned as-is (created = false),
+// and a report archived in the cache — by this process or an earlier one —
+// materializes as an instantly-completed job. Otherwise the job is
+// queued, or refused with ErrQueueFull / ErrShuttingDown.
+func (s *Server) Submit(spec JobSpec, client string) (job *Job, created bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -142,7 +303,7 @@ func (s *Server) Submit(spec JobSpec) (job *Job, created bool, err error) {
 	if j, ok := s.byKey[key]; ok && j.State() != StateFailed && j.State() != StateCanceled {
 		return j, false, nil
 	}
-	j := s.newJobLocked(spec, key)
+	j := s.newJobLocked(spec, key, client)
 	if raw, ok := s.cache.Get(key); ok {
 		var art artifact
 		if err := json.Unmarshal(raw, &art); err == nil {
@@ -152,21 +313,23 @@ func (s *Server) Submit(spec JobSpec) (job *Job, created bool, err error) {
 		}
 		// A corrupt archive entry falls through to a fresh run.
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if s.fq.len() >= s.cfg.QueueDepth {
+		s.rejectedFull.Add(1)
 		return nil, false, ErrQueueFull
 	}
+	s.fq.push(j)
 	s.registerLocked(j)
+	s.cond.Broadcast()
 	return j, true, nil
 }
 
-func (s *Server) newJobLocked(spec JobSpec, key string) *Job {
+func (s *Server) newJobLocked(spec JobSpec, key, client string) *Job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	return &Job{
 		id:      fmt.Sprintf("job-%d", s.nextID),
 		key:     key,
+		client:  client,
 		spec:    spec,
 		state:   StateQueued,
 		created: s.clock(),
@@ -202,8 +365,19 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// QueueLen reports how many jobs are waiting behind the running one.
-func (s *Server) QueueLen() int { return len(s.queue) }
+// QueueLen reports how many jobs are waiting behind the running ones.
+func (s *Server) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fq.len()
+}
+
+// ClientQueueLen reports one client's pending jobs (fairness tests).
+func (s *Server) ClientQueueLen(client string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fq.clientLen(client)
+}
 
 // CacheStats exposes the underlying store's counters when the cache has
 // them (the default store does).
@@ -214,58 +388,276 @@ func (s *Server) CacheStats() (simcache.Stats, bool) {
 	return simcache.Stats{}, false
 }
 
-// runLoop executes queued jobs one at a time; simulation parallelism lives
-// inside each job (Options.Jobs x Options.Shards), not across jobs, so a
-// lone job still saturates the machine.
-func (s *Server) runLoop() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+// SchedulerStats is the scheduler's wire-visible state, served by
+// /v1/stats.
+type SchedulerStats struct {
+	Workers      int   `json:"workers"`
+	Queued       int   `json:"queued"`
+	Running      int   `json:"running"`
+	RetryPending int   `json:"retry_pending"`
+	Retries      int64 `json:"retries"`
+	Panics       int64 `json:"panics"`
+	RejectedFull int64 `json:"rejected_queue_full"`
+	RejectedRate int64 `json:"rejected_rate_limited"`
+	SSEActive    int64 `json:"sse_active"`
+	Clients      int   `json:"rate_limited_clients"`
+}
+
+// Stats snapshots the scheduler.
+func (s *Server) Stats() SchedulerStats {
+	s.mu.Lock()
+	queued, running, pending := s.fq.len(), s.running, s.retryPending
+	s.mu.Unlock()
+	return SchedulerStats{
+		Workers:      s.jobWorkers,
+		Queued:       queued,
+		Running:      running,
+		RetryPending: pending,
+		Retries:      s.retriesRun.Load(),
+		Panics:       s.panicsSeen.Load(),
+		RejectedFull: s.rejectedFull.Load(),
+		RejectedRate: s.rejectedRate.Load(),
+		SSEActive:    s.sseActive.Load(),
+		Clients:      s.submitLim.size() + s.streamLim.size(),
 	}
 }
 
+// RetryAfterQueueFull estimates when queue space will exist: the mean
+// recent job duration times the jobs ahead, clamped to [1s, 60s]. With no
+// history it answers 1s.
+func (s *Server) RetryAfterQueueFull() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.durN
+	if n > len(s.durs) {
+		n = len(s.durs)
+	}
+	if n == 0 {
+		return time.Second
+	}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += s.durs[i]
+	}
+	mean := sum / time.Duration(n)
+	est := mean * time.Duration(s.fq.len()+1) / time.Duration(s.jobWorkers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+func (s *Server) observeDuration(d time.Duration) {
+	s.mu.Lock()
+	s.durs[s.durN%len(s.durs)] = d
+	s.durN++
+	s.mu.Unlock()
+}
+
+// worker pulls jobs off the fair queue until the server drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// next blocks until a job is available or the drain completes: a nil
+// return means the queue is empty, no retries are pending, and the server
+// is closed.
+func (s *Server) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.fq.pop(); j != nil {
+			s.running++
+			return j
+		}
+		if s.closed && s.retryPending == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob executes one attempt of the job and settles the outcome:
+// success, cancellation, terminal failure, or a scheduled retry.
 func (s *Server) runJob(j *Job) {
-	defer j.cancel()
-	if j.ctx.Err() != nil { // cancelled while queued
+	if j.ctx.Err() != nil { // cancelled while queued or waiting out backoff
 		j.finish(StateCanceled, context.Canceled, nil)
 		return
 	}
+	attempt := j.Attempts() + 1
+	start := time.Now()
+	err := s.runAttempt(j, attempt)
+	s.observeDuration(time.Since(start))
+	if err == nil {
+		return // finished inside runAttempt
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		s.panicsSeen.Add(1)
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCanceled, err, nil)
+	case IsTransient(err) && attempt <= s.maxRetries && j.ctx.Err() == nil:
+		s.scheduleRetry(j, attempt, err)
+	default:
+		j.finish(StateFailed, err, nil)
+	}
+}
+
+// runAttempt runs the simulation under the per-job deadline with panic
+// isolation. On success the job is finished and archived here and nil
+// returned; otherwise the error comes back for runJob to settle.
+func (s *Server) runAttempt(j *Job, attempt int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	gen := j.beginAttempt()
+	if s.cfg.RunHook != nil {
+		if err := s.cfg.RunHook(j, attempt); err != nil {
+			return err
+		}
+	}
 	opts, err := j.spec.Options()
 	if err != nil {
-		j.finish(StateFailed, err, nil)
-		return
+		j.finishSpec(err)
+		return nil
 	}
 	if opts.Jobs == 0 {
 		opts.Jobs = s.cfg.Workers
 	}
 	opts.Cache = s.cache
 	opts.Probe = s.cfg.Probe
-	opts.OnPoint = j.publish
+	opts.OnPoint = func(ev sim.PointEvent) { j.publish(gen, ev) }
 	rn, err := sim.NewRunner(opts)
 	if err != nil {
-		j.finish(StateFailed, err, nil)
-		return
+		j.finishSpec(err)
+		return nil
 	}
-	j.setRunning(rn.Total())
-	out, err := rn.Run(j.ctx)
-	switch {
-	case errors.Is(err, context.Canceled):
-		j.finish(StateCanceled, err, nil)
-	case err != nil:
-		j.finish(StateFailed, err, nil)
-	default:
-		art, aerr := buildArtifact(out)
-		if aerr != nil {
-			j.finish(StateFailed, aerr, nil)
-			return
+	j.setTotal(rn.Total())
+
+	actx := j.ctx
+	cancel := context.CancelFunc(func() {})
+	if d := j.spec.deadline(s.cfg.JobTimeout); d > 0 {
+		actx, cancel = context.WithTimeout(j.ctx, d)
+	}
+	defer cancel()
+
+	type attemptResult struct {
+		out *sim.Outcome
+		err error
+	}
+	ch := make(chan attemptResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- attemptResult{nil, &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		out, rerr := rn.Run(actx)
+		ch <- attemptResult{out, rerr}
+	}()
+
+	var res attemptResult
+	select {
+	case res = <-ch:
+	case <-actx.Done():
+		// The runner drains at point granularity; give it the grace
+		// window, then abandon the attempt so one stuck point cannot
+		// pin a worker forever. The abandoned goroutine's late output
+		// is dropped by the generation check in publish.
+		grace := s.cfg.StallGrace
+		if grace <= 0 {
+			grace = defaultStallGrace
 		}
-		art.Points = rn.Total()
-		j.finish(StateDone, nil, art)
-		if raw, merr := json.Marshal(art); merr == nil {
-			// Best-effort archive; a full disk must not fail the job.
-			_ = s.cache.Put(j.key, raw)
+		select {
+		case res = <-ch:
+		case <-time.After(grace):
+			return fmt.Errorf("attempt abandoned %v after deadline: %w", grace, actx.Err())
 		}
 	}
+	if res.err != nil {
+		if errors.Is(res.err, context.Canceled) && j.ctx.Err() == nil && actx.Err() == context.DeadlineExceeded {
+			// The deadline fired between point dispatch and the runner's
+			// error mapping; report it as the timeout it is.
+			return context.DeadlineExceeded
+		}
+		return res.err
+	}
+	art, aerr := buildArtifact(res.out)
+	if aerr != nil {
+		return aerr
+	}
+	art.Points = rn.Total()
+	j.finish(StateDone, nil, art)
+	if raw, merr := json.Marshal(art); merr == nil {
+		// Best-effort archive; a full or degraded disk must not fail
+		// the job (the store accounts the failure).
+		_ = s.cache.Put(j.key, raw)
+	}
+	return nil
+}
+
+// scheduleRetry parks the job in retrying and re-queues it after an
+// exponential, jittered backoff. Shutdown and cancellation cut the wait
+// short, so draining never waits out a backoff.
+func (s *Server) scheduleRetry(j *Job, attempt int, cause error) {
+	j.setRetrying(cause)
+	s.retriesRun.Add(1)
+	delay := s.backoff(attempt)
+	s.mu.Lock()
+	s.retryPending++
+	s.mu.Unlock()
+	timer := time.NewTimer(delay)
+	go func() {
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-s.drainNow:
+		case <-j.ctx.Done():
+		}
+		s.mu.Lock()
+		s.retryPending--
+		s.fq.push(j)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+}
+
+// backoff is RetryBase*2^(attempt-1) capped at RetryMax, then halved plus
+// deterministic jitter, so synchronized transient failures de-correlate.
+func (s *Server) backoff(attempt int) time.Duration {
+	base := s.cfg.RetryBase
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	maxd := s.cfg.RetryMax
+	if maxd <= 0 {
+		maxd = defaultRetryMax
+	}
+	d := float64(base) * math.Pow(2, float64(attempt-1))
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	s.rngMu.Lock()
+	jit := s.rng.Float64()
+	s.rngMu.Unlock()
+	return time.Duration(d/2 + jit*d/2)
 }
 
 // artifact is the archived form of a finished job: the schema-v4 report

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"turnmodel/internal/fault"
 	"turnmodel/internal/sim"
@@ -56,6 +57,11 @@ type JobSpec struct {
 	// Jobs and Shards steer execution only; see the type comment.
 	Jobs   int `json:"jobs,omitempty"`
 	Shards int `json:"shards,omitempty"`
+	// TimeoutS is the client's per-job deadline in seconds, capped by the
+	// server's configured job timeout (a client may ask for less time than
+	// the server allows, never more). Execution-only: excluded from the
+	// content address like Jobs and Shards.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // ParseSpec decodes a JobSpec from JSON, rejecting unknown fields (a typo
@@ -105,7 +111,24 @@ func (s JobSpec) Validate() error {
 	if s.WarmupCycles < 0 || s.MeasureCycles < 0 || s.FaultRate < 0 || s.FaultRepair < 0 {
 		return fmt.Errorf("negative cycle count or fault rate")
 	}
+	if s.TimeoutS < 0 {
+		return fmt.Errorf("negative timeout_s")
+	}
 	return nil
+}
+
+// deadline resolves the job's effective deadline against the server cap:
+// the spec's timeout_s when set (clamped to the cap), else the cap itself.
+// Zero means no deadline.
+func (s JobSpec) deadline(cap time.Duration) time.Duration {
+	want := time.Duration(s.TimeoutS * float64(time.Second))
+	if want <= 0 {
+		return cap
+	}
+	if cap > 0 && want > cap {
+		return cap
+	}
+	return want
 }
 
 // Key is the job's content address: the canonical-JSON hash of the spec
@@ -115,7 +138,7 @@ func (s JobSpec) Validate() error {
 // a resubmitted job without running anything.
 func (s JobSpec) Key() (string, error) {
 	id := s
-	id.Jobs, id.Shards = 0, 0
+	id.Jobs, id.Shards, id.TimeoutS = 0, 0, 0
 	return simcache.Key(map[string]any{
 		"kind":   "turnserved-job",
 		"engine": sim.EngineVersion,

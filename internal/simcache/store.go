@@ -1,12 +1,16 @@
 package simcache
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Options configures a Store.
@@ -18,6 +22,27 @@ type Options struct {
 	// MaxMemEntries bounds the memory LRU tier; 0 selects
 	// DefaultMaxMemEntries, negative disables the memory tier.
 	MaxMemEntries int
+	// MaxDiskBytes bounds the disk tier's total size (file bytes as
+	// stored, framing included). When a Put pushes the tier over the
+	// bound, least-recently-used entries are evicted until it fits.
+	// 0 leaves the tier unbounded. A single payload larger than the
+	// bound is kept memory-only rather than thrashing the tier.
+	MaxDiskBytes int64
+	// MaxDiskEntries bounds the disk tier's entry count the same way;
+	// 0 leaves it unbounded.
+	MaxDiskEntries int
+	// DegradeAfter is how many consecutive disk I/O failures flip the
+	// store into memory-only degraded mode (see Stats.DiskDegraded).
+	// 0 selects DefaultDegradeAfter; negative disables degradation, so
+	// every operation keeps retrying the disk.
+	DegradeAfter int
+	// FaultHook, when non-nil, is consulted before every disk operation
+	// with the operation name ("read", "write", "evict", "probe") and
+	// the key involved; a non-nil return is treated as that operation
+	// failing at the filesystem. It exists for fault-injection tests
+	// (internal/serve/chaostest) and must be deterministic if the test
+	// wants reproducible fault histories.
+	FaultHook func(op, key string) error
 }
 
 // DefaultMaxMemEntries is the memory-tier capacity when Options leaves it
@@ -26,34 +51,72 @@ type Options struct {
 // at most a few hundred MB and typically far less.
 const DefaultMaxMemEntries = 4096
 
+// DefaultDegradeAfter is the consecutive-disk-failure threshold that
+// flips the store into memory-only degraded mode when Options leaves
+// DegradeAfter zero.
+const DefaultDegradeAfter = 3
+
 // Stats counts cache traffic since the store was created. Hits = MemHits
-// + DiskHits; lookups = Hits + Misses.
+// + DiskHits; lookups = Hits + Misses. DiskBytes/DiskEntries snapshot the
+// disk tier's current footprint; DiskDegraded reports the tier is offline
+// after repeated I/O failures (the janitor probes and restores it).
 type Stats struct {
-	MemHits   int64 `json:"mem_hits"`
-	DiskHits  int64 `json:"disk_hits"`
-	Misses    int64 `json:"misses"`
-	Puts      int64 `json:"puts"`
-	Evictions int64 `json:"evictions"`
-	Errors    int64 `json:"errors"`
+	MemHits       int64 `json:"mem_hits"`
+	DiskHits      int64 `json:"disk_hits"`
+	Misses        int64 `json:"misses"`
+	Puts          int64 `json:"puts"`
+	Evictions     int64 `json:"evictions"` // memory tier
+	DiskEvictions int64 `json:"disk_evictions"`
+	// Failures counts disk I/O errors and corrupt on-disk entries.
+	// Every failed read, write, eviction or probe increments it exactly
+	// once.
+	Failures     int64 `json:"failures"`
+	DiskBytes    int64 `json:"disk_bytes"`
+	DiskEntries  int64 `json:"disk_entries"`
+	DiskDegraded bool  `json:"disk_degraded"`
 }
 
 // Hits is the total hit count across both tiers.
 func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits }
 
 // Store is a two-tier content-addressed byte store: an in-memory LRU in
-// front of an optional disk directory. Keys are opaque strings — in
-// practice the hex SHA-256 content addresses Key produces — and values
+// front of an optional bounded disk directory. Keys are opaque strings —
+// in practice the hex SHA-256 content addresses Key produces — and values
 // are immutable byte payloads (a key always denotes the same bytes, so
 // overwrites are idempotent and races between writers are harmless).
-// All methods are safe for concurrent use.
+//
+// The disk tier is self-defending: entries are framed with a checksum so
+// torn or corrupted files are detected, counted in Stats.Failures and
+// deleted rather than served; the tier is LRU-bounded (access order
+// persists across restarts via file mtimes, so eviction order survives a
+// crash); and repeated I/O failures degrade the store to memory-only
+// serving instead of failing every caller, with StartJanitor probing the
+// disk back to health. All methods are safe for concurrent use.
 type Store struct {
-	dir    string
-	maxMem int
+	dir          string
+	maxMem       int
+	maxDiskB     int64
+	maxDiskN     int
+	degradeAfter int
+	hook         func(op, key string) error
 
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	stats Stats
+
+	// diskMu serializes disk I/O and guards the disk index. Lock order:
+	// diskMu before mu, never the reverse.
+	diskMu      sync.Mutex
+	idxReady    bool
+	diskIdx     map[string]diskEnt
+	diskBytes   int64
+	consecFails int
+	degraded    bool
+
+	janitorOnce sync.Once
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 }
 
 // entry is one memory-tier element.
@@ -62,18 +125,33 @@ type entry struct {
 	val []byte
 }
 
+// diskEnt is one disk-tier index record: the stored size (framing
+// included) and the last-access stamp eviction orders by.
+type diskEnt struct {
+	size  int64
+	stamp time.Time
+}
+
 // NewStore builds a store from the options. A disk directory is not
-// touched until the first Put.
+// touched until the first disk operation.
 func NewStore(opts Options) *Store {
 	maxMem := opts.MaxMemEntries
 	if maxMem == 0 {
 		maxMem = DefaultMaxMemEntries
 	}
+	degrade := opts.DegradeAfter
+	if degrade == 0 {
+		degrade = DefaultDegradeAfter
+	}
 	return &Store{
-		dir:    opts.Dir,
-		maxMem: maxMem,
-		ll:     list.New(),
-		items:  make(map[string]*list.Element),
+		dir:          opts.Dir,
+		maxMem:       maxMem,
+		maxDiskB:     opts.MaxDiskBytes,
+		maxDiskN:     opts.MaxDiskEntries,
+		degradeAfter: degrade,
+		hook:         opts.FaultHook,
+		ll:           list.New(),
+		items:        make(map[string]*list.Element),
 	}
 }
 
@@ -88,8 +166,39 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".bin")
 }
 
+// Entries are framed on disk as magic + SHA-256(payload) + payload, so a
+// truncated, torn or bit-flipped file is detected on read instead of
+// being served as a (wrong) result. Writes are atomic renames, so frames
+// are all-or-nothing even across crashes.
+var frameMagic = []byte("TMC1")
+
+const frameHeader = 4 + sha256.Size
+
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, frameHeader+len(payload))
+	out = append(out, frameMagic...)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// unframe validates and strips the frame; ok is false for corrupt or
+// legacy unframed entries.
+func unframe(raw []byte) ([]byte, bool) {
+	if len(raw) < frameHeader || !bytes.Equal(raw[:4], frameMagic) {
+		return nil, false
+	}
+	payload := raw[frameHeader:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(raw[4:frameHeader], sum[:]) {
+		return nil, false
+	}
+	return payload, true
+}
+
 // Get returns the payload stored under key. A disk hit is promoted into
-// the memory tier.
+// the memory tier and refreshes the entry's access stamp (on disk too,
+// so LRU order survives restarts).
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
@@ -105,16 +214,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.miss()
 		return nil, false
 	}
-	val, err := os.ReadFile(s.path(key))
-	if err != nil {
-		// Missing or unreadable file: a miss either way. Unreadable
-		// payloads surface in Stats.Errors for operators.
-		s.mu.Lock()
-		s.stats.Misses++
-		if !os.IsNotExist(err) {
-			s.stats.Errors++
-		}
-		s.mu.Unlock()
+	val, ok := s.diskGet(key)
+	if !ok {
+		s.miss()
 		return nil, false
 	}
 	s.mu.Lock()
@@ -122,6 +224,51 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	s.admit(key, val)
 	s.mu.Unlock()
 	return val, true
+}
+
+// diskGet reads and unframes one entry under diskMu. Missing entries and
+// a degraded tier are plain misses; I/O errors count toward degradation;
+// corrupt entries are deleted and counted as failures (but not toward
+// degradation — the disk itself answered fine).
+func (s *Store) diskGet(key string) ([]byte, bool) {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.degraded {
+		return nil, false
+	}
+	s.ensureIndexLocked()
+	if err := s.hookErr("read", key); err != nil {
+		s.diskFailLocked()
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.diskFailLocked()
+		}
+		return nil, false
+	}
+	s.consecFails = 0
+	payload, ok := unframe(raw)
+	if !ok {
+		// Corrupt (or pre-framing legacy) entry: never serve it, delete
+		// it so the slot can be refilled, and account the failure.
+		os.Remove(s.path(key))
+		s.dropIndexLocked(key)
+		s.countFail()
+		return nil, false
+	}
+	now := time.Now()
+	// Best-effort access stamp: eviction order degrades gracefully if
+	// the filesystem refuses Chtimes.
+	_ = os.Chtimes(s.path(key), now, now)
+	if ent, ok := s.diskIdx[key]; ok {
+		ent.stamp = now
+		s.diskIdx[key] = ent
+	} else {
+		s.addIndexLocked(key, int64(len(raw)), now)
+	}
+	return payload, true
 }
 
 func (s *Store) miss() {
@@ -152,7 +299,11 @@ func (s *Store) admit(key string, val []byte) {
 
 // Put stores the payload under key in both tiers. The disk write is
 // atomic (temp file + rename), so a crashed or concurrent writer can
-// never leave a torn payload where Get would find it.
+// never leave a torn payload where Get would find it; pushing the tier
+// over its configured bounds evicts least-recently-used entries. A
+// degraded disk tier is skipped silently — the memory tier still serves —
+// and disk I/O errors are returned (callers treat a failed Put as a
+// skipped optimization; the store counts it in Stats.Failures).
 func (s *Store) Put(key string, val []byte) error {
 	if !keyPattern.MatchString(key) {
 		return fmt.Errorf("simcache: key %q is not a content address", key)
@@ -165,46 +316,291 @@ func (s *Store) Put(key string, val []byte) error {
 	if s.dir == "" {
 		return nil
 	}
-	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		s.fail()
+	framed := frame(val)
+	if s.maxDiskB > 0 && int64(len(framed)) > s.maxDiskB {
+		// Larger than the whole tier: keeping it would evict everything
+		// for one entry, so it stays memory-only.
+		return nil
+	}
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.degraded {
+		return nil
+	}
+	s.ensureIndexLocked()
+	if err := s.diskPutLocked(key, framed); err != nil {
+		s.diskFailLocked()
 		return fmt.Errorf("simcache: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
-	if err != nil {
-		s.fail()
-		return fmt.Errorf("simcache: %w", err)
-	}
-	if _, err := tmp.Write(val); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		s.fail()
-		return fmt.Errorf("simcache: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		s.fail()
-		return fmt.Errorf("simcache: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		s.fail()
-		return fmt.Errorf("simcache: %w", err)
-	}
+	s.consecFails = 0
+	s.evictDiskLocked()
 	return nil
 }
 
-func (s *Store) fail() {
+// diskPutLocked performs the atomic framed write and updates the index.
+// Caller holds diskMu.
+func (s *Store) diskPutLocked(key string, framed []byte) error {
+	if err := s.hookErr("write", key); err != nil {
+		return err
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.dropIndexLocked(key)
+	s.addIndexLocked(key, int64(len(framed)), time.Now())
+	return nil
+}
+
+// evictDiskLocked enforces the byte and entry bounds by deleting entries
+// in least-recently-used order (oldest access stamp first). Deletion is a
+// plain unlink per entry, so eviction interrupted by a crash just leaves
+// the tier smaller — never inconsistent. Caller holds diskMu.
+func (s *Store) evictDiskLocked() {
+	over := func() bool {
+		return (s.maxDiskB > 0 && s.diskBytes > s.maxDiskB) ||
+			(s.maxDiskN > 0 && len(s.diskIdx) > s.maxDiskN)
+	}
+	if !over() {
+		return
+	}
+	type victim struct {
+		key   string
+		stamp time.Time
+	}
+	order := make([]victim, 0, len(s.diskIdx))
+	for k, e := range s.diskIdx {
+		order = append(order, victim{k, e.stamp})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].stamp.Before(order[j].stamp) })
+	for _, v := range order {
+		if !over() {
+			return
+		}
+		if err := s.hookErr("evict", v.key); err != nil {
+			s.diskFailLocked()
+			continue
+		}
+		if err := os.Remove(s.path(v.key)); err != nil && !os.IsNotExist(err) {
+			s.countFail()
+			// Drop it from the index anyway: better to under-count the
+			// tier than to evict the same immovable entry forever.
+		}
+		s.dropIndexLocked(v.key)
+		s.mu.Lock()
+		s.stats.DiskEvictions++
+		s.mu.Unlock()
+	}
+}
+
+// ensureIndexLocked builds the disk index by walking the cache directory
+// once: entry sizes from the directory listing, access stamps from file
+// mtimes (which Get refreshes), so LRU order is crash-persistent. Caller
+// holds diskMu.
+func (s *Store) ensureIndexLocked() {
+	if s.idxReady {
+		return
+	}
+	s.idxReady = true
+	s.diskIdx = make(map[string]diskEnt)
+	s.diskBytes = 0
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return // nothing cached yet (or unreadable root: ops will fail and count)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || filepath.Ext(name) != ".bin" {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			s.addIndexLocked(name[:len(name)-len(".bin")], info.Size(), info.ModTime())
+		}
+	}
+}
+
+func (s *Store) addIndexLocked(key string, size int64, stamp time.Time) {
+	s.diskIdx[key] = diskEnt{size, stamp}
+	s.diskBytes += size
+}
+
+func (s *Store) dropIndexLocked(key string) {
+	if ent, ok := s.diskIdx[key]; ok {
+		s.diskBytes -= ent.size
+		delete(s.diskIdx, key)
+	}
+}
+
+// hookErr consults the fault-injection hook.
+func (s *Store) hookErr(op, key string) error {
+	if s.hook == nil {
+		return nil
+	}
+	return s.hook(op, key)
+}
+
+// diskFailLocked accounts one disk I/O failure and degrades the tier
+// after degradeAfter consecutive ones. Caller holds diskMu.
+func (s *Store) diskFailLocked() {
+	s.countFail()
+	s.consecFails++
+	if s.degradeAfter > 0 && s.consecFails >= s.degradeAfter {
+		s.degraded = true
+	}
+}
+
+func (s *Store) countFail() {
 	s.mu.Lock()
-	s.stats.Errors++
+	s.stats.Failures++
 	s.mu.Unlock()
 }
 
-// Stats returns a snapshot of the traffic counters.
+// StartJanitor launches the background maintenance loop: every interval
+// it re-enforces the disk bounds (catching entries written by other
+// processes sharing the directory, or left over from before a crash) and,
+// when the tier is degraded, probes the disk and restores it on success.
+// It is a no-op for memory-only stores or non-positive intervals. Stop it
+// with Close.
+func (s *Store) StartJanitor(interval time.Duration) {
+	if s.dir == "" || interval <= 0 {
+		return
+	}
+	s.janitorOnce.Do(func() {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go func() {
+			defer close(s.janitorDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.Maintain()
+				case <-s.janitorStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Maintain runs one janitor pass synchronously: bound enforcement on a
+// healthy tier, a health probe on a degraded one. Exposed so tests and
+// shutdown paths need not wait for a tick.
+func (s *Store) Maintain() {
+	if s.dir == "" {
+		return
+	}
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.degraded {
+		if s.probeLocked() {
+			s.degraded = false
+			s.consecFails = 0
+			// Rebuild the index: anything could have happened to the
+			// directory while the tier was offline.
+			s.idxReady = false
+		}
+		return
+	}
+	// Rescan so externally-added entries (a sibling process sharing the
+	// directory) are bounded too, then enforce.
+	s.idxReady = false
+	s.ensureIndexLocked()
+	s.evictDiskLocked()
+}
+
+// probeLocked checks the disk is writable and readable again: a probe
+// file is written, read back and removed. Caller holds diskMu.
+func (s *Store) probeLocked() bool {
+	if err := s.hookErr("probe", ""); err != nil {
+		s.countFail()
+		return false
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		s.countFail()
+		return false
+	}
+	p := filepath.Join(s.dir, ".probe")
+	if err := os.WriteFile(p, []byte("ok"), 0o644); err != nil {
+		s.countFail()
+		return false
+	}
+	raw, err := os.ReadFile(p)
+	os.Remove(p)
+	if err != nil || string(raw) != "ok" {
+		s.countFail()
+		return false
+	}
+	return true
+}
+
+// Close stops the janitor, if one was started. The store itself holds no
+// other resources; it remains usable (janitor-less) after Close.
+func (s *Store) Close() {
+	if s.janitorStop == nil {
+		return
+	}
+	select {
+	case <-s.janitorStop:
+	default:
+		close(s.janitorStop)
+	}
+	<-s.janitorDone
+}
+
+// Degraded reports whether the disk tier is offline after repeated I/O
+// failures (memory-only serving until a janitor probe restores it).
+func (s *Store) Degraded() bool {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	return s.degraded
+}
+
+// Stats returns a snapshot of the traffic counters and the disk tier's
+// current footprint.
 func (s *Store) Stats() Stats {
+	var bytes, entries int64
+	var degraded bool
+	if s.dir != "" {
+		s.diskMu.Lock()
+		s.ensureIndexLocked()
+		bytes, entries, degraded = s.diskBytes, int64(len(s.diskIdx)), s.degraded
+		s.diskMu.Unlock()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.DiskBytes, st.DiskEntries, st.DiskDegraded = bytes, entries, degraded
+	return st
 }
 
 // Len reports the number of memory-tier entries.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestStoreMemoryRoundTrip(t *testing.T) {
@@ -123,8 +124,331 @@ func TestStoreMemoryDisabled(t *testing.T) {
 	}
 }
 
+// diskDirSize walks the cache directory like the chaos soak's bound
+// audit: total file bytes and entry count.
+func diskDirSize(t *testing.T, dir string) (bytes int64, entries int) {
+	t.Helper()
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".bin" {
+			return err
+		}
+		bytes += info.Size()
+		entries++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes, entries
+}
+
+// TestStoreDiskByteBound fills a byte-bounded tier past its capacity and
+// checks eviction keeps the on-disk footprint under the bound, oldest
+// access first.
+func TestStoreDiskByteBound(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("p"), 100)
+	entrySize := int64(frameHeader + len(payload))
+	s := NewStore(Options{Dir: dir, MaxDiskBytes: 3 * entrySize, MaxMemEntries: -1})
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i], _ = Key(map[string]any{"i": i})
+		if err := s.Put(keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := diskDirSize(t, dir); got > 3*entrySize {
+		t.Fatalf("disk tier %d bytes exceeds bound %d", got, 3*entrySize)
+	}
+	st := s.Stats()
+	if st.DiskEvictions != 2 {
+		t.Errorf("disk evictions = %d, want 2", st.DiskEvictions)
+	}
+	if st.DiskBytes > 3*entrySize || st.DiskEntries != 3 {
+		t.Errorf("stats footprint = %d bytes / %d entries", st.DiskBytes, st.DiskEntries)
+	}
+	// Oldest two are gone, newest three remain.
+	for i, key := range keys {
+		_, ok := s.Get(key)
+		if want := i >= 2; ok != want {
+			t.Errorf("key %d present = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestStoreDiskEntryBoundLRUOrder checks the entry-count bound evicts by
+// access recency: reading an old entry protects it.
+func TestStoreDiskEntryBoundLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(Options{Dir: dir, MaxDiskEntries: 2, MaxMemEntries: -1})
+	k0, _ := Key("e0")
+	k1, _ := Key("e1")
+	k2, _ := Key("e2")
+	for i, k := range []string{k0, k1, k2} {
+		if err := s.Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			// Touch k0 so k1 is the LRU victim when k2 arrives.
+			if _, ok := s.Get(k0); !ok {
+				t.Fatal("k0 missing before eviction")
+			}
+		}
+	}
+	if _, ok := s.Get(k1); ok {
+		t.Error("least recently used disk entry survived")
+	}
+	if _, ok := s.Get(k0); !ok {
+		t.Error("recently read disk entry evicted")
+	}
+	if _, entries := diskDirSize(t, dir); entries != 2 {
+		t.Errorf("disk entries = %d, want 2", entries)
+	}
+}
+
+// TestStoreDiskBoundSurvivesRestart checks a fresh store over an
+// overfull directory (as after a crash or a bound lowered across
+// restarts) enforces the bound from the persisted access stamps.
+func TestStoreDiskBoundSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	writer := NewStore(Options{Dir: dir, MaxMemEntries: -1})
+	keys := make([]string, 4)
+	base := time.Now().Add(-time.Hour)
+	for i := range keys {
+		keys[i], _ = Key(map[string]any{"r": i})
+		if err := writer.Put(keys[i], []byte("xxxx")); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct, widely spaced access stamps so restart ordering is
+		// unambiguous on any filesystem's mtime resolution.
+		stamp := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, keys[i][:2], keys[i]+".bin"), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewStore(Options{Dir: dir, MaxDiskEntries: 2, MaxMemEntries: -1})
+	s.Maintain()
+	for i, key := range keys {
+		_, ok := s.Get(key)
+		if want := i >= 2; ok != want {
+			t.Errorf("after restart: key %d present = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestStoreCorruptEntries detects truncated and garbage on-disk entries:
+// never served, deleted, and each counted exactly once in Stats.Failures.
+func TestStoreCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	writer := NewStore(Options{Dir: dir})
+	kTrunc, _ := Key("trunc")
+	kGarbage, _ := Key("garbage")
+	kLegacy, _ := Key("legacy")
+	for _, k := range []string{kTrunc, kGarbage} {
+		if err := writer.Put(k, []byte("a perfectly good payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate one mid-frame, overwrite one with garbage of the right
+	// magic but wrong checksum, and write one raw legacy (unframed) file.
+	truncPath := filepath.Join(dir, kTrunc[:2], kTrunc+".bin")
+	raw, err := os.ReadFile(truncPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncPath, raw[:frameHeader-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbagePath := filepath.Join(dir, kGarbage[:2], kGarbage+".bin")
+	bad := append([]byte(nil), frameMagic...)
+	bad = append(bad, bytes.Repeat([]byte{0xAA}, frameHeader-4)...)
+	bad = append(bad, []byte(`{"not":"the payload"}`)...)
+	if err := os.WriteFile(garbagePath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacyDir := filepath.Join(dir, kLegacy[:2])
+	if err := os.MkdirAll(legacyDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(legacyDir, kLegacy+".bin"), []byte(`{"schema":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore(Options{Dir: dir})
+	for _, k := range []string{kTrunc, kGarbage, kLegacy} {
+		if _, ok := s.Get(k); ok {
+			t.Errorf("corrupt entry %s served", k)
+		}
+	}
+	st := s.Stats()
+	if st.Failures != 3 {
+		t.Errorf("failures = %d, want exactly 3 (one per corrupt entry)", st.Failures)
+	}
+	if st.Misses != 3 {
+		t.Errorf("misses = %d, want 3", st.Misses)
+	}
+	if st.DiskDegraded {
+		t.Error("corrupt entries degraded the tier; only I/O errors should")
+	}
+	for _, k := range []string{kTrunc, kGarbage, kLegacy} {
+		if _, err := os.Stat(filepath.Join(dir, k[:2], k+".bin")); !os.IsNotExist(err) {
+			t.Errorf("corrupt entry %s not deleted: %v", k, err)
+		}
+	}
+	// The slot refills cleanly.
+	if err := s.Put(kTrunc, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(Options{Dir: dir})
+	if got, ok := s2.Get(kTrunc); !ok || string(got) != "fresh" {
+		t.Errorf("refilled slot = %q, %v", got, ok)
+	}
+}
+
+// TestStoreUnwritableDir points the disk tier at a path that cannot be a
+// directory (a regular file), so every disk write fails: Puts still serve
+// the memory tier, failures are counted exactly, and the tier degrades
+// after the threshold.
+func TestStoreUnwritableDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(Options{Dir: file, DegradeAfter: 3})
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i], _ = Key(map[string]any{"u": i})
+		err := s.Put(keys[i], []byte("v"))
+		if i < 3 && err == nil {
+			t.Errorf("put %d on unwritable dir succeeded", i)
+		}
+		if i == 3 && err != nil {
+			t.Errorf("put after degradation returned %v, want silent memory-only", err)
+		}
+	}
+	st := s.Stats()
+	if st.Failures != 3 {
+		t.Errorf("failures = %d, want exactly 3 (then degraded, no more disk ops)", st.Failures)
+	}
+	if !st.DiskDegraded || !s.Degraded() {
+		t.Error("tier not degraded after consecutive failures")
+	}
+	// Memory tier still serves everything.
+	for i, k := range keys {
+		if got, ok := s.Get(k); !ok || string(got) != "v" {
+			t.Errorf("degraded get %d = %q, %v", i, got, ok)
+		}
+	}
+}
+
+// TestStoreDegradeAndRecover drives the tier down with injected write
+// failures and back up through the janitor's health probe.
+func TestStoreDegradeAndRecover(t *testing.T) {
+	var mu sync.Mutex
+	failing := true
+	hook := func(op, key string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return fmt.Errorf("injected %s fault", op)
+		}
+		return nil
+	}
+	dir := t.TempDir()
+	s := NewStore(Options{Dir: dir, DegradeAfter: 2, FaultHook: hook})
+	key, _ := Key("recover")
+	for i := 0; i < 2; i++ {
+		if err := s.Put(key, []byte("v")); err == nil {
+			t.Fatalf("put %d with injected fault succeeded", i)
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("not degraded after threshold")
+	}
+	// Probe fails while the fault persists...
+	s.Maintain()
+	if !s.Degraded() {
+		t.Fatal("degraded tier recovered while faults persist")
+	}
+	// ...and restores the tier once the disk heals.
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	s.Maintain()
+	if s.Degraded() {
+		t.Fatal("tier did not recover after probe success")
+	}
+	if err := s.Put(key, []byte("v")); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+	s2 := NewStore(Options{Dir: dir})
+	if _, ok := s2.Get(key); !ok {
+		t.Error("post-recovery put did not reach disk")
+	}
+}
+
+// TestStoreFailureAccountingExact injects a known number of read faults
+// and checks Stats.Failures matches exactly.
+func TestStoreFailureAccountingExact(t *testing.T) {
+	var calls int
+	hook := func(op, key string) error {
+		if op == "read" {
+			calls++
+			if calls <= 5 {
+				return fmt.Errorf("injected read fault %d", calls)
+			}
+		}
+		return nil
+	}
+	dir := t.TempDir()
+	writer := NewStore(Options{Dir: dir})
+	key, _ := Key("exact")
+	if err := writer.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// DegradeAfter above the fault count so every failure is visible.
+	s := NewStore(Options{Dir: dir, FaultHook: hook, DegradeAfter: 10, MaxMemEntries: -1})
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("get %d hit despite injected fault", i)
+		}
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "v" {
+		t.Fatalf("get after faults cleared = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Failures != 5 {
+		t.Errorf("failures = %d, want exactly 5", st.Failures)
+	}
+	if st.Misses != 5 || st.DiskHits != 1 {
+		t.Errorf("misses/diskhits = %d/%d, want 5/1", st.Misses, st.DiskHits)
+	}
+}
+
+func TestStoreJanitorStartStop(t *testing.T) {
+	s := NewStore(Options{Dir: t.TempDir()})
+	s.StartJanitor(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	s.Close() // idempotent
+	// Memory-only stores never start a janitor; Close is still safe.
+	m := NewStore(Options{})
+	m.StartJanitor(time.Millisecond)
+	m.Close()
+}
+
+// TestStoreConcurrent hammers Put/Get/eviction across goroutines on a
+// tightly bounded tier; run under -race this is the store's concurrency
+// soak. Payload integrity is absolute: a Get may miss (evicted) but must
+// never return another key's bytes.
 func TestStoreConcurrent(t *testing.T) {
-	s := NewStore(Options{Dir: t.TempDir(), MaxMemEntries: 8})
+	s := NewStore(Options{
+		Dir:            t.TempDir(),
+		MaxMemEntries:  8,
+		MaxDiskEntries: 6,
+		MaxDiskBytes:   2048,
+	})
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -145,4 +469,11 @@ func TestStoreConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	st := s.Stats()
+	if st.Failures != 0 {
+		t.Errorf("concurrent soak recorded %d failures", st.Failures)
+	}
+	if st.DiskEntries > 6 || st.DiskBytes > 2048 {
+		t.Errorf("bounds violated: %d entries / %d bytes", st.DiskEntries, st.DiskBytes)
+	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os/exec"
@@ -15,67 +16,102 @@ import (
 	"turnmodel/internal/sim"
 )
 
-// TestEndToEnd builds the daemon, runs it on an ephemeral port, drives a
-// small sweep through the HTTP API — submit, SSE stream to completion,
-// report fetch and round-trip through sim.ReadReport — and shuts it down
-// with SIGTERM. This is the smoke test CI runs against the real binary.
-func TestEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds and runs the daemon")
-	}
-	bin := filepath.Join(t.TempDir(), "turnserved")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building turnserved: %v\n%s", err, out)
-	}
+// daemon is one running turnserved process under test.
+type daemon struct {
+	base    string // http://HOST:PORT
+	cmd     *exec.Cmd
+	done    chan struct{}
+	exitErr error
+	stderr  *bytes.Buffer
+}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cachedir", t.TempDir())
+// startDaemon launches the built binary and waits for its listen address.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
+	d := &daemon{cmd: cmd, done: make(chan struct{}), stderr: &bytes.Buffer{}}
+	cmd.Stderr = d.stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	// exited is closed after the send, so both the shutdown check and the
-	// deferred cleanup can receive from it.
-	exited := make(chan error, 1)
-	go func() { exited <- cmd.Wait(); close(exited) }()
-	defer func() {
-		cmd.Process.Kill()
-		<-exited
-	}()
+	go func() { d.exitErr = cmd.Wait(); close(d.done) }()
+	t.Cleanup(func() {
+		select {
+		case <-d.done:
+		default:
+			cmd.Process.Kill()
+			<-d.done
+		}
+	})
 
 	// The daemon prints "turnserved: listening on http://HOST:PORT".
 	sc := bufio.NewScanner(stdout)
 	if !sc.Scan() {
-		t.Fatalf("no startup line; stderr:\n%s", stderr.String())
+		<-d.done
+		t.Fatalf("no startup line (exit: %v); stderr:\n%s", d.exitErr, d.stderr.String())
 	}
 	line := sc.Text()
 	i := strings.Index(line, "http://")
 	if i < 0 {
 		t.Fatalf("unexpected startup line %q", line)
 	}
-	base := strings.TrimSpace(line[i:])
+	d.base = strings.TrimSpace(line[i:])
+	return d
+}
 
-	spec := `{"figures":["figure13"],"rates":[0.01,0.05],"algorithms":["xy","west-first"],"warmup_cycles":300,"measure_cycles":800,"seed":2,"jobs":2}`
+// kill SIGKILLs the daemon — the crash the recovery cases simulate.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-d.done
+}
+
+// sigterm asks the daemon to drain and requires a clean exit.
+func (d *daemon) sigterm(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.done:
+		if d.exitErr != nil {
+			t.Fatalf("daemon exit: %v\nstderr:\n%s", d.exitErr, d.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// submitJob POSTs a spec and returns the job's URL path.
+func submitJob(t *testing.T, base, spec string) string {
+	t.Helper()
 	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
 	}
 	jobURL := resp.Header.Get("Location")
 	if jobURL == "" {
 		t.Fatalf("no Location header; body: %s", body)
 	}
+	return jobURL
+}
 
-	// Follow the event stream until the done event; count the points.
+// streamPoints follows the job's SSE stream and returns the number of
+// point events seen before done (or, with stopAfter > 0, detaches after
+// that many points without waiting for done).
+func streamPoints(t *testing.T, base, jobURL string, stopAfter int) int {
+	t.Helper()
 	events, err := http.Get(base + jobURL + "/events")
 	if err != nil {
 		t.Fatal(err)
@@ -87,18 +123,22 @@ func TestEndToEnd(t *testing.T) {
 		switch {
 		case esc.Text() == "event: point":
 			points++
+			if stopAfter > 0 && points >= stopAfter {
+				return points
+			}
 		case esc.Text() == "event: done":
 			sawDone = true
 		case sawDone && esc.Text() == "":
-			goto streamed
+			return points
 		}
 	}
 	t.Fatalf("event stream ended without done (after %d points): %v", points, esc.Err())
-streamed:
-	if points != 4 {
-		t.Fatalf("streamed %d points, want 4", points)
-	}
+	return points
+}
 
+// fetchReport GETs the job's report bytes.
+func fetchReport(t *testing.T, base, jobURL string) []byte {
+	t.Helper()
 	rep, err := http.Get(base + jobURL + "/report")
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +148,12 @@ streamed:
 	if rep.StatusCode != http.StatusOK {
 		t.Fatalf("report status = %d: %s", rep.StatusCode, raw)
 	}
+	return raw
+}
+
+// checkReport round-trips served bytes through sim.ReadReport.
+func checkReport(t *testing.T, raw []byte) {
+	t.Helper()
 	report, err := sim.ReadReport(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatalf("served report does not round-trip: %v", err)
@@ -115,17 +161,111 @@ streamed:
 	if len(report.Figures) != 1 || report.Figures[0].ID != "figure13" {
 		t.Fatalf("report figures = %+v", report.Figures)
 	}
+}
 
-	// SIGTERM drains and exits cleanly.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-exited:
+// waitDone polls the job's status until it reaches the done state.
+func waitDone(t *testing.T, base, jobURL string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + jobURL)
 		if err != nil {
-			t.Fatalf("daemon exit: %v\nstderr:\n%s", err, stderr.String())
+			t.Fatal(err)
 		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("daemon did not exit after SIGTERM")
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "failed", "canceled":
+			t.Fatalf("job settled as %q: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after 60s", st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+const smokeSpec = `{"figures":["figure13"],"rates":[0.01,0.05],"algorithms":["xy","west-first"],"warmup_cycles":300,"measure_cycles":800,"seed":2,"jobs":2}`
+
+// slowSpec runs long enough that a SIGKILL fired after the first streamed
+// point lands mid-job.
+const slowSpec = `{"figures":["figure13"],"rates":[0.01,0.02,0.03,0.04],"algorithms":["xy"],"warmup_cycles":1000,"measure_cycles":30000,"seed":2,"jobs":1}`
+
+// TestEndToEnd builds the daemon once and drives it through the HTTP API
+// as real processes: the original smoke flow, plus the durability
+// contract — archived results surviving a clean restart byte-identically,
+// and a SIGKILLed daemon's jobs finishing after a restart on the same
+// cache directory. This is the suite CI runs against the real binary.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "turnserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building turnserved: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"smoke", func(t *testing.T) {
+			d := startDaemon(t, bin, "-cachedir", t.TempDir())
+			jobURL := submitJob(t, d.base, smokeSpec)
+			if points := streamPoints(t, d.base, jobURL, 0); points != 4 {
+				t.Fatalf("streamed %d points, want 4", points)
+			}
+			checkReport(t, fetchReport(t, d.base, jobURL))
+			d.sigterm(t)
+		}},
+		{"restart-archived", func(t *testing.T) {
+			dir := t.TempDir()
+			d1 := startDaemon(t, bin, "-cachedir", dir)
+			jobURL := submitJob(t, d1.base, smokeSpec)
+			streamPoints(t, d1.base, jobURL, 0)
+			first := fetchReport(t, d1.base, jobURL)
+			d1.sigterm(t)
+
+			// The restarted daemon answers the same spec from the archive,
+			// byte-identically, without re-simulating — and still serves the
+			// pre-restart job URL from its journal.
+			d2 := startDaemon(t, bin, "-cachedir", dir)
+			resubURL := submitJob(t, d2.base, smokeSpec)
+			waitDone(t, d2.base, resubURL)
+			if again := fetchReport(t, d2.base, resubURL); !bytes.Equal(first, again) {
+				t.Fatal("archived report changed across restart")
+			}
+			if again := fetchReport(t, d2.base, jobURL); !bytes.Equal(first, again) {
+				t.Fatal("pre-restart job URL serves different bytes after restart")
+			}
+			d2.sigterm(t)
+		}},
+		{"recover-after-kill", func(t *testing.T) {
+			dir := t.TempDir()
+			d1 := startDaemon(t, bin, "-cachedir", dir, "-replica-id", "e2e", "-lease-ttl", "500ms")
+			jobURL := submitJob(t, d1.base, slowSpec)
+			streamPoints(t, d1.base, jobURL, 1) // detach after the first point
+			d1.kill(t)
+
+			// Same identity restarts on the same directory: the startup
+			// recovery scan requeues the orphan under its original job ID.
+			d2 := startDaemon(t, bin, "-cachedir", dir, "-replica-id", "e2e", "-lease-ttl", "500ms")
+			waitDone(t, d2.base, jobURL)
+			checkReport(t, fetchReport(t, d2.base, jobURL))
+			d2.sigterm(t)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
 	}
 }

@@ -28,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"turnmodel/internal/jobstore"
 	"turnmodel/internal/serve"
 	"turnmodel/internal/simcache"
 )
@@ -51,6 +53,9 @@ type config struct {
 	cacheMaxEntries int
 	janitor         time.Duration
 	drain           time.Duration
+	replicaID       string
+	leaseTTL        time.Duration
+	recover         bool
 }
 
 func main() {
@@ -69,6 +74,9 @@ func main() {
 	flag.IntVar(&cfg.cacheMaxEntries, "cachemaxentries", 0, "bound on the cache directory's entry count (0 = unbounded)")
 	flag.DurationVar(&cfg.janitor, "janitor", time.Minute, "disk-cache janitor interval: eviction sweeps and degraded-mode recovery probes (0 = off)")
 	flag.DurationVar(&cfg.drain, "drain", time.Minute, "max time to finish in-flight jobs on shutdown before cancelling them")
+	flag.StringVar(&cfg.replicaID, "replica-id", "", "this replica's identity in the shared job store (default hostname-pid); requires -cachedir")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 10*time.Second, "job lease TTL: how long a dead replica's jobs stay unclaimable before peers requeue them")
+	flag.BoolVar(&cfg.recover, "recover", true, "scan the shared job store at startup and requeue orphaned jobs")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,6 +114,17 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		store.StartJanitor(cfg.janitor)
 		defer store.Close()
 		srvCfg.Cache = store
+		// A disk-backed daemon is durable: jobs are journaled next to the
+		// result cache, and any replica sharing the directory can recover
+		// them after a crash.
+		js, err := jobstore.Open(filepath.Join(cfg.cacheDir, "jobs"))
+		if err != nil {
+			return err
+		}
+		srvCfg.Store = js
+		srvCfg.ReplicaID = cfg.replicaID
+		srvCfg.LeaseTTL = cfg.leaseTTL
+		srvCfg.NoRecover = !cfg.recover
 	}
 	srv := serve.NewServer(srvCfg)
 

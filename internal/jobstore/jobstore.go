@@ -1,0 +1,673 @@
+// Package jobstore persists job lifecycle state in a directory shared by
+// every turnserved replica, so a crash loses no accepted work and any
+// number of processes can execute against one cache directory without
+// double-running a job.
+//
+// Two kinds of file live under the store directory, both named by the
+// job's content address (the same hex SHA-256 key the result cache uses):
+//
+//	<key>.journal  append-only lifecycle log
+//	<key>.lease    current execution lease
+//	<key>.claim    short-lived lock serializing lease transitions
+//
+// The journal is a sequence of CRC-framed records (magic "TMJ1", length,
+// CRC32 of the payload, JSON payload — the same self-checking discipline
+// as the cache's TMC1 entries): one submitted record, then per attempt a
+// started record and its point records, retrying records between
+// attempts, and exactly one terminal record. The submitted record is
+// written by atomic rename (a journal either exists whole or not at all);
+// later records are appended, with fsync on the lifecycle transitions and
+// best-effort buffering for points. Replay stops at the first frame that
+// fails its checksum and truncates the torn tail away, so a crash mid-
+// append costs at most the unsynced suffix — never the job.
+//
+// Leases are the mutual-exclusion and fencing layer: a replica may only
+// execute a job while it holds the job's lease, leases carry a
+// monotonically-increasing generation (the fencing token recorded in every
+// started record), and a lease that is not renewed within its TTL may be
+// claimed by any peer — which is how a SIGKILLed replica's in-flight jobs
+// get requeued. A revived owner whose lease was stolen discovers it via
+// Check before writing its terminal record and stands down. Lease
+// transitions are serialized by a .claim lockfile (O_CREATE|O_EXCL, stale-
+// broken after a few seconds), and the lease file itself is replaced by
+// atomic rename, so readers never observe a torn lease.
+//
+// All timestamps compare against the local wall clock: replicas share a
+// filesystem, and the deployment model is N processes on one machine (or
+// one coherent shared mount).
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RecordKind labels one journal record.
+type RecordKind string
+
+const (
+	// RecordSubmitted opens a journal: the job's identity, spec and client.
+	RecordSubmitted RecordKind = "submitted"
+	// RecordStarted marks an execution attempt: owner, fencing token,
+	// attempt number. It resets the point log (a new attempt restreams).
+	RecordStarted RecordKind = "started"
+	// RecordPoint is one streamed point event, kept so SSE replay can be
+	// reconstructed after a restart.
+	RecordPoint RecordKind = "point"
+	// RecordRetrying marks a transient failure awaiting its backoff.
+	RecordRetrying RecordKind = "retrying"
+	// RecordTerminal closes the journal: done, failed or canceled. Only
+	// the first terminal record counts; replay ignores anything after it.
+	RecordTerminal RecordKind = "terminal"
+)
+
+// Record is one journal entry. Fields are populated per kind; see the
+// RecordKind docs.
+type Record struct {
+	Kind   RecordKind `json:"kind"`
+	Time   time.Time  `json:"time"`
+	ID     string     `json:"id,omitempty"`     // submitted: fleet-unique job id
+	Client string     `json:"client,omitempty"` // submitted: fairness identity
+	// Spec is the submitted job spec, verbatim JSON, so a recovering
+	// replica can rebuild and re-run the job without the submitter.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Owner and Fence identify the attempt's executor: the replica id and
+	// the lease generation it held when it started. A terminal record from
+	// a stale fence is never written (see Store.Check).
+	Owner   string `json:"owner,omitempty"`
+	Fence   uint64 `json:"fence,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Point is one sim.PointEvent, verbatim JSON.
+	Point json.RawMessage `json:"point,omitempty"`
+	// State, Error and Class describe retrying and terminal records.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	Class string `json:"class,omitempty"`
+}
+
+// JobInfo is a journal replayed into its current truth.
+type JobInfo struct {
+	Key      string
+	ID       string
+	Client   string
+	Spec     json.RawMessage
+	State    string // "queued", "running", "retrying", "done", "failed", "canceled"
+	Owner    string // the last attempt's executor
+	Fence    uint64 // the last attempt's fencing token
+	Attempts int
+	Error    string
+	Class    string
+	Created  time.Time
+	Updated  time.Time
+	// Points are the latest attempt's streamed points (loaded only when
+	// asked for; PointCount is always set).
+	Points     []json.RawMessage
+	PointCount int
+	// Truncated reports a corrupt tail was cut off during replay.
+	Truncated bool
+}
+
+// Terminal reports whether the job has reached a final state.
+func (i JobInfo) Terminal() bool {
+	return i.State == "done" || i.State == "failed" || i.State == "canceled"
+}
+
+// Lease is a held execution lease: proof, until Expires, that Owner may
+// run the job, and the fencing token Gen that orders owners over the
+// job's lifetime.
+type Lease struct {
+	Key     string
+	Owner   string
+	Gen     uint64
+	Expires time.Time
+}
+
+// HeldError reports a Claim refused because a live lease belongs to
+// another owner.
+type HeldError struct {
+	Owner   string
+	Expires time.Time
+}
+
+func (e *HeldError) Error() string {
+	return fmt.Sprintf("jobstore: lease held by %q until %s", e.Owner, e.Expires.Format(time.RFC3339))
+}
+
+// ErrLost reports a Renew on a lease that is no longer ours: it expired
+// and a peer claimed it. The holder must stop publishing results for the
+// job.
+var ErrLost = errors.New("jobstore: lease lost to another owner")
+
+// keyPattern mirrors the cache store's guard: only content-address-shaped
+// keys may name files, so a hostile key cannot traverse the directory.
+var keyPattern = regexp.MustCompile(`^[a-zA-Z0-9_-]{4,128}$`)
+
+const (
+	journalSuffix = ".journal"
+	leaseSuffix   = ".lease"
+	claimSuffix   = ".claim"
+	// staleClaimAfter breaks a .claim lockfile left by a crashed process.
+	// Claim critical sections are a few file operations — microseconds to
+	// low milliseconds — so anything this old is garbage, not a holder.
+	staleClaimAfter = 5 * time.Second
+	// claimWait bounds how long a claimer spins on a busy lockfile.
+	claimWait = 5 * time.Second
+)
+
+// Store is the durable job state shared by replicas under one directory.
+// All methods are safe for concurrent use by multiple goroutines and
+// multiple processes.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex // per-key append serialization in-process
+}
+
+// Open creates (if needed) and opens the store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("jobstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	return &Store{dir: dir, locks: make(map[string]*sync.Mutex)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key, suffix string) string {
+	return filepath.Join(s.dir, key+suffix)
+}
+
+func (s *Store) keyLock(key string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.locks[key]
+	if l == nil {
+		l = &sync.Mutex{}
+		s.locks[key] = l
+	}
+	return l
+}
+
+func checkKey(key string) error {
+	if !keyPattern.MatchString(key) {
+		return fmt.Errorf("jobstore: key %q is not a content address", key)
+	}
+	return nil
+}
+
+// ---- journal framing ----
+
+var frameMagic = []byte("TMJ1")
+
+const frameHeader = 4 + 4 + 4 // magic + length + CRC32
+
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	copy(hdr[:4], frameMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// parseFrames walks raw and returns the decoded payloads plus the byte
+// offset of the first corrupt or torn frame (== len(raw) when the whole
+// file parsed).
+func parseFrames(raw []byte) (payloads [][]byte, goodEnd int) {
+	off := 0
+	for off+frameHeader <= len(raw) {
+		if string(raw[off:off+4]) != string(frameMagic) {
+			return payloads, off
+		}
+		n := int(binary.BigEndian.Uint32(raw[off+4 : off+8]))
+		if n < 0 || off+frameHeader+n > len(raw) {
+			return payloads, off
+		}
+		payload := raw[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[off+8:off+12]) {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + n
+	}
+	return payloads, off
+}
+
+// Create opens a fresh journal for key with the submitted record, via
+// atomic rename: the journal appears whole or not at all, and an existing
+// journal (a resubmission after a terminal failure) is replaced. The file
+// and directory are fsynced before rename so the record survives a crash.
+func (s *Store) Create(key string, rec Record) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding record: %w", err)
+	}
+	lock := s.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	framed := appendFrame(nil, payload)
+	tmp, err := os.CreateTemp(s.dir, "journal-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key, journalSuffix)); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// Append adds one record to key's journal. syncDisk fsyncs the write —
+// required for lifecycle transitions (started, retrying, terminal), while
+// point records skip it: losing the unsynced tail of a point log costs a
+// re-simulation of cached points, not correctness, and the submit/stream
+// hot path must not eat an fsync per point.
+func (s *Store) Append(key string, rec Record, syncDisk bool) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding record: %w", err)
+	}
+	lock := s.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	f, err := os.OpenFile(s.path(key, journalSuffix), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(appendFrame(nil, payload)); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if syncDisk {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("jobstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// Job replays key's journal. ok is false when no journal exists. A corrupt
+// tail is truncated off the file (best-effort) and flagged in the info, so
+// one torn append can never wedge replay forever.
+func (s *Store) Job(key string, withPoints bool) (JobInfo, bool, error) {
+	if err := checkKey(key); err != nil {
+		return JobInfo{}, false, err
+	}
+	lock := s.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	return s.replayLocked(key, withPoints)
+}
+
+func (s *Store) replayLocked(key string, withPoints bool) (JobInfo, bool, error) {
+	p := s.path(key, journalSuffix)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return JobInfo{}, false, nil
+		}
+		return JobInfo{}, false, fmt.Errorf("jobstore: %w", err)
+	}
+	payloads, goodEnd := parseFrames(raw)
+	info := JobInfo{Key: key, State: "queued"}
+	if goodEnd < len(raw) {
+		info.Truncated = true
+		// Cut the torn tail so later appends extend a valid journal
+		// instead of burying records behind garbage.
+		_ = os.Truncate(p, int64(goodEnd))
+	}
+	if len(payloads) == 0 {
+		return JobInfo{}, false, fmt.Errorf("jobstore: journal for %s has no valid records", key)
+	}
+	for _, payload := range payloads {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			continue // frame intact but payload unintelligible: skip it
+		}
+		if info.Terminal() {
+			break // first terminal record wins; ignore a stale fence's tail
+		}
+		if rec.Time.After(info.Updated) {
+			info.Updated = rec.Time
+		}
+		switch rec.Kind {
+		case RecordSubmitted:
+			info.ID, info.Client, info.Spec, info.Created = rec.ID, rec.Client, rec.Spec, rec.Time
+		case RecordStarted:
+			info.State = "running"
+			info.Owner, info.Fence = rec.Owner, rec.Fence
+			if rec.Attempt > info.Attempts {
+				info.Attempts = rec.Attempt
+			}
+			info.Points, info.PointCount = nil, 0 // a new attempt restreams
+			info.Error, info.Class = "", ""
+		case RecordPoint:
+			info.PointCount++
+			if withPoints {
+				info.Points = append(info.Points, rec.Point)
+			}
+		case RecordRetrying:
+			info.State = "retrying"
+			info.Error, info.Class = rec.Error, rec.Class
+		case RecordTerminal:
+			info.State = rec.State
+			info.Error, info.Class = rec.Error, rec.Class
+			if rec.Attempt > info.Attempts {
+				info.Attempts = rec.Attempt
+			}
+		}
+	}
+	return info, true, nil
+}
+
+// Records returns key's journal verbatim — every intact record in append
+// order, a corrupt tail silently excluded, nothing replayed or collapsed.
+// It is the inspection API the crash harness uses to assert exactly-once
+// properties (one terminal record, monotone fencing tokens) that JobInfo's
+// replayed summary cannot express. ok is false when no journal exists.
+func (s *Store) Records(key string) (recs []Record, ok bool, err error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	lock := s.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	raw, err := os.ReadFile(s.path(key, journalSuffix))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("jobstore: %w", err)
+	}
+	payloads, _ := parseFrames(raw)
+	for _, payload := range payloads {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, true, nil
+}
+
+// List replays every journal in the store, sorted by creation time then
+// key for a stable order. Unreadable journals are skipped — a listing must
+// not fail because one job's file is torn.
+func (s *Store) List(withPoints bool) ([]JobInfo, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var out []JobInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != journalSuffix {
+			continue
+		}
+		key := name[:len(name)-len(journalSuffix)]
+		if !keyPattern.MatchString(key) {
+			continue
+		}
+		info, ok, err := s.Job(key, withPoints)
+		if err != nil || !ok {
+			continue
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, nil
+}
+
+// ByID finds the job whose submitted record carries id. It scans the
+// store; id lookups are the cold path (a client polling a pre-restart job
+// URL), key lookups the hot one.
+func (s *Store) ByID(id string) (JobInfo, bool, error) {
+	if id == "" {
+		return JobInfo{}, false, nil
+	}
+	infos, err := s.List(false)
+	if err != nil {
+		return JobInfo{}, false, err
+	}
+	for _, info := range infos {
+		if info.ID == id {
+			return info, true, nil
+		}
+	}
+	return JobInfo{}, false, nil
+}
+
+// ---- leases ----
+
+// leaseFile is the on-disk lease encoding.
+type leaseFile struct {
+	Owner   string `json:"owner"`
+	Gen     uint64 `json:"gen"`
+	Expires int64  `json:"expires_unix_nano"`
+}
+
+// withClaimLock serializes lease transitions for key across processes via
+// an O_EXCL lockfile, breaking locks left by crashed claimers.
+func (s *Store) withClaimLock(key string, fn func() error) error {
+	lockPath := s.path(key, claimSuffix)
+	deadline := time.Now().Add(claimWait)
+	for {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			break
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("jobstore: claim lock: %w", err)
+		}
+		if fi, serr := os.Stat(lockPath); serr == nil && time.Since(fi.ModTime()) > staleClaimAfter {
+			os.Remove(lockPath) // stale: its creator died mid-claim
+			continue
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("jobstore: claim lock for %s busy", key)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer os.Remove(lockPath)
+	return fn()
+}
+
+func (s *Store) readLease(key string) (leaseFile, bool, error) {
+	raw, err := os.ReadFile(s.path(key, leaseSuffix))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return leaseFile{}, false, nil
+		}
+		return leaseFile{}, false, fmt.Errorf("jobstore: %w", err)
+	}
+	var lf leaseFile
+	if err := json.Unmarshal(raw, &lf); err != nil {
+		// A torn lease file cannot happen via the rename path, but treat
+		// garbage as absent rather than wedging the job forever.
+		return leaseFile{}, false, nil
+	}
+	return lf, true, nil
+}
+
+func (s *Store) writeLease(key string, lf leaseFile) error {
+	raw, err := json.Marshal(lf)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "lease-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key, leaseSuffix)); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	return nil
+}
+
+// Claim takes key's lease for owner with the given TTL. It succeeds when
+// no lease exists, the existing lease has expired, or owner already holds
+// it (re-claiming extends and re-fences). The returned generation is
+// strictly greater than every earlier owner's — the fencing token.
+// prevOwner names who held the lease before (empty for a fresh claim), so
+// callers can tell a first claim from a takeover. A live lease held by
+// someone else returns *HeldError.
+func (s *Store) Claim(key, owner string, ttl time.Duration) (lease Lease, prevOwner string, err error) {
+	if err := checkKey(key); err != nil {
+		return Lease{}, "", err
+	}
+	err = s.withClaimLock(key, func() error {
+		lf, ok, err := s.readLease(key)
+		if err != nil {
+			return err
+		}
+		if ok {
+			prevOwner = lf.Owner
+			if lf.Owner != owner && time.Now().UnixNano() < lf.Expires {
+				return &HeldError{Owner: lf.Owner, Expires: time.Unix(0, lf.Expires)}
+			}
+		}
+		next := leaseFile{Owner: owner, Gen: lf.Gen + 1, Expires: time.Now().Add(ttl).UnixNano()}
+		if err := s.writeLease(key, next); err != nil {
+			return err
+		}
+		lease = Lease{Key: key, Owner: owner, Gen: next.Gen, Expires: time.Unix(0, next.Expires)}
+		return nil
+	})
+	if err != nil {
+		return Lease{}, "", err
+	}
+	return lease, prevOwner, nil
+}
+
+// Renew extends l by ttl, updating l.Expires in place. ErrLost means a
+// peer claimed the lease after it expired: the caller no longer owns the
+// job and must not write its terminal record.
+func (s *Store) Renew(l *Lease, ttl time.Duration) error {
+	if err := checkKey(l.Key); err != nil {
+		return err
+	}
+	return s.withClaimLock(l.Key, func() error {
+		lf, ok, err := s.readLease(l.Key)
+		if err != nil {
+			return err
+		}
+		if !ok || lf.Owner != l.Owner || lf.Gen != l.Gen {
+			return ErrLost
+		}
+		lf.Expires = time.Now().Add(ttl).UnixNano()
+		if err := s.writeLease(l.Key, lf); err != nil {
+			return err
+		}
+		l.Expires = time.Unix(0, lf.Expires)
+		return nil
+	})
+}
+
+// Release drops l if (and only if) it is still ours; releasing a lost
+// lease is a harmless no-op.
+func (s *Store) Release(l Lease) error {
+	if err := checkKey(l.Key); err != nil {
+		return err
+	}
+	return s.withClaimLock(l.Key, func() error {
+		lf, ok, err := s.readLease(l.Key)
+		if err != nil {
+			return err
+		}
+		if !ok || lf.Owner != l.Owner || lf.Gen != l.Gen {
+			return nil
+		}
+		return os.Remove(s.path(l.Key, leaseSuffix))
+	})
+}
+
+// Check reports whether l is still the live lease — owner and generation
+// both match. It is the fencing gate a finishing attempt passes before
+// writing its terminal record: a revived owner whose lease was stolen sees
+// false here and stands down.
+func (s *Store) Check(l Lease) bool {
+	lf, ok, err := s.readLease(l.Key)
+	if err != nil || !ok {
+		return false
+	}
+	return lf.Owner == l.Owner && lf.Gen == l.Gen
+}
+
+// Holder returns key's current lease, expired or not; ok is false when no
+// lease file exists. The caller decides what expiry means (the sweeper
+// treats an expired holder as a dead replica).
+func (s *Store) Holder(key string) (Lease, bool, error) {
+	if err := checkKey(key); err != nil {
+		return Lease{}, false, err
+	}
+	lf, ok, err := s.readLease(key)
+	if err != nil || !ok {
+		return Lease{}, false, err
+	}
+	return Lease{Key: key, Owner: lf.Owner, Gen: lf.Gen, Expires: time.Unix(0, lf.Expires)}, true, nil
+}
+
+// Expired reports whether l's TTL has passed.
+func (l Lease) Expired() bool { return time.Now().After(l.Expires) }
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Filesystems that refuse to sync directories (some CI tmpfs mounts) are
+// tolerated: the rename itself is still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,362 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testKey = "a1b2c3d4e5f60718293a4b5c6d7e8f901234567890abcdef1234567890abcdef"
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustCreate(t *testing.T, s *Store, key, id string) {
+	t.Helper()
+	rec := Record{
+		Kind: RecordSubmitted, Time: time.Now(), ID: id, Client: "c1",
+		Spec: json.RawMessage(`{"figures":["figure13"]}`),
+	}
+	if err := s.Create(key, rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalLifecycleReplay(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, testKey, "job-a-1")
+	appendRec := func(rec Record, sync bool) {
+		t.Helper()
+		if err := s.Append(testKey, rec, sync); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRec(Record{Kind: RecordStarted, Time: time.Now(), Owner: "a", Fence: 1, Attempt: 1}, true)
+	appendRec(Record{Kind: RecordPoint, Time: time.Now(), Point: json.RawMessage(`{"figure":"figure13","rate":0.01}`)}, false)
+	appendRec(Record{Kind: RecordPoint, Time: time.Now(), Point: json.RawMessage(`{"figure":"figure13","rate":0.05}`)}, false)
+	appendRec(Record{Kind: RecordRetrying, Time: time.Now(), Error: "disk glitch", Class: "transient"}, true)
+	appendRec(Record{Kind: RecordStarted, Time: time.Now(), Owner: "b", Fence: 2, Attempt: 2}, true)
+	appendRec(Record{Kind: RecordPoint, Time: time.Now(), Point: json.RawMessage(`{"figure":"figure13","rate":0.01}`)}, false)
+
+	info, ok, err := s.Job(testKey, true)
+	if err != nil || !ok {
+		t.Fatalf("Job = %v, %v", ok, err)
+	}
+	if info.ID != "job-a-1" || info.Client != "c1" {
+		t.Fatalf("identity = %q/%q", info.ID, info.Client)
+	}
+	if info.State != "running" || info.Owner != "b" || info.Fence != 2 || info.Attempts != 2 {
+		t.Fatalf("state = %q owner=%q fence=%d attempts=%d", info.State, info.Owner, info.Fence, info.Attempts)
+	}
+	// A new attempt resets the point log: only attempt 2's point remains.
+	if info.PointCount != 1 || len(info.Points) != 1 {
+		t.Fatalf("points = %d/%d, want 1/1", info.PointCount, len(info.Points))
+	}
+	if info.Error != "" || info.Class != "" {
+		t.Fatalf("started record should clear error, got %q/%q", info.Error, info.Class)
+	}
+
+	appendRec(Record{Kind: RecordTerminal, Time: time.Now(), State: "done", Attempt: 2}, true)
+	// Records after the first terminal are ignored — a stale fence cannot
+	// rewrite history.
+	appendRec(Record{Kind: RecordTerminal, Time: time.Now(), State: "failed", Error: "late duplicate"}, true)
+	info, _, err = s.Job(testKey, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "done" || info.Error != "" {
+		t.Fatalf("after terminal: state=%q err=%q, want done with no error", info.State, info.Error)
+	}
+	if !info.Terminal() {
+		t.Fatal("Terminal() = false for done")
+	}
+}
+
+func TestJournalCorruptTailTruncated(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, testKey, "job-a-1")
+	if err := s.Append(testKey, Record{Kind: RecordStarted, Time: time.Now(), Owner: "a", Fence: 1, Attempt: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(testKey, journalSuffix)
+	clean, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: half a frame of garbage at the tail.
+	if err := os.WriteFile(p, append(append([]byte(nil), clean...), []byte("TMJ1\x00\x00\x00\xffgarbage")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, ok, err := s.Job(testKey, false)
+	if err != nil || !ok {
+		t.Fatalf("Job = %v, %v", ok, err)
+	}
+	if !info.Truncated {
+		t.Fatal("corrupt tail not reported")
+	}
+	if info.State != "running" || info.Attempts != 1 {
+		t.Fatalf("replay after truncation: state=%q attempts=%d", info.State, info.Attempts)
+	}
+	// The tail was cut off the file, so the journal is appendable again
+	// and replays clean.
+	if raw, _ := os.ReadFile(p); len(raw) != len(clean) {
+		t.Fatalf("file length %d after truncation, want %d", len(raw), len(clean))
+	}
+	if err := s.Append(testKey, Record{Kind: RecordTerminal, Time: time.Now(), State: "done"}, true); err != nil {
+		t.Fatal(err)
+	}
+	info, _, _ = s.Job(testKey, false)
+	if info.State != "done" || info.Truncated {
+		t.Fatalf("after repair: state=%q truncated=%v", info.State, info.Truncated)
+	}
+}
+
+func TestJournalBitFlipDetected(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, testKey, "job-a-1")
+	if err := s.Append(testKey, Record{Kind: RecordStarted, Time: time.Now(), Owner: "a", Fence: 1, Attempt: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(testKey, journalSuffix)
+	raw, _ := os.ReadFile(p)
+	raw[len(raw)-3] ^= 0x40 // flip a bit inside the last record's payload
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, ok, err := s.Job(testKey, false)
+	if err != nil || !ok {
+		t.Fatalf("Job = %v, %v", ok, err)
+	}
+	// The CRC catches the flip; replay keeps the intact prefix only.
+	if !info.Truncated || info.State != "queued" {
+		t.Fatalf("truncated=%v state=%q, want truncated queued", info.Truncated, info.State)
+	}
+}
+
+func TestJournalAllRecordsCorruptErrors(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, testKey, "job-a-1")
+	p := s.path(testKey, journalSuffix)
+	if err := os.WriteFile(p, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Job(testKey, false); err == nil {
+		t.Fatal("fully-corrupt journal replayed without error")
+	}
+}
+
+func TestCreateReplacesTerminalJournal(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, testKey, "job-a-1")
+	if err := s.Append(testKey, Record{Kind: RecordTerminal, Time: time.Now(), State: "failed", Error: "boom"}, true); err != nil {
+		t.Fatal(err)
+	}
+	// A resubmission after terminal failure starts a fresh journal.
+	mustCreate(t, s, testKey, "job-a-2")
+	info, _, err := s.Job(testKey, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "job-a-2" || info.State != "queued" || info.Error != "" {
+		t.Fatalf("after recreate: %+v", info)
+	}
+}
+
+func TestLeaseClaimRenewReleaseFencing(t *testing.T) {
+	s := newStore(t)
+	l1, prev, err := s.Claim(testKey, "alpha", time.Minute)
+	if err != nil || prev != "" {
+		t.Fatalf("fresh claim: prev=%q err=%v", prev, err)
+	}
+	if l1.Gen != 1 || l1.Owner != "alpha" {
+		t.Fatalf("lease = %+v", l1)
+	}
+	// Held by alpha: beta is refused with the holder's identity.
+	if _, _, err := s.Claim(testKey, "beta", time.Minute); err == nil {
+		t.Fatal("claim of a live lease succeeded")
+	} else {
+		var held *HeldError
+		if !errors.As(err, &held) || held.Owner != "alpha" {
+			t.Fatalf("err = %v, want HeldError{alpha}", err)
+		}
+	}
+	// Alpha re-claims its own live lease: allowed, generation advances.
+	l1b, prev, err := s.Claim(testKey, "alpha", time.Minute)
+	if err != nil || prev != "alpha" || l1b.Gen != 2 {
+		t.Fatalf("re-claim: lease=%+v prev=%q err=%v", l1b, prev, err)
+	}
+	if !s.Check(l1b) || s.Check(l1) {
+		t.Fatal("Check should accept the live generation and reject the stale one")
+	}
+	if err := s.Renew(&l1b, time.Minute); err != nil {
+		t.Fatalf("renew live lease: %v", err)
+	}
+	// Renewing the superseded generation is a lost lease.
+	if err := s.Renew(&l1, time.Minute); !errors.Is(err, ErrLost) {
+		t.Fatalf("renew stale lease: %v, want ErrLost", err)
+	}
+	// Release of a stale lease is a no-op; the live one removes the file.
+	if err := s.Release(l1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Check(l1b) {
+		t.Fatal("stale release removed the live lease")
+	}
+	if err := s.Release(l1b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Holder(testKey); ok {
+		t.Fatal("lease file survived release")
+	}
+}
+
+func TestLeaseExpiryAllowsTakeover(t *testing.T) {
+	s := newStore(t)
+	l1, _, err := s.Claim(testKey, "alpha", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !l1.Expired() {
+		t.Fatal("lease did not expire")
+	}
+	l2, prev, err := s.Claim(testKey, "beta", time.Minute)
+	if err != nil {
+		t.Fatalf("takeover of expired lease: %v", err)
+	}
+	if prev != "alpha" || l2.Gen != l1.Gen+1 {
+		t.Fatalf("takeover: prev=%q gen=%d (was %d)", prev, l2.Gen, l1.Gen)
+	}
+	// The fencing gate: alpha revives, discovers it lost, must stand down.
+	if s.Check(l1) {
+		t.Fatal("stale owner still passes Check after takeover")
+	}
+	if err := s.Renew(&l1, time.Minute); !errors.Is(err, ErrLost) {
+		t.Fatalf("stale renew: %v, want ErrLost", err)
+	}
+}
+
+func TestConcurrentClaimsSingleWinner(t *testing.T) {
+	s := newStore(t)
+	const claimers = 8
+	var wg sync.WaitGroup
+	wins := make(chan Lease, claimers)
+	for i := 0; i < claimers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if l, _, err := s.Claim(testKey, fmt.Sprintf("replica-%d", i), time.Minute); err == nil {
+				wins <- l
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []Lease
+	for l := range wins {
+		winners = append(winners, l)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d claimers won a fresh lease, want exactly 1: %+v", len(winners), winners)
+	}
+	holder, ok, err := s.Holder(testKey)
+	if err != nil || !ok {
+		t.Fatalf("Holder = %v, %v", ok, err)
+	}
+	if holder.Owner != winners[0].Owner || holder.Gen != winners[0].Gen {
+		t.Fatalf("holder %+v != winner %+v", holder, winners[0])
+	}
+}
+
+func TestStaleClaimLockBroken(t *testing.T) {
+	s := newStore(t)
+	lockPath := s.path(testKey, claimSuffix)
+	if err := os.WriteFile(lockPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(lockPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed claimer's stale lock must not wedge the job forever.
+	if _, _, err := s.Claim(testKey, "alpha", time.Minute); err != nil {
+		t.Fatalf("claim behind stale lock: %v", err)
+	}
+}
+
+func TestListAndByID(t *testing.T) {
+	s := newStore(t)
+	keys := []string{
+		"aaaa567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef",
+		"bbbb567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef",
+	}
+	base := time.Now()
+	for i, k := range keys {
+		rec := Record{Kind: RecordSubmitted, Time: base.Add(time.Duration(i) * time.Second), ID: fmt.Sprintf("job-a-%d", i+1), Spec: json.RawMessage(`{}`)}
+		if err := s.Create(k, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray torn journal must not break the listing.
+	if err := os.WriteFile(s.path("cccc567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef", journalSuffix), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s.List(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Key != keys[0] || infos[1].Key != keys[1] {
+		t.Fatalf("List = %+v", infos)
+	}
+	info, ok, err := s.ByID("job-a-2")
+	if err != nil || !ok || info.Key != keys[1] {
+		t.Fatalf("ByID = %+v, %v, %v", info, ok, err)
+	}
+	if _, ok, _ := s.ByID("job-x-9"); ok {
+		t.Fatal("ByID matched a nonexistent id")
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s := newStore(t)
+	for _, bad := range []string{"", "../escape", "a/b", "x"} {
+		if err := s.Create(bad, Record{Kind: RecordSubmitted}); err == nil {
+			t.Fatalf("Create(%q) accepted a non-content-address key", bad)
+		}
+		if _, _, err := s.Claim(bad, "a", time.Minute); err == nil {
+			t.Fatalf("Claim(%q) accepted a non-content-address key", bad)
+		}
+	}
+}
+
+// BenchmarkJournalAppend pins the per-point journal append — the write
+// that rides the streaming hot path (no fsync; lifecycle records fsync,
+// points do not). BENCH_baseline.json holds its absolute ceiling so
+// durability cannot regress the submit/stream path by stealth.
+func BenchmarkJournalAppend(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Create(testKey, Record{Kind: RecordSubmitted, Time: time.Now(), ID: "job-b-1", Spec: json.RawMessage(`{"figures":["figure13"]}`)}); err != nil {
+		b.Fatal(err)
+	}
+	point := json.RawMessage(`{"kind":"figure","figure":"figure13","algorithm":"xy","rate_index":0,"rate":0.01,"seed":42,"wall_ms":1.5,"done":1,"total":4}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(testKey, Record{Kind: RecordPoint, Time: time.Unix(0, int64(i)), Point: point}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package chaostest
+
+// Crash chaos: real turnserved replica subprocesses sharing one cache
+// directory get SIGKILLed mid-job and mid-SSE-stream, and the harness
+// asserts the durability contract — a surviving or restarted replica
+// finishes every accepted job exactly once (one terminal record, strictly
+// monotone fencing tokens), terminal states are conserved, reports come
+// back byte-identical to an uncrashed in-process control run, and no lease
+// is left held when the fleet goes quiet.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"turnmodel/internal/jobstore"
+	"turnmodel/internal/serve"
+)
+
+const (
+	crashSpecs    = 5
+	crashLeaseTTL = 400 * time.Millisecond
+)
+
+// crashSpec is a 4-point job sized so each point simulates for tens of
+// milliseconds: a SIGKILL fired after the first streamed point reliably
+// lands mid-job, with the rest of the fleet still queued behind the
+// single worker.
+func crashSpec(n int) serve.JobSpec {
+	return serve.JobSpec{
+		Figures:       []string{"figure13"},
+		Rates:         []float64{0.01, 0.02, 0.03, 0.04},
+		Algorithms:    []string{"xy"},
+		WarmupCycles:  1000,
+		MeasureCycles: 30000,
+		Seed:          int64(n + 1),
+		Jobs:          1,
+	}
+}
+
+var (
+	crashBinOnce sync.Once
+	crashBinPath string
+	crashBinErr  error
+)
+
+// turnservedBinary builds the real daemon once per test run: crash
+// tolerance is only proven against a process the kernel can SIGKILL, not
+// an in-process server.
+func turnservedBinary(t *testing.T) string {
+	t.Helper()
+	crashBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "turnserved-crash-")
+		if err != nil {
+			crashBinErr = err
+			return
+		}
+		crashBinPath = filepath.Join(dir, "turnserved")
+		cmd := exec.Command("go", "build", "-o", crashBinPath, "turnmodel/cmd/turnserved")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			crashBinErr = fmt.Errorf("building turnserved: %v\n%s", err, out)
+		}
+	})
+	if crashBinErr != nil {
+		t.Fatal(crashBinErr)
+	}
+	return crashBinPath
+}
+
+// replica is one turnserved subprocess.
+type replica struct {
+	id      string
+	url     string
+	cmd     *exec.Cmd
+	done    chan struct{} // closed once Wait returns
+	exitErr error
+}
+
+// startReplica launches a replica against the shared cache directory and
+// waits for its listen address. The lease TTL is short so takeover after a
+// kill happens within the test's patience.
+func startReplica(t *testing.T, bin, cacheDir, id string) *replica {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cachedir", cacheDir,
+		"-replica-id", id,
+		"-lease-ttl", crashLeaseTTL.String(),
+		"-jobs", "1",
+		"-workers", "1",
+		"-janitor", "100ms",
+		"-drain", "10s",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := &replica{id: id, cmd: cmd, done: make(chan struct{})}
+	go func() { r.exitErr = cmd.Wait(); close(r.done) }()
+	t.Cleanup(func() { r.stop(t) })
+
+	urlc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				urlc <- strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+	}()
+	select {
+	case r.url = <-urlc:
+	case <-r.done:
+		t.Fatalf("replica %s exited before listening: %v", id, r.exitErr)
+	case <-time.After(30 * time.Second):
+		t.Fatalf("replica %s never reported its address", id)
+	}
+	return r
+}
+
+// kill SIGKILLs the replica — no drain, no cleanup, the crash under test.
+func (r *replica) kill(t *testing.T) {
+	t.Helper()
+	if err := r.cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing replica %s: %v", r.id, err)
+	}
+	<-r.done
+}
+
+// stop is the polite end-of-test teardown for replicas still running.
+func (r *replica) stop(t *testing.T) {
+	select {
+	case <-r.done:
+		return // already gone (killed, or stopped earlier)
+	default:
+	}
+	_ = r.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-r.done:
+	case <-time.After(30 * time.Second):
+		_ = r.cmd.Process.Kill()
+		<-r.done
+		t.Errorf("replica %s did not drain on SIGTERM", r.id)
+	}
+}
+
+// firstPoint attaches to the job's SSE stream and returns once the first
+// point event arrives, keeping the connection open — the stream the kill
+// then severs.
+func firstPoint(t *testing.T, url, id string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: point") {
+			return resp
+		}
+	}
+	t.Fatalf("stream for %s ended before the first point", id)
+	return nil
+}
+
+// waitTerminal polls the shared journal until every key is terminal, and
+// fails if any settles in a state other than want.
+func waitTerminal(t *testing.T, js *jobstore.Store, keys []string, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		for _, key := range keys {
+			info, ok, err := js.Job(key, false)
+			if err != nil {
+				t.Fatalf("journal for %s: %v", key, err)
+			}
+			if !ok || !info.Terminal() {
+				pending++
+				continue
+			}
+			if info.State != want {
+				t.Fatalf("job %s settled as %q (%s), want %q", key, info.State, info.Error, want)
+			}
+		}
+		if pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d jobs still non-terminal after %v", pending, timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// assertCrashInvariants checks the post-crash journal contract for one
+// job: exactly one terminal record, strictly increasing fencing tokens
+// across started records (never two owners writing under the same fence),
+// and no lease left held.
+func assertCrashInvariants(t *testing.T, js *jobstore.Store, key string) {
+	t.Helper()
+	recs, ok, err := js.Records(key)
+	if err != nil || !ok {
+		t.Fatalf("records for %s: ok=%v err=%v", key, ok, err)
+	}
+	terminals := 0
+	var lastFence uint64
+	owners := map[uint64]string{}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case jobstore.RecordTerminal:
+			terminals++
+		case jobstore.RecordStarted:
+			if rec.Fence <= lastFence {
+				t.Errorf("%s: started fence %d not above previous %d", key, rec.Fence, lastFence)
+			}
+			if prev, seen := owners[rec.Fence]; seen && prev != rec.Owner {
+				t.Errorf("%s: fence %d used by both %q and %q", key, rec.Fence, prev, rec.Owner)
+			}
+			owners[rec.Fence] = rec.Owner
+			lastFence = rec.Fence
+		}
+	}
+	if terminals != 1 {
+		t.Errorf("%s: %d terminal records, want exactly 1", key, terminals)
+	}
+	if holder, held, _ := js.Holder(key); held {
+		t.Errorf("%s: lease still held by %q after completion", key, holder.Owner)
+	}
+}
+
+// nonTerminal counts jobs the dead replica left unfinished. Called right
+// after a kill (the journal is frozen until a survivor's lease sweep
+// fires), it pins down exactly how many jobs the recovery machinery must
+// adopt — timing decides how far the victim got, the journal records it.
+func nonTerminal(t *testing.T, js *jobstore.Store, keys []string) int64 {
+	t.Helper()
+	var n int64
+	for _, key := range keys {
+		info, ok, err := js.Job(key, false)
+		if err != nil {
+			t.Fatalf("journal for %s: %v", key, err)
+		}
+		if !ok || !info.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// fetchReport GETs a job's report from a replica.
+func fetchReport(t *testing.T, url, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report %s = %d: %s", id, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// crashFixture prepares the shared directory, the specs, their control
+// reports (from an uncrashed in-process run) and the journal handle.
+type crashFixture struct {
+	cacheDir string
+	js       *jobstore.Store
+	specs    []serve.JobSpec
+	keys     []string
+	control  map[string][]byte
+}
+
+func newCrashFixture(t *testing.T) *crashFixture {
+	t.Helper()
+	f := &crashFixture{cacheDir: t.TempDir()}
+	f.specs = make([]serve.JobSpec, crashSpecs)
+	f.keys = make([]string, crashSpecs)
+	for i := range f.specs {
+		f.specs[i] = crashSpec(i)
+		k, err := f.specs[i].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.keys[i] = k
+	}
+	f.control = controlReports(t, f.specs)
+	js, err := jobstore.Open(filepath.Join(f.cacheDir, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.js = js
+	return f
+}
+
+// submitAll queues every spec on one replica and returns the job IDs.
+func (f *crashFixture) submitAll(t *testing.T, url string) []string {
+	t.Helper()
+	ids := make([]string, len(f.specs))
+	for i, spec := range f.specs {
+		ids[i] = submitUntilAccepted(t, url, "crash-client", spec)
+	}
+	return ids
+}
+
+// checkAll verifies every job's journal invariants and that the report a
+// replica serves is byte-identical to the uncrashed control (modulo the
+// embedded wall-clock timings).
+func (f *crashFixture) checkAll(t *testing.T, url string) {
+	t.Helper()
+	for i, key := range f.keys {
+		assertCrashInvariants(t, f.js, key)
+		info, ok, err := f.js.Job(key, false)
+		if err != nil || !ok {
+			t.Fatalf("journal for %s: ok=%v err=%v", key, ok, err)
+		}
+		got := fetchReport(t, url, info.ID)
+		if !bytes.Equal(stripWall(got), stripWall(f.control[key])) {
+			t.Errorf("job %d report differs from uncrashed control", i)
+		}
+	}
+}
+
+// replicaStats fetches a replica's scheduler stats.
+func replicaStats(t *testing.T, url string) serve.SchedulerStats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Scheduler serve.SchedulerStats `json:"scheduler"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Scheduler
+}
+
+// TestCrashPeerTakeover SIGKILLs replica A mid-job and mid-SSE-stream
+// while replica B shares its cache directory: B must steal the expired
+// leases, finish every accepted job exactly once, and serve both the
+// replayed stream and control-identical reports for jobs it never
+// accepted itself.
+func TestCrashPeerTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash chaos is a long test")
+	}
+	bin := turnservedBinary(t)
+	f := newCrashFixture(t)
+
+	a := startReplica(t, bin, f.cacheDir, "rep-a")
+	b := startReplica(t, bin, f.cacheDir, "rep-b")
+
+	ids := f.submitAll(t, a.url)
+	// Attach a stream and crash A strictly mid-job, mid-stream: after the
+	// first point of the first job, with the rest still queued behind the
+	// single worker.
+	stream := firstPoint(t, a.url, ids[0])
+	a.kill(t)
+	io.Copy(io.Discard, stream.Body) // the severed stream just ends
+	stream.Body.Close()
+	orphans := nonTerminal(t, f.js, f.keys)
+	if orphans == 0 {
+		t.Fatal("replica A finished everything before the kill; the crash proved nothing")
+	}
+
+	// B's sweep adopts each orphan once A's leases expire.
+	waitTerminal(t, f.js, f.keys, "done", 60*time.Second)
+	f.checkAll(t, b.url)
+
+	// The client that lost its stream catches up from the survivor: the
+	// full point replay and a done event, under the same job ID.
+	resp, err := http.Get(b.url + "/v1/jobs/" + ids[0] + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay stream = %d", resp.StatusCode)
+	}
+	if got := bytes.Count(body, []byte("event: point")); got != 4 {
+		t.Errorf("replayed stream has %d points, want 4", got)
+	}
+	if !bytes.Contains(body, []byte("event: done")) {
+		t.Error("replayed stream missing done event")
+	}
+
+	stats := replicaStats(t, b.url)
+	if stats.Replica != "rep-b" || !stats.Durable {
+		t.Errorf("stats identity = %q durable=%v", stats.Replica, stats.Durable)
+	}
+	if stats.Requeued != orphans || stats.LeasesStolen != orphans {
+		t.Errorf("requeued/stolen = %d/%d, want %d/%d (jobs left unfinished by the kill)",
+			stats.Requeued, stats.LeasesStolen, orphans, orphans)
+	}
+}
+
+// TestCrashRestartRecovery SIGKILLs a lone replica mid-job and restarts it
+// under the same identity: the startup recovery scan must requeue and
+// finish everything the dead process had accepted.
+func TestCrashRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash chaos is a long test")
+	}
+	bin := turnservedBinary(t)
+	f := newCrashFixture(t)
+
+	a := startReplica(t, bin, f.cacheDir, "rep-a")
+	ids := f.submitAll(t, a.url)
+	stream := firstPoint(t, a.url, ids[0])
+	a.kill(t)
+	io.Copy(io.Discard, stream.Body)
+	stream.Body.Close()
+	orphans := nonTerminal(t, f.js, f.keys)
+	if orphans == 0 {
+		t.Fatal("replica finished everything before the kill; the crash proved nothing")
+	}
+
+	a2 := startReplica(t, bin, f.cacheDir, "rep-a")
+	waitTerminal(t, f.js, f.keys, "done", 60*time.Second)
+	f.checkAll(t, a2.url)
+
+	stats := replicaStats(t, a2.url)
+	if stats.Recovered != orphans {
+		t.Errorf("recovered = %d, want %d (jobs left unfinished by the kill)", stats.Recovered, orphans)
+	}
+	if stats.LeasesStolen != 0 {
+		t.Errorf("leases stolen = %d, want 0 (own leases are recovered, not stolen)", stats.LeasesStolen)
+	}
+
+	// The pre-crash job IDs keep resolving on the restarted process.
+	for _, id := range ids {
+		resp, err := http.Get(a2.url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || st.State != serve.StateDone {
+			t.Errorf("pre-crash job %s = %v state=%q, want done", id, err, st.State)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"turnmodel/internal/jobstore"
+	"turnmodel/internal/sim"
+)
+
+// This file is the durability layer: with Config.Store set, every job's
+// lifecycle is journaled in a jobstore shared by all replicas of one cache
+// directory, execution is guarded by per-job leases with generation
+// fencing, and two recovery paths — a startup scan and a periodic orphan
+// sweep — requeue any job whose owner died, preserving its attempts and
+// error-class history. Without a store, none of this code runs and the
+// server behaves exactly as before.
+
+// RemoteOwnedError reports a submission whose job is already being
+// executed by a live peer replica sharing the job store. The embedded
+// Status (built from the shared journal) lets callers follow the peer's
+// progress by ID.
+type RemoteOwnedError struct {
+	ID     string
+	Owner  string
+	Status Status
+}
+
+func (e *RemoteOwnedError) Error() string {
+	return fmt.Sprintf("serve: job %s is running on replica %q", e.ID, e.Owner)
+}
+
+// persistSubmitLocked claims the job's lease and journals (or adopts) it.
+// Caller holds s.mu. A live peer's job comes back as *RemoteOwnedError; an
+// expired peer's job is adopted with its history. On success j carries the
+// lease and, for adopted jobs, the journaled identity and history.
+func (s *Server) persistSubmitLocked(j *Job) error {
+	info, ok, _ := s.store.Job(j.key, true)
+	lease, prev, err := s.store.Claim(j.key, s.replicaID, s.leaseTTL)
+	if err != nil {
+		var held *jobstore.HeldError
+		if errors.As(err, &held) {
+			if ok && !info.Terminal() {
+				return &RemoteOwnedError{ID: info.ID, Owner: held.Owner, Status: s.infoStatus(info)}
+			}
+			// Lease without a live journal: a claim/create race; tell the
+			// client to retry rather than inventing a second journal.
+			return Transient(err)
+		}
+		return fmt.Errorf("serve: claiming job lease: %w", err)
+	}
+	j.lease = &lease
+	if ok && !info.Terminal() {
+		// A crashed owner's (or our own pre-restart) job resubmitted:
+		// adopt the journal — same fleet-wide identity, attempts and
+		// point history preserved — instead of starting a second one.
+		j.adoptInfo(info)
+		s.noteAdoption(prev)
+		return nil
+	}
+	specRaw, merr := json.Marshal(j.spec)
+	if merr != nil {
+		_ = s.store.Release(lease)
+		return fmt.Errorf("serve: encoding spec: %w", merr)
+	}
+	rec := jobstore.Record{
+		Kind: jobstore.RecordSubmitted, Time: s.clock(),
+		ID: j.id, Client: j.client, Spec: specRaw,
+	}
+	if err := s.store.Create(j.key, rec); err != nil {
+		_ = s.store.Release(lease)
+		return fmt.Errorf("serve: journaling job: %w", err)
+	}
+	return nil
+}
+
+// noteAdoption counts a non-terminal journal takeover: our own earlier
+// self (a restart) is a recovery, anyone else a requeue off a stolen
+// lease.
+func (s *Server) noteAdoption(prevOwner string) {
+	if prevOwner == "" || prevOwner == s.replicaID {
+		s.recoveredJobs.Add(1)
+		return
+	}
+	s.requeuedJobs.Add(1)
+	s.leasesStolen.Add(1)
+}
+
+// journalStarted fences and records one execution attempt.
+func (s *Server) journalStarted(j *Job, attempt int) {
+	lease := j.leaseRef()
+	if s.store == nil || lease == nil {
+		return
+	}
+	rec := jobstore.Record{
+		Kind: jobstore.RecordStarted, Time: s.clock(),
+		Owner: s.replicaID, Fence: lease.Gen, Attempt: attempt,
+	}
+	if err := s.store.Append(j.key, rec, true); err != nil {
+		log.Printf("serve: journaling start of %s: %v", j.id, err)
+	}
+}
+
+// journalPoint appends one streamed point, unsynced: losing the tail of a
+// point log to a crash costs replaying cached points, not correctness, and
+// the streaming hot path must not eat an fsync per point.
+func (s *Server) journalPoint(j *Job, ev sim.PointEvent) {
+	lease := j.leaseRef()
+	if s.store == nil || lease == nil {
+		return
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	rec := jobstore.Record{Kind: jobstore.RecordPoint, Time: s.clock(), Point: raw}
+	_ = s.store.Append(j.key, rec, false)
+}
+
+// journalRetrying records a transient failure awaiting backoff.
+func (s *Server) journalRetrying(j *Job, attempt int, cause error) {
+	lease := j.leaseRef()
+	if s.store == nil || lease == nil {
+		return
+	}
+	rec := jobstore.Record{
+		Kind: jobstore.RecordRetrying, Time: s.clock(),
+		Attempt: attempt, Error: cause.Error(), Class: string(ClassTransient),
+	}
+	if err := s.store.Append(j.key, rec, true); err != nil {
+		log.Printf("serve: journaling retry of %s: %v", j.id, err)
+	}
+}
+
+// journalFinish writes the job's terminal record and releases its lease —
+// but only through the fencing gate: if the lease was lost to a peer (we
+// stalled past the TTL and someone stole the job), the peer owns the
+// terminal state and this replica stands down without writing.
+func (s *Server) journalFinish(j *Job) {
+	lease := j.takeLease()
+	if s.store == nil || lease == nil {
+		return
+	}
+	if j.fenceWasLost() || !s.store.Check(*lease) {
+		s.fencingRejected.Add(1)
+		log.Printf("serve: lease for job %s (key %s) lost to a peer; suppressing terminal record", j.id, j.key)
+		return
+	}
+	st := j.Status()
+	rec := jobstore.Record{
+		Kind: jobstore.RecordTerminal, Time: s.clock(),
+		State: string(st.State), Error: st.Error, Class: string(st.ErrorClass),
+		Attempt: st.Attempts, Owner: s.replicaID, Fence: lease.Gen,
+	}
+	if err := s.store.Append(j.key, rec, true); err != nil {
+		log.Printf("serve: journaling terminal state of %s: %v", j.id, err)
+	}
+	_ = s.store.Release(*lease)
+}
+
+// settle finishes the job and, if this call won the terminal transition,
+// journals it. Every terminal path in the scheduler funnels through here
+// (or settleSpec), so the journal sees exactly one terminal record per
+// job lifetime.
+func (s *Server) settle(j *Job, state State, err error, art *artifact) {
+	if j.finish(state, err, art) {
+		s.journalFinish(j)
+	}
+}
+
+func (s *Server) settleSpec(j *Job, err error) {
+	if j.finishSpec(err) {
+		s.journalFinish(j)
+	}
+}
+
+// reconcileArchiveLocked closes out a journal whose job finished and
+// archived but crashed before the terminal record (the crash-after-archive
+// row of the recovery matrix): the archived report is the result, so the
+// journal just needs its terminal record. Caller holds s.mu; the job was
+// served from the archive.
+func (s *Server) reconcileArchiveLocked(j *Job) {
+	if s.store == nil {
+		return
+	}
+	info, ok, _ := s.store.Job(j.key, false)
+	if !ok || info.Terminal() {
+		return
+	}
+	lease, prev, err := s.store.Claim(j.key, s.replicaID, s.leaseTTL)
+	if err != nil {
+		return // a live peer is mid-run; its own fencing will settle it
+	}
+	rec := jobstore.Record{
+		Kind: jobstore.RecordTerminal, Time: s.clock(),
+		State: string(StateDone), Attempt: info.Attempts, Owner: s.replicaID, Fence: lease.Gen,
+	}
+	if err := s.store.Append(j.key, rec, true); err != nil {
+		log.Printf("serve: reconciling archived job %s: %v", j.id, err)
+	}
+	_ = s.store.Release(lease)
+	s.noteAdoption(prev)
+}
+
+// recoverJobs is the startup scan (-recover): every non-terminal journal
+// whose lease is expired, absent, or our own pre-restart self is claimed
+// and requeued, with attempts and point history restored.
+func (s *Server) recoverJobs() {
+	infos, err := s.store.List(false)
+	if err != nil {
+		log.Printf("serve: recovery scan: %v", err)
+		return
+	}
+	for _, info := range infos {
+		if !info.Terminal() {
+			s.tryAdopt(info.Key)
+		}
+	}
+}
+
+// sweepOrphans is the periodic recovery pass: any job whose owner stopped
+// renewing (SIGKILL, OOM, node loss) has its lease expire and gets
+// requeued here by a surviving replica.
+func (s *Server) sweepOrphans() {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return // a draining replica takes no new work
+	}
+	infos, err := s.store.List(false)
+	if err != nil {
+		return
+	}
+	for _, info := range infos {
+		if !info.Terminal() {
+			s.tryAdopt(info.Key)
+		}
+	}
+}
+
+// tryAdopt claims and requeues one journaled job, unless it is already
+// local, a live peer holds it, or the queue has no room (the next sweep
+// retries). Crash-after-archive jobs are closed out from the archive
+// without re-running.
+func (s *Server) tryAdopt(key string) {
+	s.mu.Lock()
+	_, local := s.byKey[key]
+	closed := s.closed
+	s.mu.Unlock()
+	if local || closed {
+		return
+	}
+	if holder, ok, _ := s.store.Holder(key); ok && !holder.Expired() && holder.Owner != s.replicaID {
+		return // a live peer owns it
+	}
+	info, ok, err := s.store.Job(key, true)
+	if err != nil || !ok || info.Terminal() {
+		return
+	}
+	lease, prev, err := s.store.Claim(key, s.replicaID, s.leaseTTL)
+	if err != nil {
+		return // raced with a peer; whoever claimed it runs it
+	}
+
+	// Crash-after-archive: the result exists, only the terminal record is
+	// missing. Materialize the archived job locally and close the journal.
+	if raw, hit := s.cache.Get(key); hit {
+		var art artifact
+		if jerr := json.Unmarshal(raw, &art); jerr == nil {
+			if _, ok := s.registerAdopted(info, JobSpec{}, nil, &art); !ok {
+				_ = s.store.Release(lease)
+				return
+			}
+			rec := jobstore.Record{
+				Kind: jobstore.RecordTerminal, Time: s.clock(),
+				State: string(StateDone), Attempt: info.Attempts, Owner: s.replicaID, Fence: lease.Gen,
+			}
+			_ = s.store.Append(key, rec, true)
+			_ = s.store.Release(lease)
+			s.noteAdoption(prev)
+			return
+		}
+		s.archiveCorrupt.Add(1)
+		log.Printf("serve: discarding corrupt archive entry for key %s (re-running job)", key)
+	}
+
+	var spec JobSpec
+	if err := json.Unmarshal(info.Spec, &spec); err != nil || spec.Validate() != nil {
+		// The journal's spec no longer parses (an old schema, a torn
+		// record): fail it visibly rather than requeueing it forever.
+		rec := jobstore.Record{
+			Kind: jobstore.RecordTerminal, Time: s.clock(),
+			State: string(StateFailed), Error: "recovered spec no longer valid", Class: string(ClassSpec),
+			Attempt: info.Attempts, Owner: s.replicaID, Fence: lease.Gen,
+		}
+		_ = s.store.Append(key, rec, true)
+		_ = s.store.Release(lease)
+		return
+	}
+	if _, ok := s.registerAdopted(info, spec, &lease, nil); !ok {
+		_ = s.store.Release(lease)
+		return
+	}
+	s.noteAdoption(prev)
+}
+
+// registerAdopted builds a local Job from a journaled one — identity (the
+// pre-crash job ID keeps working), client, attempts and point history all
+// preserved — registers it, and either completes it from the archived
+// artifact (crash-after-archive) or queues it for execution.
+func (s *Server) registerAdopted(info jobstore.JobInfo, spec JobSpec, lease *jobstore.Lease, archived *artifact) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	if _, dup := s.byKey[info.Key]; dup {
+		return nil, false
+	}
+	if archived == nil && s.fq.len() >= s.cfg.QueueDepth {
+		return nil, false // no room; the next sweep retries
+	}
+	j := s.newJobLocked(spec, info.Key, info.Client)
+	if info.ID != "" {
+		j.id = info.ID
+		s.bumpNextIDLocked(info.ID)
+	}
+	if !info.Created.IsZero() {
+		j.created = info.Created
+	}
+	j.replica = s.replicaID
+	j.adoptInfo(info)
+	s.registerLocked(j)
+	if archived != nil {
+		j.completeFromArchive(*archived)
+		return j, true
+	}
+	j.lease = lease
+	s.fq.push(j)
+	s.cond.Broadcast()
+	return j, true
+}
+
+// bumpNextIDLocked keeps freshly-assigned IDs from colliding with a
+// recovered job's: after adopting "job-<replica>-<n>" for our own replica
+// id, the counter resumes past n.
+func (s *Server) bumpNextIDLocked(id string) {
+	prefix := "job-" + s.replicaID + "-"
+	if !strings.HasPrefix(id, prefix) {
+		return
+	}
+	if n, err := strconv.Atoi(id[len(prefix):]); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// leaseLoop renews the leases of every local non-terminal job (a live
+// replica never loses its jobs to the sweep) and periodically sweeps the
+// store for orphans. It runs until bgStop — which Shutdown closes only
+// after the workers drain, so leases stay fresh while jobs finish.
+func (s *Server) leaseLoop() {
+	defer s.bgWg.Done()
+	renewEvery := s.leaseTTL / 3
+	if renewEvery < 5*time.Millisecond {
+		renewEvery = 5 * time.Millisecond
+	}
+	renew := time.NewTicker(renewEvery)
+	defer renew.Stop()
+	sweep := time.NewTicker(s.sweepInterval)
+	defer sweep.Stop()
+	for {
+		select {
+		case <-renew.C:
+			s.renewLeases()
+		case <-sweep.C:
+			s.sweepOrphans()
+		case <-s.bgStop:
+			return
+		}
+	}
+}
+
+// renewLeases extends every local non-terminal job's lease. A renewal that
+// comes back ErrLost means we stalled past the TTL and a peer took the
+// job: mark the fence lost so our terminal record is suppressed.
+func (s *Server) renewLeases() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && !j.State().Terminal() && j.leaseRef() != nil && !j.fenceWasLost() {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		lease := j.leaseRef()
+		if lease == nil {
+			continue
+		}
+		l := *lease
+		if err := s.store.Renew(&l, s.leaseTTL); errors.Is(err, jobstore.ErrLost) {
+			j.markFenceLost()
+			log.Printf("serve: lease for job %s lost during renewal; a peer owns it now", j.id)
+		}
+	}
+}
+
+// infoStatus renders a journaled job — one owned by a peer replica, or
+// finished before a restart — as a wire Status. Total comes from the
+// artifact when archived, else the last streamed point's view.
+func (s *Server) infoStatus(info jobstore.JobInfo) Status {
+	st := Status{
+		ID:       info.ID,
+		Key:      info.Key,
+		State:    State(info.State),
+		Error:    info.Error,
+		Attempts: info.Attempts,
+		Done:     info.PointCount,
+		Created:  info.Created,
+		Replica:  info.Owner,
+	}
+	if info.Class != "" {
+		st.ErrorClass = ErrorClass(info.Class)
+	}
+	if holder, ok, _ := s.store.Holder(info.Key); ok {
+		st.Replica = holder.Owner
+	}
+	if st.State == StateDone {
+		if art, ok := s.archivedArtifact(info.Key); ok {
+			st.Total = art.Points
+			st.Done = art.Points
+			st.HasReport = len(art.Report) > 0
+		}
+	}
+	return st
+}
+
+// archivedArtifact fetches and decodes a job's archived artifact.
+func (s *Server) archivedArtifact(key string) (*artifact, bool) {
+	raw, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return nil, false
+	}
+	return &art, true
+}
+
+// storeJob finds a journaled job by ID — the cold path behind job URLs
+// that survived a restart or belong to a peer replica.
+func (s *Server) storeJob(id string) (jobstore.JobInfo, bool) {
+	if s.store == nil {
+		return jobstore.JobInfo{}, false
+	}
+	info, ok, err := s.store.ByID(id)
+	if err != nil || !ok {
+		return jobstore.JobInfo{}, false
+	}
+	return info, true
+}

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"turnmodel/internal/jobstore"
 )
 
 // Handler returns the service's HTTP API:
@@ -41,11 +43,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.withJob(s.handleStatus))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.withJob(s.handleEvents))
-	mux.HandleFunc("GET /v1/jobs/{id}/report", s.withJob(s.handleReport))
-	mux.HandleFunc("GET /v1/jobs/{id}/tables", s.withJob(s.handleTables))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withJob(s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.withJob(s.handleStatus, s.remoteStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.withJob(s.handleEvents, s.remoteEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.withJob(s.handleReport, s.remoteReport))
+	mux.HandleFunc("GET /v1/jobs/{id}/tables", s.withJob(s.handleTables, s.remoteTables))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withJob(s.handleCancel, s.remoteCancel))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -66,14 +68,20 @@ func clientKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
-func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *Job)) http.HandlerFunc {
+// withJob resolves the job ID against this replica's jobs first, then — when
+// a shared job store is configured — against the store, so job URLs keep
+// working across restarts and point at jobs owned by peer replicas.
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *Job), remote func(http.ResponseWriter, *http.Request, jobstore.JobInfo)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		j, ok := s.Job(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		if j, ok := s.Job(r.PathValue("id")); ok {
+			h(w, r, j)
 			return
 		}
-		h(w, r, j)
+		if info, ok := s.storeJob(r.PathValue("id")); ok {
+			remote(w, r, info)
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 	}
 }
 
@@ -117,6 +125,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
+		var remote *RemoteOwnedError
+		if errors.As(err, &remote) {
+			// A live peer replica is executing this spec; hand back its
+			// job so the client can follow it by ID.
+			w.Header().Set("Location", "/v1/jobs/"+remote.ID)
+			writeJSON(w, http.StatusOK, remote.Status)
+			return
+		}
+		if IsTransient(err) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -131,8 +152,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.Jobs()
 	statuses := make([]Status, len(jobs))
+	local := make(map[string]bool, len(jobs))
 	for i, j := range jobs {
 		statuses[i] = j.Status()
+		local[j.Key()] = true
+	}
+	// With a shared store the list covers the whole fleet: journaled jobs
+	// this replica doesn't hold locally — owned by peers, or finished
+	// before a restart — are appended from the store.
+	if s.store != nil {
+		if infos, err := s.store.List(false); err == nil {
+			for _, info := range infos {
+				if !local[info.Key] {
+					statuses = append(statuses, s.infoStatus(info))
+				}
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, statuses)
 }
@@ -285,6 +320,87 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request, j *Job) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, j *Job) {
 	j.Cancel()
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// The remote* handlers serve jobs known only through the shared store:
+// journaled by a peer replica, or terminal from before a restart.
+
+func (s *Server) remoteStatus(w http.ResponseWriter, r *http.Request, info jobstore.JobInfo) {
+	writeJSON(w, http.StatusOK, s.infoStatus(info))
+}
+
+// remoteEvents replays a terminal journaled job's point log as a complete
+// SSE stream — how a client that lost its stream to a replica crash catches
+// up from a survivor. Live remote jobs can't be streamed from here (the
+// points land in the owner's journal asynchronously), so they 409 to the
+// owning replica.
+func (s *Server) remoteEvents(w http.ResponseWriter, r *http.Request, info jobstore.JobInfo) {
+	if !info.Terminal() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is running on replica %q; stream it there", info.ID, s.infoStatus(info).Replica))
+		return
+	}
+	full, ok, err := s.store.Job(info.Key, true)
+	if err != nil || !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("journal for job %s unreadable", info.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, raw := range full.Points {
+		fmt.Fprintf(w, "event: point\ndata: %s\n\n", raw)
+	}
+	data, _ := json.Marshal(s.infoStatus(full))
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+}
+
+func (s *Server) remoteReport(w http.ResponseWriter, r *http.Request, info jobstore.JobInfo) {
+	switch State(info.State) {
+	case StateDone:
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusGone, fmt.Errorf("job %s %s", info.ID, info.State))
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s still %s", info.ID, info.State))
+		return
+	}
+	art, ok := s.archivedArtifact(info.Key)
+	if !ok || len(art.Report) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no archived report", info.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(art.Report)
+}
+
+func (s *Server) remoteTables(w http.ResponseWriter, r *http.Request, info jobstore.JobInfo) {
+	if State(info.State) != StateDone {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s still %s", info.ID, info.State))
+		return
+	}
+	art, ok := s.archivedArtifact(info.Key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no archived tables", info.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	for i, t := range art.Tables {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprint(w, t)
+	}
+}
+
+// remoteCancel refuses: only the owning replica may cancel its job (its
+// lease fences everyone else out), so the client is pointed there.
+func (s *Server) remoteCancel(w http.ResponseWriter, r *http.Request, info jobstore.JobInfo) {
+	writeError(w, http.StatusConflict, fmt.Errorf("job %s is owned by replica %q; cancel it there", info.ID, s.infoStatus(info).Replica))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

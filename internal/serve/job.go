@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"turnmodel/internal/jobstore"
 	"turnmodel/internal/sim"
 )
 
@@ -41,6 +42,9 @@ type Job struct {
 	done    chan struct{}
 	ctx     context.Context
 	cancel  context.CancelFunc
+	// replica is the executing replica's identity (empty without a job
+	// store).
+	replica string
 
 	mu           sync.Mutex
 	state        State
@@ -51,9 +55,15 @@ type Job struct {
 	total        int
 	cachedPoints int
 	fromCache    bool
+	recovered    bool // adopted from a journal after a crash or restart
 	points       []sim.PointEvent
 	subs         map[chan struct{}]struct{}
 	art          *artifact
+	// lease is the job's execution lease in the shared store; fenceLost
+	// records that a renewal discovered a peer took the job, so this
+	// replica's terminal record must be suppressed.
+	lease     *jobstore.Lease
+	fenceLost bool
 }
 
 // ID returns the job's server-assigned identifier.
@@ -143,6 +153,12 @@ type Status struct {
 	FromCache    bool      `json:"from_cache,omitempty"`
 	HasReport    bool      `json:"has_report"`
 	Created      time.Time `json:"created"`
+	// Replica names the replica executing (or last known to execute) the
+	// job; empty when the server runs without a shared job store.
+	Replica string `json:"replica,omitempty"`
+	// Recovered marks a job requeued from the durable journal after its
+	// original owner crashed or restarted.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Status snapshots the job.
@@ -160,6 +176,8 @@ func (j *Job) Status() Status {
 		FromCache:    j.fromCache,
 		HasReport:    j.state == StateDone && j.art != nil && len(j.art.Report) > 0,
 		Created:      j.created,
+		Replica:      j.replica,
+		Recovered:    j.recovered,
 	}
 	if j.fromCache {
 		st.Done = j.total
@@ -214,18 +232,20 @@ func (j *Job) setRetrying(cause error) {
 // a stalled consumer can never block the simulation. Publishes from a
 // superseded attempt (gen mismatch: the attempt timed out and was
 // abandoned, then retried) or after the job finished are dropped — the
-// abandoned runner drains harmlessly.
-func (j *Job) publish(gen int, ev sim.PointEvent) {
+// abandoned runner drains harmlessly. The return reports whether the
+// point was accepted (callers journal accepted points only).
+func (j *Job) publish(gen int, ev sim.PointEvent) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if gen != j.gen || j.state.Terminal() {
-		return
+		return false
 	}
 	j.points = append(j.points, ev)
 	if ev.Cached {
 		j.cachedPoints++
 	}
 	j.notifyLocked()
+	return true
 }
 
 // notifyLocked pokes every subscriber. Caller holds j.mu.
@@ -279,13 +299,14 @@ func (j *Job) pointsSince(n int) ([]sim.PointEvent, int) {
 }
 
 // finish moves the job to a terminal state, records the artifact, detaches
-// the subscribers and closes Done. Only the first call wins; a late
-// finish from an abandoned attempt is dropped.
-func (j *Job) finish(state State, err error, art *artifact) {
+// the subscribers and closes Done. Only the first call wins — the return
+// reports whether this call was it — so a late finish from an abandoned
+// attempt is dropped and the journal sees one terminal record.
+func (j *Job) finish(state State, err error, art *artifact) bool {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.state = state
 	j.err = err
@@ -294,15 +315,16 @@ func (j *Job) finish(state State, err error, art *artifact) {
 	j.subs = nil
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // finishSpec is finish for spec-level failures, which carry ClassSpec
 // rather than whatever classify would guess.
-func (j *Job) finishSpec(err error) {
+func (j *Job) finishSpec(err error) bool {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.state = StateFailed
 	j.err = err
@@ -310,6 +332,7 @@ func (j *Job) finishSpec(err error) {
 	j.subs = nil
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // completeFromArchive materializes a job as already done from an archived
@@ -324,6 +347,60 @@ func (j *Job) completeFromArchive(art artifact) {
 	j.subs = nil
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// adoptInfo restores a journaled job's history onto this Job: attempts
+// survive the crash, and the latest attempt's points are reloaded so SSE
+// replay is reconstructed from the journal after a restart. Called before
+// the job is queued (no concurrent access yet).
+func (j *Job) adoptInfo(info jobstore.JobInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts = info.Attempts
+	j.recovered = true
+	for _, raw := range info.Points {
+		var ev sim.PointEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue
+		}
+		j.points = append(j.points, ev)
+		if ev.Cached {
+			j.cachedPoints++
+		}
+		if ev.Total > j.total {
+			j.total = ev.Total
+		}
+	}
+}
+
+// leaseRef returns the job's lease, nil when the server runs storeless.
+func (j *Job) leaseRef() *jobstore.Lease {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lease
+}
+
+// takeLease detaches and returns the lease (nil if none or already taken),
+// so exactly one finisher releases it.
+func (j *Job) takeLease() *jobstore.Lease {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	l := j.lease
+	j.lease = nil
+	return l
+}
+
+// markFenceLost records that a renewal found the lease claimed by a peer.
+func (j *Job) markFenceLost() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.fenceLost = true
+}
+
+func (j *Job) fenceWasLost() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fenceLost
 }
 
 // MarshalJSON renders the job as its Status, so handlers can encode jobs

@@ -6,14 +6,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"turnmodel/internal/jobstore"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/sim"
 	"turnmodel/internal/simcache"
@@ -95,6 +99,31 @@ type Config struct {
 	// panic exercises the scheduler's panic isolation. It is the
 	// chaos-test fault point and has no production use.
 	RunHook func(j *Job, attempt int) error
+
+	// Store is the durable job store shared by every replica of one
+	// cache directory: accepted jobs are journaled, execution is guarded
+	// by leases with generation fencing, and jobs whose owner crashes are
+	// requeued by a peer or by the restarted process. Nil keeps all job
+	// state in memory (the pre-durability behavior).
+	Store *jobstore.Store
+	// ReplicaID is this process's identity in the shared store — the
+	// lease owner name and the job-ID prefix. Empty derives
+	// "<hostname>-<pid>". It must be unique among live replicas sharing
+	// a store; reusing a crashed replica's ID is fine (that is what a
+	// restart is).
+	ReplicaID string
+	// LeaseTTL is how long a replica may go without renewing a job's
+	// lease before peers may steal the job. It trades failover latency
+	// against tolerance for stalls; 0 selects 10s. Renewal runs every
+	// LeaseTTL/3.
+	LeaseTTL time.Duration
+	// SweepInterval is how often the orphan sweep scans the store for
+	// expired-lease jobs to requeue; 0 selects LeaseTTL.
+	SweepInterval time.Duration
+	// NoRecover disables the startup recovery scan (the -recover=false
+	// flag); the periodic sweep still runs, so orphans are adopted — just
+	// not synchronously at boot.
+	NoRecover bool
 }
 
 const (
@@ -104,6 +133,7 @@ const (
 	defaultRetryMax     = 5 * time.Second
 	defaultHeartbeat    = 15 * time.Second
 	defaultWriteTimeout = 10 * time.Second
+	defaultLeaseTTL     = 10 * time.Second
 	limiterPruneEvery   = time.Minute
 	limiterMaxIdle      = 10 * time.Minute
 )
@@ -127,6 +157,12 @@ type Server struct {
 
 	submitLim *limiter
 	streamLim *limiter
+
+	// Durability (nil store disables all of it; see durable.go).
+	store         *jobstore.Store
+	replicaID     string
+	leaseTTL      time.Duration
+	sweepInterval time.Duration
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -153,6 +189,13 @@ type Server struct {
 	retriesRun   atomic.Int64
 	panicsSeen   atomic.Int64
 	sseActive    atomic.Int64
+
+	// Durability counters (see durable.go and /v1/stats).
+	archiveCorrupt  atomic.Int64 // archived reports discarded as corrupt
+	recoveredJobs   atomic.Int64 // own journals re-adopted after restart
+	requeuedJobs    atomic.Int64 // peers' journals adopted off expired leases
+	leasesStolen    atomic.Int64 // leases taken over from another owner
+	fencingRejected atomic.Int64 // terminal records suppressed by fencing
 
 	wg     sync.WaitGroup // worker goroutines
 	bgWg   sync.WaitGroup // limiter pruner
@@ -212,6 +255,18 @@ func NewServer(cfg Config) *Server {
 		bgStop:     make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.replicaID = sanitizeReplicaID(cfg.ReplicaID)
+		s.leaseTTL = cfg.LeaseTTL
+		if s.leaseTTL <= 0 {
+			s.leaseTTL = defaultLeaseTTL
+		}
+		s.sweepInterval = cfg.SweepInterval
+		if s.sweepInterval <= 0 {
+			s.sweepInterval = s.leaseTTL
+		}
+	}
 	for w := 0; w < jobWorkers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -220,7 +275,37 @@ func NewServer(cfg Config) *Server {
 		s.bgWg.Add(1)
 		go s.pruneLoop()
 	}
+	if s.store != nil {
+		if !cfg.NoRecover {
+			// Synchronous, so a restarted replica's orphans are requeued
+			// before the first request lands.
+			s.recoverJobs()
+		}
+		s.bgWg.Add(1)
+		go s.leaseLoop()
+	}
 	return s
+}
+
+// sanitizeReplicaID defaults an empty replica identity to "<hostname>-<pid>"
+// and restricts it to characters safe in job IDs, URLs, and lease files.
+func sanitizeReplicaID(id string) string {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "replica"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.' || r == '_' || r == '-':
+			return r
+		}
+		return '-'
+	}, id)
 }
 
 // pruneLoop periodically drops idle rate-limiter buckets. Its ticker is
@@ -309,13 +394,26 @@ func (s *Server) Submit(spec JobSpec, client string) (job *Job, created bool, er
 		if err := json.Unmarshal(raw, &art); err == nil {
 			j.completeFromArchive(art)
 			s.registerLocked(j)
+			// Crash-after-archive: a non-terminal journal for an archived
+			// result just needs its terminal record written.
+			s.reconcileArchiveLocked(j)
 			return j, true, nil
 		}
-		// A corrupt archive entry falls through to a fresh run.
+		// A corrupt archive entry is discarded — visibly — and the job
+		// re-runs; the deterministic engine rebuilds the same report.
+		s.archiveCorrupt.Add(1)
+		log.Printf("serve: discarding corrupt archive entry for key %s (re-running job)", key)
 	}
 	if s.fq.len() >= s.cfg.QueueDepth {
 		s.rejectedFull.Add(1)
+		j.cancel()
 		return nil, false, ErrQueueFull
+	}
+	if s.store != nil {
+		if err := s.persistSubmitLocked(j); err != nil {
+			j.cancel()
+			return nil, false, err
+		}
 	}
 	s.fq.push(j)
 	s.registerLocked(j)
@@ -325,9 +423,15 @@ func (s *Server) Submit(spec JobSpec, client string) (job *Job, created bool, er
 
 func (s *Server) newJobLocked(spec JobSpec, key, client string) *Job {
 	s.nextID++
+	// Durable IDs carry the replica identity so IDs from different
+	// replicas sharing one store never collide.
+	id := fmt.Sprintf("job-%d", s.nextID)
+	if s.store != nil {
+		id = fmt.Sprintf("job-%s-%d", s.replicaID, s.nextID)
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	return &Job{
-		id:      fmt.Sprintf("job-%d", s.nextID),
+		id:      id,
 		key:     key,
 		client:  client,
 		spec:    spec,
@@ -336,6 +440,7 @@ func (s *Server) newJobLocked(spec JobSpec, key, client string) *Job {
 		done:    make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
+		replica: s.replicaID,
 		subs:    make(map[chan struct{}]struct{}),
 	}
 }
@@ -401,6 +506,15 @@ type SchedulerStats struct {
 	RejectedRate int64 `json:"rejected_rate_limited"`
 	SSEActive    int64 `json:"sse_active"`
 	Clients      int   `json:"rate_limited_clients"`
+	// Durability: the replica's identity and recovery counters; Replica
+	// is empty (and the counters always zero) without a job store.
+	Replica         string `json:"replica,omitempty"`
+	Durable         bool   `json:"durable,omitempty"`
+	ArchiveCorrupt  int64  `json:"archive_corrupt"`
+	Recovered       int64  `json:"recovered_jobs"`
+	Requeued        int64  `json:"requeued_jobs"`
+	LeasesStolen    int64  `json:"leases_stolen"`
+	FencingRejected int64  `json:"fencing_rejected"`
 }
 
 // Stats snapshots the scheduler.
@@ -409,16 +523,23 @@ func (s *Server) Stats() SchedulerStats {
 	queued, running, pending := s.fq.len(), s.running, s.retryPending
 	s.mu.Unlock()
 	return SchedulerStats{
-		Workers:      s.jobWorkers,
-		Queued:       queued,
-		Running:      running,
-		RetryPending: pending,
-		Retries:      s.retriesRun.Load(),
-		Panics:       s.panicsSeen.Load(),
-		RejectedFull: s.rejectedFull.Load(),
-		RejectedRate: s.rejectedRate.Load(),
-		SSEActive:    s.sseActive.Load(),
-		Clients:      s.submitLim.size() + s.streamLim.size(),
+		Workers:         s.jobWorkers,
+		Queued:          queued,
+		Running:         running,
+		RetryPending:    pending,
+		Retries:         s.retriesRun.Load(),
+		Panics:          s.panicsSeen.Load(),
+		RejectedFull:    s.rejectedFull.Load(),
+		RejectedRate:    s.rejectedRate.Load(),
+		SSEActive:       s.sseActive.Load(),
+		Clients:         s.submitLim.size() + s.streamLim.size(),
+		Replica:         s.replicaID,
+		Durable:         s.store != nil,
+		ArchiveCorrupt:  s.archiveCorrupt.Load(),
+		Recovered:       s.recoveredJobs.Load(),
+		Requeued:        s.requeuedJobs.Load(),
+		LeasesStolen:    s.leasesStolen.Load(),
+		FencingRejected: s.fencingRejected.Load(),
 	}
 }
 
@@ -494,7 +615,7 @@ func (s *Server) next() *Job {
 // success, cancellation, terminal failure, or a scheduled retry.
 func (s *Server) runJob(j *Job) {
 	if j.ctx.Err() != nil { // cancelled while queued or waiting out backoff
-		j.finish(StateCanceled, context.Canceled, nil)
+		s.settle(j, StateCanceled, context.Canceled, nil)
 		return
 	}
 	attempt := j.Attempts() + 1
@@ -510,11 +631,11 @@ func (s *Server) runJob(j *Job) {
 	}
 	switch {
 	case errors.Is(err, context.Canceled):
-		j.finish(StateCanceled, err, nil)
+		s.settle(j, StateCanceled, err, nil)
 	case IsTransient(err) && attempt <= s.maxRetries && j.ctx.Err() == nil:
 		s.scheduleRetry(j, attempt, err)
 	default:
-		j.finish(StateFailed, err, nil)
+		s.settle(j, StateFailed, err, nil)
 	}
 }
 
@@ -528,6 +649,7 @@ func (s *Server) runAttempt(j *Job, attempt int) (err error) {
 		}
 	}()
 	gen := j.beginAttempt()
+	s.journalStarted(j, attempt)
 	if s.cfg.RunHook != nil {
 		if err := s.cfg.RunHook(j, attempt); err != nil {
 			return err
@@ -535,7 +657,7 @@ func (s *Server) runAttempt(j *Job, attempt int) (err error) {
 	}
 	opts, err := j.spec.Options()
 	if err != nil {
-		j.finishSpec(err)
+		s.settleSpec(j, err)
 		return nil
 	}
 	if opts.Jobs == 0 {
@@ -543,10 +665,14 @@ func (s *Server) runAttempt(j *Job, attempt int) (err error) {
 	}
 	opts.Cache = s.cache
 	opts.Probe = s.cfg.Probe
-	opts.OnPoint = func(ev sim.PointEvent) { j.publish(gen, ev) }
+	opts.OnPoint = func(ev sim.PointEvent) {
+		if j.publish(gen, ev) {
+			s.journalPoint(j, ev)
+		}
+	}
 	rn, err := sim.NewRunner(opts)
 	if err != nil {
-		j.finishSpec(err)
+		s.settleSpec(j, err)
 		return nil
 	}
 	j.setTotal(rn.Total())
@@ -604,12 +730,15 @@ func (s *Server) runAttempt(j *Job, attempt int) (err error) {
 		return aerr
 	}
 	art.Points = rn.Total()
-	j.finish(StateDone, nil, art)
 	if raw, merr := json.Marshal(art); merr == nil {
 		// Best-effort archive; a full or degraded disk must not fail
-		// the job (the store accounts the failure).
+		// the job (the store accounts the failure). Archiving before the
+		// terminal journal record means a crash between the two leaves a
+		// recoverable crash-after-archive journal, never a terminal
+		// record without its result.
 		_ = s.cache.Put(j.key, raw)
 	}
+	s.settle(j, StateDone, nil, art)
 	return nil
 }
 
@@ -618,6 +747,7 @@ func (s *Server) runAttempt(j *Job, attempt int) (err error) {
 // short, so draining never waits out a backoff.
 func (s *Server) scheduleRetry(j *Job, attempt int, cause error) {
 	j.setRetrying(cause)
+	s.journalRetrying(j, attempt, cause)
 	s.retriesRun.Add(1)
 	delay := s.backoff(attempt)
 	s.mu.Lock()

@@ -37,11 +37,11 @@ type Options struct {
 	// every operation keeps retrying the disk.
 	DegradeAfter int
 	// FaultHook, when non-nil, is consulted before every disk operation
-	// with the operation name ("read", "write", "evict", "probe") and
-	// the key involved; a non-nil return is treated as that operation
-	// failing at the filesystem. It exists for fault-injection tests
-	// (internal/serve/chaostest) and must be deterministic if the test
-	// wants reproducible fault histories.
+	// with the operation name ("read", "write", "evict", "probe",
+	// "verify") and the key involved; a non-nil return is treated as
+	// that operation failing at the filesystem. It exists for
+	// fault-injection tests (internal/serve/chaostest) and must be
+	// deterministic if the test wants reproducible fault histories.
 	FaultHook func(op, key string) error
 }
 
@@ -70,10 +70,14 @@ type Stats struct {
 	// Failures counts disk I/O errors and corrupt on-disk entries.
 	// Every failed read, write, eviction or probe increments it exactly
 	// once.
-	Failures     int64 `json:"failures"`
-	DiskBytes    int64 `json:"disk_bytes"`
-	DiskEntries  int64 `json:"disk_entries"`
-	DiskDegraded bool  `json:"disk_degraded"`
+	Failures int64 `json:"failures"`
+	// CorruptRemoved counts on-disk entries whose checksum frame no
+	// longer validated — found by a Get or a Verify sweep — and were
+	// deleted rather than served. Each also counts once in Failures.
+	CorruptRemoved int64 `json:"corrupt_removed"`
+	DiskBytes      int64 `json:"disk_bytes"`
+	DiskEntries    int64 `json:"disk_entries"`
+	DiskDegraded   bool  `json:"disk_degraded"`
 }
 
 // Hits is the total hit count across both tiers.
@@ -255,7 +259,7 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 		// it so the slot can be refilled, and account the failure.
 		os.Remove(s.path(key))
 		s.dropIndexLocked(key)
-		s.countFail()
+		s.countCorrupt()
 		return nil, false
 	}
 	now := time.Now()
@@ -483,6 +487,69 @@ func (s *Store) countFail() {
 	s.mu.Unlock()
 }
 
+// countCorrupt accounts one corrupt entry deleted from the disk tier.
+func (s *Store) countCorrupt() {
+	s.mu.Lock()
+	s.stats.Failures++
+	s.stats.CorruptRemoved++
+	s.mu.Unlock()
+}
+
+// Verify sweeps the disk tier, re-checksumming every entry and deleting
+// any whose frame no longer validates — bit rot, a torn write from a
+// crashed sibling process, or manual tampering — so a later Get can never
+// serve it and the slot refills from a fresh run. Deleted entries count in
+// Stats.CorruptRemoved (and Failures). The janitor runs this every pass;
+// it is also safe to call directly. Returns the number removed.
+func (s *Store) Verify() int {
+	if s.dir == "" {
+		return 0
+	}
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.degraded {
+		return 0
+	}
+	s.ensureIndexLocked()
+	return s.verifyLocked()
+}
+
+// verifyLocked is Verify's sweep body. Caller holds diskMu with the index
+// built. Hook-injected "verify" faults count as I/O failures and skip the
+// entry (the disk, not the entry, is suspect); unreadable files likewise
+// stay put, so a transiently failing mount never mass-deletes the tier.
+func (s *Store) verifyLocked() int {
+	keys := make([]string, 0, len(s.diskIdx))
+	for k := range s.diskIdx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	removed := 0
+	for _, key := range keys {
+		if err := s.hookErr("verify", key); err != nil {
+			s.countFail()
+			continue
+		}
+		raw, err := os.ReadFile(s.path(key))
+		if err != nil {
+			if os.IsNotExist(err) {
+				s.dropIndexLocked(key) // evicted or removed externally
+			} else {
+				s.countFail()
+			}
+			continue
+		}
+		if _, ok := unframe(raw); ok {
+			continue
+		}
+		os.Remove(s.path(key))
+		s.dropIndexLocked(key)
+		s.countCorrupt()
+		removed++
+	}
+	return removed
+}
+
 // StartJanitor launches the background maintenance loop: every interval
 // it re-enforces the disk bounds (catching entries written by other
 // processes sharing the directory, or left over from before a crash) and,
@@ -532,10 +599,11 @@ func (s *Store) Maintain() {
 		return
 	}
 	// Rescan so externally-added entries (a sibling process sharing the
-	// directory) are bounded too, then enforce.
+	// directory) are bounded too, then enforce bounds and integrity.
 	s.idxReady = false
 	s.ensureIndexLocked()
 	s.evictDiskLocked()
+	s.verifyLocked()
 }
 
 // probeLocked checks the disk is writable and readable again: a probe

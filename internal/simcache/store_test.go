@@ -477,3 +477,124 @@ func TestStoreConcurrent(t *testing.T) {
 		t.Errorf("bounds violated: %d entries / %d bytes", st.DiskEntries, st.DiskBytes)
 	}
 }
+
+// TestStoreVerifySweep flips bits in stored entries behind the store's
+// back and asserts the Verify sweep (the janitor's integrity pass) deletes
+// exactly the damaged ones, counts them in CorruptRemoved, and leaves the
+// healthy entries serving.
+func TestStoreVerifySweep(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(Options{Dir: dir})
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i], _ = Key(map[string]any{"verify": i})
+		if err := s.Put(keys[i], []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bit-flip two entries: one in the payload, one in the stored checksum.
+	flip := func(key string, off int) {
+		p := filepath.Join(dir, key[:2], key+".bin")
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 0 {
+			off = len(raw) + off
+		}
+		raw[off] ^= 0x01
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(keys[1], -1) // last payload byte
+	flip(keys[3], 8)  // inside the checksum
+
+	if removed := s.Verify(); removed != 2 {
+		t.Fatalf("Verify removed %d entries, want 2", removed)
+	}
+	st := s.Stats()
+	if st.CorruptRemoved != 2 {
+		t.Errorf("CorruptRemoved = %d, want 2", st.CorruptRemoved)
+	}
+	if st.Failures != 2 {
+		t.Errorf("Failures = %d, want 2 (one per corrupt entry)", st.Failures)
+	}
+	if st.DiskEntries != 3 {
+		t.Errorf("DiskEntries = %d, want 3 after sweep", st.DiskEntries)
+	}
+	for _, k := range []string{keys[1], keys[3]} {
+		if _, err := os.Stat(filepath.Join(dir, k[:2], k+".bin")); !os.IsNotExist(err) {
+			t.Errorf("corrupt entry %s not deleted: %v", k, err)
+		}
+	}
+	// Healthy entries still serve from disk in a fresh store (no memory
+	// tier help), and a second sweep finds nothing.
+	s2 := NewStore(Options{Dir: dir})
+	for _, i := range []int{0, 2, 4} {
+		if got, ok := s2.Get(keys[i]); !ok || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Errorf("healthy entry %d = %q, %v after sweep", i, got, ok)
+		}
+	}
+	if removed := s2.Verify(); removed != 0 {
+		t.Errorf("second Verify removed %d, want 0", removed)
+	}
+}
+
+// TestStoreVerifyFaultsSkipNotDelete injects "verify" faults for some keys
+// and asserts the sweep treats them as I/O failures — counted, entry left
+// in place — rather than deleting entries it could not actually check.
+func TestStoreVerifyFaultsSkipNotDelete(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	blocked := map[string]bool{}
+	hook := func(op, key string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if op == "verify" && blocked[key] {
+			return fmt.Errorf("injected verify fault")
+		}
+		return nil
+	}
+	s := NewStore(Options{Dir: dir, FaultHook: hook})
+	kGood, _ := Key("verify-good")
+	kBlocked, _ := Key("verify-blocked")
+	for _, k := range []string{kGood, kBlocked} {
+		if err := s.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the blocked entry too: the fault must win, leaving it alone.
+	p := filepath.Join(dir, kBlocked[:2], kBlocked+".bin")
+	if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	blocked[kBlocked] = true
+	mu.Unlock()
+
+	if removed := s.Verify(); removed != 0 {
+		t.Fatalf("Verify removed %d entries, want 0 (fault blocks the check)", removed)
+	}
+	st := s.Stats()
+	if st.CorruptRemoved != 0 {
+		t.Errorf("CorruptRemoved = %d, want 0", st.CorruptRemoved)
+	}
+	if st.Failures != 1 {
+		t.Errorf("Failures = %d, want 1 (the injected fault)", st.Failures)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Errorf("faulted entry was deleted: %v", err)
+	}
+	// Fault cleared: the next sweep (as Maintain would run it) deletes it.
+	mu.Lock()
+	blocked[kBlocked] = false
+	mu.Unlock()
+	s.Maintain()
+	if st := s.Stats(); st.CorruptRemoved != 1 {
+		t.Errorf("CorruptRemoved after Maintain = %d, want 1", st.CorruptRemoved)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry survived Maintain: %v", err)
+	}
+}

@@ -545,3 +545,42 @@ func BenchmarkAblationRoutingDelay(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIdleHeavySweep quantifies the event-driven clock on the
+// workload it exists for: a near-idle 16x16 mesh where a packet arrives
+// only every several hundred cycles and the measurement window is long.
+// The stepped run executes every one of those empty cycles; the
+// event-driven run (the default) leaps from arrival to arrival. The two
+// produce bit-identical Results — the cross-mode harness in
+// internal/engine proves it — so the only difference is wall clock, and
+// the relative gate in BENCH_baseline.json requires the event-driven run
+// to be at least 5x faster.
+func BenchmarkIdleHeavySweep(b *testing.B) {
+	mesh := turnmodel.NewMesh2D(16, 16)
+	alg, err := turnmodel.NewRouting("west-first", mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := turnmodel.UniformTraffic(mesh)
+	run := func(b *testing.B, stepped bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := turnmodel.Simulate(turnmodel.SimConfig{
+				Routing: alg,
+				RunParams: turnmodel.SimRunParams{
+					Pattern:          pattern,
+					InjectionRate:    0.0002,
+					WarmupCycles:     2000,
+					MeasureCycles:    40000,
+					Seed:             int64(i),
+					DisableEventSkip: stepped,
+				},
+			})
+			if res.Packets == 0 {
+				b.Fatal("no packets measured")
+			}
+		}
+	}
+	b.Run("stepped", func(b *testing.B) { run(b, true) })
+	b.Run("eventdriven", func(b *testing.B) { run(b, false) })
+}

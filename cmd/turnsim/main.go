@@ -33,6 +33,7 @@ func main() {
 		inPol    = flag.String("input", "", fmt.Sprintf("input selection policy: one of %v", network.InputPolicyNames()))
 		useVC    = flag.Bool("vc", false, "run on the virtual-channel simulator (accepts VC algorithms such as double-y, dateline-dor, ccc-ascending)")
 		shards   = flag.Int("shards", 1, "spatial domains stepped in parallel within the one network (results are identical at any value)")
+		eventdrv = flag.Bool("eventdriven", true, "leap the clock over provably idle cycles (results are identical either way; disable to step every cycle)")
 		metrics  = flag.Bool("metrics", false, "collect and print run metrics: latency percentiles, delay split, channel-utilization heatmap")
 		verbose  = flag.Bool("v", false, "print the full result breakdown")
 
@@ -100,16 +101,17 @@ func main() {
 		res, hit := sim.RunVCCached(sim.VCConfig{
 			Routing: valg,
 			RunParams: sim.RunParams{
-				Pattern:       pat,
-				InjectionRate: *rate,
-				WarmupCycles:  *warmup,
-				MeasureCycles: *measure,
-				Seed:          *seed,
-				Metrics:       *metrics,
-				FaultPlan:     plan,
-				Recovery:      rec,
-				FaultRouting:  ftpol,
-				Shards:        *shards,
+				Pattern:          pat,
+				InjectionRate:    *rate,
+				WarmupCycles:     *warmup,
+				MeasureCycles:    *measure,
+				Seed:             *seed,
+				Metrics:          *metrics,
+				FaultPlan:        plan,
+				Recovery:         rec,
+				FaultRouting:     ftpol,
+				Shards:           *shards,
+				DisableEventSkip: !*eventdrv,
 			},
 		}, cache)
 		report(topo.Name(), valg.Name(), pat.Name(), res, *verbose)
@@ -133,16 +135,17 @@ func main() {
 	res, hit := sim.RunCached(sim.Config{
 		Routing: alg,
 		RunParams: sim.RunParams{
-			Pattern:       pat,
-			InjectionRate: *rate,
-			WarmupCycles:  *warmup,
-			MeasureCycles: *measure,
-			Seed:          *seed,
-			Metrics:       *metrics,
-			FaultPlan:     plan,
-			Recovery:      rec,
-			FaultRouting:  ftpol,
-			Shards:        *shards,
+			Pattern:          pat,
+			InjectionRate:    *rate,
+			WarmupCycles:     *warmup,
+			MeasureCycles:    *measure,
+			Seed:             *seed,
+			Metrics:          *metrics,
+			FaultPlan:        plan,
+			Recovery:         rec,
+			FaultRouting:     ftpol,
+			Shards:           *shards,
+			DisableEventSkip: !*eventdrv,
 		},
 		Output: output,
 		Input:  input,

@@ -50,6 +50,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		jobs     = flag.Int("jobs", 0, "parallel sweep workers (0 = all CPUs)")
 		shards   = flag.Int("shards", 1, "spatial domains stepped in parallel within every job's network; composes with -jobs (results are identical at any value)")
+		eventdrv = flag.Bool("eventdriven", true, "leap the clock over provably idle cycles (results are identical either way; disable to step every cycle)")
 		jsonOut  = flag.String("json", "", "also write a structured JSON report to this file")
 		seedMode = flag.String("seedmode", "paired", "per-job seed derivation: paired (common random numbers; matches the archived tables) or hash (independent streams)")
 		progress = flag.Bool("progress", true, "report sweep progress on stderr (only when stderr is a terminal)")
@@ -112,13 +113,14 @@ func main() {
 	}
 	if *resilience != "" {
 		out, err := sim.RunSweep(ctx, sim.Options{
-			Resilience:    resilienceSpecs(*resilience),
-			WarmupCycles:  *warmup,
-			MeasureCycles: *measure,
-			Seed:          *seed,
-			Jobs:          cli.Jobs(*jobs),
-			Shards:        *shards,
-			Cache:         cache,
+			Resilience:       resilienceSpecs(*resilience),
+			WarmupCycles:     *warmup,
+			MeasureCycles:    *measure,
+			Seed:             *seed,
+			Jobs:             cli.Jobs(*jobs),
+			Shards:           *shards,
+			DisableEventSkip: !*eventdrv,
+			Cache:            cache,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "turnsweep:", err)
@@ -131,14 +133,15 @@ func main() {
 	}
 	if *ftcompare != "" {
 		out, err := sim.RunSweep(ctx, sim.Options{
-			Resilience:    resilienceSpecs(*ftcompare),
-			CompareModes:  true,
-			WarmupCycles:  *warmup,
-			MeasureCycles: *measure,
-			Seed:          *seed,
-			Jobs:          cli.Jobs(*jobs),
-			Shards:        *shards,
-			Cache:         cache,
+			Resilience:       resilienceSpecs(*ftcompare),
+			CompareModes:     true,
+			WarmupCycles:     *warmup,
+			MeasureCycles:    *measure,
+			Seed:             *seed,
+			Jobs:             cli.Jobs(*jobs),
+			Shards:           *shards,
+			DisableEventSkip: !*eventdrv,
+			Cache:            cache,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "turnsweep:", err)
@@ -168,18 +171,19 @@ func main() {
 	}
 	if len(specs) > 0 {
 		plan := sim.Options{
-			Specs:         specs,
-			WarmupCycles:  *warmup,
-			MeasureCycles: *measure,
-			Seed:          *seed,
-			Jobs:          cli.Jobs(*jobs),
-			Shards:        *shards,
-			SeedFn:        seedFn,
-			Metrics:       *metrics,
-			FaultPlan:     fault.Plan{Rate: *faultRate, Repair: *faultRepair},
-			Recovery:      fault.Recovery{Enabled: *recovery},
-			FaultRouting:  ftpol,
-			Cache:         cache,
+			Specs:            specs,
+			WarmupCycles:     *warmup,
+			MeasureCycles:    *measure,
+			Seed:             *seed,
+			Jobs:             cli.Jobs(*jobs),
+			Shards:           *shards,
+			SeedFn:           seedFn,
+			Metrics:          *metrics,
+			FaultPlan:        fault.Plan{Rate: *faultRate, Repair: *faultRepair},
+			Recovery:         fault.Recovery{Enabled: *recovery},
+			FaultRouting:     ftpol,
+			DisableEventSkip: !*eventdrv,
+			Cache:            cache,
 		}
 		if *faults != "" {
 			// Static fault channels must exist in every topology being

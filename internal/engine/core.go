@@ -21,6 +21,8 @@
 package engine
 
 import (
+	"math"
+
 	"turnmodel/internal/fault"
 	"turnmodel/internal/metrics"
 	"turnmodel/internal/topology"
@@ -49,6 +51,14 @@ type Config struct {
 	// select serial stepping; the count is capped at the node count.
 	// Results are bit-identical at every shard count.
 	Shards int
+	// DisableEventSkip turns off event-driven cycle skipping: with it set,
+	// EndStep never leaps the clock even when the caller has promised an
+	// injection horizon (see SetInjectionHorizon), so every cycle is
+	// stepped individually. The default (false) keeps skipping available;
+	// it is an execution strategy, not a model change — results are
+	// bit-identical either way — so, like Shards, it never enters cache
+	// keys.
+	DisableEventSkip bool
 }
 
 // retryEntry is one aborted packet waiting at its source to reinject at
@@ -140,6 +150,15 @@ type Core struct {
 	faultEpoch   int64
 	lastProgress int64
 
+	// Event clock (see EndStep): horizon is the caller's promise that no
+	// Enqueue will happen at a cycle strictly before it (0: no promise, so
+	// no skipping); skipDisabled is Config.DisableEventSkip; skipped and
+	// leaps count the cycles leaped over and the leaps taken.
+	horizon      int64
+	skipDisabled bool
+	skipped      int64
+	leaps        int64
+
 	// Sharding state (see shard.go); shards is 1 for serial stepping.
 	shards    int
 	bounds    []int32
@@ -184,6 +203,7 @@ func NewCore(cfg Config) Core {
 	if c.Watchdog == 0 {
 		c.Watchdog = 10000
 	}
+	c.skipDisabled = cfg.DisableEventSkip
 	c.initShards(cfg.Shards, cfg.Probe)
 	return c
 }
@@ -462,24 +482,108 @@ func (c *Core) CutOff(src, dst topology.NodeID) bool {
 	return true
 }
 
+// SetInjectionHorizon records the caller's promise that no Enqueue will
+// happen at a cycle strictly before the given one. The promise is what
+// makes event-driven cycle skipping sound: when the network holds no worm
+// and no queued packet, every cycle before the horizon is provably empty
+// except for retry-backoff expiries and scheduled fault transitions, whose
+// times the core knows, so EndStep may leap the clock over them (see the
+// event-clock section of docs/performance.md). Passing a cycle at or
+// before the current one (0 included) withdraws the promise and disables
+// skipping until a new horizon is set. The caller may raise, lower or
+// clear the horizon between any two steps; it must simply never Enqueue
+// earlier than the last promise still in force when a Step runs.
+func (c *Core) SetInjectionHorizon(cycle int64) { c.horizon = cycle }
+
+// CyclesSkipped reports how many cycles the event clock has leaped over
+// instead of stepping, and Leaps how many leaps did it. Skipped cycles are
+// charged to probes and the watchdog exactly as if they had been stepped,
+// so the counters are pure execution telemetry: they never affect results.
+func (c *Core) CyclesSkipped() int64 { return c.skipped }
+
+// Leaps reports how many clock leaps CyclesSkipped accumulated over.
+func (c *Core) Leaps() int64 { return c.leaps }
+
 // EndStep closes the cycle: it flushes batched probe events, advances the
 // clock and evaluates the deadlock watchdog. active is the engine's
 // in-network worm count; the return value reports whether the watchdog
 // fired (never under recovery, which aborts stuck worms per-worm instead).
+//
+// When the network is provably idle — no active worm and no queued packet
+// — and the caller has promised an injection horizon, EndStep then leaps
+// the clock toward the horizon (see leap), making idle cycles cost O(1)
+// instead of one no-op step each.
 func (c *Core) EndStep(progress bool, active int) bool {
 	c.Em.Tick(c.Cycle)
 	c.Cycle++
 	if progress {
 		c.lastProgress = c.Cycle
-		return false
-	}
-	if c.Recovery.Enabled {
+	} else if !c.Recovery.Enabled {
 		// Recovery mode never fail-stops: stuck worms are aborted by the
 		// per-worm timeout, and a quiet network with packets only waiting
 		// out retry backoff is making (delayed) progress.
-		return false
+		if c.Watchdog > 0 && active+c.queued+c.retryCount > 0 && c.Cycle-c.lastProgress >= c.Watchdog {
+			return true
+		}
 	}
-	return c.Watchdog > 0 && active+c.queued+c.retryCount > 0 && c.Cycle-c.lastProgress >= c.Watchdog
+	if active == 0 && c.queued == 0 && !c.skipDisabled && c.horizon > c.Cycle {
+		c.leap()
+	}
+	return false
+}
+
+// leap advances the clock over cycles a stepped run would spend doing
+// nothing observable. It may only be called when the network is idle (no
+// active worm, no queued packet): a stepped run of such a cycle applies no
+// fault transition before the next scheduled one, injects nothing before
+// the earliest retry expiry or the caller's injection horizon, moves no
+// flit, and cannot fire the watchdog (without recovery an idle network has
+// nothing in flight; with it the watchdog never fires) — its only
+// observable act is the end-of-cycle probe Tick. The leap target is
+// therefore the minimum of the injection horizon, the earliest pending
+// retry expiry and the next scheduled fault transition; every skipped
+// cycle's Tick is forwarded to the probe so collectors see the identical
+// event stream, and the clock lands exactly on the first cycle where
+// something can happen, which then runs as a full step. Results are
+// bit-identical to stepping every cycle.
+func (c *Core) leap() {
+	target := c.horizon
+	if c.retryCount > 0 {
+		if at := c.nextRetryAt(); at < target {
+			target = at
+		}
+	}
+	if c.Faults != nil {
+		if at := c.Faults.NextEventCycle(); at < target {
+			target = at
+		}
+	}
+	if target <= c.Cycle {
+		return
+	}
+	c.Em.TickEmpty(c.Cycle, target-c.Cycle)
+	c.skipped += target - c.Cycle
+	c.leaps++
+	c.Cycle = target
+}
+
+// nextRetryAt scans the pending worklist for the earliest retry-backoff
+// expiry. Every node holding retry entries is on the worklist (FinishAbort
+// puts it there and InjectPhase keeps busy nodes), so the scan is complete;
+// it runs only on idle networks, where the worklist holds exactly the
+// retry-waiting nodes. At leap time every entry is in the future: a due
+// entry would have been injected (or dropped) by this step's InjectPhase,
+// making the network non-idle.
+func (c *Core) nextRetryAt() int64 {
+	at := int64(math.MaxInt64)
+	for _, nd := range c.pending {
+		for i := range c.retries[nd] {
+			if e := c.retries[nd][i].at; e < at {
+				at = e
+			}
+		}
+	}
+	return at
 }
 
 // Deadlock builds the watchdog's error value.

@@ -168,3 +168,19 @@ func (e *Emitter) Tick(cycle int64) {
 	e.events = e.events[:0]
 	e.probe.Tick(cycle)
 }
+
+// TickEmpty forwards the end-of-cycle Tick for n consecutive cycles that
+// had no events, starting at cycle. The event-driven clock calls it when
+// leaping over idle cycles: the leap happens right after a Tick flushed
+// the buffer and an idle network emits nothing, so there is nothing to
+// replay — each skipped cycle contributes exactly the Tick a stepped run
+// of it would have, keeping collector state (occupancy sampling,
+// last-cycle tracking) identical across leaps. Free with no probe.
+func (e *Emitter) TickEmpty(cycle, n int64) {
+	if e.probe == nil {
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		e.probe.Tick(cycle + i)
+	}
+}

@@ -1,0 +1,281 @@
+package engine_test
+
+// The cross-mode differential harness: the same workload is driven through
+// a stepped engine (DisableEventSkip, every cycle executed individually)
+// and through event-driven engines that leap the clock over provably idle
+// cycles, alone and composed with sharding. Event-driven cycle skipping is
+// an execution strategy, not a model change, so every observable must be
+// bit-identical: per-packet injection and delivery cycles, hop counts,
+// abort counts, counter totals, and the outcome of every step — for every
+// registered algorithm and for the faulted, recovery, fault-masking and
+// random fault-process configurations. Sparse workloads additionally
+// assert that leaps actually happened, so the equivalence is not vacuous.
+
+import (
+	"math/rand"
+	"testing"
+
+	"turnmodel/internal/fault"
+	"turnmodel/internal/network"
+	"turnmodel/internal/routing"
+	"turnmodel/internal/topology"
+	"turnmodel/internal/vc"
+	"turnmodel/internal/vcnet"
+)
+
+// skipEngine is the shardEngine surface plus the event clock.
+type skipEngine interface {
+	shardEngine
+	Cycle() int64
+	SetInjectionHorizon(cycle int64)
+	CyclesSkipped() int64
+}
+
+// skipCase extends a shardCase with a random fault process and a
+// leap-expectation flag. Cases with wantLeaps are sparse enough that a
+// leap-free run means the event clock is broken (or disabled), so the
+// harness fails rather than passing vacuously.
+type skipCase struct {
+	shardCase
+	plan      fault.Plan
+	wantLeaps bool
+}
+
+func skipCases() []skipCase {
+	var out []skipCase
+	// Every cross-shard case (all registered algorithms, static faults,
+	// recovery, masking) rides along at its original rate: skipping must
+	// be a no-op on busy workloads too.
+	for _, c := range shardCases() {
+		out = append(out, skipCase{shardCase: c})
+	}
+	// Sparse workloads where idle gaps dominate: leaps are guaranteed and
+	// asserted. One plain, one with recovery (retry backoff timers bound
+	// the leaps), one with a random fault process with repair (the fault
+	// event heap bounds the leaps), one masked.
+	sparse := func(alg string, topo string, rec bool, pol fault.RoutingPolicy, plan fault.Plan, faults ...topology.Channel) skipCase {
+		return skipCase{
+			shardCase: shardCase{
+				diffCase: diffCase{topo: topo, alg: alg, rate: 0.002, cycles: 6000, rec: rec, faults: faults},
+				pol:      pol,
+			},
+			plan:      plan,
+			wantLeaps: true,
+		}
+	}
+	out = append(out,
+		sparse("west-first", "mesh", false, fault.RoutingPolicy{}, fault.Plan{}),
+		sparse("negative-first+wrap", "torus", true, fault.RoutingPolicy{}, fault.Plan{}),
+		sparse("p-cube-nonminimal", "cube", true, fault.RoutingPolicy{}, fault.Plan{},
+			mustChan("cube", 3, topology.Dir(1, false))),
+		sparse("west-first", "mesh", true, fault.RoutingPolicy{Visibility: fault.VisibilityLocal},
+			fault.Plan{Rate: 2e-5, Repair: 400, Seed: 9}),
+	)
+	return out
+}
+
+func (c skipCase) skipName() string {
+	n := c.shardName()
+	if !c.plan.Empty() {
+		n += "/faultplan"
+	}
+	if c.wantLeaps {
+		n += "/sparse"
+	}
+	return n
+}
+
+// buildSkip constructs one engine for the case; stepped pins the clock
+// mode, shards the spatial partitioning underneath it.
+func buildSkip(t *testing.T, c skipCase, useVC bool, stepped bool, shards int) skipEngine {
+	t.Helper()
+	alg, err := routing.New(c.alg, c.topology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := fault.Recovery{}
+	if c.rec {
+		rec = fault.Recovery{Enabled: true, StallCycles: 200, MaxRetries: 4}
+	}
+	if useVC {
+		return vcnet.New(vcnet.Config{
+			Routing:          vc.Lift(alg),
+			Faults:           c.faults,
+			FaultPlan:        c.plan,
+			Recovery:         rec,
+			FaultRouting:     c.pol,
+			Shards:           shards,
+			DisableEventSkip: stepped,
+		})
+	}
+	return network.New(network.Config{
+		Routing:          alg,
+		Faults:           c.faults,
+		FaultPlan:        c.plan,
+		Recovery:         rec,
+		FaultRouting:     c.pol,
+		Shards:           shards,
+		DisableEventSkip: stepped,
+	})
+}
+
+// runSkipTrace drives one engine event to event: each iteration enqueues
+// everything due at the current cycle, promises the engine that no further
+// injection arrives before the next scheduled one, and steps. A stepped
+// engine ignores the promise and advances one cycle; an event-driven one
+// may leap. The recorded trace uses the same observables as the cross-shard
+// harness, so compareTraces applies unchanged. Returns the trace and how
+// many cycles the engine skipped.
+func runSkipTrace(t *testing.T, c skipCase, e skipEngine, sched []injection) (trace, int64) {
+	t.Helper()
+	defer e.Close()
+	var tr trace
+	next := 0
+	drain := c.cycles + 20000
+	for e.Cycle() < drain {
+		cycle := e.Cycle()
+		for next < len(sched) && sched[next].cycle == cycle {
+			in := sched[next]
+			e.Enqueue(in.src, in.dst, in.length)
+			next++
+		}
+		if next < len(sched) {
+			e.SetInjectionHorizon(sched[next].cycle)
+		} else {
+			e.SetInjectionHorizon(drain)
+		}
+		if err := e.Step(); err != nil {
+			tr.stepErr = err.Error()
+			tr.errCycle = cycle
+			break
+		}
+		for _, p := range e.TakeDelivered() {
+			tr.deliveries = append(tr.deliveries, delivery{
+				cycle: cycle, id: p.ID, injected: p.Injected, arrived: p.Arrived,
+				hops: p.Hops, aborts: p.Aborts,
+			})
+		}
+		if next == len(sched) && e.InFlight() == 0 {
+			break
+		}
+	}
+	tr.totals = totalsOf(e)
+	return tr, e.CyclesSkipped()
+}
+
+// crossMode runs one case stepped and compares the event-driven runs at
+// shard counts 1, 2 and 4 against it.
+func crossMode(t *testing.T, c skipCase, useVC bool) {
+	topo := c.topology(t)
+	sched := schedule(c.diffCase, topo, 42)
+	stepped, skipped := runSkipTrace(t, c, buildSkip(t, c, useVC, true, 1), sched)
+	if skipped != 0 {
+		t.Fatalf("stepped engine skipped %d cycles; DisableEventSkip is broken", skipped)
+	}
+	if stepped.totals.Delivered == 0 {
+		t.Fatalf("stepped run delivered no packets (workload too weak to mean anything)")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		leaped, skipped := runSkipTrace(t, c, buildSkip(t, c, useVC, false, shards), sched)
+		compareTraces(t, shards, stepped, leaped)
+		if c.wantLeaps && skipped == 0 {
+			t.Errorf("shards=%d: sparse workload skipped no cycles; the equivalence check is vacuous", shards)
+		}
+	}
+}
+
+// TestCrossModeNetwork checks that the physical-channel simulator produces
+// bit-identical results with the clock stepped and leaping, at shard
+// counts 1, 2 and 4.
+func TestCrossModeNetwork(t *testing.T) {
+	for _, c := range skipCases() {
+		c := c
+		t.Run(c.skipName(), func(t *testing.T) {
+			t.Parallel()
+			crossMode(t, c, false)
+		})
+	}
+}
+
+// TestCrossModeVCNet checks the virtual-channel simulator the same way.
+func TestCrossModeVCNet(t *testing.T) {
+	for _, c := range skipCases() {
+		c := c
+		t.Run(c.skipName(), func(t *testing.T) {
+			t.Parallel()
+			crossMode(t, c, true)
+		})
+	}
+}
+
+// TestCrossModeToggleProperty is the property variant: the injection
+// horizon is granted and withdrawn at random mid-run — stretches where the
+// caller promises nothing (horizon 0) interleave with stretches where the
+// engine may leap — and the trace must still match the fully stepped
+// baseline exactly, on both simulators, across several toggle seeds. This
+// pins that skipping composes with itself: every leap is individually
+// sound no matter which earlier idle cycles were leaped or stepped.
+func TestCrossModeToggleProperty(t *testing.T) {
+	c := skipCase{
+		shardCase: shardCase{
+			diffCase: diffCase{topo: "mesh", alg: "west-first", rate: 0.004, cycles: 6000, rec: true,
+				faults: []topology.Channel{mustChan("mesh", 7, topology.East)}},
+		},
+	}
+	topo := c.topology(t)
+	sched := schedule(c.diffCase, topo, 42)
+	for _, useVC := range []bool{false, true} {
+		name := "network"
+		if useVC {
+			name = "vcnet"
+		}
+		t.Run(name, func(t *testing.T) {
+			baseline, _ := runSkipTrace(t, c, buildSkip(t, c, useVC, true, 1), sched)
+			if baseline.totals.Delivered == 0 {
+				t.Fatal("baseline delivered no packets")
+			}
+			for seed := int64(1); seed <= 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				e := buildSkip(t, c, useVC, false, 1)
+				var tr trace
+				next := 0
+				drain := c.cycles + 20000
+				for e.Cycle() < drain {
+					cycle := e.Cycle()
+					for next < len(sched) && sched[next].cycle == cycle {
+						in := sched[next]
+						e.Enqueue(in.src, in.dst, in.length)
+						next++
+					}
+					// Toggle: half the iterations withdraw the horizon
+					// (horizon 0 never exceeds the current cycle, so the
+					// engine steps plainly), half grant it.
+					if rng.Intn(2) == 0 {
+						e.SetInjectionHorizon(0)
+					} else if next < len(sched) {
+						e.SetInjectionHorizon(sched[next].cycle)
+					} else {
+						e.SetInjectionHorizon(drain)
+					}
+					if err := e.Step(); err != nil {
+						tr.stepErr = err.Error()
+						tr.errCycle = cycle
+						break
+					}
+					for _, p := range e.TakeDelivered() {
+						tr.deliveries = append(tr.deliveries, delivery{
+							cycle: cycle, id: p.ID, injected: p.Injected, arrived: p.Arrived,
+							hops: p.Hops, aborts: p.Aborts,
+						})
+					}
+					if next == len(sched) && e.InFlight() == 0 {
+						break
+					}
+				}
+				tr.totals = totalsOf(e)
+				e.Close()
+				compareTraces(t, 1, baseline, tr)
+			}
+		})
+	}
+}

@@ -294,6 +294,22 @@ func (s *State) notify(key int, failed bool) {
 	}
 }
 
+// NextEventCycle reports the cycle of the earliest pending fault
+// transition (failure or repair), or math.MaxInt64 when none is scheduled
+// — static-only plans schedule nothing after construction. The event at
+// that cycle may turn out to be a no-op (the channel became permanently
+// broken meanwhile), so callers may only use the value as a lower bound:
+// no transition is applied strictly before it. The event-driven step
+// loops leap the clock up to (never past) this cycle, which keeps every
+// fault transition — and the probe events and epoch changes it triggers —
+// on its exact cycle.
+func (s *State) NextEventCycle() int64 {
+	if len(s.events) == 0 {
+		return math.MaxInt64
+	}
+	return s.events[0].cycle
+}
+
 // ActiveFaults reports how many channels are currently broken.
 func (s *State) ActiveFaults() int { return s.active }
 

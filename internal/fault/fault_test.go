@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"turnmodel/internal/topology"
@@ -148,5 +150,84 @@ func TestRecoveryBackoff(t *testing.T) {
 	}
 	if r.Backoff(20) != r.BackoffCap {
 		t.Errorf("late backoff = %d, want cap %d", r.Backoff(20), r.BackoffCap)
+	}
+}
+
+func TestNextEventCycleEmptyHeap(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	// No random component: nothing is ever scheduled, before or after
+	// construction — static and node faults apply at cycle 0 and never
+	// transition again.
+	for name, plan := range map[string]Plan{
+		"empty":  {},
+		"static": {Static: []topology.Channel{{From: 5, Dir: topology.East}}},
+		"node":   {Nodes: []topology.NodeID{5}},
+	} {
+		s := MustNew(plan, mesh)
+		if got := s.NextEventCycle(); got != math.MaxInt64 {
+			t.Errorf("%s plan: NextEventCycle = %d, want MaxInt64 sentinel", name, got)
+		}
+		s.Advance(10000)
+		if got := s.NextEventCycle(); got != math.MaxInt64 {
+			t.Errorf("%s plan after Advance: NextEventCycle = %d, want MaxInt64", name, got)
+		}
+	}
+}
+
+func TestNextEventCycleRepairBeforeFailure(t *testing.T) {
+	mesh := topology.NewMesh2D(4, 4)
+	s := MustNew(Plan{Static: []topology.Channel{{From: 5, Dir: topology.East}}}, mesh)
+	// Applying the repair re-arms the channel's failure process, which
+	// draws a fresh gap; give the hand-built heap a stream to draw from.
+	s.rng = rand.New(rand.NewSource(1))
+	s.rate = 1e-6
+	// A pending repair earlier than every pending failure must win the
+	// heap: the leap bound is the repair's cycle, not the next failure's.
+	s.push(event{cycle: 100, ch: 3, fail: true})
+	s.push(event{cycle: 40, ch: 7, fail: false})
+	s.push(event{cycle: 70, ch: 9, fail: true})
+	if got := s.NextEventCycle(); got != 40 {
+		t.Fatalf("NextEventCycle = %d, want the pending repair at 40", got)
+	}
+	// Advancing short of it applies nothing; advancing to it pops exactly
+	// the repair and exposes the next failure.
+	epoch := s.Epoch()
+	s.Advance(39)
+	if s.Epoch() != epoch || s.NextEventCycle() != 40 {
+		t.Fatalf("Advance(39) disturbed the heap: next=%d epoch %d->%d", s.NextEventCycle(), epoch, s.Epoch())
+	}
+	s.Advance(40)
+	if got := s.NextEventCycle(); got != 70 {
+		t.Fatalf("after the repair, NextEventCycle = %d, want the failure at 70", got)
+	}
+}
+
+func TestNextEventCycleIsALowerBound(t *testing.T) {
+	mesh := topology.NewMesh2D(8, 8)
+	s := MustNew(Plan{Rate: 1e-4, Repair: 100, Seed: 7}, mesh)
+	transitions := 0
+	s.OnChange = func(topology.NodeID, topology.Direction, bool) { transitions++ }
+	// Leap-style driving: jump straight from event to event. No transition
+	// may ever land before the reported bound, and advancing exactly to the
+	// bound must apply at least one event (the random process never marks
+	// channels permanent, so no event here is a no-op).
+	for c := int64(0); c < 100000; {
+		next := s.NextEventCycle()
+		if next <= c {
+			t.Fatalf("cycle %d: NextEventCycle %d not in the future", c, next)
+		}
+		before := transitions
+		s.Advance(next - 1)
+		if transitions != before {
+			t.Fatalf("transition applied before the reported bound %d", next)
+		}
+		s.Advance(next)
+		if transitions == before {
+			t.Fatalf("no transition at the reported bound %d", next)
+		}
+		c = next
+	}
+	if s.FailEvents() == 0 {
+		t.Fatal("soak produced no failures")
 	}
 }

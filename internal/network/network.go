@@ -96,6 +96,12 @@ type Config struct {
 	// engine core's emitter, whose no-probe paths return immediately and
 	// keep the Step hot loop allocation-free (TestStepAllocs pins this).
 	Probe metrics.Probe
+	// DisableEventSkip turns off event-driven cycle skipping (see
+	// SetInjectionHorizon): every cycle is then stepped individually even
+	// when the caller has promised an injection horizon. Like Shards it
+	// is an execution strategy, not a model change — results are
+	// bit-identical either way. Off by default (skipping available).
+	DisableEventSkip bool
 }
 
 // DeadlockError is returned by Step when the watchdog detects that no flit
@@ -219,14 +225,15 @@ func New(cfg Config) *Network {
 		n.portOf[b] = int16(b % n.ports)
 	}
 	n.core = engine.NewCore(engine.Config{
-		Topo:           topo,
-		WatchdogCycles: cfg.WatchdogCycles,
-		Faults:         cfg.Faults,
-		FaultPlan:      cfg.FaultPlan,
-		Recovery:       cfg.Recovery,
-		FaultRouting:   cfg.FaultRouting,
-		Probe:          cfg.Probe,
-		Shards:         cfg.Shards,
+		Topo:             topo,
+		WatchdogCycles:   cfg.WatchdogCycles,
+		Faults:           cfg.Faults,
+		FaultPlan:        cfg.FaultPlan,
+		Recovery:         cfg.Recovery,
+		FaultRouting:     cfg.FaultRouting,
+		Probe:            cfg.Probe,
+		Shards:           cfg.Shards,
+		DisableEventSkip: cfg.DisableEventSkip,
 	})
 	n.core.Bind()
 	n.core.InjFree = func(node topology.NodeID) bool {
@@ -293,6 +300,22 @@ func (n *Network) Routing() routing.Algorithm { return n.alg }
 
 // Cycle is the current simulation time in cycles.
 func (n *Network) Cycle() int64 { return n.core.Cycle }
+
+// SetInjectionHorizon promises that no Enqueue will happen at a cycle
+// strictly before the given one, which lets Step leap the clock over
+// provably empty cycles once the network is idle (event-driven cycle
+// skipping; see engine.Core.SetInjectionHorizon and docs/performance.md).
+// After a Step the clock may therefore have advanced by more than one:
+// drive the simulation with `for n.Cycle() < end { ... n.Step() }` rather
+// than counting steps. Results are bit-identical to stepping every cycle.
+// Passing a cycle at or before the current one withdraws the promise;
+// Config.DisableEventSkip disables leaping regardless.
+func (n *Network) SetInjectionHorizon(cycle int64) { n.core.SetInjectionHorizon(cycle) }
+
+// CyclesSkipped reports how many cycles the event-driven clock leaped
+// over instead of stepping — execution telemetry; results never depend on
+// it.
+func (n *Network) CyclesSkipped() int64 { return n.core.CyclesSkipped() }
 
 // Microseconds converts a cycle count to microseconds at the paper's
 // channel bandwidth.

@@ -58,6 +58,7 @@ func TestCacheKeyNormalization(t *testing.T) {
 		},
 		"probe attached":    func(c *Config) { c.Probe = metrics.NopProbe{} },
 		"sharded execution": func(c *Config) { c.Shards = 4 },
+		"stepped clock":     func(c *Config) { c.DisableEventSkip = true },
 	} {
 		cfg := keyCfg(t)
 		mutate(&cfg)

@@ -139,6 +139,10 @@ type Options struct {
 	// (Jobs) and intra-point (Shards) parallelism compose: a run uses up
 	// to Jobs*Shards cores. Results are bit-identical at every value.
 	Shards int
+	// DisableEventSkip steps every point cycle by cycle instead of leaping
+	// the clock over provably empty ones (see RunParams.DisableEventSkip).
+	// Results are bit-identical either way.
+	DisableEventSkip bool
 	// SeedFn derives per-point seeds for figure sweeps; nil selects
 	// PairedSeed. Resilience cells always use the paired derivation, which
 	// shares fault histories across the algorithms and modes being
@@ -308,17 +312,18 @@ func (r *Runner) unitConfig(u unit) (Config, PointEvent) {
 		cfg := Config{
 			Routing: alg,
 			RunParams: RunParams{
-				Pattern:       spec.NewPattern(topo),
-				InjectionRate: spec.Rates[u.rate],
-				WarmupCycles:  opts.WarmupCycles,
-				MeasureCycles: opts.MeasureCycles,
-				Seed:          seed,
-				Metrics:       opts.Metrics,
-				FaultPlan:     fp,
-				Recovery:      opts.Recovery,
-				FaultRouting:  opts.FaultRouting,
-				Probe:         opts.Probe,
-				Shards:        opts.Shards,
+				Pattern:          spec.NewPattern(topo),
+				InjectionRate:    spec.Rates[u.rate],
+				WarmupCycles:     opts.WarmupCycles,
+				MeasureCycles:    opts.MeasureCycles,
+				Seed:             seed,
+				Metrics:          opts.Metrics,
+				FaultPlan:        fp,
+				Recovery:         opts.Recovery,
+				FaultRouting:     opts.FaultRouting,
+				Probe:            opts.Probe,
+				Shards:           opts.Shards,
+				DisableEventSkip: opts.DisableEventSkip,
 			},
 		}
 		return cfg, PointEvent{
@@ -348,9 +353,10 @@ func (r *Runner) unitConfig(u unit) (Config, PointEvent) {
 					Repair: spec.RepairDelay,
 					Seed:   cellSeed + 1,
 				},
-				Recovery: fault.Recovery{Enabled: true},
-				Probe:    opts.Probe,
-				Shards:   opts.Shards,
+				Recovery:         fault.Recovery{Enabled: true},
+				Probe:            opts.Probe,
+				Shards:           opts.Shards,
+				DisableEventSkip: opts.DisableEventSkip,
 			},
 		}
 		ev := PointEvent{

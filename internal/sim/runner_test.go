@@ -141,6 +141,27 @@ func TestRunPlanShardedMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunPlanSteppedClockMatches pins the execution-strategy guarantee of
+// the event-driven clock: forcing every point to step cycle by cycle
+// (DisableEventSkip) produces results and rendered tables identical to the
+// default leaping run, with or without sharding underneath.
+func TestRunPlanSteppedClockMatches(t *testing.T) {
+	leaping, _, err := runPlan(quickPlan(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 4} {
+		plan := quickPlan(2, nil)
+		plan.Shards = shards
+		plan.DisableEventSkip = true
+		stepped, _, err := runPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		figuresEqual(t, leaping, stepped)
+	}
+}
+
 func TestRunPlanHashSeedDeterminism(t *testing.T) {
 	serial, _, err := runPlan(quickPlan(1, HashSeed))
 	if err != nil {

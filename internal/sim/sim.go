@@ -9,7 +9,7 @@ package sim
 
 import (
 	"fmt"
-
+	"math"
 	"math/rand"
 
 	"turnmodel/internal/fault"
@@ -80,6 +80,13 @@ type RunParams struct {
 	// multiplicatively with Plan.Jobs — a sweep uses up to Jobs*Shards
 	// cores — so split the machine between them (see docs/sweeps.md).
 	Shards int
+	// DisableEventSkip turns off event-driven cycle skipping (see
+	// network.Config.DisableEventSkip and docs/performance.md): with it
+	// set the run steps every cycle individually instead of leaping the
+	// clock over provably empty ones. Like Shards it is an execution
+	// strategy, not a model change — the Result is bit-identical either
+	// way, so it never enters cache keys. Off by default (skipping on).
+	DisableEventSkip bool
 }
 
 func (p RunParams) withDefaults() RunParams {
@@ -124,6 +131,14 @@ func (c *Config) withDefaults() Config {
 	out := *c
 	out.RunParams = out.RunParams.withDefaults()
 	return out
+}
+
+// minCycle clamps an injection horizon to a run-window boundary.
+func minCycle(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // meanLength is the expected packet length under the configured mix.
@@ -211,17 +226,18 @@ func Run(cfg Config) Result {
 	topo := cfg.Routing.Topology()
 	probe, coll := cfg.RunParams.instrument(topo)
 	net := network.New(network.Config{
-		Routing:        cfg.Routing,
-		Output:         cfg.Output,
-		Input:          cfg.Input,
-		Seed:           cfg.Seed,
-		WatchdogCycles: cfg.WatchdogCycles,
-		FaultPlan:      cfg.FaultPlan,
-		Recovery:       cfg.Recovery,
-		FaultRouting:   cfg.FaultRouting,
-		RoutingDelay:   cfg.RoutingDelay,
-		Probe:          probe,
-		Shards:         cfg.Shards,
+		Routing:          cfg.Routing,
+		Output:           cfg.Output,
+		Input:            cfg.Input,
+		Seed:             cfg.Seed,
+		WatchdogCycles:   cfg.WatchdogCycles,
+		FaultPlan:        cfg.FaultPlan,
+		Recovery:         cfg.Recovery,
+		FaultRouting:     cfg.FaultRouting,
+		RoutingDelay:     cfg.RoutingDelay,
+		Probe:            probe,
+		Shards:           cfg.Shards,
+		DisableEventSkip: cfg.DisableEventSkip,
 	})
 	return measure(cfg.RunParams, cfg.Routing.Name(), topo, net, coll)
 }
@@ -252,7 +268,12 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 	for i := range next {
 		next[i] = rng.ExpFloat64() * meanGap
 	}
-	generate := func(cycle int64) {
+	// generate fires every arrival due at the cycle and reports the first
+	// future cycle at which any node generates again — the injection
+	// horizon the event-driven clock may leap to. The min-scan rides the
+	// node loop generate already runs, so horizon tracking adds no pass.
+	generate := func(cycle int64) int64 {
+		earliest := math.Inf(1)
 		for node := range next {
 			for next[node] <= float64(cycle) {
 				next[node] += rng.ExpFloat64() * meanGap
@@ -263,15 +284,33 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 				length := cfg.Lengths[rng.Intn(len(cfg.Lengths))]
 				net.Enqueue(topology.NodeID(node), dst, length)
 			}
+			if next[node] < earliest {
+				earliest = next[node]
+			}
 		}
+		if math.IsInf(earliest, 1) {
+			return math.MaxInt64 // nothing ever generates (zero-rate run)
+		}
+		return int64(math.Ceil(earliest))
 	}
 
 	var lat stats.Sample
 	var hops stats.Accumulator
 	deadlocked := false
 
-	for cycle := int64(0); cycle < cfg.WarmupCycles && !deadlocked; cycle++ {
-		generate(cycle)
+	// Both run windows drive the engine event to event: each iteration
+	// generates this cycle's arrivals, promises the engine that none come
+	// before the next generation cycle (capped at the window end), and
+	// steps. A busy network advances one cycle per Step as before; an idle
+	// one leaps straight to the horizon, which is what makes low-rate
+	// sweep regions and long drain tails cheap (see docs/performance.md).
+	// The generation cycles are identical to the stepped schedule —
+	// skipped cycles are exactly those where generate would have drawn
+	// nothing — so the RNG stream, and with it every Result, is
+	// bit-identical in both modes.
+	for !deadlocked && net.Cycle() < cfg.WarmupCycles {
+		nextGen := generate(net.Cycle())
+		net.SetInjectionHorizon(minCycle(nextGen, cfg.WarmupCycles))
 		if err := net.Step(); err != nil {
 			deadlocked = true
 		}
@@ -291,8 +330,10 @@ func measure(cfg RunParams, algName string, topo topology.Topology, net engine, 
 		coll.BeginMeasurement(measureStart)
 	}
 
-	for cycle := int64(0); cycle < cfg.MeasureCycles && !deadlocked; cycle++ {
-		generate(measureStart + cycle)
+	measureEnd := measureStart + cfg.MeasureCycles
+	for !deadlocked && net.Cycle() < measureEnd {
+		nextGen := generate(net.Cycle())
+		net.SetInjectionHorizon(minCycle(nextGen, measureEnd))
 		if err := net.Step(); err != nil {
 			deadlocked = true
 		}

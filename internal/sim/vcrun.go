@@ -17,6 +17,7 @@ type engine interface {
 	Close()
 	Enqueue(src, dst topology.NodeID, length int) *network.Packet
 	Cycle() int64
+	SetInjectionHorizon(cycle int64)
 	FlitsConsumed() int64
 	InFlight() int
 	MaxQueueLen() int
@@ -46,13 +47,14 @@ func RunVC(cfg VCConfig) Result {
 	topo := cfg.Routing.Topology()
 	probe, coll := params.instrument(topo)
 	net := vcnet.New(vcnet.Config{
-		Routing:        cfg.Routing,
-		WatchdogCycles: cfg.WatchdogCycles,
-		FaultPlan:      cfg.FaultPlan,
-		Recovery:       cfg.Recovery,
-		FaultRouting:   cfg.FaultRouting,
-		Probe:          probe,
-		Shards:         cfg.Shards,
+		Routing:          cfg.Routing,
+		WatchdogCycles:   cfg.WatchdogCycles,
+		FaultPlan:        cfg.FaultPlan,
+		Recovery:         cfg.Recovery,
+		FaultRouting:     cfg.FaultRouting,
+		Probe:            probe,
+		Shards:           cfg.Shards,
+		DisableEventSkip: cfg.DisableEventSkip,
 	})
 	return measure(params, cfg.Routing.Name(), topo, net, coll)
 }

@@ -73,6 +73,12 @@ type Config struct {
 	// (physUsed/ejectUse), which is inherently order-dependent, so it
 	// stays serial (see docs/performance.md). Values <= 1 step serially.
 	Shards int
+	// DisableEventSkip turns off event-driven cycle skipping (see
+	// SetInjectionHorizon), mirroring network.Config.DisableEventSkip:
+	// every cycle is stepped individually even when the caller has
+	// promised an injection horizon. Results are bit-identical either
+	// way. Off by default (skipping available).
+	DisableEventSkip bool
 }
 
 // Packet re-exports the packet bookkeeping of the base simulator (both
@@ -259,14 +265,15 @@ func New(cfg Config) *Network {
 		}
 	}
 	n.core = engine.NewCore(engine.Config{
-		Topo:           topo,
-		WatchdogCycles: cfg.WatchdogCycles,
-		Faults:         cfg.Faults,
-		FaultPlan:      cfg.FaultPlan,
-		Recovery:       cfg.Recovery,
-		FaultRouting:   cfg.FaultRouting,
-		Probe:          cfg.Probe,
-		Shards:         cfg.Shards,
+		Topo:             topo,
+		WatchdogCycles:   cfg.WatchdogCycles,
+		Faults:           cfg.Faults,
+		FaultPlan:        cfg.FaultPlan,
+		Recovery:         cfg.Recovery,
+		FaultRouting:     cfg.FaultRouting,
+		Probe:            cfg.Probe,
+		Shards:           cfg.Shards,
+		DisableEventSkip: cfg.DisableEventSkip,
 	})
 	n.core.Bind()
 	n.core.InjFree = func(node topology.NodeID) bool {
@@ -390,6 +397,20 @@ func (n *Network) ownerKey(node topology.NodeID, d topology.Direction, v int) in
 
 // Cycle is the current simulation time.
 func (n *Network) Cycle() int64 { return n.core.Cycle }
+
+// SetInjectionHorizon promises that no Enqueue will happen at a cycle
+// strictly before the given one, enabling event-driven cycle skipping
+// exactly as in network.Network.SetInjectionHorizon: once the network is
+// idle, Step leaps the clock to the next cycle where anything can happen
+// (injection horizon, retry expiry or fault transition), with results
+// bit-identical to stepping every cycle. Passing a cycle at or before the
+// current one withdraws the promise.
+func (n *Network) SetInjectionHorizon(cycle int64) { n.core.SetInjectionHorizon(cycle) }
+
+// CyclesSkipped reports how many cycles the event-driven clock leaped
+// over instead of stepping — execution telemetry; results never depend on
+// it.
+func (n *Network) CyclesSkipped() int64 { return n.core.CyclesSkipped() }
 
 // Topology returns the simulated topology.
 func (n *Network) Topology() topology.Topology { return n.topo }
